@@ -1,0 +1,32 @@
+//! Criterion benchmarks of the distance kernels — the innermost operation
+//! of every algorithm, at the dimensionalities of Table I (2, 6, 25, 41,
+//! 50).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let metrics = [
+        ("euclidean", Metric::Euclidean),
+        ("manhattan", Metric::Manhattan),
+        ("chebyshev", Metric::Chebyshev),
+        ("angular", Metric::Angular),
+    ];
+    for (name, metric) in metrics {
+        let mut group = c.benchmark_group(name);
+        for dim in [2usize, 6, 25, 41, 50] {
+            let a: Vec<f64> = (0..dim).map(|_| rng.random()).collect();
+            let b_point: Vec<f64> = (0..dim).map(|_| rng.random()).collect();
+            group.bench_with_input(BenchmarkId::new("dim", dim), &dim, |bench, _| {
+                bench.iter(|| black_box(metric.dist(black_box(&a), black_box(&b_point))))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

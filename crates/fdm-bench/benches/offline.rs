@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the offline baselines vs dataset size — the
+//! `O(n)`-scaling curves of Fig. 10's time panels (GMM, FairSwap, FairFlow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fdm_core::balance::SwapStrategy;
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::offline::fair_flow::{FairFlow, FairFlowConfig};
+use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
+use fdm_core::offline::gmm::gmm;
+use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
+use std::hint::black_box;
+
+fn bench_gmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gmm");
+    for n in [1_000usize, 10_000, 50_000] {
+        let data = synthetic_blobs(SyntheticConfig { n, m: 2, blobs: 10, seed: 4 }).unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &data, |b, data| {
+            b.iter(|| black_box(gmm(data, 20, 0).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fair_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_swap");
+    let constraint = FairnessConstraint::equal_representation(20, 2).unwrap();
+    for n in [1_000usize, 10_000, 50_000] {
+        let data = synthetic_blobs(SyntheticConfig { n, m: 2, blobs: 10, seed: 5 }).unwrap();
+        let alg = FairSwap::new(FairSwapConfig {
+            constraint: constraint.clone(),
+            seed: 0,
+            strategy: SwapStrategy::Greedy,
+        })
+        .unwrap();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("n", n), &data, |b, data| {
+            b.iter(|| black_box(alg.run(data).unwrap().diversity))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fair_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fair_flow");
+    for m in [2usize, 10] {
+        let constraint = FairnessConstraint::equal_representation(20, m).unwrap();
+        let data =
+            synthetic_blobs(SyntheticConfig { n: 10_000, m, blobs: 10, seed: 6 }).unwrap();
+        let alg = FairFlow::new(FairFlowConfig { constraint, seed: 0 }).unwrap();
+        group.bench_with_input(BenchmarkId::new("m", m), &data, |b, data| {
+            b.iter(|| black_box(alg.run(data).unwrap().diversity))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gmm, bench_fair_swap, bench_fair_flow
+);
+criterion_main!(benches);

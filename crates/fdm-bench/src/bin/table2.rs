@@ -1,0 +1,95 @@
+//! Table II — overview of all algorithms on the four real datasets
+//! (k = 20, equal representation).
+//!
+//! Columns mirror the paper: GMM's unconstrained diversity as the quality
+//! reference, then (diversity, time, #stored elements where applicable) for
+//! FairSwap, FairFlow, SFDM1, and SFDM2. FairSwap/SFDM1 only apply when
+//! m = 2; FairGMM is omitted exactly as in the paper (it cannot scale to
+//! k = 20). Streaming "time" is average per-element update time; offline
+//! "time" is total runtime (§V-A convention).
+//!
+//! Run: `cargo run --release -p fdm-bench --bin table2 [--quick|--full] [--trials N]`
+
+use fdm_bench::cli::Options;
+use fdm_bench::measure::{run_averaged, Algo};
+use fdm_bench::report::{fmt_secs, Table};
+use fdm_bench::workloads::Workload;
+use fdm_core::fairness::FairnessConstraint;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut table = Table::new(vec![
+        "dataset",
+        "m",
+        "GMM div",
+        "FairSwap div",
+        "FairSwap t(s)",
+        "FairFlow div",
+        "FairFlow t(s)",
+        "SFDM1 div",
+        "SFDM1 t(s)",
+        "SFDM1 #elem",
+        "SFDM2 div",
+        "SFDM2 t(s)",
+        "SFDM2 #elem",
+    ]);
+
+    for workload in Workload::table2_rows() {
+        let m = workload.num_groups();
+        let k = opts.k.max(m); // at least one element per group
+        let dataset = workload.build(opts.size, opts.seed).expect("dataset build");
+        let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
+        let epsilon = workload.default_epsilon();
+        eprintln!("running {} (n = {}, m = {m}, k = {k}) ...", workload.name(), dataset.len());
+
+        let gmm = run_averaged(&dataset, Algo::Gmm, &constraint, epsilon, 1)
+            .expect("GMM run");
+
+        let (swap_div, swap_t) = if m == 2 {
+            let r = run_averaged(&dataset, Algo::FairSwap, &constraint, epsilon, opts.trials)
+                .expect("FairSwap run");
+            (format!("{:.4}", r.diversity), fmt_secs(r.total_time_s))
+        } else {
+            ("-".into(), "-".into())
+        };
+
+        let flow = run_averaged(&dataset, Algo::FairFlow, &constraint, epsilon, opts.trials)
+            .expect("FairFlow run");
+
+        let (s1_div, s1_t, s1_e) = if m == 2 {
+            let r = run_averaged(&dataset, Algo::Sfdm1, &constraint, epsilon, opts.trials)
+                .expect("SFDM1 run");
+            (
+                format!("{:.4}", r.diversity),
+                fmt_secs(r.paper_time_s()),
+                r.stored_elements.unwrap().to_string(),
+            )
+        } else {
+            ("-".into(), "-".into(), "-".into())
+        };
+
+        let s2 = run_averaged(&dataset, Algo::Sfdm2, &constraint, epsilon, opts.trials)
+            .expect("SFDM2 run");
+
+        table.push_row(vec![
+            workload.name(),
+            m.to_string(),
+            format!("{:.4}", gmm.diversity),
+            swap_div,
+            swap_t,
+            format!("{:.4}", flow.diversity),
+            fmt_secs(flow.total_time_s),
+            s1_div,
+            s1_t,
+            s1_e,
+            format!("{:.4}", s2.diversity),
+            fmt_secs(s2.paper_time_s()),
+            s2.stored_elements.unwrap().to_string(),
+        ]);
+    }
+
+    println!("\nTable II (k = {}, ER quotas; streaming time = avg update/elem):", opts.k);
+    println!("{}", table.render());
+    let path = table.write_csv("table2").expect("write CSV");
+    println!("wrote {}", path.display());
+}

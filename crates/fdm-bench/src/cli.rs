@@ -1,0 +1,124 @@
+//! Minimal flag parsing shared by the experiment binaries.
+//!
+//! Supported flags (all optional):
+//!
+//! * `--quick` / `--full` — instance size (default: laptop-friendly);
+//! * `--trials N` — stream permutations to average (default 3; paper 10);
+//! * `--k N` — solution size where the experiment doesn't sweep it
+//!   (default 20, the paper's Table II setting);
+//! * `--seed N` — dataset generation seed (default 42).
+
+use crate::workloads::SizeMode;
+
+/// Parsed common options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Instance size mode.
+    pub size: SizeMode,
+    /// Number of averaged stream permutations.
+    pub trials: usize,
+    /// Solution size `k`.
+    pub k: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { size: SizeMode::Default, trials: 3, k: 20, seed: 42 }
+    }
+}
+
+impl Options {
+    /// Parses from an argument iterator (skip the program name first).
+    ///
+    /// Unknown flags abort with a usage message, so typos don't silently
+    /// run the default experiment.
+    pub fn parse<I: Iterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.size = SizeMode::Quick,
+                "--full" => opts.size = SizeMode::Full,
+                "--trials" => opts.trials = take_num(&mut args, "--trials")? as usize,
+                "--k" => opts.k = take_num(&mut args, "--k")? as usize,
+                "--seed" => opts.seed = take_num(&mut args, "--seed")?,
+                "--help" | "-h" => {
+                    return Err(
+                        "usage: [--quick|--full] [--trials N] [--k N] [--seed N]".to_string()
+                    )
+                }
+                other => return Err(format!("unknown flag {other}; try --help")),
+            }
+        }
+        if opts.trials == 0 {
+            return Err("--trials must be at least 1".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// Parses from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Options {
+        match Options::parse(std::env::args().skip(1)) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn take_num<I: Iterator<Item = String>>(
+    args: &mut std::iter::Peekable<I>,
+    flag: &str,
+) -> Result<u64, String> {
+    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
+    value.parse().map_err(|_| format!("{flag}: invalid number {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o, Options::default());
+        assert_eq!(o.trials, 3);
+        assert_eq!(o.k, 20);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse(&["--full", "--trials", "10", "--k", "30", "--seed", "7"]).unwrap();
+        assert_eq!(o.size, SizeMode::Full);
+        assert_eq!(o.trials, 10);
+        assert_eq!(o.k, 30);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn quick_mode() {
+        assert_eq!(parse(&["--quick"]).unwrap().size, SizeMode::Quick);
+    }
+
+    #[test]
+    fn rejects_unknown_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--trials"]).is_err());
+        assert!(parse(&["--trials", "abc"]).is_err());
+        assert!(parse(&["--trials", "0"]).is_err());
+    }
+
+    #[test]
+    fn help_is_an_err_with_usage() {
+        let msg = parse(&["--help"]).unwrap_err();
+        assert!(msg.contains("usage"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation section (§V).
+//!
+//! One binary per experiment (see `src/bin/`) prints the same rows/series
+//! the paper reports and writes CSV under `results/`. The library provides:
+//!
+//! * [`measure`] — algorithm runners with the paper's three performance
+//!   measures: solution diversity, time (average per-element *update time*
+//!   for the streaming algorithms, total runtime for the offline ones — the
+//!   paper's §V-A convention), and the number of stored distinct elements;
+//! * [`workloads`] — the Table I dataset/grouping matrix with paper-sized
+//!   and scaled-down instantiations;
+//! * [`report`] — fixed-width table printing and CSV output;
+//! * [`cli`] — a tiny flag parser shared by the experiment binaries.
+//!
+//! Absolute numbers differ from the paper (Rust vs Python, this machine vs
+//! the authors', simulated vs real data); the reproduction target is the
+//! *shape*: who wins, by roughly what factor, and how the curves move with
+//! `ε`, `k`, `n`, and `m` (see EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod measure;
+pub mod plot;
+pub mod report;
+pub mod workloads;
+
+pub use measure::{run_algorithm, Algo, RunResult};
+pub use workloads::Workload;

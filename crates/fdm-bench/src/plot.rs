@@ -1,0 +1,209 @@
+//! Terminal line charts for the figure binaries.
+//!
+//! The paper's figures are line plots (diversity / time / space against
+//! ε, k, n, or m). [`Chart`] renders multi-series data as a fixed-size
+//! ASCII grid with optional log-scaled axes, so `fig*` binaries can show
+//! the curve shapes directly in the terminal next to the CSV output.
+
+/// Axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (requires positive values).
+    Log,
+}
+
+/// A multi-series line chart.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    width: usize,
+    height: usize,
+    x_scale: Scale,
+    y_scale: Scale,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+impl Chart {
+    /// Creates an empty chart with a plot area of `width × height` cells.
+    pub fn new(title: &str, width: usize, height: usize) -> Self {
+        Chart {
+            title: title.to_string(),
+            width: width.clamp(16, 200),
+            height: height.clamp(4, 60),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the x-axis scale.
+    pub fn x_scale(mut self, scale: Scale) -> Self {
+        self.x_scale = scale;
+        self
+    }
+
+    /// Sets the y-axis scale.
+    pub fn y_scale(mut self, scale: Scale) -> Self {
+        self.y_scale = scale;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points (unsorted is fine).
+    pub fn add_series(&mut self, name: &str, points: Vec<(f64, f64)>) {
+        self.series.push((name.to_string(), points));
+    }
+
+    /// Renders the chart; returns a plain-text block. Series with no
+    /// representable points (e.g. non-positive on a log axis) are listed
+    /// but not drawn.
+    pub fn render(&self) -> String {
+        let tx = |v: f64| -> Option<f64> {
+            match self.x_scale {
+                Scale::Linear => Some(v),
+                Scale::Log => (v > 0.0).then(|| v.log10()),
+            }
+        };
+        let ty = |v: f64| -> Option<f64> {
+            match self.y_scale {
+                Scale::Linear => Some(v),
+                Scale::Log => (v > 0.0).then(|| v.log10()),
+            }
+        };
+
+        let mut pts: Vec<(usize, f64, f64)> = Vec::new();
+        for (si, (_, series)) in self.series.iter().enumerate() {
+            for &(x, y) in series {
+                if let (Some(x), Some(y)) = (tx(x), ty(y)) {
+                    pts.push((si, x, y));
+                }
+            }
+        }
+        let mut out = format!("{}\n", self.title);
+        if pts.is_empty() {
+            out.push_str("(no representable points)\n");
+            return out;
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &pts {
+            let cx = ((x - x0) / (x1 - x0) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            // Later series overwrite earlier ones at collisions; acceptable
+            // for a terminal sketch.
+            grid[row][cx] = glyph;
+        }
+
+        let untransform = |v: f64, scale: Scale| -> f64 {
+            match scale {
+                Scale::Linear => v,
+                Scale::Log => 10f64.powf(v),
+            }
+        };
+        let y_hi = untransform(y1, self.y_scale);
+        let y_lo = untransform(y0, self.y_scale);
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_hi:>9.3e} ")
+            } else if r == self.height - 1 {
+                format!("{y_lo:>9.3e} ")
+            } else {
+                " ".repeat(10)
+            };
+            out.push_str(&label);
+            out.push('|');
+            out.push_str(&row.iter().collect::<String>());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(10));
+        out.push('+');
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:>10} {:<.3e}{}{:.3e}\n",
+            "",
+            untransform(x0, self.x_scale),
+            " ".repeat(self.width.saturating_sub(20)),
+            untransform(x1, self.x_scale),
+        ));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], name));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_basic_chart() {
+        let mut chart = Chart::new("diversity vs k", 40, 10);
+        chart.add_series("SFDM2", vec![(5.0, 4.0), (10.0, 3.5), (20.0, 3.0)]);
+        chart.add_series("FairFlow", vec![(5.0, 2.0), (10.0, 1.5), (20.0, 1.0)]);
+        let s = chart.render();
+        assert!(s.starts_with("diversity vs k"));
+        assert!(s.contains('*'), "first series glyph present");
+        assert!(s.contains('o'), "second series glyph present");
+        assert!(s.contains("SFDM2"));
+        assert!(s.contains("FairFlow"));
+    }
+
+    #[test]
+    fn log_axis_drops_nonpositive_points() {
+        let mut chart = Chart::new("t", 30, 8).y_scale(Scale::Log);
+        chart.add_series("a", vec![(1.0, 0.0), (2.0, -1.0)]);
+        let s = chart.render();
+        assert!(s.contains("no representable points"));
+    }
+
+    #[test]
+    fn log_axis_spreads_magnitudes() {
+        let mut chart = Chart::new("t", 60, 12).x_scale(Scale::Log).y_scale(Scale::Log);
+        chart.add_series(
+            "streaming",
+            vec![(1e3, 1e-6), (1e4, 1e-6), (1e5, 1e-6)],
+        );
+        chart.add_series("offline", vec![(1e3, 1e-3), (1e4, 1e-2), (1e5, 1e-1)]);
+        let s = chart.render();
+        // Streaming (flat, bottom) and offline (rising) must both draw.
+        assert!(s.matches('*').count() >= 3);
+        assert!(s.matches('o').count() >= 3);
+    }
+
+    #[test]
+    fn degenerate_single_point() {
+        let mut chart = Chart::new("p", 20, 6);
+        chart.add_series("one", vec![(1.0, 1.0)]);
+        let s = chart.render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn dimensions_are_clamped() {
+        let chart = Chart::new("c", 1, 1);
+        assert_eq!(chart.width, 16);
+        assert_eq!(chart.height, 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Table printing and CSV output for the experiment binaries.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rectangular result table: named columns, string cells.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each the same length as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!("{cell:<width$}  ", width = w));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(total.min(160)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` (creating the
+    /// directory) and returns the path. A machine-readable JSON twin
+    /// (`results/<name>.json`, an array of header-keyed objects) is written
+    /// alongside for downstream tooling.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", csv_line(&self.headers))?;
+        for row in &self.rows {
+            writeln!(file, "{}", csv_line(row))?;
+        }
+        let json_path = dir.join(format!("{name}.json"));
+        fs::write(&json_path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Serializes the table as a JSON array of objects keyed by header.
+    /// Numeric-looking cells are emitted as numbers, everything else as
+    /// strings.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let map: serde_json::Map<String, serde_json::Value> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, cell)| {
+                        let value = match cell.parse::<f64>() {
+                            Ok(v) if v.is_finite() => serde_json::json!(v),
+                            _ => serde_json::json!(cell),
+                        };
+                        (h.clone(), value)
+                    })
+                    .collect();
+                serde_json::Value::Object(map)
+            })
+            .collect();
+        serde_json::to_string_pretty(&rows).expect("JSON serialization cannot fail")
+    }
+}
+
+fn csv_line(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The `results/` directory at the workspace root (falls back to the
+/// current directory when the workspace root cannot be located).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/fdm-bench → workspace root is two up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .ancestors()
+        .nth(2)
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Formats seconds in engineering style (`1.23e-6` for tiny values,
+/// `12.345` otherwise).
+pub fn fmt_secs(s: f64) -> String {
+    if s > 0.0 && s < 1e-3 {
+        format!("{s:.3e}")
+    } else {
+        format!("{s:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new(vec!["dataset", "div"]);
+        t.push_row(vec!["Adult (Sex)", "4.1710"]);
+        t.push_row(vec!["Census", "31.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].starts_with("dataset"));
+        assert!(lines[1].starts_with("---"));
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains("Adult (Sex)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_line(&["a,b".into(), "plain".into()]), "\"a,b\",plain");
+        assert_eq!(csv_line(&["say \"hi\"".into()]), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn fmt_secs_switches_notation() {
+        assert_eq!(fmt_secs(0.5), "0.5000");
+        assert!(fmt_secs(2e-6).contains('e'));
+        assert_eq!(fmt_secs(0.0), "0.0000");
+    }
+
+    #[test]
+    fn csv_round_trip_on_disk() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.push_row(vec!["1", "2"]);
+        let path = t.write_csv("test_report_roundtrip").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(path.with_extension("json")).unwrap();
+    }
+
+    #[test]
+    fn json_types_numbers_and_strings() {
+        let mut t = Table::new(vec!["algo", "div", "time"]);
+        t.push_row(vec!["SFDM2", "3.14", "1.2e-6"]);
+        t.push_row(vec!["FairFlow", "-", "0.5"]);
+        let parsed: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
+        let rows = parsed.as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["algo"], "SFDM2");
+        assert_eq!(rows[0]["div"], 3.14);
+        assert_eq!(rows[0]["time"], 1.2e-6);
+        assert_eq!(rows[1]["div"], "-");
+    }
+}

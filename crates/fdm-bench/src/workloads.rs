@@ -1,0 +1,201 @@
+//! The Table I dataset/grouping matrix, with paper-sized (`--full`) and
+//! scaled-down (default / `--quick`) instantiations.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_datasets::adult::{adult, AdultGrouping, ADULT_FULL_N};
+use fdm_datasets::celeba::{celeba, CelebaGrouping, CELEBA_FULL_N};
+use fdm_datasets::census::{census, CensusGrouping, CENSUS_FULL_N};
+use fdm_datasets::lyrics::{lyrics, LYRICS_FULL_N, LYRICS_GENRES};
+use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
+
+/// How large the generated instances are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SizeMode {
+    /// Tiny instances for smoke runs (~2k rows).
+    Quick,
+    /// Laptop-friendly defaults (tens of thousands of rows). The streaming
+    /// algorithms' per-element cost and space are `n`-independent, so the
+    /// figure shapes match the paper's at a fraction of the runtime.
+    #[default]
+    Default,
+    /// The paper's exact cardinalities (Census is 2.4M rows).
+    Full,
+}
+
+/// One dataset × grouping combination from Table I / Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Adult, groups by sex (m = 2).
+    AdultSex,
+    /// Adult, groups by race (m = 5).
+    AdultRace,
+    /// Adult, groups by sex+race (m = 10).
+    AdultSexRace,
+    /// CelebA, groups by sex (m = 2).
+    CelebaSex,
+    /// CelebA, groups by age (m = 2).
+    CelebaAge,
+    /// CelebA, groups by sex+age (m = 4).
+    CelebaSexAge,
+    /// Census, groups by sex (m = 2).
+    CensusSex,
+    /// Census, groups by age (m = 7).
+    CensusAge,
+    /// Census, groups by sex+age (m = 14).
+    CensusSexAge,
+    /// Lyrics, groups by genre (m = 15).
+    LyricsGenre,
+    /// Synthetic blobs with explicit `n` and `m`.
+    Synthetic {
+        /// Number of points.
+        n: usize,
+        /// Number of groups.
+        m: usize,
+    },
+}
+
+impl Workload {
+    /// All Table II rows in paper order.
+    pub fn table2_rows() -> Vec<Workload> {
+        vec![
+            Workload::AdultSex,
+            Workload::AdultRace,
+            Workload::AdultSexRace,
+            Workload::CelebaSex,
+            Workload::CelebaAge,
+            Workload::CelebaSexAge,
+            Workload::CensusSex,
+            Workload::CensusAge,
+            Workload::CensusSexAge,
+            Workload::LyricsGenre,
+        ]
+    }
+
+    /// Display name matching the paper ("Adult (Sex)", …).
+    pub fn name(&self) -> String {
+        match self {
+            Workload::AdultSex => "Adult (Sex)".into(),
+            Workload::AdultRace => "Adult (Race)".into(),
+            Workload::AdultSexRace => "Adult (Sex+Race)".into(),
+            Workload::CelebaSex => "CelebA (Sex)".into(),
+            Workload::CelebaAge => "CelebA (Age)".into(),
+            Workload::CelebaSexAge => "CelebA (Sex+Age)".into(),
+            Workload::CensusSex => "Census (Sex)".into(),
+            Workload::CensusAge => "Census (Age)".into(),
+            Workload::CensusSexAge => "Census (Sex+Age)".into(),
+            Workload::LyricsGenre => "Lyrics (Genre)".into(),
+            Workload::Synthetic { n, m } => format!("Synthetic (n={n}, m={m})"),
+        }
+    }
+
+    /// Number of groups `m`.
+    pub fn num_groups(&self) -> usize {
+        match self {
+            Workload::AdultSex | Workload::CelebaSex | Workload::CelebaAge
+            | Workload::CensusSex => 2,
+            Workload::CelebaSexAge => 4,
+            Workload::AdultRace => 5,
+            Workload::CensusAge => 7,
+            Workload::AdultSexRace => 10,
+            Workload::CensusSexAge => 14,
+            Workload::LyricsGenre => LYRICS_GENRES,
+            Workload::Synthetic { m, .. } => *m,
+        }
+    }
+
+    /// The paper's per-dataset `ε` (0.05 for Lyrics, 0.1 otherwise).
+    pub fn default_epsilon(&self) -> f64 {
+        match self {
+            Workload::LyricsGenre => 0.05,
+            _ => 0.1,
+        }
+    }
+
+    /// Instance size for the given mode.
+    pub fn size(&self, mode: SizeMode) -> usize {
+        let (quick, default, full) = match self {
+            Workload::AdultSex | Workload::AdultRace | Workload::AdultSexRace => {
+                (2_000, ADULT_FULL_N, ADULT_FULL_N)
+            }
+            Workload::CelebaSex | Workload::CelebaAge | Workload::CelebaSexAge => {
+                (2_000, 50_000, CELEBA_FULL_N)
+            }
+            Workload::CensusSex | Workload::CensusAge | Workload::CensusSexAge => {
+                (2_000, 100_000, CENSUS_FULL_N)
+            }
+            Workload::LyricsGenre => (2_000, 40_000, LYRICS_FULL_N),
+            Workload::Synthetic { n, .. } => (*n.min(&2_000), *n, *n),
+        };
+        match mode {
+            SizeMode::Quick => quick,
+            SizeMode::Default => default,
+            SizeMode::Full => full,
+        }
+    }
+
+    /// Builds the dataset (seeded, deterministic).
+    pub fn build(&self, mode: SizeMode, seed: u64) -> Result<Dataset> {
+        let n = self.size(mode);
+        match self {
+            Workload::AdultSex => adult(AdultGrouping::Sex, n, seed),
+            Workload::AdultRace => adult(AdultGrouping::Race, n, seed),
+            Workload::AdultSexRace => adult(AdultGrouping::SexRace, n, seed),
+            Workload::CelebaSex => celeba(CelebaGrouping::Sex, n, seed),
+            Workload::CelebaAge => celeba(CelebaGrouping::Age, n, seed),
+            Workload::CelebaSexAge => celeba(CelebaGrouping::SexAge, n, seed),
+            Workload::CensusSex => census(CensusGrouping::Sex, n, seed),
+            Workload::CensusAge => census(CensusGrouping::Age, n, seed),
+            Workload::CensusSexAge => census(CensusGrouping::SexAge, n, seed),
+            Workload::LyricsGenre => lyrics(n, seed),
+            Workload::Synthetic { m, .. } => {
+                synthetic_blobs(SyntheticConfig { n, m: *m, blobs: 10, seed })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows_match_paper_order_and_m() {
+        let rows = Workload::table2_rows();
+        assert_eq!(rows.len(), 10);
+        let ms: Vec<usize> = rows.iter().map(|w| w.num_groups()).collect();
+        assert_eq!(ms, vec![2, 5, 10, 2, 2, 4, 2, 7, 14, 15]);
+    }
+
+    #[test]
+    fn full_sizes_match_table1() {
+        assert_eq!(Workload::AdultSex.size(SizeMode::Full), 48_842);
+        assert_eq!(Workload::CelebaSex.size(SizeMode::Full), 202_599);
+        assert_eq!(Workload::CensusSex.size(SizeMode::Full), 2_426_116);
+        assert_eq!(Workload::LyricsGenre.size(SizeMode::Full), 122_448);
+    }
+
+    #[test]
+    fn epsilon_defaults() {
+        assert_eq!(Workload::LyricsGenre.default_epsilon(), 0.05);
+        assert_eq!(Workload::AdultSex.default_epsilon(), 0.1);
+    }
+
+    #[test]
+    fn quick_instances_build() {
+        for w in Workload::table2_rows() {
+            let d = w.build(SizeMode::Quick, 1).unwrap();
+            assert_eq!(d.len(), 2_000);
+            assert_eq!(d.num_groups(), w.num_groups());
+        }
+    }
+
+    #[test]
+    fn synthetic_workload() {
+        let w = Workload::Synthetic { n: 1_000, m: 6 };
+        let d = w.build(SizeMode::Default, 2).unwrap();
+        assert_eq!(d.len(), 1_000);
+        assert_eq!(d.num_groups(), 6);
+        assert!(w.name().contains("n=1000"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Exact brute-force oracles for tiny instances.
+//!
+//! These enumerate all feasible subsets and are exponential in `k`; they
+//! exist so the test suite can check the proven approximation ratios of
+//! every algorithm against the true `OPT` / `OPT_f` on small instances.
+
+use crate::dataset::Dataset;
+use crate::diversity::diversity;
+use crate::fairness::FairnessConstraint;
+
+/// Exact optimal unconstrained diversity `OPT` for solution size `k`.
+///
+/// Enumerates all `C(n, k)` subsets; use only for tiny `n`.
+pub fn exact_unconstrained_optimum(dataset: &Dataset, k: usize) -> f64 {
+    let n = dataset.len();
+    assert!(k >= 2 && k <= n, "need 2 <= k <= n");
+    let mut best: f64 = 0.0;
+    let mut subset: Vec<usize> = Vec::with_capacity(k);
+    enumerate_subsets(n, k, 0, &mut subset, &mut |s| {
+        let d = diversity(dataset, s);
+        if d > best {
+            best = d;
+        }
+    });
+    best
+}
+
+/// Exact optimal fair diversity `OPT_f` and one optimal subset.
+///
+/// Enumerates all subsets satisfying the constraint; exponential — tests
+/// only. Returns `(0.0, vec![])` if the constraint is infeasible.
+pub fn exact_fair_optimum(
+    dataset: &Dataset,
+    constraint: &FairnessConstraint,
+) -> (f64, Vec<usize>) {
+    let m = constraint.num_groups();
+    let mut per_group: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for i in 0..dataset.len() {
+        let g = dataset.group(i);
+        if g < m {
+            per_group[g].push(i);
+        }
+    }
+    for (g, members) in per_group.iter().enumerate() {
+        if members.len() < constraint.quota(g) {
+            return (0.0, Vec::new());
+        }
+    }
+    let mut best = 0.0;
+    let mut best_set = Vec::new();
+    let mut chosen: Vec<usize> = Vec::with_capacity(constraint.total());
+    fn rec(
+        per_group: &[Vec<usize>],
+        constraint: &FairnessConstraint,
+        dataset: &Dataset,
+        g: usize,
+        chosen: &mut Vec<usize>,
+        best: &mut f64,
+        best_set: &mut Vec<usize>,
+    ) {
+        if g == per_group.len() {
+            let d = diversity(dataset, chosen);
+            if d > *best {
+                *best = d;
+                *best_set = chosen.clone();
+            }
+            return;
+        }
+        let members = &per_group[g];
+        let need = constraint.quota(g);
+        let mut subset: Vec<usize> = Vec::with_capacity(need);
+        enumerate_subsets(members.len(), need, 0, &mut subset, &mut |s| {
+            let start = chosen.len();
+            for &pos in s {
+                chosen.push(members[pos]);
+            }
+            rec(per_group, constraint, dataset, g + 1, chosen, best, best_set);
+            chosen.truncate(start);
+        });
+    }
+    rec(&per_group, constraint, dataset, 0, &mut chosen, &mut best, &mut best_set);
+    (best, best_set)
+}
+
+/// Calls `f` with every size-`k` subset of `0..n` (as positions).
+fn enumerate_subsets<F: FnMut(&[usize])>(
+    n: usize,
+    k: usize,
+    start: usize,
+    current: &mut Vec<usize>,
+    f: &mut F,
+) {
+    if current.len() == k {
+        f(current);
+        return;
+    }
+    let remaining = k - current.len();
+    // Prune: not enough items left.
+    if n - start < remaining {
+        return;
+    }
+    for i in start..n {
+        current.push(i);
+        enumerate_subsets(n, k, i + 1, current, f);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    fn line(points: &[f64], groups: &[usize]) -> Dataset {
+        Dataset::from_rows(
+            points.iter().map(|&x| vec![x]).collect(),
+            groups.to_vec(),
+            Metric::Euclidean,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_optimum_on_line() {
+        // Points 0, 1, 4, 9: best pair for k=2 is (0, 9) with div 9;
+        // best triple is {0, 4, 9} with div 4.
+        let d = line(&[0.0, 1.0, 4.0, 9.0], &[0; 4]);
+        assert_eq!(exact_unconstrained_optimum(&d, 2), 9.0);
+        assert_eq!(exact_unconstrained_optimum(&d, 3), 4.0);
+    }
+
+    #[test]
+    fn fair_optimum_respects_groups() {
+        // Groups: {0, 1} in group 0 at 0 and 1; {4, 9} in group 1.
+        let d = line(&[0.0, 1.0, 4.0, 9.0], &[0, 0, 1, 1]);
+        let c = FairnessConstraint::new(vec![1, 1]).unwrap();
+        let (opt, set) = exact_fair_optimum(&d, &c);
+        assert_eq!(opt, 9.0);
+        assert_eq!(set, vec![0, 3]);
+        // Both from group 1.
+        let c2 = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let (opt2, set2) = exact_fair_optimum(&d, &c2);
+        assert_eq!(set2.len(), 4);
+        assert_eq!(opt2, 1.0);
+    }
+
+    #[test]
+    fn fair_optimum_never_exceeds_unconstrained() {
+        let d = line(&[0.0, 2.0, 3.0, 7.0, 8.0, 13.0], &[0, 1, 0, 1, 0, 1]);
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let (fair, _) = exact_fair_optimum(&d, &c);
+        let unc = exact_unconstrained_optimum(&d, 4);
+        assert!(fair <= unc + 1e-12);
+    }
+
+    #[test]
+    fn infeasible_constraint_returns_empty() {
+        let d = line(&[0.0, 1.0], &[0, 0]);
+        let c = FairnessConstraint::new(vec![1, 1]).unwrap();
+        let (opt, set) = exact_fair_optimum(&d, &c);
+        assert_eq!(opt, 0.0);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn subset_enumeration_counts() {
+        let mut count = 0usize;
+        let mut buf = Vec::new();
+        enumerate_subsets(6, 3, 0, &mut buf, &mut |_| count += 1);
+        assert_eq!(count, 20); // C(6,3)
+    }
+}

@@ -1,0 +1,217 @@
+//! Threshold (single-linkage) clustering via union–find.
+//!
+//! SFDM2's post-processing (Algorithm 3, lines 13–16) repeatedly merges any
+//! two clusters containing a cross pair at distance `< µ/(m+1)`; the result
+//! is exactly the connected components of the graph with an edge between
+//! every pair closer than the threshold, which a union–find computes in one
+//! `O(l²)` pass over the pairs. Lemma 3's properties (cross-cluster
+//! separation ≥ threshold, ≤ one element per candidate per cluster) are
+//! asserted in the tests.
+
+use crate::metric::Metric;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns whether they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo] = hi;
+        if self.rank[ra] == self.rank[rb] {
+            self.rank[hi] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in one set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Dense labels `0..num_components` per element.
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.parent.len();
+        let mut label_of_root = vec![usize::MAX; n];
+        let mut labels = vec![0usize; n];
+        let mut next = 0usize;
+        for x in 0..n {
+            let r = self.find(x);
+            if label_of_root[r] == usize::MAX {
+                label_of_root[r] = next;
+                next += 1;
+            }
+            labels[x] = label_of_root[r];
+        }
+        labels
+    }
+}
+
+/// Clusters `points` by merging every pair at distance `< threshold`
+/// (strict, matching Algorithm 3 line 14); returns
+/// `(cluster label per point, number of clusters)`.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::clustering::threshold_clusters;
+/// use fdm_core::metric::Metric;
+///
+/// let points = vec![vec![0.0], vec![0.3], vec![5.0]];
+/// let (labels, count) = threshold_clusters(&points, Metric::Euclidean, 1.0);
+/// assert_eq!(count, 2);
+/// assert_eq!(labels[0], labels[1]);
+/// assert_ne!(labels[0], labels[2]);
+/// ```
+pub fn threshold_clusters<P: AsRef<[f64]>>(
+    points: &[P],
+    metric: Metric,
+    threshold: f64,
+) -> (Vec<usize>, usize) {
+    let n = points.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if metric.dist(points[i].as_ref(), points[j].as_ref()) < threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    let labels = uf.labels();
+    let count = uf.num_components();
+    (labels, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0), "repeated union is a no-op");
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 3));
+        uf.union(1, 3);
+        assert!(uf.connected(0, 4));
+        assert_eq!(uf.num_components(), 2);
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let labels = uf.labels();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[2], labels[4]);
+        assert_eq!(labels[1], labels[5]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        let max = *labels.iter().max().unwrap();
+        assert_eq!(max + 1, uf.num_components());
+    }
+
+    #[test]
+    fn clusters_two_blobs() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.2, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let (labels, count) = threshold_clusters(&points, Metric::Euclidean, 0.5);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn chain_merging_is_transitive() {
+        // Points spaced 0.9 apart with threshold 1.0: a single chain.
+        let points: Vec<Vec<f64>> = (0..6).map(|i| vec![0.9 * i as f64]).collect();
+        let (_, count) = threshold_clusters(&points, Metric::Euclidean, 1.0);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Distance exactly equal to the threshold must NOT merge
+        // (Algorithm 3 merges on d < µ/(m+1)).
+        let points = vec![vec![0.0], vec![1.0]];
+        let (_, count) = threshold_clusters(&points, Metric::Euclidean, 1.0);
+        assert_eq!(count, 2);
+        let (_, count) = threshold_clusters(&points, Metric::Euclidean, 1.0 + 1e-9);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn cross_cluster_separation_invariant() {
+        // Lemma 3 property (i): after clustering, any two points in
+        // different clusters are at distance ≥ threshold.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        let points: Vec<Vec<f64>> = (0..40)
+            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+            .collect();
+        let threshold = 0.7;
+        let (labels, _) = threshold_clusters(&points, Metric::Euclidean, threshold);
+        for i in 0..points.len() {
+            for j in (i + 1)..points.len() {
+                if labels[i] != labels[j] {
+                    let d = Metric::Euclidean.dist(&points[i], &points[j]);
+                    assert!(d >= threshold, "cross-cluster pair at {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<Vec<f64>> = vec![];
+        let (labels, count) = threshold_clusters(&empty, Metric::Euclidean, 1.0);
+        assert!(labels.is_empty());
+        assert_eq!(count, 0);
+        let one = vec![vec![1.0]];
+        let (labels, count) = threshold_clusters(&one, Metric::Euclidean, 1.0);
+        assert_eq!(labels, vec![0]);
+        assert_eq!(count, 1);
+    }
+}

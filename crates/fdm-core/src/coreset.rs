@@ -1,0 +1,240 @@
+//! Composable coresets for max–min diversity maximization (substrate from
+//! the paper's related work, §II).
+//!
+//! Indyk et al. (PODS 2014) and Ceccarello et al. (VLDB 2017) attack
+//! diversity maximization in distributed/MapReduce settings with
+//! **composable coresets**: partition `X` into chunks, run GMM on each
+//! chunk to extract `k'` points, and solve the problem offline on the union
+//! of the extracts. For max–min dispersion, a GMM extract of size `k` is a
+//! 2-coreset: `OPT(coreset) ≥ OPT(X)/2` under unions (each chunk's GMM
+//! radius bounds how much optimum mass the extract can lose).
+//!
+//! This module exists for two reasons: it lets the bench suite compare the
+//! paper's one-pass streaming approach against the natural
+//! partition-and-merge alternative on the same workloads, and it gives
+//! users with sharded data a drop-in two-round pipeline. For the *fair*
+//! problem, each chunk extracts GMM points **per group** (size `k` per
+//! group), preserving enough of every group for any fair post-processing
+//! algorithm — mirroring how SFDM2 keeps per-group candidates.
+
+use crate::dataset::Dataset;
+use crate::error::{FdmError, Result};
+use crate::fairness::FairnessConstraint;
+use crate::offline::gmm::gmm_on_subset;
+
+/// Builds an unconstrained composable coreset: GMM extracts of size `k`
+/// from each chunk, concatenated. Returns dataset row indices.
+///
+/// `chunks` is any partition of `0..n` (e.g. shards or stream segments);
+/// empty chunks are skipped.
+pub fn composable_coreset(
+    dataset: &Dataset,
+    chunks: &[Vec<usize>],
+    k: usize,
+    seed: u64,
+) -> Vec<usize> {
+    let mut coreset = Vec::new();
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        coreset.extend(gmm_on_subset(dataset, chunk, k, seed));
+    }
+    coreset
+}
+
+/// Builds a *fair* composable coreset: per chunk and per group, a GMM
+/// extract of size `k = constraint.total()`, concatenated.
+///
+/// The union contains, for every group, at least `min(|X_i|, k)` spread-out
+/// representatives, so any offline fair algorithm run on the coreset can
+/// satisfy the constraint whenever the full dataset can.
+pub fn fair_composable_coreset(
+    dataset: &Dataset,
+    chunks: &[Vec<usize>],
+    constraint: &FairnessConstraint,
+    seed: u64,
+) -> Result<Vec<usize>> {
+    constraint.check_feasible(dataset.group_sizes())?;
+    let k = constraint.total();
+    let m = constraint.num_groups();
+    let mut coreset = Vec::new();
+    for chunk in chunks {
+        if chunk.is_empty() {
+            continue;
+        }
+        for g in 0..m {
+            let members: Vec<usize> =
+                chunk.iter().copied().filter(|&i| dataset.group(i) == g).collect();
+            if !members.is_empty() {
+                coreset.extend(gmm_on_subset(dataset, &members, k, seed));
+            }
+        }
+    }
+    if coreset.is_empty() {
+        return Err(FdmError::NotEnoughElements { required: k, available: 0 });
+    }
+    Ok(coreset)
+}
+
+/// Splits `0..n` into `p` contiguous chunks of near-equal size (the
+/// MapReduce-style partition used by the coreset papers' experiments).
+pub fn contiguous_chunks(n: usize, p: usize) -> Vec<Vec<usize>> {
+    let p = p.max(1);
+    let base = n / p;
+    let extra = n % p;
+    let mut chunks = Vec::with_capacity(p);
+    let mut start = 0;
+    for i in 0..p {
+        let len = base + usize::from(i < extra);
+        chunks.push((start..start + len).collect());
+        start += len;
+    }
+    chunks
+}
+
+/// Materializes a coreset (row indices) as a new [`Dataset`] preserving
+/// group labels, so offline algorithms can run on it directly. Returns the
+/// dataset together with the mapping from new rows to original rows.
+pub fn coreset_dataset(dataset: &Dataset, coreset: &[usize]) -> Result<(Dataset, Vec<usize>)> {
+    let mut rows = Vec::with_capacity(coreset.len());
+    let mut groups = Vec::with_capacity(coreset.len());
+    let mut mapping = Vec::with_capacity(coreset.len());
+    // Deduplicate while preserving order (chunks may share GMM picks only
+    // if chunks overlap; contiguous chunks never do, but be safe).
+    let mut seen = std::collections::HashSet::new();
+    for &i in coreset {
+        if seen.insert(i) {
+            rows.push(dataset.point(i).to_vec());
+            groups.push(dataset.group(i));
+            mapping.push(i);
+        }
+    }
+    let ds = Dataset::from_rows(rows, groups, dataset.metric())?;
+    Ok((ds, mapping))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_unconstrained_optimum;
+    use crate::diversity::diversity;
+    use crate::metric::Metric;
+    use crate::offline::fair_swap::{FairSwap, FairSwapConfig};
+    use crate::offline::gmm::gmm;
+    use rand::prelude::*;
+
+    fn random_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0])
+            .collect();
+        let mut groups: Vec<usize> = (0..n).map(|_| rng.random_range(0..m)).collect();
+        for g in 0..m {
+            groups[g] = g;
+        }
+        Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap()
+    }
+
+    #[test]
+    fn contiguous_chunks_partition_exactly() {
+        let chunks = contiguous_chunks(10, 3);
+        assert_eq!(chunks.len(), 3);
+        let flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert_eq!(chunks[0].len(), 4);
+        assert_eq!(chunks[1].len(), 3);
+        // Degenerate cases.
+        assert_eq!(contiguous_chunks(3, 10).iter().flatten().count(), 3);
+        assert_eq!(contiguous_chunks(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn coreset_size_is_bounded() {
+        let d = random_dataset(200, 1, 1);
+        let chunks = contiguous_chunks(d.len(), 4);
+        let cs = composable_coreset(&d, &chunks, 5, 0);
+        assert!(cs.len() <= 4 * 5);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn coreset_preserves_half_the_optimum() {
+        // The 2-coreset property: solving on the coreset loses at most a
+        // factor ~2 (we check the end-to-end GMM-on-coreset pipeline
+        // against OPT/4, the composition of both 2-approximations).
+        for trial in 0..5 {
+            let d = random_dataset(16, 1, 10 + trial);
+            let k = 4;
+            let opt = exact_unconstrained_optimum(&d, k);
+            let chunks = contiguous_chunks(d.len(), 4);
+            let cs = composable_coreset(&d, &chunks, k, trial);
+            let (cds, mapping) = coreset_dataset(&d, &cs).unwrap();
+            let sol = gmm(&cds, k, 0);
+            let original: Vec<usize> = sol.iter().map(|&i| mapping[i]).collect();
+            let div = diversity(&d, &original);
+            assert!(
+                div >= opt / 4.0 - 1e-9,
+                "trial {trial}: coreset pipeline {div} < OPT/4 = {}",
+                opt / 4.0
+            );
+        }
+    }
+
+    #[test]
+    fn fair_coreset_keeps_every_group() {
+        let d = random_dataset(300, 4, 3);
+        let c = FairnessConstraint::equal_representation(8, 4).unwrap();
+        let chunks = contiguous_chunks(d.len(), 5);
+        let cs = fair_composable_coreset(&d, &chunks, &c, 0).unwrap();
+        let (cds, _) = coreset_dataset(&d, &cs).unwrap();
+        assert_eq!(cds.num_groups(), 4);
+        for (g, &size) in cds.group_sizes().iter().enumerate() {
+            assert!(size >= c.quota(g), "group {g} underrepresented in coreset");
+        }
+    }
+
+    #[test]
+    fn fair_pipeline_on_coreset_is_fair() {
+        let d = random_dataset(400, 2, 5);
+        let c = FairnessConstraint::new(vec![3, 3]).unwrap();
+        let chunks = contiguous_chunks(d.len(), 8);
+        let cs = fair_composable_coreset(&d, &chunks, &c, 0).unwrap();
+        let (cds, _) = coreset_dataset(&d, &cs).unwrap();
+        let sol = FairSwap::new(FairSwapConfig {
+            constraint: c.clone(),
+            seed: 0,
+            strategy: Default::default(),
+        })
+        .unwrap()
+        .run(&cds)
+        .unwrap();
+        assert!(c.is_satisfied_by(&sol.group_counts(2)));
+        assert!(sol.diversity > 0.0);
+    }
+
+    #[test]
+    fn fair_coreset_rejects_infeasible() {
+        let d = random_dataset(50, 2, 7);
+        let c = FairnessConstraint::new(vec![100, 2]).unwrap();
+        let chunks = contiguous_chunks(d.len(), 2);
+        assert!(fair_composable_coreset(&d, &chunks, &c, 0).is_err());
+    }
+
+    #[test]
+    fn coreset_dataset_deduplicates() {
+        let d = random_dataset(20, 1, 8);
+        let cs = vec![0, 1, 1, 2, 0];
+        let (cds, mapping) = coreset_dataset(&d, &cs).unwrap();
+        assert_eq!(cds.len(), 3);
+        assert_eq!(mapping, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_chunks_are_skipped() {
+        let d = random_dataset(30, 1, 9);
+        let chunks = vec![vec![], (0..30).collect::<Vec<usize>>(), vec![]];
+        let cs = composable_coreset(&d, &chunks, 4, 0);
+        assert_eq!(cs.len(), 4);
+    }
+}

@@ -1,0 +1,424 @@
+//! In-memory datasets and distance-bound estimation.
+//!
+//! A [`Dataset`] is the offline view of the data: flat row-major storage, a
+//! group label per row, and the metric. Offline baselines (GMM, FairSwap,
+//! FairFlow, FairGMM) operate on it directly with random access; streaming
+//! algorithms consume it through [`Dataset::iter`], which yields owned
+//! [`Element`]s in row order (use `fdm-datasets`' permutation streams for
+//! randomized arrival orders).
+
+use std::sync::Arc;
+
+use crate::error::{FdmError, Result};
+use crate::metric::Metric;
+use crate::point::Element;
+
+/// Known or estimated bounds `0 < lower ≤ OPT ≤ upper` on pairwise
+/// distances, required by the guess ladder of Algorithm 1.
+///
+/// The paper assumes `d_min` and `d_max` (and hence the spread
+/// `∆ = d_max/d_min`) are known. [`Dataset::exact_distance_bounds`] computes
+/// them exactly in `O(n²)`; [`Dataset::sampled_distance_bounds`] estimates
+/// them from a sample, which is what a practical streaming deployment would
+/// do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceBounds {
+    /// Lower bound on the minimum pairwise distance (must be > 0).
+    pub lower: f64,
+    /// Upper bound on the maximum pairwise distance.
+    pub upper: f64,
+}
+
+impl DistanceBounds {
+    /// Creates validated bounds.
+    pub fn new(lower: f64, upper: f64) -> Result<Self> {
+        if !(lower.is_finite() && upper.is_finite()) || lower <= 0.0 || lower > upper {
+            return Err(FdmError::InvalidDistanceBounds { lower, upper });
+        }
+        Ok(DistanceBounds { lower, upper })
+    }
+
+    /// The metric spread `∆ = d_max / d_min`.
+    pub fn spread(&self) -> f64 {
+        self.upper / self.lower
+    }
+}
+
+/// A finite set of points with group labels in a metric space.
+///
+/// Storage is row-major `Vec<f64>` (`n × dim`), with one group label in
+/// `0..m` per row.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    data: Vec<f64>,
+    dim: usize,
+    groups: Vec<usize>,
+    num_groups: usize,
+    group_sizes: Vec<usize>,
+    metric: Metric,
+}
+
+impl Dataset {
+    /// Builds a dataset from row vectors and per-row group labels.
+    ///
+    /// Validates that all rows share one dimensionality, all coordinates are
+    /// finite, and group labels are dense in `0..m` where
+    /// `m = max(label) + 1` (empty intermediate groups are permitted but make
+    /// most constraints infeasible).
+    pub fn from_rows(
+        rows: Vec<Vec<f64>>,
+        groups: Vec<usize>,
+        metric: Metric,
+    ) -> Result<Self> {
+        if rows.len() != groups.len() {
+            return Err(FdmError::InvalidGroup {
+                group: groups.len(),
+                num_groups: rows.len(),
+            });
+        }
+        if rows.is_empty() {
+            return Err(FdmError::NotEnoughElements { required: 1, available: 0 });
+        }
+        let dim = rows[0].len();
+        if dim == 0 {
+            return Err(FdmError::DimensionMismatch { expected: 1, found: 0 });
+        }
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in &rows {
+            if row.len() != dim {
+                return Err(FdmError::DimensionMismatch { expected: dim, found: row.len() });
+            }
+            for &v in row {
+                if !v.is_finite() {
+                    return Err(FdmError::NonFiniteCoordinate);
+                }
+            }
+            data.extend_from_slice(row);
+        }
+        metric.validate()?;
+        let num_groups = groups.iter().copied().max().unwrap_or(0) + 1;
+        let mut group_sizes = vec![0usize; num_groups];
+        for &g in &groups {
+            group_sizes[g] += 1;
+        }
+        Ok(Dataset { data, dim, groups, num_groups, group_sizes, metric })
+    }
+
+    /// Builds a dataset from flat row-major storage.
+    pub fn from_flat(
+        data: Vec<f64>,
+        dim: usize,
+        groups: Vec<usize>,
+        metric: Metric,
+    ) -> Result<Self> {
+        if dim == 0 {
+            return Err(FdmError::DimensionMismatch { expected: 1, found: 0 });
+        }
+        if data.len() != groups.len() * dim {
+            return Err(FdmError::DimensionMismatch {
+                expected: groups.len() * dim,
+                found: data.len(),
+            });
+        }
+        if groups.is_empty() {
+            return Err(FdmError::NotEnoughElements { required: 1, available: 0 });
+        }
+        if data.iter().any(|v| !v.is_finite()) {
+            return Err(FdmError::NonFiniteCoordinate);
+        }
+        metric.validate()?;
+        let num_groups = groups.iter().copied().max().unwrap_or(0) + 1;
+        let mut group_sizes = vec![0usize; num_groups];
+        for &g in &groups {
+            group_sizes[g] += 1;
+        }
+        Ok(Dataset { data, dim, groups, num_groups, group_sizes, metric })
+    }
+
+    /// Number of elements `n`.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Dimensionality of each point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of groups `m`.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Number of elements in each group.
+    pub fn group_sizes(&self) -> &[usize] {
+        &self.group_sizes
+    }
+
+    /// The metric the dataset was constructed with.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The point at row `i`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The group label of row `i`.
+    #[inline]
+    pub fn group(&self, i: usize) -> usize {
+        self.groups[i]
+    }
+
+    /// Distance between rows `i` and `j` under the dataset metric.
+    #[inline]
+    pub fn dist(&self, i: usize, j: usize) -> f64 {
+        self.metric.dist(self.point(i), self.point(j))
+    }
+
+    /// Distance between row `i` and an external point.
+    #[inline]
+    pub fn dist_to(&self, i: usize, p: &[f64]) -> f64 {
+        self.metric.dist(self.point(i), p)
+    }
+
+    /// Iterates over the dataset as a stream of owned [`Element`]s in row
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = Element> + '_ {
+        (0..self.len()).map(move |i| self.element(i))
+    }
+
+    /// Materializes row `i` as an owned [`Element`].
+    pub fn element(&self, i: usize) -> Element {
+        Element {
+            id: i,
+            point: Arc::from(self.point(i)),
+            group: self.groups[i],
+        }
+    }
+
+    /// Exact `d_min`/`d_max` over all pairs — `O(n²)` distance computations;
+    /// intended for small datasets and tests. Pairs at distance zero
+    /// (duplicate points) are ignored for the lower bound, matching the
+    /// paper's `d_min = min_{x≠y} d(x,y)` over *distinct* elements; if all
+    /// pairs coincide the bounds are degenerate and an error is returned.
+    pub fn exact_distance_bounds(&self) -> Result<DistanceBounds> {
+        let n = self.len();
+        if n < 2 {
+            return Err(FdmError::NotEnoughElements { required: 2, available: n });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = self.dist(i, j);
+                if d > 0.0 {
+                    lo = lo.min(d);
+                }
+                hi = hi.max(d);
+            }
+        }
+        DistanceBounds::new(lo, hi)
+    }
+
+    /// Estimates distance bounds from `sample_size` seeded-deterministic
+    /// rows: the upper bound uses the triangle inequality
+    /// (`d_max ≤ 2·max_x d(x, x_0)` scanned over the whole dataset) so it is
+    /// a true upper bound, while the lower bound is the minimum non-zero
+    /// pairwise distance within the sample divided by `slack` (the guess
+    /// ladder only loses a `log(slack)/ε` factor in candidate count if the
+    /// estimate is off).
+    pub fn sampled_distance_bounds(
+        &self,
+        sample_size: usize,
+        slack: f64,
+    ) -> Result<DistanceBounds> {
+        let n = self.len();
+        if n < 2 {
+            return Err(FdmError::NotEnoughElements { required: 2, available: n });
+        }
+        // Upper bound: one pass relative to row 0.
+        let mut max_to_anchor: f64 = 0.0;
+        for i in 1..n {
+            max_to_anchor = max_to_anchor.max(self.dist(0, i));
+        }
+        let upper = (2.0 * max_to_anchor).max(f64::MIN_POSITIVE);
+
+        // Lower bound: deterministic stratified sample (every n/s-th row).
+        let s = sample_size.clamp(2, n);
+        let stride = (n / s).max(1);
+        let sample: Vec<usize> = (0..n).step_by(stride).take(s).collect();
+        let mut lo = f64::INFINITY;
+        for (a, &i) in sample.iter().enumerate() {
+            for &j in &sample[a + 1..] {
+                let d = self.dist(i, j);
+                if d > 0.0 {
+                    lo = lo.min(d);
+                }
+            }
+        }
+        if !lo.is_finite() {
+            return Err(FdmError::InvalidDistanceBounds { lower: 0.0, upper });
+        }
+        let slack = slack.max(1.0);
+        DistanceBounds::new(lo / slack, upper)
+    }
+
+    /// Indices of all elements belonging to `group`.
+    pub fn group_indices(&self, group: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.groups[i] == group).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dataset() -> Dataset {
+        // Points 0, 1, 2, 3 on a line; alternating groups.
+        Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 1, 0, 1],
+            Metric::Euclidean,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = line_dataset();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 1);
+        assert_eq!(d.num_groups(), 2);
+        assert_eq!(d.group_sizes(), &[2, 2]);
+        assert_eq!(d.point(2), &[2.0]);
+        assert_eq!(d.group(3), 1);
+        assert_eq!(d.dist(0, 3), 3.0);
+    }
+
+    #[test]
+    fn from_flat_matches_from_rows() {
+        let a = line_dataset();
+        let b = Dataset::from_flat(
+            vec![0.0, 1.0, 2.0, 3.0],
+            1,
+            vec![0, 1, 0, 1],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = Dataset::from_rows(
+            vec![vec![0.0, 1.0], vec![2.0]],
+            vec![0, 0],
+            Metric::Euclidean,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FdmError::DimensionMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        let err = Dataset::from_rows(vec![vec![f64::NAN]], vec![0], Metric::Euclidean)
+            .unwrap_err();
+        assert_eq!(err, FdmError::NonFiniteCoordinate);
+    }
+
+    #[test]
+    fn rejects_mismatched_group_count() {
+        let err =
+            Dataset::from_rows(vec![vec![0.0]], vec![0, 1], Metric::Euclidean).unwrap_err();
+        assert!(matches!(err, FdmError::InvalidGroup { .. }));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(Dataset::from_rows(vec![], vec![], Metric::Euclidean).is_err());
+        assert!(Dataset::from_flat(vec![], 2, vec![], Metric::Euclidean).is_err());
+    }
+
+    #[test]
+    fn exact_bounds_on_line() {
+        let d = line_dataset();
+        let b = d.exact_distance_bounds().unwrap();
+        assert_eq!(b.lower, 1.0);
+        assert_eq!(b.upper, 3.0);
+        assert_eq!(b.spread(), 3.0);
+    }
+
+    #[test]
+    fn exact_bounds_ignore_duplicates() {
+        let d = Dataset::from_rows(
+            vec![vec![0.0], vec![0.0], vec![5.0]],
+            vec![0, 0, 0],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let b = d.exact_distance_bounds().unwrap();
+        assert_eq!(b.lower, 5.0);
+        assert_eq!(b.upper, 5.0);
+    }
+
+    #[test]
+    fn exact_bounds_all_duplicates_is_error() {
+        let d = Dataset::from_rows(
+            vec![vec![1.0], vec![1.0]],
+            vec![0, 0],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        assert!(d.exact_distance_bounds().is_err());
+    }
+
+    #[test]
+    fn sampled_bounds_bracket_exact() {
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![(i as f64) * 0.37, (i as f64 * 0.11).sin()]).collect();
+        let groups = vec![0; 200];
+        let d = Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap();
+        let exact = d.exact_distance_bounds().unwrap();
+        let est = d.sampled_distance_bounds(50, 4.0).unwrap();
+        assert!(est.upper >= exact.upper, "upper must be a true bound");
+        assert!(est.lower <= exact.lower * 4.0 + 1e-9);
+        assert!(est.lower > 0.0);
+    }
+
+    #[test]
+    fn group_indices() {
+        let d = line_dataset();
+        assert_eq!(d.group_indices(0), vec![0, 2]);
+        assert_eq!(d.group_indices(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn iter_yields_elements_in_order() {
+        let d = line_dataset();
+        let elems: Vec<Element> = d.iter().collect();
+        assert_eq!(elems.len(), 4);
+        assert_eq!(elems[2].id, 2);
+        assert_eq!(&elems[2].point[..], &[2.0]);
+        assert_eq!(elems[2].group, 0);
+    }
+
+    #[test]
+    fn bounds_validation() {
+        assert!(DistanceBounds::new(0.0, 1.0).is_err());
+        assert!(DistanceBounds::new(2.0, 1.0).is_err());
+        assert!(DistanceBounds::new(f64::NAN, 1.0).is_err());
+        assert!(DistanceBounds::new(0.5, 0.5).is_ok());
+    }
+}

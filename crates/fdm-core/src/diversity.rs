@@ -1,0 +1,135 @@
+//! The max–min diversity objective `div(S)` and its upper bounds.
+//!
+//! `div(S) = min_{x≠y ∈ S} d(x, y)` (§III-A). The paper estimates an upper
+//! bound on the fair optimum as `2 · div(GMM(X, k)) ≥ OPT ≥ OPT_f`, using
+//! the fact that GMM is a `1/2`-approximation for the unconstrained problem;
+//! [`diversity_upper_bound`] packages that estimate.
+
+use crate::dataset::Dataset;
+use crate::metric::Metric;
+use crate::offline::gmm::gmm;
+
+/// Minimum pairwise distance among a set of points given as slices.
+///
+/// Returns `f64::INFINITY` for fewer than two points (the empty minimum),
+/// matching the convention that `div` is monotonically non-increasing under
+/// insertion.
+pub fn diversity_of_points<P: AsRef<[f64]>>(points: &[P], metric: Metric) -> f64 {
+    let mut best = f64::INFINITY;
+    for (i, a) in points.iter().enumerate() {
+        for b in &points[i + 1..] {
+            let d = metric.dist(a.as_ref(), b.as_ref());
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// `div(S)` for a subset of dataset rows.
+///
+/// Returns `f64::INFINITY` for `|S| < 2`.
+pub fn diversity(dataset: &Dataset, subset: &[usize]) -> f64 {
+    let mut best = f64::INFINITY;
+    for (a, &i) in subset.iter().enumerate() {
+        for &j in &subset[a + 1..] {
+            let d = dataset.dist(i, j);
+            if d < best {
+                best = d;
+            }
+        }
+    }
+    best
+}
+
+/// Upper bound `2 · div(GMM(X, k)) ≥ OPT ≥ OPT_f` used throughout §V to
+/// normalize reported diversities.
+///
+/// `seed` selects GMM's start element (the paper uses an arbitrary start; we
+/// make it deterministic).
+pub fn diversity_upper_bound(dataset: &Dataset, k: usize, seed: u64) -> f64 {
+    if dataset.len() < 2 || k < 2 {
+        return f64::INFINITY;
+    }
+    let sol = gmm(dataset, k, seed);
+    2.0 * diversity(dataset, &sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    fn square_dataset() -> Dataset {
+        Dataset::from_rows(
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+                vec![0.5, 0.5],
+            ],
+            vec![0; 5],
+            Metric::Euclidean,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn diversity_of_square_corners() {
+        let d = square_dataset();
+        let div = diversity(&d, &[0, 1, 2, 3]);
+        assert!((div - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_with_center_is_smaller() {
+        let d = square_dataset();
+        let div = diversity(&d, &[0, 1, 2, 3, 4]);
+        let expected = (0.5f64 * 0.5 + 0.5 * 0.5).sqrt();
+        assert!((div - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diversity_of_singletons_is_infinite() {
+        let d = square_dataset();
+        assert_eq!(diversity(&d, &[0]), f64::INFINITY);
+        assert_eq!(diversity(&d, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn diversity_is_monotone_non_increasing() {
+        let d = square_dataset();
+        let smaller = diversity(&d, &[0, 3]);
+        let larger = diversity(&d, &[0, 3, 4]);
+        assert!(larger <= smaller);
+    }
+
+    #[test]
+    fn point_slice_variant_matches_index_variant() {
+        let d = square_dataset();
+        let subset = [0usize, 1, 4];
+        let points: Vec<&[f64]> = subset.iter().map(|&i| d.point(i)).collect();
+        let a = diversity(&d, &subset);
+        let b = diversity_of_points(&points, Metric::Euclidean);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn upper_bound_dominates_true_optimum() {
+        let d = square_dataset();
+        // Exhaustive optimum for k = 3.
+        let mut opt: f64 = 0.0;
+        let n = d.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for l in (j + 1)..n {
+                    opt = opt.max(diversity(&d, &[i, j, l]));
+                }
+            }
+        }
+        let ub = diversity_upper_bound(&d, 3, 42);
+        assert!(ub >= opt - 1e-12, "ub {ub} must dominate opt {opt}");
+    }
+}

@@ -1,0 +1,179 @@
+//! Error types for the `fdm-core` crate.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, FdmError>;
+
+/// Errors raised by dataset construction, constraint validation, and the
+/// diversity-maximization algorithms.
+///
+/// All constructors in this crate validate their inputs and report problems
+/// through this type; the algorithms themselves are panic-free on inputs that
+/// passed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdmError {
+    /// A dimension mismatch between points, or an empty point.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Observed dimensionality.
+        found: usize,
+    },
+    /// Group label out of range, or group/point counts disagree.
+    InvalidGroup {
+        /// The offending group label.
+        group: usize,
+        /// Number of groups the container was declared with.
+        num_groups: usize,
+    },
+    /// A fairness constraint with no groups or a zero quota.
+    EmptyConstraint,
+    /// The requested solution size exceeds the available elements of some
+    /// group, so no fair solution exists.
+    InfeasibleConstraint {
+        /// Group whose quota cannot be met.
+        group: usize,
+        /// Requested number of elements.
+        requested: usize,
+        /// Available number of elements.
+        available: usize,
+    },
+    /// The solution size `k` must be at least 2 for `div(S)` to be defined,
+    /// or at least 1 per group.
+    SolutionSizeTooSmall {
+        /// Requested solution size.
+        k: usize,
+    },
+    /// `epsilon` must lie strictly inside `(0, 1)`.
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// Distance bounds must satisfy `0 < lower <= upper` and be finite.
+    InvalidDistanceBounds {
+        /// Lower bound supplied.
+        lower: f64,
+        /// Upper bound supplied.
+        upper: f64,
+    },
+    /// The dataset is empty or has fewer elements than required.
+    NotEnoughElements {
+        /// Elements required.
+        required: usize,
+        /// Elements available.
+        available: usize,
+    },
+    /// A point coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A streaming algorithm was asked to finalize but no candidate reached
+    /// the required size; the stream was too small or the distance bounds
+    /// were wrong.
+    NoFeasibleCandidate,
+    /// Minkowski metric requires `p >= 1`.
+    InvalidMinkowskiOrder {
+        /// The offending order.
+        p: f64,
+    },
+}
+
+impl fmt::Display for FdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdmError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            FdmError::InvalidGroup { group, num_groups } => {
+                write!(f, "group label {group} out of range for {num_groups} groups")
+            }
+            FdmError::EmptyConstraint => {
+                write!(f, "fairness constraint must have at least one group with a positive quota")
+            }
+            FdmError::InfeasibleConstraint { group, requested, available } => write!(
+                f,
+                "infeasible constraint: group {group} has {available} elements but {requested} requested"
+            ),
+            FdmError::SolutionSizeTooSmall { k } => {
+                write!(f, "solution size {k} too small: diversity needs k >= 2")
+            }
+            FdmError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon must be in (0, 1), got {epsilon}")
+            }
+            FdmError::InvalidDistanceBounds { lower, upper } => write!(
+                f,
+                "distance bounds must satisfy 0 < lower <= upper (finite), got [{lower}, {upper}]"
+            ),
+            FdmError::NotEnoughElements { required, available } => {
+                write!(f, "not enough elements: need {required}, have {available}")
+            }
+            FdmError::NonFiniteCoordinate => write!(f, "point contains NaN or infinite coordinate"),
+            FdmError::NoFeasibleCandidate => write!(
+                f,
+                "no candidate reached the required size; check distance bounds and stream length"
+            ),
+            FdmError::InvalidMinkowskiOrder { p } => {
+                write!(f, "Minkowski order must satisfy p >= 1, got {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(FdmError, &str)> = vec![
+            (
+                FdmError::DimensionMismatch { expected: 3, found: 2 },
+                "dimension mismatch",
+            ),
+            (
+                FdmError::InvalidGroup { group: 5, num_groups: 2 },
+                "out of range",
+            ),
+            (FdmError::EmptyConstraint, "at least one group"),
+            (
+                FdmError::InfeasibleConstraint { group: 1, requested: 4, available: 2 },
+                "infeasible",
+            ),
+            (FdmError::SolutionSizeTooSmall { k: 1 }, "too small"),
+            (FdmError::InvalidEpsilon { epsilon: 1.5 }, "epsilon"),
+            (
+                FdmError::InvalidDistanceBounds { lower: -1.0, upper: 2.0 },
+                "distance bounds",
+            ),
+            (
+                FdmError::NotEnoughElements { required: 10, available: 3 },
+                "not enough",
+            ),
+            (FdmError::NonFiniteCoordinate, "NaN"),
+            (FdmError::NoFeasibleCandidate, "no candidate"),
+            (FdmError::InvalidMinkowskiOrder { p: 0.5 }, "Minkowski"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(
+                msg.to_lowercase().contains(&needle.to_lowercase()),
+                "message {msg:?} should contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_cloneable_and_comparable() {
+        let a = FdmError::SolutionSizeTooSmall { k: 1 };
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, FdmError::NonFiniteCoordinate);
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let err: Box<dyn std::error::Error> = Box::new(FdmError::EmptyConstraint);
+        assert!(err.to_string().contains("constraint"));
+    }
+}

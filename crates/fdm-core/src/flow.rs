@@ -1,0 +1,268 @@
+//! Dinic's maximum-flow algorithm.
+//!
+//! Substrate for the FairFlow baseline (Moumoulidou et al., ICDT 2021),
+//! which reduces fair selection to a max-flow problem on a small bipartite
+//! DAG: `source → groups → clusters → sink`. The networks are tiny
+//! (`O(k + m + #clusters)` nodes), so a straightforward Dinic with BFS level
+//! graphs and DFS blocking flows is more than fast enough, but the
+//! implementation is a complete general-purpose solver with unit tests on
+//! classic instances.
+
+/// A directed edge with residual capacity.
+#[derive(Debug, Clone)]
+struct FlowEdge {
+    to: usize,
+    /// Remaining capacity.
+    cap: i64,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: usize,
+}
+
+/// A max-flow network over nodes `0..n`.
+///
+/// Capacities are integral (`i64`); all the fair-selection reductions use
+/// unit or quota capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<FlowEdge>>,
+    /// (from, index in graph[from]) for each added edge, in insertion order;
+    /// lets callers recover per-edge flow after solving.
+    edges: Vec<(usize, usize)>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        FlowNetwork { graph: vec![Vec::new(); n], edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `from → to` with the given capacity and returns
+    /// its handle for later [`FlowNetwork::flow_on`] queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range or capacity is negative.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
+        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(cap >= 0, "capacity must be non-negative");
+        let fwd_idx = self.graph[from].len();
+        let rev_idx = self.graph[to].len() + usize::from(from == to);
+        self.graph[from].push(FlowEdge { to, cap, rev: rev_idx });
+        self.graph[to].push(FlowEdge { to: from, cap: 0, rev: fwd_idx });
+        self.edges.push((from, fwd_idx));
+        self.edges.len() - 1
+    }
+
+    /// Computes the maximum flow from `source` to `sink`, consuming residual
+    /// capacities in place.
+    pub fn max_flow(&mut self, source: usize, sink: usize) -> i64 {
+        assert!(source < self.graph.len() && sink < self.graph.len());
+        if source == sink {
+            return 0;
+        }
+        let n = self.graph.len();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS: build level graph.
+            for l in level.iter_mut() {
+                *l = -1;
+            }
+            level[source] = 0;
+            let mut queue = std::collections::VecDeque::new();
+            queue.push_back(source);
+            while let Some(v) = queue.pop_front() {
+                for e in &self.graph[v] {
+                    if e.cap > 0 && level[e.to] < 0 {
+                        level[e.to] = level[v] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[sink] < 0 {
+                return total;
+            }
+            for i in it.iter_mut() {
+                *i = 0;
+            }
+            // DFS blocking flow.
+            loop {
+                let f = self.dfs(source, sink, i64::MAX, &level, &mut it);
+                if f == 0 {
+                    break;
+                }
+                total += f;
+            }
+        }
+    }
+
+    fn dfs(
+        &mut self,
+        v: usize,
+        sink: usize,
+        limit: i64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> i64 {
+        if v == sink {
+            return limit;
+        }
+        while it[v] < self.graph[v].len() {
+            let (to, cap, rev) = {
+                let e = &self.graph[v][it[v]];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > 0 && level[to] == level[v] + 1 {
+                let d = self.dfs(to, sink, limit.min(cap), level, it);
+                if d > 0 {
+                    self.graph[v][it[v]].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            it[v] += 1;
+        }
+        0
+    }
+
+    /// Flow pushed through the edge with the given handle (after
+    /// [`FlowNetwork::max_flow`]): the capacity accumulated on its reverse
+    /// edge.
+    pub fn flow_on(&self, handle: usize) -> i64 {
+        let (from, idx) = self.edges[handle];
+        let e = &self.graph[from][idx];
+        self.graph[e.to][e.rev].cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 5);
+        assert_eq!(net.max_flow(0, 1), 5);
+        assert_eq!(net.flow_on(e), 5);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // 0→1 (10), 0→2 (10), 1→3 (4), 1→2 (2), 2→3 (9). Max flow 0→3 = 13.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(0, 2, 10);
+        net.add_edge(1, 3, 4);
+        net.add_edge(1, 2, 2);
+        net.add_edge(2, 3, 9);
+        assert_eq!(net.max_flow(0, 3), 13);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn bipartite_matching_via_flow() {
+        // 3 left, 3 right; left i connects to right i and right (i+1)%3.
+        // Perfect matching of size 3.
+        let s = 6;
+        let t = 7;
+        let mut net = FlowNetwork::new(8);
+        for i in 0..3 {
+            net.add_edge(s, i, 1);
+            net.add_edge(3 + i, t, 1);
+        }
+        for i in 0..3 {
+            net.add_edge(i, 3 + i, 1);
+            net.add_edge(i, 3 + (i + 1) % 3, 1);
+        }
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn flow_conservation_on_random_network() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 12;
+        let mut net = FlowNetwork::new(n);
+        let mut handles = Vec::new();
+        for _ in 0..40 {
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b {
+                handles.push((a, b, net.add_edge(a, b, rng.random_range(1..10))));
+            }
+        }
+        let total = net.max_flow(0, n - 1);
+        assert!(total >= 0);
+        // Conservation: net flow out of every internal node is zero.
+        let mut balance = vec![0i64; n];
+        for &(a, b, h) in &handles {
+            let f = net.flow_on(h);
+            assert!(f >= 0);
+            balance[a] -= f;
+            balance[b] += f;
+        }
+        for v in 1..n - 1 {
+            assert_eq!(balance[v], 0, "node {v} violates conservation");
+        }
+        assert_eq!(balance[n - 1], total);
+        assert_eq!(balance[0], -total);
+    }
+
+    #[test]
+    fn quota_style_network() {
+        // Groups with quotas {2, 1} over 4 clusters, group 0 present in
+        // clusters {0,1,2}, group 1 in {2,3}. Feasible: flow = 3.
+        let s = 0;
+        let g0 = 1;
+        let g1 = 2;
+        let c = [3, 4, 5, 6];
+        let t = 7;
+        let mut net = FlowNetwork::new(8);
+        net.add_edge(s, g0, 2);
+        net.add_edge(s, g1, 1);
+        for cl in [0, 1, 2] {
+            net.add_edge(g0, c[cl], 1);
+        }
+        for cl in [2, 3] {
+            net.add_edge(g1, c[cl], 1);
+        }
+        for &cl in &c {
+            net.add_edge(cl, t, 1);
+        }
+        assert_eq!(net.max_flow(s, t), 3);
+    }
+
+    #[test]
+    fn zero_capacity_edge_carries_nothing() {
+        let mut net = FlowNetwork::new(2);
+        let e = net.add_edge(0, 1, 0);
+        assert_eq!(net.max_flow(0, 1), 0);
+        assert_eq!(net.flow_on(e), 0);
+    }
+
+    #[test]
+    fn source_equals_sink() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(1, 1), 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! Matroids and matroid intersection.
+//!
+//! The fairness constraint is a rank-`k` **partition matroid** over the
+//! ground set (at most `k_i` elements from each group), and SFDM2's
+//! clustering step induces a second partition matroid (at most one element
+//! per cluster); augmenting a partial solution to a fair one is then a
+//! maximum-cardinality **matroid intersection** problem solved with
+//! Cunningham's algorithm (§III-A, §IV-B, Algorithm 4).
+//!
+//! [`PartitionMatroid`] provides O(1) incremental independence oracles via
+//! per-part counters; the generic [`Matroid`] trait exists so tests can
+//! assert the matroid axioms and so the intersection algorithm's contract is
+//! explicit.
+
+pub mod intersection;
+
+use crate::error::{FdmError, Result};
+
+/// A matroid `M = (V, I)` over ground set `0..ground_size()`.
+///
+/// Implementations must satisfy the matroid axioms: `∅ ∈ I`, heredity
+/// (subsets of independent sets are independent), and augmentation (a larger
+/// independent set always lends an element to a smaller one). The test suite
+/// checks these axioms for [`PartitionMatroid`] by brute force on small
+/// grounds.
+pub trait Matroid {
+    /// Size of the ground set `|V|`.
+    fn ground_size(&self) -> usize;
+
+    /// Whether the given set (as a sorted-or-not slice of distinct ground
+    /// indices) is independent.
+    fn is_independent(&self, set: &[usize]) -> bool;
+
+    /// Rank of the matroid (size of every maximal independent set).
+    fn rank(&self) -> usize;
+}
+
+/// A partition matroid: the ground set is partitioned into parts, and a set
+/// is independent iff it holds at most `capacity[p]` elements of each part
+/// `p`.
+#[derive(Debug, Clone)]
+pub struct PartitionMatroid {
+    part_of: Vec<usize>,
+    capacity: Vec<usize>,
+}
+
+impl PartitionMatroid {
+    /// Creates a partition matroid from a part label per ground element and
+    /// a capacity per part.
+    pub fn new(part_of: Vec<usize>, capacity: Vec<usize>) -> Result<Self> {
+        for &p in &part_of {
+            if p >= capacity.len() {
+                return Err(FdmError::InvalidGroup { group: p, num_groups: capacity.len() });
+            }
+        }
+        Ok(PartitionMatroid { part_of, capacity })
+    }
+
+    /// Creates the rank-`l` "at most one per part" matroid used for SFDM2's
+    /// cluster constraint.
+    pub fn unit_capacities(part_of: Vec<usize>, num_parts: usize) -> Result<Self> {
+        PartitionMatroid::new(part_of, vec![1; num_parts])
+    }
+
+    /// Part label of ground element `x`.
+    #[inline]
+    pub fn part_of(&self, x: usize) -> usize {
+        self.part_of[x]
+    }
+
+    /// Capacity of part `p`.
+    #[inline]
+    pub fn capacity(&self, p: usize) -> usize {
+        self.capacity[p]
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Per-part occupancy of `set` — the incremental oracle state used by
+    /// the intersection algorithm.
+    pub fn part_counts(&self, set: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; self.capacity.len()];
+        for &x in set {
+            counts[self.part_of[x]] += 1;
+        }
+        counts
+    }
+}
+
+impl Matroid for PartitionMatroid {
+    fn ground_size(&self) -> usize {
+        self.part_of.len()
+    }
+
+    fn is_independent(&self, set: &[usize]) -> bool {
+        let counts = self.part_counts(set);
+        counts.iter().zip(&self.capacity).all(|(&c, &cap)| c <= cap)
+    }
+
+    fn rank(&self) -> usize {
+        // Rank = Σ min(cap_p, |part p|).
+        let mut sizes = vec![0usize; self.capacity.len()];
+        for &p in &self.part_of {
+            sizes[p] += 1;
+        }
+        sizes.iter().zip(&self.capacity).map(|(&s, &c)| s.min(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PartitionMatroid {
+        // Ground 0..6, parts [0,0,1,1,1,2], caps [1,2,1].
+        PartitionMatroid::new(vec![0, 0, 1, 1, 1, 2], vec![1, 2, 1]).unwrap()
+    }
+
+    #[test]
+    fn independence_basic() {
+        let m = sample();
+        assert!(m.is_independent(&[]));
+        assert!(m.is_independent(&[0, 2, 3, 5]));
+        assert!(!m.is_independent(&[0, 1])); // part 0 over capacity
+        assert!(!m.is_independent(&[2, 3, 4])); // part 1 over capacity
+    }
+
+    #[test]
+    fn rank_accounts_for_small_parts() {
+        let m = sample();
+        assert_eq!(m.rank(), 1 + 2 + 1);
+        // A part with fewer elements than capacity contributes its size.
+        let m2 = PartitionMatroid::new(vec![0], vec![5, 7]).unwrap();
+        assert_eq!(m2.rank(), 1);
+    }
+
+    #[test]
+    fn rejects_out_of_range_part() {
+        assert!(PartitionMatroid::new(vec![0, 3], vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn unit_capacities_matroid() {
+        let m = PartitionMatroid::unit_capacities(vec![0, 0, 1], 2).unwrap();
+        assert!(m.is_independent(&[0, 2]));
+        assert!(!m.is_independent(&[0, 1]));
+        assert_eq!(m.rank(), 2);
+    }
+
+    /// Brute-force check of the three matroid axioms on a small ground set.
+    #[test]
+    fn matroid_axioms_hold() {
+        let m = sample();
+        let n = m.ground_size();
+        let all_sets: Vec<Vec<usize>> = (0..(1u32 << n))
+            .map(|mask| (0..n).filter(|&i| mask & (1 << i) != 0).collect())
+            .collect();
+        // Axiom 1: empty set independent.
+        assert!(m.is_independent(&[]));
+        for a in &all_sets {
+            if !m.is_independent(a) {
+                continue;
+            }
+            // Axiom 2 (heredity): all subsets independent.
+            for b in &all_sets {
+                if b.iter().all(|x| a.contains(x)) {
+                    assert!(m.is_independent(b), "heredity violated: {a:?} ⊇ {b:?}");
+                }
+            }
+            // Axiom 3 (augmentation).
+            for b in &all_sets {
+                if m.is_independent(b) && a.len() > b.len() {
+                    let found = a.iter().any(|&x| {
+                        if b.contains(&x) {
+                            return false;
+                        }
+                        let mut bx = b.clone();
+                        bx.push(x);
+                        m.is_independent(&bx)
+                    });
+                    assert!(found, "augmentation violated for A={a:?}, B={b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn part_counts() {
+        let m = sample();
+        assert_eq!(m.part_counts(&[0, 2, 3]), vec![1, 2, 0]);
+        assert_eq!(m.part_counts(&[]), vec![0, 0, 0]);
+    }
+}

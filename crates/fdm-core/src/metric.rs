@@ -1,0 +1,256 @@
+//! Distance metrics.
+//!
+//! Every algorithm in this crate interacts with the data exclusively through
+//! a [`Metric`], mirroring the paper's metric-space formulation (§III-A): the
+//! distance function must be non-negative, symmetric, and satisfy the
+//! triangle inequality. The paper's experiments use Euclidean (Adult,
+//! Synthetic), Manhattan (CelebA, Census), and Angular (Lyrics) distances;
+//! Chebyshev and general Minkowski are provided for completeness.
+//!
+//! The metric is an enum rather than a trait object or a generic parameter:
+//! distance evaluation is the single hot operation of every algorithm, and a
+//! small enum match compiles to a perfectly predicted branch while keeping
+//! the public API object-safe and serializable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{FdmError, Result};
+
+/// A distance metric over `&[f64]` points.
+///
+/// All variants are proper metrics (or, for [`Metric::Angular`], a metric on
+/// the subspace of non-zero vectors): non-negative, symmetric, zero iff the
+/// points coincide (up to floating-point), and triangle-inequality compliant.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::metric::Metric;
+/// let a = [0.0, 0.0];
+/// let b = [3.0, 4.0];
+/// assert_eq!(Metric::Euclidean.dist(&a, &b), 5.0);
+/// assert_eq!(Metric::Manhattan.dist(&a, &b), 7.0);
+/// assert_eq!(Metric::Chebyshev.dist(&a, &b), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Metric {
+    /// L2 distance: `sqrt(Σ (a_i − b_i)²)`.
+    Euclidean,
+    /// L1 distance: `Σ |a_i − b_i|`.
+    Manhattan,
+    /// L∞ distance: `max |a_i − b_i|`.
+    Chebyshev,
+    /// General Lp distance for `p ≥ 1`: `(Σ |a_i − b_i|^p)^(1/p)`.
+    Minkowski(
+        /// The order `p ≥ 1`.
+        f64,
+    ),
+    /// Angular distance: `arccos(cos_sim(a, b)) ∈ [0, π]`.
+    ///
+    /// This is the metric used by the paper for the Lyrics dataset (LDA topic
+    /// vectors). For vectors with non-negative coordinates the distance is at
+    /// most `π/2`. Unlike raw cosine *dissimilarity*, the angle itself is a
+    /// true metric.
+    Angular,
+}
+
+impl Metric {
+    /// Validates metric parameters (only [`Metric::Minkowski`] carries any).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            Metric::Minkowski(p) if !(p.is_finite() && *p >= 1.0) => {
+                Err(FdmError::InvalidMinkowskiOrder { p: *p })
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Computes the distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the slices have equal length; in release builds the
+    /// shorter length is used (standard zip semantics).
+    #[inline]
+    pub fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
+        match self {
+            Metric::Euclidean => euclidean(a, b),
+            Metric::Manhattan => manhattan(a, b),
+            Metric::Chebyshev => chebyshev(a, b),
+            Metric::Minkowski(p) => minkowski(a, b, *p),
+            Metric::Angular => angular(a, b),
+        }
+    }
+
+    /// Human-readable metric name as used in the paper's Table I.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::Euclidean => "Euclidean",
+            Metric::Manhattan => "Manhattan",
+            Metric::Chebyshev => "Chebyshev",
+            Metric::Minkowski(_) => "Minkowski",
+            Metric::Angular => "Angular",
+        }
+    }
+}
+
+#[inline]
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+#[inline]
+fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (x - y).abs();
+    }
+    acc
+}
+
+#[inline]
+fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0_f64;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc = acc.max((x - y).abs());
+    }
+    acc
+}
+
+#[inline]
+fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc += (x - y).abs().powf(p);
+    }
+    acc.powf(1.0 / p)
+}
+
+#[inline]
+fn angular(a: &[f64], b: &[f64]) -> f64 {
+    let mut dot = 0.0;
+    let mut na = 0.0;
+    let mut nb = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        // The angle is undefined for the zero vector; treat it as orthogonal
+        // to everything so degenerate inputs do not poison min-distances
+        // with NaN.
+        return std::f64::consts::FRAC_PI_2;
+    }
+    let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+    cos.acos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn euclidean_basic() {
+        assert!((Metric::Euclidean.dist(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < EPS);
+        assert_eq!(Metric::Euclidean.dist(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_basic() {
+        assert!((Metric::Manhattan.dist(&[1.0, -1.0], &[-2.0, 3.0]) - 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn chebyshev_basic() {
+        assert!((Metric::Chebyshev.dist(&[1.0, -1.0], &[-2.0, 3.0]) - 4.0).abs() < EPS);
+    }
+
+    #[test]
+    fn minkowski_interpolates_l1_l2() {
+        let a = [0.2, -0.7, 1.3];
+        let b = [-0.4, 0.9, 0.1];
+        assert!(
+            (Metric::Minkowski(1.0).dist(&a, &b) - Metric::Manhattan.dist(&a, &b)).abs() < EPS
+        );
+        assert!(
+            (Metric::Minkowski(2.0).dist(&a, &b) - Metric::Euclidean.dist(&a, &b)).abs() < EPS
+        );
+    }
+
+    #[test]
+    fn minkowski_order_validation() {
+        assert!(Metric::Minkowski(0.5).validate().is_err());
+        assert!(Metric::Minkowski(f64::NAN).validate().is_err());
+        assert!(Metric::Minkowski(3.0).validate().is_ok());
+        assert!(Metric::Euclidean.validate().is_ok());
+    }
+
+    #[test]
+    fn angular_right_angle_and_parallel() {
+        let d = Metric::Angular.dist(&[1.0, 0.0], &[0.0, 1.0]);
+        assert!((d - FRAC_PI_2).abs() < EPS);
+        let d = Metric::Angular.dist(&[1.0, 1.0], &[2.0, 2.0]);
+        assert!(d.abs() < 1e-7, "parallel vectors have zero angle, got {d}");
+        let d = Metric::Angular.dist(&[1.0, 0.0], &[-1.0, 0.0]);
+        assert!((d - PI).abs() < 1e-7);
+    }
+
+    #[test]
+    fn angular_zero_vector_is_orthogonalized() {
+        let d = Metric::Angular.dist(&[0.0, 0.0], &[1.0, 0.0]);
+        assert!((d - FRAC_PI_2).abs() < EPS);
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn all_metrics_are_symmetric_on_samples() {
+        let pts = [
+            vec![0.0, 1.0, -2.0],
+            vec![3.5, -0.5, 0.25],
+            vec![-1.0, -1.0, -1.0],
+        ];
+        let metrics = [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(3.0),
+            Metric::Angular,
+        ];
+        for metric in metrics {
+            for a in &pts {
+                for b in &pts {
+                    let d1 = metric.dist(a, b);
+                    let d2 = metric.dist(b, a);
+                    assert!((d1 - d2).abs() < 1e-12, "{metric:?} not symmetric");
+                    assert!(d1 >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper_table1() {
+        assert_eq!(Metric::Euclidean.name(), "Euclidean");
+        assert_eq!(Metric::Manhattan.name(), "Manhattan");
+        assert_eq!(Metric::Angular.name(), "Angular");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for metric in [Metric::Euclidean, Metric::Minkowski(2.5), Metric::Angular] {
+            let json = serde_json::to_string(&metric).unwrap();
+            let back: Metric = serde_json::from_str(&json).unwrap();
+            assert_eq!(metric, back);
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! Fairness over **two sensitive attributes** (extension).
+//!
+//! The paper's conclusion (§VI) lists "fairness constraints defined on
+//! multiple sensitive attributes" as future work. This module implements
+//! the natural two-attribute case by reduction to the single-attribute
+//! problem the paper solves:
+//!
+//! 1. Each element carries two labels `(a, b)` with `a ∈ [m_A]`,
+//!    `b ∈ [m_B]`, and the constraint demands `α_a` elements of each
+//!    A-group and `β_b` of each B-group (`Σα = Σβ = k`).
+//! 2. A per-cell quota matrix `q_{ab}` with row sums `α`, column sums `β`,
+//!    and `q_{ab} ≤ availability_{ab}` is a **transportation problem**,
+//!    solved exactly with the crate's Dinic [`crate::flow`] substrate
+//!    (integral capacities ⇒ integral quotas).
+//! 3. The product groups `(a, b)` with their cell quotas form an ordinary
+//!    partition-matroid constraint, and [`crate::streaming::sfdm2::Sfdm2`]
+//!    runs unchanged on the product labels; its `(1−ε)/(3m'+2)` guarantee
+//!    (with `m'` = number of non-empty cells) carries over, and both
+//!    marginals hold by construction.
+//!
+//! The cell availabilities must be known when the algorithm is constructed
+//! (from dataset metadata or a prior counting pass — a one-integer-per-cell
+//! sketch, not a data pass).
+
+use crate::dataset::DistanceBounds;
+use crate::error::{FdmError, Result};
+use crate::fairness::FairnessConstraint;
+use crate::flow::FlowNetwork;
+use crate::metric::Metric;
+use crate::point::Element;
+use crate::solution::Solution;
+use crate::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+
+/// Two-attribute fairness requirement.
+#[derive(Debug, Clone)]
+pub struct TwoAttributeConstraint {
+    /// Quotas over the first attribute's groups (`Σ = k`).
+    pub quotas_a: Vec<usize>,
+    /// Quotas over the second attribute's groups (`Σ = k`).
+    pub quotas_b: Vec<usize>,
+}
+
+impl TwoAttributeConstraint {
+    /// Validates that both marginals are non-trivial and agree on `k`.
+    pub fn new(quotas_a: Vec<usize>, quotas_b: Vec<usize>) -> Result<Self> {
+        if quotas_a.is_empty() || quotas_b.is_empty() {
+            return Err(FdmError::EmptyConstraint);
+        }
+        let ka: usize = quotas_a.iter().sum();
+        let kb: usize = quotas_b.iter().sum();
+        if ka != kb {
+            return Err(FdmError::InfeasibleConstraint {
+                group: 0,
+                requested: ka,
+                available: kb,
+            });
+        }
+        if ka < 2 {
+            return Err(FdmError::SolutionSizeTooSmall { k: ka });
+        }
+        Ok(TwoAttributeConstraint { quotas_a, quotas_b })
+    }
+
+    /// Total solution size `k`.
+    pub fn total(&self) -> usize {
+        self.quotas_a.iter().sum()
+    }
+
+    /// Checks a solution's `(a, b)` label pairs against both marginals.
+    pub fn is_satisfied_by(&self, labels: &[(usize, usize)]) -> bool {
+        if labels.len() != self.total() {
+            return false;
+        }
+        let mut ca = vec![0usize; self.quotas_a.len()];
+        let mut cb = vec![0usize; self.quotas_b.len()];
+        for &(a, b) in labels {
+            if a >= ca.len() || b >= cb.len() {
+                return false;
+            }
+            ca[a] += 1;
+            cb[b] += 1;
+        }
+        ca == self.quotas_a && cb == self.quotas_b
+    }
+}
+
+/// Solves the transportation problem: a cell-quota matrix `q` with row sums
+/// `quotas_a`, column sums `quotas_b`, and `q[a][b] ≤ availability[a][b]`.
+///
+/// Returns [`FdmError::InfeasibleConstraint`] when no such matrix exists
+/// (by max-flow/min-cut this is exact, not heuristic).
+pub fn derive_cell_quotas(
+    constraint: &TwoAttributeConstraint,
+    availability: &[Vec<usize>],
+) -> Result<Vec<Vec<usize>>> {
+    let ma = constraint.quotas_a.len();
+    let mb = constraint.quotas_b.len();
+    if availability.len() != ma || availability.iter().any(|row| row.len() != mb) {
+        return Err(FdmError::DimensionMismatch {
+            expected: ma * mb,
+            found: availability.iter().map(Vec::len).sum(),
+        });
+    }
+    let k = constraint.total();
+
+    // Nodes: 0 = source, 1..=ma rows, ma+1..=ma+mb cols, last = sink.
+    let source = 0;
+    let row = |a: usize| 1 + a;
+    let col = |b: usize| 1 + ma + b;
+    let sink = 1 + ma + mb;
+    let mut net = FlowNetwork::new(sink + 1);
+    for (a, &qa) in constraint.quotas_a.iter().enumerate() {
+        net.add_edge(source, row(a), qa as i64);
+    }
+    let mut cell_edges = Vec::new();
+    for a in 0..ma {
+        for b in 0..mb {
+            if availability[a][b] > 0 {
+                let h = net.add_edge(row(a), col(b), availability[a][b] as i64);
+                cell_edges.push((a, b, h));
+            }
+        }
+    }
+    for (b, &qb) in constraint.quotas_b.iter().enumerate() {
+        net.add_edge(col(b), sink, qb as i64);
+    }
+    let flow = net.max_flow(source, sink);
+    if flow < k as i64 {
+        return Err(FdmError::InfeasibleConstraint {
+            group: 0,
+            requested: k,
+            available: flow.max(0) as usize,
+        });
+    }
+    let mut quotas = vec![vec![0usize; mb]; ma];
+    for &(a, b, h) in &cell_edges {
+        quotas[a][b] = net.flow_on(h) as usize;
+    }
+    Ok(quotas)
+}
+
+/// Streaming FDM under a two-attribute constraint: SFDM2 on the product
+/// groups with transportation-derived cell quotas.
+#[derive(Debug, Clone)]
+pub struct TwoAttributeSfdm {
+    inner: Sfdm2,
+    /// Dense product-group label per `(a, b)` cell; `usize::MAX` marks
+    /// cells with zero quota (their elements are filtered out — a fair
+    /// solution never contains them).
+    cell_to_dense: Vec<Vec<usize>>,
+    /// Transportation-derived per-cell quotas.
+    cells: Vec<Vec<usize>>,
+    constraint: TwoAttributeConstraint,
+}
+
+impl TwoAttributeSfdm {
+    /// Builds the reduction. `availability[a][b]` is the number of stream
+    /// elements with labels `(a, b)` (known from metadata or a counting
+    /// pass).
+    pub fn new(
+        constraint: TwoAttributeConstraint,
+        availability: &[Vec<usize>],
+        epsilon: f64,
+        bounds: DistanceBounds,
+        metric: Metric,
+    ) -> Result<Self> {
+        let cells = derive_cell_quotas(&constraint, availability)?;
+        let ma = constraint.quotas_a.len();
+        let mb = constraint.quotas_b.len();
+        let mut cell_to_dense = vec![vec![usize::MAX; mb]; ma];
+        let mut dense_quotas = Vec::new();
+        for a in 0..ma {
+            for b in 0..mb {
+                if cells[a][b] > 0 {
+                    cell_to_dense[a][b] = dense_quotas.len();
+                    dense_quotas.push(cells[a][b]);
+                }
+            }
+        }
+        if dense_quotas.len() < 2 {
+            // SFDM2 needs at least two groups; a single-cell constraint is
+            // equivalent to unconstrained selection within that cell, which
+            // callers should run directly.
+            return Err(FdmError::EmptyConstraint);
+        }
+        let product = FairnessConstraint::new(dense_quotas)?;
+        let inner = Sfdm2::new(Sfdm2Config { constraint: product, epsilon, bounds, metric })?;
+        Ok(TwoAttributeSfdm { inner, cell_to_dense, cells, constraint })
+    }
+
+    /// The derived per-cell quota of `(a, b)` (0 for filtered cells or
+    /// out-of-range labels).
+    pub fn cell_quota(&self, a: usize, b: usize) -> usize {
+        self.cells.get(a).and_then(|r| r.get(b)).copied().unwrap_or(0)
+    }
+
+    /// Processes one element with labels `(a, b)`; elements in zero-quota
+    /// cells are skipped (a fair solution can never include them).
+    pub fn insert(&mut self, element: &Element, a: usize, b: usize) {
+        let dense = match self.cell_to_dense.get(a).and_then(|r| r.get(b)) {
+            Some(&d) if d != usize::MAX => d,
+            _ => return,
+        };
+        let mut relabeled = element.clone();
+        relabeled.group = dense;
+        self.inner.insert(&relabeled);
+    }
+
+    /// Distinct retained element count.
+    pub fn stored_elements(&self) -> usize {
+        self.inner.stored_elements()
+    }
+
+    /// Finalizes the product-group solution; both attribute marginals hold
+    /// by the transportation construction.
+    pub fn finalize(&self) -> Result<Solution> {
+        self.inner.finalize()
+    }
+
+    /// The original two-attribute constraint.
+    pub fn constraint(&self) -> &TwoAttributeConstraint {
+        &self.constraint
+    }
+
+    /// Maps a dense product label back to its `(a, b)` cell.
+    pub fn dense_to_cell(&self, dense: usize) -> Option<(usize, usize)> {
+        for (a, row) in self.cell_to_dense.iter().enumerate() {
+            for (b, &d) in row.iter().enumerate() {
+                if d == dense {
+                    return Some((a, b));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use rand::prelude::*;
+
+    fn availability_of(labels: &[(usize, usize)], ma: usize, mb: usize) -> Vec<Vec<usize>> {
+        let mut avail = vec![vec![0usize; mb]; ma];
+        for &(a, b) in labels {
+            avail[a][b] += 1;
+        }
+        avail
+    }
+
+    #[test]
+    fn constraint_validation() {
+        assert!(TwoAttributeConstraint::new(vec![2, 2], vec![1, 3]).is_ok());
+        assert!(TwoAttributeConstraint::new(vec![2, 2], vec![1, 1]).is_err(), "k mismatch");
+        assert!(TwoAttributeConstraint::new(vec![], vec![1]).is_err());
+        assert!(TwoAttributeConstraint::new(vec![1], vec![1]).is_err(), "k < 2");
+    }
+
+    #[test]
+    fn satisfied_by_checks_both_marginals() {
+        let c = TwoAttributeConstraint::new(vec![2, 1], vec![1, 2]).unwrap();
+        assert!(c.is_satisfied_by(&[(0, 0), (0, 1), (1, 1)]));
+        assert!(!c.is_satisfied_by(&[(0, 0), (0, 0), (1, 1)])); // B marginal off
+        assert!(!c.is_satisfied_by(&[(0, 0), (0, 1)])); // wrong size
+    }
+
+    #[test]
+    fn transportation_feasible_case() {
+        let c = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
+        let avail = vec![vec![5, 5], vec![5, 5]];
+        let q = derive_cell_quotas(&c, &avail).unwrap();
+        // Row and column sums match.
+        assert_eq!(q[0][0] + q[0][1], 2);
+        assert_eq!(q[1][0] + q[1][1], 2);
+        assert_eq!(q[0][0] + q[1][0], 2);
+        assert_eq!(q[0][1] + q[1][1], 2);
+    }
+
+    #[test]
+    fn transportation_respects_availability() {
+        // Cell (0,0) empty forces all of row 0's quota through (0,1).
+        let c = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
+        let avail = vec![vec![0, 5], vec![5, 5]];
+        let q = derive_cell_quotas(&c, &avail).unwrap();
+        assert_eq!(q[0][0], 0);
+        assert_eq!(q[0][1], 2);
+        assert_eq!(q[1][0], 2);
+        assert_eq!(q[1][1], 0);
+    }
+
+    #[test]
+    fn transportation_infeasible_case() {
+        // Row 0 needs 3 but only 2 elements exist in row 0.
+        let c = TwoAttributeConstraint::new(vec![3, 1], vec![2, 2]).unwrap();
+        let avail = vec![vec![1, 1], vec![5, 5]];
+        let err = derive_cell_quotas(&c, &avail).unwrap_err();
+        assert!(matches!(err, FdmError::InfeasibleConstraint { .. }));
+    }
+
+    #[test]
+    fn transportation_dimension_check() {
+        let c = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
+        let bad = vec![vec![1, 1]];
+        assert!(matches!(
+            derive_cell_quotas(&c, &bad),
+            Err(FdmError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn end_to_end_two_attribute_stream() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 600;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0])
+            .collect();
+        let labels: Vec<(usize, usize)> =
+            (0..n).map(|_| (rng.random_range(0..2), rng.random_range(0..3))).collect();
+        let dataset = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
+
+        let constraint = TwoAttributeConstraint::new(vec![3, 3], vec![2, 2, 2]).unwrap();
+        let avail = availability_of(&labels, 2, 3);
+        let bounds = dataset.exact_distance_bounds().unwrap();
+        let mut alg = TwoAttributeSfdm::new(
+            constraint.clone(),
+            &avail,
+            0.1,
+            bounds,
+            Metric::Euclidean,
+        )
+        .unwrap();
+        for i in 0..n {
+            alg.insert(&dataset.element(i), labels[i].0, labels[i].1);
+        }
+        let sol = alg.finalize().unwrap();
+        assert_eq!(sol.len(), 6);
+        // Recover (a, b) labels and check both marginals.
+        let pairs: Vec<(usize, usize)> = sol
+            .elements
+            .iter()
+            .map(|e| alg.dense_to_cell(e.group).expect("dense label maps back"))
+            .collect();
+        assert!(
+            constraint.is_satisfied_by(&pairs),
+            "marginals violated: {pairs:?}"
+        );
+        assert!(sol.diversity > 0.0);
+    }
+
+    #[test]
+    fn zero_quota_cells_are_filtered() {
+        // Availability concentrated so that cell (0,1) gets quota 0; its
+        // elements must never be stored or selected.
+        let constraint = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
+        let avail = vec![vec![10, 0], vec![10, 10]];
+        let bounds = DistanceBounds::new(0.1, 100.0).unwrap();
+        let mut alg =
+            TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean)
+                .unwrap();
+        // Insert an element with labels in a zero-availability cell.
+        let e = Element::new(0, vec![5.0, 5.0], 0);
+        alg.insert(&e, 0, 1);
+        assert_eq!(alg.stored_elements(), 0, "filtered cell element was stored");
+    }
+
+    #[test]
+    fn single_cell_constraint_is_rejected() {
+        let constraint = TwoAttributeConstraint::new(vec![2], vec![2]).unwrap();
+        let avail = vec![vec![10]];
+        let bounds = DistanceBounds::new(0.1, 100.0).unwrap();
+        assert!(TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean)
+            .is_err());
+    }
+
+    #[test]
+    fn marginals_hold_over_many_seeds() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let n = 300;
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.random::<f64>() * 20.0, rng.random::<f64>() * 20.0])
+                .collect();
+            let labels: Vec<(usize, usize)> =
+                (0..n).map(|_| (rng.random_range(0..2), rng.random_range(0..2))).collect();
+            let dataset = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
+            let constraint = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
+            let avail = availability_of(&labels, 2, 2);
+            let bounds = dataset.exact_distance_bounds().unwrap();
+            let mut alg = TwoAttributeSfdm::new(
+                constraint.clone(),
+                &avail,
+                0.1,
+                bounds,
+                Metric::Euclidean,
+            )
+            .unwrap();
+            for i in 0..n {
+                alg.insert(&dataset.element(i), labels[i].0, labels[i].1);
+            }
+            let sol = alg.finalize().unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let pairs: Vec<(usize, usize)> = sol
+                .elements
+                .iter()
+                .map(|e| alg.dense_to_cell(e.group).unwrap())
+                .collect();
+            assert!(constraint.is_satisfied_by(&pairs), "trial {trial}: {pairs:?}");
+        }
+    }
+}

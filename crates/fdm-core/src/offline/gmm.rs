@@ -1,0 +1,256 @@
+//! GMM — Gonzalez's greedy algorithm for unconstrained max–min diversity.
+//!
+//! The classic `1/2`-approximation [Gonzalez 1985; Ravi et al. 1994]: start
+//! from an arbitrary element and repeatedly add the element furthest from
+//! the current selection. `O(nk)` distance computations via the standard
+//! cached nearest-center distance array.
+//!
+//! The paper uses GMM (a) as the unconstrained quality reference in Table II
+//! and Fig. 6, (b) doubled as an upper bound on `OPT_f` (§V-A), and (c) as
+//! the selection subroutine inside FairSwap/FairGMM.
+
+use crate::dataset::Dataset;
+
+/// Runs GMM on the whole dataset, seeding the start element with `seed`.
+///
+/// Returns at most `k` row indices (fewer if `n < k`). The first element is
+/// `seed % n`, matching the paper's "arbitrary" start deterministically.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::dataset::Dataset;
+/// use fdm_core::diversity::diversity;
+/// use fdm_core::metric::Metric;
+/// use fdm_core::offline::gmm::gmm;
+///
+/// let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+/// let dataset = Dataset::from_rows(rows, vec![0; 10], Metric::Euclidean)?;
+/// let selected = gmm(&dataset, 3, 0);
+/// assert_eq!(selected.len(), 3);
+/// // 1/2-approximation: optimal div for k=3 on 0..9 is 4.5.
+/// assert!(diversity(&dataset, &selected) >= 4.5 / 2.0);
+/// # Ok::<(), fdm_core::FdmError>(())
+/// ```
+pub fn gmm(dataset: &Dataset, k: usize, seed: u64) -> Vec<usize> {
+    let indices: Vec<usize> = (0..dataset.len()).collect();
+    gmm_on_subset(dataset, &indices, k, seed)
+}
+
+/// Runs GMM with an explicit starting row.
+pub fn gmm_with_start(dataset: &Dataset, k: usize, start: usize) -> Vec<usize> {
+    let indices: Vec<usize> = (0..dataset.len()).collect();
+    gmm_on_subset_with_start(dataset, &indices, k, start)
+}
+
+/// Runs GMM restricted to `indices` (used by FairSwap/FairGMM to run on one
+/// group `X_i`).
+pub fn gmm_on_subset(dataset: &Dataset, indices: &[usize], k: usize, seed: u64) -> Vec<usize> {
+    if indices.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let start = indices[(seed % indices.len() as u64) as usize];
+    gmm_on_subset_with_start(dataset, indices, k, start)
+}
+
+/// GMM on a subset with an explicit start row (must be in `indices`).
+pub fn gmm_on_subset_with_start(
+    dataset: &Dataset,
+    indices: &[usize],
+    k: usize,
+    start: usize,
+) -> Vec<usize> {
+    if indices.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    debug_assert!(indices.contains(&start));
+    let mut selected = Vec::with_capacity(k.min(indices.len()));
+    selected.push(start);
+    // dist_to_sel[i] = d(indices[i], selected set).
+    let mut dist_to_sel: Vec<f64> =
+        indices.iter().map(|&i| dataset.dist(i, start)).collect();
+    while selected.len() < k.min(indices.len()) {
+        // Furthest-point selection.
+        let (best_pos, &best_d) = dist_to_sel
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        if best_d <= 0.0 {
+            // All remaining rows duplicate the selection; no point adding
+            // zero-diversity elements beyond what's required.
+            break;
+        }
+        let chosen = indices[best_pos];
+        selected.push(chosen);
+        for (pos, &i) in indices.iter().enumerate() {
+            let d = dataset.dist(i, chosen);
+            if d < dist_to_sel[pos] {
+                dist_to_sel[pos] = d;
+            }
+        }
+    }
+    selected
+}
+
+/// GMM that returns the full greedy permutation of the subset (up to `k`)
+/// together with each element's insertion distance `d(x, S_before)`.
+///
+/// The insertion distances are non-increasing; prefix `j` of the permutation
+/// is exactly the GMM solution of size `j`, a property FairGMM exploits to
+/// build candidate pools.
+pub fn gmm_permutation(
+    dataset: &Dataset,
+    indices: &[usize],
+    k: usize,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    if indices.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let start = indices[(seed % indices.len() as u64) as usize];
+    let mut out = Vec::with_capacity(k.min(indices.len()));
+    out.push((start, f64::INFINITY));
+    let mut dist_to_sel: Vec<f64> =
+        indices.iter().map(|&i| dataset.dist(i, start)).collect();
+    while out.len() < k.min(indices.len()) {
+        let (best_pos, &best_d) = dist_to_sel
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .expect("non-empty");
+        if best_d <= 0.0 {
+            break;
+        }
+        let chosen = indices[best_pos];
+        out.push((chosen, best_d));
+        for (pos, &i) in indices.iter().enumerate() {
+            let d = dataset.dist(i, chosen);
+            if d < dist_to_sel[pos] {
+                dist_to_sel[pos] = d;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_unconstrained_optimum;
+    use crate::diversity::diversity;
+    use crate::metric::Metric;
+
+    fn grid_dataset() -> Dataset {
+        let mut rows = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                rows.push(vec![i as f64, j as f64]);
+            }
+        }
+        Dataset::from_rows(rows, vec![0; 25], Metric::Euclidean).unwrap()
+    }
+
+    #[test]
+    fn selects_k_elements() {
+        let d = grid_dataset();
+        let sol = gmm(&d, 4, 0);
+        assert_eq!(sol.len(), 4);
+        // No duplicates.
+        let mut sorted = sol.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+
+    #[test]
+    fn first_pick_is_furthest_from_start() {
+        let d = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![10.0]],
+            vec![0; 3],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let sol = gmm_with_start(&d, 2, 0);
+        assert_eq!(sol, vec![0, 2]);
+    }
+
+    #[test]
+    fn achieves_half_approximation_on_random_sets() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..10 {
+            let n = 12;
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+            let d = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
+            let k = 4;
+            let opt = exact_unconstrained_optimum(&d, k);
+            let sol = gmm(&d, k, trial);
+            let div = diversity(&d, &sol);
+            assert!(
+                div >= opt / 2.0 - 1e-9,
+                "trial {trial}: GMM {div} < OPT/2 = {}",
+                opt / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn subset_restriction_is_respected() {
+        let d = grid_dataset();
+        let subset: Vec<usize> = (0..25).filter(|i| i % 2 == 0).collect();
+        let sol = gmm_on_subset(&d, &subset, 5, 3);
+        assert_eq!(sol.len(), 5);
+        for i in &sol {
+            assert!(subset.contains(i));
+        }
+    }
+
+    #[test]
+    fn duplicates_terminate_early() {
+        let d = Dataset::from_rows(
+            vec![vec![0.0], vec![0.0], vec![0.0], vec![1.0]],
+            vec![0; 4],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let sol = gmm(&d, 4, 0);
+        // Only two distinct locations exist.
+        assert_eq!(sol.len(), 2);
+    }
+
+    #[test]
+    fn permutation_prefix_property() {
+        let d = grid_dataset();
+        let perm = gmm_permutation(&d, &(0..25).collect::<Vec<_>>(), 6, 0);
+        assert_eq!(perm.len(), 6);
+        // Insertion distances are non-increasing.
+        for w in perm.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-12);
+        }
+        // Prefix of length 4 equals gmm with same start.
+        let pref: Vec<usize> = perm.iter().take(4).map(|&(i, _)| i).collect();
+        let direct = gmm_with_start(&d, 4, perm[0].0);
+        assert_eq!(pref, direct);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let d = grid_dataset();
+        assert!(gmm(&d, 0, 0).is_empty());
+        assert!(gmm_on_subset(&d, &[], 3, 0).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let d = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![0; 3],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let sol = gmm(&d, 10, 0);
+        assert_eq!(sol.len(), 3);
+    }
+}

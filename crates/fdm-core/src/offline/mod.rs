@@ -1,0 +1,15 @@
+//! Offline baseline algorithms from the paper's evaluation (§V-A):
+//! Gonzalez's greedy ([`gmm`]), and the three fair offline algorithms of
+//! Moumoulidou et al. (ICDT 2021) — [`fair_swap`] (`1/4`, `m = 2`),
+//! [`fair_flow`] (`1/(3m−1)`, any `m`), and [`fair_gmm`] (`1/5`, small
+//! `k`/`m`).
+//!
+//! These keep the whole dataset in memory and make random accesses over it;
+//! the paper's headline result is that the streaming algorithms match their
+//! quality while being orders of magnitude faster per element and using
+//! `O(poly(k, m, log ∆)/ε)` space.
+
+pub mod fair_flow;
+pub mod fair_gmm;
+pub mod fair_swap;
+pub mod gmm;

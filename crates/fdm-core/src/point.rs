@@ -1,0 +1,77 @@
+//! Stream elements.
+//!
+//! A streaming algorithm must not hold references into the dataset it
+//! consumes — the whole point of the streaming model is that the dataset may
+//! be too large to keep. An [`Element`] therefore carries its coordinates in
+//! an `Arc<[f64]>`: candidates that decide to *keep* an element clone the
+//! `Arc` (cheap, shared), and the space accounting of the paper's Fig. 8
+//! ("number of stored elements") is the number of distinct element ids
+//! retained across all candidates.
+
+use std::sync::Arc;
+
+/// A single element of the stream: an id, a point, and a group label.
+///
+/// Ids are assigned by the producer (the dataset or generator) and are only
+/// required to be unique within one stream; algorithms use them for
+/// de-duplicated space accounting and for reporting which elements were
+/// selected.
+#[derive(Debug, Clone)]
+pub struct Element {
+    /// Unique identifier within the stream (typically the dataset row index).
+    pub id: usize,
+    /// Coordinates in the metric space, shared between all holders.
+    pub point: Arc<[f64]>,
+    /// Group label in `0..m`.
+    pub group: usize,
+}
+
+impl Element {
+    /// Creates a new element from owned coordinates.
+    pub fn new(id: usize, point: Vec<f64>, group: usize) -> Self {
+        Element { id, point: point.into(), group }
+    }
+
+    /// Dimensionality of the element's point.
+    pub fn dim(&self) -> usize {
+        self.point.len()
+    }
+}
+
+impl PartialEq for Element {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Element {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dim() {
+        let e = Element::new(7, vec![1.0, 2.0, 3.0], 1);
+        assert_eq!(e.id, 7);
+        assert_eq!(e.group, 1);
+        assert_eq!(e.dim(), 3);
+        assert_eq!(&e.point[..], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn equality_is_by_id() {
+        let a = Element::new(1, vec![0.0], 0);
+        let b = Element::new(1, vec![9.0], 1);
+        let c = Element::new(2, vec![0.0], 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clone_shares_point_storage() {
+        let a = Element::new(1, vec![1.0, 2.0], 0);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.point, &b.point));
+    }
+}

@@ -1,0 +1,89 @@
+//! Solution containers returned by the algorithms.
+
+use crate::diversity::diversity_of_points;
+use crate::metric::Metric;
+use crate::point::Element;
+
+/// A selected subset together with its max–min diversity.
+///
+/// Solutions own their elements (ids, points, group labels), so they remain
+/// valid after the stream or dataset is gone.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The selected elements.
+    pub elements: Vec<Element>,
+    /// `div(S) = min_{x≠y ∈ S} d(x, y)` under the algorithm's metric.
+    pub diversity: f64,
+}
+
+impl Solution {
+    /// Builds a solution from elements, computing its diversity.
+    pub fn from_elements(elements: Vec<Element>, metric: Metric) -> Self {
+        let points: Vec<&[f64]> = elements.iter().map(|e| &e.point[..]).collect();
+        let diversity = diversity_of_points(&points, metric);
+        Solution { elements, diversity }
+    }
+
+    /// Number of selected elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the solution is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Ids of the selected elements, in selection order.
+    pub fn ids(&self) -> Vec<usize> {
+        self.elements.iter().map(|e| e.id).collect()
+    }
+
+    /// Per-group counts over `m` groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an element's group label is `≥ m`.
+    pub fn group_counts(&self, m: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; m];
+        for e in &self.elements {
+            counts[e.group] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elems() -> Vec<Element> {
+        vec![
+            Element::new(0, vec![0.0, 0.0], 0),
+            Element::new(1, vec![3.0, 4.0], 1),
+            Element::new(2, vec![6.0, 8.0], 0),
+        ]
+    }
+
+    #[test]
+    fn from_elements_computes_diversity() {
+        let s = Solution::from_elements(elems(), Metric::Euclidean);
+        assert_eq!(s.len(), 3);
+        assert!((s.diversity - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_and_group_counts() {
+        let s = Solution::from_elements(elems(), Metric::Euclidean);
+        assert_eq!(s.ids(), vec![0, 1, 2]);
+        assert_eq!(s.group_counts(2), vec![2, 1]);
+        assert_eq!(s.group_counts(3), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let s = Solution::from_elements(vec![], Metric::Euclidean);
+        assert!(s.is_empty());
+        assert_eq!(s.diversity, f64::INFINITY);
+    }
+}

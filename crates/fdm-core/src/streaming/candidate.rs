@@ -1,0 +1,200 @@
+//! Bounded greedy candidates `S_µ` — the building block of Algorithm 1.
+//!
+//! A candidate for guess `µ` accepts an arriving element iff it is not full
+//! and the element is at distance ≥ µ from everything already kept
+//! (Algorithm 1, lines 4–6). Two invariants follow directly and are relied
+//! on by every proof in the paper:
+//!
+//! * `div(S_µ) ≥ µ` at all times;
+//! * if the candidate is not full after the stream, every stream element is
+//!   within `< µ` of it (it was rejected for proximity, not capacity).
+
+use crate::metric::Metric;
+use crate::point::Element;
+
+/// One candidate set `S_µ` with threshold `µ` and capacity `cap`.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    mu: f64,
+    capacity: usize,
+    metric: Metric,
+    elements: Vec<Element>,
+}
+
+impl Candidate {
+    /// Creates an empty candidate.
+    pub fn new(mu: f64, capacity: usize, metric: Metric) -> Self {
+        Candidate { mu, capacity, metric, elements: Vec::with_capacity(capacity) }
+    }
+
+    /// The guess `µ` this candidate is maintained for.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Maximum number of elements the candidate may hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of elements.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the candidate holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Whether the candidate reached its capacity.
+    pub fn is_full(&self) -> bool {
+        self.elements.len() >= self.capacity
+    }
+
+    /// The kept elements, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Distance from `point` to the candidate (`+∞` when empty).
+    #[inline]
+    pub fn distance_to(&self, point: &[f64]) -> f64 {
+        let mut best = f64::INFINITY;
+        for e in &self.elements {
+            let d = self.metric.dist(point, &e.point);
+            if d < best {
+                best = d;
+                // Early exit: once below the threshold the element will be
+                // rejected anyway; saves ~half the distance evaluations in
+                // the hot path without changing behavior.
+                if best < self.mu {
+                    break;
+                }
+            }
+        }
+        best
+    }
+
+    /// Algorithm 1, lines 5–6: inserts `element` iff the candidate is not
+    /// full and `d(element, S_µ) ≥ µ`. Returns whether it was kept.
+    #[inline]
+    pub fn try_insert(&mut self, element: &Element) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        if self.distance_to(&element.point) >= self.mu {
+            self.elements.push(element.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `div(S_µ)` over the kept elements (`+∞` for fewer than two).
+    pub fn diversity(&self) -> f64 {
+        let mut best = f64::INFINITY;
+        for (i, a) in self.elements.iter().enumerate() {
+            for b in &self.elements[i + 1..] {
+                let d = self.metric.dist(&a.point, &b.point);
+                if d < best {
+                    best = d;
+                }
+            }
+        }
+        best
+    }
+
+    /// Consumes the candidate, returning its elements.
+    pub fn into_elements(self) -> Vec<Element> {
+        self.elements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn elem(id: usize, x: f64) -> Element {
+        Element::new(id, vec![x], 0)
+    }
+
+    #[test]
+    fn accepts_far_rejects_near() {
+        let mut c = Candidate::new(1.0, 5, Metric::Euclidean);
+        assert!(c.try_insert(&elem(0, 0.0)));
+        assert!(!c.try_insert(&elem(1, 0.5)), "0.5 < mu rejected");
+        assert!(c.try_insert(&elem(2, 1.0)), "exactly mu accepted");
+        assert!(c.try_insert(&elem(3, 2.5)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut c = Candidate::new(1.0, 2, Metric::Euclidean);
+        assert!(c.try_insert(&elem(0, 0.0)));
+        assert!(c.try_insert(&elem(1, 10.0)));
+        assert!(c.is_full());
+        assert!(!c.try_insert(&elem(2, 20.0)), "full candidate rejects everything");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn diversity_invariant_holds() {
+        let mut c = Candidate::new(2.0, 10, Metric::Euclidean);
+        for (i, x) in [0.0, 1.0, 2.0, 3.5, 4.0, 9.0, 10.5].iter().enumerate() {
+            c.try_insert(&elem(i, *x));
+        }
+        assert!(c.diversity() >= c.mu(), "div(S_mu) >= mu must hold");
+    }
+
+    #[test]
+    fn rejected_elements_are_close_when_not_full() {
+        let mut c = Candidate::new(1.0, 10, Metric::Euclidean);
+        let stream = [0.0, 0.4, 0.9, 3.0, 3.3, 7.0];
+        let mut rejected = Vec::new();
+        for (i, x) in stream.iter().enumerate() {
+            let e = elem(i, *x);
+            if !c.try_insert(&e) {
+                rejected.push(e);
+            }
+        }
+        assert!(!c.is_full());
+        for e in rejected {
+            assert!(c.distance_to(&e.point) < 1.0, "rejected element must be within mu");
+        }
+    }
+
+    #[test]
+    fn distance_to_empty_is_infinite() {
+        let c = Candidate::new(1.0, 3, Metric::Euclidean);
+        assert_eq!(c.distance_to(&[42.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn diversity_of_small_candidates_is_infinite() {
+        let mut c = Candidate::new(1.0, 3, Metric::Euclidean);
+        assert_eq!(c.diversity(), f64::INFINITY);
+        c.try_insert(&elem(0, 0.0));
+        assert_eq!(c.diversity(), f64::INFINITY);
+    }
+
+    #[test]
+    fn into_elements_preserves_order() {
+        let mut c = Candidate::new(1.0, 3, Metric::Euclidean);
+        c.try_insert(&elem(5, 0.0));
+        c.try_insert(&elem(9, 5.0));
+        let ids: Vec<usize> = c.into_elements().iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![5, 9]);
+    }
+
+    #[test]
+    fn manhattan_candidate() {
+        let mut c = Candidate::new(2.0, 4, Metric::Manhattan);
+        assert!(c.try_insert(&Element::new(0, vec![0.0, 0.0], 0)));
+        // Manhattan distance 1.5 < 2 → reject; Euclidean would be ~1.06 too.
+        assert!(!c.try_insert(&Element::new(1, vec![0.75, 0.75], 0)));
+        // Manhattan distance 2.0 → accept.
+        assert!(c.try_insert(&Element::new(2, vec![1.0, 1.0], 0)));
+    }
+}

@@ -1,0 +1,21 @@
+//! One-pass streaming algorithms (the paper's contribution).
+//!
+//! All three algorithms share the same skeleton: a geometric
+//! [`crate::guess::GuessLadder`] over the unknown optimum, and per guess `µ`
+//! one or more bounded [`candidate::Candidate`] sets filled greedily with
+//! elements at distance ≥ µ from the candidate. They differ in
+//! post-processing:
+//!
+//! * [`unconstrained::StreamingDiversityMaximization`] (Algorithm 1) —
+//!   return the fullest, most diverse candidate; `(1−ε)/2` (Theorem 1).
+//! * [`sfdm1::Sfdm1`] (Algorithm 2, `m = 2`) — swap-balance each group-blind
+//!   candidate against group-specific candidates; `(1−ε)/4` (Theorem 2).
+//! * [`sfdm2::Sfdm2`] (Algorithm 3, any `m`) — cluster all retained elements
+//!   and augment a partial solution via matroid intersection;
+//!   `(1−ε)/(3m+2)` (Theorem 4).
+
+pub mod candidate;
+pub mod sfdm1;
+pub mod sfdm2;
+pub mod sliding;
+pub mod unconstrained;

@@ -1,0 +1,430 @@
+//! SFDM2 — Algorithm 3: streaming FDM for any number of groups,
+//! `(1−ε)/(3m+2)`-approximate (Theorem 4).
+//!
+//! **Stream processing**: per guess `µ` keep one group-blind candidate of
+//! capacity `k` and one per-group candidate of capacity `k` (not `k_i` — the
+//! larger pools are what Lemma 4's cluster-counting argument needs).
+//!
+//! **Post-processing** (per guess in
+//! `U' = {µ : |S_µ| = k ∧ |S_µ,i| ≥ k_i ∀i}`):
+//!
+//! 1. Seed a partial solution `S'_µ ⊆ S_µ` by truncating each over-filled
+//!    group to its quota (Algorithm 3, line 11).
+//! 2. Cluster `S_all` (all retained elements) with threshold `µ/(m+1)`
+//!    ([`crate::clustering`]); Lemma 3 gives cross-cluster separation
+//!    `≥ µ/(m+1)` and at most one element per candidate per cluster.
+//! 3. Define the fairness partition matroid `M1` (≤ `k_i` per group) and
+//!    the cluster matroid `M2` (≤ 1 per cluster) and augment `S'_µ` to a
+//!    maximum common independent set with Cunningham's algorithm,
+//!    greedily preferring far elements
+//!    ([`crate::matroid::intersection`], Algorithm 4).
+//! 4. Keep the fair size-`k` result with maximum diversity across guesses.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::clustering::threshold_clusters;
+use crate::dataset::DistanceBounds;
+use crate::diversity::diversity_of_points;
+use crate::error::{FdmError, Result};
+use crate::fairness::FairnessConstraint;
+use crate::guess::GuessLadder;
+use crate::matroid::intersection::max_common_independent_set;
+use crate::matroid::PartitionMatroid;
+use crate::metric::Metric;
+use crate::point::Element;
+use crate::solution::Solution;
+use crate::streaming::candidate::Candidate;
+
+/// Configuration for [`Sfdm2`].
+#[derive(Debug, Clone)]
+pub struct Sfdm2Config {
+    /// Quota vector over `m ≥ 2` groups.
+    pub constraint: FairnessConstraint,
+    /// Guess-ladder accuracy `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Known bounds with `d_min ≤ OPT_f ≤ d_max`.
+    pub bounds: DistanceBounds,
+    /// The distance metric.
+    pub metric: Metric,
+}
+
+/// Whether SFDM2's matroid-intersection phase seeds from the partial
+/// solution with greedy far-element preference (the paper's adaptation) or
+/// from the empty set without scores (plain Cunningham) — ablation A2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AugmentationMode {
+    /// Partial-solution seed + greedy `argmax d(x, S)` selection (paper).
+    #[default]
+    SeededGreedy,
+    /// Empty seed, ground-order selection (plain Cunningham baseline).
+    PlainCunningham,
+}
+
+/// Streaming state of SFDM2.
+///
+/// # Examples
+///
+/// ```
+/// use fdm_core::prelude::*;
+///
+/// // Twelve points on a line across three groups; one element per group.
+/// let constraint = FairnessConstraint::new(vec![1, 1, 1])?;
+/// let mut alg = Sfdm2::new(Sfdm2Config {
+///     constraint: constraint.clone(),
+///     epsilon: 0.1,
+///     bounds: DistanceBounds::new(1.0, 11.0)?,
+///     metric: Metric::Euclidean,
+/// })?;
+/// for i in 0..12 {
+///     alg.insert(&Element::new(i, vec![i as f64], i % 3));
+/// }
+/// let solution = alg.finalize()?;
+/// assert!(constraint.is_satisfied_by(&solution.group_counts(3)));
+/// # Ok::<(), fdm_core::FdmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sfdm2 {
+    constraint: FairnessConstraint,
+    metric: Metric,
+    blind: Vec<Candidate>,
+    /// `specific[i][j]`: group `i`, guess `j`, capacity `k`.
+    specific: Vec<Vec<Candidate>>,
+    mode: AugmentationMode,
+    processed: usize,
+}
+
+impl Sfdm2 {
+    /// Initializes the candidates for every guess in the ladder.
+    pub fn new(config: Sfdm2Config) -> Result<Self> {
+        Self::with_mode(config, AugmentationMode::SeededGreedy)
+    }
+
+    /// Like [`Sfdm2::new`] with an explicit augmentation mode (ablation).
+    pub fn with_mode(config: Sfdm2Config, mode: AugmentationMode) -> Result<Self> {
+        let m = config.constraint.num_groups();
+        if m < 2 {
+            return Err(FdmError::EmptyConstraint);
+        }
+        config.metric.validate()?;
+        let ladder = GuessLadder::new(config.bounds, config.epsilon)?;
+        let k = config.constraint.total();
+        let blind: Vec<Candidate> = ladder
+            .values()
+            .iter()
+            .map(|&mu| Candidate::new(mu, k, config.metric))
+            .collect();
+        let specific: Vec<Vec<Candidate>> = (0..m)
+            .map(|_| {
+                ladder
+                    .values()
+                    .iter()
+                    .map(|&mu| Candidate::new(mu, k, config.metric))
+                    .collect()
+            })
+            .collect();
+        Ok(Sfdm2 {
+            constraint: config.constraint,
+            metric: config.metric,
+            blind,
+            specific,
+            mode,
+            processed: 0,
+        })
+    }
+
+    /// Processes one stream element (Algorithm 3, lines 3–8).
+    pub fn insert(&mut self, element: &Element) {
+        debug_assert!(
+            element.group < self.specific.len(),
+            "group label out of range for the constraint"
+        );
+        self.processed += 1;
+        for candidate in &mut self.blind {
+            candidate.try_insert(element);
+        }
+        for candidate in &mut self.specific[element.group] {
+            candidate.try_insert(element);
+        }
+    }
+
+    /// Number of elements seen so far.
+    pub fn processed(&self) -> usize {
+        self.processed
+    }
+
+    /// Distinct retained element count — the paper's space metric.
+    pub fn stored_elements(&self) -> usize {
+        let mut ids = HashSet::new();
+        for c in self.blind.iter().chain(self.specific.iter().flatten()) {
+            for e in c.elements() {
+                ids.insert(e.id);
+            }
+        }
+        ids.len()
+    }
+
+    /// Post-processing (Algorithm 3, lines 9–19).
+    pub fn finalize(&self) -> Result<Solution> {
+        let k = self.constraint.total();
+        let m = self.constraint.num_groups();
+        let mut best: Option<(f64, Vec<Element>)> = None;
+
+        for (j, blind) in self.blind.iter().enumerate() {
+            // U' membership.
+            if blind.len() < k {
+                continue;
+            }
+            if (0..m).any(|g| self.specific[g][j].len() < self.constraint.quota(g)) {
+                continue;
+            }
+            let mu = blind.mu();
+
+            // S_all: union of all candidates' elements, deduplicated by id.
+            let mut sall: Vec<Element> = Vec::new();
+            let mut index_of: HashMap<usize, usize> = HashMap::new();
+            let mut push = |e: &Element, sall: &mut Vec<Element>| {
+                if let std::collections::hash_map::Entry::Vacant(v) = index_of.entry(e.id) {
+                    v.insert(sall.len());
+                    sall.push(e.clone());
+                }
+            };
+            for e in blind.elements() {
+                push(e, &mut sall);
+            }
+            for g in 0..m {
+                for e in self.specific[g][j].elements() {
+                    push(e, &mut sall);
+                }
+            }
+
+            // Partial solution S'_µ: per group min(k_i, |S_µ ∩ X_i|)
+            // elements of the blind candidate (Algorithm 3, line 11).
+            let mut taken_per_group = vec![0usize; m];
+            let mut initial: Vec<usize> = Vec::with_capacity(k);
+            for e in blind.elements() {
+                let g = e.group;
+                if taken_per_group[g] < self.constraint.quota(g) {
+                    taken_per_group[g] += 1;
+                    initial.push(index_of[&e.id]);
+                }
+            }
+
+            // Threshold clustering of S_all (Algorithm 3, lines 13–16).
+            let points: Vec<&[f64]> = sall.iter().map(|e| &e.point[..]).collect();
+            let threshold = mu / (m as f64 + 1.0);
+            let (cluster_of, num_clusters) =
+                threshold_clusters(&points, self.metric, threshold);
+
+            // Matroids: fairness (M1) and one-per-cluster (M2).
+            let groups_of: Vec<usize> = sall.iter().map(|e| e.group).collect();
+            let m1 = PartitionMatroid::new(groups_of, self.constraint.quotas().to_vec())
+                .expect("group labels validated on insert");
+            let m2 = PartitionMatroid::unit_capacities(cluster_of, num_clusters)
+                .expect("cluster labels are dense");
+
+            // Algorithm 4.
+            let result = match self.mode {
+                AugmentationMode::SeededGreedy => {
+                    let score = |x: usize, members: &[usize]| {
+                        let mut best = f64::INFINITY;
+                        for &y in members {
+                            let d = self.metric.dist(&sall[x].point, &sall[y].point);
+                            if d < best {
+                                best = d;
+                            }
+                        }
+                        best
+                    };
+                    max_common_independent_set(&m1, &m2, &initial, Some(&score))
+                }
+                AugmentationMode::PlainCunningham => {
+                    max_common_independent_set(&m1, &m2, &[], None)
+                }
+            };
+            if result.len() != k {
+                continue; // line 19 keeps only size-k results
+            }
+            let elements: Vec<Element> = result.iter().map(|&i| sall[i].clone()).collect();
+            let pts: Vec<&[f64]> = elements.iter().map(|e| &e.point[..]).collect();
+            let div = diversity_of_points(&pts, self.metric);
+            if best.as_ref().is_none_or(|(b, _)| div > *b) {
+                best = Some((div, elements));
+            }
+        }
+
+        match best {
+            Some((_, elements)) => Ok(Solution::from_elements(elements, self.metric)),
+            None => Err(FdmError::NoFeasibleCandidate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::exact_fair_optimum;
+    use crate::dataset::Dataset;
+    use rand::prelude::*;
+
+    fn random_dataset(n: usize, m: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0])
+            .collect();
+        let mut groups: Vec<usize> = (0..n).map(|_| rng.random_range(0..m)).collect();
+        for g in 0..m {
+            groups[g] = g;
+        }
+        Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap()
+    }
+
+    fn run(dataset: &Dataset, constraint: FairnessConstraint, eps: f64) -> Result<Solution> {
+        let bounds = dataset.exact_distance_bounds().unwrap();
+        let mut alg = Sfdm2::new(Sfdm2Config {
+            constraint,
+            epsilon: eps,
+            bounds,
+            metric: dataset.metric(),
+        })?;
+        for e in dataset.iter() {
+            alg.insert(&e);
+        }
+        alg.finalize()
+    }
+
+    #[test]
+    fn output_is_fair_two_groups() {
+        let d = random_dataset(150, 2, 1);
+        let c = FairnessConstraint::new(vec![3, 3]).unwrap();
+        let sol = run(&d, c.clone(), 0.1).unwrap();
+        assert_eq!(sol.len(), 6);
+        assert!(c.is_satisfied_by(&sol.group_counts(2)));
+    }
+
+    #[test]
+    fn output_is_fair_many_groups() {
+        let d = random_dataset(400, 5, 2);
+        let c = FairnessConstraint::equal_representation(10, 5).unwrap();
+        let sol = run(&d, c.clone(), 0.1).unwrap();
+        assert_eq!(sol.len(), 10);
+        assert!(c.is_satisfied_by(&sol.group_counts(5)));
+    }
+
+    #[test]
+    fn theorem4_ratio_on_random_instances() {
+        for trial in 0..6 {
+            let m = 3;
+            let d = random_dataset(15, m, 60 + trial);
+            let c = FairnessConstraint::new(vec![1, 1, 2]).unwrap();
+            let (opt, _) = exact_fair_optimum(&d, &c);
+            if opt <= 0.0 {
+                continue;
+            }
+            let eps = 0.1;
+            let sol = run(&d, c, eps).unwrap();
+            let guarantee = (1.0 - eps) / (3.0 * m as f64 + 2.0) * opt;
+            assert!(
+                sol.diversity >= guarantee - 1e-9,
+                "trial {trial}: {} < {guarantee}",
+                sol.diversity
+            );
+        }
+    }
+
+    #[test]
+    fn practical_quality_is_well_above_worst_case() {
+        let mut ratios = Vec::new();
+        for trial in 0..5 {
+            let d = random_dataset(16, 2, 70 + trial);
+            let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+            let (opt, _) = exact_fair_optimum(&d, &c);
+            let sol = run(&d, c, 0.1).unwrap();
+            ratios.push(sol.diversity / opt);
+        }
+        let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(avg > 0.4, "average ratio {avg}: {ratios:?}");
+    }
+
+    #[test]
+    fn skewed_quotas_many_groups() {
+        let d = random_dataset(500, 4, 8);
+        let c = FairnessConstraint::new(vec![1, 2, 3, 4]).unwrap();
+        let sol = run(&d, c.clone(), 0.1).unwrap();
+        assert!(c.is_satisfied_by(&sol.group_counts(4)));
+    }
+
+    #[test]
+    fn plain_cunningham_mode_is_fair_but_not_better() {
+        let d = random_dataset(200, 3, 11);
+        let c = FairnessConstraint::new(vec![2, 2, 2]).unwrap();
+        let bounds = d.exact_distance_bounds().unwrap();
+        let mut greedy = Sfdm2::new(Sfdm2Config {
+            constraint: c.clone(),
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        })
+        .unwrap();
+        let mut plain = Sfdm2::with_mode(
+            Sfdm2Config {
+                constraint: c.clone(),
+                epsilon: 0.1,
+                bounds,
+                metric: Metric::Euclidean,
+            },
+            AugmentationMode::PlainCunningham,
+        )
+        .unwrap();
+        for e in d.iter() {
+            greedy.insert(&e);
+            plain.insert(&e);
+        }
+        let g = greedy.finalize().unwrap();
+        let p = plain.finalize().unwrap();
+        assert!(c.is_satisfied_by(&g.group_counts(3)));
+        assert!(c.is_satisfied_by(&p.group_counts(3)));
+        // The paper's §IV-B comparison: seeded greedy selection yields
+        // higher (or equal) diversity than plain augmentation.
+        assert!(g.diversity >= p.diversity - 1e-9);
+    }
+
+    #[test]
+    fn space_scales_with_m_not_n() {
+        let c = FairnessConstraint::equal_representation(8, 4).unwrap();
+        let bounds = DistanceBounds::new(0.05, 15.0).unwrap();
+        let ladder_len = GuessLadder::new(bounds, 0.1).unwrap().len();
+        for n in [300usize, 3000] {
+            let d = random_dataset(n, 4, 21);
+            let mut alg = Sfdm2::new(Sfdm2Config {
+                constraint: c.clone(),
+                epsilon: 0.1,
+                bounds,
+                metric: Metric::Euclidean,
+            })
+            .unwrap();
+            for e in d.iter() {
+                alg.insert(&e);
+            }
+            // (m + 1) candidates of capacity k per guess.
+            assert!(alg.stored_elements() <= ladder_len * 5 * 8);
+        }
+    }
+
+    #[test]
+    fn infeasible_stream_errors() {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64]).collect();
+        let d = Dataset::from_rows(rows, vec![0; 60], Metric::Euclidean).unwrap();
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let err = run(&d, c, 0.1).unwrap_err();
+        assert_eq!(err, FdmError::NoFeasibleCandidate);
+    }
+
+    #[test]
+    fn ten_groups_smoke() {
+        let d = random_dataset(800, 10, 33);
+        let c = FairnessConstraint::equal_representation(20, 10).unwrap();
+        let sol = run(&d, c.clone(), 0.2).unwrap();
+        assert_eq!(sol.len(), 20);
+        assert!(c.is_satisfied_by(&sol.group_counts(10)));
+    }
+}

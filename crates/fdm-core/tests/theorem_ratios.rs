@@ -1,0 +1,254 @@
+//! Systematic Monte-Carlo validation of every approximation guarantee the
+//! paper proves, against exact brute-force optima on small instances:
+//!
+//! * Theorem 1 — Algorithm 1 is `(1−ε)/2`-approximate (all metrics).
+//! * Theorem 2 — SFDM1 is `(1−ε)/4`-approximate (m = 2).
+//! * Theorem 4 — SFDM2 is `(1−ε)/(3m+2)`-approximate (m = 2, 3).
+//! * GMM is `1/2`-approximate; FairSwap `1/4`; FairGMM `1/5`.
+//!
+//! Every check runs across a grid of ε and several seeded instances per
+//! cell; tolerances are purely for floating point, not for slack in the
+//! bounds.
+
+use fdm_core::brute::{exact_fair_optimum, exact_unconstrained_optimum};
+use fdm_core::dataset::Dataset;
+use fdm_core::diversity::diversity;
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::metric::Metric;
+use fdm_core::offline::fair_gmm::{FairGmm, FairGmmConfig};
+use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
+use fdm_core::offline::gmm::gmm;
+use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::unconstrained::{
+    StreamingDiversityMaximization, StreamingDmConfig,
+};
+use rand::prelude::*;
+
+const FP_TOL: f64 = 1e-9;
+
+fn random_instance(n: usize, m: usize, metric: Metric, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            // Positive coordinates keep the Angular metric within a
+            // quarter-turn (as for topic vectors).
+            vec![
+                rng.random::<f64>() * 10.0 + 0.1,
+                rng.random::<f64>() * 10.0 + 0.1,
+            ]
+        })
+        .collect();
+    let mut groups: Vec<usize> = (0..n).map(|_| rng.random_range(0..m)).collect();
+    for g in 0..m {
+        groups[g] = g;
+        groups[m + g] = g; // at least two per group
+    }
+    Dataset::from_rows(rows, groups, metric).unwrap()
+}
+
+#[test]
+fn theorem1_all_metrics() {
+    for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Angular] {
+        for eps in [0.05, 0.1, 0.25] {
+            for seed in 0..4 {
+                let d = random_instance(14, 1, metric, 1000 + seed);
+                let k = 4;
+                let opt = exact_unconstrained_optimum(&d, k);
+                let bounds = d.exact_distance_bounds().unwrap();
+                let mut alg = StreamingDiversityMaximization::new(StreamingDmConfig {
+                    k,
+                    epsilon: eps,
+                    bounds,
+                    metric,
+                })
+                .unwrap();
+                for e in d.iter() {
+                    alg.insert(&e);
+                }
+                let sol = alg.finalize().unwrap();
+                let bound = (1.0 - eps) / 2.0 * opt;
+                assert!(
+                    sol.diversity >= bound - FP_TOL,
+                    "{metric:?} eps={eps} seed={seed}: {} < {bound}",
+                    sol.diversity
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem2_sfdm1_grid() {
+    for eps in [0.05, 0.1, 0.2] {
+        for seed in 0..5 {
+            let d = random_instance(14, 2, Metric::Euclidean, 2000 + seed);
+            let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+            let (opt, _) = exact_fair_optimum(&d, &c);
+            let bounds = d.exact_distance_bounds().unwrap();
+            let mut alg = Sfdm1::new(Sfdm1Config {
+                constraint: c,
+                epsilon: eps,
+                bounds,
+                metric: Metric::Euclidean,
+            })
+            .unwrap();
+            for e in d.iter() {
+                alg.insert(&e);
+            }
+            let sol = alg.finalize().unwrap();
+            let bound = (1.0 - eps) / 4.0 * opt;
+            assert!(
+                sol.diversity >= bound - FP_TOL,
+                "eps={eps} seed={seed}: {} < {bound}",
+                sol.diversity
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem2_sfdm1_manhattan_and_angular() {
+    for metric in [Metric::Manhattan, Metric::Angular] {
+        for seed in 0..3 {
+            let d = random_instance(12, 2, metric, 3000 + seed);
+            let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+            let (opt, _) = exact_fair_optimum(&d, &c);
+            if opt <= 0.0 {
+                continue;
+            }
+            let bounds = d.exact_distance_bounds().unwrap();
+            let eps = 0.1;
+            let mut alg = Sfdm1::new(Sfdm1Config {
+                constraint: c,
+                epsilon: eps,
+                bounds,
+                metric,
+            })
+            .unwrap();
+            for e in d.iter() {
+                alg.insert(&e);
+            }
+            let sol = alg.finalize().unwrap();
+            let bound = (1.0 - eps) / 4.0 * opt;
+            assert!(
+                sol.diversity >= bound - FP_TOL,
+                "{metric:?} seed={seed}: {} < {bound}",
+                sol.diversity
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem4_sfdm2_m2_and_m3() {
+    for (m, quotas) in [(2usize, vec![2, 2]), (3, vec![1, 2, 1])] {
+        for eps in [0.1, 0.2] {
+            for seed in 0..4 {
+                let d = random_instance(13, m, Metric::Euclidean, 4000 + seed);
+                let c = FairnessConstraint::new(quotas.clone()).unwrap();
+                let (opt, _) = exact_fair_optimum(&d, &c);
+                if opt <= 0.0 {
+                    continue;
+                }
+                let bounds = d.exact_distance_bounds().unwrap();
+                let mut alg = Sfdm2::new(Sfdm2Config {
+                    constraint: c,
+                    epsilon: eps,
+                    bounds,
+                    metric: Metric::Euclidean,
+                })
+                .unwrap();
+                for e in d.iter() {
+                    alg.insert(&e);
+                }
+                let sol = alg.finalize().unwrap();
+                let bound = (1.0 - eps) / (3.0 * m as f64 + 2.0) * opt;
+                assert!(
+                    sol.diversity >= bound - FP_TOL,
+                    "m={m} eps={eps} seed={seed}: {} < {bound}",
+                    sol.diversity
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gmm_half_approximation_grid() {
+    for k in [3usize, 5] {
+        for seed in 0..5 {
+            let d = random_instance(12, 1, Metric::Euclidean, 5000 + seed);
+            let opt = exact_unconstrained_optimum(&d, k);
+            let sol = gmm(&d, k, seed);
+            let div = diversity(&d, &sol);
+            assert!(
+                div >= opt / 2.0 - FP_TOL,
+                "k={k} seed={seed}: GMM {div} < OPT/2 {}",
+                opt / 2.0
+            );
+        }
+    }
+}
+
+#[test]
+fn fair_swap_quarter_grid() {
+    for seed in 0..5 {
+        let d = random_instance(13, 2, Metric::Euclidean, 6000 + seed);
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let (opt, _) = exact_fair_optimum(&d, &c);
+        let alg = FairSwap::new(FairSwapConfig {
+            constraint: c,
+            seed,
+            strategy: Default::default(),
+        })
+        .unwrap();
+        let sol = alg.run(&d).unwrap();
+        assert!(
+            sol.diversity >= opt / 4.0 - FP_TOL,
+            "seed={seed}: FairSwap {} < OPT/4 {}",
+            sol.diversity,
+            opt / 4.0
+        );
+    }
+}
+
+#[test]
+fn fair_gmm_fifth_grid() {
+    for seed in 0..5 {
+        let d = random_instance(12, 2, Metric::Euclidean, 7000 + seed);
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let (opt, _) = exact_fair_optimum(&d, &c);
+        let alg = FairGmm::new(FairGmmConfig::new(c, seed)).unwrap();
+        let sol = alg.run(&d).unwrap();
+        assert!(
+            sol.diversity >= opt / 5.0 - FP_TOL,
+            "seed={seed}: FairGMM {} < OPT/5 {}",
+            sol.diversity,
+            opt / 5.0
+        );
+    }
+}
+
+#[test]
+fn streaming_never_beats_exact_optimum() {
+    // Sanity direction: no algorithm may exceed the brute-force optimum.
+    for seed in 0..4 {
+        let d = random_instance(12, 2, Metric::Euclidean, 8000 + seed);
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let (opt, _) = exact_fair_optimum(&d, &c);
+        let bounds = d.exact_distance_bounds().unwrap();
+        let mut alg = Sfdm1::new(Sfdm1Config {
+            constraint: c,
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        })
+        .unwrap();
+        for e in d.iter() {
+            alg.insert(&e);
+        }
+        let sol = alg.finalize().unwrap();
+        assert!(sol.diversity <= opt + FP_TOL);
+    }
+}

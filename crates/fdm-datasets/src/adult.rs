@@ -1,0 +1,178 @@
+//! Simulated **Adult** dataset (UCI Census-Income 1994).
+//!
+//! Paper (Table I): 48 842 records, 6 z-scored numeric attributes,
+//! Euclidean distance; groups from *sex* (2, ≈67% male), *race* (5, ≈87%
+//! White), and *sex+race* (10). We do not ship the UCI download; this
+//! seeded generator reproduces the cardinality, dimensionality, metric,
+//! group skew, and the group-conditioned cluster structure that the
+//! algorithms actually exercise (see DESIGN.md §4.1).
+//!
+//! Features mirror the six numeric columns the paper selects: age, final
+//! weight, education-num, capital-gain, capital-loss, hours-per-week —
+//! including the heavy zero-inflation of the capital columns, which is what
+//! gives the real Adult its large metric spread ∆.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+
+use crate::rand_ext::{categorical, log_normal, normal};
+use crate::stats::zscore_columns;
+
+/// Number of records in the real Adult dataset.
+pub const ADULT_FULL_N: usize = 48_842;
+
+/// Which sensitive attribute(s) define the groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdultGrouping {
+    /// Two groups: male / female (≈67% / 33%).
+    Sex,
+    /// Five race groups (≈87% / 5% / 4% / 3% / 1%).
+    Race,
+    /// Ten sex×race groups.
+    SexRace,
+}
+
+impl AdultGrouping {
+    /// Number of groups `m` for this grouping (2 / 5 / 10, as in Table I).
+    pub fn num_groups(&self) -> usize {
+        match self {
+            AdultGrouping::Sex => 2,
+            AdultGrouping::Race => 5,
+            AdultGrouping::SexRace => 10,
+        }
+    }
+}
+
+/// Generates a simulated Adult dataset with `n` rows.
+///
+/// Use [`ADULT_FULL_N`] for the paper-sized instance; smaller `n` keeps the
+/// same distributions (the experiments' per-element costs are
+/// n-independent for the streaming algorithms).
+pub fn adult(grouping: AdultGrouping, n: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let race_weights = [0.87, 0.05, 0.04, 0.03, 0.01];
+    let mut columns: Vec<Vec<f64>> = (0..6).map(|_| Vec::with_capacity(n)).collect();
+    let mut groups = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let male = rng.random::<f64>() < 0.67;
+        let race = categorical(&mut rng, &race_weights);
+        let group = match grouping {
+            AdultGrouping::Sex => usize::from(!male),
+            AdultGrouping::Race => race,
+            AdultGrouping::SexRace => usize::from(!male) * 5 + race,
+        };
+        groups.push(group);
+
+        // Group-conditioned feature distributions: modest mean shifts per
+        // sex/race so groups are geometrically distinguishable (as the real
+        // socio-economic attributes are), plus heavy-tailed capital columns.
+        let race_shift = race as f64 * 0.8;
+        let age = normal(&mut rng, 38.5 + if male { 1.5 } else { -1.5 } - race_shift * 0.4, 13.0)
+            .clamp(17.0, 90.0);
+        let fnlwgt = log_normal(&mut rng, 12.0 - race_shift * 0.05, 0.5);
+        let education = normal(&mut rng, 10.1 + if male { 0.1 } else { 0.0 } - race_shift * 0.3, 2.5)
+            .clamp(1.0, 16.0);
+        let capital_gain = if rng.random::<f64>() < 0.916 {
+            0.0
+        } else {
+            log_normal(&mut rng, 8.0 + if male { 0.3 } else { 0.0 }, 1.0).min(99_999.0)
+        };
+        let capital_loss = if rng.random::<f64>() < 0.953 {
+            0.0
+        } else {
+            log_normal(&mut rng, 7.4, 0.4).min(4_500.0)
+        };
+        let hours = normal(&mut rng, if male { 42.4 } else { 36.4 }, 12.0).clamp(1.0, 99.0);
+
+        for (col, v) in columns
+            .iter_mut()
+            .zip([age, fnlwgt, education, capital_gain, capital_loss, hours])
+        {
+            col.push(v);
+        }
+    }
+
+    zscore_columns(&mut columns);
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
+    // Keep every group populated so ER constraints are feasible at small n.
+    for g in 0..grouping.num_groups().min(n) {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, Metric::Euclidean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let d = adult(AdultGrouping::Sex, 2000, 1).unwrap();
+        assert_eq!(d.len(), 2000);
+        assert_eq!(d.dim(), 6);
+        assert_eq!(d.num_groups(), 2);
+        assert_eq!(d.metric(), Metric::Euclidean);
+    }
+
+    #[test]
+    fn group_counts_match_table1() {
+        assert_eq!(AdultGrouping::Sex.num_groups(), 2);
+        assert_eq!(AdultGrouping::Race.num_groups(), 5);
+        assert_eq!(AdultGrouping::SexRace.num_groups(), 10);
+        let d = adult(AdultGrouping::SexRace, 5000, 2).unwrap();
+        assert_eq!(d.num_groups(), 10);
+        assert!(d.group_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn sex_skew_matches_paper() {
+        // Paper: 67% of records are male (group 0 here).
+        let d = adult(AdultGrouping::Sex, 20_000, 3).unwrap();
+        let male_frac = d.group_sizes()[0] as f64 / d.len() as f64;
+        assert!((male_frac - 0.67).abs() < 0.02, "male fraction {male_frac}");
+    }
+
+    #[test]
+    fn race_skew_matches_paper() {
+        // Paper: 87% of records are White (group 0 here).
+        let d = adult(AdultGrouping::Race, 20_000, 4).unwrap();
+        let white_frac = d.group_sizes()[0] as f64 / d.len() as f64;
+        assert!((white_frac - 0.87).abs() < 0.02, "white fraction {white_frac}");
+    }
+
+    #[test]
+    fn features_are_zscored() {
+        let d = adult(AdultGrouping::Sex, 10_000, 5).unwrap();
+        for j in 0..d.dim() {
+            let vals: Vec<f64> = (0..d.len()).map(|i| d.point(i)[j]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / vals.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-6, "column {j} var {var}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = adult(AdultGrouping::Race, 300, 6).unwrap();
+        let b = adult(AdultGrouping::Race, 300, 6).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+    }
+
+    #[test]
+    fn heavy_tail_capital_columns_create_spread() {
+        // The z-scored capital-gain column (index 3) should have most mass
+        // at one negative value (the zeros) and rare large positives.
+        let d = adult(AdultGrouping::Sex, 20_000, 7).unwrap();
+        let vals: Vec<f64> = (0..d.len()).map(|i| d.point(i)[3]).collect();
+        let big = vals.iter().filter(|&&v| v > 2.0).count() as f64 / vals.len() as f64;
+        assert!(big > 0.005 && big < 0.15, "tail mass {big}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Simulated **CelebA** dataset (face-attribute scores).
+//!
+//! Paper (Table I): 202 599 images, 41 pre-trained class-label features,
+//! Manhattan distance; groups from *sex* (2), *age* (2), and *sex+age* (4).
+//! The simulation draws 41 correlated attribute scores in `[0, 1]` from a
+//! latent-factor model in which sex and age shift a seeded random subset of
+//! attributes (as the real classifier scores co-vary with them); see
+//! DESIGN.md §4.2.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+
+use crate::rand_ext::{normal, standard_normal};
+
+/// Number of images in the real CelebA dataset.
+pub const CELEBA_FULL_N: usize = 202_599;
+
+/// Number of attribute features (the paper uses 41 class labels).
+pub const CELEBA_DIM: usize = 41;
+
+/// Which sensitive attribute(s) define the groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CelebaGrouping {
+    /// Two groups: female / male (≈58% / 42% as in the real label marginals).
+    Sex,
+    /// Two groups: young / not-young (≈77% / 23%).
+    Age,
+    /// Four sex×age groups.
+    SexAge,
+}
+
+impl CelebaGrouping {
+    /// Number of groups `m` for this grouping (2 / 2 / 4, as in Table I).
+    pub fn num_groups(&self) -> usize {
+        match self {
+            CelebaGrouping::Sex | CelebaGrouping::Age => 2,
+            CelebaGrouping::SexAge => 4,
+        }
+    }
+}
+
+/// Generates a simulated CelebA dataset with `n` rows.
+pub fn celeba(grouping: CelebaGrouping, n: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Fixed (seeded) attribute model: base rate plus sex/age loadings plus
+    // two shared latent style factors.
+    let base: Vec<f64> = (0..CELEBA_DIM).map(|_| rng.random::<f64>() * 0.6 + 0.2).collect();
+    let sex_load: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.25)).collect();
+    let age_load: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.2)).collect();
+    let style1: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.15)).collect();
+    let style2: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.15)).collect();
+
+    let mut rows = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let female = rng.random::<f64>() < 0.58;
+        let young = rng.random::<f64>() < 0.77;
+        let group = match grouping {
+            CelebaGrouping::Sex => usize::from(!female),
+            CelebaGrouping::Age => usize::from(!young),
+            CelebaGrouping::SexAge => usize::from(!female) * 2 + usize::from(!young),
+        };
+        groups.push(group);
+
+        let s = if female { 1.0 } else { -1.0 };
+        let a = if young { 1.0 } else { -1.0 };
+        let f1 = standard_normal(&mut rng);
+        let f2 = standard_normal(&mut rng);
+        let row: Vec<f64> = (0..CELEBA_DIM)
+            .map(|j| {
+                let score = base[j]
+                    + s * sex_load[j]
+                    + a * age_load[j]
+                    + f1 * style1[j]
+                    + f2 * style2[j]
+                    + normal(&mut rng, 0.0, 0.08);
+                score.clamp(0.0, 1.0)
+            })
+            .collect();
+        rows.push(row);
+    }
+    for g in 0..grouping.num_groups().min(n) {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, Metric::Manhattan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let d = celeba(CelebaGrouping::Sex, 1500, 1).unwrap();
+        assert_eq!(d.len(), 1500);
+        assert_eq!(d.dim(), 41);
+        assert_eq!(d.num_groups(), 2);
+        assert_eq!(d.metric(), Metric::Manhattan);
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let d = celeba(CelebaGrouping::SexAge, 800, 2).unwrap();
+        for i in 0..d.len() {
+            for &v in d.point(i) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn group_marginals() {
+        let d = celeba(CelebaGrouping::Sex, 20_000, 3).unwrap();
+        let female = d.group_sizes()[0] as f64 / d.len() as f64;
+        assert!((female - 0.58).abs() < 0.02, "female fraction {female}");
+        let d = celeba(CelebaGrouping::Age, 20_000, 3).unwrap();
+        let young = d.group_sizes()[0] as f64 / d.len() as f64;
+        assert!((young - 0.77).abs() < 0.02, "young fraction {young}");
+        let d = celeba(CelebaGrouping::SexAge, 20_000, 3).unwrap();
+        assert_eq!(d.num_groups(), 4);
+        assert!(d.group_sizes().iter().all(|&s| s > 100));
+    }
+
+    #[test]
+    fn sex_separates_groups_geometrically() {
+        // Mean Manhattan distance across sexes should exceed within-sex.
+        let d = celeba(CelebaGrouping::Sex, 600, 4).unwrap();
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for i in 0..200 {
+            for j in (i + 1)..200 {
+                let dist = d.dist(i, j);
+                if d.group(i) == d.group(j) {
+                    within = (within.0 + dist, within.1 + 1);
+                } else {
+                    across = (across.0 + dist, across.1 + 1);
+                }
+            }
+        }
+        let within_mean = within.0 / within.1 as f64;
+        let across_mean = across.0 / across.1 as f64;
+        assert!(
+            across_mean > within_mean * 1.02,
+            "across {across_mean} vs within {within_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = celeba(CelebaGrouping::Age, 200, 5).unwrap();
+        let b = celeba(CelebaGrouping::Age, 200, 5).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+        }
+    }
+}

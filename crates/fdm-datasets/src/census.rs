@@ -1,0 +1,177 @@
+//! Simulated **US Census 1990** dataset.
+//!
+//! Paper (Table I): 2 426 116 records, 25 normalized numeric attributes,
+//! Manhattan distance; groups from *sex* (2), *age* (7), and *sex+age*
+//! (14). The simulation draws each record from one of a fixed set of
+//! household "archetypes" (a Gaussian mixture in 25 dimensions) with
+//! sex/age-dependent shifts, then z-scores the columns; see DESIGN.md §4.3.
+//! The full 2.4M-row instance is available but the experiment defaults use
+//! fewer rows — the streaming algorithms' per-element cost and space are
+//! `n`-independent, so the shape of every figure is preserved.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+
+use crate::rand_ext::{categorical, normal};
+use crate::stats::zscore_columns;
+
+/// Number of records in the real Census 1990 extract.
+pub const CENSUS_FULL_N: usize = 2_426_116;
+
+/// Number of numeric attributes used by the paper.
+pub const CENSUS_DIM: usize = 25;
+
+/// Number of age brackets in the 7-group setting.
+pub const CENSUS_AGE_GROUPS: usize = 7;
+
+/// Which sensitive attribute(s) define the groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CensusGrouping {
+    /// Two sex groups (≈52% / 48%).
+    Sex,
+    /// Seven age brackets.
+    Age,
+    /// Fourteen sex×age groups.
+    SexAge,
+}
+
+impl CensusGrouping {
+    /// Number of groups `m` for this grouping (2 / 7 / 14, as in Table I).
+    pub fn num_groups(&self) -> usize {
+        match self {
+            CensusGrouping::Sex => 2,
+            CensusGrouping::Age => CENSUS_AGE_GROUPS,
+            CensusGrouping::SexAge => 2 * CENSUS_AGE_GROUPS,
+        }
+    }
+}
+
+/// Generates a simulated Census dataset with `n` rows.
+pub fn census(grouping: CensusGrouping, n: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Household archetypes: 12 mixture components over 25 attributes.
+    const ARCHETYPES: usize = 12;
+    let means: Vec<Vec<f64>> = (0..ARCHETYPES)
+        .map(|_| (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 2.0)).collect())
+        .collect();
+    let archetype_weights: Vec<f64> =
+        (0..ARCHETYPES).map(|_| rng.random::<f64>() + 0.2).collect();
+    let sex_shift: Vec<f64> =
+        (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 0.4)).collect();
+    let age_shift: Vec<f64> =
+        (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 0.25)).collect();
+    // Age-bracket population shares, roughly the 1990 pyramid.
+    let age_weights = [0.10, 0.14, 0.17, 0.16, 0.13, 0.16, 0.14];
+
+    let mut columns: Vec<Vec<f64>> =
+        (0..CENSUS_DIM).map(|_| Vec::with_capacity(n)).collect();
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let male = rng.random::<f64>() < 0.48;
+        let age = categorical(&mut rng, &age_weights);
+        let group = match grouping {
+            CensusGrouping::Sex => usize::from(male),
+            CensusGrouping::Age => age,
+            CensusGrouping::SexAge => usize::from(male) * CENSUS_AGE_GROUPS + age,
+        };
+        groups.push(group);
+
+        let arch = categorical(&mut rng, &archetype_weights);
+        let s = if male { 1.0 } else { -1.0 };
+        let a = age as f64 - 3.0; // centered bracket index
+        for (j, col) in columns.iter_mut().enumerate() {
+            let v = means[arch][j] + s * sex_shift[j] + a * age_shift[j]
+                + normal(&mut rng, 0.0, 0.6);
+            col.push(v);
+        }
+    }
+
+    zscore_columns(&mut columns);
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
+    for g in 0..grouping.num_groups().min(n) {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, Metric::Manhattan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        let d = census(CensusGrouping::Age, 3000, 1).unwrap();
+        assert_eq!(d.len(), 3000);
+        assert_eq!(d.dim(), 25);
+        assert_eq!(d.num_groups(), 7);
+        assert_eq!(d.metric(), Metric::Manhattan);
+    }
+
+    #[test]
+    fn group_settings_match_table1() {
+        assert_eq!(CensusGrouping::Sex.num_groups(), 2);
+        assert_eq!(CensusGrouping::Age.num_groups(), 7);
+        assert_eq!(CensusGrouping::SexAge.num_groups(), 14);
+        let d = census(CensusGrouping::SexAge, 10_000, 2).unwrap();
+        assert_eq!(d.num_groups(), 14);
+        assert!(d.group_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn columns_are_normalized() {
+        let d = census(CensusGrouping::Sex, 5000, 3).unwrap();
+        for j in 0..d.dim() {
+            let vals: Vec<f64> = (0..d.len()).map(|i| d.point(i)[j]).collect();
+            let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn age_pyramid_is_skewed_but_covering() {
+        let d = census(CensusGrouping::Age, 30_000, 4).unwrap();
+        for (g, &s) in d.group_sizes().iter().enumerate() {
+            let frac = s as f64 / d.len() as f64;
+            assert!(frac > 0.05 && frac < 0.25, "bracket {g} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn mixture_structure_beats_pure_noise() {
+        // With 12 archetypes of radius ~0.6 noise and means of scale 2.0,
+        // the distance distribution should be bimodal-ish: nearest-neighbor
+        // distances well below the mean pairwise distance.
+        let d = census(CensusGrouping::Sex, 400, 5).unwrap();
+        let mut all = Vec::new();
+        let mut nn = vec![f64::INFINITY; 200];
+        for i in 0..200 {
+            for j in 0..200 {
+                if i == j {
+                    continue;
+                }
+                let dist = d.dist(i, j);
+                if j > i {
+                    all.push(dist);
+                }
+                nn[i] = nn[i].min(dist);
+            }
+        }
+        let mean_all = all.iter().sum::<f64>() / all.len() as f64;
+        let mean_nn = nn.iter().sum::<f64>() / nn.len() as f64;
+        assert!(mean_nn < 0.8 * mean_all, "nn {mean_nn} vs all {mean_all}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = census(CensusGrouping::Sex, 150, 6).unwrap();
+        let b = census(CensusGrouping::Sex, 150, 6).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! One-pass CSV element streams.
+//!
+//! [`loader::load_csv`](crate::loader::load_csv) materializes a whole
+//! [`Dataset`](fdm_core::dataset::Dataset) — fine for the offline baselines,
+//! but it defeats the point of a streaming algorithm whose selling point is
+//! `O(poly(k, m, log ∆))` memory. [`CsvElementStream`] instead parses rows
+//! lazily from any `BufRead` and yields [`Element`]s one at a time, so
+//! SFDM1/SFDM2 can run over files larger than memory.
+//!
+//! Normalization note: z-scoring needs global column statistics, which a
+//! single pass cannot know upfront. Provide them via
+//! [`CsvStreamOptions::standardize`] (means/std-devs from metadata or a
+//! prior cheap pass), or stream raw values.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use fdm_core::error::{FdmError, Result};
+use fdm_core::point::Element;
+
+/// Per-column standardization parameters.
+#[derive(Debug, Clone)]
+pub struct Standardize {
+    /// Column means, one per feature column.
+    pub means: Vec<f64>,
+    /// Column standard deviations (zeros are treated as 1).
+    pub std_devs: Vec<f64>,
+}
+
+/// Options for [`CsvElementStream`].
+#[derive(Debug, Clone)]
+pub struct CsvStreamOptions {
+    /// Zero-based indices of numeric feature columns.
+    pub feature_columns: Vec<usize>,
+    /// Zero-based index of the group column; distinct values become dense
+    /// group labels in first-appearance order.
+    pub group_column: usize,
+    /// Whether to skip the first line.
+    pub has_header: bool,
+    /// Field delimiter.
+    pub delimiter: char,
+    /// Optional online standardization.
+    pub standardize: Option<Standardize>,
+}
+
+/// A lazy element stream over delimited text.
+///
+/// Malformed rows (missing fields, non-numeric features) are skipped and
+/// counted in [`CsvElementStream::skipped`], mirroring the eager loader.
+pub struct CsvElementStream<R: BufRead> {
+    reader: R,
+    options: CsvStreamOptions,
+    group_ids: HashMap<String, usize>,
+    next_id: usize,
+    skipped: usize,
+    line: String,
+    header_pending: bool,
+}
+
+impl CsvElementStream<BufReader<File>> {
+    /// Opens a file-backed stream.
+    pub fn open<P: AsRef<Path>>(path: P, options: CsvStreamOptions) -> Result<Self> {
+        let file = File::open(path.as_ref())
+            .map_err(|_| FdmError::NotEnoughElements { required: 1, available: 0 })?;
+        Ok(CsvElementStream::from_reader(BufReader::new(file), options))
+    }
+}
+
+impl<R: BufRead> CsvElementStream<R> {
+    /// Wraps any buffered reader.
+    pub fn from_reader(reader: R, options: CsvStreamOptions) -> Self {
+        let header_pending = options.has_header;
+        CsvElementStream {
+            reader,
+            options,
+            group_ids: HashMap::new(),
+            next_id: 0,
+            skipped: 0,
+            line: String::new(),
+            header_pending,
+        }
+    }
+
+    /// Rows skipped so far because of parse failures.
+    pub fn skipped(&self) -> usize {
+        self.skipped
+    }
+
+    /// Group labels discovered so far, densely numbered.
+    pub fn num_groups(&self) -> usize {
+        self.group_ids.len()
+    }
+
+    fn parse_current_line(&mut self) -> Option<Element> {
+        let fields: Vec<&str> =
+            self.line.trim_end().split(self.options.delimiter).map(str::trim).collect();
+        let max_needed = self
+            .options
+            .feature_columns
+            .iter()
+            .copied()
+            .chain([self.options.group_column])
+            .max()
+            .unwrap_or(0);
+        if fields.len() <= max_needed {
+            return None;
+        }
+        let mut point = Vec::with_capacity(self.options.feature_columns.len());
+        for (slot, &c) in self.options.feature_columns.iter().enumerate() {
+            let v: f64 = fields[c].parse().ok().filter(|v: &f64| v.is_finite())?;
+            let v = match &self.options.standardize {
+                Some(s) => {
+                    let sd = s.std_devs.get(slot).copied().unwrap_or(1.0);
+                    let mean = s.means.get(slot).copied().unwrap_or(0.0);
+                    (v - mean) / if sd > 0.0 { sd } else { 1.0 }
+                }
+                None => v,
+            };
+            point.push(v);
+        }
+        let key = fields[self.options.group_column].to_owned();
+        let fresh = self.group_ids.len();
+        let group = *self.group_ids.entry(key).or_insert(fresh);
+        let id = self.next_id;
+        self.next_id += 1;
+        Some(Element::new(id, point, group))
+    }
+}
+
+impl<R: BufRead> Iterator for CsvElementStream<R> {
+    type Item = Element;
+
+    fn next(&mut self) -> Option<Element> {
+        loop {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(_) => {
+                    self.skipped += 1;
+                    continue;
+                }
+            }
+            if self.header_pending {
+                self.header_pending = false;
+                continue;
+            }
+            if self.line.trim().is_empty() {
+                continue;
+            }
+            match self.parse_current_line() {
+                Some(e) => return Some(e),
+                None => {
+                    self.skipped += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn options() -> CsvStreamOptions {
+        CsvStreamOptions {
+            feature_columns: vec![0, 2],
+            group_column: 1,
+            has_header: true,
+            delimiter: ',',
+            standardize: None,
+        }
+    }
+
+    fn stream(content: &str, opts: CsvStreamOptions) -> CsvElementStream<Cursor<&[u8]>> {
+        CsvElementStream::from_reader(Cursor::new(content.as_bytes()), opts)
+    }
+
+    #[test]
+    fn yields_elements_lazily() {
+        let csv = "age,sex,hours\n30,M,40\n25,F,35\n41,M,50\n";
+        let mut s = stream(csv, options());
+        let e0 = s.next().unwrap();
+        assert_eq!(e0.id, 0);
+        assert_eq!(&e0.point[..], &[30.0, 40.0]);
+        assert_eq!(e0.group, 0);
+        let e1 = s.next().unwrap();
+        assert_eq!(e1.group, 1);
+        assert!(s.next().is_some());
+        assert!(s.next().is_none());
+        assert_eq!(s.num_groups(), 2);
+        assert_eq!(s.skipped(), 0);
+    }
+
+    #[test]
+    fn skips_malformed_rows_and_counts_them() {
+        let csv = "a,g,b\n1,x,2\nbad,x,2\n3,y,oops\n4,y,5\n\n";
+        let mut s = stream(csv, options());
+        let ids: Vec<usize> = s.by_ref().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(s.skipped(), 2);
+    }
+
+    #[test]
+    fn standardization_is_applied() {
+        let csv = "a,g,b\n10,x,100\n20,x,200\n";
+        let mut opts = options();
+        opts.standardize = Some(Standardize {
+            means: vec![15.0, 150.0],
+            std_devs: vec![5.0, 50.0],
+        });
+        let elems: Vec<Element> = stream(csv, opts).collect();
+        assert_eq!(&elems[0].point[..], &[-1.0, -1.0]);
+        assert_eq!(&elems[1].point[..], &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_std_dev_does_not_divide_by_zero() {
+        let csv = "a,g,b\n10,x,100\n";
+        let mut opts = options();
+        opts.standardize =
+            Some(Standardize { means: vec![10.0, 0.0], std_devs: vec![0.0, 1.0] });
+        let elems: Vec<Element> = stream(csv, opts).collect();
+        assert_eq!(elems[0].point[0], 0.0);
+        assert!(elems[0].point[1].is_finite());
+    }
+
+    #[test]
+    fn no_header_mode() {
+        let csv = "1,x,2\n3,y,4\n";
+        let mut opts = options();
+        opts.has_header = false;
+        let elems: Vec<Element> = stream(csv, opts).collect();
+        assert_eq!(elems.len(), 2);
+        assert_eq!(&elems[0].point[..], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn feeds_streaming_algorithm_end_to_end() {
+        use fdm_core::dataset::DistanceBounds;
+        use fdm_core::fairness::FairnessConstraint;
+        use fdm_core::metric::Metric;
+        use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+
+        let mut csv = String::from("x,g,y\n");
+        for i in 0..60 {
+            csv.push_str(&format!("{},{},{}\n", i, if i % 2 == 0 { "A" } else { "B" }, i * 2));
+        }
+        let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let mut alg = Sfdm1::new(Sfdm1Config {
+            constraint: constraint.clone(),
+            epsilon: 0.1,
+            bounds: DistanceBounds::new(1.0, 200.0).unwrap(),
+            metric: Metric::Euclidean,
+        })
+        .unwrap();
+        for e in stream(&csv, options()) {
+            alg.insert(&e);
+        }
+        let sol = alg.finalize().unwrap();
+        assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(CsvElementStream::open("/nonexistent.csv", options()).is_err());
+    }
+}

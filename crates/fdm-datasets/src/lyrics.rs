@@ -1,0 +1,139 @@
+//! Simulated **Lyrics** dataset (Musixmatch + LDA topic vectors).
+//!
+//! Paper (Table I): 122 448 song documents, each a 50-dimensional LDA topic
+//! vector (trained with Gensim), angular distance; 15 groups from primary
+//! genre. The simulation draws sparse topic-simplex vectors from
+//! genre-specific Dirichlet priors (each genre concentrates on a few
+//! signature topics), with a Zipf-like skew over genre sizes; see
+//! DESIGN.md §4.4. Because all coordinates are non-negative, angular
+//! distances are at most `π/2` — the property the paper leans on when it
+//! restricts ε to `≤ 0.1` on this dataset.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+
+use crate::rand_ext::{categorical, dirichlet};
+
+/// Number of documents in the real Lyrics dataset.
+pub const LYRICS_FULL_N: usize = 122_448;
+
+/// Topic-model dimensionality.
+pub const LYRICS_DIM: usize = 50;
+
+/// Number of genre groups.
+pub const LYRICS_GENRES: usize = 15;
+
+/// Generates a simulated Lyrics dataset with `n` rows.
+pub fn lyrics(n: usize, seed: u64) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Zipf-ish genre popularity: weight ∝ 1/(rank+1).
+    let genre_weights: Vec<f64> =
+        (0..LYRICS_GENRES).map(|g| 1.0 / (g as f64 + 1.0)).collect();
+
+    // Genre-specific Dirichlet priors: sparse background plus a boost on a
+    // seeded set of signature topics per genre.
+    let priors: Vec<Vec<f64>> = (0..LYRICS_GENRES)
+        .map(|_| {
+            let mut alpha = vec![0.06; LYRICS_DIM];
+            for _ in 0..5 {
+                let topic = rng.random_range(0..LYRICS_DIM);
+                alpha[topic] += 1.2;
+            }
+            alpha
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(n);
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        let genre = categorical(&mut rng, &genre_weights);
+        groups.push(genre);
+        rows.push(dirichlet(&mut rng, &priors[genre]));
+    }
+    for g in 0..LYRICS_GENRES.min(n) {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, Metric::Angular)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn table1_shape() {
+        let d = lyrics(2000, 1).unwrap();
+        assert_eq!(d.len(), 2000);
+        assert_eq!(d.dim(), 50);
+        assert_eq!(d.num_groups(), 15);
+        assert_eq!(d.metric(), Metric::Angular);
+    }
+
+    #[test]
+    fn rows_are_topic_simplex_vectors() {
+        let d = lyrics(500, 2).unwrap();
+        for i in 0..d.len() {
+            let p = d.point(i);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row {i} sums to {sum}");
+            assert!(p.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn angular_distances_capped_at_half_pi() {
+        let d = lyrics(300, 3).unwrap();
+        for i in 0..50 {
+            for j in (i + 1)..50 {
+                let dist = d.dist(i, j);
+                assert!(dist <= FRAC_PI_2 + 1e-9, "distance {dist} exceeds pi/2");
+                assert!(dist >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn genre_sizes_are_skewed() {
+        let d = lyrics(30_000, 4).unwrap();
+        let sizes = d.group_sizes();
+        assert!(sizes[0] > sizes[LYRICS_GENRES - 1] * 3, "sizes {sizes:?}");
+        assert!(sizes.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn same_genre_is_closer_on_average() {
+        let d = lyrics(600, 5).unwrap();
+        let mut within = (0.0, 0usize);
+        let mut across = (0.0, 0usize);
+        for i in 0..150 {
+            for j in (i + 1)..150 {
+                let dist = d.dist(i, j);
+                if d.group(i) == d.group(j) {
+                    within = (within.0 + dist, within.1 + 1);
+                } else {
+                    across = (across.0 + dist, across.1 + 1);
+                }
+            }
+        }
+        let within_mean = within.0 / within.1.max(1) as f64;
+        let across_mean = across.0 / across.1.max(1) as f64;
+        assert!(
+            across_mean > within_mean,
+            "across {across_mean} vs within {within_mean}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = lyrics(200, 6).unwrap();
+        let b = lyrics(200, 6).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+    }
+}

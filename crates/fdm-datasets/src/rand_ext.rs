@@ -1,0 +1,201 @@
+//! Distribution samplers built on `rand` only.
+//!
+//! The workspace's dependency policy allows `rand` but not `rand_distr`, so
+//! the handful of distributions the generators need — normal (Marsaglia
+//! polar), gamma (Marsaglia–Tsang), Dirichlet (normalized gammas), and
+//! weighted categorical — are implemented here with unit tests checking
+//! their moments.
+
+use rand::Rng;
+
+/// Standard normal sample via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u = rng.random::<f64>() * 2.0 - 1.0;
+        let v = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Gamma(shape, 1) sample via Marsaglia–Tsang, with the standard boost for
+/// `shape < 1`.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boosting: Gamma(a) = Gamma(a+1) · U^(1/a).
+        let g = gamma(rng, shape + 1.0);
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return g * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.random();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Dirichlet sample with per-coordinate concentrations `alpha`.
+pub fn dirichlet<R: Rng + ?Sized>(rng: &mut R, alpha: &[f64]) -> Vec<f64> {
+    assert!(!alpha.is_empty(), "dirichlet needs at least one coordinate");
+    let gammas: Vec<f64> = alpha.iter().map(|&a| gamma(rng, a)).collect();
+    let sum: f64 = gammas.iter().sum();
+    if sum <= 0.0 {
+        // Degenerate draw (all gammas underflowed): fall back to uniform.
+        let u = 1.0 / alpha.len() as f64;
+        return vec![u; alpha.len()];
+    }
+    gammas.iter().map(|&g| g / sum).collect()
+}
+
+/// Samples an index with probability proportional to `weights`.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must have positive sum");
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        target -= w;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..50_000).map(|_| standard_normal(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn normal_shift_and_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 5.0).abs() < 0.05);
+        assert!((var - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn gamma_moments_shape_above_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shape = 3.5;
+        let samples: Vec<f64> = (0..50_000).map(|_| gamma(&mut rng, shape)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - shape).abs() < 0.1, "mean {mean}");
+        assert!((var - shape).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn gamma_moments_shape_below_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let shape = 0.3;
+        let samples: Vec<f64> = (0..100_000).map(|_| gamma(&mut rng, shape)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - shape).abs() < 0.02, "mean {mean}");
+        assert!((var - shape).abs() < 0.1, "var {var}");
+        assert!(samples.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one_and_tracks_alpha() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let alpha = [2.0, 1.0, 1.0];
+        let mut mean = [0.0f64; 3];
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = dirichlet(&mut rng, &alpha);
+            let total: f64 = s.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            for (m, v) in mean.iter_mut().zip(&s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= trials as f64;
+        }
+        // E[x_i] = alpha_i / sum(alpha) = [0.5, 0.25, 0.25].
+        assert!((mean[0] - 0.5).abs() < 0.01, "{mean:?}");
+        assert!((mean[1] - 0.25).abs() < 0.01, "{mean:?}");
+    }
+
+    #[test]
+    fn sparse_dirichlet_is_sparse() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let alpha = vec![0.1; 20];
+        let s = dirichlet(&mut rng, &alpha);
+        // With alpha = 0.1 most mass concentrates on a few coordinates.
+        let big = s.iter().filter(|&&x| x > 0.05).count();
+        assert!(big <= 10, "expected sparse vector, got {big} large coords");
+    }
+
+    #[test]
+    fn categorical_frequencies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let weights = [0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        let trials = 50_000;
+        for _ in 0..trials {
+            counts[categorical(&mut rng, &weights)] += 1;
+        }
+        for (i, &w) in weights.iter().enumerate() {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!((freq - w).abs() < 0.01, "index {i}: freq {freq} vs weight {w}");
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert!(log_normal(&mut rng, 0.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma shape")]
+    fn gamma_rejects_nonpositive_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        gamma(&mut rng, 0.0);
+    }
+}

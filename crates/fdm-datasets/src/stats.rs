@@ -1,0 +1,76 @@
+//! Column statistics used by the dataset generators and the CSV loader.
+
+/// Z-scores every column in place (zero mean, unit standard deviation).
+///
+/// Constant columns are centered but left unscaled (their standard
+/// deviation is zero).
+pub fn zscore_columns(columns: &mut [Vec<f64>]) {
+    for col in columns.iter_mut() {
+        if col.is_empty() {
+            continue;
+        }
+        let n = col.len() as f64;
+        let mean = col.iter().sum::<f64>() / n;
+        let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        if std > 0.0 {
+            for v in col.iter_mut() {
+                *v = (*v - mean) / std;
+            }
+        } else {
+            for v in col.iter_mut() {
+                *v -= mean;
+            }
+        }
+    }
+}
+
+/// Min–max scales every column in place to `[0, 1]`.
+///
+/// Constant columns map to 0.
+pub fn minmax_columns(columns: &mut [Vec<f64>]) {
+    for col in columns.iter_mut() {
+        if col.is_empty() {
+            continue;
+        }
+        let lo = col.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = col.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let range = hi - lo;
+        for v in col.iter_mut() {
+            *v = if range > 0.0 { (*v - lo) / range } else { 0.0 };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zscore_normalizes() {
+        let mut cols = vec![vec![1.0, 2.0, 3.0, 4.0], vec![10.0, 10.0, 10.0, 10.0]];
+        zscore_columns(&mut cols);
+        let mean0: f64 = cols[0].iter().sum::<f64>() / 4.0;
+        assert!(mean0.abs() < 1e-12);
+        let var0: f64 = cols[0].iter().map(|v| v * v).sum::<f64>() / 4.0;
+        assert!((var0 - 1.0).abs() < 1e-12);
+        // Constant column centered to zero.
+        assert!(cols[1].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_scales_to_unit_interval() {
+        let mut cols = vec![vec![-5.0, 0.0, 5.0], vec![7.0, 7.0, 7.0]];
+        minmax_columns(&mut cols);
+        assert_eq!(cols[0], vec![0.0, 0.5, 1.0]);
+        assert_eq!(cols[1], vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_columns_are_noops() {
+        let mut cols: Vec<Vec<f64>> = vec![vec![]];
+        zscore_columns(&mut cols);
+        minmax_columns(&mut cols);
+        assert!(cols[0].is_empty());
+    }
+}

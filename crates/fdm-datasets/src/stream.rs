@@ -1,0 +1,65 @@
+//! Stream-order utilities.
+//!
+//! The paper runs each experiment 10 times "with different permutations of
+//! the same dataset" and reports averages; [`shuffled_indices`] provides the
+//! seeded Fisher–Yates permutations, and [`stream_elements`] adapts a
+//! dataset to an arbitrary-order element stream.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::point::Element;
+use rand::prelude::*;
+
+/// A seeded random permutation of `0..n` (Fisher–Yates).
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    indices
+}
+
+/// Iterates the dataset as an element stream in the given row order.
+pub fn stream_elements<'a>(
+    dataset: &'a Dataset,
+    order: &'a [usize],
+) -> impl Iterator<Item = Element> + 'a {
+    order.iter().map(move |&i| dataset.element(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fdm_core::metric::Metric;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = shuffled_indices(100, 7);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        assert_eq!(shuffled_indices(50, 1), shuffled_indices(50, 1));
+        assert_ne!(shuffled_indices(50, 1), shuffled_indices(50, 2));
+    }
+
+    #[test]
+    fn stream_follows_order() {
+        let d = Dataset::from_rows(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![0, 0, 0],
+            Metric::Euclidean,
+        )
+        .unwrap();
+        let order = vec![2, 0, 1];
+        let ids: Vec<usize> = stream_elements(&d, &order).map(|e| e.id).collect();
+        assert_eq!(ids, order);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(shuffled_indices(0, 3).is_empty());
+        assert_eq!(shuffled_indices(1, 3), vec![0]);
+    }
+}

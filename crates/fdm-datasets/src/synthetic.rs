@@ -1,0 +1,140 @@
+//! The paper's synthetic benchmark (Table I, Figs. 10–11).
+//!
+//! "We generate ten 2-dimensional Gaussian isotropic blobs with random
+//! centers in `[−10, 10]²` and identity covariance matrices. We assign
+//! points to groups uniformly at random. The Euclidean distance is used as
+//! the distance metric." `n` varies in `10³..10⁷`, `m` in `2..20`.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::error::Result;
+use fdm_core::metric::Metric;
+use rand::prelude::*;
+
+use crate::rand_ext::standard_normal;
+
+/// Parameters for [`synthetic_blobs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticConfig {
+    /// Total number of points `n`.
+    pub n: usize,
+    /// Number of groups `m` (assigned uniformly at random).
+    pub m: usize,
+    /// Number of Gaussian blobs (the paper fixes 10).
+    pub blobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig { n: 1000, m: 2, blobs: 10, seed: 42 }
+    }
+}
+
+/// Generates the paper's synthetic dataset.
+pub fn synthetic_blobs(config: SyntheticConfig) -> Result<Dataset> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let blobs = config.blobs.max(1);
+    let centers: Vec<(f64, f64)> = (0..blobs)
+        .map(|_| {
+            (
+                rng.random::<f64>() * 20.0 - 10.0,
+                rng.random::<f64>() * 20.0 - 10.0,
+            )
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(config.n);
+    let mut groups = Vec::with_capacity(config.n);
+    for _ in 0..config.n {
+        let &(cx, cy) = centers.choose(&mut rng).expect("blobs >= 1");
+        rows.push(vec![
+            cx + standard_normal(&mut rng),
+            cy + standard_normal(&mut rng),
+        ]);
+        groups.push(rng.random_range(0..config.m.max(1)));
+    }
+    // Every group must be populated so equal-representation constraints are
+    // feasible even for small n.
+    for g in 0..config.m.min(config.n) {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, Metric::Euclidean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_config() {
+        let d = synthetic_blobs(SyntheticConfig { n: 500, m: 5, blobs: 10, seed: 1 }).unwrap();
+        assert_eq!(d.len(), 500);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_groups(), 5);
+        assert_eq!(d.metric(), Metric::Euclidean);
+        assert!(d.group_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SyntheticConfig { n: 100, m: 3, blobs: 10, seed: 9 };
+        let a = synthetic_blobs(cfg).unwrap();
+        let b = synthetic_blobs(cfg).unwrap();
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+        let c = synthetic_blobs(SyntheticConfig { seed: 10, ..cfg }).unwrap();
+        let differs = (0..a.len()).any(|i| a.point(i) != c.point(i));
+        assert!(differs, "different seeds must differ");
+    }
+
+    #[test]
+    fn points_stay_near_the_box() {
+        // Centers in [-10,10]², unit variance: virtually everything within
+        // [-16, 16].
+        let d = synthetic_blobs(SyntheticConfig { n: 2000, m: 2, blobs: 10, seed: 3 }).unwrap();
+        for i in 0..d.len() {
+            let p = d.point(i);
+            assert!(p[0].abs() < 16.0 && p[1].abs() < 16.0, "outlier {p:?}");
+        }
+    }
+
+    #[test]
+    fn groups_roughly_uniform() {
+        let m = 4;
+        let d = synthetic_blobs(SyntheticConfig { n: 8000, m, blobs: 10, seed: 4 }).unwrap();
+        for &s in d.group_sizes() {
+            let frac = s as f64 / 8000.0;
+            assert!((frac - 0.25).abs() < 0.03, "group fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn blob_structure_exists() {
+        // Mean distance to nearest blob center should be ~E|N(0,I)| ≈ 1.25,
+        // far below the typical inter-center distance.
+        let cfg = SyntheticConfig { n: 1000, m: 2, blobs: 10, seed: 5 };
+        let d = synthetic_blobs(cfg).unwrap();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let centers: Vec<(f64, f64)> = (0..10)
+            .map(|_| {
+                (
+                    rng.random::<f64>() * 20.0 - 10.0,
+                    rng.random::<f64>() * 20.0 - 10.0,
+                )
+            })
+            .collect();
+        let mut total = 0.0;
+        for i in 0..d.len() {
+            let p = d.point(i);
+            let nearest = centers
+                .iter()
+                .map(|&(cx, cy)| ((p[0] - cx).powi(2) + (p[1] - cy).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            total += nearest;
+        }
+        let mean = total / d.len() as f64;
+        assert!(mean < 2.0, "mean nearest-center distance {mean} too large");
+    }
+}

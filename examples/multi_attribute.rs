@@ -1,0 +1,86 @@
+//! Fairness over two sensitive attributes at once (extension; paper §VI
+//! future work).
+//!
+//! Selects a committee of 12 people that is simultaneously balanced by sex
+//! (6 + 6) and by three age brackets (4 + 4 + 4) while maximizing
+//! diversity over their feature vectors. Uses the transportation-flow
+//! reduction in `fdm::core::multifair`: a max-flow derives feasible
+//! per-(sex, age) cell quotas, and SFDM2 runs on the product groups.
+//!
+//! Run with: `cargo run --release --example multi_attribute`
+
+use fdm::core::multifair::{derive_cell_quotas, TwoAttributeConstraint, TwoAttributeSfdm};
+use fdm::core::prelude::*;
+use rand::prelude::*;
+
+fn main() -> Result<()> {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let n = 10_000;
+
+    // Population: features in R^4, sex ∈ {0,1}, age bracket ∈ {0,1,2} with
+    // a skewed joint distribution (older men overrepresented).
+    let mut rows = Vec::with_capacity(n);
+    let mut labels: Vec<(usize, usize)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sex = usize::from(rng.random::<f64>() < 0.45);
+        let age = if rng.random::<f64>() < if sex == 0 { 0.5 } else { 0.25 } {
+            2
+        } else {
+            rng.random_range(0..2)
+        };
+        rows.push(vec![
+            rng.random::<f64>() * 10.0 + sex as f64,
+            rng.random::<f64>() * 10.0 - age as f64,
+            rng.random::<f64>() * 10.0,
+            rng.random::<f64>() * 10.0,
+        ]);
+        labels.push((sex, age));
+    }
+    let dataset = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean)?;
+
+    // Joint availability counts (one cheap counting pass / metadata).
+    let mut availability = vec![vec![0usize; 3]; 2];
+    for &(a, b) in &labels {
+        availability[a][b] += 1;
+    }
+    println!("population (sex × age) counts: {availability:?}");
+
+    let constraint = TwoAttributeConstraint::new(vec![6, 6], vec![4, 4, 4])?;
+    let cells = derive_cell_quotas(&constraint, &availability)?;
+    println!("transportation-derived cell quotas: {cells:?}");
+
+    let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
+    let mut alg = TwoAttributeSfdm::new(
+        constraint.clone(),
+        &availability,
+        0.1,
+        bounds,
+        dataset.metric(),
+    )?;
+    for (i, (a, b)) in labels.iter().enumerate() {
+        alg.insert(&dataset.element(i), *a, *b);
+    }
+    let committee = alg.finalize()?;
+
+    // Recover the original labels and verify both marginals.
+    let pairs: Vec<(usize, usize)> = committee
+        .elements
+        .iter()
+        .map(|e| alg.dense_to_cell(e.group).expect("label mapping"))
+        .collect();
+    let mut sex_counts = [0usize; 2];
+    let mut age_counts = [0usize; 3];
+    for &(a, b) in &pairs {
+        sex_counts[a] += 1;
+        age_counts[b] += 1;
+    }
+    println!("\ncommittee of {}: div = {:.4}", committee.len(), committee.diversity);
+    println!("sex counts: {sex_counts:?} (required [6, 6])");
+    println!("age counts: {age_counts:?} (required [4, 4, 4])");
+    assert!(constraint.is_satisfied_by(&pairs));
+    println!(
+        "memory during the pass: {} of {n} elements",
+        alg.stored_elements()
+    );
+    Ok(())
+}

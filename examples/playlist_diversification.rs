@@ -1,0 +1,76 @@
+//! Genre-fair playlist diversification with SFDM2 (Lyrics workload).
+//!
+//! The paper's recommender-system motivation: pick a 30-song playlist from
+//! a stream of ~120k songs (50-dimensional topic vectors, angular distance,
+//! 15 genres) such that every genre is represented and the songs are
+//! maximally dissimilar. Also contrasts equal representation against
+//! proportional representation on the genre-skewed catalog.
+//!
+//! Run with: `cargo run --release --example playlist_diversification`
+
+use fdm::core::prelude::*;
+use fdm::datasets::lyrics;
+use fdm::datasets::stream::{shuffled_indices, stream_elements};
+
+fn run_sfdm2(dataset: &Dataset, constraint: &FairnessConstraint) -> Result<Solution> {
+    let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
+    let mut alg = Sfdm2::new(Sfdm2Config {
+        constraint: constraint.clone(),
+        epsilon: 0.05, // the paper's Lyrics setting (angular distances ≤ π/2)
+        bounds,
+        metric: dataset.metric(),
+    })?;
+    let order = shuffled_indices(dataset.len(), 2024);
+    for element in stream_elements(dataset, &order) {
+        alg.insert(&element);
+    }
+    let solution = alg.finalize()?;
+    println!(
+        "  stored {} of {} songs during the pass",
+        alg.stored_elements(),
+        dataset.len()
+    );
+    Ok(solution)
+}
+
+fn main() -> Result<()> {
+    let catalog = lyrics(20_000, 99)?;
+    let m = catalog.num_groups();
+    let k = 30;
+    println!(
+        "catalog: {} songs, {} genres, sizes {:?}",
+        catalog.len(),
+        m,
+        catalog.group_sizes()
+    );
+
+    // Equal representation: two songs per genre.
+    println!("\nequal representation (2 per genre):");
+    let er = FairnessConstraint::equal_representation(k, m)?;
+    let playlist = run_sfdm2(&catalog, &er)?;
+    println!(
+        "  div = {:.4} rad, genre counts = {:?}",
+        playlist.diversity,
+        playlist.group_counts(m)
+    );
+    assert!(er.is_satisfied_by(&playlist.group_counts(m)));
+
+    // Proportional representation: popular genres get more slots.
+    println!("\nproportional representation:");
+    let pr = FairnessConstraint::proportional_representation(k, catalog.group_sizes())?;
+    println!("  quotas = {:?}", pr.quotas());
+    let playlist_pr = run_sfdm2(&catalog, &pr)?;
+    println!(
+        "  div = {:.4} rad, genre counts = {:?}",
+        playlist_pr.diversity,
+        playlist_pr.group_counts(m)
+    );
+    assert!(pr.is_satisfied_by(&playlist_pr.group_counts(m)));
+
+    println!(
+        "\nPR diversity is typically ≥ ER diversity on skewed catalogs \
+         (closer to the unconstrained optimum): {:.4} vs {:.4}",
+        playlist_pr.diversity, playlist.diversity
+    );
+    Ok(())
+}

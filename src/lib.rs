@@ -1,0 +1,23 @@
+//! # fdm — fair max–min diversity maximization
+//!
+//! User-facing facade over the workspace crates, reproducing
+//!
+//! > Yanhao Wang, Francesco Fabbri, Michael Mathioudakis.
+//! > *Streaming Algorithms for Diversity Maximization with Fairness
+//! > Constraints.* ICDE 2022 (arXiv:2208.00194).
+//!
+//! * [`core`] (re-export of `fdm-core`) — the streaming algorithms SFDM1 and
+//!   SFDM2, the unconstrained streaming baseline, the offline baselines
+//!   (GMM, FairSwap, FairFlow, FairGMM), and their substrates (metrics,
+//!   matroid intersection, max-flow, threshold clustering).
+//! * [`datasets`] (re-export of `fdm-datasets`) — seeded generators for the
+//!   paper's synthetic benchmark and simulated stand-ins for its four real
+//!   datasets, plus CSV loading and stream-permutation utilities.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the complete system inventory.
+
+pub use fdm_core as core;
+pub use fdm_datasets as datasets;
+
+pub use fdm_core::prelude;

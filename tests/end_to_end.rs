@@ -1,0 +1,240 @@
+//! Cross-crate integration tests: every algorithm on every simulated
+//! dataset, checking fairness, feasibility, and the paper's qualitative
+//! quality relationships.
+
+use fdm::core::balance::SwapStrategy;
+use fdm::core::prelude::*;
+use fdm::datasets::stream::{shuffled_indices, stream_elements};
+use fdm::datasets::{
+    adult, celeba, census, lyrics, synthetic_blobs, AdultGrouping, CelebaGrouping,
+    CensusGrouping, SyntheticConfig,
+};
+
+fn run_sfdm1(dataset: &Dataset, constraint: &FairnessConstraint, seed: u64) -> Solution {
+    let bounds = dataset.sampled_distance_bounds(200, 4.0).unwrap();
+    let mut alg = Sfdm1::new(Sfdm1Config {
+        constraint: constraint.clone(),
+        epsilon: 0.1,
+        bounds,
+        metric: dataset.metric(),
+    })
+    .unwrap();
+    let order = shuffled_indices(dataset.len(), seed);
+    for e in stream_elements(dataset, &order) {
+        alg.insert(&e);
+    }
+    alg.finalize().unwrap()
+}
+
+fn run_sfdm2(
+    dataset: &Dataset,
+    constraint: &FairnessConstraint,
+    epsilon: f64,
+    seed: u64,
+) -> Solution {
+    let bounds = dataset.sampled_distance_bounds(200, 4.0).unwrap();
+    let mut alg = Sfdm2::new(Sfdm2Config {
+        constraint: constraint.clone(),
+        epsilon,
+        bounds,
+        metric: dataset.metric(),
+    })
+    .unwrap();
+    let order = shuffled_indices(dataset.len(), seed);
+    for e in stream_elements(dataset, &order) {
+        alg.insert(&e);
+    }
+    alg.finalize().unwrap()
+}
+
+#[test]
+fn adult_sex_all_algorithms_agree_on_fairness() {
+    let dataset = adult(AdultGrouping::Sex, 3_000, 1).unwrap();
+    let constraint = FairnessConstraint::equal_representation(10, 2).unwrap();
+
+    let s1 = run_sfdm1(&dataset, &constraint, 11);
+    assert!(constraint.is_satisfied_by(&s1.group_counts(2)));
+
+    let s2 = run_sfdm2(&dataset, &constraint, 0.1, 11);
+    assert!(constraint.is_satisfied_by(&s2.group_counts(2)));
+
+    let swap = FairSwap::new(FairSwapConfig {
+        constraint: constraint.clone(),
+        seed: 0,
+        strategy: SwapStrategy::Greedy,
+    })
+    .unwrap()
+    .run(&dataset)
+    .unwrap();
+    assert!(constraint.is_satisfied_by(&swap.group_counts(2)));
+
+    let flow = FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed: 0 })
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
+    assert!(constraint.is_satisfied_by(&flow.group_counts(2)));
+
+    // Quality sanity: every fair solution within the GMM upper bound and
+    // positive.
+    let upper = diversity_upper_bound(&dataset, 10, 0);
+    for sol in [&s1, &s2, &swap, &flow] {
+        assert!(sol.diversity > 0.0);
+        assert!(sol.diversity <= upper + 1e-9);
+    }
+}
+
+#[test]
+fn adult_race_sfdm2_beats_fairflow() {
+    // Table II: on Adult/Race (m=5), SFDM2's diversity is a multiple of
+    // FairFlow's. Compare averages over several seeds (the paper averages
+    // over 10 stream permutations).
+    let dataset = adult(AdultGrouping::Race, 4_000, 2).unwrap();
+    let constraint = FairnessConstraint::equal_representation(10, 5).unwrap();
+    let mut s2_sum = 0.0;
+    let mut flow_sum = 0.0;
+    let trials = 4;
+    for seed in 0..trials {
+        let s2 = run_sfdm2(&dataset, &constraint, 0.1, seed);
+        assert!(constraint.is_satisfied_by(&s2.group_counts(5)));
+        s2_sum += s2.diversity;
+        let flow = FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed })
+            .unwrap()
+            .run(&dataset)
+            .unwrap();
+        assert!(constraint.is_satisfied_by(&flow.group_counts(5)));
+        flow_sum += flow.diversity;
+    }
+    assert!(
+        s2_sum >= flow_sum,
+        "SFDM2 avg {} should not lose to FairFlow avg {}",
+        s2_sum / trials as f64,
+        flow_sum / trials as f64
+    );
+}
+
+#[test]
+fn celeba_sex_age_four_groups() {
+    let dataset = celeba(CelebaGrouping::SexAge, 3_000, 3).unwrap();
+    let constraint = FairnessConstraint::equal_representation(12, 4).unwrap();
+    let sol = run_sfdm2(&dataset, &constraint, 0.1, 5);
+    assert_eq!(sol.len(), 12);
+    assert!(constraint.is_satisfied_by(&sol.group_counts(4)));
+    assert!(sol.diversity > 0.0);
+}
+
+#[test]
+fn census_age_seven_groups() {
+    let dataset = census(CensusGrouping::Age, 5_000, 4).unwrap();
+    let constraint = FairnessConstraint::equal_representation(14, 7).unwrap();
+    let sol = run_sfdm2(&dataset, &constraint, 0.1, 9);
+    assert!(constraint.is_satisfied_by(&sol.group_counts(7)));
+}
+
+#[test]
+fn lyrics_fifteen_genres_small_epsilon() {
+    let dataset = lyrics(4_000, 5).unwrap();
+    let constraint = FairnessConstraint::equal_representation(15, 15).unwrap();
+    let sol = run_sfdm2(&dataset, &constraint, 0.05, 13);
+    assert!(constraint.is_satisfied_by(&sol.group_counts(15)));
+    // Angular distances are at most π/2.
+    assert!(sol.diversity <= std::f64::consts::FRAC_PI_2 + 1e-9);
+}
+
+#[test]
+fn synthetic_scalability_smoke() {
+    for m in [2usize, 10] {
+        let dataset =
+            synthetic_blobs(SyntheticConfig { n: 10_000, m, blobs: 10, seed: 6 }).unwrap();
+        let constraint = FairnessConstraint::equal_representation(20, m).unwrap();
+        let sol = run_sfdm2(&dataset, &constraint, 0.1, 17);
+        assert!(constraint.is_satisfied_by(&sol.group_counts(m)));
+    }
+}
+
+#[test]
+fn proportional_representation_pipeline() {
+    // Fig. 9: PR quotas on the skewed Adult groups; PR solutions are at
+    // least as diverse as ER on average because they sit closer to the
+    // unconstrained optimum.
+    let dataset = adult(AdultGrouping::Sex, 4_000, 8).unwrap();
+    let k = 20;
+    let er = FairnessConstraint::equal_representation(k, 2).unwrap();
+    let pr =
+        FairnessConstraint::proportional_representation(k, dataset.group_sizes()).unwrap();
+    assert!(pr.quota(0) > pr.quota(1), "PR must mirror the 67/33 skew");
+
+    let er_sol = run_sfdm1(&dataset, &er, 3);
+    let pr_sol = run_sfdm1(&dataset, &pr, 3);
+    assert!(er.is_satisfied_by(&er_sol.group_counts(2)));
+    assert!(pr.is_satisfied_by(&pr_sol.group_counts(2)));
+}
+
+#[test]
+fn streaming_matches_offline_quality_band() {
+    // Table II, m = 2: SFDM1's diversity is close to FairSwap's (the paper
+    // reports near-parity; we allow a generous band to keep the test
+    // robust across seeds).
+    let dataset = adult(AdultGrouping::Sex, 3_000, 10).unwrap();
+    let constraint = FairnessConstraint::equal_representation(20, 2).unwrap();
+    let swap = FairSwap::new(FairSwapConfig {
+        constraint: constraint.clone(),
+        seed: 1,
+        strategy: SwapStrategy::Greedy,
+    })
+    .unwrap()
+    .run(&dataset)
+    .unwrap();
+    let mut best_streaming: f64 = 0.0;
+    for seed in 0..3 {
+        let sol = run_sfdm1(&dataset, &constraint, seed);
+        best_streaming = best_streaming.max(sol.diversity);
+    }
+    assert!(
+        best_streaming >= 0.5 * swap.diversity,
+        "SFDM1 {best_streaming} too far below FairSwap {}",
+        swap.diversity
+    );
+}
+
+#[test]
+fn ten_permutations_always_fair() {
+    // The paper averages over 10 stream permutations; fairness must hold
+    // for every one of them.
+    let dataset = adult(AdultGrouping::SexRace, 2_500, 12).unwrap();
+    let constraint = FairnessConstraint::equal_representation(10, 10).unwrap();
+    for seed in 0..10 {
+        let sol = run_sfdm2(&dataset, &constraint, 0.2, seed);
+        assert!(
+            constraint.is_satisfied_by(&sol.group_counts(10)),
+            "permutation {seed} violated fairness: {:?}",
+            sol.group_counts(10)
+        );
+    }
+}
+
+#[test]
+fn unconstrained_streaming_vs_gmm() {
+    // Algorithm 1 should land in GMM's quality neighborhood.
+    let dataset = synthetic_blobs(SyntheticConfig { n: 5_000, m: 2, blobs: 10, seed: 14 })
+        .unwrap();
+    let k = 15;
+    let bounds = dataset.sampled_distance_bounds(200, 4.0).unwrap();
+    let mut alg = StreamingDiversityMaximization::new(StreamingDmConfig {
+        k,
+        epsilon: 0.1,
+        bounds,
+        metric: dataset.metric(),
+    })
+    .unwrap();
+    for e in dataset.iter() {
+        alg.insert(&e);
+    }
+    let streaming = alg.finalize().unwrap();
+    let offline = gmm(&dataset, k, 0);
+    let offline_div = fdm::core::diversity::diversity(&dataset, &offline);
+    assert!(
+        streaming.diversity >= 0.4 * offline_div,
+        "streaming {} vs GMM {offline_div}",
+        streaming.diversity
+    );
+}

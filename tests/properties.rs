@@ -1,0 +1,143 @@
+//! Property-based integration tests (proptest) over the public API.
+
+use fdm::core::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small 2-group dataset with at least 2 elements per group.
+fn two_group_dataset() -> impl Strategy<Value = Dataset> {
+    (6usize..24)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(
+                    (0.0f64..100.0, 0.0f64..100.0).prop_map(|(x, y)| vec![x, y]),
+                    n,
+                ),
+                proptest::collection::vec(0usize..2, n),
+            )
+        })
+        .prop_map(|(rows, mut groups)| {
+            groups[0] = 0;
+            groups[1] = 0;
+            groups[2] = 1;
+            groups[3] = 1;
+            Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap()
+        })
+        .prop_filter("needs nonzero spread", |d| d.exact_distance_bounds().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sfdm1_output_is_always_fair(dataset in two_group_dataset(), seed in 0u64..1000) {
+        let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let bounds = dataset.exact_distance_bounds().unwrap();
+        let mut alg = Sfdm1::new(Sfdm1Config {
+            constraint: constraint.clone(),
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        }).unwrap();
+        // Use the seed to derive a stream permutation.
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        let rotation = (seed as usize) % dataset.len();
+        order.rotate_left(rotation);
+        for &i in &order {
+            alg.insert(&dataset.element(i));
+        }
+        if let Ok(sol) = alg.finalize() {
+            prop_assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
+            prop_assert_eq!(sol.len(), 4);
+            prop_assert!(sol.diversity >= 0.0);
+            // Distinct elements.
+            let mut ids = sol.ids();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sfdm2_output_is_always_fair(dataset in two_group_dataset(), seed in 0u64..1000) {
+        let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let bounds = dataset.exact_distance_bounds().unwrap();
+        let mut alg = Sfdm2::new(Sfdm2Config {
+            constraint: constraint.clone(),
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        }).unwrap();
+        let mut order: Vec<usize> = (0..dataset.len()).collect();
+        order.rotate_left((seed as usize) % dataset.len());
+        for &i in &order {
+            alg.insert(&dataset.element(i));
+        }
+        if let Ok(sol) = alg.finalize() {
+            prop_assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
+            let mut ids = sol.ids();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), 4);
+        }
+    }
+
+    #[test]
+    fn streaming_dm_respects_theorem1(dataset in two_group_dataset()) {
+        let k = 3;
+        let bounds = dataset.exact_distance_bounds().unwrap();
+        let mut alg = StreamingDiversityMaximization::new(StreamingDmConfig {
+            k,
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        }).unwrap();
+        for e in dataset.iter() {
+            alg.insert(&e);
+        }
+        let sol = alg.finalize().unwrap();
+        let opt = fdm::core::brute::exact_unconstrained_optimum(&dataset, k);
+        prop_assert!(
+            sol.diversity >= 0.45 * opt - 1e-9,
+            "div {} < 0.45 * OPT {}", sol.diversity, opt
+        );
+    }
+
+    #[test]
+    fn fair_offline_baselines_are_fair(dataset in two_group_dataset(), seed in 0u64..100) {
+        let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let swap = FairSwap::new(FairSwapConfig {
+            constraint: constraint.clone(),
+            seed,
+            strategy: Default::default(),
+        }).unwrap().run(&dataset).unwrap();
+        prop_assert!(constraint.is_satisfied_by(&swap.group_counts(2)));
+
+        let flow = FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed })
+            .unwrap().run(&dataset).unwrap();
+        prop_assert!(constraint.is_satisfied_by(&flow.group_counts(2)));
+
+        let gmm_fair = FairGmm::new(FairGmmConfig::new(constraint.clone(), seed))
+            .unwrap().run(&dataset).unwrap();
+        prop_assert!(constraint.is_satisfied_by(&gmm_fair.group_counts(2)));
+    }
+
+    #[test]
+    fn quotas_always_sum_to_k(k in 2usize..40, m in 1usize..10) {
+        prop_assume!(k >= m);
+        let er = FairnessConstraint::equal_representation(k, m).unwrap();
+        prop_assert_eq!(er.total(), k);
+        prop_assert_eq!(er.quotas().len(), m);
+        prop_assert!(er.quotas().iter().all(|&q| q >= 1));
+    }
+
+    #[test]
+    fn pr_quotas_sum_to_k(
+        k in 3usize..30,
+        sizes in proptest::collection::vec(1usize..10_000, 1..8),
+    ) {
+        prop_assume!(k >= sizes.len());
+        let pr = FairnessConstraint::proportional_representation(k, &sizes).unwrap();
+        prop_assert_eq!(pr.total(), k);
+        prop_assert!(pr.quotas().iter().all(|&q| q >= 1));
+    }
+}
