@@ -13,7 +13,14 @@ use std::hint::black_box;
 fn bench_gmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gmm");
     for n in [1_000usize, 10_000, 50_000] {
-        let data = synthetic_blobs(SyntheticConfig { n, m: 2, blobs: 10, seed: 4 }).unwrap();
+        let data = synthetic_blobs(SyntheticConfig {
+            n,
+            m: 2,
+            blobs: 10,
+            seed: 4,
+            dim: 2,
+        })
+        .unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("n", n), &data, |b, data| {
             b.iter(|| black_box(gmm(data, 20, 0).len()))
@@ -26,7 +33,14 @@ fn bench_fair_swap(c: &mut Criterion) {
     let mut group = c.benchmark_group("fair_swap");
     let constraint = FairnessConstraint::equal_representation(20, 2).unwrap();
     for n in [1_000usize, 10_000, 50_000] {
-        let data = synthetic_blobs(SyntheticConfig { n, m: 2, blobs: 10, seed: 5 }).unwrap();
+        let data = synthetic_blobs(SyntheticConfig {
+            n,
+            m: 2,
+            blobs: 10,
+            seed: 5,
+            dim: 2,
+        })
+        .unwrap();
         let alg = FairSwap::new(FairSwapConfig {
             constraint: constraint.clone(),
             seed: 0,
@@ -45,9 +59,19 @@ fn bench_fair_flow(c: &mut Criterion) {
     let mut group = c.benchmark_group("fair_flow");
     for m in [2usize, 10] {
         let constraint = FairnessConstraint::equal_representation(20, m).unwrap();
-        let data =
-            synthetic_blobs(SyntheticConfig { n: 10_000, m, blobs: 10, seed: 6 }).unwrap();
-        let alg = FairFlow::new(FairFlowConfig { constraint, seed: 0 }).unwrap();
+        let data = synthetic_blobs(SyntheticConfig {
+            n: 10_000,
+            m,
+            blobs: 10,
+            seed: 6,
+            dim: 2,
+        })
+        .unwrap();
+        let alg = FairFlow::new(FairFlowConfig {
+            constraint,
+            seed: 0,
+        })
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("m", m), &data, |b, data| {
             b.iter(|| black_box(alg.run(data).unwrap().diversity))
         });

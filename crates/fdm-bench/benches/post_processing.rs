@@ -11,7 +11,14 @@ use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
 use std::hint::black_box;
 
 fn bench_sfdm1_post(c: &mut Criterion) {
-    let data = synthetic_blobs(SyntheticConfig { n: 5_000, m: 2, blobs: 10, seed: 2 }).unwrap();
+    let data = synthetic_blobs(SyntheticConfig {
+        n: 5_000,
+        m: 2,
+        blobs: 10,
+        seed: 2,
+        dim: 2,
+    })
+    .unwrap();
     let bounds = data.sampled_distance_bounds(300, 4.0).unwrap();
     let mut group = c.benchmark_group("sfdm1_post");
     for k in [10usize, 20, 40] {
@@ -36,8 +43,14 @@ fn bench_sfdm1_post(c: &mut Criterion) {
 fn bench_sfdm2_post(c: &mut Criterion) {
     let mut group = c.benchmark_group("sfdm2_post");
     for m in [2usize, 5, 10] {
-        let data =
-            synthetic_blobs(SyntheticConfig { n: 5_000, m, blobs: 10, seed: 3 }).unwrap();
+        let data = synthetic_blobs(SyntheticConfig {
+            n: 5_000,
+            m,
+            blobs: 10,
+            seed: 3,
+            dim: 2,
+        })
+        .unwrap();
         let bounds = data.sampled_distance_bounds(300, 4.0).unwrap();
         let constraint = FairnessConstraint::equal_representation(20, m).unwrap();
         let mut alg = Sfdm2::new(Sfdm2Config {

@@ -41,13 +41,17 @@ fn main() {
         let k = opts.k.max(m);
         let dataset = workload.build(opts.size, opts.seed).expect("dataset build");
         let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
-        eprintln!("running {} (n = {}, {shards} shards) ...", workload.name(), dataset.len());
+        eprintln!(
+            "running {} (n = {}, {shards} shards) ...",
+            workload.name(),
+            dataset.len()
+        );
 
         // Two-round composable-coreset pipeline.
         let start = Instant::now();
         let chunks = contiguous_chunks(dataset.len(), shards);
-        let cs = fair_composable_coreset(&dataset, &chunks, &constraint, opts.seed)
-            .expect("coreset");
+        let cs =
+            fair_composable_coreset(&dataset, &chunks, &constraint, opts.seed).expect("coreset");
         let (cds, _) = coreset_dataset(&dataset, &cs).expect("coreset dataset");
         let sol = if m == 2 {
             FairSwap::new(FairSwapConfig {
@@ -59,10 +63,13 @@ fn main() {
             .run(&cds)
             .expect("fair swap run")
         } else {
-            FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed: 0 })
-                .expect("fair flow")
-                .run(&cds)
-                .expect("fair flow run")
+            FairFlow::new(FairFlowConfig {
+                constraint: constraint.clone(),
+                seed: 0,
+            })
+            .expect("fair flow")
+            .run(&cds)
+            .expect("fair flow run")
         };
         let coreset_time = start.elapsed().as_secs_f64();
 
@@ -88,7 +95,10 @@ fn main() {
         ]);
     }
 
-    println!("\nAblation A3 (composable coreset + offline vs one-pass streaming, k = {}):", opts.k);
+    println!(
+        "\nAblation A3 (composable coreset + offline vs one-pass streaming, k = {}):",
+        opts.k
+    );
     println!("{}", table.render());
     let path = table.write_csv("ablation_coreset").expect("write CSV");
     println!("wrote {}", path.display());

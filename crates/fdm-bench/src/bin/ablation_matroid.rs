@@ -39,13 +39,19 @@ fn main() {
         let dataset = workload.build(opts.size, opts.seed).expect("dataset build");
         let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
         let bounds = dataset.sampled_distance_bounds(300, 4.0).expect("bounds");
-        eprintln!("running {} (n = {}, m = {m}) ...", workload.name(), dataset.len());
+        eprintln!(
+            "running {} (n = {}, m = {m}) ...",
+            workload.name(),
+            dataset.len()
+        );
 
         let mut divs = [0.0f64; 2];
-        for (slot, mode) in
-            [AugmentationMode::SeededGreedy, AugmentationMode::PlainCunningham]
-                .into_iter()
-                .enumerate()
+        for (slot, mode) in [
+            AugmentationMode::SeededGreedy,
+            AugmentationMode::PlainCunningham,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let mut total = 0.0;
             for seed in 0..opts.trials as u64 {
@@ -77,7 +83,10 @@ fn main() {
         ]);
     }
 
-    println!("\nAblation A2 (SFDM2 matroid-intersection mode, k = {}):", opts.k);
+    println!(
+        "\nAblation A2 (SFDM2 matroid-intersection mode, k = {}):",
+        opts.k
+    );
     println!("{}", table.render());
     let path = table.write_csv("ablation_matroid").expect("write CSV");
     println!("wrote {}", path.display());

@@ -34,8 +34,9 @@ fn main() {
         eprintln!("running {} (n = {}) ...", workload.name(), dataset.len());
 
         let mut divs = [0.0f64; 2];
-        for (slot, strategy) in
-            [SwapStrategy::Greedy, SwapStrategy::Arbitrary].into_iter().enumerate()
+        for (slot, strategy) in [SwapStrategy::Greedy, SwapStrategy::Arbitrary]
+            .into_iter()
+            .enumerate()
         {
             let mut total = 0.0;
             for seed in 0..opts.trials as u64 {

@@ -43,8 +43,7 @@ fn main() {
                 algos.insert(2, Algo::Sfdm1);
             }
             for algo in algos {
-                let r = run_averaged(&dataset, algo, &constraint, 0.1, opts.trials)
-                    .expect("run");
+                let r = run_averaged(&dataset, algo, &constraint, 0.1, opts.trials).expect("run");
                 table.push_row(vec![
                     m.to_string(),
                     n.to_string(),
@@ -60,7 +59,10 @@ fn main() {
         }
     }
 
-    println!("\nFig. 10 (synthetic, k = {}; diversity and time vs n):", opts.k);
+    println!(
+        "\nFig. 10 (synthetic, k = {}; diversity and time vs n):",
+        opts.k
+    );
     println!("{}", table.render());
     for m in [2usize, 10] {
         let mut chart = Chart::new(&format!("time vs n (m = {m}, log-log)"), 64, 12)

@@ -25,8 +25,7 @@ fn main() {
         SizeMode::Full => 100_000,
     };
 
-    let mut table =
-        Table::new(vec!["m", "algo", "diversity", "time(s)", "post t(s)"]);
+    let mut table = Table::new(vec!["m", "algo", "diversity", "time(s)", "post t(s)"]);
     let mut div_series: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
     for m in (2..=20).step_by(2) {
         let k = opts.k.max(m);

@@ -40,11 +40,13 @@ fn main() {
         let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
         eprintln!("running {} (n = {}) ...", workload.name(), dataset.len());
         for &eps in &epsilons {
-            let algos: &[Algo] =
-                if m == 2 { &[Algo::Sfdm1, Algo::Sfdm2] } else { &[Algo::Sfdm2] };
+            let algos: &[Algo] = if m == 2 {
+                &[Algo::Sfdm1, Algo::Sfdm2]
+            } else {
+                &[Algo::Sfdm2]
+            };
             for &algo in algos {
-                let r = run_averaged(&dataset, algo, &constraint, eps, opts.trials)
-                    .expect("run");
+                let r = run_averaged(&dataset, algo, &constraint, eps, opts.trials).expect("run");
                 table.push_row(vec![
                     workload.name(),
                     format!("{eps:.2}"),

@@ -34,8 +34,7 @@ fn main() {
             if k < m {
                 continue;
             }
-            let constraint =
-                FairnessConstraint::equal_representation(k, m).expect("constraint");
+            let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
             let r = run_averaged(
                 &dataset,
                 algo,

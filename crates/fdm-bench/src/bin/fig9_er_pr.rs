@@ -38,8 +38,8 @@ fn main() {
         let dataset = workload.build(opts.size, opts.seed).expect("dataset build");
         eprintln!("running {} (n = {}) ...", workload.name(), dataset.len());
         let er = FairnessConstraint::equal_representation(k, m).expect("ER");
-        let pr = FairnessConstraint::proportional_representation(k, dataset.group_sizes())
-            .expect("PR");
+        let pr =
+            FairnessConstraint::proportional_representation(k, dataset.group_sizes()).expect("PR");
         for (notion, constraint) in [("ER", &er), ("PR", &pr)] {
             for &algo in &algos {
                 let r = run_averaged(

@@ -47,7 +47,10 @@ fn main() {
     }
 
     if failures.is_empty() {
-        println!("\nall {} experiments completed; CSVs in results/", bins.len());
+        println!(
+            "\nall {} experiments completed; CSVs in results/",
+            bins.len()
+        );
     } else {
         println!("\nfailed: {failures:?}");
         std::process::exit(1);

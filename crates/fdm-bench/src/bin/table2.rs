@@ -40,10 +40,13 @@ fn main() {
         let dataset = workload.build(opts.size, opts.seed).expect("dataset build");
         let constraint = FairnessConstraint::equal_representation(k, m).expect("constraint");
         let epsilon = workload.default_epsilon();
-        eprintln!("running {} (n = {}, m = {m}, k = {k}) ...", workload.name(), dataset.len());
+        eprintln!(
+            "running {} (n = {}, m = {m}, k = {k}) ...",
+            workload.name(),
+            dataset.len()
+        );
 
-        let gmm = run_averaged(&dataset, Algo::Gmm, &constraint, epsilon, 1)
-            .expect("GMM run");
+        let gmm = run_averaged(&dataset, Algo::Gmm, &constraint, epsilon, 1).expect("GMM run");
 
         let (swap_div, swap_t) = if m == 2 {
             let r = run_averaged(&dataset, Algo::FairSwap, &constraint, epsilon, opts.trials)
@@ -88,7 +91,10 @@ fn main() {
         ]);
     }
 
-    println!("\nTable II (k = {}, ER quotas; streaming time = avg update/elem):", opts.k);
+    println!(
+        "\nTable II (k = {}, ER quotas; streaming time = avg update/elem):",
+        opts.k
+    );
     println!("{}", table.render());
     let path = table.write_csv("table2").expect("write CSV");
     println!("wrote {}", path.display());

@@ -25,7 +25,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { size: SizeMode::Default, trials: 3, k: 20, seed: 42 }
+        Options {
+            size: SizeMode::Default,
+            trials: 3,
+            k: 20,
+            seed: 42,
+        }
     }
 }
 
@@ -74,8 +79,12 @@ fn take_num<I: Iterator<Item = String>>(
     args: &mut std::iter::Peekable<I>,
     flag: &str,
 ) -> Result<u64, String> {
-    let value = args.next().ok_or_else(|| format!("{flag} requires a value"))?;
-    value.parse().map_err(|_| format!("{flag}: invalid number {value:?}"))
+    let value = args
+        .next()
+        .ok_or_else(|| format!("{flag} requires a value"))?;
+    value
+        .parse()
+        .map_err(|_| format!("{flag}: invalid number {value:?}"))
 }
 
 #[cfg(test)]

@@ -13,14 +13,14 @@ pub type SweepCell = (Workload, usize, RunResult);
 /// The eight dataset/group panels of Figs. 6 and 7, in paper order.
 pub fn fig6_panels() -> Vec<Workload> {
     vec![
-        Workload::AdultSex,      // (a) m = 2
-        Workload::CelebaAge,     // (b) m = 2
-        Workload::CelebaSex,     // (c) m = 2
-        Workload::CensusSex,     // (d) m = 2
-        Workload::AdultRace,     // (e) m = 5
-        Workload::CelebaSexAge,  // (f) m = 4
-        Workload::CensusAge,     // (g) m = 7
-        Workload::LyricsGenre,   // (h) m = 15
+        Workload::AdultSex,     // (a) m = 2
+        Workload::CelebaAge,    // (b) m = 2
+        Workload::CelebaSex,    // (c) m = 2
+        Workload::CensusSex,    // (d) m = 2
+        Workload::AdultRace,    // (e) m = 5
+        Workload::CelebaSexAge, // (f) m = 4
+        Workload::CensusAge,    // (g) m = 7
+        Workload::LyricsGenre,  // (h) m = 15
     ]
 }
 
@@ -63,7 +63,11 @@ pub fn sweep_k(opts: &Options) -> Result<Vec<SweepCell>> {
     for workload in fig6_panels() {
         let m = workload.num_groups();
         let dataset = workload.build(opts.size, opts.seed)?;
-        eprintln!("sweeping {} (n = {}, m = {m}) ...", workload.name(), dataset.len());
+        eprintln!(
+            "sweeping {} (n = {}, m = {m}) ...",
+            workload.name(),
+            dataset.len()
+        );
         for k in k_values(m) {
             let constraint = FairnessConstraint::equal_representation(k, m)?;
             for algo in panel_algos(m, k) {
@@ -99,7 +103,10 @@ mod tests {
         assert!(a.contains(&Algo::FairGmm));
         assert!(a.contains(&Algo::Sfdm1));
         let a = panel_algos(2, 20);
-        assert!(!a.contains(&Algo::FairGmm), "FairGMM cannot scale past k=10");
+        assert!(
+            !a.contains(&Algo::FairGmm),
+            "FairGMM cannot scale past k=10"
+        );
         let a = panel_algos(7, 20);
         assert!(!a.contains(&Algo::FairSwap));
         assert!(!a.contains(&Algo::Sfdm1));

@@ -21,9 +21,7 @@ use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 use fdm_core::offline::gmm::gmm;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
-use fdm_core::streaming::unconstrained::{
-    StreamingDiversityMaximization, StreamingDmConfig,
-};
+use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 use fdm_datasets::stream::{shuffled_indices, stream_elements};
 
 /// The algorithms of the paper's evaluation.
@@ -154,10 +152,7 @@ pub fn run_algorithm(dataset: &Dataset, algo: Algo, config: &RunConfig) -> Resul
             })
         }
         Algo::FairGmm => {
-            let alg = FairGmm::new(FairGmmConfig::new(
-                config.constraint.clone(),
-                config.seed,
-            ))?;
+            let alg = FairGmm::new(FairGmmConfig::new(config.constraint.clone(), config.seed))?;
             let start = Instant::now();
             let sol = alg.run(dataset)?;
             Ok(RunResult {
@@ -266,7 +261,11 @@ pub fn run_averaged(
         let r = run_algorithm(
             dataset,
             algo,
-            &RunConfig { constraint: constraint.clone(), epsilon, seed },
+            &RunConfig {
+                constraint: constraint.clone(),
+                epsilon,
+                seed,
+            },
         )?;
         acc = Some(match acc {
             None => r,
@@ -306,7 +305,14 @@ mod tests {
     use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
 
     fn dataset() -> Dataset {
-        synthetic_blobs(SyntheticConfig { n: 1_500, m: 2, blobs: 10, seed: 3 }).unwrap()
+        synthetic_blobs(SyntheticConfig {
+            n: 1_500,
+            m: 2,
+            blobs: 10,
+            seed: 3,
+            dim: 2,
+        })
+        .unwrap()
     }
 
     #[test]
@@ -325,7 +331,11 @@ mod tests {
             let r = run_algorithm(
                 &d,
                 algo,
-                &RunConfig { constraint: c.clone(), epsilon: 0.1, seed: 0 },
+                &RunConfig {
+                    constraint: c.clone(),
+                    epsilon: 0.1,
+                    seed: 0,
+                },
             )
             .unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
             assert!(r.diversity > 0.0, "{algo:?} produced zero diversity");
@@ -342,14 +352,22 @@ mod tests {
         let r = run_algorithm(
             &d,
             Algo::Sfdm1,
-            &RunConfig { constraint: c.clone(), epsilon: 0.1, seed: 0 },
+            &RunConfig {
+                constraint: c.clone(),
+                epsilon: 0.1,
+                seed: 0,
+            },
         )
         .unwrap();
         assert_eq!(r.paper_time_s(), r.update_time_s.unwrap());
         let r = run_algorithm(
             &d,
             Algo::FairSwap,
-            &RunConfig { constraint: c, epsilon: 0.1, seed: 0 },
+            &RunConfig {
+                constraint: c,
+                epsilon: 0.1,
+                seed: 0,
+            },
         )
         .unwrap();
         assert_eq!(r.paper_time_s(), r.total_time_s);
@@ -376,7 +394,11 @@ mod tests {
         let r = run_algorithm(
             &d,
             Algo::Sfdm1,
-            &RunConfig { constraint: c, epsilon: 0.1, seed: 1 },
+            &RunConfig {
+                constraint: c,
+                epsilon: 0.1,
+                seed: 1,
+            },
         )
         .unwrap();
         assert!(r.diversity > 0.0);

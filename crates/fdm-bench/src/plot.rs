@@ -180,11 +180,10 @@ mod tests {
 
     #[test]
     fn log_axis_spreads_magnitudes() {
-        let mut chart = Chart::new("t", 60, 12).x_scale(Scale::Log).y_scale(Scale::Log);
-        chart.add_series(
-            "streaming",
-            vec![(1e3, 1e-6), (1e4, 1e-6), (1e5, 1e-6)],
-        );
+        let mut chart = Chart::new("t", 60, 12)
+            .x_scale(Scale::Log)
+            .y_scale(Scale::Log);
+        chart.add_series("streaming", vec![(1e3, 1e-6), (1e4, 1e-6), (1e5, 1e-6)]);
         chart.add_series("offline", vec![(1e3, 1e-3), (1e4, 1e-2), (1e5, 1e-1)]);
         let s = chart.render();
         // Streaming (flat, bottom) and offline (rising) must both draw.

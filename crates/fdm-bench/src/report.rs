@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -190,13 +193,13 @@ mod tests {
     #[test]
     fn json_types_numbers_and_strings() {
         let mut t = Table::new(vec!["algo", "div", "time"]);
-        t.push_row(vec!["SFDM2", "3.14", "1.2e-6"]);
+        t.push_row(vec!["SFDM2", "3.25", "1.2e-6"]);
         t.push_row(vec!["FairFlow", "-", "0.5"]);
         let parsed: serde_json::Value = serde_json::from_str(&t.to_json()).unwrap();
         let rows = parsed.as_array().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0]["algo"], "SFDM2");
-        assert_eq!(rows[0]["div"], 3.14);
+        assert_eq!(rows[0]["div"], 3.25);
         assert_eq!(rows[0]["time"], 1.2e-6);
         assert_eq!(rows[1]["div"], "-");
     }

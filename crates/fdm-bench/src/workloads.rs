@@ -92,7 +92,9 @@ impl Workload {
     /// Number of groups `m`.
     pub fn num_groups(&self) -> usize {
         match self {
-            Workload::AdultSex | Workload::CelebaSex | Workload::CelebaAge
+            Workload::AdultSex
+            | Workload::CelebaSex
+            | Workload::CelebaAge
             | Workload::CensusSex => 2,
             Workload::CelebaSexAge => 4,
             Workload::AdultRace => 5,
@@ -148,9 +150,13 @@ impl Workload {
             Workload::CensusAge => census(CensusGrouping::Age, n, seed),
             Workload::CensusSexAge => census(CensusGrouping::SexAge, n, seed),
             Workload::LyricsGenre => lyrics(n, seed),
-            Workload::Synthetic { m, .. } => {
-                synthetic_blobs(SyntheticConfig { n, m: *m, blobs: 10, seed })
-            }
+            Workload::Synthetic { m, .. } => synthetic_blobs(SyntheticConfig {
+                n,
+                m: *m,
+                blobs: 10,
+                seed,
+                dim: 2,
+            }),
         }
     }
 }

@@ -8,9 +8,15 @@ use fdm_core::fairness::FairnessConstraint;
 
 #[test]
 fn runs_are_deterministic_given_seed() {
-    let d = Workload::Synthetic { n: 1_000, m: 2 }.build(SizeMode::Default, 3).unwrap();
+    let d = Workload::Synthetic { n: 1_000, m: 2 }
+        .build(SizeMode::Default, 3)
+        .unwrap();
     let c = FairnessConstraint::new(vec![3, 3]).unwrap();
-    let cfg = RunConfig { constraint: c, epsilon: 0.1, seed: 5 };
+    let cfg = RunConfig {
+        constraint: c,
+        epsilon: 0.1,
+        seed: 5,
+    };
     let a = run_algorithm(&d, Algo::Sfdm1, &cfg).unwrap();
     let b = run_algorithm(&d, Algo::Sfdm1, &cfg).unwrap();
     assert_eq!(a.diversity, b.diversity);
@@ -19,14 +25,20 @@ fn runs_are_deterministic_given_seed() {
 
 #[test]
 fn different_permutations_change_the_stream() {
-    let d = Workload::Synthetic { n: 2_000, m: 2 }.build(SizeMode::Default, 3).unwrap();
+    let d = Workload::Synthetic { n: 2_000, m: 2 }
+        .build(SizeMode::Default, 3)
+        .unwrap();
     let c = FairnessConstraint::new(vec![3, 3]).unwrap();
     let divs: Vec<f64> = (0..4)
         .map(|seed| {
             run_algorithm(
                 &d,
                 Algo::Sfdm1,
-                &RunConfig { constraint: c.clone(), epsilon: 0.1, seed },
+                &RunConfig {
+                    constraint: c.clone(),
+                    epsilon: 0.1,
+                    seed,
+                },
             )
             .unwrap()
             .diversity
@@ -43,14 +55,20 @@ fn different_permutations_change_the_stream() {
 
 #[test]
 fn averaged_diversity_is_within_min_max_of_singles() {
-    let d = Workload::Synthetic { n: 1_500, m: 3 }.build(SizeMode::Default, 7).unwrap();
+    let d = Workload::Synthetic { n: 1_500, m: 3 }
+        .build(SizeMode::Default, 7)
+        .unwrap();
     let c = FairnessConstraint::new(vec![2, 2, 2]).unwrap();
     let singles: Vec<f64> = (0..3)
         .map(|seed| {
             run_algorithm(
                 &d,
                 Algo::Sfdm2,
-                &RunConfig { constraint: c.clone(), epsilon: 0.1, seed },
+                &RunConfig {
+                    constraint: c.clone(),
+                    epsilon: 0.1,
+                    seed,
+                },
             )
             .unwrap()
             .diversity
@@ -59,7 +77,10 @@ fn averaged_diversity_is_within_min_max_of_singles() {
     let avg = run_averaged(&d, Algo::Sfdm2, &c, 0.1, 3).unwrap().diversity;
     let lo = singles.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = singles.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    assert!(avg >= lo - 1e-12 && avg <= hi + 1e-12, "avg {avg} outside [{lo}, {hi}]");
+    assert!(
+        avg >= lo - 1e-12 && avg <= hi + 1e-12,
+        "avg {avg} outside [{lo}, {hi}]"
+    );
 }
 
 #[test]
@@ -92,7 +113,9 @@ fn csv_artifacts_round_trip() {
 fn gmm_reference_dominates_fair_algorithms() {
     // Table II sanity encoded as a test: the unconstrained GMM reference
     // should (weakly) dominate every fair algorithm on the same instance.
-    let d = Workload::Synthetic { n: 2_000, m: 2 }.build(SizeMode::Default, 11).unwrap();
+    let d = Workload::Synthetic { n: 2_000, m: 2 }
+        .build(SizeMode::Default, 11)
+        .unwrap();
     let c = FairnessConstraint::new(vec![10, 10]).unwrap();
     let gmm = run_averaged(&d, Algo::Gmm, &c, 0.1, 1).unwrap().diversity;
     for algo in [Algo::FairSwap, Algo::FairFlow, Algo::Sfdm1, Algo::Sfdm2] {

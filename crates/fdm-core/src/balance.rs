@@ -7,10 +7,15 @@
 //! from the under-filled members already in `S`, then delete the over-filled
 //! elements closest to the (now complete) under-filled side. Lemma 2 shows
 //! this loses at most a factor 2 of the candidate's guarantee `µ`.
+//!
+//! Solutions and pools are [`PointId`] lists into a shared [`PointStore`]
+//! (the streaming algorithm's retained-element arena, or a dataset's arena
+//! for FairSwap); all nearest-member scans run in proxy space over
+//! contiguous rows.
 
 use crate::fairness::FairnessConstraint;
 use crate::metric::Metric;
-use crate::point::Element;
+use crate::point::{PointId, PointStore};
 
 /// How balancing picks elements to insert/delete — the paper's greedy rule
 /// versus an arbitrary (first-eligible) rule, kept for the ablation bench.
@@ -27,28 +32,36 @@ pub enum SwapStrategy {
 /// Balances a two-group solution in place so that it satisfies `constraint`.
 ///
 /// * `solution` — group-blind selection of size `k` (modified in place).
-/// * `pools` — per-group element pools to draw insertions from; pool `i`
+/// * `pools` — per-group id pools to draw insertions from; pool `i`
 ///   must hold at least `k_i` elements pairwise ≥ the candidate guarantee
 ///   apart for Lemma 2's bound to apply, but the routine works for any pool.
+///
+/// Identity is by **external id** (two arena entries for the same stream
+/// element count as one), matching the stream-element semantics.
 ///
 /// Returns `false` (leaving `solution` untouched) when balancing is
 /// impossible: more than two groups out of balance, or the under-filled
 /// pool has too few usable elements.
 pub fn balance_two_groups(
-    solution: &mut Vec<Element>,
-    pools: &[Vec<Element>],
+    store: &PointStore,
+    solution: &mut Vec<PointId>,
+    pools: &[Vec<PointId>],
     constraint: &FairnessConstraint,
     metric: Metric,
     strategy: SwapStrategy,
 ) -> bool {
     debug_assert_eq!(constraint.num_groups(), 2);
     debug_assert_eq!(pools.len(), 2);
-    let counts = count_groups(solution, 2);
+    let counts = count_groups(store, solution, 2);
     if constraint.is_satisfied_by(&counts) {
         return true;
     }
     // Exactly one group is under-filled when |S| = k and m = 2.
-    let under = if counts[0] < constraint.quota(0) { 0 } else { 1 };
+    let under = if counts[0] < constraint.quota(0) {
+        0
+    } else {
+        1
+    };
     let over = 1 - under;
     if counts[over] < constraint.quota(over) {
         return false;
@@ -57,24 +70,28 @@ pub fn balance_two_groups(
     let original = solution.clone();
 
     // Insertion phase: add pool elements of the under-filled group.
-    while count_group(solution, under) < constraint.quota(under) {
-        let in_solution: Vec<&Element> =
-            solution.iter().filter(|e| e.group == under).collect();
+    while count_group(store, solution, under) < constraint.quota(under) {
+        let in_solution: Vec<PointId> = solution
+            .iter()
+            .copied()
+            .filter(|&id| store.group(id) == under)
+            .collect();
         let candidate = pools[under]
             .iter()
-            .filter(|x| !solution.iter().any(|e| e.id == x.id))
-            .map(|x| {
-                let d = dist_to_set(x, &in_solution, metric);
-                (x, d)
+            .copied()
+            .filter(|&x| {
+                let ext = store.external_id(x);
+                !solution.iter().any(|&s| store.external_id(s) == ext)
             })
-            .filter(|&(_, d)| d > 0.0)
+            .map(|x| (x, proxy_to_set(store, x, &in_solution, metric)))
+            .filter(|&(_, p)| p > metric.proxy_from_dist(0.0))
             .max_by(|a, b| match strategy {
                 SwapStrategy::Greedy => a.1.partial_cmp(&b.1).unwrap(),
                 // Arbitrary: prefer the earliest pool element.
                 SwapStrategy::Arbitrary => std::cmp::Ordering::Greater,
             });
         match candidate {
-            Some((x, _)) => solution.push(x.clone()),
+            Some((x, _)) => solution.push(x),
             None => {
                 *solution = original;
                 return false;
@@ -84,14 +101,16 @@ pub fn balance_two_groups(
 
     // Deletion phase: drop over-filled elements closest to the under side.
     while solution.len() > constraint.total() {
-        let under_members: Vec<Element> =
-            solution.iter().filter(|e| e.group == under).cloned().collect();
-        let under_refs: Vec<&Element> = under_members.iter().collect();
+        let under_members: Vec<PointId> = solution
+            .iter()
+            .copied()
+            .filter(|&id| store.group(id) == under)
+            .collect();
         let victim = solution
             .iter()
             .enumerate()
-            .filter(|(_, e)| e.group == over)
-            .map(|(pos, e)| (pos, dist_to_set(e, &under_refs, metric)))
+            .filter(|(_, &id)| store.group(id) == over)
+            .map(|(pos, &id)| (pos, proxy_to_set(store, id, &under_members, metric)))
             .min_by(|a, b| match strategy {
                 SwapStrategy::Greedy => a.1.partial_cmp(&b.1).unwrap(),
                 SwapStrategy::Arbitrary => std::cmp::Ordering::Less,
@@ -106,47 +125,60 @@ pub fn balance_two_groups(
             }
         }
     }
-    debug_assert!(constraint.is_satisfied_by(&count_groups(solution, 2)));
+    debug_assert!(constraint.is_satisfied_by(&count_groups(store, solution, 2)));
     true
 }
 
-/// Distance from an element to its nearest neighbor among `set`
-/// (`+∞` for an empty set, matching `d(x, ∅)`).
-fn dist_to_set(x: &Element, set: &[&Element], metric: Metric) -> f64 {
+/// Proxy distance from a point to its nearest neighbor among `set`
+/// (`+∞` for an empty set, matching `d(x, ∅)`). Proxies are monotone in the
+/// distance, so argmin/argmax and zero tests agree with true distances.
+fn proxy_to_set(store: &PointStore, x: PointId, set: &[PointId], metric: Metric) -> f64 {
+    let (row, norm) = (store.row(x), store.norm_sq(x));
     set.iter()
-        .map(|e| metric.dist(&x.point, &e.point))
+        .map(|&e| metric.proxy_with_norms(row, store.row(e), norm, store.norm_sq(e)))
         .fold(f64::INFINITY, f64::min)
 }
 
-fn count_groups(solution: &[Element], m: usize) -> Vec<usize> {
+fn count_groups(store: &PointStore, solution: &[PointId], m: usize) -> Vec<usize> {
     let mut counts = vec![0usize; m];
-    for e in solution {
-        counts[e.group] += 1;
+    for &id in solution {
+        counts[store.group(id)] += 1;
     }
     counts
 }
 
-fn count_group(solution: &[Element], g: usize) -> usize {
-    solution.iter().filter(|e| e.group == g).count()
+fn count_group(store: &PointStore, solution: &[PointId], g: usize) -> usize {
+    solution.iter().filter(|&&id| store.group(id) == g).count()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn elem(id: usize, x: f64, group: usize) -> Element {
-        Element::new(id, vec![x], group)
+    /// Builds a store of 1-d points; returns ids keyed by the order given.
+    fn store_of(points: &[(usize, f64, usize)]) -> (PointStore, Vec<PointId>) {
+        let mut store = PointStore::new(1);
+        let ids = points
+            .iter()
+            .map(|&(ext, x, group)| store.push(ext, &[x], group))
+            .collect();
+        (store, ids)
     }
 
     fn constraint_2_2() -> FairnessConstraint {
         FairnessConstraint::new(vec![2, 2]).unwrap()
     }
 
+    fn ext_ids(store: &PointStore, ids: &[PointId]) -> Vec<usize> {
+        ids.iter().map(|&id| store.external_id(id)).collect()
+    }
+
     #[test]
     fn already_balanced_is_untouched() {
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 1.0, 1), elem(2, 2.0, 0), elem(3, 3.0, 1)];
-        let before = sol.clone();
+        let (store, ids) = store_of(&[(0, 0.0, 0), (1, 1.0, 1), (2, 2.0, 0), (3, 3.0, 1)]);
+        let mut sol = ids.clone();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], vec![]],
             &constraint_2_2(),
@@ -154,16 +186,25 @@ mod tests {
             SwapStrategy::Greedy,
         );
         assert!(ok);
-        assert_eq!(sol.len(), before.len());
-        assert_eq!(sol.iter().map(|e| e.id).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(ext_ids(&store, &sol), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn balances_one_under_filled_group() {
         // S has 3 of group 0, 1 of group 1; pool supplies group-1 elements.
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), elem(3, 30.0, 1)];
-        let pool1 = vec![elem(10, 5.0, 1), elem(11, 15.0, 1), elem(12, 25.0, 1)];
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 10.0, 0),
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (10, 5.0, 1),
+            (11, 15.0, 1),
+            (12, 25.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
@@ -172,54 +213,79 @@ mod tests {
         );
         assert!(ok);
         assert_eq!(sol.len(), 4);
-        assert_eq!(count_groups(&sol, 2), vec![2, 2]);
+        assert_eq!(count_groups(&store, &sol, 2), vec![2, 2]);
     }
 
     #[test]
     fn greedy_insert_picks_furthest() {
         // Under group 1 has member at 30; pool has 29 (close) and 5 (far).
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), elem(3, 30.0, 1)];
-        let pool1 = vec![elem(10, 29.0, 1), elem(11, 5.0, 1)];
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 10.0, 0),
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (10, 29.0, 1),
+            (11, 5.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
             Metric::Euclidean,
             SwapStrategy::Greedy,
         );
-        assert!(sol.iter().any(|e| e.id == 11), "furthest pool element chosen");
-        assert!(!sol.iter().any(|e| e.id == 10));
+        let exts = ext_ids(&store, &sol);
+        assert!(exts.contains(&11), "furthest pool element chosen");
+        assert!(!exts.contains(&10));
     }
 
     #[test]
     fn greedy_delete_removes_closest_to_under_side() {
         // After insertion, the group-0 member nearest the group-1 members
         // should be deleted.
-        let mut sol = vec![
-            elem(0, 0.0, 0),
-            elem(1, 4.9, 0), // closest to the inserted 5.0
-            elem(2, 20.0, 0),
-            elem(3, 30.0, 1),
-        ];
-        let pool1 = vec![elem(11, 5.0, 1)];
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 4.9, 0), // closest to the inserted 5.0
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (11, 5.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
             Metric::Euclidean,
             SwapStrategy::Greedy,
         );
-        assert_eq!(count_groups(&sol, 2), vec![2, 2]);
-        assert!(!sol.iter().any(|e| e.id == 1), "element 1 (at 4.9) should be removed");
+        assert_eq!(count_groups(&store, &sol, 2), vec![2, 2]);
+        assert!(
+            !ext_ids(&store, &sol).contains(&1),
+            "element 1 (at 4.9) should be removed"
+        );
     }
 
     #[test]
     fn pool_elements_already_in_solution_are_skipped() {
-        let shared = elem(3, 30.0, 1);
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), shared.clone()];
-        // Pool contains the shared element plus one new one.
-        let pool1 = vec![shared, elem(11, 5.0, 1)];
+        // The pool holds a *second arena entry* for stream element 3 (same
+        // external id); identity is by external id, so it must be skipped.
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 10.0, 0),
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (3, 30.0, 1),
+            (11, 5.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
@@ -227,16 +293,17 @@ mod tests {
             SwapStrategy::Greedy,
         );
         assert!(ok);
-        let ids: Vec<usize> = sol.iter().map(|e| e.id).collect();
-        assert!(ids.contains(&11));
-        assert_eq!(ids.iter().filter(|&&i| i == 3).count(), 1);
+        let exts = ext_ids(&store, &sol);
+        assert!(exts.contains(&11));
+        assert_eq!(exts.iter().filter(|&&i| i == 3).count(), 1);
     }
 
     #[test]
     fn impossible_balance_reports_failure_and_restores() {
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), elem(3, 30.0, 0)];
-        let before: Vec<usize> = sol.iter().map(|e| e.id).collect();
+        let (store, ids) = store_of(&[(0, 0.0, 0), (1, 10.0, 0), (2, 20.0, 0), (3, 30.0, 0)]);
+        let mut sol = ids.clone();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], vec![]], // no pool for group 1
             &constraint_2_2(),
@@ -244,14 +311,23 @@ mod tests {
             SwapStrategy::Greedy,
         );
         assert!(!ok);
-        assert_eq!(sol.iter().map(|e| e.id).collect::<Vec<_>>(), before);
+        assert_eq!(ext_ids(&store, &sol), vec![0, 1, 2, 3]);
     }
 
     #[test]
     fn arbitrary_strategy_also_balances() {
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), elem(3, 30.0, 1)];
-        let pool1 = vec![elem(10, 29.0, 1), elem(11, 5.0, 1)];
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 10.0, 0),
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (10, 29.0, 1),
+            (11, 5.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
@@ -259,16 +335,25 @@ mod tests {
             SwapStrategy::Arbitrary,
         );
         assert!(ok);
-        assert_eq!(count_groups(&sol, 2), vec![2, 2]);
+        assert_eq!(count_groups(&store, &sol, 2), vec![2, 2]);
     }
 
     #[test]
     fn duplicate_position_pool_element_is_not_inserted() {
         // Pool element coincides with an existing under-group member
         // (distance 0): it must be skipped, not inserted.
-        let mut sol = vec![elem(0, 0.0, 0), elem(1, 10.0, 0), elem(2, 20.0, 0), elem(3, 30.0, 1)];
-        let pool1 = vec![elem(10, 30.0, 1), elem(11, 5.0, 1)];
+        let (store, ids) = store_of(&[
+            (0, 0.0, 0),
+            (1, 10.0, 0),
+            (2, 20.0, 0),
+            (3, 30.0, 1),
+            (10, 30.0, 1),
+            (11, 5.0, 1),
+        ]);
+        let mut sol = ids[..4].to_vec();
+        let pool1 = ids[4..].to_vec();
         let ok = balance_two_groups(
+            &store,
             &mut sol,
             &[vec![], pool1],
             &constraint_2_2(),
@@ -276,7 +361,8 @@ mod tests {
             SwapStrategy::Greedy,
         );
         assert!(ok);
-        assert!(sol.iter().any(|e| e.id == 11));
-        assert!(!sol.iter().any(|e| e.id == 10));
+        let exts = ext_ids(&store, &sol);
+        assert!(exts.contains(&11));
+        assert!(!exts.contains(&10));
     }
 }

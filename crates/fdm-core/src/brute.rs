@@ -29,10 +29,7 @@ pub fn exact_unconstrained_optimum(dataset: &Dataset, k: usize) -> f64 {
 ///
 /// Enumerates all subsets satisfying the constraint; exponential — tests
 /// only. Returns `(0.0, vec![])` if the constraint is infeasible.
-pub fn exact_fair_optimum(
-    dataset: &Dataset,
-    constraint: &FairnessConstraint,
-) -> (f64, Vec<usize>) {
+pub fn exact_fair_optimum(dataset: &Dataset, constraint: &FairnessConstraint) -> (f64, Vec<usize>) {
     let m = constraint.num_groups();
     let mut per_group: Vec<Vec<usize>> = vec![Vec::new(); m];
     for i in 0..dataset.len() {
@@ -74,11 +71,27 @@ pub fn exact_fair_optimum(
             for &pos in s {
                 chosen.push(members[pos]);
             }
-            rec(per_group, constraint, dataset, g + 1, chosen, best, best_set);
+            rec(
+                per_group,
+                constraint,
+                dataset,
+                g + 1,
+                chosen,
+                best,
+                best_set,
+            );
             chosen.truncate(start);
         });
     }
-    rec(&per_group, constraint, dataset, 0, &mut chosen, &mut best, &mut best_set);
+    rec(
+        &per_group,
+        constraint,
+        dataset,
+        0,
+        &mut chosen,
+        &mut best,
+        &mut best_set,
+    );
     (best, best_set)
 }
 

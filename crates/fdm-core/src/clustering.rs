@@ -9,6 +9,7 @@
 //! asserted in the tests.
 
 use crate::metric::Metric;
+use crate::point::{PointId, PointStore};
 
 /// Disjoint-set forest with union by rank and path halving.
 #[derive(Debug, Clone)]
@@ -21,7 +22,11 @@ pub struct UnionFind {
 impl UnionFind {
     /// Creates `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     /// Representative of `x`'s set.
@@ -39,7 +44,11 @@ impl UnionFind {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra] >= self.rank[rb] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo] = hi;
         if self.rank[ra] == self.rank[rb] {
             self.rank[hi] += 1;
@@ -102,6 +111,34 @@ pub fn threshold_clusters<P: AsRef<[f64]>>(
     for i in 0..n {
         for j in (i + 1)..n {
             if metric.dist(points[i].as_ref(), points[j].as_ref()) < threshold {
+                uf.union(i, j);
+            }
+        }
+    }
+    let labels = uf.labels();
+    let count = uf.num_components();
+    (labels, count)
+}
+
+/// [`threshold_clusters`] over arena ids: the `O(l²)` pair scan — the
+/// dominant cost of SFDM2's post-processing — runs in proxy space over
+/// contiguous [`PointStore`] rows with cached norms, so no `sqrt`/`acos` is
+/// evaluated per pair.
+pub fn threshold_clusters_ids(
+    store: &PointStore,
+    ids: &[PointId],
+    metric: Metric,
+    threshold: f64,
+) -> (Vec<usize>, usize) {
+    let n = ids.len();
+    let threshold_proxy = metric.proxy_from_dist(threshold);
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        let (row_a, norm_a) = (store.row(ids[i]), store.norm_sq(ids[i]));
+        for j in (i + 1)..n {
+            let b = ids[j];
+            let p = metric.proxy_with_norms(row_a, store.row(b), norm_a, store.norm_sq(b));
+            if p < threshold_proxy {
                 uf.union(i, j);
             }
         }
@@ -200,6 +237,27 @@ mod tests {
                     assert!(d >= threshold, "cross-cluster pair at {d}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn id_variant_matches_slice_variant() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        let points: Vec<Vec<f64>> = (0..30)
+            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+            .collect();
+        let mut store = PointStore::new(2);
+        let ids: Vec<PointId> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| store.push(i, p, 0))
+            .collect();
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Angular] {
+            let (a, ca) = threshold_clusters(&points, metric, 0.8);
+            let (b, cb) = threshold_clusters_ids(&store, &ids, metric, 0.8);
+            assert_eq!(ca, cb, "{metric:?} cluster count");
+            assert_eq!(a, b, "{metric:?} labels");
         }
     }
 

@@ -17,7 +17,7 @@
 //! group), preserving enough of every group for any fair post-processing
 //! algorithm — mirroring how SFDM2 keeps per-group candidates.
 
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetBuilder};
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::offline::gmm::gmm_on_subset;
@@ -64,15 +64,21 @@ pub fn fair_composable_coreset(
             continue;
         }
         for g in 0..m {
-            let members: Vec<usize> =
-                chunk.iter().copied().filter(|&i| dataset.group(i) == g).collect();
+            let members: Vec<usize> = chunk
+                .iter()
+                .copied()
+                .filter(|&i| dataset.group(i) == g)
+                .collect();
             if !members.is_empty() {
                 coreset.extend(gmm_on_subset(dataset, &members, k, seed));
             }
         }
     }
     if coreset.is_empty() {
-        return Err(FdmError::NotEnoughElements { required: k, available: 0 });
+        return Err(FdmError::NotEnoughElements {
+            required: k,
+            available: 0,
+        });
     }
     Ok(coreset)
 }
@@ -96,21 +102,23 @@ pub fn contiguous_chunks(n: usize, p: usize) -> Vec<Vec<usize>> {
 /// Materializes a coreset (row indices) as a new [`Dataset`] preserving
 /// group labels, so offline algorithms can run on it directly. Returns the
 /// dataset together with the mapping from new rows to original rows.
+///
+/// Rows are copied arena-to-arena through a [`DatasetBuilder`] (no per-row
+/// `Vec` allocations).
 pub fn coreset_dataset(dataset: &Dataset, coreset: &[usize]) -> Result<(Dataset, Vec<usize>)> {
-    let mut rows = Vec::with_capacity(coreset.len());
-    let mut groups = Vec::with_capacity(coreset.len());
+    let mut builder =
+        DatasetBuilder::with_capacity(dataset.dim(), dataset.metric(), coreset.len())?;
     let mut mapping = Vec::with_capacity(coreset.len());
     // Deduplicate while preserving order (chunks may share GMM picks only
     // if chunks overlap; contiguous chunks never do, but be safe).
     let mut seen = std::collections::HashSet::new();
     for &i in coreset {
         if seen.insert(i) {
-            rows.push(dataset.point(i).to_vec());
-            groups.push(dataset.group(i));
+            builder.push_row(dataset.point(i), dataset.group(i))?;
             mapping.push(i);
         }
     }
-    let ds = Dataset::from_rows(rows, groups, dataset.metric())?;
+    let ds = builder.finish()?;
     Ok((ds, mapping))
 }
 

@@ -1,17 +1,19 @@
 //! In-memory datasets and distance-bound estimation.
 //!
-//! A [`Dataset`] is the offline view of the data: flat row-major storage, a
-//! group label per row, and the metric. Offline baselines (GMM, FairSwap,
-//! FairFlow, FairGMM) operate on it directly with random access; streaming
-//! algorithms consume it through [`Dataset::iter`], which yields owned
-//! [`Element`]s in row order (use `fdm-datasets`' permutation streams for
-//! randomized arrival orders).
-
-use std::sync::Arc;
+//! A [`Dataset`] is the offline view of the data: a [`PointStore`] arena
+//! (flat row-major storage with cached norms), a group label per row, and
+//! the metric. Offline baselines (GMM, FairSwap, FairFlow, FairGMM) operate
+//! on it directly with random access; streaming algorithms consume it
+//! through [`Dataset::iter`], which yields owned [`Element`]s in row order
+//! (use `fdm-datasets`' permutation streams for randomized arrival orders).
+//!
+//! Loaders that produce rows one at a time should go through
+//! [`DatasetBuilder`], which validates and appends each row straight into
+//! the arena without materializing a `Vec<Vec<f64>>` first.
 
 use crate::error::{FdmError, Result};
 use crate::metric::Metric;
-use crate::point::Element;
+use crate::point::{Element, PointId, PointStore};
 
 /// Known or estimated bounds `0 < lower ≤ OPT ≤ upper` on pairwise
 /// distances, required by the guess ladder of Algorithm 1.
@@ -44,15 +46,98 @@ impl DistanceBounds {
     }
 }
 
+/// Incremental [`Dataset`] construction: rows are validated and appended
+/// straight into the point arena.
+#[derive(Debug)]
+pub struct DatasetBuilder {
+    store: PointStore,
+    metric: Metric,
+}
+
+impl DatasetBuilder {
+    /// Starts a dataset of dimension `dim` under `metric`.
+    pub fn new(dim: usize, metric: Metric) -> Result<Self> {
+        Self::with_capacity(dim, metric, 0)
+    }
+
+    /// Like [`DatasetBuilder::new`] with an expected row-count hint.
+    pub fn with_capacity(dim: usize, metric: Metric, capacity: usize) -> Result<Self> {
+        if dim == 0 {
+            return Err(FdmError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
+        }
+        metric.validate()?;
+        Ok(DatasetBuilder {
+            store: PointStore::with_capacity(dim, capacity),
+            metric,
+        })
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether no rows were pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Validates and appends one row (external id = row index).
+    pub fn push_row(&mut self, row: &[f64], group: usize) -> Result<()> {
+        if row.len() != self.store.dim() {
+            return Err(FdmError::DimensionMismatch {
+                expected: self.store.dim(),
+                found: row.len(),
+            });
+        }
+        if row.iter().any(|v| !v.is_finite()) {
+            return Err(FdmError::NonFiniteCoordinate);
+        }
+        let id = self.store.len();
+        self.store.push(id, row, group);
+        Ok(())
+    }
+
+    /// Finishes the dataset (must hold at least one row).
+    pub fn finish(self) -> Result<Dataset> {
+        if self.store.is_empty() {
+            return Err(FdmError::NotEnoughElements {
+                required: 1,
+                available: 0,
+            });
+        }
+        let num_groups = self
+            .store
+            .groups_raw()
+            .iter()
+            .map(|&g| g as usize)
+            .max()
+            .unwrap_or(0)
+            + 1;
+        let mut group_sizes = vec![0usize; num_groups];
+        for &g in self.store.groups_raw() {
+            group_sizes[g as usize] += 1;
+        }
+        Ok(Dataset {
+            store: self.store,
+            num_groups,
+            group_sizes,
+            metric: self.metric,
+        })
+    }
+}
+
 /// A finite set of points with group labels in a metric space.
 ///
-/// Storage is row-major `Vec<f64>` (`n × dim`), with one group label in
-/// `0..m` per row.
+/// Storage is a row-major [`PointStore`] arena (`n × dim` contiguous
+/// coordinates plus cached squared norms), with one group label in `0..m`
+/// per row.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    data: Vec<f64>,
-    dim: usize,
-    groups: Vec<usize>,
+    store: PointStore,
     num_groups: usize,
     group_sizes: Vec<usize>,
     metric: Metric,
@@ -65,11 +150,7 @@ impl Dataset {
     /// finite, and group labels are dense in `0..m` where
     /// `m = max(label) + 1` (empty intermediate groups are permitted but make
     /// most constraints infeasible).
-    pub fn from_rows(
-        rows: Vec<Vec<f64>>,
-        groups: Vec<usize>,
-        metric: Metric,
-    ) -> Result<Self> {
+    pub fn from_rows(rows: Vec<Vec<f64>>, groups: Vec<usize>, metric: Metric) -> Result<Self> {
         if rows.len() != groups.len() {
             return Err(FdmError::InvalidGroup {
                 group: groups.len(),
@@ -77,31 +158,17 @@ impl Dataset {
             });
         }
         if rows.is_empty() {
-            return Err(FdmError::NotEnoughElements { required: 1, available: 0 });
+            return Err(FdmError::NotEnoughElements {
+                required: 1,
+                available: 0,
+            });
         }
         let dim = rows[0].len();
-        if dim == 0 {
-            return Err(FdmError::DimensionMismatch { expected: 1, found: 0 });
+        let mut builder = DatasetBuilder::with_capacity(dim, metric, rows.len())?;
+        for (row, &group) in rows.iter().zip(&groups) {
+            builder.push_row(row, group)?;
         }
-        let mut data = Vec::with_capacity(rows.len() * dim);
-        for row in &rows {
-            if row.len() != dim {
-                return Err(FdmError::DimensionMismatch { expected: dim, found: row.len() });
-            }
-            for &v in row {
-                if !v.is_finite() {
-                    return Err(FdmError::NonFiniteCoordinate);
-                }
-            }
-            data.extend_from_slice(row);
-        }
-        metric.validate()?;
-        let num_groups = groups.iter().copied().max().unwrap_or(0) + 1;
-        let mut group_sizes = vec![0usize; num_groups];
-        for &g in &groups {
-            group_sizes[g] += 1;
-        }
-        Ok(Dataset { data, dim, groups, num_groups, group_sizes, metric })
+        builder.finish()
     }
 
     /// Builds a dataset from flat row-major storage.
@@ -112,7 +179,10 @@ impl Dataset {
         metric: Metric,
     ) -> Result<Self> {
         if dim == 0 {
-            return Err(FdmError::DimensionMismatch { expected: 1, found: 0 });
+            return Err(FdmError::DimensionMismatch {
+                expected: 1,
+                found: 0,
+            });
         }
         if data.len() != groups.len() * dim {
             return Err(FdmError::DimensionMismatch {
@@ -120,34 +190,26 @@ impl Dataset {
                 found: data.len(),
             });
         }
-        if groups.is_empty() {
-            return Err(FdmError::NotEnoughElements { required: 1, available: 0 });
+        let mut builder = DatasetBuilder::with_capacity(dim, metric, groups.len())?;
+        for (row, &group) in data.chunks_exact(dim).zip(&groups) {
+            builder.push_row(row, group)?;
         }
-        if data.iter().any(|v| !v.is_finite()) {
-            return Err(FdmError::NonFiniteCoordinate);
-        }
-        metric.validate()?;
-        let num_groups = groups.iter().copied().max().unwrap_or(0) + 1;
-        let mut group_sizes = vec![0usize; num_groups];
-        for &g in &groups {
-            group_sizes[g] += 1;
-        }
-        Ok(Dataset { data, dim, groups, num_groups, group_sizes, metric })
+        builder.finish()
     }
 
     /// Number of elements `n`.
     pub fn len(&self) -> usize {
-        self.groups.len()
+        self.store.len()
     }
 
     /// Whether the dataset is empty (never true for a constructed dataset).
     pub fn is_empty(&self) -> bool {
-        self.groups.is_empty()
+        self.store.is_empty()
     }
 
     /// Dimensionality of each point.
     pub fn dim(&self) -> usize {
-        self.dim
+        self.store.dim()
     }
 
     /// Number of groups `m`.
@@ -165,22 +227,40 @@ impl Dataset {
         self.metric
     }
 
+    /// The underlying point arena (rows, groups, cached norms).
+    pub fn store(&self) -> &PointStore {
+        &self.store
+    }
+
+    /// The arena id of row `i`.
+    #[inline]
+    pub fn point_id(&self, i: usize) -> PointId {
+        PointId(i as u32)
+    }
+
     /// The point at row `i`.
     #[inline]
     pub fn point(&self, i: usize) -> &[f64] {
-        &self.data[i * self.dim..(i + 1) * self.dim]
+        self.store.row(PointId(i as u32))
     }
 
     /// The group label of row `i`.
     #[inline]
     pub fn group(&self, i: usize) -> usize {
-        self.groups[i]
+        self.store.group(PointId(i as u32))
     }
 
-    /// Distance between rows `i` and `j` under the dataset metric.
+    /// Distance between rows `i` and `j` under the dataset metric (uses the
+    /// arena's cached norms for the Angular kernel).
     #[inline]
     pub fn dist(&self, i: usize, j: usize) -> f64 {
-        self.metric.dist(self.point(i), self.point(j))
+        let (a, b) = (PointId(i as u32), PointId(j as u32));
+        self.metric.dist_from_proxy(self.metric.proxy_with_norms(
+            self.store.row(a),
+            self.store.row(b),
+            self.store.norm_sq(a),
+            self.store.norm_sq(b),
+        ))
     }
 
     /// Distance between row `i` and an external point.
@@ -197,11 +277,7 @@ impl Dataset {
 
     /// Materializes row `i` as an owned [`Element`].
     pub fn element(&self, i: usize) -> Element {
-        Element {
-            id: i,
-            point: Arc::from(self.point(i)),
-            group: self.groups[i],
-        }
+        self.store.element(PointId(i as u32))
     }
 
     /// Exact `d_min`/`d_max` over all pairs — `O(n²)` distance computations;
@@ -212,7 +288,10 @@ impl Dataset {
     pub fn exact_distance_bounds(&self) -> Result<DistanceBounds> {
         let n = self.len();
         if n < 2 {
-            return Err(FdmError::NotEnoughElements { required: 2, available: n });
+            return Err(FdmError::NotEnoughElements {
+                required: 2,
+                available: n,
+            });
         }
         let mut lo = f64::INFINITY;
         let mut hi: f64 = 0.0;
@@ -242,7 +321,10 @@ impl Dataset {
     ) -> Result<DistanceBounds> {
         let n = self.len();
         if n < 2 {
-            return Err(FdmError::NotEnoughElements { required: 2, available: n });
+            return Err(FdmError::NotEnoughElements {
+                required: 2,
+                available: n,
+            });
         }
         // Upper bound: one pass relative to row 0.
         let mut max_to_anchor: f64 = 0.0;
@@ -273,7 +355,9 @@ impl Dataset {
 
     /// Indices of all elements belonging to `group`.
     pub fn group_indices(&self, group: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.groups[i] == group).collect()
+        (0..self.len())
+            .filter(|&i| self.group(i) == group)
+            .collect()
     }
 }
 
@@ -321,6 +405,46 @@ mod tests {
     }
 
     #[test]
+    fn builder_matches_from_rows() {
+        let a = line_dataset();
+        let mut builder = DatasetBuilder::new(1, Metric::Euclidean).unwrap();
+        for (i, x) in [0.0, 1.0, 2.0, 3.0].iter().enumerate() {
+            builder.push_row(&[*x], i % 2).unwrap();
+        }
+        assert_eq!(builder.len(), 4);
+        let b = builder.finish().unwrap();
+        assert_eq!(a.num_groups(), b.num_groups());
+        for i in 0..a.len() {
+            assert_eq!(a.point(i), b.point(i));
+            assert_eq!(a.group(i), b.group(i));
+        }
+    }
+
+    #[test]
+    fn builder_validates_rows() {
+        let mut builder = DatasetBuilder::new(2, Metric::Euclidean).unwrap();
+        assert!(matches!(
+            builder.push_row(&[1.0], 0),
+            Err(FdmError::DimensionMismatch { .. })
+        ));
+        assert_eq!(
+            builder.push_row(&[1.0, f64::NAN], 0),
+            Err(FdmError::NonFiniteCoordinate)
+        );
+        assert!(builder.is_empty());
+        assert!(builder.finish().is_err(), "empty dataset rejected");
+    }
+
+    #[test]
+    fn store_is_exposed_with_cached_norms() {
+        let d = line_dataset();
+        let store = d.store();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.norm_sq(d.point_id(3)), 9.0);
+        assert_eq!(store.row(d.point_id(2)), d.point(2));
+    }
+
+    #[test]
     fn rejects_ragged_rows() {
         let err = Dataset::from_rows(
             vec![vec![0.0, 1.0], vec![2.0]],
@@ -333,15 +457,13 @@ mod tests {
 
     #[test]
     fn rejects_non_finite() {
-        let err = Dataset::from_rows(vec![vec![f64::NAN]], vec![0], Metric::Euclidean)
-            .unwrap_err();
+        let err = Dataset::from_rows(vec![vec![f64::NAN]], vec![0], Metric::Euclidean).unwrap_err();
         assert_eq!(err, FdmError::NonFiniteCoordinate);
     }
 
     #[test]
     fn rejects_mismatched_group_count() {
-        let err =
-            Dataset::from_rows(vec![vec![0.0]], vec![0, 1], Metric::Euclidean).unwrap_err();
+        let err = Dataset::from_rows(vec![vec![0.0]], vec![0, 1], Metric::Euclidean).unwrap_err();
         assert!(matches!(err, FdmError::InvalidGroup { .. }));
     }
 
@@ -375,19 +497,16 @@ mod tests {
 
     #[test]
     fn exact_bounds_all_duplicates_is_error() {
-        let d = Dataset::from_rows(
-            vec![vec![1.0], vec![1.0]],
-            vec![0, 0],
-            Metric::Euclidean,
-        )
-        .unwrap();
+        let d =
+            Dataset::from_rows(vec![vec![1.0], vec![1.0]], vec![0, 0], Metric::Euclidean).unwrap();
         assert!(d.exact_distance_bounds().is_err());
     }
 
     #[test]
     fn sampled_bounds_bracket_exact() {
-        let rows: Vec<Vec<f64>> =
-            (0..200).map(|i| vec![(i as f64) * 0.37, (i as f64 * 0.11).sin()]).collect();
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i as f64) * 0.37, (i as f64 * 0.11).sin()])
+            .collect();
         let groups = vec![0; 200];
         let d = Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap();
         let exact = d.exact_distance_bounds().unwrap();

@@ -8,6 +8,7 @@
 use crate::dataset::Dataset;
 use crate::metric::Metric;
 use crate::offline::gmm::gmm;
+use crate::point::{PointId, PointStore};
 
 /// Minimum pairwise distance among a set of points given as slices.
 ///
@@ -25,6 +26,29 @@ pub fn diversity_of_points<P: AsRef<[f64]>>(points: &[P], metric: Metric) -> f64
         }
     }
     best
+}
+
+/// `div(S)` for a set of arena ids: all pairwise comparisons run in proxy
+/// space over contiguous rows (with cached norms), and only the final
+/// minimum is mapped back to a distance.
+///
+/// Returns `f64::INFINITY` for fewer than two ids.
+pub fn diversity_of_ids(store: &PointStore, ids: &[PointId], metric: Metric) -> f64 {
+    let mut best = f64::INFINITY;
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            let p = metric.proxy_with_norms(
+                store.row(a),
+                store.row(b),
+                store.norm_sq(a),
+                store.norm_sq(b),
+            );
+            if p < best {
+                best = p;
+            }
+        }
+    }
+    metric.dist_from_proxy(best)
 }
 
 /// `div(S)` for a subset of dataset rows.
@@ -114,6 +138,16 @@ mod tests {
         let a = diversity(&d, &subset);
         let b = diversity_of_points(&points, Metric::Euclidean);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn id_variant_matches_index_variant() {
+        let d = square_dataset();
+        let subset = [0usize, 2, 3, 4];
+        let ids: Vec<_> = subset.iter().map(|&i| d.point_id(i)).collect();
+        let a = diversity(&d, &subset);
+        let b = diversity_of_ids(d.store(), &ids, Metric::Euclidean);
+        assert!((a - b).abs() < 1e-12);
     }
 
     #[test]

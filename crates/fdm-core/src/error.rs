@@ -128,26 +128,42 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(FdmError, &str)> = vec![
             (
-                FdmError::DimensionMismatch { expected: 3, found: 2 },
+                FdmError::DimensionMismatch {
+                    expected: 3,
+                    found: 2,
+                },
                 "dimension mismatch",
             ),
             (
-                FdmError::InvalidGroup { group: 5, num_groups: 2 },
+                FdmError::InvalidGroup {
+                    group: 5,
+                    num_groups: 2,
+                },
                 "out of range",
             ),
             (FdmError::EmptyConstraint, "at least one group"),
             (
-                FdmError::InfeasibleConstraint { group: 1, requested: 4, available: 2 },
+                FdmError::InfeasibleConstraint {
+                    group: 1,
+                    requested: 4,
+                    available: 2,
+                },
                 "infeasible",
             ),
             (FdmError::SolutionSizeTooSmall { k: 1 }, "too small"),
             (FdmError::InvalidEpsilon { epsilon: 1.5 }, "epsilon"),
             (
-                FdmError::InvalidDistanceBounds { lower: -1.0, upper: 2.0 },
+                FdmError::InvalidDistanceBounds {
+                    lower: -1.0,
+                    upper: 2.0,
+                },
                 "distance bounds",
             ),
             (
-                FdmError::NotEnoughElements { required: 10, available: 3 },
+                FdmError::NotEnoughElements {
+                    required: 10,
+                    available: 3,
+                },
                 "not enough",
             ),
             (FdmError::NonFiniteCoordinate, "NaN"),

@@ -67,13 +67,20 @@ impl FairnessConstraint {
         }
         let n: usize = group_sizes.iter().sum();
         if n == 0 {
-            return Err(FdmError::NotEnoughElements { required: k, available: 0 });
+            return Err(FdmError::NotEnoughElements {
+                required: k,
+                available: 0,
+            });
         }
         // Start from the floor of the exact share, but at least 1.
-        let shares: Vec<f64> =
-            group_sizes.iter().map(|&s| k as f64 * s as f64 / n as f64).collect();
-        let mut quotas: Vec<usize> =
-            shares.iter().map(|&x| (x.floor() as usize).max(1)).collect();
+        let shares: Vec<f64> = group_sizes
+            .iter()
+            .map(|&s| k as f64 * s as f64 / n as f64)
+            .collect();
+        let mut quotas: Vec<usize> = shares
+            .iter()
+            .map(|&x| (x.floor() as usize).max(1))
+            .collect();
         let mut assigned: usize = quotas.iter().sum();
         // Largest-remainder: hand out remaining slots by descending
         // fractional part; withdraw from smallest-remainder groups (quota
@@ -125,8 +132,7 @@ impl FairnessConstraint {
 
     /// Checks a per-group count vector against the quotas (exact equality).
     pub fn is_satisfied_by(&self, counts: &[usize]) -> bool {
-        counts.len() == self.quotas.len()
-            && counts.iter().zip(&self.quotas).all(|(&c, &q)| c == q)
+        counts.len() == self.quotas.len() && counts.iter().zip(&self.quotas).all(|(&c, &q)| c == q)
     }
 
     /// Verifies that a dataset with the given group sizes admits a fair
@@ -168,7 +174,10 @@ mod tests {
     fn rejects_zero_quota_and_empty() {
         assert!(FairnessConstraint::new(vec![]).is_err());
         assert!(FairnessConstraint::new(vec![2, 0]).is_err());
-        assert!(FairnessConstraint::new(vec![1]).is_err(), "total k=1 undefined");
+        assert!(
+            FairnessConstraint::new(vec![1]).is_err(),
+            "total k=1 undefined"
+        );
     }
 
     #[test]
@@ -234,7 +243,10 @@ mod tests {
         let c = FairnessConstraint::new(vec![2, 3]).unwrap();
         assert!(c.check_feasible(&[5, 5]).is_ok());
         let err = c.check_feasible(&[5, 2]).unwrap_err();
-        assert!(matches!(err, FdmError::InfeasibleConstraint { group: 1, .. }));
+        assert!(matches!(
+            err,
+            FdmError::InfeasibleConstraint { group: 1, .. }
+        ));
         assert!(c.check_feasible(&[5]).is_err());
     }
 

@@ -33,7 +33,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `n` nodes and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { graph: vec![Vec::new(); n], edges: Vec::new() }
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -53,12 +56,23 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range or capacity is negative.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> usize {
-        assert!(from < self.graph.len() && to < self.graph.len(), "node out of range");
+        assert!(
+            from < self.graph.len() && to < self.graph.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let fwd_idx = self.graph[from].len();
         let rev_idx = self.graph[to].len() + usize::from(from == to);
-        self.graph[from].push(FlowEdge { to, cap, rev: rev_idx });
-        self.graph[to].push(FlowEdge { to: from, cap: 0, rev: fwd_idx });
+        self.graph[from].push(FlowEdge {
+            to,
+            cap,
+            rev: rev_idx,
+        });
+        self.graph[to].push(FlowEdge {
+            to: from,
+            cap: 0,
+            rev: fwd_idx,
+        });
         self.edges.push((from, fwd_idx));
         self.edges.len() - 1
     }
@@ -107,14 +121,7 @@ impl FlowNetwork {
         }
     }
 
-    fn dfs(
-        &mut self,
-        v: usize,
-        sink: usize,
-        limit: i64,
-        level: &[i32],
-        it: &mut [usize],
-    ) -> i64 {
+    fn dfs(&mut self, v: usize, sink: usize, limit: i64, level: &[i32], it: &mut [usize]) -> i64 {
         if v == sink {
             return limit;
         }

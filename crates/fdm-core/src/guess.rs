@@ -117,7 +117,10 @@ mod tests {
     #[test]
     fn rejects_bad_epsilon() {
         for eps in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
-            assert!(GuessLadder::new(bounds(1.0, 2.0), eps).is_err(), "eps={eps}");
+            assert!(
+                GuessLadder::new(bounds(1.0, 2.0), eps).is_err(),
+                "eps={eps}"
+            );
         }
     }
 

@@ -78,6 +78,7 @@ pub mod matroid;
 pub mod metric;
 pub mod multifair;
 pub mod offline;
+mod par;
 pub mod point;
 pub mod solution;
 pub mod streaming;
@@ -94,18 +95,16 @@ pub mod prelude {
     pub use crate::offline::fair_gmm::{FairGmm, FairGmmConfig};
     pub use crate::offline::fair_swap::{FairSwap, FairSwapConfig};
     pub use crate::offline::gmm::{gmm, gmm_with_start};
-    pub use crate::point::Element;
+    pub use crate::point::{Element, PointId, PointStore};
     pub use crate::solution::Solution;
     pub use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
     pub use crate::streaming::sfdm2::{Sfdm2, Sfdm2Config};
-    pub use crate::streaming::unconstrained::{
-        StreamingDiversityMaximization, StreamingDmConfig,
-    };
+    pub use crate::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 }
 
 pub use dataset::{Dataset, DistanceBounds};
 pub use error::{FdmError, Result};
 pub use fairness::FairnessConstraint;
 pub use metric::Metric;
-pub use point::Element;
+pub use point::{Element, PointId, PointStore};
 pub use solution::Solution;

@@ -277,7 +277,10 @@ mod tests {
         // {0, 2} or {0, 3}.
         let result = max_common_independent_set(&m1, &m2, &[0], None);
         assert_eq!(result.len(), 2);
-        assert!(result.contains(&0), "initial element retained when possible");
+        assert!(
+            result.contains(&0),
+            "initial element retained when possible"
+        );
     }
 
     #[test]
@@ -315,8 +318,7 @@ mod tests {
         // Elements (group, cluster):
         // 0:(0,0) 1:(0,1) 2:(1,1) 3:(1,2) 4:(2,2) 5:(2,3)
         let m1 = PartitionMatroid::new(vec![0, 0, 1, 1, 2, 2], vec![1, 1, 1]).unwrap();
-        let m2 =
-            PartitionMatroid::unit_capacities(vec![0, 1, 1, 2, 2, 3], 4).unwrap();
+        let m2 = PartitionMatroid::unit_capacities(vec![0, 1, 1, 2, 2, 3], 4).unwrap();
         let result = max_common_independent_set(&m1, &m2, &[], None);
         assert_eq!(result.len(), 3);
         assert!(m1.is_independent(&result));

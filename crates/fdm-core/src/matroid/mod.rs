@@ -50,7 +50,10 @@ impl PartitionMatroid {
     pub fn new(part_of: Vec<usize>, capacity: Vec<usize>) -> Result<Self> {
         for &p in &part_of {
             if p >= capacity.len() {
-                return Err(FdmError::InvalidGroup { group: p, num_groups: capacity.len() });
+                return Err(FdmError::InvalidGroup {
+                    group: p,
+                    num_groups: capacity.len(),
+                });
             }
         }
         Ok(PartitionMatroid { part_of, capacity })
@@ -106,7 +109,11 @@ impl Matroid for PartitionMatroid {
         for &p in &self.part_of {
             sizes[p] += 1;
         }
-        sizes.iter().zip(&self.capacity).map(|(&s, &c)| s.min(c)).sum()
+        sizes
+            .iter()
+            .zip(&self.capacity)
+            .map(|(&s, &c)| s.min(c))
+            .sum()
     }
 }
 

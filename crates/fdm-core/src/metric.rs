@@ -1,4 +1,4 @@
-//! Distance metrics.
+//! Distance metrics and their vectorized kernels.
 //!
 //! Every algorithm in this crate interacts with the data exclusively through
 //! a [`Metric`], mirroring the paper's metric-space formulation (§III-A): the
@@ -11,10 +11,292 @@
 //! distance evaluation is the single hot operation of every algorithm, and a
 //! small enum match compiles to a perfectly predicted branch while keeping
 //! the public API object-safe and serializable.
+//!
+//! # Kernels and proxy distances
+//!
+//! Two layers serve the hot path:
+//!
+//! * The [`kernels`] module accumulates in four independent lanes over
+//!   `chunks_exact(4)` so LLVM can keep several FP additions in flight (and
+//!   auto-vectorize); a single-accumulator `f64` loop cannot be reordered
+//!   and serializes on add latency.
+//! * *Proxy* distances ([`Metric::proxy`]) are monotone stand-ins that skip
+//!   the final `sqrt`/`powf`/`acos`: squared distance for Euclidean, the
+//!   `p`-th power sum for Minkowski, negated cosine for Angular. Threshold
+//!   tests (`d(x, S) ≥ µ`) compare proxies against
+//!   [`Metric::proxy_from_dist`]`(µ)` — bit-identical decisions, no
+//!   transcendental per candidate member. [`Metric::dist_from_proxy`] maps a
+//!   winning proxy back to a real distance once per query.
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::{FdmError, Result};
+
+/// Four-lane accumulator kernels over contiguous `f64` rows.
+///
+/// All kernels debug-assert equal slice lengths and use standard zip
+/// semantics (shorter length wins) in release builds.
+pub mod kernels {
+    /// `Σ (a_i − b_i)²` — squared Euclidean distance.
+    ///
+    /// Accumulates 16-dim blocks with block-local four-lane accumulators
+    /// (independent dependency chains per block), then a 4-chunk middle
+    /// region and a scalar tail — the *same* association as
+    /// [`sum_sq_diff_at_least`], so the bounded variant's no-exit result is
+    /// bit-identical.
+    #[inline]
+    pub fn sum_sq_diff(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let split16 = a.len() - a.len() % 16;
+        let split4 = a.len() - a.len() % 4;
+        let mut total = 0.0f64;
+        for (ca, cb) in a[..split16]
+            .chunks_exact(16)
+            .zip(b[..split16].chunks_exact(16))
+        {
+            let mut acc = [0.0f64; 4];
+            for (qa, qb) in ca.chunks_exact(4).zip(cb.chunks_exact(4)) {
+                for lane in 0..4 {
+                    let d = qa[lane] - qb[lane];
+                    acc[lane] += d * d;
+                }
+            }
+            total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        }
+        let mut acc = [0.0f64; 4];
+        for (qa, qb) in a[split16..split4]
+            .chunks_exact(4)
+            .zip(b[split16..split4].chunks_exact(4))
+        {
+            for lane in 0..4 {
+                let d = qa[lane] - qb[lane];
+                acc[lane] += d * d;
+            }
+        }
+        total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a[split4..].iter().zip(b[split4..].iter()) {
+            let d = x - y;
+            total += d * d;
+        }
+        total
+    }
+
+    /// `Σ |a_i − b_i|` — Manhattan distance (same block structure as
+    /// [`sum_sq_diff`]).
+    #[inline]
+    pub fn sum_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let split16 = a.len() - a.len() % 16;
+        let split4 = a.len() - a.len() % 4;
+        let mut total = 0.0f64;
+        for (ca, cb) in a[..split16]
+            .chunks_exact(16)
+            .zip(b[..split16].chunks_exact(16))
+        {
+            let mut acc = [0.0f64; 4];
+            for (qa, qb) in ca.chunks_exact(4).zip(cb.chunks_exact(4)) {
+                for lane in 0..4 {
+                    acc[lane] += (qa[lane] - qb[lane]).abs();
+                }
+            }
+            total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        }
+        let mut acc = [0.0f64; 4];
+        for (qa, qb) in a[split16..split4]
+            .chunks_exact(4)
+            .zip(b[split16..split4].chunks_exact(4))
+        {
+            for lane in 0..4 {
+                acc[lane] += (qa[lane] - qb[lane]).abs();
+            }
+        }
+        total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a[split4..].iter().zip(b[split4..].iter()) {
+            total += (x - y).abs();
+        }
+        total
+    }
+
+    /// `max |a_i − b_i|` — Chebyshev distance.
+    #[inline]
+    pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f64; 4];
+        let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+        let (b4, b_tail) = b.split_at(b.len() - b.len() % 4);
+        for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+            for lane in 0..4 {
+                acc[lane] = acc[lane].max((ca[lane] - cb[lane]).abs());
+            }
+        }
+        let mut total = acc[0].max(acc[1]).max(acc[2].max(acc[3]));
+        for (x, y) in a_tail.iter().zip(b_tail.iter()) {
+            total = total.max((x - y).abs());
+        }
+        total
+    }
+
+    /// `Σ |a_i − b_i|^p` for general `p` (callers special-case `p = 1, 2`).
+    #[inline]
+    pub fn sum_pow_diff(a: &[f64], b: &[f64], p: f64) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        // `powf` dominates here; lane-splitting buys nothing.
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc += (x - y).abs().powf(p);
+        }
+        acc
+    }
+
+    /// Whether `Σ (a_i − b_i)² ≥ bound`, checking the running partial sum
+    /// every 16 dimensions and stopping as soon as it proves the answer —
+    /// the candidate threshold test rarely needs the full row.
+    ///
+    /// Accumulation is association-identical to [`sum_sq_diff`], so a scan
+    /// that does not exit early compares the bit-identical sum; since every
+    /// term is non-negative the running total is monotone, making an early
+    /// exit exactly `sum_sq_diff(a, b) >= bound`.
+    #[inline]
+    pub fn sum_sq_diff_at_least(a: &[f64], b: &[f64], bound: f64) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let split16 = a.len() - a.len() % 16;
+        let split4 = a.len() - a.len() % 4;
+        let mut total = 0.0f64;
+        // Identical block-local accumulation to `sum_sq_diff`, plus one
+        // hoisted bound check per 16-dim block: the running `total` is
+        // monotone (all terms non-negative), so crossing the bound early
+        // proves the full sum crosses it.
+        for (ca, cb) in a[..split16]
+            .chunks_exact(16)
+            .zip(b[..split16].chunks_exact(16))
+        {
+            let mut acc = [0.0f64; 4];
+            for (qa, qb) in ca.chunks_exact(4).zip(cb.chunks_exact(4)) {
+                for lane in 0..4 {
+                    let d = qa[lane] - qb[lane];
+                    acc[lane] += d * d;
+                }
+            }
+            total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            if total >= bound {
+                return true;
+            }
+        }
+        let mut acc = [0.0f64; 4];
+        for (qa, qb) in a[split16..split4]
+            .chunks_exact(4)
+            .zip(b[split16..split4].chunks_exact(4))
+        {
+            for lane in 0..4 {
+                let d = qa[lane] - qb[lane];
+                acc[lane] += d * d;
+            }
+        }
+        total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a[split4..].iter().zip(b[split4..].iter()) {
+            let d = x - y;
+            total += d * d;
+        }
+        total >= bound
+    }
+
+    /// Whether `Σ |a_i − b_i| ≥ bound` (blockwise early exit with the same
+    /// lane order as [`sum_abs_diff`]; see [`sum_sq_diff_at_least`]).
+    #[inline]
+    pub fn sum_abs_diff_at_least(a: &[f64], b: &[f64], bound: f64) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let split16 = a.len() - a.len() % 16;
+        let split4 = a.len() - a.len() % 4;
+        let mut total = 0.0f64;
+        for (ca, cb) in a[..split16]
+            .chunks_exact(16)
+            .zip(b[..split16].chunks_exact(16))
+        {
+            let mut acc = [0.0f64; 4];
+            for (qa, qb) in ca.chunks_exact(4).zip(cb.chunks_exact(4)) {
+                for lane in 0..4 {
+                    acc[lane] += (qa[lane] - qb[lane]).abs();
+                }
+            }
+            total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+            if total >= bound {
+                return true;
+            }
+        }
+        let mut acc = [0.0f64; 4];
+        for (qa, qb) in a[split16..split4]
+            .chunks_exact(4)
+            .zip(b[split16..split4].chunks_exact(4))
+        {
+            for lane in 0..4 {
+                acc[lane] += (qa[lane] - qb[lane]).abs();
+            }
+        }
+        total += (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a[split4..].iter().zip(b[split4..].iter()) {
+            total += (x - y).abs();
+        }
+        total >= bound
+    }
+
+    /// Whether `max |a_i − b_i| ≥ bound` (any single coordinate decides).
+    #[inline]
+    pub fn max_abs_diff_at_least(a: &[f64], b: &[f64], bound: f64) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b.iter()).any(|(x, y)| (x - y).abs() >= bound)
+    }
+
+    /// Whether `Σ |a_i − b_i|^p ≥ bound` (early exit per coordinate; the
+    /// `powf` dominates, so finer blocking buys nothing).
+    #[inline]
+    pub fn sum_pow_diff_at_least(a: &[f64], b: &[f64], p: f64, bound: f64) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0.0;
+        for (x, y) in a.iter().zip(b.iter()) {
+            acc += (x - y).abs().powf(p);
+            if acc >= bound {
+                return true;
+            }
+        }
+        acc >= bound
+    }
+
+    /// `Σ a_i · b_i` — inner product (for Angular with cached norms).
+    #[inline]
+    pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = [0.0f64; 4];
+        let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+        let (b4, b_tail) = b.split_at(b.len() - b.len() % 4);
+        for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+            for lane in 0..4 {
+                acc[lane] += ca[lane] * cb[lane];
+            }
+        }
+        let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for (x, y) in a_tail.iter().zip(b_tail.iter()) {
+            total += x * y;
+        }
+        total
+    }
+
+    /// `Σ a_i²` — squared L2 norm (cached per row by the point arena).
+    #[inline]
+    pub fn norm_sq(a: &[f64]) -> f64 {
+        let mut acc = [0.0f64; 4];
+        let (a4, a_tail) = a.split_at(a.len() - a.len() % 4);
+        for ca in a4.chunks_exact(4) {
+            for lane in 0..4 {
+                acc[lane] += ca[lane] * ca[lane];
+            }
+        }
+        let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for x in a_tail {
+            total += x * x;
+        }
+        total
+    }
+}
 
 /// A distance metric over `&[f64]` points.
 ///
@@ -75,12 +357,136 @@ impl Metric {
     pub fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
         match self {
-            Metric::Euclidean => euclidean(a, b),
-            Metric::Manhattan => manhattan(a, b),
-            Metric::Chebyshev => chebyshev(a, b),
-            Metric::Minkowski(p) => minkowski(a, b, *p),
-            Metric::Angular => angular(a, b),
+            Metric::Euclidean => kernels::sum_sq_diff(a, b).sqrt(),
+            Metric::Manhattan => kernels::sum_abs_diff(a, b),
+            Metric::Chebyshev => kernels::max_abs_diff(a, b),
+            // The L1/L2 special cases skip `powf` entirely — the dominant
+            // cost for the two most common Minkowski orders.
+            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff(a, b).sqrt(),
+            Metric::Minkowski(p) => kernels::sum_pow_diff(a, b, *p).powf(1.0 / *p),
+            Metric::Angular => self.dist_from_proxy(self.proxy_with_norms(
+                a,
+                b,
+                kernels::norm_sq(a),
+                kernels::norm_sq(b),
+            )),
         }
+    }
+
+    /// A *monotone proxy* for the distance: cheaper than [`Metric::dist`]
+    /// and order-preserving, so comparisons and argmin/argmax over proxies
+    /// agree exactly with comparisons over true distances.
+    ///
+    /// | metric | proxy |
+    /// |---|---|
+    /// | Euclidean / Minkowski(2) | squared distance |
+    /// | Manhattan / Minkowski(1) / Chebyshev | the distance itself |
+    /// | Minkowski(p) | `Σ \|a_i − b_i\|^p` |
+    /// | Angular | `−cos(a, b)` |
+    #[inline]
+    pub fn proxy(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Metric::Angular => {
+                self.proxy_with_norms(a, b, kernels::norm_sq(a), kernels::norm_sq(b))
+            }
+            _ => self.proxy_with_norms(a, b, 0.0, 0.0),
+        }
+    }
+
+    /// [`Metric::proxy`] with precomputed squared L2 norms (only Angular
+    /// reads them; pass anything for other metrics). The point arena caches
+    /// norms per row, saving two of the three inner products per Angular
+    /// distance on the hot path.
+    #[inline]
+    pub fn proxy_with_norms(&self, a: &[f64], b: &[f64], na_sq: f64, nb_sq: f64) -> f64 {
+        debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
+        match self {
+            Metric::Euclidean => kernels::sum_sq_diff(a, b),
+            Metric::Manhattan => kernels::sum_abs_diff(a, b),
+            Metric::Chebyshev => kernels::max_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff(a, b),
+            Metric::Minkowski(p) => kernels::sum_pow_diff(a, b, *p),
+            Metric::Angular => {
+                if na_sq == 0.0 || nb_sq == 0.0 {
+                    // The angle is undefined for the zero vector; treat it as
+                    // orthogonal to everything so degenerate inputs do not
+                    // poison min-distances with NaN. −cos(π/2) = 0.
+                    return 0.0;
+                }
+                let cos = (kernels::dot(a, b) / (na_sq.sqrt() * nb_sq.sqrt())).clamp(-1.0, 1.0);
+                -cos
+            }
+        }
+    }
+
+    /// Maps a distance threshold into proxy space: `d(a, b) ≥ t` holds iff
+    /// `proxy(a, b) ≥ proxy_from_dist(t)` (for finite `t ≥ 0`).
+    #[inline]
+    pub fn proxy_from_dist(&self, d: f64) -> f64 {
+        match self {
+            Metric::Euclidean => d * d,
+            Metric::Manhattan | Metric::Chebyshev => d,
+            Metric::Minkowski(p) if *p == 1.0 => d,
+            Metric::Minkowski(p) if *p == 2.0 => d * d,
+            Metric::Minkowski(p) => d.powf(*p),
+            Metric::Angular => {
+                // Angular distances cannot exceed π, so a threshold beyond π
+                // is unsatisfiable — map it above every reachable proxy
+                // (clamping to −cos(π) = 1 would wrongly accept antipodal
+                // pairs for µ > π).
+                if d > std::f64::consts::PI {
+                    f64::INFINITY
+                } else {
+                    -d.max(0.0).cos()
+                }
+            }
+        }
+    }
+
+    /// Maps a proxy value back to the true distance (inverse of
+    /// [`Metric::proxy_from_dist`] on valid proxies; `+∞` maps to `+∞`).
+    #[inline]
+    pub fn dist_from_proxy(&self, proxy: f64) -> f64 {
+        match self {
+            Metric::Euclidean => proxy.sqrt(),
+            Metric::Manhattan | Metric::Chebyshev => proxy,
+            Metric::Minkowski(p) if *p == 1.0 => proxy,
+            Metric::Minkowski(p) if *p == 2.0 => proxy.sqrt(),
+            Metric::Minkowski(p) => proxy.powf(1.0 / *p),
+            Metric::Angular => {
+                if proxy.is_infinite() {
+                    return f64::INFINITY;
+                }
+                (-proxy).clamp(-1.0, 1.0).acos()
+            }
+        }
+    }
+
+    /// Whether `proxy(a, b) ≥ bound` — the candidate threshold test
+    /// `d(a, b) ≥ µ` with `bound = proxy_from_dist(µ)`. For the Lp metrics
+    /// the partial sums are monotone, so the scan stops as soon as the
+    /// partial proves the answer (often after a fraction of the row);
+    /// decisions are *exactly* those of comparing the full proxy.
+    #[inline]
+    pub fn proxy_at_least(&self, a: &[f64], b: &[f64], na_sq: f64, nb_sq: f64, bound: f64) -> bool {
+        match self {
+            Metric::Euclidean => kernels::sum_sq_diff_at_least(a, b, bound),
+            Metric::Manhattan => kernels::sum_abs_diff_at_least(a, b, bound),
+            Metric::Chebyshev => kernels::max_abs_diff_at_least(a, b, bound),
+            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff_at_least(a, b, bound),
+            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff_at_least(a, b, bound),
+            Metric::Minkowski(p) => kernels::sum_pow_diff_at_least(a, b, *p, bound),
+            // The dot product is not monotone; evaluate the full proxy.
+            Metric::Angular => self.proxy_with_norms(a, b, na_sq, nb_sq) >= bound,
+        }
+    }
+
+    /// Whether [`Metric::proxy`] benefits from cached squared norms.
+    #[inline]
+    pub fn uses_norms(&self) -> bool {
+        matches!(self, Metric::Angular)
     }
 
     /// Human-readable metric name as used in the paper's Table I.
@@ -93,63 +499,6 @@ impl Metric {
             Metric::Angular => "Angular",
         }
     }
-}
-
-#[inline]
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        let d = x - y;
-        acc += d * d;
-    }
-    acc.sqrt()
-}
-
-#[inline]
-fn manhattan(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc += (x - y).abs();
-    }
-    acc
-}
-
-#[inline]
-fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
-    let mut acc = 0.0_f64;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc = acc.max((x - y).abs());
-    }
-    acc
-}
-
-#[inline]
-fn minkowski(a: &[f64], b: &[f64], p: f64) -> f64 {
-    let mut acc = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        acc += (x - y).abs().powf(p);
-    }
-    acc.powf(1.0 / p)
-}
-
-#[inline]
-fn angular(a: &[f64], b: &[f64]) -> f64 {
-    let mut dot = 0.0;
-    let mut na = 0.0;
-    let mut nb = 0.0;
-    for (x, y) in a.iter().zip(b.iter()) {
-        dot += x * y;
-        na += x * x;
-        nb += y * y;
-    }
-    if na == 0.0 || nb == 0.0 {
-        // The angle is undefined for the zero vector; treat it as orthogonal
-        // to everything so degenerate inputs do not poison min-distances
-        // with NaN.
-        return std::f64::consts::FRAC_PI_2;
-    }
-    let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
-    cos.acos()
 }
 
 #[cfg(test)]
@@ -179,11 +528,23 @@ mod tests {
     fn minkowski_interpolates_l1_l2() {
         let a = [0.2, -0.7, 1.3];
         let b = [-0.4, 0.9, 0.1];
-        assert!(
-            (Metric::Minkowski(1.0).dist(&a, &b) - Metric::Manhattan.dist(&a, &b)).abs() < EPS
+        assert!((Metric::Minkowski(1.0).dist(&a, &b) - Metric::Manhattan.dist(&a, &b)).abs() < EPS);
+        assert!((Metric::Minkowski(2.0).dist(&a, &b) - Metric::Euclidean.dist(&a, &b)).abs() < EPS);
+    }
+
+    #[test]
+    fn minkowski_special_cases_are_exact() {
+        // p = 1 and p = 2 route through the L1/L2 kernels: results must be
+        // *identical* (not merely close) to Manhattan/Euclidean.
+        let a: Vec<f64> = (0..37).map(|i| (i as f64 * 0.7).sin() * 5.0).collect();
+        let b: Vec<f64> = (0..37).map(|i| (i as f64 * 1.3).cos() * 5.0).collect();
+        assert_eq!(
+            Metric::Minkowski(1.0).dist(&a, &b),
+            Metric::Manhattan.dist(&a, &b)
         );
-        assert!(
-            (Metric::Minkowski(2.0).dist(&a, &b) - Metric::Euclidean.dist(&a, &b)).abs() < EPS
+        assert_eq!(
+            Metric::Minkowski(2.0).dist(&a, &b),
+            Metric::Euclidean.dist(&a, &b)
         );
     }
 
@@ -235,6 +596,114 @@ mod tests {
                     assert!(d1 >= 0.0);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn proxy_agrees_with_dist_ordering_and_round_trips() {
+        let metrics = [
+            Metric::Euclidean,
+            Metric::Manhattan,
+            Metric::Chebyshev,
+            Metric::Minkowski(1.0),
+            Metric::Minkowski(2.0),
+            Metric::Minkowski(3.5),
+            Metric::Angular,
+        ];
+        let pts: Vec<Vec<f64>> = (0..6)
+            .map(|i| {
+                (0..5)
+                    .map(|j| ((i * 5 + j) as f64 * 0.37).sin() * 3.0)
+                    .collect()
+            })
+            .collect();
+        for metric in metrics {
+            for a in &pts {
+                for b in &pts {
+                    let d = metric.dist(a, b);
+                    let p = metric.proxy(a, b);
+                    // Round trip.
+                    assert!(
+                        (metric.dist_from_proxy(p) - d).abs() < 1e-9,
+                        "{metric:?}: proxy {p} maps to {} not {d}",
+                        metric.dist_from_proxy(p)
+                    );
+                    // Threshold equivalence for thresholds clearly below and
+                    // above the distance (at the exact boundary both sides
+                    // agree to within one ulp by construction).
+                    // 1e-7 margin: the Angular proxy (like acos before it)
+                    // cannot resolve angle differences below ~1e-8 rad.
+                    for (t, expected) in [(d * 0.9 - 1e-7, true), (d * 1.1 + 1e-7, false)] {
+                        if t <= 0.0 {
+                            continue; // guesses µ are always positive
+                        }
+                        let via_proxy = p >= metric.proxy_from_dist(t);
+                        assert_eq!(
+                            via_proxy, expected,
+                            "{metric:?}: threshold {t} disagreement (d = {d}, p = {p})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn angular_threshold_beyond_pi_rejects_antipodal_pairs() {
+        // d(a, −a) = π; a guess µ > π must never be satisfied (the old
+        // direct `dist >= mu` comparison rejected it, and so must the proxy
+        // test — clamping to −cos(π) would wrongly accept).
+        let a = [1.0, 0.0];
+        let b = [-1.0, 0.0];
+        let metric = Metric::Angular;
+        let p = metric.proxy(&a, &b);
+        assert!(p < metric.proxy_from_dist(3.5));
+        assert!(!metric.proxy_at_least(&a, &b, 1.0, 1.0, metric.proxy_from_dist(3.5)));
+        // At exactly π the pair still qualifies.
+        assert!(p >= metric.proxy_from_dist(std::f64::consts::PI));
+    }
+
+    #[test]
+    fn bounded_kernels_bit_match_full_kernels_without_exit() {
+        // With bound = +∞ the bounded scans never exit early and must
+        // produce the decision of the bit-identical full sum; probe that the
+        // boundary value itself matches for every remainder class.
+        for len in 0..40usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64 * 0.9).sin() * 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64 * 1.7).cos() * 3.0).collect();
+            let sq = kernels::sum_sq_diff(&a, &b);
+            let ab = kernels::sum_abs_diff(&a, &b);
+            // The exact full-kernel value used as the bound: `>=` must hold,
+            // and any value strictly above must not.
+            assert!(kernels::sum_sq_diff_at_least(&a, &b, sq));
+            assert!(kernels::sum_abs_diff_at_least(&a, &b, ab));
+            if len > 0 {
+                assert!(!kernels::sum_sq_diff_at_least(
+                    &a,
+                    &b,
+                    sq + sq.abs() * 1e-15 + 1e-300
+                ));
+                assert!(!kernels::sum_abs_diff_at_least(
+                    &a,
+                    &b,
+                    ab + ab.abs() * 1e-15 + 1e-300
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_handle_remainders() {
+        // Lengths 0..9 cover every chunks_exact(4) remainder.
+        for len in 0..9usize {
+            let a: Vec<f64> = (0..len).map(|i| i as f64 * 1.5 - 2.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| (i as f64).cos()).collect();
+            let naive_sq: f64 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+            let naive_abs: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
+            let naive_dot: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((kernels::sum_sq_diff(&a, &b) - naive_sq).abs() < 1e-12);
+            assert!((kernels::sum_abs_diff(&a, &b) - naive_abs).abs() < 1e-12);
+            assert!((kernels::dot(&a, &b) - naive_dot).abs() < 1e-12);
         }
     }
 

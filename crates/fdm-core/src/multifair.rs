@@ -184,14 +184,28 @@ impl TwoAttributeSfdm {
             return Err(FdmError::EmptyConstraint);
         }
         let product = FairnessConstraint::new(dense_quotas)?;
-        let inner = Sfdm2::new(Sfdm2Config { constraint: product, epsilon, bounds, metric })?;
-        Ok(TwoAttributeSfdm { inner, cell_to_dense, cells, constraint })
+        let inner = Sfdm2::new(Sfdm2Config {
+            constraint: product,
+            epsilon,
+            bounds,
+            metric,
+        })?;
+        Ok(TwoAttributeSfdm {
+            inner,
+            cell_to_dense,
+            cells,
+            constraint,
+        })
     }
 
     /// The derived per-cell quota of `(a, b)` (0 for filtered cells or
     /// out-of-range labels).
     pub fn cell_quota(&self, a: usize, b: usize) -> usize {
-        self.cells.get(a).and_then(|r| r.get(b)).copied().unwrap_or(0)
+        self.cells
+            .get(a)
+            .and_then(|r| r.get(b))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Processes one element with labels `(a, b)`; elements in zero-quota
@@ -252,9 +266,15 @@ mod tests {
     #[test]
     fn constraint_validation() {
         assert!(TwoAttributeConstraint::new(vec![2, 2], vec![1, 3]).is_ok());
-        assert!(TwoAttributeConstraint::new(vec![2, 2], vec![1, 1]).is_err(), "k mismatch");
+        assert!(
+            TwoAttributeConstraint::new(vec![2, 2], vec![1, 1]).is_err(),
+            "k mismatch"
+        );
         assert!(TwoAttributeConstraint::new(vec![], vec![1]).is_err());
-        assert!(TwoAttributeConstraint::new(vec![1], vec![1]).is_err(), "k < 2");
+        assert!(
+            TwoAttributeConstraint::new(vec![1], vec![1]).is_err(),
+            "k < 2"
+        );
     }
 
     #[test]
@@ -315,21 +335,17 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0])
             .collect();
-        let labels: Vec<(usize, usize)> =
-            (0..n).map(|_| (rng.random_range(0..2), rng.random_range(0..3))).collect();
+        let labels: Vec<(usize, usize)> = (0..n)
+            .map(|_| (rng.random_range(0..2), rng.random_range(0..3)))
+            .collect();
         let dataset = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
 
         let constraint = TwoAttributeConstraint::new(vec![3, 3], vec![2, 2, 2]).unwrap();
         let avail = availability_of(&labels, 2, 3);
         let bounds = dataset.exact_distance_bounds().unwrap();
-        let mut alg = TwoAttributeSfdm::new(
-            constraint.clone(),
-            &avail,
-            0.1,
-            bounds,
-            Metric::Euclidean,
-        )
-        .unwrap();
+        let mut alg =
+            TwoAttributeSfdm::new(constraint.clone(), &avail, 0.1, bounds, Metric::Euclidean)
+                .unwrap();
         for i in 0..n {
             alg.insert(&dataset.element(i), labels[i].0, labels[i].1);
         }
@@ -356,8 +372,7 @@ mod tests {
         let avail = vec![vec![10, 0], vec![10, 10]];
         let bounds = DistanceBounds::new(0.1, 100.0).unwrap();
         let mut alg =
-            TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean)
-                .unwrap();
+            TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean).unwrap();
         // Insert an element with labels in a zero-availability cell.
         let e = Element::new(0, vec![5.0, 5.0], 0);
         alg.insert(&e, 0, 1);
@@ -369,8 +384,7 @@ mod tests {
         let constraint = TwoAttributeConstraint::new(vec![2], vec![2]).unwrap();
         let avail = vec![vec![10]];
         let bounds = DistanceBounds::new(0.1, 100.0).unwrap();
-        assert!(TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean)
-            .is_err());
+        assert!(TwoAttributeSfdm::new(constraint, &avail, 0.1, bounds, Metric::Euclidean).is_err());
     }
 
     #[test]
@@ -381,30 +395,31 @@ mod tests {
             let rows: Vec<Vec<f64>> = (0..n)
                 .map(|_| vec![rng.random::<f64>() * 20.0, rng.random::<f64>() * 20.0])
                 .collect();
-            let labels: Vec<(usize, usize)> =
-                (0..n).map(|_| (rng.random_range(0..2), rng.random_range(0..2))).collect();
+            let labels: Vec<(usize, usize)> = (0..n)
+                .map(|_| (rng.random_range(0..2), rng.random_range(0..2)))
+                .collect();
             let dataset = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
             let constraint = TwoAttributeConstraint::new(vec![2, 2], vec![2, 2]).unwrap();
             let avail = availability_of(&labels, 2, 2);
             let bounds = dataset.exact_distance_bounds().unwrap();
-            let mut alg = TwoAttributeSfdm::new(
-                constraint.clone(),
-                &avail,
-                0.1,
-                bounds,
-                Metric::Euclidean,
-            )
-            .unwrap();
+            let mut alg =
+                TwoAttributeSfdm::new(constraint.clone(), &avail, 0.1, bounds, Metric::Euclidean)
+                    .unwrap();
             for i in 0..n {
                 alg.insert(&dataset.element(i), labels[i].0, labels[i].1);
             }
-            let sol = alg.finalize().unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            let sol = alg
+                .finalize()
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
             let pairs: Vec<(usize, usize)> = sol
                 .elements
                 .iter()
                 .map(|e| alg.dense_to_cell(e.group).unwrap())
                 .collect();
-            assert!(constraint.is_satisfied_by(&pairs), "trial {trial}: {pairs:?}");
+            assert!(
+                constraint.is_satisfied_by(&pairs),
+                "trial {trial}: {pairs:?}"
+            );
         }
     }
 }

@@ -33,7 +33,11 @@ pub struct FairGmmConfig {
 impl FairGmmConfig {
     /// Creates a config with the default combination cap.
     pub fn new(constraint: FairnessConstraint, seed: u64) -> Self {
-        FairGmmConfig { constraint, seed, max_combinations: 10_000_000 }
+        FairGmmConfig {
+            constraint,
+            seed,
+            max_combinations: 10_000_000,
+        }
     }
 }
 
@@ -125,7 +129,18 @@ impl FairGmm {
                 return;
             }
             if taken_in_group == quotas[g] {
-                rec(pools, quotas, metric, g + 1, 0, 0, current, current_div, best_div, best);
+                rec(
+                    pools,
+                    quotas,
+                    metric,
+                    g + 1,
+                    0,
+                    0,
+                    current,
+                    current_div,
+                    best_div,
+                    best,
+                );
                 return;
             }
             let remaining_needed = quotas[g] - taken_in_group;
@@ -235,8 +250,7 @@ mod tests {
             let d = random_dataset(12, 2, 200 + trial);
             let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
             let (opt, _) = exact_fair_optimum(&d, &constraint);
-            let alg =
-                FairGmm::new(FairGmmConfig::new(constraint, trial)).unwrap();
+            let alg = FairGmm::new(FairGmmConfig::new(constraint, trial)).unwrap();
             let sol = alg.run(&d).unwrap();
             assert!(
                 sol.diversity >= opt / 5.0 - 1e-9,

@@ -14,7 +14,7 @@ use crate::dataset::Dataset;
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::offline::gmm::{gmm, gmm_on_subset};
-use crate::point::Element;
+use crate::point::PointId;
 use crate::solution::Solution;
 
 /// Configuration for [`FairSwap`].
@@ -58,19 +58,21 @@ impl FairSwap {
             });
         }
 
-        // Group-blind GMM solution of size k.
+        // Group-blind GMM solution of size k (arena ids into the dataset's
+        // point store — balancing runs over contiguous rows).
         let blind = gmm(dataset, k, self.config.seed);
-        let mut solution: Vec<Element> = blind.iter().map(|&i| dataset.element(i)).collect();
+        let mut solution: Vec<PointId> = blind.iter().map(|&i| dataset.point_id(i)).collect();
 
         // Group-specific GMM pools of size k_i.
-        let mut pools: Vec<Vec<Element>> = Vec::with_capacity(2);
+        let mut pools: Vec<Vec<PointId>> = Vec::with_capacity(2);
         for g in 0..2 {
             let members = dataset.group_indices(g);
             let pool = gmm_on_subset(dataset, &members, constraint.quota(g), self.config.seed);
-            pools.push(pool.iter().map(|&i| dataset.element(i)).collect());
+            pools.push(pool.iter().map(|&i| dataset.point_id(i)).collect());
         }
 
         let balanced = balance_two_groups(
+            dataset.store(),
             &mut solution,
             &pools,
             constraint,
@@ -80,7 +82,11 @@ impl FairSwap {
         if !balanced {
             return Err(FdmError::NoFeasibleCandidate);
         }
-        Ok(Solution::from_elements(solution, dataset.metric()))
+        Ok(Solution::from_ids(
+            dataset.store(),
+            &solution,
+            dataset.metric(),
+        ))
     }
 }
 
@@ -118,7 +124,11 @@ mod tests {
     #[test]
     fn rejects_non_binary_constraint() {
         let c = FairnessConstraint::new(vec![1, 1, 1]).unwrap();
-        let cfg = FairSwapConfig { constraint: c, seed: 0, strategy: SwapStrategy::Greedy };
+        let cfg = FairSwapConfig {
+            constraint: c,
+            seed: 0,
+            strategy: SwapStrategy::Greedy,
+        };
         assert!(FairSwap::new(cfg).is_err());
     }
 
@@ -132,7 +142,10 @@ mod tests {
         )
         .unwrap();
         let alg = FairSwap::new(config(2, 2)).unwrap();
-        assert!(matches!(alg.run(&d), Err(FdmError::InfeasibleConstraint { .. })));
+        assert!(matches!(
+            alg.run(&d),
+            Err(FdmError::InfeasibleConstraint { .. })
+        ));
     }
 
     #[test]

@@ -67,8 +67,7 @@ pub fn gmm_on_subset_with_start(
     let mut selected = Vec::with_capacity(k.min(indices.len()));
     selected.push(start);
     // dist_to_sel[i] = d(indices[i], selected set).
-    let mut dist_to_sel: Vec<f64> =
-        indices.iter().map(|&i| dataset.dist(i, start)).collect();
+    let mut dist_to_sel: Vec<f64> = indices.iter().map(|&i| dataset.dist(i, start)).collect();
     while selected.len() < k.min(indices.len()) {
         // Furthest-point selection.
         let (best_pos, &best_d) = dist_to_sel
@@ -111,8 +110,7 @@ pub fn gmm_permutation(
     let start = indices[(seed % indices.len() as u64) as usize];
     let mut out = Vec::with_capacity(k.min(indices.len()));
     out.push((start, f64::INFINITY));
-    let mut dist_to_sel: Vec<f64> =
-        indices.iter().map(|&i| dataset.dist(i, start)).collect();
+    let mut dist_to_sel: Vec<f64> = indices.iter().map(|&i| dataset.dist(i, start)).collect();
     while out.len() < k.min(indices.len()) {
         let (best_pos, &best_d) = dist_to_sel
             .iter()
@@ -181,8 +179,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         for trial in 0..10 {
             let n = 12;
-            let rows: Vec<Vec<f64>> =
-                (0..n).map(|_| vec![rng.random::<f64>(), rng.random::<f64>()]).collect();
+            let rows: Vec<Vec<f64>> = (0..n)
+                .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+                .collect();
             let d = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
             let k = 4;
             let opt = exact_unconstrained_optimum(&d, k);

@@ -1,0 +1,34 @@
+//! Feature-gated parallel helpers.
+//!
+//! With the `parallel` cargo feature the independent per-guess work of the
+//! streaming algorithms (batch probing and post-processing) fans out over
+//! rayon; without it everything runs inline. Both paths iterate in index
+//! order and the parallel map preserves result order, so outputs are
+//! **identical** regardless of the feature or the runtime `sequential`
+//! toggle (checked by `tests/parallel_determinism.rs`).
+
+/// Maps `0..n` through `f`, in parallel when the `parallel` feature is on
+/// and `sequential` is false. Results are in index order either way.
+#[cfg(feature = "parallel")]
+pub(crate) fn maybe_par_map<O, F>(sequential: bool, n: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    if sequential || n < 2 {
+        (0..n).map(f).collect()
+    } else {
+        use rayon::prelude::*;
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Sequential fallback used when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn maybe_par_map<O, F>(sequential: bool, n: usize, f: F) -> Vec<O>
+where
+    F: Fn(usize) -> O,
+{
+    let _ = sequential;
+    (0..n).map(f).collect()
+}

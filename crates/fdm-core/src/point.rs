@@ -1,12 +1,17 @@
-//! Stream elements.
+//! Stream elements and the shared point arena.
 //!
-//! A streaming algorithm must not hold references into the dataset it
-//! consumes — the whole point of the streaming model is that the dataset may
-//! be too large to keep. An [`Element`] therefore carries its coordinates in
-//! an `Arc<[f64]>`: candidates that decide to *keep* an element clone the
-//! `Arc` (cheap, shared), and the space accounting of the paper's Fig. 8
-//! ("number of stored elements") is the number of distinct element ids
-//! retained across all candidates.
+//! Distance evaluation is the hot operation of every algorithm in this
+//! crate, and it is fastest over contiguous rows. The [`PointStore`] is an
+//! append-only arena of row-major coordinates: datasets build one up front,
+//! and the streaming algorithms intern each *retained* element into their
+//! own small arena exactly once (memory stays proportional to what the
+//! candidates keep, not to the stream length — the paper's Fig. 8 space
+//! model). Everything downstream — candidates, balancing, clustering,
+//! matroid scoring, solutions — passes cheap [`PointId`] indices around
+//! instead of cloning coordinate buffers.
+//!
+//! [`Element`] remains the boundary type for data *arriving* from a stream:
+//! an id, owned coordinates, and a group label.
 
 use std::sync::Arc;
 
@@ -29,7 +34,11 @@ pub struct Element {
 impl Element {
     /// Creates a new element from owned coordinates.
     pub fn new(id: usize, point: Vec<f64>, group: usize) -> Self {
-        Element { id, point: point.into(), group }
+        Element {
+            id,
+            point: point.into(),
+            group,
+        }
     }
 
     /// Dimensionality of the element's point.
@@ -45,6 +54,147 @@ impl PartialEq for Element {
 }
 
 impl Eq for Element {}
+
+/// Index of a point inside a [`PointStore`].
+///
+/// `u32` keeps id lists half the size of `usize` ones; a single store is
+/// capped at `u32::MAX` points, far beyond any candidate-set or dataset
+/// size this crate handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u32);
+
+impl PointId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only arena of points: contiguous row-major coordinates plus a
+/// group label, the producer-assigned external id, and a cached squared L2
+/// norm per row (used by the Angular kernel).
+#[derive(Debug, Clone, Default)]
+pub struct PointStore {
+    dim: usize,
+    coords: Vec<f64>,
+    groups: Vec<u32>,
+    external_ids: Vec<usize>,
+    norms_sq: Vec<f64>,
+}
+
+impl PointStore {
+    /// Creates an empty store for points of dimension `dim` (must be ≥ 1).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "points must have at least one dimension");
+        PointStore {
+            dim,
+            ..Default::default()
+        }
+    }
+
+    /// Creates an empty store with room for `capacity` points.
+    pub fn with_capacity(dim: usize, capacity: usize) -> Self {
+        assert!(dim > 0, "points must have at least one dimension");
+        PointStore {
+            dim,
+            coords: Vec::with_capacity(capacity * dim),
+            groups: Vec::with_capacity(capacity),
+            external_ids: Vec::with_capacity(capacity),
+            norms_sq: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of stored points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Whether the store holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Dimensionality of every stored point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Appends a point, returning its arena id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()` or the store is full
+    /// (`u32::MAX` points).
+    pub fn push(&mut self, external_id: usize, point: &[f64], group: usize) -> PointId {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        let id = u32::try_from(self.len()).expect("PointStore is full");
+        self.coords.extend_from_slice(point);
+        self.groups.push(group as u32);
+        self.external_ids.push(external_id);
+        self.norms_sq.push(point.iter().map(|&x| x * x).sum());
+        PointId(id)
+    }
+
+    /// Appends a stream element (see [`PointStore::push`]).
+    pub fn push_element(&mut self, element: &Element) -> PointId {
+        self.push(element.id, &element.point, element.group)
+    }
+
+    /// The coordinates of point `id` as a contiguous row.
+    #[inline]
+    pub fn row(&self, id: PointId) -> &[f64] {
+        let start = id.index() * self.dim;
+        &self.coords[start..start + self.dim]
+    }
+
+    /// The group label of point `id`.
+    #[inline]
+    pub fn group(&self, id: PointId) -> usize {
+        self.groups[id.index()] as usize
+    }
+
+    /// The producer-assigned external id of point `id`.
+    #[inline]
+    pub fn external_id(&self, id: PointId) -> usize {
+        self.external_ids[id.index()]
+    }
+
+    /// Cached squared L2 norm of point `id`.
+    #[inline]
+    pub fn norm_sq(&self, id: PointId) -> f64 {
+        self.norms_sq[id.index()]
+    }
+
+    /// All group labels, indexed by arena order.
+    #[inline]
+    pub fn groups_raw(&self) -> &[u32] {
+        &self.groups
+    }
+
+    /// The full row-major coordinate buffer.
+    #[inline]
+    pub fn coords_raw(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// Iterates over all arena ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = PointId> + '_ {
+        (0..self.len() as u32).map(PointId)
+    }
+
+    /// Materializes point `id` as an owned [`Element`] (allocates).
+    pub fn element(&self, id: PointId) -> Element {
+        Element {
+            id: self.external_id(id),
+            point: Arc::from(self.row(id)),
+            group: self.group(id),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -73,5 +223,54 @@ mod tests {
         let a = Element::new(1, vec![1.0, 2.0], 0);
         let b = a.clone();
         assert!(Arc::ptr_eq(&a.point, &b.point));
+    }
+
+    #[test]
+    fn store_rows_are_contiguous_and_indexed() {
+        let mut store = PointStore::new(2);
+        let a = store.push(10, &[1.0, 2.0], 0);
+        let b = store.push(11, &[3.0, 4.0], 1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.dim(), 2);
+        assert_eq!(store.row(a), &[1.0, 2.0]);
+        assert_eq!(store.row(b), &[3.0, 4.0]);
+        assert_eq!(store.group(b), 1);
+        assert_eq!(store.external_id(a), 10);
+        assert_eq!(store.coords_raw(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn store_caches_norms() {
+        let mut store = PointStore::new(2);
+        let a = store.push(0, &[3.0, 4.0], 0);
+        assert_eq!(store.norm_sq(a), 25.0);
+    }
+
+    #[test]
+    fn store_round_trips_elements() {
+        let mut store = PointStore::new(3);
+        let e = Element::new(42, vec![1.0, -1.0, 0.5], 2);
+        let id = store.push_element(&e);
+        let back = store.element(id);
+        assert_eq!(back.id, 42);
+        assert_eq!(back.group, 2);
+        assert_eq!(&back.point[..], &e.point[..]);
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let mut store = PointStore::new(1);
+        for i in 0..5 {
+            store.push(i, &[i as f64], 0);
+        }
+        let ids: Vec<usize> = store.ids().map(|id| store.external_id(id)).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn store_rejects_wrong_dim() {
+        let mut store = PointStore::new(2);
+        store.push(0, &[1.0], 0);
     }
 }

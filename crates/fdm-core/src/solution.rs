@@ -1,8 +1,8 @@
 //! Solution containers returned by the algorithms.
 
-use crate::diversity::diversity_of_points;
+use crate::diversity::{diversity_of_ids, diversity_of_points};
 use crate::metric::Metric;
-use crate::point::Element;
+use crate::point::{Element, PointId, PointStore};
 
 /// A selected subset together with its max–min diversity.
 ///
@@ -21,7 +21,22 @@ impl Solution {
     pub fn from_elements(elements: Vec<Element>, metric: Metric) -> Self {
         let points: Vec<&[f64]> = elements.iter().map(|e| &e.point[..]).collect();
         let diversity = diversity_of_points(&points, metric);
-        Solution { elements, diversity }
+        Solution {
+            elements,
+            diversity,
+        }
+    }
+
+    /// Builds a solution by materializing arena ids: the diversity is
+    /// computed over the arena rows (proxy kernels, cached norms) and the
+    /// elements are copied out so the solution outlives the store.
+    pub fn from_ids(store: &PointStore, ids: &[PointId], metric: Metric) -> Self {
+        let diversity = diversity_of_ids(store, ids, metric);
+        let elements = ids.iter().map(|&id| store.element(id)).collect();
+        Solution {
+            elements,
+            diversity,
+        }
     }
 
     /// Number of selected elements.

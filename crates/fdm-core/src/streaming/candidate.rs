@@ -8,23 +8,37 @@
 //! * `div(S_µ) ≥ µ` at all times;
 //! * if the candidate is not full after the stream, every stream element is
 //!   within `< µ` of it (it was rejected for proximity, not capacity).
+//!
+//! Candidates do not own coordinates: they keep [`PointId`]s into a shared
+//! [`PointStore`] arena, and every distance test runs over contiguous arena
+//! rows in *proxy space* (squared Euclidean, etc. — see
+//! [`Metric::proxy_from_dist`]), so the hot threshold test performs no
+//! `sqrt`/`acos` at all.
 
-use crate::metric::Metric;
-use crate::point::Element;
+use crate::metric::{kernels, Metric};
+use crate::point::{Element, PointId, PointStore};
 
 /// One candidate set `S_µ` with threshold `µ` and capacity `cap`.
 #[derive(Debug, Clone)]
 pub struct Candidate {
     mu: f64,
+    /// `proxy_from_dist(mu)`, precomputed once.
+    mu_proxy: f64,
     capacity: usize,
     metric: Metric,
-    elements: Vec<Element>,
+    members: Vec<PointId>,
 }
 
 impl Candidate {
     /// Creates an empty candidate.
     pub fn new(mu: f64, capacity: usize, metric: Metric) -> Self {
-        Candidate { mu, capacity, metric, elements: Vec::with_capacity(capacity) }
+        Candidate {
+            mu,
+            mu_proxy: metric.proxy_from_dist(mu),
+            capacity,
+            metric,
+            members: Vec::with_capacity(capacity),
+        }
     }
 
     /// The guess `µ` this candidate is maintained for.
@@ -39,36 +53,44 @@ impl Candidate {
 
     /// Current number of elements.
     pub fn len(&self) -> usize {
-        self.elements.len()
+        self.members.len()
     }
 
     /// Whether the candidate holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.elements.is_empty()
+        self.members.is_empty()
     }
 
     /// Whether the candidate reached its capacity.
     pub fn is_full(&self) -> bool {
-        self.elements.len() >= self.capacity
+        self.members.len() >= self.capacity
     }
 
-    /// The kept elements, in insertion order.
-    pub fn elements(&self) -> &[Element] {
-        &self.elements
+    /// The kept arena ids, in insertion order.
+    pub fn members(&self) -> &[PointId] {
+        &self.members
     }
 
-    /// Distance from `point` to the candidate (`+∞` when empty).
+    /// Materializes the kept elements from the arena, in insertion order.
+    pub fn elements(&self, store: &PointStore) -> Vec<Element> {
+        self.members.iter().map(|&id| store.element(id)).collect()
+    }
+
+    /// Minimum *proxy* distance from `point` to the candidate
+    /// (`+∞` when empty), with early exit once below the threshold proxy.
     #[inline]
-    pub fn distance_to(&self, point: &[f64]) -> f64 {
+    fn proxy_distance_to(&self, store: &PointStore, point: &[f64], norm_sq: f64) -> f64 {
         let mut best = f64::INFINITY;
-        for e in &self.elements {
-            let d = self.metric.dist(point, &e.point);
-            if d < best {
-                best = d;
+        for &id in &self.members {
+            let p = self
+                .metric
+                .proxy_with_norms(point, store.row(id), norm_sq, store.norm_sq(id));
+            if p < best {
+                best = p;
                 // Early exit: once below the threshold the element will be
                 // rejected anyway; saves ~half the distance evaluations in
                 // the hot path without changing behavior.
-                if best < self.mu {
+                if best < self.mu_proxy {
                     break;
                 }
             }
@@ -76,15 +98,65 @@ impl Candidate {
         best
     }
 
-    /// Algorithm 1, lines 5–6: inserts `element` iff the candidate is not
-    /// full and `d(element, S_µ) ≥ µ`. Returns whether it was kept.
+    /// Distance from `point` to the candidate (`+∞` when empty).
+    ///
+    /// May return any value `< µ` early once rejection is certain (same
+    /// contract as the scan it replaces: exact above the threshold).
     #[inline]
-    pub fn try_insert(&mut self, element: &Element) -> bool {
-        if self.is_full() {
-            return false;
-        }
-        if self.distance_to(&element.point) >= self.mu {
-            self.elements.push(element.clone());
+    pub fn distance_to(&self, store: &PointStore, point: &[f64]) -> f64 {
+        let norm_sq = if self.metric.uses_norms() {
+            kernels::norm_sq(point)
+        } else {
+            0.0
+        };
+        self.metric
+            .dist_from_proxy(self.proxy_distance_to(store, point, norm_sq))
+    }
+
+    /// The acceptance test of Algorithm 1 line 5 — `!full ∧ d(point, S_µ) ≥ µ`
+    /// — entirely in proxy space with bounded (partial-sum) row scans.
+    /// Read-only: safe to evaluate for many candidates in parallel against
+    /// the same arena.
+    #[inline]
+    pub fn accepts(&self, store: &PointStore, point: &[f64], norm_sq: f64) -> bool {
+        !self.is_full()
+            && self.members.iter().all(|&id| {
+                self.metric.proxy_at_least(
+                    point,
+                    store.row(id),
+                    norm_sq,
+                    store.norm_sq(id),
+                    self.mu_proxy,
+                )
+            })
+    }
+
+    /// Records an already-interned accepted point (see
+    /// [`Candidate::accepts`]; the caller interns into the arena once and
+    /// pushes the id into every accepting candidate).
+    #[inline]
+    pub fn push(&mut self, id: PointId) {
+        debug_assert!(!self.is_full());
+        self.members.push(id);
+    }
+
+    /// Algorithm 1, lines 5–6 for a *single* candidate owning its arena:
+    /// interns and keeps `element` iff it is not full and
+    /// `d(element, S_µ) ≥ µ`. Returns whether it was kept.
+    ///
+    /// Multi-candidate algorithms share one arena instead: they call
+    /// [`Candidate::accepts`] on every candidate, intern once, then
+    /// [`Candidate::push`] the id into each acceptor.
+    #[inline]
+    pub fn try_insert(&mut self, store: &mut PointStore, element: &Element) -> bool {
+        let norm_sq = if self.metric.uses_norms() {
+            kernels::norm_sq(&element.point)
+        } else {
+            0.0
+        };
+        if self.accepts(store, &element.point, norm_sq) {
+            let id = store.push_element(element);
+            self.members.push(id);
             true
         } else {
             false
@@ -92,22 +164,88 @@ impl Candidate {
     }
 
     /// `div(S_µ)` over the kept elements (`+∞` for fewer than two).
-    pub fn diversity(&self) -> f64 {
+    pub fn diversity(&self, store: &PointStore) -> f64 {
         let mut best = f64::INFINITY;
-        for (i, a) in self.elements.iter().enumerate() {
-            for b in &self.elements[i + 1..] {
-                let d = self.metric.dist(&a.point, &b.point);
-                if d < best {
-                    best = d;
+        for (i, &a) in self.members.iter().enumerate() {
+            for &b in &self.members[i + 1..] {
+                let p = self.metric.proxy_with_norms(
+                    store.row(a),
+                    store.row(b),
+                    store.norm_sq(a),
+                    store.norm_sq(b),
+                );
+                if p < best {
+                    best = p;
                 }
             }
         }
-        best
+        self.metric.dist_from_proxy(best)
     }
 
-    /// Consumes the candidate, returning its elements.
-    pub fn into_elements(self) -> Vec<Element> {
-        self.elements
+    /// Consumes the candidate, returning its member ids.
+    pub fn into_members(self) -> Vec<PointId> {
+        self.members
+    }
+
+    /// Simulates inserting a whole `batch` (in order) into this candidate
+    /// and returns the batch positions it would accept, **without mutating
+    /// anything** — the core of the parallel guess-ladder insert.
+    ///
+    /// Every candidate's decisions depend only on its own state and the
+    /// batch prefix, so probing all candidates concurrently and then
+    /// committing ([`PointStore::push_element`] + [`Candidate::push`])
+    /// serially reproduces element-by-element insertion exactly.
+    ///
+    /// `norms` must hold the squared L2 norm of each batch element (ignored
+    /// unless the metric uses norms; pass zeros otherwise) and
+    /// `restrict_group` filters the batch to one group (for the
+    /// group-specific candidates of SFDM1/SFDM2).
+    pub fn probe_batch(
+        &self,
+        store: &PointStore,
+        batch: &[Element],
+        norms: &[f64],
+        restrict_group: Option<usize>,
+    ) -> Vec<u32> {
+        debug_assert_eq!(batch.len(), norms.len());
+        let mut accepted: Vec<u32> = Vec::new();
+        let mut room = self.capacity.saturating_sub(self.members.len());
+        for (pos, element) in batch.iter().enumerate() {
+            if room == 0 {
+                break;
+            }
+            if let Some(g) = restrict_group {
+                if element.group != g {
+                    continue;
+                }
+            }
+            let far_from_members = self.members.iter().all(|&id| {
+                self.metric.proxy_at_least(
+                    &element.point,
+                    store.row(id),
+                    norms[pos],
+                    store.norm_sq(id),
+                    self.mu_proxy,
+                )
+            });
+            // Also check against batch elements this candidate already
+            // (virtually) accepted.
+            let far_from_virtual = far_from_members
+                && accepted.iter().all(|&prev| {
+                    self.metric.proxy_at_least(
+                        &element.point,
+                        &batch[prev as usize].point,
+                        norms[pos],
+                        norms[prev as usize],
+                        self.mu_proxy,
+                    )
+                });
+            if far_from_virtual {
+                accepted.push(pos as u32);
+                room -= 1;
+            }
+        }
+        accepted
     }
 }
 
@@ -121,80 +259,143 @@ mod tests {
 
     #[test]
     fn accepts_far_rejects_near() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(1.0, 5, Metric::Euclidean);
-        assert!(c.try_insert(&elem(0, 0.0)));
-        assert!(!c.try_insert(&elem(1, 0.5)), "0.5 < mu rejected");
-        assert!(c.try_insert(&elem(2, 1.0)), "exactly mu accepted");
-        assert!(c.try_insert(&elem(3, 2.5)));
+        assert!(c.try_insert(&mut store, &elem(0, 0.0)));
+        assert!(
+            !c.try_insert(&mut store, &elem(1, 0.5)),
+            "0.5 < mu rejected"
+        );
+        assert!(
+            c.try_insert(&mut store, &elem(2, 1.0)),
+            "exactly mu accepted"
+        );
+        assert!(c.try_insert(&mut store, &elem(3, 2.5)));
         assert_eq!(c.len(), 3);
     }
 
     #[test]
     fn capacity_is_enforced() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(1.0, 2, Metric::Euclidean);
-        assert!(c.try_insert(&elem(0, 0.0)));
-        assert!(c.try_insert(&elem(1, 10.0)));
+        assert!(c.try_insert(&mut store, &elem(0, 0.0)));
+        assert!(c.try_insert(&mut store, &elem(1, 10.0)));
         assert!(c.is_full());
-        assert!(!c.try_insert(&elem(2, 20.0)), "full candidate rejects everything");
+        assert!(
+            !c.try_insert(&mut store, &elem(2, 20.0)),
+            "full candidate rejects everything"
+        );
         assert_eq!(c.len(), 2);
     }
 
     #[test]
     fn diversity_invariant_holds() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(2.0, 10, Metric::Euclidean);
         for (i, x) in [0.0, 1.0, 2.0, 3.5, 4.0, 9.0, 10.5].iter().enumerate() {
-            c.try_insert(&elem(i, *x));
+            c.try_insert(&mut store, &elem(i, *x));
         }
-        assert!(c.diversity() >= c.mu(), "div(S_mu) >= mu must hold");
+        assert!(c.diversity(&store) >= c.mu(), "div(S_mu) >= mu must hold");
     }
 
     #[test]
     fn rejected_elements_are_close_when_not_full() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(1.0, 10, Metric::Euclidean);
         let stream = [0.0, 0.4, 0.9, 3.0, 3.3, 7.0];
         let mut rejected = Vec::new();
         for (i, x) in stream.iter().enumerate() {
             let e = elem(i, *x);
-            if !c.try_insert(&e) {
+            if !c.try_insert(&mut store, &e) {
                 rejected.push(e);
             }
         }
         assert!(!c.is_full());
         for e in rejected {
-            assert!(c.distance_to(&e.point) < 1.0, "rejected element must be within mu");
+            assert!(
+                c.distance_to(&store, &e.point) < 1.0,
+                "rejected element must be within mu"
+            );
         }
     }
 
     #[test]
     fn distance_to_empty_is_infinite() {
+        let store = PointStore::new(1);
         let c = Candidate::new(1.0, 3, Metric::Euclidean);
-        assert_eq!(c.distance_to(&[42.0]), f64::INFINITY);
+        assert_eq!(c.distance_to(&store, &[42.0]), f64::INFINITY);
     }
 
     #[test]
     fn diversity_of_small_candidates_is_infinite() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(1.0, 3, Metric::Euclidean);
-        assert_eq!(c.diversity(), f64::INFINITY);
-        c.try_insert(&elem(0, 0.0));
-        assert_eq!(c.diversity(), f64::INFINITY);
+        assert_eq!(c.diversity(&store), f64::INFINITY);
+        c.try_insert(&mut store, &elem(0, 0.0));
+        assert_eq!(c.diversity(&store), f64::INFINITY);
     }
 
     #[test]
-    fn into_elements_preserves_order() {
+    fn into_members_preserves_order() {
+        let mut store = PointStore::new(1);
         let mut c = Candidate::new(1.0, 3, Metric::Euclidean);
-        c.try_insert(&elem(5, 0.0));
-        c.try_insert(&elem(9, 5.0));
-        let ids: Vec<usize> = c.into_elements().iter().map(|e| e.id).collect();
+        c.try_insert(&mut store, &elem(5, 0.0));
+        c.try_insert(&mut store, &elem(9, 5.0));
+        let ids: Vec<usize> = c
+            .into_members()
+            .iter()
+            .map(|&id| store.external_id(id))
+            .collect();
         assert_eq!(ids, vec![5, 9]);
     }
 
     #[test]
     fn manhattan_candidate() {
+        let mut store = PointStore::new(2);
         let mut c = Candidate::new(2.0, 4, Metric::Manhattan);
-        assert!(c.try_insert(&Element::new(0, vec![0.0, 0.0], 0)));
+        assert!(c.try_insert(&mut store, &Element::new(0, vec![0.0, 0.0], 0)));
         // Manhattan distance 1.5 < 2 → reject; Euclidean would be ~1.06 too.
-        assert!(!c.try_insert(&Element::new(1, vec![0.75, 0.75], 0)));
+        assert!(!c.try_insert(&mut store, &Element::new(1, vec![0.75, 0.75], 0)));
         // Manhattan distance 2.0 → accept.
-        assert!(c.try_insert(&Element::new(2, vec![1.0, 1.0], 0)));
+        assert!(c.try_insert(&mut store, &Element::new(2, vec![1.0, 1.0], 0)));
+    }
+
+    #[test]
+    fn angular_candidate_uses_cached_norms() {
+        let mut store = PointStore::new(2);
+        let mut c = Candidate::new(0.5, 4, Metric::Angular);
+        assert!(c.try_insert(&mut store, &Element::new(0, vec![1.0, 0.0], 0)));
+        // Same direction, different magnitude: angle 0 < 0.5 → reject.
+        assert!(!c.try_insert(&mut store, &Element::new(1, vec![5.0, 0.0], 0)));
+        // Right angle: π/2 ≥ 0.5 → accept.
+        assert!(c.try_insert(&mut store, &Element::new(2, vec![0.0, 3.0], 0)));
+        assert!((c.diversity(&store) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_arena_accept_then_push() {
+        // The multi-candidate protocol: probe with `accepts`, intern once,
+        // push into every acceptor.
+        let mut store = PointStore::new(1);
+        let mut c1 = Candidate::new(1.0, 4, Metric::Euclidean);
+        let mut c2 = Candidate::new(5.0, 4, Metric::Euclidean);
+        for (i, x) in [0.0, 2.0, 7.0].iter().enumerate() {
+            let e = elem(i, *x);
+            let nsq = kernels::norm_sq(&e.point);
+            let a1 = c1.accepts(&store, &e.point, nsq);
+            let a2 = c2.accepts(&store, &e.point, nsq);
+            if a1 || a2 {
+                let id = store.push_element(&e);
+                if a1 {
+                    c1.push(id);
+                }
+                if a2 {
+                    c2.push(id);
+                }
+            }
+        }
+        assert_eq!(c1.len(), 3); // 0, 2, 7 all pairwise >= 1 apart
+        assert_eq!(c2.len(), 2); // 0 and 7
+        assert_eq!(store.len(), 3, "each element interned exactly once");
     }
 }

@@ -12,19 +12,27 @@
 //! elements closest to it ([`crate::balance`]). Lemma 2 shows the balanced
 //! candidate keeps `div ≥ µ/2`; Lemma 1 places a `µ' ≥ (1−ε)/2 · OPT_f`
 //! in `U'`.
+//!
+//! Retained elements are interned once into a shared [`PointStore`];
+//! candidates hold [`PointId`]s. With the `parallel` feature, batch inserts
+//! probe all candidates concurrently and the per-guess balancing of the
+//! post-processing runs across the ladder in parallel (identical results
+//! either way).
 
 use std::collections::HashSet;
 
 use crate::balance::{balance_two_groups, SwapStrategy};
 use crate::dataset::DistanceBounds;
-use crate::diversity::diversity_of_points;
+use crate::diversity::diversity_of_ids;
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::guess::GuessLadder;
-use crate::metric::Metric;
-use crate::point::Element;
+use crate::metric::{kernels, Metric};
+use crate::par::maybe_par_map;
+use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::Candidate;
+use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm1`].
 #[derive(Debug, Clone)]
@@ -44,12 +52,15 @@ pub struct Sfdm1Config {
 pub struct Sfdm1 {
     constraint: FairnessConstraint,
     metric: Metric,
+    store: PointStore,
     /// Group-blind candidates, one per guess.
     blind: Vec<Candidate>,
     /// `specific[i][j]` = candidate for group `i`, guess `j`, capacity `k_i`.
     specific: [Vec<Candidate>; 2],
     strategy: SwapStrategy,
     processed: usize,
+    sequential: bool,
+    store_initialized: bool,
 }
 
 impl Sfdm1 {
@@ -85,23 +96,88 @@ impl Sfdm1 {
         Ok(Sfdm1 {
             constraint: config.constraint,
             metric: config.metric,
+            store: PointStore::new(1),
             blind,
             specific,
             strategy,
             processed: 0,
+            sequential: false,
+            store_initialized: false,
         })
+    }
+
+    /// Forces single-threaded processing even when built with the
+    /// `parallel` feature (identical results; see the module docs).
+    pub fn set_sequential(&mut self, sequential: bool) {
+        self.sequential = sequential;
+    }
+
+    fn ensure_store_dim(&mut self, dim: usize) {
+        if !self.store_initialized {
+            self.store = PointStore::new(dim.max(1));
+            self.store_initialized = true;
+        }
     }
 
     /// Processes one stream element (Algorithm 2, lines 3–8).
     pub fn insert(&mut self, element: &Element) {
         debug_assert!(element.group < 2, "SFDM1 requires group labels in {{0, 1}}");
+        self.ensure_store_dim(element.dim());
         self.processed += 1;
-        for candidate in &mut self.blind {
-            candidate.try_insert(element);
+        let norm_sq = if self.metric.uses_norms() {
+            kernels::norm_sq(&element.point)
+        } else {
+            0.0
+        };
+        let mut interned: Option<PointId> = None;
+        let store = &mut self.store;
+        for candidate in self
+            .blind
+            .iter_mut()
+            .chain(self.specific[element.group].iter_mut())
+        {
+            if candidate.accepts(store, &element.point, norm_sq) {
+                let id = *interned.get_or_insert_with(|| store.push_element(element));
+                candidate.push(id);
+            }
         }
-        for candidate in &mut self.specific[element.group] {
-            candidate.try_insert(element);
+    }
+
+    /// Processes a batch of stream elements; equivalent to element-by-element
+    /// [`Sfdm1::insert`] in batch order, with the independent candidates
+    /// probed concurrently under the `parallel` feature.
+    pub fn insert_batch(&mut self, batch: &[Element]) {
+        if batch.is_empty() {
+            return;
         }
+        debug_assert!(batch.iter().all(|e| e.group < 2));
+        self.ensure_store_dim(batch[0].dim());
+        self.processed += batch.len();
+        let norms: Vec<f64> = if self.metric.uses_norms() {
+            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+        } else {
+            vec![0.0; batch.len()]
+        };
+        // Lane layout: [blind..., specific[0]..., specific[1]...].
+        let ladder = self.blind.len();
+        let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, ladder * 3, |lane| {
+            let (candidate, restrict) = if lane < ladder {
+                (&self.blind[lane], None)
+            } else if lane < 2 * ladder {
+                (&self.specific[0][lane - ladder], Some(0))
+            } else {
+                (&self.specific[1][lane - 2 * ladder], Some(1))
+            };
+            candidate.probe_batch(&self.store, batch, &norms, restrict)
+        });
+        let [s0, s1] = &mut self.specific;
+        let mut lanes: Vec<&mut Candidate> = self
+            .blind
+            .iter_mut()
+            .chain(s0.iter_mut())
+            .chain(s1.iter_mut())
+            .collect();
+        commit_batch(&mut self.store, batch, &mut lanes, &accepted);
     }
 
     /// Number of elements seen so far.
@@ -111,50 +187,63 @@ impl Sfdm1 {
 
     /// Distinct retained element count — the paper's space metric.
     pub fn stored_elements(&self) -> usize {
-        let mut ids = HashSet::new();
-        for c in self.blind.iter().chain(self.specific.iter().flatten()) {
-            for e in c.elements() {
-                ids.insert(e.id);
-            }
-        }
+        let ids: HashSet<usize> = self
+            .store
+            .ids()
+            .map(|id| self.store.external_id(id))
+            .collect();
         ids.len()
     }
 
+    /// The shared arena of retained elements.
+    pub fn store(&self) -> &PointStore {
+        &self.store
+    }
+
     /// Post-processing (Algorithm 2, lines 9–18): balance every candidate in
-    /// `U'` and return the most diverse fair result.
+    /// `U'` and return the most diverse fair result. The per-guess balancing
+    /// runs across the ladder in parallel under the `parallel` feature.
     pub fn finalize(&self) -> Result<Solution> {
         let k = self.constraint.total();
-        let mut best: Option<(f64, Vec<Element>)> = None;
-        for (j, blind) in self.blind.iter().enumerate() {
-            // U' membership: blind full and both group candidates full.
-            if blind.len() < k
-                || self.specific[0][j].len() < self.constraint.quota(0)
-                || self.specific[1][j].len() < self.constraint.quota(1)
-            {
-                continue;
-            }
-            let mut solution = blind.elements().to_vec();
-            let pools = [
-                self.specific[0][j].elements().to_vec(),
-                self.specific[1][j].elements().to_vec(),
-            ];
-            if !balance_two_groups(
-                &mut solution,
-                &pools,
-                &self.constraint,
-                self.metric,
-                self.strategy,
-            ) {
-                continue;
-            }
-            let points: Vec<&[f64]> = solution.iter().map(|e| &e.point[..]).collect();
-            let div = diversity_of_points(&points, self.metric);
-            if best.as_ref().is_none_or(|(b, _)| div > *b) {
-                best = Some((div, solution));
+        let results: Vec<Option<(f64, Vec<PointId>)>> =
+            maybe_par_map(self.sequential, self.blind.len(), |j| {
+                let blind = &self.blind[j];
+                // U' membership: blind full and both group candidates full.
+                if blind.len() < k
+                    || self.specific[0][j].len() < self.constraint.quota(0)
+                    || self.specific[1][j].len() < self.constraint.quota(1)
+                {
+                    return None;
+                }
+                let mut solution = blind.members().to_vec();
+                let pools = [
+                    self.specific[0][j].members().to_vec(),
+                    self.specific[1][j].members().to_vec(),
+                ];
+                if !balance_two_groups(
+                    &self.store,
+                    &mut solution,
+                    &pools,
+                    &self.constraint,
+                    self.metric,
+                    self.strategy,
+                ) {
+                    return None;
+                }
+                let div = diversity_of_ids(&self.store, &solution, self.metric);
+                Some((div, solution))
+            });
+        // Serial reduction preserves the first-maximum tie-break regardless
+        // of how the map above was scheduled.
+        let mut best: Option<(f64, &Vec<PointId>)> = None;
+        for r in results.iter().flatten() {
+            let (div, ids) = r;
+            if best.as_ref().is_none_or(|(b, _)| *div > *b) {
+                best = Some((*div, ids));
             }
         }
         match best {
-            Some((_, elements)) => Ok(Solution::from_elements(elements, self.metric)),
+            Some((_, ids)) => Ok(Solution::from_ids(&self.store, ids, self.metric)),
             None => Err(FdmError::NoFeasibleCandidate),
         }
     }
@@ -279,7 +368,10 @@ mod tests {
         // 10x the stream must not cost 10x the memory: bounded by the
         // ladder size times (k + k1 + k2) in both cases.
         let cap = GuessLadder::new(bounds, 0.1).unwrap().len() * (6 + 3 + 3);
-        assert!(sizes[0] <= cap && sizes[1] <= cap, "sizes {sizes:?} exceed cap {cap}");
+        assert!(
+            sizes[0] <= cap && sizes[1] <= cap,
+            "sizes {sizes:?} exceed cap {cap}"
+        );
     }
 
     #[test]
@@ -305,6 +397,36 @@ mod tests {
             ratios.push(sol.diversity / opt);
         }
         let avg: f64 = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!(avg > 0.5, "average practical ratio {avg} too low: {ratios:?}");
+        assert!(
+            avg > 0.5,
+            "average practical ratio {avg} too low: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn batch_insert_matches_element_by_element() {
+        let d = random_two_group_dataset(300, 21);
+        let c = FairnessConstraint::new(vec![4, 3]).unwrap();
+        let bounds = d.exact_distance_bounds().unwrap();
+        let cfg = Sfdm1Config {
+            constraint: c,
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        };
+        let mut one_by_one = Sfdm1::new(cfg.clone()).unwrap();
+        let mut batched = Sfdm1::new(cfg).unwrap();
+        let elements: Vec<Element> = d.iter().collect();
+        for e in &elements {
+            one_by_one.insert(e);
+        }
+        for chunk in elements.chunks(53) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(one_by_one.stored_elements(), batched.stored_elements());
+        let a = one_by_one.finalize().unwrap();
+        let b = batched.finalize().unwrap();
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.diversity, b.diversity);
     }
 }

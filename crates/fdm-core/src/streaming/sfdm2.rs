@@ -19,21 +19,29 @@
 //!    greedily preferring far elements
 //!    ([`crate::matroid::intersection`], Algorithm 4).
 //! 4. Keep the fair size-`k` result with maximum diversity across guesses.
+//!
+//! Retained elements are interned once into a shared [`PointStore`];
+//! candidates hold [`PointId`]s. With the `parallel` feature, batch inserts
+//! probe all `(m+1) · |U|` candidates concurrently and the whole per-guess
+//! post-processing pipeline (clustering + matroid intersection) runs across
+//! the ladder in parallel — the results are identical to a sequential run.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use crate::clustering::threshold_clusters;
+use crate::clustering::threshold_clusters_ids;
 use crate::dataset::DistanceBounds;
-use crate::diversity::diversity_of_points;
+use crate::diversity::diversity_of_ids;
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::guess::GuessLadder;
 use crate::matroid::intersection::max_common_independent_set;
 use crate::matroid::PartitionMatroid;
-use crate::metric::Metric;
-use crate::point::Element;
+use crate::metric::{kernels, Metric};
+use crate::par::maybe_par_map;
+use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::Candidate;
+use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm2`].
 #[derive(Debug, Clone)]
@@ -86,11 +94,14 @@ pub enum AugmentationMode {
 pub struct Sfdm2 {
     constraint: FairnessConstraint,
     metric: Metric,
+    store: PointStore,
     blind: Vec<Candidate>,
     /// `specific[i][j]`: group `i`, guess `j`, capacity `k`.
     specific: Vec<Vec<Candidate>>,
     mode: AugmentationMode,
     processed: usize,
+    sequential: bool,
+    store_initialized: bool,
 }
 
 impl Sfdm2 {
@@ -125,11 +136,27 @@ impl Sfdm2 {
         Ok(Sfdm2 {
             constraint: config.constraint,
             metric: config.metric,
+            store: PointStore::new(1),
             blind,
             specific,
             mode,
             processed: 0,
+            sequential: false,
+            store_initialized: false,
         })
+    }
+
+    /// Forces single-threaded processing even when built with the
+    /// `parallel` feature (identical results; see the module docs).
+    pub fn set_sequential(&mut self, sequential: bool) {
+        self.sequential = sequential;
+    }
+
+    fn ensure_store_dim(&mut self, dim: usize) {
+        if !self.store_initialized {
+            self.store = PointStore::new(dim.max(1));
+            self.store_initialized = true;
+        }
     }
 
     /// Processes one stream element (Algorithm 3, lines 3–8).
@@ -138,13 +165,60 @@ impl Sfdm2 {
             element.group < self.specific.len(),
             "group label out of range for the constraint"
         );
+        self.ensure_store_dim(element.dim());
         self.processed += 1;
-        for candidate in &mut self.blind {
-            candidate.try_insert(element);
+        let norm_sq = if self.metric.uses_norms() {
+            kernels::norm_sq(&element.point)
+        } else {
+            0.0
+        };
+        let mut interned: Option<PointId> = None;
+        let store = &mut self.store;
+        for candidate in self
+            .blind
+            .iter_mut()
+            .chain(self.specific[element.group].iter_mut())
+        {
+            if candidate.accepts(store, &element.point, norm_sq) {
+                let id = *interned.get_or_insert_with(|| store.push_element(element));
+                candidate.push(id);
+            }
         }
-        for candidate in &mut self.specific[element.group] {
-            candidate.try_insert(element);
+    }
+
+    /// Processes a batch of stream elements; equivalent to element-by-element
+    /// [`Sfdm2::insert`] in batch order, with the `(m+1) · |U|` independent
+    /// candidates probed concurrently under the `parallel` feature.
+    pub fn insert_batch(&mut self, batch: &[Element]) {
+        if batch.is_empty() {
+            return;
         }
+        let m = self.specific.len();
+        debug_assert!(batch.iter().all(|e| e.group < m));
+        self.ensure_store_dim(batch[0].dim());
+        self.processed += batch.len();
+        let norms: Vec<f64> = if self.metric.uses_norms() {
+            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+        } else {
+            vec![0.0; batch.len()]
+        };
+        // Lane layout: [blind..., specific[0]..., ..., specific[m-1]...].
+        let ladder = self.blind.len();
+        let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, ladder * (m + 1), |lane| {
+            let (candidate, restrict) = if lane < ladder {
+                (&self.blind[lane], None)
+            } else {
+                let g = lane / ladder - 1;
+                (&self.specific[g][lane % ladder], Some(g))
+            };
+            candidate.probe_batch(&self.store, batch, &norms, restrict)
+        });
+        let mut lanes: Vec<&mut Candidate> = self
+            .blind
+            .iter_mut()
+            .chain(self.specific.iter_mut().flatten())
+            .collect();
+        commit_batch(&mut self.store, batch, &mut lanes, &accepted);
     }
 
     /// Number of elements seen so far.
@@ -154,108 +228,128 @@ impl Sfdm2 {
 
     /// Distinct retained element count — the paper's space metric.
     pub fn stored_elements(&self) -> usize {
-        let mut ids = HashSet::new();
-        for c in self.blind.iter().chain(self.specific.iter().flatten()) {
-            for e in c.elements() {
-                ids.insert(e.id);
-            }
-        }
+        let ids: HashSet<usize> = self
+            .store
+            .ids()
+            .map(|id| self.store.external_id(id))
+            .collect();
         ids.len()
     }
 
-    /// Post-processing (Algorithm 3, lines 9–19).
+    /// The shared arena of retained elements.
+    pub fn store(&self) -> &PointStore {
+        &self.store
+    }
+
+    /// Post-processing (Algorithm 3, lines 9–19). Each guess's pipeline —
+    /// clustering, matroid construction, Cunningham augmentation — is
+    /// independent and runs across the ladder in parallel under the
+    /// `parallel` feature.
     pub fn finalize(&self) -> Result<Solution> {
-        let k = self.constraint.total();
-        let m = self.constraint.num_groups();
-        let mut best: Option<(f64, Vec<Element>)> = None;
-
-        for (j, blind) in self.blind.iter().enumerate() {
-            // U' membership.
-            if blind.len() < k {
-                continue;
-            }
-            if (0..m).any(|g| self.specific[g][j].len() < self.constraint.quota(g)) {
-                continue;
-            }
-            let mu = blind.mu();
-
-            // S_all: union of all candidates' elements, deduplicated by id.
-            let mut sall: Vec<Element> = Vec::new();
-            let mut index_of: HashMap<usize, usize> = HashMap::new();
-            let mut push = |e: &Element, sall: &mut Vec<Element>| {
-                if let std::collections::hash_map::Entry::Vacant(v) = index_of.entry(e.id) {
-                    v.insert(sall.len());
-                    sall.push(e.clone());
-                }
-            };
-            for e in blind.elements() {
-                push(e, &mut sall);
-            }
-            for g in 0..m {
-                for e in self.specific[g][j].elements() {
-                    push(e, &mut sall);
-                }
-            }
-
-            // Partial solution S'_µ: per group min(k_i, |S_µ ∩ X_i|)
-            // elements of the blind candidate (Algorithm 3, line 11).
-            let mut taken_per_group = vec![0usize; m];
-            let mut initial: Vec<usize> = Vec::with_capacity(k);
-            for e in blind.elements() {
-                let g = e.group;
-                if taken_per_group[g] < self.constraint.quota(g) {
-                    taken_per_group[g] += 1;
-                    initial.push(index_of[&e.id]);
-                }
-            }
-
-            // Threshold clustering of S_all (Algorithm 3, lines 13–16).
-            let points: Vec<&[f64]> = sall.iter().map(|e| &e.point[..]).collect();
-            let threshold = mu / (m as f64 + 1.0);
-            let (cluster_of, num_clusters) =
-                threshold_clusters(&points, self.metric, threshold);
-
-            // Matroids: fairness (M1) and one-per-cluster (M2).
-            let groups_of: Vec<usize> = sall.iter().map(|e| e.group).collect();
-            let m1 = PartitionMatroid::new(groups_of, self.constraint.quotas().to_vec())
-                .expect("group labels validated on insert");
-            let m2 = PartitionMatroid::unit_capacities(cluster_of, num_clusters)
-                .expect("cluster labels are dense");
-
-            // Algorithm 4.
-            let result = match self.mode {
-                AugmentationMode::SeededGreedy => {
-                    let score = |x: usize, members: &[usize]| {
-                        let mut best = f64::INFINITY;
-                        for &y in members {
-                            let d = self.metric.dist(&sall[x].point, &sall[y].point);
-                            if d < best {
-                                best = d;
-                            }
-                        }
-                        best
-                    };
-                    max_common_independent_set(&m1, &m2, &initial, Some(&score))
-                }
-                AugmentationMode::PlainCunningham => {
-                    max_common_independent_set(&m1, &m2, &[], None)
-                }
-            };
-            if result.len() != k {
-                continue; // line 19 keeps only size-k results
-            }
-            let elements: Vec<Element> = result.iter().map(|&i| sall[i].clone()).collect();
-            let pts: Vec<&[f64]> = elements.iter().map(|e| &e.point[..]).collect();
-            let div = diversity_of_points(&pts, self.metric);
-            if best.as_ref().is_none_or(|(b, _)| div > *b) {
-                best = Some((div, elements));
+        let results: Vec<Option<(f64, Vec<PointId>)>> =
+            maybe_par_map(self.sequential, self.blind.len(), |j| self.process_guess(j));
+        // Serial reduction preserves the first-maximum tie-break regardless
+        // of how the map above was scheduled.
+        let mut best: Option<(f64, &Vec<PointId>)> = None;
+        for r in results.iter().flatten() {
+            let (div, ids) = r;
+            if best.as_ref().is_none_or(|(b, _)| *div > *b) {
+                best = Some((*div, ids));
             }
         }
-
         match best {
-            Some((_, elements)) => Ok(Solution::from_elements(elements, self.metric)),
+            Some((_, ids)) => Ok(Solution::from_ids(&self.store, ids, self.metric)),
             None => Err(FdmError::NoFeasibleCandidate),
         }
+    }
+
+    /// One guess's post-processing; `None` when `µ_j ∉ U'` or the augmented
+    /// result is smaller than `k` (Algorithm 3, line 19).
+    fn process_guess(&self, j: usize) -> Option<(f64, Vec<PointId>)> {
+        let k = self.constraint.total();
+        let m = self.constraint.num_groups();
+        let blind = &self.blind[j];
+        // U' membership.
+        if blind.len() < k {
+            return None;
+        }
+        if (0..m).any(|g| self.specific[g][j].len() < self.constraint.quota(g)) {
+            return None;
+        }
+        let mu = blind.mu();
+
+        // S_all: union of all candidates' members. Elements are interned
+        // once per stream arrival, so deduplication by arena id is
+        // deduplication by stream element.
+        let mut sall: Vec<PointId> = Vec::new();
+        let mut seen: HashSet<PointId> = HashSet::new();
+        for &id in blind
+            .members()
+            .iter()
+            .chain((0..m).flat_map(|g| self.specific[g][j].members()))
+        {
+            if seen.insert(id) {
+                sall.push(id);
+            }
+        }
+        // Partial solution S'_µ: per group min(k_i, |S_µ ∩ X_i|)
+        // elements of the blind candidate (Algorithm 3, line 11). The blind
+        // members are distinct and were pushed into `sall` first, so the
+        // i-th blind member sits at index i.
+        let mut taken_per_group = vec![0usize; m];
+        let mut initial: Vec<usize> = Vec::with_capacity(k);
+        for (i, &id) in blind.members().iter().enumerate() {
+            debug_assert_eq!(sall[i], id);
+            let g = self.store.group(id);
+            if taken_per_group[g] < self.constraint.quota(g) {
+                taken_per_group[g] += 1;
+                initial.push(i);
+            }
+        }
+
+        // Threshold clustering of S_all (Algorithm 3, lines 13–16).
+        let threshold = mu / (m as f64 + 1.0);
+        let (cluster_of, num_clusters) =
+            threshold_clusters_ids(&self.store, &sall, self.metric, threshold);
+
+        // Matroids: fairness (M1) and one-per-cluster (M2).
+        let groups_of: Vec<usize> = sall.iter().map(|&id| self.store.group(id)).collect();
+        let m1 = PartitionMatroid::new(groups_of, self.constraint.quotas().to_vec())
+            .expect("group labels validated on insert");
+        let m2 = PartitionMatroid::unit_capacities(cluster_of, num_clusters)
+            .expect("cluster labels are dense");
+
+        // Algorithm 4.
+        let result = match self.mode {
+            AugmentationMode::SeededGreedy => {
+                let score = |x: usize, members: &[usize]| {
+                    let (row, norm) = (self.store.row(sall[x]), self.store.norm_sq(sall[x]));
+                    let mut best = f64::INFINITY;
+                    for &y in members {
+                        let p = self.metric.proxy_with_norms(
+                            row,
+                            self.store.row(sall[y]),
+                            norm,
+                            self.store.norm_sq(sall[y]),
+                        );
+                        if p < best {
+                            best = p;
+                        }
+                    }
+                    // Monotone proxy: argmax over proxies = argmax over
+                    // distances, which is all the greedy selection needs.
+                    best
+                };
+                max_common_independent_set(&m1, &m2, &initial, Some(&score))
+            }
+            AugmentationMode::PlainCunningham => max_common_independent_set(&m1, &m2, &[], None),
+        };
+        if result.len() != k {
+            return None; // line 19 keeps only size-k results
+        }
+        let ids: Vec<PointId> = result.iter().map(|&i| sall[i]).collect();
+        let div = diversity_of_ids(&self.store, &ids, self.metric);
+        Some((div, ids))
     }
 }
 
@@ -426,5 +520,32 @@ mod tests {
         let sol = run(&d, c.clone(), 0.2).unwrap();
         assert_eq!(sol.len(), 20);
         assert!(c.is_satisfied_by(&sol.group_counts(10)));
+    }
+
+    #[test]
+    fn batch_insert_matches_element_by_element() {
+        let d = random_dataset(400, 3, 44);
+        let c = FairnessConstraint::new(vec![2, 3, 2]).unwrap();
+        let bounds = d.exact_distance_bounds().unwrap();
+        let cfg = Sfdm2Config {
+            constraint: c,
+            epsilon: 0.1,
+            bounds,
+            metric: Metric::Euclidean,
+        };
+        let mut one_by_one = Sfdm2::new(cfg.clone()).unwrap();
+        let mut batched = Sfdm2::new(cfg).unwrap();
+        let elements: Vec<Element> = d.iter().collect();
+        for e in &elements {
+            one_by_one.insert(e);
+        }
+        for chunk in elements.chunks(61) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(one_by_one.stored_elements(), batched.stored_elements());
+        let a = one_by_one.finalize().unwrap();
+        let b = batched.finalize().unwrap();
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.diversity, b.diversity);
     }
 }

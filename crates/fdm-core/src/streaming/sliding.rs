@@ -71,6 +71,30 @@ impl SlidingWindowFdm {
         }
     }
 
+    /// Processes a batch of arrivals, splitting it at checkpoint boundaries
+    /// so rotation happens exactly as with element-by-element
+    /// [`SlidingWindowFdm::insert`]; within each segment the two instances
+    /// use the parallel batch path of [`Sfdm2::insert_batch`].
+    pub fn insert_batch(&mut self, batch: &[Element]) {
+        let half = (self.window / 2).max(1);
+        let mut rest = batch;
+        while !rest.is_empty() {
+            let until_checkpoint = half - self.arrivals % half;
+            let take = until_checkpoint.min(rest.len());
+            let (segment, tail) = rest.split_at(take);
+            self.primary.insert_batch(segment);
+            self.secondary.insert_batch(segment);
+            self.arrivals += segment.len();
+            if self.arrivals.is_multiple_of(half) {
+                self.primary = std::mem::replace(
+                    &mut self.secondary,
+                    Sfdm2::new(self.config.clone()).expect("config validated at construction"),
+                );
+            }
+            rest = tail;
+        }
+    }
+
     /// Fair solution over (a superset of the tail of) the current window.
     pub fn finalize(&self) -> Result<Solution> {
         self.primary.finalize()
@@ -148,6 +172,25 @@ mod tests {
             single.insert(&e);
         }
         assert!(alg.stored_elements() <= 2 * (single.stored_elements() + 64));
+    }
+
+    #[test]
+    fn batch_insert_matches_element_by_element() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let elements: Vec<Element> = (0..260).map(|id| elem(&mut rng, id)).collect();
+        let mut one_by_one = SlidingWindowFdm::new(config(), 64).unwrap();
+        let mut batched = SlidingWindowFdm::new(config(), 64).unwrap();
+        for e in &elements {
+            one_by_one.insert(e);
+        }
+        for chunk in elements.chunks(47) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(one_by_one.arrivals(), batched.arrivals());
+        assert_eq!(one_by_one.stored_elements(), batched.stored_elements());
+        let a = one_by_one.finalize().unwrap();
+        let b = batched.finalize().unwrap();
+        assert_eq!(a.ids(), b.ids());
     }
 
     #[test]

@@ -5,14 +5,21 @@
 //! diversity is the solution. Borassi et al. proved `(1−ε)/5`; the paper's
 //! Theorem 1 tightens the analysis of the same algorithm to `(1−ε)/2`,
 //! which the test suite checks against brute-force optima.
+//!
+//! Retained elements are interned exactly once into a shared [`PointStore`]
+//! arena; candidates hold [`PointId`]s and test thresholds in proxy space
+//! (see [`crate::metric`]). [`StreamingDiversityMaximization::insert_batch`]
+//! probes the independent candidates of the guess ladder in parallel when
+//! the `parallel` feature is enabled.
 
 use std::collections::HashSet;
 
 use crate::dataset::DistanceBounds;
 use crate::error::{FdmError, Result};
 use crate::guess::GuessLadder;
-use crate::metric::Metric;
-use crate::point::Element;
+use crate::metric::{kernels, Metric};
+use crate::par::maybe_par_map;
+use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::Candidate;
 
@@ -32,10 +39,13 @@ pub struct StreamingDmConfig {
 /// Streaming state of Algorithm 1.
 #[derive(Debug, Clone)]
 pub struct StreamingDiversityMaximization {
+    store: PointStore,
     candidates: Vec<Candidate>,
     metric: Metric,
     k: usize,
     processed: usize,
+    sequential: bool,
+    store_initialized: bool,
 }
 
 impl StreamingDiversityMaximization {
@@ -52,19 +62,71 @@ impl StreamingDiversityMaximization {
             .map(|&mu| Candidate::new(mu, config.k, config.metric))
             .collect();
         Ok(StreamingDiversityMaximization {
+            // Dimension is unknown until the first element arrives.
+            store: PointStore::new(1),
             candidates,
             metric: config.metric,
             k: config.k,
             processed: 0,
+            sequential: false,
+            store_initialized: false,
         })
+    }
+
+    /// Forces single-threaded processing even when the crate is built with
+    /// the `parallel` feature (results are identical either way; this
+    /// exists for determinism tests and for embedding in already-parallel
+    /// callers).
+    pub fn set_sequential(&mut self, sequential: bool) {
+        self.sequential = sequential;
+    }
+
+    fn ensure_store_dim(&mut self, dim: usize) {
+        if !self.store_initialized {
+            self.store = PointStore::new(dim.max(1));
+            self.store_initialized = true;
+        }
     }
 
     /// Processes one stream element (Algorithm 1, lines 3–6).
     pub fn insert(&mut self, element: &Element) {
+        self.ensure_store_dim(element.dim());
         self.processed += 1;
+        let norm_sq = if self.metric.uses_norms() {
+            kernels::norm_sq(&element.point)
+        } else {
+            0.0
+        };
+        let mut interned: Option<PointId> = None;
         for candidate in &mut self.candidates {
-            candidate.try_insert(element);
+            if candidate.accepts(&self.store, &element.point, norm_sq) {
+                let id = *interned.get_or_insert_with(|| self.store.push_element(element));
+                candidate.push(id);
+            }
         }
+    }
+
+    /// Processes a batch of stream elements, probing the independent
+    /// candidates concurrently (with the `parallel` feature) and then
+    /// committing acceptances serially. Equivalent to calling
+    /// [`StreamingDiversityMaximization::insert`] element by element, in
+    /// batch order.
+    pub fn insert_batch(&mut self, batch: &[Element]) {
+        if batch.is_empty() {
+            return;
+        }
+        self.ensure_store_dim(batch[0].dim());
+        self.processed += batch.len();
+        let norms: Vec<f64> = if self.metric.uses_norms() {
+            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+        } else {
+            vec![0.0; batch.len()]
+        };
+        let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, self.candidates.len(), |i| {
+            self.candidates[i].probe_batch(&self.store, batch, &norms, None)
+        });
+        let mut lanes: Vec<&mut Candidate> = self.candidates.iter_mut().collect();
+        commit_batch(&mut self.store, batch, &mut lanes, &accepted);
     }
 
     /// Number of elements seen so far.
@@ -80,13 +142,17 @@ impl StreamingDiversityMaximization {
     /// Number of *distinct* elements currently retained across all
     /// candidates — the paper's space metric (Fig. 8).
     pub fn stored_elements(&self) -> usize {
-        let mut ids = HashSet::new();
-        for c in &self.candidates {
-            for e in c.elements() {
-                ids.insert(e.id);
-            }
-        }
+        let ids: HashSet<usize> = self
+            .store
+            .ids()
+            .map(|id| self.store.external_id(id))
+            .collect();
         ids.len()
+    }
+
+    /// The shared arena of retained elements.
+    pub fn store(&self) -> &PointStore {
+        &self.store
     }
 
     /// Read-only view of the candidates (used by tests and diagnostics).
@@ -96,17 +162,52 @@ impl StreamingDiversityMaximization {
 
     /// Algorithm 1, line 7: the full candidate maximizing `div(S_µ)`.
     pub fn finalize(&self) -> Result<Solution> {
-        let best = self
-            .candidates
+        let diversities: Vec<Option<f64>> =
+            maybe_par_map(self.sequential, self.candidates.len(), |j| {
+                let c = &self.candidates[j];
+                (c.len() == self.k).then(|| c.diversity(&self.store))
+            });
+        let best = diversities
             .iter()
-            .filter(|c| c.len() == self.k)
-            .map(|c| (c, c.diversity()))
+            .enumerate()
+            .filter_map(|(j, d)| d.map(|d| (j, d)))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         match best {
-            Some((c, _)) => {
-                Ok(Solution::from_elements(c.elements().to_vec(), self.metric))
-            }
+            Some((j, _)) => Ok(Solution::from_ids(
+                &self.store,
+                self.candidates[j].members(),
+                self.metric,
+            )),
             None => Err(FdmError::NoFeasibleCandidate),
+        }
+    }
+}
+
+/// Interns every batch element accepted by at least one candidate (in batch
+/// order) and pushes the resulting ids into each accepting candidate —
+/// the serial commit phase shared by all ladder algorithms.
+pub(crate) fn commit_batch(
+    store: &mut PointStore,
+    batch: &[Element],
+    candidates: &mut [&mut Candidate],
+    accepted: &[Vec<u32>],
+) {
+    let mut wanted = vec![false; batch.len()];
+    for lane in accepted {
+        for &pos in lane {
+            wanted[pos as usize] = true;
+        }
+    }
+    // Intern in batch order so arena order matches element-by-element runs.
+    let mut id_of_pos: Vec<Option<PointId>> = vec![None; batch.len()];
+    for (pos, wanted) in wanted.iter().enumerate() {
+        if *wanted {
+            id_of_pos[pos] = Some(store.push_element(&batch[pos]));
+        }
+    }
+    for (candidate, lane) in candidates.iter_mut().zip(accepted) {
+        for &pos in lane {
+            candidate.push(id_of_pos[pos as usize].expect("accepted element interned"));
         }
     }
 }
@@ -149,13 +250,22 @@ mod tests {
         let bounds = d.exact_distance_bounds().unwrap();
         let alg = run_stream(
             &d,
-            StreamingDmConfig { k: 5, epsilon: 0.1, bounds, metric: Metric::Euclidean },
+            StreamingDmConfig {
+                k: 5,
+                epsilon: 0.1,
+                bounds,
+                metric: Metric::Euclidean,
+            },
         );
         let sol = alg.finalize().unwrap();
         assert_eq!(sol.len(), 5);
         // Optimal div for 5 points on 0..99 is 99/4 = 24.75; the algorithm
         // guarantees (1−ε)/2 ≈ 0.45 of that.
-        assert!(sol.diversity >= 0.45 * 24.75 - 1e-9, "got {}", sol.diversity);
+        assert!(
+            sol.diversity >= 0.45 * 24.75 - 1e-9,
+            "got {}",
+            sol.diversity
+        );
     }
 
     #[test]
@@ -173,7 +283,12 @@ mod tests {
             let eps = 0.1;
             let alg = run_stream(
                 &d,
-                StreamingDmConfig { k, epsilon: eps, bounds, metric: Metric::Euclidean },
+                StreamingDmConfig {
+                    k,
+                    epsilon: eps,
+                    bounds,
+                    metric: Metric::Euclidean,
+                },
             );
             let sol = alg.finalize().unwrap();
             let guarantee = (1.0 - eps) / 2.0 * opt;
@@ -189,8 +304,9 @@ mod tests {
     fn stream_order_does_not_break_guarantee() {
         let mut rng = StdRng::seed_from_u64(17);
         let n = 14;
-        let rows: Vec<Vec<f64>> =
-            (0..n).map(|_| vec![rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0])
+            .collect();
         let d = Dataset::from_rows(rows, vec![0; n], Metric::Euclidean).unwrap();
         let k = 3;
         let opt = exact_unconstrained_optimum(&d, k);
@@ -215,16 +331,26 @@ mod tests {
 
     #[test]
     fn space_is_bounded_by_candidates_times_k() {
-        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i as f64).sin() * 50.0, (i as f64).cos() * 50.0]).collect();
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|i| vec![(i as f64).sin() * 50.0, (i as f64).cos() * 50.0])
+            .collect();
         let d = Dataset::from_rows(rows, vec![0; 500], Metric::Euclidean).unwrap();
         let bounds = d.sampled_distance_bounds(50, 2.0).unwrap();
         let k = 8;
         let alg = run_stream(
             &d,
-            StreamingDmConfig { k, epsilon: 0.2, bounds, metric: Metric::Euclidean },
+            StreamingDmConfig {
+                k,
+                epsilon: 0.2,
+                bounds,
+                metric: Metric::Euclidean,
+            },
         );
         assert!(alg.stored_elements() <= alg.num_candidates() * k);
-        assert!(alg.stored_elements() < 500, "must not store the whole stream");
+        assert!(
+            alg.stored_elements() < 500,
+            "must not store the whole stream"
+        );
         assert_eq!(alg.processed(), 500);
     }
 
@@ -235,7 +361,12 @@ mod tests {
         let bounds = d.exact_distance_bounds().unwrap();
         let alg = run_stream(
             &d,
-            StreamingDmConfig { k: 5, epsilon: 0.1, bounds, metric: Metric::Euclidean },
+            StreamingDmConfig {
+                k: 5,
+                epsilon: 0.1,
+                bounds,
+                metric: Metric::Euclidean,
+            },
         );
         assert_eq!(alg.finalize().unwrap_err(), FdmError::NoFeasibleCandidate);
     }
@@ -247,10 +378,47 @@ mod tests {
         let bounds = DistanceBounds::new(1.0, 10.0).unwrap();
         let alg = run_stream(
             &d,
-            StreamingDmConfig { k: 3, epsilon: 0.1, bounds, metric: Metric::Euclidean },
+            StreamingDmConfig {
+                k: 3,
+                epsilon: 0.1,
+                bounds,
+                metric: Metric::Euclidean,
+            },
         );
         let sol = alg.finalize().unwrap();
         assert_eq!(sol.len(), 3);
         assert!(sol.diversity >= 1.0);
+    }
+
+    #[test]
+    fn batch_insert_matches_element_by_element() {
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.77).sin() * 20.0,
+                    (i as f64 * 0.31).cos() * 20.0,
+                ]
+            })
+            .collect();
+        let d = Dataset::from_rows(rows, vec![0; 200], Metric::Euclidean).unwrap();
+        let bounds = d.sampled_distance_bounds(50, 2.0).unwrap();
+        let cfg = StreamingDmConfig {
+            k: 6,
+            epsilon: 0.15,
+            bounds,
+            metric: Metric::Euclidean,
+        };
+        let one_by_one = run_stream(&d, cfg.clone());
+        let mut batched = StreamingDiversityMaximization::new(cfg).unwrap();
+        let elements: Vec<Element> = d.iter().collect();
+        for chunk in elements.chunks(37) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(one_by_one.processed(), batched.processed());
+        assert_eq!(one_by_one.stored_elements(), batched.stored_elements());
+        let a = one_by_one.finalize().unwrap();
+        let b = batched.finalize().unwrap();
+        assert_eq!(a.ids(), b.ids());
+        assert_eq!(a.diversity, b.diversity);
     }
 }

@@ -8,11 +8,13 @@ use fdm_core::fairness::FairnessConstraint;
 use fdm_core::metric::Metric;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
-use fdm_core::streaming::unconstrained::{
-    StreamingDiversityMaximization, StreamingDmConfig,
-};
+use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 
-fn run_sfdm1(dataset: &Dataset, quotas: Vec<usize>, eps: f64) -> Result<fdm_core::Solution, FdmError> {
+fn run_sfdm1(
+    dataset: &Dataset,
+    quotas: Vec<usize>,
+    eps: f64,
+) -> Result<fdm_core::Solution, FdmError> {
     let constraint = FairnessConstraint::new(quotas)?;
     let bounds = dataset.exact_distance_bounds()?;
     let mut alg = Sfdm1::new(Sfdm1Config {
@@ -27,7 +29,11 @@ fn run_sfdm1(dataset: &Dataset, quotas: Vec<usize>, eps: f64) -> Result<fdm_core
     alg.finalize()
 }
 
-fn run_sfdm2(dataset: &Dataset, quotas: Vec<usize>, eps: f64) -> Result<fdm_core::Solution, FdmError> {
+fn run_sfdm2(
+    dataset: &Dataset,
+    quotas: Vec<usize>,
+    eps: f64,
+) -> Result<fdm_core::Solution, FdmError> {
     let constraint = FairnessConstraint::new(quotas)?;
     let bounds = dataset.exact_distance_bounds()?;
     let mut alg = Sfdm2::new(Sfdm2Config {
@@ -137,7 +143,10 @@ fn extreme_metric_spread() {
         .flat_map(|a| sol.elements.iter().map(move |b| (a, b)))
         .map(|(a, b)| Metric::Euclidean.dist(&a.point, &b.point))
         .fold(0.0f64, f64::max);
-    assert!(max_pair > 500.0, "solution collapsed to one scale: {max_pair}");
+    assert!(
+        max_pair > 500.0,
+        "solution collapsed to one scale: {max_pair}"
+    );
 }
 
 #[test]
@@ -175,7 +184,12 @@ fn quota_one_groups() {
     // Minimum quotas everywhere (k_i = 1): post-processing has the least
     // slack.
     let rows: Vec<Vec<f64>> = (0..200)
-        .map(|i| vec![(i as f64 * 0.73).sin() * 20.0, (i as f64 * 0.31).cos() * 20.0])
+        .map(|i| {
+            vec![
+                (i as f64 * 0.73).sin() * 20.0,
+                (i as f64 * 0.31).cos() * 20.0,
+            ]
+        })
         .collect();
     let groups: Vec<usize> = (0..200).map(|i| i % 5).collect();
     let d = Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap();
@@ -218,7 +232,11 @@ fn loose_distance_bounds_still_work() {
     assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
     // Optimal fair div on 0..149 with k=6 is ~149/5; require half of the
     // (1−ε)/4 guarantee comfortably.
-    assert!(sol.diversity >= 0.2 * (149.0 / 5.0), "div {}", sol.diversity);
+    assert!(
+        sol.diversity >= 0.2 * (149.0 / 5.0),
+        "div {}",
+        sol.diversity
+    );
 }
 
 #[test]
@@ -252,7 +270,12 @@ fn unconstrained_on_identical_scales() {
 #[test]
 fn sfdm2_with_fourteen_groups_like_census() {
     let rows: Vec<Vec<f64>> = (0..1400)
-        .map(|i| vec![(i as f64 * 0.17).sin() * 30.0, (i as f64 * 0.07).cos() * 30.0])
+        .map(|i| {
+            vec![
+                (i as f64 * 0.17).sin() * 30.0,
+                (i as f64 * 0.07).cos() * 30.0,
+            ]
+        })
         .collect();
     let groups: Vec<usize> = (0..1400).map(|i| i % 14).collect();
     let d = Dataset::from_rows(rows, groups, Metric::Manhattan).unwrap();

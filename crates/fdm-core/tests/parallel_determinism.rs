@@ -1,0 +1,169 @@
+//! Serial-vs-parallel determinism: with the `parallel` cargo feature the
+//! streaming algorithms fan batch probing and per-guess post-processing out
+//! over threads, and the results must be *identical* to a forced-sequential
+//! run — same retained elements, same solution ids, same diversity bits.
+//!
+//! Without the feature both sides are sequential and the tests pass
+//! trivially; CI runs this suite with `--features parallel` to exercise the
+//! real comparison.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::metric::Metric;
+use fdm_core::point::Element;
+use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
+use rand::prelude::*;
+
+fn random_dataset(n: usize, m: usize, dim: usize, metric: Metric, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.random::<f64>() * 10.0 + 0.1).collect())
+        .collect();
+    let mut groups: Vec<usize> = (0..n).map(|_| rng.random_range(0..m)).collect();
+    for g in 0..m {
+        groups[g] = g;
+    }
+    Dataset::from_rows(rows, groups, metric).unwrap()
+}
+
+fn metrics() -> Vec<Metric> {
+    vec![Metric::Euclidean, Metric::Manhattan, Metric::Angular]
+}
+
+#[test]
+fn sfdm1_parallel_equals_sequential() {
+    for (trial, metric) in metrics().into_iter().enumerate() {
+        let d = random_dataset(400, 2, 8, metric, 100 + trial as u64);
+        let bounds = d.sampled_distance_bounds(100, 2.0).unwrap();
+        let cfg = Sfdm1Config {
+            constraint: FairnessConstraint::new(vec![4, 3]).unwrap(),
+            epsilon: 0.1,
+            bounds,
+            metric,
+        };
+        let elements: Vec<Element> = d.iter().collect();
+
+        let mut parallel = Sfdm1::new(cfg.clone()).unwrap();
+        for chunk in elements.chunks(64) {
+            parallel.insert_batch(chunk);
+        }
+        let mut sequential = Sfdm1::new(cfg).unwrap();
+        sequential.set_sequential(true);
+        for e in &elements {
+            sequential.insert(e);
+        }
+
+        assert_eq!(parallel.stored_elements(), sequential.stored_elements());
+        let (p, s) = (parallel.finalize(), sequential.finalize());
+        match (p, s) {
+            (Ok(p), Ok(s)) => {
+                assert_eq!(p.ids(), s.ids(), "{metric:?}: solution ids differ");
+                assert_eq!(
+                    p.diversity.to_bits(),
+                    s.diversity.to_bits(),
+                    "{metric:?}: diversity bits differ"
+                );
+            }
+            (p, s) => panic!("{metric:?}: outcome mismatch {p:?} vs {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn sfdm2_parallel_equals_sequential() {
+    for (trial, metric) in metrics().into_iter().enumerate() {
+        let d = random_dataset(500, 3, 6, metric, 200 + trial as u64);
+        let bounds = d.sampled_distance_bounds(100, 2.0).unwrap();
+        let cfg = Sfdm2Config {
+            constraint: FairnessConstraint::new(vec![2, 3, 2]).unwrap(),
+            epsilon: 0.1,
+            bounds,
+            metric,
+        };
+        let elements: Vec<Element> = d.iter().collect();
+
+        let mut parallel = Sfdm2::new(cfg.clone()).unwrap();
+        for chunk in elements.chunks(96) {
+            parallel.insert_batch(chunk);
+        }
+        let mut sequential = Sfdm2::new(cfg).unwrap();
+        sequential.set_sequential(true);
+        for e in &elements {
+            sequential.insert(e);
+        }
+
+        assert_eq!(parallel.stored_elements(), sequential.stored_elements());
+        let (p, s) = (parallel.finalize(), sequential.finalize());
+        match (p, s) {
+            (Ok(p), Ok(s)) => {
+                assert_eq!(p.ids(), s.ids(), "{metric:?}: solution ids differ");
+                assert_eq!(
+                    p.diversity.to_bits(),
+                    s.diversity.to_bits(),
+                    "{metric:?}: diversity bits differ"
+                );
+            }
+            (p, s) => panic!("{metric:?}: outcome mismatch {p:?} vs {s:?}"),
+        }
+    }
+}
+
+#[test]
+fn algorithm1_parallel_equals_sequential() {
+    let d = random_dataset(600, 1, 16, Metric::Euclidean, 300);
+    let bounds = d.sampled_distance_bounds(100, 2.0).unwrap();
+    let cfg = StreamingDmConfig {
+        k: 10,
+        epsilon: 0.1,
+        bounds,
+        metric: Metric::Euclidean,
+    };
+    let elements: Vec<Element> = d.iter().collect();
+
+    let mut parallel = StreamingDiversityMaximization::new(cfg.clone()).unwrap();
+    for chunk in elements.chunks(128) {
+        parallel.insert_batch(chunk);
+    }
+    let mut sequential = StreamingDiversityMaximization::new(cfg).unwrap();
+    sequential.set_sequential(true);
+    for e in &elements {
+        sequential.insert(e);
+    }
+
+    assert_eq!(parallel.stored_elements(), sequential.stored_elements());
+    let p = parallel.finalize().unwrap();
+    let s = sequential.finalize().unwrap();
+    assert_eq!(p.ids(), s.ids());
+    assert_eq!(p.diversity.to_bits(), s.diversity.to_bits());
+}
+
+#[test]
+fn parallel_finalize_tie_break_matches_sequential() {
+    // A stream engineered so several guesses yield full candidates with
+    // similar diversities: the reduction must pick the same guess either
+    // way (first maximum under strict `>`).
+    let rows: Vec<Vec<f64>> = (0..200)
+        .map(|i| vec![(i % 40) as f64, (i / 40) as f64])
+        .collect();
+    let groups: Vec<usize> = (0..200).map(|i| i % 2).collect();
+    let d = Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap();
+    let bounds = d.exact_distance_bounds().unwrap();
+    let cfg = Sfdm2Config {
+        constraint: FairnessConstraint::new(vec![3, 3]).unwrap(),
+        epsilon: 0.2,
+        bounds,
+        metric: Metric::Euclidean,
+    };
+    let mut a = Sfdm2::new(cfg.clone()).unwrap();
+    let mut b = Sfdm2::new(cfg).unwrap();
+    b.set_sequential(true);
+    for e in d.iter() {
+        a.insert(&e);
+        b.insert(&e);
+    }
+    let pa = a.finalize().unwrap();
+    let pb = b.finalize().unwrap();
+    assert_eq!(pa.ids(), pb.ids());
+}

@@ -9,7 +9,7 @@ use fdm_core::guess::GuessLadder;
 use fdm_core::matroid::intersection::max_common_independent_set;
 use fdm_core::matroid::{Matroid, PartitionMatroid};
 use fdm_core::metric::Metric;
-use fdm_core::point::Element;
+use fdm_core::point::{Element, PointStore};
 use fdm_core::streaming::candidate::Candidate;
 use proptest::prelude::*;
 
@@ -83,22 +83,23 @@ proptest! {
         mu in 0.1f64..20.0,
         cap in 1usize..10,
     ) {
+        let mut store = PointStore::new(2);
         let mut c = Candidate::new(mu, cap, Metric::Euclidean);
         let mut rejected = Vec::new();
         for (i, x) in xs.iter().enumerate() {
             let e = Element::new(i, x.clone(), 0);
-            if !c.try_insert(&e) {
+            if !c.try_insert(&mut store, &e) {
                 rejected.push(e);
             }
         }
         // Invariant 1: never exceeds capacity.
         prop_assert!(c.len() <= cap);
         // Invariant 2: pairwise distances within the candidate are >= mu.
-        prop_assert!(c.diversity() >= mu || c.len() < 2);
+        prop_assert!(c.diversity(&store) >= mu || c.len() < 2);
         // Invariant 3: if not full, every rejected element is within mu.
         if !c.is_full() {
             for e in &rejected {
-                prop_assert!(c.distance_to(&e.point) < mu);
+                prop_assert!(c.distance_to(&store, &e.point) < mu);
             }
         }
     }

@@ -20,9 +20,7 @@ use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 use fdm_core::offline::gmm::gmm;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
-use fdm_core::streaming::unconstrained::{
-    StreamingDiversityMaximization, StreamingDmConfig,
-};
+use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 use rand::prelude::*;
 
 const FP_TOL: f64 = 1e-9;
@@ -49,7 +47,12 @@ fn random_instance(n: usize, m: usize, metric: Metric, seed: u64) -> Dataset {
 
 #[test]
 fn theorem1_all_metrics() {
-    for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev, Metric::Angular] {
+    for metric in [
+        Metric::Euclidean,
+        Metric::Manhattan,
+        Metric::Chebyshev,
+        Metric::Angular,
+    ] {
         for eps in [0.05, 0.1, 0.25] {
             for seed in 0..4 {
                 let d = random_instance(14, 1, metric, 1000 + seed);

@@ -12,7 +12,7 @@
 //! including the heavy zero-inflation of the capital columns, which is what
 //! gives the real Adult its large metric spread ∆.
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::Result;
 use fdm_core::metric::Metric;
 use rand::prelude::*;
@@ -70,11 +70,19 @@ pub fn adult(grouping: AdultGrouping, n: usize, seed: u64) -> Result<Dataset> {
         // sex/race so groups are geometrically distinguishable (as the real
         // socio-economic attributes are), plus heavy-tailed capital columns.
         let race_shift = race as f64 * 0.8;
-        let age = normal(&mut rng, 38.5 + if male { 1.5 } else { -1.5 } - race_shift * 0.4, 13.0)
-            .clamp(17.0, 90.0);
+        let age = normal(
+            &mut rng,
+            38.5 + if male { 1.5 } else { -1.5 } - race_shift * 0.4,
+            13.0,
+        )
+        .clamp(17.0, 90.0);
         let fnlwgt = log_normal(&mut rng, 12.0 - race_shift * 0.05, 0.5);
-        let education = normal(&mut rng, 10.1 + if male { 0.1 } else { 0.0 } - race_shift * 0.3, 2.5)
-            .clamp(1.0, 16.0);
+        let education = normal(
+            &mut rng,
+            10.1 + if male { 0.1 } else { 0.0 } - race_shift * 0.3,
+            2.5,
+        )
+        .clamp(1.0, 16.0);
         let capital_gain = if rng.random::<f64>() < 0.916 {
             0.0
         } else {
@@ -87,21 +95,30 @@ pub fn adult(grouping: AdultGrouping, n: usize, seed: u64) -> Result<Dataset> {
         };
         let hours = normal(&mut rng, if male { 42.4 } else { 36.4 }, 12.0).clamp(1.0, 99.0);
 
-        for (col, v) in columns
-            .iter_mut()
-            .zip([age, fnlwgt, education, capital_gain, capital_loss, hours])
+        for (col, v) in
+            columns
+                .iter_mut()
+                .zip([age, fnlwgt, education, capital_gain, capital_loss, hours])
         {
             col.push(v);
         }
     }
 
     zscore_columns(&mut columns);
-    let rows: Vec<Vec<f64>> = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
     // Keep every group populated so ER constraints are feasible at small n.
     for g in 0..grouping.num_groups().min(n) {
         groups[g] = g;
     }
-    Dataset::from_rows(rows, groups, Metric::Euclidean)
+    // Emit straight into the dataset arena (no per-row Vec materialization).
+    let mut builder = DatasetBuilder::with_capacity(6, Metric::Euclidean, n)?;
+    let mut row = [0.0f64; 6];
+    for (i, &group) in groups.iter().enumerate() {
+        for (slot, col) in row.iter_mut().zip(&columns) {
+            *slot = col[i];
+        }
+        builder.push_row(&row, group)?;
+    }
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -140,7 +157,10 @@ mod tests {
         // Paper: 87% of records are White (group 0 here).
         let d = adult(AdultGrouping::Race, 20_000, 4).unwrap();
         let white_frac = d.group_sizes()[0] as f64 / d.len() as f64;
-        assert!((white_frac - 0.87).abs() < 0.02, "white fraction {white_frac}");
+        assert!(
+            (white_frac - 0.87).abs() < 0.02,
+            "white fraction {white_frac}"
+        );
     }
 
     #[test]
@@ -149,8 +169,7 @@ mod tests {
         for j in 0..d.dim() {
             let vals: Vec<f64> = (0..d.len()).map(|i| d.point(i)[j]).collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                / vals.len() as f64;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
             assert!(mean.abs() < 1e-9, "column {j} mean {mean}");
             assert!((var - 1.0).abs() < 1e-6, "column {j} var {var}");
         }

@@ -7,7 +7,7 @@
 //! attributes (as the real classifier scores co-vary with them); see
 //! DESIGN.md §4.2.
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::Result;
 use fdm_core::metric::Metric;
 use rand::prelude::*;
@@ -47,45 +47,56 @@ pub fn celeba(grouping: CelebaGrouping, n: usize, seed: u64) -> Result<Dataset> 
 
     // Fixed (seeded) attribute model: base rate plus sex/age loadings plus
     // two shared latent style factors.
-    let base: Vec<f64> = (0..CELEBA_DIM).map(|_| rng.random::<f64>() * 0.6 + 0.2).collect();
-    let sex_load: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.25)).collect();
-    let age_load: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.2)).collect();
-    let style1: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.15)).collect();
-    let style2: Vec<f64> = (0..CELEBA_DIM).map(|_| normal(&mut rng, 0.0, 0.15)).collect();
+    let base: Vec<f64> = (0..CELEBA_DIM)
+        .map(|_| rng.random::<f64>() * 0.6 + 0.2)
+        .collect();
+    let sex_load: Vec<f64> = (0..CELEBA_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.25))
+        .collect();
+    let age_load: Vec<f64> = (0..CELEBA_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.2))
+        .collect();
+    let style1: Vec<f64> = (0..CELEBA_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.15))
+        .collect();
+    let style2: Vec<f64> = (0..CELEBA_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.15))
+        .collect();
 
-    let mut rows = Vec::with_capacity(n);
-    let mut groups = Vec::with_capacity(n);
-    for _ in 0..n {
+    // Emit straight into the dataset arena; the first m rows are pinned to
+    // groups 0..m so ER constraints stay feasible at small n.
+    let pinned = grouping.num_groups().min(n);
+    let mut builder = DatasetBuilder::with_capacity(CELEBA_DIM, Metric::Manhattan, n)?;
+    let mut row = [0.0f64; CELEBA_DIM];
+    for i in 0..n {
         let female = rng.random::<f64>() < 0.58;
         let young = rng.random::<f64>() < 0.77;
-        let group = match grouping {
-            CelebaGrouping::Sex => usize::from(!female),
-            CelebaGrouping::Age => usize::from(!young),
-            CelebaGrouping::SexAge => usize::from(!female) * 2 + usize::from(!young),
+        let group = if i < pinned {
+            i
+        } else {
+            match grouping {
+                CelebaGrouping::Sex => usize::from(!female),
+                CelebaGrouping::Age => usize::from(!young),
+                CelebaGrouping::SexAge => usize::from(!female) * 2 + usize::from(!young),
+            }
         };
-        groups.push(group);
 
         let s = if female { 1.0 } else { -1.0 };
         let a = if young { 1.0 } else { -1.0 };
         let f1 = standard_normal(&mut rng);
         let f2 = standard_normal(&mut rng);
-        let row: Vec<f64> = (0..CELEBA_DIM)
-            .map(|j| {
-                let score = base[j]
-                    + s * sex_load[j]
-                    + a * age_load[j]
-                    + f1 * style1[j]
-                    + f2 * style2[j]
-                    + normal(&mut rng, 0.0, 0.08);
-                score.clamp(0.0, 1.0)
-            })
-            .collect();
-        rows.push(row);
+        for (j, slot) in row.iter_mut().enumerate() {
+            let score = base[j]
+                + s * sex_load[j]
+                + a * age_load[j]
+                + f1 * style1[j]
+                + f2 * style2[j]
+                + normal(&mut rng, 0.0, 0.08);
+            *slot = score.clamp(0.0, 1.0);
+        }
+        builder.push_row(&row, group)?;
     }
-    for g in 0..grouping.num_groups().min(n) {
-        groups[g] = g;
-    }
-    Dataset::from_rows(rows, groups, Metric::Manhattan)
+    builder.finish()
 }
 
 #[cfg(test)]

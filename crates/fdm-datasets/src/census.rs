@@ -9,7 +9,7 @@
 //! fewer rows — the streaming algorithms' per-element cost and space are
 //! `n`-independent, so the shape of every figure is preserved.
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::Result;
 use fdm_core::metric::Metric;
 use rand::prelude::*;
@@ -55,19 +55,23 @@ pub fn census(grouping: CensusGrouping, n: usize, seed: u64) -> Result<Dataset> 
     // Household archetypes: 12 mixture components over 25 attributes.
     const ARCHETYPES: usize = 12;
     let means: Vec<Vec<f64>> = (0..ARCHETYPES)
-        .map(|_| (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 2.0)).collect())
+        .map(|_| {
+            (0..CENSUS_DIM)
+                .map(|_| normal(&mut rng, 0.0, 2.0))
+                .collect()
+        })
         .collect();
-    let archetype_weights: Vec<f64> =
-        (0..ARCHETYPES).map(|_| rng.random::<f64>() + 0.2).collect();
-    let sex_shift: Vec<f64> =
-        (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 0.4)).collect();
-    let age_shift: Vec<f64> =
-        (0..CENSUS_DIM).map(|_| normal(&mut rng, 0.0, 0.25)).collect();
+    let archetype_weights: Vec<f64> = (0..ARCHETYPES).map(|_| rng.random::<f64>() + 0.2).collect();
+    let sex_shift: Vec<f64> = (0..CENSUS_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.4))
+        .collect();
+    let age_shift: Vec<f64> = (0..CENSUS_DIM)
+        .map(|_| normal(&mut rng, 0.0, 0.25))
+        .collect();
     // Age-bracket population shares, roughly the 1990 pyramid.
     let age_weights = [0.10, 0.14, 0.17, 0.16, 0.13, 0.16, 0.14];
 
-    let mut columns: Vec<Vec<f64>> =
-        (0..CENSUS_DIM).map(|_| Vec::with_capacity(n)).collect();
+    let mut columns: Vec<Vec<f64>> = (0..CENSUS_DIM).map(|_| Vec::with_capacity(n)).collect();
     let mut groups = Vec::with_capacity(n);
     for _ in 0..n {
         let male = rng.random::<f64>() < 0.48;
@@ -83,19 +87,26 @@ pub fn census(grouping: CensusGrouping, n: usize, seed: u64) -> Result<Dataset> 
         let s = if male { 1.0 } else { -1.0 };
         let a = age as f64 - 3.0; // centered bracket index
         for (j, col) in columns.iter_mut().enumerate() {
-            let v = means[arch][j] + s * sex_shift[j] + a * age_shift[j]
-                + normal(&mut rng, 0.0, 0.6);
+            let v =
+                means[arch][j] + s * sex_shift[j] + a * age_shift[j] + normal(&mut rng, 0.0, 0.6);
             col.push(v);
         }
     }
 
     zscore_columns(&mut columns);
-    let rows: Vec<Vec<f64>> =
-        (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
     for g in 0..grouping.num_groups().min(n) {
         groups[g] = g;
     }
-    Dataset::from_rows(rows, groups, Metric::Manhattan)
+    // Emit straight into the dataset arena (no per-row Vec materialization).
+    let mut builder = DatasetBuilder::with_capacity(CENSUS_DIM, Metric::Manhattan, n)?;
+    let mut row = [0.0f64; CENSUS_DIM];
+    for (i, &group) in groups.iter().enumerate() {
+        for (slot, col) in row.iter_mut().zip(&columns) {
+            *slot = col[i];
+        }
+        builder.push_row(&row, group)?;
+    }
+    builder.finish()
 }
 
 #[cfg(test)]

@@ -62,8 +62,10 @@ pub struct CsvElementStream<R: BufRead> {
 impl CsvElementStream<BufReader<File>> {
     /// Opens a file-backed stream.
     pub fn open<P: AsRef<Path>>(path: P, options: CsvStreamOptions) -> Result<Self> {
-        let file = File::open(path.as_ref())
-            .map_err(|_| FdmError::NotEnoughElements { required: 1, available: 0 })?;
+        let file = File::open(path.as_ref()).map_err(|_| FdmError::NotEnoughElements {
+            required: 1,
+            available: 0,
+        })?;
         Ok(CsvElementStream::from_reader(BufReader::new(file), options))
     }
 }
@@ -94,8 +96,12 @@ impl<R: BufRead> CsvElementStream<R> {
     }
 
     fn parse_current_line(&mut self) -> Option<Element> {
-        let fields: Vec<&str> =
-            self.line.trim_end().split(self.options.delimiter).map(str::trim).collect();
+        let fields: Vec<&str> = self
+            .line
+            .trim_end()
+            .split(self.options.delimiter)
+            .map(str::trim)
+            .collect();
         let max_needed = self
             .options
             .feature_columns
@@ -221,8 +227,10 @@ mod tests {
     fn zero_std_dev_does_not_divide_by_zero() {
         let csv = "a,g,b\n10,x,100\n";
         let mut opts = options();
-        opts.standardize =
-            Some(Standardize { means: vec![10.0, 0.0], std_devs: vec![0.0, 1.0] });
+        opts.standardize = Some(Standardize {
+            means: vec![10.0, 0.0],
+            std_devs: vec![0.0, 1.0],
+        });
         let elems: Vec<Element> = stream(csv, opts).collect();
         assert_eq!(elems[0].point[0], 0.0);
         assert!(elems[0].point[1].is_finite());
@@ -247,7 +255,12 @@ mod tests {
 
         let mut csv = String::from("x,g,y\n");
         for i in 0..60 {
-            csv.push_str(&format!("{},{},{}\n", i, if i % 2 == 0 { "A" } else { "B" }, i * 2));
+            csv.push_str(&format!(
+                "{},{},{}\n",
+                i,
+                if i % 2 == 0 { "A" } else { "B" },
+                i * 2
+            ));
         }
         let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
         let mut alg = Sfdm1::new(Sfdm1Config {

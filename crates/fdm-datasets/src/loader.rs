@@ -11,7 +11,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::Path;
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::{FdmError, Result};
 use fdm_core::metric::Metric;
 
@@ -119,10 +119,24 @@ fn parse_lines<I: Iterator<Item = String>>(lines: I, options: &CsvOptions) -> Re
         Normalization::MinMax => minmax_columns(&mut columns),
     }
 
+    // Emit straight into the dataset arena (no per-row Vec materialization).
     let n = groups.len();
-    let rows: Vec<Vec<f64>> =
-        (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
-    Dataset::from_rows(rows, groups, options.metric)
+    if n == 0 {
+        return Err(FdmError::NotEnoughElements {
+            required: 1,
+            available: 0,
+        });
+    }
+    let dim = columns.len();
+    let mut builder = DatasetBuilder::with_capacity(dim, options.metric, n)?;
+    let mut row = vec![0.0f64; dim];
+    for (i, &group) in groups.iter().enumerate() {
+        for (slot, col) in row.iter_mut().zip(&columns) {
+            *slot = col[i];
+        }
+        builder.push_row(&row, group)?;
+    }
+    builder.finish()
 }
 
 #[cfg(test)]

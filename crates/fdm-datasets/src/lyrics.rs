@@ -9,7 +9,7 @@
 //! distances are at most `π/2` — the property the paper leans on when it
 //! restricts ε to `≤ 0.1` on this dataset.
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::Result;
 use fdm_core::metric::Metric;
 use rand::prelude::*;
@@ -30,8 +30,7 @@ pub fn lyrics(n: usize, seed: u64) -> Result<Dataset> {
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Zipf-ish genre popularity: weight ∝ 1/(rank+1).
-    let genre_weights: Vec<f64> =
-        (0..LYRICS_GENRES).map(|g| 1.0 / (g as f64 + 1.0)).collect();
+    let genre_weights: Vec<f64> = (0..LYRICS_GENRES).map(|g| 1.0 / (g as f64 + 1.0)).collect();
 
     // Genre-specific Dirichlet priors: sparse background plus a boost on a
     // seeded set of signature topics per genre.
@@ -46,17 +45,16 @@ pub fn lyrics(n: usize, seed: u64) -> Result<Dataset> {
         })
         .collect();
 
-    let mut rows = Vec::with_capacity(n);
-    let mut groups = Vec::with_capacity(n);
-    for _ in 0..n {
+    // Emit straight into the dataset arena; the first m rows are pinned to
+    // groups 0..m so ER constraints stay feasible at small n.
+    let pinned = LYRICS_GENRES.min(n);
+    let mut builder = DatasetBuilder::with_capacity(LYRICS_DIM, Metric::Angular, n)?;
+    for i in 0..n {
         let genre = categorical(&mut rng, &genre_weights);
-        groups.push(genre);
-        rows.push(dirichlet(&mut rng, &priors[genre]));
+        let row = dirichlet(&mut rng, &priors[genre]);
+        builder.push_row(&row, if i < pinned { i } else { genre })?;
     }
-    for g in 0..LYRICS_GENRES.min(n) {
-        groups[g] = g;
-    }
-    Dataset::from_rows(rows, groups, Metric::Angular)
+    builder.finish()
 }
 
 #[cfg(test)]

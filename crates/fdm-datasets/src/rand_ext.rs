@@ -180,7 +180,10 @@ mod tests {
         }
         for (i, &w) in weights.iter().enumerate() {
             let freq = counts[i] as f64 / trials as f64;
-            assert!((freq - w).abs() < 0.01, "index {i}: freq {freq} vs weight {w}");
+            assert!(
+                (freq - w).abs() < 0.01,
+                "index {i}: freq {freq} vs weight {w}"
+            );
         }
     }
 

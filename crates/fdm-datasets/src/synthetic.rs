@@ -5,7 +5,7 @@
 //! points to groups uniformly at random. The Euclidean distance is used as
 //! the distance metric." `n` varies in `10³..10⁷`, `m` in `2..20`.
 
-use fdm_core::dataset::Dataset;
+use fdm_core::dataset::{Dataset, DatasetBuilder};
 use fdm_core::error::Result;
 use fdm_core::metric::Metric;
 use rand::prelude::*;
@@ -23,11 +23,20 @@ pub struct SyntheticConfig {
     pub blobs: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Dimensionality of the points (the paper fixes 2; higher values are
+    /// used by the kernel benchmarks, e.g. `d = 128`).
+    pub dim: usize,
 }
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { n: 1000, m: 2, blobs: 10, seed: 42 }
+        SyntheticConfig {
+            n: 1000,
+            m: 2,
+            blobs: 10,
+            seed: 42,
+            dim: 2,
+        }
     }
 }
 
@@ -35,30 +44,29 @@ impl Default for SyntheticConfig {
 pub fn synthetic_blobs(config: SyntheticConfig) -> Result<Dataset> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let blobs = config.blobs.max(1);
-    let centers: Vec<(f64, f64)> = (0..blobs)
+    let dim = config.dim.max(1);
+    let centers: Vec<Vec<f64>> = (0..blobs)
         .map(|_| {
-            (
-                rng.random::<f64>() * 20.0 - 10.0,
-                rng.random::<f64>() * 20.0 - 10.0,
-            )
+            (0..dim)
+                .map(|_| rng.random::<f64>() * 20.0 - 10.0)
+                .collect()
         })
         .collect();
-    let mut rows = Vec::with_capacity(config.n);
-    let mut groups = Vec::with_capacity(config.n);
-    for _ in 0..config.n {
-        let &(cx, cy) = centers.choose(&mut rng).expect("blobs >= 1");
-        rows.push(vec![
-            cx + standard_normal(&mut rng),
-            cy + standard_normal(&mut rng),
-        ]);
-        groups.push(rng.random_range(0..config.m.max(1)));
+    // Emit straight into the dataset arena. The first m rows are pinned to
+    // groups 0..m so equal-representation constraints are feasible even for
+    // small n (the group draw is still consumed to keep seeds stable).
+    let pinned = config.m.min(config.n);
+    let mut builder = DatasetBuilder::with_capacity(dim, Metric::Euclidean, config.n)?;
+    let mut row = vec![0.0f64; dim];
+    for i in 0..config.n {
+        let center = centers.choose(&mut rng).expect("blobs >= 1");
+        for (slot, &c) in row.iter_mut().zip(center) {
+            *slot = c + standard_normal(&mut rng);
+        }
+        let drawn = rng.random_range(0..config.m.max(1));
+        builder.push_row(&row, if i < pinned { i } else { drawn })?;
     }
-    // Every group must be populated so equal-representation constraints are
-    // feasible even for small n.
-    for g in 0..config.m.min(config.n) {
-        groups[g] = g;
-    }
-    Dataset::from_rows(rows, groups, Metric::Euclidean)
+    builder.finish()
 }
 
 #[cfg(test)]
@@ -67,7 +75,14 @@ mod tests {
 
     #[test]
     fn shape_matches_config() {
-        let d = synthetic_blobs(SyntheticConfig { n: 500, m: 5, blobs: 10, seed: 1 }).unwrap();
+        let d = synthetic_blobs(SyntheticConfig {
+            n: 500,
+            m: 5,
+            blobs: 10,
+            seed: 1,
+            dim: 2,
+        })
+        .unwrap();
         assert_eq!(d.len(), 500);
         assert_eq!(d.dim(), 2);
         assert_eq!(d.num_groups(), 5);
@@ -77,7 +92,13 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = SyntheticConfig { n: 100, m: 3, blobs: 10, seed: 9 };
+        let cfg = SyntheticConfig {
+            n: 100,
+            m: 3,
+            blobs: 10,
+            seed: 9,
+            dim: 2,
+        };
         let a = synthetic_blobs(cfg).unwrap();
         let b = synthetic_blobs(cfg).unwrap();
         for i in 0..a.len() {
@@ -93,7 +114,14 @@ mod tests {
     fn points_stay_near_the_box() {
         // Centers in [-10,10]², unit variance: virtually everything within
         // [-16, 16].
-        let d = synthetic_blobs(SyntheticConfig { n: 2000, m: 2, blobs: 10, seed: 3 }).unwrap();
+        let d = synthetic_blobs(SyntheticConfig {
+            n: 2000,
+            m: 2,
+            blobs: 10,
+            seed: 3,
+            dim: 2,
+        })
+        .unwrap();
         for i in 0..d.len() {
             let p = d.point(i);
             assert!(p[0].abs() < 16.0 && p[1].abs() < 16.0, "outlier {p:?}");
@@ -103,7 +131,14 @@ mod tests {
     #[test]
     fn groups_roughly_uniform() {
         let m = 4;
-        let d = synthetic_blobs(SyntheticConfig { n: 8000, m, blobs: 10, seed: 4 }).unwrap();
+        let d = synthetic_blobs(SyntheticConfig {
+            n: 8000,
+            m,
+            blobs: 10,
+            seed: 4,
+            dim: 2,
+        })
+        .unwrap();
         for &s in d.group_sizes() {
             let frac = s as f64 / 8000.0;
             assert!((frac - 0.25).abs() < 0.03, "group fraction {frac}");
@@ -114,7 +149,13 @@ mod tests {
     fn blob_structure_exists() {
         // Mean distance to nearest blob center should be ~E|N(0,I)| ≈ 1.25,
         // far below the typical inter-center distance.
-        let cfg = SyntheticConfig { n: 1000, m: 2, blobs: 10, seed: 5 };
+        let cfg = SyntheticConfig {
+            n: 1000,
+            m: 2,
+            blobs: 10,
+            seed: 5,
+            dim: 2,
+        };
         let d = synthetic_blobs(cfg).unwrap();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let centers: Vec<(f64, f64)> = (0..10)
@@ -136,5 +177,23 @@ mod tests {
         }
         let mean = total / d.len() as f64;
         assert!(mean < 2.0, "mean nearest-center distance {mean} too large");
+    }
+
+    #[test]
+    fn high_dimensional_blobs() {
+        let d = synthetic_blobs(SyntheticConfig {
+            n: 300,
+            m: 2,
+            blobs: 10,
+            seed: 6,
+            dim: 128,
+        })
+        .unwrap();
+        assert_eq!(d.len(), 300);
+        assert_eq!(d.dim(), 128);
+        // Unit-variance coordinates around centers in [-10, 10]^128.
+        for i in 0..d.len() {
+            assert!(d.point(i).iter().all(|x| x.abs() < 20.0));
+        }
     }
 }

@@ -32,7 +32,13 @@ fn main() -> Result<()> {
     // 20k points from 10 blobs; classes (= groups) assigned uniformly, so a
     // class-balanced subset is a fair solution with ER quotas.
     let classes = 4;
-    let dataset = synthetic_blobs(SyntheticConfig { n: 20_000, m: classes, blobs: 10, seed: 11 })?;
+    let dataset = synthetic_blobs(SyntheticConfig {
+        n: 20_000,
+        m: classes,
+        blobs: 10,
+        seed: 11,
+        dim: 2,
+    })?;
     let budget = 40; // training examples to keep
 
     // Diverse, class-balanced subset via SFDM2 in one pass.
@@ -56,7 +62,9 @@ fn main() -> Result<()> {
     for class in 0..classes {
         let members = dataset.group_indices(class);
         random_ids.extend(
-            members.choose_multiple(&mut rng, constraint.quota(class)).copied(),
+            members
+                .choose_multiple(&mut rng, constraint.quota(class))
+                .copied(),
         );
     }
 
@@ -65,10 +73,22 @@ fn main() -> Result<()> {
     let cover_diverse = covering_radius(&dataset, &diverse_ids);
     let cover_random = covering_radius(&dataset, &random_ids);
 
-    println!("training-subset selection ({budget} of {} points, {classes} classes)\n", dataset.len());
-    println!("{:<22} {:>14} {:>16}", "method", "div (min dist)", "covering radius");
-    println!("{:<22} {:>14.4} {:>16.4}", "SFDM2 (diverse)", diverse.diversity, cover_diverse);
-    println!("{:<22} {:>14.4} {:>16.4}", "random balanced", div_random, cover_random);
+    println!(
+        "training-subset selection ({budget} of {} points, {classes} classes)\n",
+        dataset.len()
+    );
+    println!(
+        "{:<22} {:>14} {:>16}",
+        "method", "div (min dist)", "covering radius"
+    );
+    println!(
+        "{:<22} {:>14.4} {:>16.4}",
+        "SFDM2 (diverse)", diverse.diversity, cover_diverse
+    );
+    println!(
+        "{:<22} {:>14.4} {:>16.4}",
+        "random balanced", div_random, cover_random
+    );
     println!(
         "\nSFDM2 kept {} of 20000 elements in memory during the pass",
         alg.stored_elements()
@@ -77,6 +97,9 @@ fn main() -> Result<()> {
     // The qualitative claim: diversity-maximized subsets avoid redundant
     // near-duplicate training points (higher min distance) and leave
     // smaller holes in feature space.
-    assert!(diverse.diversity > div_random, "diverse subset must beat random on div");
+    assert!(
+        diverse.diversity > div_random,
+        "diverse subset must beat random on div"
+    );
     Ok(())
 }

@@ -74,7 +74,11 @@ fn main() -> Result<()> {
         sex_counts[a] += 1;
         age_counts[b] += 1;
     }
-    println!("\ncommittee of {}: div = {:.4}", committee.len(), committee.diversity);
+    println!(
+        "\ncommittee of {}: div = {:.4}",
+        committee.len(),
+        committee.diversity
+    );
     println!("sex counts: {sex_counts:?} (required [6, 6])");
     println!("age counts: {age_counts:?} (required [4, 4, 4])");
     assert!(constraint.is_satisfied_by(&pairs));

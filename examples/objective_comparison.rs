@@ -55,7 +55,13 @@ fn pairwise_stats(dataset: &Dataset, subset: &[usize]) -> (f64, f64) {
 }
 
 fn main() -> Result<()> {
-    let dataset = synthetic_blobs(SyntheticConfig { n: 3_000, m: 2, blobs: 10, seed: 7 })?;
+    let dataset = synthetic_blobs(SyntheticConfig {
+        n: 3_000,
+        m: 2,
+        blobs: 10,
+        seed: 7,
+        dim: 2,
+    })?;
     let k = 10;
 
     let max_sum = max_sum_greedy(&dataset, k);
@@ -70,11 +76,19 @@ fn main() -> Result<()> {
     println!();
     println!("max-sum selection (note near-duplicates at the margins):");
     for &i in &max_sum {
-        println!("  ({:6.2}, {:6.2})", dataset.point(i)[0], dataset.point(i)[1]);
+        println!(
+            "  ({:6.2}, {:6.2})",
+            dataset.point(i)[0],
+            dataset.point(i)[1]
+        );
     }
     println!("max-min selection (uniform coverage):");
     for &i in &max_min {
-        println!("  ({:6.2}, {:6.2})", dataset.point(i)[0], dataset.point(i)[1]);
+        println!(
+            "  ({:6.2}, {:6.2})",
+            dataset.point(i)[0],
+            dataset.point(i)[1]
+        );
     }
 
     // The qualitative claim of Fig. 1: max-min wins on the minimum pairwise

@@ -19,7 +19,10 @@ fn main() -> Result<()> {
     let k = 20;
     let constraint = FairnessConstraint::equal_representation(k, 2)?;
     println!("Census (simulated): n = {n}, m = 2, k = {k}\n");
-    println!("{:<12} {:>10} {:>12} {:>14}", "algorithm", "div", "time (s)", "stored elems");
+    println!(
+        "{:<12} {:>10} {:>12} {:>14}",
+        "algorithm", "div", "time (s)", "stored elems"
+    );
 
     // SFDM1 (streaming).
     let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
@@ -52,15 +55,27 @@ fn main() -> Result<()> {
     })?;
     let sol = fair_swap.run(&dataset)?;
     let elapsed = start.elapsed().as_secs_f64();
-    println!("{:<12} {:>10.4} {:>12.3} {:>14}", "FairSwap", sol.diversity, elapsed, n);
+    println!(
+        "{:<12} {:>10.4} {:>12.3} {:>14}",
+        "FairSwap", sol.diversity, elapsed, n
+    );
 
     // FairFlow (offline).
     let start = Instant::now();
-    let fair_flow = FairFlow::new(FairFlowConfig { constraint, seed: 0 })?;
+    let fair_flow = FairFlow::new(FairFlowConfig {
+        constraint,
+        seed: 0,
+    })?;
     let sol = fair_flow.run(&dataset)?;
     let elapsed = start.elapsed().as_secs_f64();
-    println!("{:<12} {:>10.4} {:>12.3} {:>14}", "FairFlow", sol.diversity, elapsed, n);
+    println!(
+        "{:<12} {:>10.4} {:>12.3} {:>14}",
+        "FairFlow", sol.diversity, elapsed, n
+    );
 
-    println!("\n(2·div(GMM) upper bound on OPT_f: {:.4})", diversity_upper_bound(&dataset, k, 0));
+    println!(
+        "\n(2·div(GMM) upper bound on OPT_f: {:.4})",
+        diversity_upper_bound(&dataset, k, 0)
+    );
     Ok(())
 }

@@ -6,8 +6,8 @@ use fdm::core::balance::SwapStrategy;
 use fdm::core::prelude::*;
 use fdm::datasets::stream::{shuffled_indices, stream_elements};
 use fdm::datasets::{
-    adult, celeba, census, lyrics, synthetic_blobs, AdultGrouping, CelebaGrouping,
-    CensusGrouping, SyntheticConfig,
+    adult, celeba, census, lyrics, synthetic_blobs, AdultGrouping, CelebaGrouping, CensusGrouping,
+    SyntheticConfig,
 };
 
 fn run_sfdm1(dataset: &Dataset, constraint: &FairnessConstraint, seed: u64) -> Solution {
@@ -68,10 +68,13 @@ fn adult_sex_all_algorithms_agree_on_fairness() {
     .unwrap();
     assert!(constraint.is_satisfied_by(&swap.group_counts(2)));
 
-    let flow = FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed: 0 })
-        .unwrap()
-        .run(&dataset)
-        .unwrap();
+    let flow = FairFlow::new(FairFlowConfig {
+        constraint: constraint.clone(),
+        seed: 0,
+    })
+    .unwrap()
+    .run(&dataset)
+    .unwrap();
     assert!(constraint.is_satisfied_by(&flow.group_counts(2)));
 
     // Quality sanity: every fair solution within the GMM upper bound and
@@ -97,10 +100,13 @@ fn adult_race_sfdm2_beats_fairflow() {
         let s2 = run_sfdm2(&dataset, &constraint, 0.1, seed);
         assert!(constraint.is_satisfied_by(&s2.group_counts(5)));
         s2_sum += s2.diversity;
-        let flow = FairFlow::new(FairFlowConfig { constraint: constraint.clone(), seed })
-            .unwrap()
-            .run(&dataset)
-            .unwrap();
+        let flow = FairFlow::new(FairFlowConfig {
+            constraint: constraint.clone(),
+            seed,
+        })
+        .unwrap()
+        .run(&dataset)
+        .unwrap();
         assert!(constraint.is_satisfied_by(&flow.group_counts(5)));
         flow_sum += flow.diversity;
     }
@@ -143,8 +149,14 @@ fn lyrics_fifteen_genres_small_epsilon() {
 #[test]
 fn synthetic_scalability_smoke() {
     for m in [2usize, 10] {
-        let dataset =
-            synthetic_blobs(SyntheticConfig { n: 10_000, m, blobs: 10, seed: 6 }).unwrap();
+        let dataset = synthetic_blobs(SyntheticConfig {
+            n: 10_000,
+            m,
+            blobs: 10,
+            seed: 6,
+            dim: 2,
+        })
+        .unwrap();
         let constraint = FairnessConstraint::equal_representation(20, m).unwrap();
         let sol = run_sfdm2(&dataset, &constraint, 0.1, 17);
         assert!(constraint.is_satisfied_by(&sol.group_counts(m)));
@@ -159,8 +171,7 @@ fn proportional_representation_pipeline() {
     let dataset = adult(AdultGrouping::Sex, 4_000, 8).unwrap();
     let k = 20;
     let er = FairnessConstraint::equal_representation(k, 2).unwrap();
-    let pr =
-        FairnessConstraint::proportional_representation(k, dataset.group_sizes()).unwrap();
+    let pr = FairnessConstraint::proportional_representation(k, dataset.group_sizes()).unwrap();
     assert!(pr.quota(0) > pr.quota(1), "PR must mirror the 67/33 skew");
 
     let er_sol = run_sfdm1(&dataset, &er, 3);
@@ -215,8 +226,14 @@ fn ten_permutations_always_fair() {
 #[test]
 fn unconstrained_streaming_vs_gmm() {
     // Algorithm 1 should land in GMM's quality neighborhood.
-    let dataset = synthetic_blobs(SyntheticConfig { n: 5_000, m: 2, blobs: 10, seed: 14 })
-        .unwrap();
+    let dataset = synthetic_blobs(SyntheticConfig {
+        n: 5_000,
+        m: 2,
+        blobs: 10,
+        seed: 14,
+        dim: 2,
+    })
+    .unwrap();
     let k = 15;
     let bounds = dataset.sampled_distance_bounds(200, 4.0).unwrap();
     let mut alg = StreamingDiversityMaximization::new(StreamingDmConfig {

@@ -22,7 +22,9 @@ fn two_group_dataset() -> impl Strategy<Value = Dataset> {
             groups[3] = 1;
             Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap()
         })
-        .prop_filter("needs nonzero spread", |d| d.exact_distance_bounds().is_ok())
+        .prop_filter("needs nonzero spread", |d| {
+            d.exact_distance_bounds().is_ok()
+        })
 }
 
 proptest! {

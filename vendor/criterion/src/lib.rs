@@ -1,0 +1,393 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_with_input`] / `bench_function`, [`Throughput`],
+//! and [`BenchmarkId`]. Measurement is a simple warmup + fixed number of
+//! timed samples (median reported); statistical analysis, outlier detection,
+//! and HTML reports are out of scope.
+//!
+//! Extra behavior for CI: when the `CRITERION_OUTPUT_JSON` environment
+//! variable names a file, every finished benchmark appends a record
+//! `{id, median_ns, mean_ns, throughput_elems_per_s?}` to a JSON array in
+//! that file — the workspace's `BENCH_*.json` perf artifacts.
+//! A positional command-line argument acts as a substring filter on
+//! benchmark ids (flags starting with `-` are ignored for cargo-bench
+//! compatibility).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured benchmark, as recorded into the JSON artifact.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Full id (`group/function/param`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Elements per second, when the group declared element throughput.
+    pub throughput_elems_per_s: Option<f64>,
+}
+
+/// The benchmark manager (stand-in for `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+    filter: Option<String>,
+    records: Vec<Record>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        // FDM_BENCH_FAST=1 shrinks the measurement for CI smoke runs.
+        let fast = std::env::var("FDM_BENCH_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Criterion {
+            sample_size: if fast { 5 } else { 20 },
+            warmup: if fast {
+                Duration::from_millis(20)
+            } else {
+                Duration::from_millis(200)
+            },
+            target_sample_time: if fast {
+                Duration::from_millis(10)
+            } else {
+                Duration::from_millis(50)
+            },
+            filter,
+            records: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warmup duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Sets the per-sample measurement target.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_sample_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id.to_string(), None, &mut f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        f: &mut F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warmup: self.warmup,
+            target_sample_time: self.target_sample_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples[samples.len() / 2];
+        let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        let throughput_elems_per_s = match throughput {
+            Some(Throughput::Elements(n)) => Some(n as f64 / (median_ns * 1e-9)),
+            _ => None,
+        };
+        let record = Record {
+            id,
+            median_ns,
+            mean_ns,
+            throughput_elems_per_s,
+        };
+        print_record(&record);
+        self.records.push(record);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn print_record(r: &Record) {
+    match r.throughput_elems_per_s {
+        Some(t) => println!(
+            "{:<48} time: {:>12}/iter   thrpt: {:.3} Melem/s",
+            r.id,
+            fmt_ns(r.median_ns),
+            t / 1e6
+        ),
+        None => println!("{:<48} time: {:>12}/iter", r.id, fmt_ns(r.median_ns)),
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") else {
+            return;
+        };
+        if path.is_empty() || self.records.is_empty() {
+            return;
+        }
+        let mut all: Vec<serde_json::Value> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+            .and_then(|v| v.as_array().cloned())
+            .unwrap_or_default();
+        for r in &self.records {
+            let mut obj = serde_json::Map::new();
+            obj.insert("id".to_string(), serde_json::Value::from(r.id.as_str()));
+            obj.insert(
+                "median_ns".to_string(),
+                serde_json::Value::from(r.median_ns),
+            );
+            obj.insert("mean_ns".to_string(), serde_json::Value::from(r.mean_ns));
+            if let Some(t) = r.throughput_elems_per_s {
+                obj.insert(
+                    "throughput_elems_per_s".to_string(),
+                    serde_json::Value::from(t),
+                );
+            }
+            all.push(serde_json::Value::Object(obj));
+        }
+        if let Ok(text) = serde_json::to_string_pretty(&all) {
+            let _ = std::fs::write(&path, text);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.text);
+        let throughput = self.throughput;
+        self.criterion
+            .run_one(full, throughput, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let throughput = self.throughput;
+        self.criterion.run_one(full, throughput, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Times closures (stand-in for `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    target_sample_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `routine`: warmup to estimate cost, then `sample_size`
+    /// timed samples of adaptively many iterations each.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters < 3 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters_per_sample =
+            ((self.target_sample_time.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Defines a benchmark group function, in both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("n", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warmup: Duration::from_millis(1),
+            target_sample_time: Duration::from_millis(1),
+            filter: None,
+            records: Vec::new(),
+        };
+        work(&mut c);
+        assert_eq!(c.records.len(), 1);
+        let r = &c.records[0];
+        assert_eq!(r.id, "g/n/100");
+        assert!(r.median_ns > 0.0);
+        assert!(r.throughput_elems_per_s.unwrap() > 0.0);
+        c.records.clear(); // avoid JSON writing in Drop during tests
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            warmup: Duration::from_millis(1),
+            target_sample_time: Duration::from_millis(1),
+            filter: Some("nomatch".to_string()),
+            records: Vec::new(),
+        };
+        work(&mut c);
+        assert!(c.records.is_empty());
+    }
+}

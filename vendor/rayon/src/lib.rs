@@ -1,0 +1,264 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Provides the narrow parallel-iterator surface this workspace uses —
+//! `par_iter()` / `par_iter_mut()` on slices, `into_par_iter()` on ranges
+//! and vectors, with `map` / `for_each` / `collect` — implemented with
+//! `std::thread::scope` over contiguous chunks. Results preserve input
+//! order, so `collect` is deterministic regardless of scheduling. There is
+//! no work stealing; items are split eagerly into one chunk per available
+//! core, which fits this workspace's uniform per-item workloads.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-stub join worker panicked"))
+    })
+}
+
+fn par_map_indexed<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut results: Vec<Option<O>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    // Move items into an option buffer so chunks can take ownership.
+    let mut item_buf: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    std::thread::scope(|scope| {
+        let mut item_tail: &mut [Option<I>] = &mut item_buf;
+        let mut result_tail: &mut [Option<O>] = &mut results;
+        let f = &f;
+        let mut handles = Vec::new();
+        while !item_tail.is_empty() {
+            let take = chunk.min(item_tail.len());
+            let (item_head, rest_items) = item_tail.split_at_mut(take);
+            let (result_head, rest_results) = result_tail.split_at_mut(take);
+            item_tail = rest_items;
+            result_tail = rest_results;
+            handles.push(scope.spawn(move || {
+                for (slot, item) in result_head.iter_mut().zip(item_head.iter_mut()) {
+                    *slot = Some(f(item.take().expect("item taken twice")));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("rayon-stub worker panicked");
+        }
+    });
+    results
+        .into_iter()
+        .map(|o| o.expect("worker filled every slot"))
+        .collect()
+}
+
+/// A materialized parallel iterator (order-preserving).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` in parallel.
+    pub fn map<O: Send, F: Fn(I) -> O + Sync>(self, f: F) -> ParMapped<O> {
+        ParMapped {
+            items: par_map_indexed(self.items, f),
+        }
+    }
+
+    /// Applies `f` to each item in parallel.
+    pub fn for_each<F: Fn(I) + Sync>(self, f: F) {
+        par_map_indexed(self.items, f);
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of a parallel `map`, ready to collect.
+pub struct ParMapped<O> {
+    items: Vec<O>,
+}
+
+impl<O: Send> ParMapped<O> {
+    /// Collects the mapped results (input order preserved).
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Further maps the results in parallel.
+    pub fn map<P: Send, F: Fn(O) -> P + Sync>(self, f: F) -> ParMapped<P> {
+        ParMapped {
+            items: par_map_indexed(self.items, f),
+        }
+    }
+
+    /// Applies `f` to each result in parallel.
+    pub fn for_each<F: Fn(O) + Sync>(self, f: F) {
+        par_map_indexed(self.items, f);
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// `par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+
+    /// Builds a parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_iter_mut()` on borrowed collections.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Mutably borrowed item type.
+    type Item: Send + 'a;
+
+    /// Builds a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_map_collect() {
+        let squares: Vec<usize> = (0..257).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[16], 256);
+        assert_eq!(squares.len(), 257);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut v: Vec<usize> = (0..100).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<usize> = Vec::new();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

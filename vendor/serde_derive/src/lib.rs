@@ -1,0 +1,336 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the local
+//! `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (neither is available offline): the
+//! input token stream is walked directly. Supported shapes — exactly what
+//! this workspace derives on:
+//!
+//! * structs with named fields (no generics);
+//! * enums whose variants are unit or single-field newtype (no generics).
+//!
+//! Representation matches serde's default externally-tagged form: structs →
+//! objects keyed by field name, unit variants → the variant name as a
+//! string, newtype variants → `{"Variant": inner}`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    }, // (name, is_newtype)
+}
+
+/// Collects the trees, dropping outer attributes (`#[...]` / `#![...]`).
+fn significant_trees(input: TokenStream) -> Vec<TokenTree> {
+    let mut out = Vec::new();
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '#' {
+                // Skip `#[...]` and `#![...]`.
+                if let Some(TokenTree::Punct(bang)) = iter.peek() {
+                    if bang.as_char() == '!' {
+                        iter.next();
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        iter.next();
+                        continue;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(tt);
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let trees = significant_trees(input);
+    let mut i = 0;
+    // Skip visibility: `pub` optionally followed by `(...)`.
+    if matches!(&trees.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&trees.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match &trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match &trees.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(&trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match &trees.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => {
+            return Err(format!(
+                "expected braced body for `{name}`, found {other:?}"
+            ))
+        }
+    };
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let trees = significant_trees(body);
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        // Optional visibility.
+        if matches!(&trees[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&trees.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match &trees.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match &trees.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Consume the type up to a top-level `,` (angle brackets tracked so
+        // `Map<String, Value>` survives).
+        let mut angle = 0i32;
+        while i < trees.len() {
+            match &trees[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<(String, bool)>, String> {
+    let trees = significant_trees(body);
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < trees.len() {
+        let name = match &trees.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let mut newtype = false;
+        if let Some(TokenTree::Group(g)) = &trees.get(i) {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    let mut inner = significant_trees(g.stream());
+                    // Drop a trailing comma, then a single type (possibly
+                    // several tokens, e.g. `Vec < f64 >`) with no top-level
+                    // comma = newtype.
+                    if matches!(inner.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+                        inner.pop();
+                    }
+                    let mut angle = 0i32;
+                    let mut commas = false;
+                    for t in &inner {
+                        match t {
+                            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                                commas = true
+                            }
+                            _ => {}
+                        }
+                    }
+                    if commas {
+                        return Err(format!(
+                            "vendored serde_derive: tuple variant `{name}` with >1 field unsupported"
+                        ));
+                    }
+                    newtype = true;
+                    i += 1;
+                }
+                Delimiter::Brace => {
+                    return Err(format!(
+                        "vendored serde_derive: struct variant `{name}` unsupported"
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if matches!(&trees.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, newtype));
+    }
+    Ok(variants)
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "__map.insert({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (v, newtype) in &variants {
+                if *newtype {
+                    arms.push_str(&format!(
+                        "{name}::{v}(__inner) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert({v:?}.to_string(), ::serde::Serialize::to_value(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                         }}\n"
+                    ));
+                } else {
+                    arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => return compile_error(&msg),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__obj.get({f:?}).ok_or_else(|| \
+                     ::serde::DeError::custom(concat!(\"missing field `\", {f:?}, \"`\")))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = __value.as_object().ok_or_else(|| \
+                             ::serde::DeError::custom(concat!(\"expected object for \", {name:?})))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut newtype_checks = String::new();
+            for (v, newtype) in &variants {
+                if *newtype {
+                    newtype_checks.push_str(&format!(
+                        "if let ::std::option::Option::Some(__inner) = __map.get({v:?}) {{\n\
+                             return ::std::result::Result::Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_value(__inner)?));\n\
+                         }}\n"
+                    ));
+                } else {
+                    unit_arms.push_str(&format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+                    ));
+                }
+            }
+            let object_arm = if newtype_checks.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(__map) => {{\n\
+                         {newtype_checks}\
+                         ::std::result::Result::Err(::serde::DeError::custom(\
+                             concat!(\"unknown newtype variant object for \", {name:?})))\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                             }},\n\
+                             {object_arm}\
+                             __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"cannot deserialize {name} from {{__other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
