@@ -17,14 +17,17 @@ use fdm_bench::measure::{run_averaged, Algo};
 use fdm_bench::report::{fmt_secs, Table};
 use fdm_bench::workloads::Workload;
 use fdm_core::balance::SwapStrategy;
-use fdm_core::coreset::{contiguous_chunks, coreset_dataset, fair_composable_coreset};
+use fdm_core::coreset::{coreset_dataset, fair_composable_coreset};
 use fdm_core::fairness::FairnessConstraint;
 use fdm_core::offline::fair_flow::{FairFlow, FairFlowConfig};
 use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 
 fn main() {
     let opts = Options::from_env();
-    let shards = 8;
+    // Historical partition width is 8; `--shards N` (> 1) overrides it.
+    // (1, the CLI default, means "unsharded" elsewhere and would degenerate
+    // this ablation to GMM on the whole dataset.)
+    let shards = if opts.shards > 1 { opts.shards } else { 8 };
     let workloads = [Workload::AdultSex, Workload::CensusSex, Workload::AdultRace];
     let mut table = Table::new(vec![
         "dataset",
@@ -47,9 +50,10 @@ fn main() {
             dataset.len()
         );
 
-        // Two-round composable-coreset pipeline.
+        // Two-round composable-coreset pipeline, on the same round-robin
+        // partition ShardedStream would deal to its shards.
         let start = Instant::now();
-        let chunks = contiguous_chunks(dataset.len(), shards);
+        let chunks = dataset.round_robin_shards(shards);
         let cs =
             fair_composable_coreset(&dataset, &chunks, &constraint, opts.seed).expect("coreset");
         let (cds, _) = coreset_dataset(&dataset, &cs).expect("coreset dataset");

@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p fdm-bench --bin table2 [--quick|--full] [--trials N]`
 
 use fdm_bench::cli::Options;
-use fdm_bench::measure::{run_averaged, Algo};
+use fdm_bench::measure::{run_averaged, run_averaged_sharded, Algo};
 use fdm_bench::report::{fmt_secs, Table};
 use fdm_bench::workloads::Workload;
 use fdm_core::fairness::FairnessConstraint;
@@ -60,8 +60,15 @@ fn main() {
             .expect("FairFlow run");
 
         let (s1_div, s1_t, s1_e) = if m == 2 {
-            let r = run_averaged(&dataset, Algo::Sfdm1, &constraint, epsilon, opts.trials)
-                .expect("SFDM1 run");
+            let r = run_averaged_sharded(
+                &dataset,
+                Algo::Sfdm1,
+                &constraint,
+                epsilon,
+                opts.trials,
+                opts.shards,
+            )
+            .expect("SFDM1 run");
             (
                 format!("{:.4}", r.diversity),
                 fmt_secs(r.paper_time_s()),
@@ -71,8 +78,15 @@ fn main() {
             ("-".into(), "-".into(), "-".into())
         };
 
-        let s2 = run_averaged(&dataset, Algo::Sfdm2, &constraint, epsilon, opts.trials)
-            .expect("SFDM2 run");
+        let s2 = run_averaged_sharded(
+            &dataset,
+            Algo::Sfdm2,
+            &constraint,
+            epsilon,
+            opts.trials,
+            opts.shards,
+        )
+        .expect("SFDM2 run");
 
         table.push_row(vec![
             workload.name(),

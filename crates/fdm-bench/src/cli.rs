@@ -6,7 +6,9 @@
 //! * `--trials N` — stream permutations to average (default 3; paper 10);
 //! * `--k N` — solution size where the experiment doesn't sweep it
 //!   (default 20, the paper's Table II setting);
-//! * `--seed N` — dataset generation seed (default 42).
+//! * `--seed N` — dataset generation seed (default 42);
+//! * `--shards N` — shard count for the streaming algorithms (default 1 =
+//!   unsharded; K > 1 routes streams through `ShardedStream`).
 
 use crate::workloads::SizeMode;
 
@@ -21,6 +23,8 @@ pub struct Options {
     pub k: usize,
     /// Dataset seed.
     pub seed: u64,
+    /// Shard count for the streaming algorithms (1 = unsharded).
+    pub shards: usize,
 }
 
 impl Default for Options {
@@ -30,6 +34,7 @@ impl Default for Options {
             trials: 3,
             k: 20,
             seed: 42,
+            shards: 1,
         }
     }
 }
@@ -49,9 +54,11 @@ impl Options {
                 "--trials" => opts.trials = take_num(&mut args, "--trials")? as usize,
                 "--k" => opts.k = take_num(&mut args, "--k")? as usize,
                 "--seed" => opts.seed = take_num(&mut args, "--seed")?,
+                "--shards" => opts.shards = take_num(&mut args, "--shards")? as usize,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick|--full] [--trials N] [--k N] [--seed N]".to_string()
+                        "usage: [--quick|--full] [--trials N] [--k N] [--seed N] [--shards N]"
+                            .to_string(),
                     )
                 }
                 other => return Err(format!("unknown flag {other}; try --help")),
@@ -59,6 +66,9 @@ impl Options {
         }
         if opts.trials == 0 {
             return Err("--trials must be at least 1".to_string());
+        }
+        if opts.shards == 0 {
+            return Err("--shards must be at least 1".to_string());
         }
         Ok(opts)
     }

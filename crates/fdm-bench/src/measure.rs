@@ -19,10 +19,16 @@ use fdm_core::offline::fair_flow::{FairFlow, FairFlowConfig};
 use fdm_core::offline::fair_gmm::{FairGmm, FairGmmConfig};
 use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 use fdm_core::offline::gmm::gmm;
+use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::{ShardAlgorithm, ShardedStream};
 use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 use fdm_datasets::stream::{shuffled_indices, stream_elements};
+
+/// Batch size for the sharded ingestion path: large enough to amortize the
+/// per-batch fan-out, small enough to keep shard sub-batches cache-warm.
+const SHARD_BATCH: usize = 512;
 
 /// The algorithms of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +105,10 @@ pub struct RunConfig {
     /// Seed: selects the stream permutation and the offline algorithms'
     /// start elements.
     pub seed: u64,
+    /// Shard count for the streaming algorithms: 1 runs them unsharded
+    /// (bit-identical to the plain algorithm); K > 1 routes the stream
+    /// through [`ShardedStream`] with chunked batch ingestion.
+    pub shards: usize,
 }
 
 /// Runs one algorithm once and measures it.
@@ -166,83 +176,77 @@ pub fn run_algorithm(dataset: &Dataset, algo: Algo, config: &RunConfig) -> Resul
         }
         Algo::StreamingDm => {
             let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
-            let mut alg = StreamingDiversityMaximization::new(StreamingDmConfig {
+            let cfg = StreamingDmConfig {
                 k,
                 epsilon: config.epsilon,
                 bounds,
                 metric: dataset.metric(),
-            })?;
-            let order = shuffled_indices(dataset.len(), config.seed);
-            let start = Instant::now();
-            for e in stream_elements(dataset, &order) {
-                alg.insert(&e);
-            }
-            let stream_time = start.elapsed().as_secs_f64();
-            let post_start = Instant::now();
-            let sol = alg.finalize()?;
-            let post_time = post_start.elapsed().as_secs_f64();
-            Ok(RunResult {
-                algo: algo.name(),
-                diversity: sol.diversity,
-                total_time_s: stream_time + post_time,
-                update_time_s: Some(stream_time / dataset.len().max(1) as f64),
-                post_time_s: Some(post_time),
-                stored_elements: Some(alg.stored_elements()),
-            })
+            };
+            run_sharded_streaming::<StreamingDiversityMaximization>(algo, dataset, &cfg, config)
         }
         Algo::Sfdm1 => {
             let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
-            let mut alg = Sfdm1::new(Sfdm1Config {
+            let cfg = Sfdm1Config {
                 constraint: config.constraint.clone(),
                 epsilon: config.epsilon,
                 bounds,
                 metric: dataset.metric(),
-            })?;
-            let order = shuffled_indices(dataset.len(), config.seed);
-            let start = Instant::now();
-            for e in stream_elements(dataset, &order) {
-                alg.insert(&e);
-            }
-            let stream_time = start.elapsed().as_secs_f64();
-            let post_start = Instant::now();
-            let sol = alg.finalize()?;
-            let post_time = post_start.elapsed().as_secs_f64();
-            Ok(RunResult {
-                algo: algo.name(),
-                diversity: sol.diversity,
-                total_time_s: stream_time + post_time,
-                update_time_s: Some(stream_time / dataset.len().max(1) as f64),
-                post_time_s: Some(post_time),
-                stored_elements: Some(alg.stored_elements()),
-            })
+            };
+            run_sharded_streaming::<Sfdm1>(algo, dataset, &cfg, config)
         }
         Algo::Sfdm2 => {
             let bounds = dataset.sampled_distance_bounds(300, 4.0)?;
-            let mut alg = Sfdm2::new(Sfdm2Config {
+            let cfg = Sfdm2Config {
                 constraint: config.constraint.clone(),
                 epsilon: config.epsilon,
                 bounds,
                 metric: dataset.metric(),
-            })?;
-            let order = shuffled_indices(dataset.len(), config.seed);
-            let start = Instant::now();
-            for e in stream_elements(dataset, &order) {
-                alg.insert(&e);
-            }
-            let stream_time = start.elapsed().as_secs_f64();
-            let post_start = Instant::now();
-            let sol = alg.finalize()?;
-            let post_time = post_start.elapsed().as_secs_f64();
-            Ok(RunResult {
-                algo: algo.name(),
-                diversity: sol.diversity,
-                total_time_s: stream_time + post_time,
-                update_time_s: Some(stream_time / dataset.len().max(1) as f64),
-                post_time_s: Some(post_time),
-                stored_elements: Some(alg.stored_elements()),
-            })
+            };
+            run_sharded_streaming::<Sfdm2>(algo, dataset, &cfg, config)
         }
     }
+}
+
+/// Streams the permuted dataset through [`ShardedStream<S>`] and measures
+/// it. `shards == 1` inserts element-by-element (the unsharded reference
+/// path, bit-identical to the plain algorithm); `shards > 1` pre-
+/// materializes the stream and ingests fixed-size batches so the shard
+/// fan-out can run concurrently on the persistent pool.
+fn run_sharded_streaming<S: ShardAlgorithm>(
+    algo: Algo,
+    dataset: &Dataset,
+    alg_config: &S::Config,
+    run: &RunConfig,
+) -> Result<RunResult> {
+    let shards = run.shards.max(1);
+    let mut alg: ShardedStream<S> = ShardedStream::new(alg_config.clone(), shards)?;
+    let order = shuffled_indices(dataset.len(), run.seed);
+    // Pre-materialize the permuted stream for *both* paths so the measured
+    // update time covers only algorithm work — comparisons across shard
+    // counts stay apples-to-apples.
+    let elements: Vec<Element> = stream_elements(dataset, &order).collect();
+    let start = Instant::now();
+    if shards == 1 {
+        for e in &elements {
+            alg.insert(e);
+        }
+    } else {
+        for chunk in elements.chunks(SHARD_BATCH) {
+            alg.insert_batch(chunk);
+        }
+    }
+    let stream_time = start.elapsed().as_secs_f64();
+    let post_start = Instant::now();
+    let sol = alg.finalize()?;
+    let post_time = post_start.elapsed().as_secs_f64();
+    Ok(RunResult {
+        algo: algo.name(),
+        diversity: sol.diversity,
+        total_time_s: stream_time + post_time,
+        update_time_s: Some(stream_time / dataset.len().max(1) as f64),
+        post_time_s: Some(post_time),
+        stored_elements: Some(alg.stored_elements()),
+    })
 }
 
 /// Runs an algorithm over several stream permutations and averages every
@@ -255,6 +259,20 @@ pub fn run_averaged(
     epsilon: f64,
     trials: usize,
 ) -> Result<RunResult> {
+    run_averaged_sharded(dataset, algo, constraint, epsilon, trials, 1)
+}
+
+/// [`run_averaged`] with an explicit shard count for the streaming
+/// algorithms (the `--shards` CLI flag lands here; offline algorithms
+/// ignore it).
+pub fn run_averaged_sharded(
+    dataset: &Dataset,
+    algo: Algo,
+    constraint: &FairnessConstraint,
+    epsilon: f64,
+    trials: usize,
+    shards: usize,
+) -> Result<RunResult> {
     assert!(trials > 0);
     let mut acc: Option<RunResult> = None;
     for seed in 0..trials as u64 {
@@ -265,6 +283,7 @@ pub fn run_averaged(
                 constraint: constraint.clone(),
                 epsilon,
                 seed,
+                shards,
             },
         )?;
         acc = Some(match acc {
@@ -335,6 +354,7 @@ mod tests {
                     constraint: c.clone(),
                     epsilon: 0.1,
                     seed: 0,
+                    shards: 1,
                 },
             )
             .unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
@@ -356,6 +376,7 @@ mod tests {
                 constraint: c.clone(),
                 epsilon: 0.1,
                 seed: 0,
+                shards: 1,
             },
         )
         .unwrap();
@@ -367,6 +388,7 @@ mod tests {
                 constraint: c,
                 epsilon: 0.1,
                 seed: 0,
+                shards: 1,
             },
         )
         .unwrap();
@@ -398,6 +420,7 @@ mod tests {
                 constraint: c,
                 epsilon: 0.1,
                 seed: 1,
+                shards: 1,
             },
         )
         .unwrap();

@@ -16,6 +16,7 @@ fn runs_are_deterministic_given_seed() {
         constraint: c,
         epsilon: 0.1,
         seed: 5,
+        shards: 1,
     };
     let a = run_algorithm(&d, Algo::Sfdm1, &cfg).unwrap();
     let b = run_algorithm(&d, Algo::Sfdm1, &cfg).unwrap();
@@ -38,6 +39,7 @@ fn different_permutations_change_the_stream() {
                     constraint: c.clone(),
                     epsilon: 0.1,
                     seed,
+                    shards: 1,
                 },
             )
             .unwrap()
@@ -68,6 +70,7 @@ fn averaged_diversity_is_within_min_max_of_singles() {
                     constraint: c.clone(),
                     epsilon: 0.1,
                     seed,
+                    shards: 1,
                 },
             )
             .unwrap()

@@ -99,6 +99,24 @@ pub fn contiguous_chunks(n: usize, p: usize) -> Vec<Vec<usize>> {
     chunks
 }
 
+/// Splits `0..n` into `p` round-robin chunks (element `i` goes to chunk
+/// `i mod p`) — the same dealing rule
+/// [`crate::streaming::sharded::ShardedStream`] uses for live streams, so
+/// offline coreset pipelines can be compared shard-for-shard against
+/// sharded ingestion. Unlike [`contiguous_chunks`], every chunk sees the
+/// whole stream's group mix, which keeps per-chunk group extracts balanced
+/// on sorted or time-ordered data.
+pub fn round_robin_chunks(n: usize, p: usize) -> Vec<Vec<usize>> {
+    let p = p.max(1);
+    let mut chunks: Vec<Vec<usize>> = (0..p)
+        .map(|c| Vec::with_capacity(n.div_ceil(p) + usize::from(c == 0)))
+        .collect();
+    for i in 0..n {
+        chunks[i % p].push(i);
+    }
+    chunks
+}
+
 /// Materializes a coreset (row indices) as a new [`Dataset`] preserving
 /// group labels, so offline algorithms can run on it directly. Returns the
 /// dataset together with the mapping from new rows to original rows.
@@ -155,6 +173,38 @@ mod tests {
         // Degenerate cases.
         assert_eq!(contiguous_chunks(3, 10).iter().flatten().count(), 3);
         assert_eq!(contiguous_chunks(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn round_robin_chunks_partition_exactly() {
+        let chunks = round_robin_chunks(10, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], vec![0, 3, 6, 9]);
+        assert_eq!(chunks[1], vec![1, 4, 7]);
+        assert_eq!(chunks[2], vec![2, 5, 8]);
+        let mut flat: Vec<usize> = chunks.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        // Degenerate cases mirror contiguous_chunks.
+        assert_eq!(round_robin_chunks(3, 10).iter().flatten().count(), 3);
+        assert_eq!(round_robin_chunks(5, 0).len(), 1);
+    }
+
+    #[test]
+    fn round_robin_chunks_balance_sorted_group_runs() {
+        // Data sorted by group: contiguous chunks isolate the groups
+        // (chunk 0 sees only group 0), round-robin chunks mix them — the
+        // property that keeps per-chunk fair extracts feasible.
+        let groups: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        let contiguous = contiguous_chunks(40, 2);
+        let rr = round_robin_chunks(40, 2);
+        let mix = |chunk: &[usize]| {
+            let ones = chunk.iter().filter(|&&i| groups[i] == 1).count();
+            (chunk.len() - ones, ones)
+        };
+        assert_eq!(mix(&contiguous[0]), (20, 0), "contiguous isolates group 0");
+        assert_eq!(mix(&rr[0]), (10, 10), "round-robin mixes both groups");
+        assert_eq!(mix(&rr[1]), (10, 10));
     }
 
     #[test]

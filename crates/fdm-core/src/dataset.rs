@@ -359,6 +359,25 @@ impl Dataset {
             .filter(|&i| self.group(i) == group)
             .collect()
     }
+
+    /// Segments the arena into `k` round-robin shards of row indices —
+    /// exactly the sub-streams each shard of a
+    /// [`crate::streaming::sharded::ShardedStream`] would see if this
+    /// dataset were streamed in row order. Useful for comparing offline
+    /// shard pipelines (coresets) against sharded ingestion on identical
+    /// partitions, and for replaying one shard's view in isolation.
+    pub fn round_robin_shards(&self, k: usize) -> Vec<Vec<usize>> {
+        crate::coreset::round_robin_chunks(self.len(), k)
+    }
+
+    /// Iterates one round-robin shard's sub-stream (see
+    /// [`Dataset::round_robin_shards`]): every `k`-th element starting at
+    /// `shard`, as owned [`Element`]s in arrival order.
+    pub fn shard_iter(&self, shard: usize, k: usize) -> impl Iterator<Item = Element> + '_ {
+        let k = k.max(1);
+        debug_assert!(shard < k, "shard index {shard} out of range for {k} shards");
+        (shard..self.len()).step_by(k).map(move |i| self.element(i))
+    }
 }
 
 #[cfg(test)]
@@ -521,6 +540,20 @@ mod tests {
         let d = line_dataset();
         assert_eq!(d.group_indices(0), vec![0, 2]);
         assert_eq!(d.group_indices(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn round_robin_shards_match_shard_iter() {
+        let d = line_dataset();
+        let shards = d.round_robin_shards(3);
+        assert_eq!(shards, vec![vec![0, 3], vec![1], vec![2]]);
+        for (s, indices) in shards.iter().enumerate() {
+            let via_iter: Vec<usize> = d.shard_iter(s, 3).map(|e| e.id).collect();
+            assert_eq!(&via_iter, indices);
+        }
+        // k = 1 is the whole stream in order.
+        let all: Vec<usize> = d.shard_iter(0, 1).map(|e| e.id).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
     }
 
     #[test]

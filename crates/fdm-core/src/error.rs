@@ -75,6 +75,8 @@ pub enum FdmError {
         /// The offending order.
         p: f64,
     },
+    /// A sharded stream needs at least one shard.
+    InvalidShardCount,
 }
 
 impl fmt::Display for FdmError {
@@ -113,6 +115,9 @@ impl fmt::Display for FdmError {
             ),
             FdmError::InvalidMinkowskiOrder { p } => {
                 write!(f, "Minkowski order must satisfy p >= 1, got {p}")
+            }
+            FdmError::InvalidShardCount => {
+                write!(f, "sharded ingestion requires at least one shard")
             }
         }
     }
@@ -169,6 +174,7 @@ mod tests {
             (FdmError::NonFiniteCoordinate, "NaN"),
             (FdmError::NoFeasibleCandidate, "no candidate"),
             (FdmError::InvalidMinkowskiOrder { p: 0.5 }, "Minkowski"),
+            (FdmError::InvalidShardCount, "at least one shard"),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

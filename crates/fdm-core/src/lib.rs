@@ -99,6 +99,7 @@ pub mod prelude {
     pub use crate::solution::Solution;
     pub use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
     pub use crate::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+    pub use crate::streaming::sharded::{ShardAlgorithm, ShardedStream};
     pub use crate::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 }
 

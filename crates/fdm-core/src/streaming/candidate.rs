@@ -18,6 +18,72 @@
 use crate::metric::{kernels, Metric};
 use crate::point::{Element, PointId, PointStore};
 
+/// Per-arrival cache of proxy distances from one arriving point to arena
+/// rows, shared across every candidate of a guess ladder.
+///
+/// The ladder offers each arriving element to `O(m · log₁₊ε(∆))`
+/// candidates, and their member lists overlap heavily (an element accepted
+/// at guess `µ` typically sits in many neighboring guesses' candidates and
+/// in both the blind and its group's ladder). Without the cache, each
+/// candidate re-evaluates the distance kernel against the same arena rows;
+/// with it, each `(arrival, arena row)` pair costs exactly one full-kernel
+/// evaluation and every further test is an array lookup.
+///
+/// Decisions are **bit-identical** to the bounded per-candidate scans: the
+/// `*_at_least` kernels are association-identical to their full-sum
+/// counterparts and every term is non-negative, so `full_proxy ≥ bound`
+/// agrees exactly with the early-exit comparison (pinned by
+/// `tests/kernel_parity.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalProxies {
+    /// Proxy to arena row `i`, valid iff `stamps[i] == epoch`.
+    vals: Vec<f64>,
+    /// Arrival counter at which each slot was last written.
+    stamps: Vec<u64>,
+    /// Current arrival's generation stamp (epoch-stamping makes the
+    /// per-arrival reset O(1) instead of an arena-length clear).
+    epoch: u64,
+}
+
+impl ArrivalProxies {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ArrivalProxies::default()
+    }
+
+    /// Resets the cache for a new arrival against an arena of `arena_len`
+    /// rows: every slot becomes "unknown" by bumping the generation stamp;
+    /// slot storage grows but is never rewritten.
+    pub fn begin_arrival(&mut self, arena_len: usize) {
+        if self.stamps.len() < arena_len {
+            // Stamp 0 is never a valid epoch (the first arrival uses 1).
+            self.stamps.resize(arena_len, 0);
+            self.vals.resize(arena_len, 0.0);
+        }
+        self.epoch += 1;
+    }
+
+    /// The proxy distance from the arriving `point` (with squared norm
+    /// `norm_sq`) to arena row `id`, computing it on first use.
+    #[inline]
+    pub fn proxy(
+        &mut self,
+        store: &PointStore,
+        metric: Metric,
+        point: &[f64],
+        norm_sq: f64,
+        id: PointId,
+    ) -> f64 {
+        let i = id.index();
+        if self.stamps[i] != self.epoch {
+            self.stamps[i] = self.epoch;
+            self.vals[i] =
+                metric.proxy_with_norms(point, store.row(id), norm_sq, store.norm_sq(id));
+        }
+        self.vals[i]
+    }
+}
+
 /// One candidate set `S_µ` with threshold `µ` and capacity `cap`.
 #[derive(Debug, Clone)]
 pub struct Candidate {
@@ -129,6 +195,25 @@ impl Candidate {
                     self.mu_proxy,
                 )
             })
+    }
+
+    /// [`Candidate::accepts`] through a shared per-arrival proxy cache: the
+    /// distance to each arena row is computed at most once per arrival no
+    /// matter how many candidates test it. Decisions are bit-identical to
+    /// the uncached test (see [`ArrivalProxies`]).
+    #[inline]
+    pub fn accepts_cached(
+        &self,
+        store: &PointStore,
+        cache: &mut ArrivalProxies,
+        point: &[f64],
+        norm_sq: f64,
+    ) -> bool {
+        !self.is_full()
+            && self
+                .members
+                .iter()
+                .all(|&id| cache.proxy(store, self.metric, point, norm_sq, id) >= self.mu_proxy)
     }
 
     /// Records an already-interned accepted point (see

@@ -13,9 +13,15 @@
 //! * [`sfdm2::Sfdm2`] (Algorithm 3, any `m`) — cluster all retained elements
 //!   and augment a partial solution via matroid intersection;
 //!   `(1−ε)/(3m+2)` (Theorem 4).
+//!
+//! [`sharded::ShardedStream`] layers K-way scale-out on top of any of them:
+//! round-robin partitioning into independent shard summaries processed
+//! concurrently on the persistent pool, merged through one extra
+//! guess-ladder pass.
 
 pub mod candidate;
 pub mod sfdm1;
 pub mod sfdm2;
+pub mod sharded;
 pub mod sliding;
 pub mod unconstrained;

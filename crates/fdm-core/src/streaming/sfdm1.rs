@@ -31,7 +31,7 @@ use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::Candidate;
+use crate::streaming::candidate::{ArrivalProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm1`].
@@ -58,6 +58,9 @@ pub struct Sfdm1 {
     /// `specific[i][j]` = candidate for group `i`, guess `j`, capacity `k_i`.
     specific: [Vec<Candidate>; 2],
     strategy: SwapStrategy,
+    /// Per-arrival proxy cache shared across all candidates (see
+    /// [`ArrivalProxies`]).
+    scratch: ArrivalProxies,
     processed: usize,
     sequential: bool,
     store_initialized: bool,
@@ -100,6 +103,7 @@ impl Sfdm1 {
             blind,
             specific,
             strategy,
+            scratch: ArrivalProxies::new(),
             processed: 0,
             sequential: false,
             store_initialized: false,
@@ -129,14 +133,21 @@ impl Sfdm1 {
         } else {
             0.0
         };
+        // One shared proxy cache per arrival: candidates of neighboring
+        // guesses hold largely the same members, so each arena row is
+        // evaluated once however many candidates test it. (The freshly
+        // interned id never needs a cache slot — it is only pushed into
+        // candidates that already made their decision this arrival.)
+        self.scratch.begin_arrival(self.store.len());
         let mut interned: Option<PointId> = None;
         let store = &mut self.store;
+        let scratch = &mut self.scratch;
         for candidate in self
             .blind
             .iter_mut()
             .chain(self.specific[element.group].iter_mut())
         {
-            if candidate.accepts(store, &element.point, norm_sq) {
+            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
                 let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
@@ -148,6 +159,15 @@ impl Sfdm1 {
     /// probed concurrently under the `parallel` feature.
     pub fn insert_batch(&mut self, batch: &[Element]) {
         if batch.is_empty() {
+            return;
+        }
+        // Candidate-major probing only pays when the lanes actually run
+        // concurrently; single-threaded, the cached element path is faster
+        // and produces identical results.
+        if self.sequential || !crate::par::parallel_available() {
+            for element in batch {
+                self.insert(element);
+            }
             return;
         }
         debug_assert!(batch.iter().all(|e| e.group < 2));

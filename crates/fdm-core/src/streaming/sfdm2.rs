@@ -40,7 +40,7 @@ use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::Candidate;
+use crate::streaming::candidate::{ArrivalProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm2`].
@@ -99,6 +99,9 @@ pub struct Sfdm2 {
     /// `specific[i][j]`: group `i`, guess `j`, capacity `k`.
     specific: Vec<Vec<Candidate>>,
     mode: AugmentationMode,
+    /// Per-arrival proxy cache shared across all candidates (see
+    /// [`ArrivalProxies`]).
+    scratch: ArrivalProxies,
     processed: usize,
     sequential: bool,
     store_initialized: bool,
@@ -140,6 +143,7 @@ impl Sfdm2 {
             blind,
             specific,
             mode,
+            scratch: ArrivalProxies::new(),
             processed: 0,
             sequential: false,
             store_initialized: false,
@@ -172,14 +176,19 @@ impl Sfdm2 {
         } else {
             0.0
         };
+        // One shared proxy cache per arrival (see the Sfdm1 counterpart):
+        // the blind and group ladders overlap heavily in members, so each
+        // arena row costs one kernel evaluation per arrival at most.
+        self.scratch.begin_arrival(self.store.len());
         let mut interned: Option<PointId> = None;
         let store = &mut self.store;
+        let scratch = &mut self.scratch;
         for candidate in self
             .blind
             .iter_mut()
             .chain(self.specific[element.group].iter_mut())
         {
-            if candidate.accepts(store, &element.point, norm_sq) {
+            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
                 let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
@@ -191,6 +200,15 @@ impl Sfdm2 {
     /// candidates probed concurrently under the `parallel` feature.
     pub fn insert_batch(&mut self, batch: &[Element]) {
         if batch.is_empty() {
+            return;
+        }
+        // Candidate-major probing only pays when the lanes actually run
+        // concurrently; single-threaded, the cached element path is faster
+        // and produces identical results.
+        if self.sequential || !crate::par::parallel_available() {
+            for element in batch {
+                self.insert(element);
+            }
             return;
         }
         let m = self.specific.len();

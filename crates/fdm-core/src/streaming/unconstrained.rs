@@ -21,7 +21,7 @@ use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::Candidate;
+use crate::streaming::candidate::{ArrivalProxies, Candidate};
 
 /// Configuration for [`StreamingDiversityMaximization`].
 #[derive(Debug, Clone)]
@@ -43,6 +43,9 @@ pub struct StreamingDiversityMaximization {
     candidates: Vec<Candidate>,
     metric: Metric,
     k: usize,
+    /// Per-arrival proxy cache shared across all candidates (see
+    /// [`ArrivalProxies`]).
+    scratch: ArrivalProxies,
     processed: usize,
     sequential: bool,
     store_initialized: bool,
@@ -67,6 +70,7 @@ impl StreamingDiversityMaximization {
             candidates,
             metric: config.metric,
             k: config.k,
+            scratch: ArrivalProxies::new(),
             processed: 0,
             sequential: false,
             store_initialized: false,
@@ -97,10 +101,16 @@ impl StreamingDiversityMaximization {
         } else {
             0.0
         };
+        // One shared proxy cache per arrival: the ladder's candidates hold
+        // overlapping members, so each retained row costs one kernel
+        // evaluation however many guesses test it.
+        self.scratch.begin_arrival(self.store.len());
         let mut interned: Option<PointId> = None;
+        let store = &mut self.store;
+        let scratch = &mut self.scratch;
         for candidate in &mut self.candidates {
-            if candidate.accepts(&self.store, &element.point, norm_sq) {
-                let id = *interned.get_or_insert_with(|| self.store.push_element(element));
+            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
+                let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
         }
@@ -113,6 +123,15 @@ impl StreamingDiversityMaximization {
     /// batch order.
     pub fn insert_batch(&mut self, batch: &[Element]) {
         if batch.is_empty() {
+            return;
+        }
+        // Candidate-major probing only pays when the lanes actually run
+        // concurrently; single-threaded, the cached element path is faster
+        // and produces identical results.
+        if self.sequential || !crate::par::parallel_available() {
+            for element in batch {
+                self.insert(element);
+            }
             return;
         }
         self.ensure_store_dim(batch[0].dim());

@@ -1,0 +1,246 @@
+//! Edge-case coverage for the matroid-intersection and FairSwap paths that
+//! the mainline tests never hit: empty groups, constraints larger than the
+//! population, duplicate points, and fully degenerate (all-equal) streams.
+
+use fdm_core::dataset::{Dataset, DistanceBounds};
+use fdm_core::error::FdmError;
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::matroid::intersection::max_common_independent_set;
+use fdm_core::matroid::{Matroid, PartitionMatroid};
+use fdm_core::metric::Metric;
+use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
+use fdm_core::point::Element;
+use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::ShardedStream;
+
+// ---------------------------------------------------------------------------
+// matroid/intersection.rs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn intersection_with_empty_ground_set() {
+    let m1 = PartitionMatroid::new(vec![], vec![1, 1]).unwrap();
+    let m2 = PartitionMatroid::new(vec![], vec![2]).unwrap();
+    let result = max_common_independent_set(&m1, &m2, &[], None);
+    assert!(result.is_empty());
+}
+
+#[test]
+fn intersection_with_empty_part_in_one_matroid() {
+    // M1 declares 3 parts but part 1 has no members (an "empty group"):
+    // its capacity can never be used, and the algorithm must not stall.
+    let m1 = PartitionMatroid::new(vec![0, 0, 2, 2], vec![1, 5, 1]).unwrap();
+    let m2 = PartitionMatroid::new(vec![0, 1, 0, 1], vec![1, 1]).unwrap();
+    let result = max_common_independent_set(&m1, &m2, &[], None);
+    assert_eq!(result.len(), 2);
+    assert!(m1.is_independent(&result));
+    assert!(m2.is_independent(&result));
+}
+
+#[test]
+fn intersection_with_all_capacities_zero() {
+    let m1 = PartitionMatroid::new(vec![0, 0, 0], vec![0]).unwrap();
+    let m2 = PartitionMatroid::new(vec![0, 1, 2], vec![1, 1, 1]).unwrap();
+    let result = max_common_independent_set(&m1, &m2, &[], None);
+    assert!(result.is_empty(), "zero capacity admits nothing");
+}
+
+#[test]
+fn intersection_duplicate_scores_are_deterministic() {
+    // All elements tie under the score: the greedy phase must still make
+    // progress and terminate with a maximum set (first-maximum tie-break).
+    let m1 = PartitionMatroid::new(vec![0, 0, 1, 1], vec![1, 1]).unwrap();
+    let m2 = PartitionMatroid::new(vec![0, 1, 0, 1], vec![1, 1]).unwrap();
+    let score = |_x: usize, _s: &[usize]| 1.0;
+    let a = max_common_independent_set(&m1, &m2, &[], Some(&score));
+    let b = max_common_independent_set(&m1, &m2, &[], Some(&score));
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 2);
+}
+
+#[test]
+fn intersection_initial_set_saturating_one_matroid() {
+    // The initial set already saturates M2 (one part, capacity 1): no
+    // augmentation is possible, and the initial choice survives.
+    let m1 = PartitionMatroid::new(vec![0, 1, 2], vec![1, 1, 1]).unwrap();
+    let m2 = PartitionMatroid::new(vec![0, 0, 0], vec![1]).unwrap();
+    let result = max_common_independent_set(&m1, &m2, &[2], None);
+    assert_eq!(result, vec![2]);
+}
+
+#[test]
+fn intersection_nan_scores_do_not_panic() {
+    // A pathological score function returning NaN must not break the
+    // greedy comparisons (NaN never beats a real score under `>=`).
+    let m1 = PartitionMatroid::new(vec![0, 1], vec![1, 1]).unwrap();
+    let m2 = PartitionMatroid::new(vec![0, 1], vec![1, 1]).unwrap();
+    let score = |x: usize, _s: &[usize]| if x == 0 { f64::NAN } else { 1.0 };
+    let result = max_common_independent_set(&m1, &m2, &[], Some(&score));
+    assert_eq!(result.len(), 2, "both elements are addable regardless");
+}
+
+// ---------------------------------------------------------------------------
+// offline/fair_swap.rs
+// ---------------------------------------------------------------------------
+
+fn two_group_dataset(rows: Vec<Vec<f64>>, groups: Vec<usize>) -> Dataset {
+    Dataset::from_rows(rows, groups, Metric::Euclidean).unwrap()
+}
+
+fn swap(k1: usize, k2: usize) -> FairSwap {
+    FairSwap::new(FairSwapConfig {
+        constraint: FairnessConstraint::new(vec![k1, k2]).unwrap(),
+        seed: 0,
+        strategy: Default::default(),
+    })
+    .unwrap()
+}
+
+#[test]
+fn fair_swap_empty_group_is_infeasible_not_a_panic() {
+    // Group 1 exists in the constraint but not in the data at all: the
+    // dataset infers one group, and feasibility checking reports the
+    // constraint's out-of-range group rather than panicking.
+    let d = two_group_dataset((0..20).map(|i| vec![i as f64]).collect(), vec![0; 20]);
+    let err = swap(2, 2).run(&d).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            FdmError::InvalidGroup {
+                group: 1,
+                num_groups: 1
+            } | FdmError::InfeasibleConstraint { group: 1, .. }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn fair_swap_quota_exceeding_group_size() {
+    // "k smaller than group count" mirror: a quota larger than the group.
+    let d = two_group_dataset(
+        (0..10).map(|i| vec![i as f64]).collect(),
+        vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1],
+    );
+    let err = swap(2, 3).run(&d).unwrap_err();
+    assert!(matches!(
+        err,
+        FdmError::InfeasibleConstraint {
+            group: 1,
+            requested: 3,
+            available: 1
+        }
+    ));
+}
+
+#[test]
+fn fair_swap_duplicate_points_still_fair() {
+    // Heavy duplication: balancing must not select the same row twice and
+    // the result stays exactly fair.
+    let mut rows = Vec::new();
+    let mut groups = Vec::new();
+    for i in 0..12 {
+        let x = (i / 3) as f64 * 5.0; // four distinct sites, three copies each
+        rows.push(vec![x]);
+        groups.push(i % 2);
+    }
+    let sol = swap(2, 2).run(&two_group_dataset(rows, groups)).unwrap();
+    assert_eq!(sol.group_counts(2), vec![2, 2]);
+    let mut ids = sol.ids();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 4, "no row may be selected twice");
+}
+
+#[test]
+fn fair_swap_all_equal_coordinates_degenerates_gracefully() {
+    // Every point identical: any fair selection has diversity 0; the
+    // algorithm must return one (or a clean error), never panic or loop.
+    let d = two_group_dataset(vec![vec![3.0, 3.0]; 16], (0..16).map(|i| i % 2).collect());
+    match swap(3, 3).run(&d) {
+        Ok(sol) => {
+            assert_eq!(sol.group_counts(2), vec![3, 3]);
+            assert_eq!(sol.diversity, 0.0);
+        }
+        Err(e) => assert_eq!(e, FdmError::NoFeasibleCandidate),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// degenerate streams through the streaming algorithms
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sfdm1_all_equal_stream_errors_cleanly() {
+    // All arrivals coincide: every candidate keeps exactly one element, so
+    // no guess reaches k and finalize reports infeasibility (not a panic).
+    let mut alg = Sfdm1::new(Sfdm1Config {
+        constraint: FairnessConstraint::new(vec![2, 2]).unwrap(),
+        epsilon: 0.1,
+        bounds: DistanceBounds::new(0.5, 10.0).unwrap(),
+        metric: Metric::Euclidean,
+    })
+    .unwrap();
+    for i in 0..50 {
+        alg.insert(&Element::new(i, vec![1.0, 1.0], i % 2));
+    }
+    // One retained copy per group (each group-specific ladder keeps the
+    // first element it sees); duplicates beyond that are never re-retained.
+    assert_eq!(alg.stored_elements(), 2);
+    assert_eq!(alg.finalize().unwrap_err(), FdmError::NoFeasibleCandidate);
+}
+
+#[test]
+fn sfdm2_all_equal_stream_errors_cleanly() {
+    let mut alg = Sfdm2::new(Sfdm2Config {
+        constraint: FairnessConstraint::new(vec![1, 1, 1]).unwrap(),
+        epsilon: 0.1,
+        bounds: DistanceBounds::new(0.5, 10.0).unwrap(),
+        metric: Metric::Euclidean,
+    })
+    .unwrap();
+    for i in 0..60 {
+        alg.insert(&Element::new(i, vec![7.0], i % 3));
+    }
+    // One retained copy per group (m = 3).
+    assert_eq!(alg.stored_elements(), 3);
+    assert_eq!(alg.finalize().unwrap_err(), FdmError::NoFeasibleCandidate);
+}
+
+#[test]
+fn sharded_all_equal_stream_errors_cleanly() {
+    // The same degenerate stream through the sharded path: every shard
+    // retains one copy, the merge sees K identical points, and the final
+    // answer is the same clean error as unsharded.
+    let cfg = Sfdm2Config {
+        constraint: FairnessConstraint::new(vec![1, 1]).unwrap(),
+        epsilon: 0.1,
+        bounds: DistanceBounds::new(0.5, 10.0).unwrap(),
+        metric: Metric::Euclidean,
+    };
+    let mut alg: ShardedStream<Sfdm2> = ShardedStream::new(cfg, 3).unwrap();
+    for i in 0..30 {
+        alg.insert(&Element::new(i, vec![2.0, 2.0], i % 2));
+    }
+    assert_eq!(
+        alg.stored_elements(),
+        6,
+        "one retained copy per shard per group (3 shards × 2 groups)"
+    );
+    assert_eq!(alg.finalize().unwrap_err(), FdmError::NoFeasibleCandidate);
+}
+
+#[test]
+fn constraint_rejects_zero_quota_groups() {
+    // "k smaller than the group count" cannot be expressed with positive
+    // quotas; the constraint constructor rejects the zero-quota encoding.
+    assert_eq!(
+        FairnessConstraint::new(vec![2, 0, 1]).unwrap_err(),
+        FdmError::EmptyConstraint
+    );
+    assert!(matches!(
+        FairnessConstraint::equal_representation(2, 3).unwrap_err(),
+        FdmError::SolutionSizeTooSmall { k: 2 }
+    ));
+}

@@ -13,6 +13,7 @@ use fdm_core::metric::Metric;
 use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::ShardedStream;
 use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 use rand::prelude::*;
 
@@ -137,6 +138,46 @@ fn algorithm1_parallel_equals_sequential() {
     let s = sequential.finalize().unwrap();
     assert_eq!(p.ids(), s.ids());
     assert_eq!(p.diversity.to_bits(), s.diversity.to_bits());
+}
+
+#[test]
+fn sharded_parallel_equals_sequential() {
+    // Shard fan-out runs sub-batches concurrently on the pool; a forced-
+    // sequential sharded run must agree id-for-id, bit-for-bit.
+    for (trial, metric) in metrics().into_iter().enumerate() {
+        let d = random_dataset(600, 3, 6, metric, 400 + trial as u64);
+        let bounds = d.sampled_distance_bounds(100, 2.0).unwrap();
+        let cfg = Sfdm2Config {
+            constraint: FairnessConstraint::new(vec![2, 2, 2]).unwrap(),
+            epsilon: 0.1,
+            bounds,
+            metric,
+        };
+        let elements: Vec<Element> = d.iter().collect();
+
+        let mut parallel: ShardedStream<Sfdm2> = ShardedStream::new(cfg.clone(), 4).unwrap();
+        for chunk in elements.chunks(128) {
+            parallel.insert_batch(chunk);
+        }
+        let mut sequential: ShardedStream<Sfdm2> = ShardedStream::new(cfg, 4).unwrap();
+        sequential.set_sequential(true);
+        for e in &elements {
+            sequential.insert(e);
+        }
+
+        assert_eq!(parallel.stored_elements(), sequential.stored_elements());
+        match (parallel.finalize(), sequential.finalize()) {
+            (Ok(p), Ok(s)) => {
+                assert_eq!(p.ids(), s.ids(), "{metric:?}: sharded ids differ");
+                assert_eq!(
+                    p.diversity.to_bits(),
+                    s.diversity.to_bits(),
+                    "{metric:?}: sharded diversity bits differ"
+                );
+            }
+            (p, s) => panic!("{metric:?}: outcome mismatch {p:?} vs {s:?}"),
+        }
+    }
 }
 
 #[test]

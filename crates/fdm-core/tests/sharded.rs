@@ -1,0 +1,206 @@
+//! Property tests for [`ShardedStream`]: on random multi-group streams the
+//! merged solution must satisfy the fairness constraint *exactly* and keep
+//! its diversity within the base algorithm's approximation factor of the
+//! single-shard run, and `K = 1` must be indistinguishable (bit-for-bit)
+//! from the unsharded algorithm.
+//!
+//! All properties use the default proptest configuration, so CI can pin a
+//! fixed fast case count through `PROPTEST_CASES`.
+
+use fdm_core::dataset::Dataset;
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::metric::Metric;
+use fdm_core::point::Element;
+use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::ShardedStream;
+use proptest::prelude::*;
+
+/// A generated stream instance: points, dense group labels, group count.
+#[derive(Debug, Clone)]
+struct Instance {
+    rows: Vec<Vec<f64>>,
+    groups: Vec<usize>,
+    m: usize,
+}
+
+impl Instance {
+    fn dataset(&self) -> Dataset {
+        Dataset::from_rows(self.rows.clone(), self.groups.clone(), Metric::Euclidean).unwrap()
+    }
+}
+
+/// Streams of 40–120 points in 2–4 groups; every group is guaranteed at
+/// least 4 members so small equal quotas stay feasible.
+fn instances(max_m: usize) -> impl Strategy<Value = Instance> {
+    (2usize..=max_m).prop_flat_map(move |m| {
+        (
+            Just(m),
+            proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0usize..m), 40..=120),
+        )
+            .prop_map(|(m, raw)| {
+                let rows: Vec<Vec<f64>> = raw.iter().map(|&(x, y, _)| vec![x, y]).collect();
+                let mut groups: Vec<usize> = raw.iter().map(|&(_, _, g)| g).collect();
+                // Pin 4 members per group up front so quotas ≤ 4 are
+                // feasible regardless of the random labels.
+                for g in 0..m {
+                    for slot in 0..4 {
+                        groups[g * 4 + slot] = g;
+                    }
+                }
+                Instance { rows, groups, m }
+            })
+    })
+}
+
+fn run_sfdm2_sharded(inst: &Instance, quota: usize, shards: usize) -> ShardedStream<Sfdm2> {
+    let d = inst.dataset();
+    let cfg = Sfdm2Config {
+        constraint: FairnessConstraint::new(vec![quota; inst.m]).unwrap(),
+        epsilon: 0.1,
+        bounds: d.exact_distance_bounds().unwrap(),
+        metric: Metric::Euclidean,
+    };
+    let mut alg: ShardedStream<Sfdm2> = ShardedStream::new(cfg, shards).unwrap();
+    for e in d.iter() {
+        alg.insert(&e);
+    }
+    alg
+}
+
+proptest! {
+    #[test]
+    fn merged_sfdm2_is_exactly_fair_and_within_factor(
+        inst in instances(4),
+        quota in 1usize..=2,
+        shards in 2usize..=4,
+    ) {
+        // Duplicate points can make the exact bounds degenerate; such
+        // streams are exercised separately in tests/edge_cases.rs.
+        prop_assume!(inst.dataset().exact_distance_bounds().is_ok());
+        let sharded = run_sfdm2_sharded(&inst, quota, shards);
+        let single = run_sfdm2_sharded(&inst, quota, 1);
+
+        let merged = sharded.finalize();
+        let baseline = single.finalize();
+        prop_assume!(baseline.is_ok());
+        let baseline = baseline.unwrap();
+        // The union of shard summaries retains at least the single run's
+        // feasibility: the merged run must produce a solution too.
+        prop_assert!(merged.is_ok(), "merged run failed where single-shard succeeded");
+        let merged = merged.unwrap();
+
+        // Fairness holds *exactly* (not approximately).
+        let constraint = FairnessConstraint::new(vec![quota; inst.m]).unwrap();
+        let k = constraint.total();
+        prop_assert_eq!(merged.len(), k);
+        prop_assert!(
+            constraint.is_satisfied_by(&merged.group_counts(inst.m)),
+            "unfair merged solution: {:?}", merged.group_counts(inst.m)
+        );
+
+        // Quality: within SFDM2's (1−ε)/(3m+2) factor of the single-shard
+        // diversity (the merge pass re-runs the same approximation over a
+        // summary that certifies the single-shard value).
+        let factor = (1.0 - 0.1) / (3.0 * inst.m as f64 + 2.0);
+        prop_assert!(
+            merged.diversity >= factor * baseline.diversity - 1e-9,
+            "merged {} below {} × single-shard {}",
+            merged.diversity, factor, baseline.diversity
+        );
+    }
+
+    #[test]
+    fn merged_sfdm1_is_exactly_fair_and_within_factor(
+        inst in instances(2),
+        quota in 1usize..=3,
+        shards in 2usize..=4,
+    ) {
+        prop_assume!(inst.dataset().exact_distance_bounds().is_ok());
+        let d = inst.dataset();
+        let constraint = FairnessConstraint::new(vec![quota; 2]).unwrap();
+        let cfg = Sfdm1Config {
+            constraint: constraint.clone(),
+            epsilon: 0.1,
+            bounds: d.exact_distance_bounds().unwrap(),
+            metric: Metric::Euclidean,
+        };
+        let mut sharded: ShardedStream<Sfdm1> = ShardedStream::new(cfg.clone(), shards).unwrap();
+        let mut single = Sfdm1::new(cfg).unwrap();
+        for e in d.iter() {
+            sharded.insert(&e);
+            single.insert(&e);
+        }
+        let baseline = single.finalize();
+        prop_assume!(baseline.is_ok());
+        let baseline = baseline.unwrap();
+        let merged = sharded.finalize();
+        prop_assert!(merged.is_ok(), "merged run failed where single-shard succeeded");
+        let merged = merged.unwrap();
+        prop_assert!(
+            constraint.is_satisfied_by(&merged.group_counts(2)),
+            "unfair merged solution: {:?}", merged.group_counts(2)
+        );
+        // SFDM1's factor is (1−ε)/4.
+        let factor = (1.0 - 0.1) / 4.0;
+        prop_assert!(
+            merged.diversity >= factor * baseline.diversity - 1e-9,
+            "merged {} below {} × single-shard {}",
+            merged.diversity, factor, baseline.diversity
+        );
+    }
+
+    #[test]
+    fn one_shard_is_bit_identical_to_unsharded(
+        inst in instances(3),
+        quota in 1usize..=2,
+    ) {
+        prop_assume!(inst.dataset().exact_distance_bounds().is_ok());
+        let d = inst.dataset();
+        let cfg = Sfdm2Config {
+            constraint: FairnessConstraint::new(vec![quota; inst.m]).unwrap(),
+            epsilon: 0.1,
+            bounds: d.exact_distance_bounds().unwrap(),
+            metric: Metric::Euclidean,
+        };
+        let mut sharded: ShardedStream<Sfdm2> = ShardedStream::new(cfg.clone(), 1).unwrap();
+        let mut plain = Sfdm2::new(cfg).unwrap();
+        for e in d.iter() {
+            sharded.insert(&e);
+            plain.insert(&e);
+        }
+        prop_assert_eq!(sharded.stored_elements(), plain.stored_elements());
+        match (sharded.finalize(), plain.finalize()) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.ids(), b.ids());
+                prop_assert_eq!(a.diversity.to_bits(), b.diversity.to_bits());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "outcome mismatch: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_a_partition(
+        n in 10usize..200,
+        shards in 1usize..=5,
+    ) {
+        // Round-robin dealing: every element lands in exactly one shard and
+        // counts differ by at most one.
+        let cfg = Sfdm2Config {
+            constraint: FairnessConstraint::new(vec![1, 1]).unwrap(),
+            epsilon: 0.2,
+            bounds: fdm_core::dataset::DistanceBounds::new(0.5, 300.0).unwrap(),
+            metric: Metric::Euclidean,
+        };
+        let mut sharded: ShardedStream<Sfdm2> = ShardedStream::new(cfg, shards).unwrap();
+        for i in 0..n {
+            sharded.insert(&Element::new(i, vec![i as f64, 0.0], i % 2));
+        }
+        prop_assert_eq!(sharded.processed(), n);
+        let counts: Vec<usize> = sharded.shards().iter().map(|s| s.processed()).collect();
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        let (lo, hi) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "unbalanced round-robin: {counts:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Golden end-to-end fixtures: small committed CSV streams run through
+//! SFDM1, SFDM2 (sharded and unsharded), and the sliding window, with the
+//! complete solution summary (selected ids, group counts, diversity to
+//! 12 significant digits) diffed against recorded expectations.
+//!
+//! The parity and property suites check *relationships* (parallel ==
+//! sequential, K=1 == unsharded); only a golden diff catches a silent
+//! regression that shifts every configuration the same way — e.g. a kernel
+//! change that alters which elements the ladder retains.
+//!
+//! To re-record after an intentional behavior change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! git diff tests/fixtures/   # review before committing!
+//! ```
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use fdm::core::dataset::DistanceBounds;
+use fdm::core::fairness::FairnessConstraint;
+use fdm::core::metric::Metric;
+use fdm::core::point::Element;
+use fdm::core::solution::Solution;
+use fdm::core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm::core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm::core::streaming::sharded::ShardedStream;
+use fdm::core::streaming::sliding::SlidingWindowFdm;
+use fdm::datasets::csv_stream::{CsvElementStream, CsvStreamOptions};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn load(name: &str) -> Vec<Element> {
+    let options = CsvStreamOptions {
+        feature_columns: vec![0, 1],
+        group_column: 2,
+        has_header: true,
+        delimiter: ',',
+        standardize: None,
+    };
+    let stream = CsvElementStream::open(fixture(name), options).unwrap();
+    let elements: Vec<Element> = stream.collect();
+    assert!(!elements.is_empty(), "fixture {name} parsed to nothing");
+    elements
+}
+
+/// One line per run: every field that must stay stable.
+fn summarize(label: &str, m: usize, solution: &Solution) -> String {
+    let mut ids = solution.ids();
+    ids.sort_unstable();
+    let counts = solution.group_counts(m);
+    let mut line = String::new();
+    write!(
+        line,
+        "{label}: ids={ids:?} groups={counts:?} diversity={:.12e}",
+        solution.diversity
+    )
+    .unwrap();
+    line
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = fixture(name);
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {path:?}; run with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected.trim(),
+        actual.trim(),
+        "golden mismatch for {name}; if the change is intentional, \
+         re-record with UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn golden_sfdm1_two_groups() {
+    let elements = load("stream_2groups.csv");
+    let constraint = FairnessConstraint::new(vec![3, 3]).unwrap();
+    let mut out = String::new();
+    for eps in [0.1, 0.25] {
+        let mut alg = Sfdm1::new(Sfdm1Config {
+            constraint: constraint.clone(),
+            epsilon: eps,
+            bounds: DistanceBounds::new(0.05, 20.0).unwrap(),
+            metric: Metric::Euclidean,
+        })
+        .unwrap();
+        for e in &elements {
+            alg.insert(e);
+        }
+        let sol = alg.finalize().unwrap();
+        assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
+        out.push_str(&summarize(&format!("sfdm1 eps={eps}"), 2, &sol));
+        out.push('\n');
+    }
+    check_golden("sfdm1_two_groups.expected", &out);
+}
+
+#[test]
+fn golden_sfdm2_three_groups_sharded_and_not() {
+    let elements = load("stream_3groups.csv");
+    let constraint = FairnessConstraint::new(vec![2, 2, 2]).unwrap();
+    let config = Sfdm2Config {
+        constraint: constraint.clone(),
+        epsilon: 0.1,
+        bounds: DistanceBounds::new(0.05, 20.0).unwrap(),
+        metric: Metric::Manhattan,
+    };
+    let mut out = String::new();
+    for shards in [1usize, 3] {
+        let mut alg: ShardedStream<Sfdm2> = ShardedStream::new(config.clone(), shards).unwrap();
+        for e in &elements {
+            alg.insert(e);
+        }
+        let sol = alg.finalize().unwrap();
+        assert!(constraint.is_satisfied_by(&sol.group_counts(3)));
+        out.push_str(&summarize(&format!("sfdm2 shards={shards}"), 3, &sol));
+        out.push('\n');
+    }
+    check_golden("sfdm2_three_groups.expected", &out);
+}
+
+#[test]
+fn golden_sliding_window() {
+    let elements = load("stream_window.csv");
+    let constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+    let mut alg = SlidingWindowFdm::new(
+        Sfdm2Config {
+            constraint: constraint.clone(),
+            epsilon: 0.1,
+            bounds: DistanceBounds::new(0.05, 20.0).unwrap(),
+            metric: Metric::Euclidean,
+        },
+        80,
+    )
+    .unwrap();
+    let mut out = String::new();
+    for (i, e) in elements.iter().enumerate() {
+        alg.insert(e);
+        // Snapshot the window solution at fixed checkpoints.
+        if [99usize, 199].contains(&i) {
+            let sol = alg.finalize().unwrap();
+            assert!(constraint.is_satisfied_by(&sol.group_counts(2)));
+            out.push_str(&summarize(&format!("window after={}", i + 1), 2, &sol));
+            out.push('\n');
+        }
+    }
+    check_golden("sliding_window.expected", &out);
+}

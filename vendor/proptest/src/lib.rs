@@ -67,9 +67,16 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable by the `PROPTEST_CASES` environment variable
+    /// (like real proptest) so CI can pin a fixed, fast case count.
     fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256);
         ProptestConfig {
-            cases: 256,
+            cases,
             max_global_rejects: 65_536,
         }
     }
@@ -171,6 +178,20 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng().random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($name:ident),+)),+) => {$(

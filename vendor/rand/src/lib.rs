@@ -112,6 +112,30 @@ macro_rules! impl_int_range {
 
 impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_int_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = self.into_inner();
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                // Rejection sampling on the top bits to avoid modulo bias.
+                let zone = u128::from(u64::MAX) + 1;
+                let limit = zone - zone % span;
+                loop {
+                    let v = u128::from(rng.next_u64());
+                    if v < limit {
+                        return (start as i128 + (v % span) as i128) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
 impl SampleRange<f64> for Range<f64> {
     #[inline]
     fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {

@@ -2,24 +2,30 @@
 //!
 //! Provides the narrow parallel-iterator surface this workspace uses —
 //! `par_iter()` / `par_iter_mut()` on slices, `into_par_iter()` on ranges
-//! and vectors, with `map` / `for_each` / `collect` — implemented with
-//! `std::thread::scope` over contiguous chunks. Results preserve input
-//! order, so `collect` is deterministic regardless of scheduling. There is
-//! no work stealing; items are split eagerly into one chunk per available
-//! core, which fits this workspace's uniform per-item workloads.
+//! and vectors, with `map` / `for_each` / `collect`, plus `join` — executed
+//! on a lazily-initialized persistent work-stealing pool ([`pool`]). Earlier
+//! revisions spawned scoped threads per call; the pool removes that per-call
+//! setup cost, which dominated the fine-grained parallel rounds of the
+//! streaming guess ladder. Results preserve input order, so `collect` is
+//! deterministic regardless of scheduling, and every entry point falls back
+//! to inline execution when the pool is unavailable (single hardware
+//! thread, `RAYON_NUM_THREADS=1`, or worker spawn failure).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
-use std::num::NonZeroUsize;
+pub mod pool;
 
-/// Number of worker threads used for parallel operations.
+/// Number of worker threads used for parallel operations (1 when running
+/// inline without a pool).
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    pool::global().map_or(1, pool::ThreadPool::num_threads)
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// On the pool, `b` is spawned onto the current worker's deque (stealable
+/// by idle workers) while `a` runs inline; the caller helps execute pool
+/// jobs until `b` finishes. Without a pool both run inline.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -27,11 +33,27 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+    let Some(pool) = pool::global() else {
         let ra = a();
-        (ra, hb.join().expect("rayon-stub join worker panicked"))
-    })
+        let rb = b();
+        return (ra, rb);
+    };
+    let slot_b: std::sync::Mutex<Option<RB>> = std::sync::Mutex::new(None);
+    let mut ra: Option<RA> = None;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {
+        *slot_b.lock().unwrap() = Some(b());
+    })];
+    // Run `a` on this thread while the batch executes; `run_scoped` then
+    // helps with (and waits for) `b`.
+    let a_holder = &mut ra;
+    pool.run_scoped_with(tasks, move || *a_holder = Some(a()));
+    (
+        ra.expect("join: `a` ran on the calling thread"),
+        slot_b
+            .into_inner()
+            .unwrap()
+            .expect("join: `b` completed before run_scoped returned"),
+    )
 }
 
 fn par_map_indexed<I, O, F>(items: Vec<I>, f: F) -> Vec<O>
@@ -44,36 +66,40 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    let Some(pool) = pool::global() else {
+        return items.into_iter().map(f).collect();
+    };
+    let threads = pool.num_threads();
+    if threads <= 1 || n < 2 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(threads);
+    // More chunks than workers so the stealing deques can rebalance
+    // non-uniform per-item costs; capped so tiny inputs stay cheap.
+    let chunks = (threads * 4).min(n);
+    let chunk = n.div_ceil(chunks);
     let mut results: Vec<Option<O>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
     // Move items into an option buffer so chunks can take ownership.
     let mut item_buf: Vec<Option<I>> = items.into_iter().map(Some).collect();
-    std::thread::scope(|scope| {
+    {
         let mut item_tail: &mut [Option<I>] = &mut item_buf;
         let mut result_tail: &mut [Option<O>] = &mut results;
         let f = &f;
-        let mut handles = Vec::new();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(chunks);
         while !item_tail.is_empty() {
             let take = chunk.min(item_tail.len());
             let (item_head, rest_items) = item_tail.split_at_mut(take);
             let (result_head, rest_results) = result_tail.split_at_mut(take);
             item_tail = rest_items;
             result_tail = rest_results;
-            handles.push(scope.spawn(move || {
+            tasks.push(Box::new(move || {
                 for (slot, item) in result_head.iter_mut().zip(item_head.iter_mut()) {
                     *slot = Some(f(item.take().expect("item taken twice")));
                 }
             }));
         }
-        for h in handles {
-            h.join().expect("rayon-stub worker panicked");
-        }
-    });
+        pool.run_scoped(tasks);
+    }
     results
         .into_iter()
         .map(|o| o.expect("worker filled every slot"))
@@ -225,7 +251,10 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    use super::pool::ThreadPool;
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
 
     #[test]
     fn map_preserves_order() {
@@ -260,5 +289,149 @@ mod tests {
         let v: Vec<usize> = Vec::new();
         let out: Vec<usize> = v.into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_runs_scoped_borrowing_tasks() {
+        let pool = ThreadPool::new(4).unwrap();
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..64)
+            .map(|i| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(i, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), (0..64).sum());
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        // The same worker threads serve every batch: collect the set of
+        // thread ids over many rounds and check it stays within pool size.
+        let pool = ThreadPool::new(3).unwrap();
+        let seen = Mutex::new(std::collections::HashSet::new());
+        for _ in 0..20 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|_| {
+                    let seen = &seen;
+                    Box::new(move || {
+                        seen.lock().unwrap().insert(std::thread::current().id());
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }
+        // 3 workers + the helping caller.
+        assert!(seen.lock().unwrap().len() <= 4);
+    }
+
+    #[test]
+    fn unbalanced_tasks_complete() {
+        // One long task plus many short ones: stealing (or helping) must
+        // finish the short tail while the long task runs.
+        let pool = ThreadPool::new(2).unwrap();
+        let done = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..32)
+            .map(|i| {
+                let done = &done;
+                Box::new(move || {
+                    if i == 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn panics_propagate_after_batch_completes() {
+        let pool = ThreadPool::new(2).unwrap();
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|i| {
+                    let completed = &completed;
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "the task panic must surface");
+        // Every non-panicking task still ran: the batch drains fully even
+        // when one member dies.
+        assert_eq!(completed.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn single_worker_pool_cannot_deadlock() {
+        let pool = ThreadPool::new(1).unwrap();
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn nested_batches_use_local_deques() {
+        // Tasks submitting sub-batches from worker threads push onto the
+        // worker's own deque; the worker helps (and thieves steal) until
+        // everything drains — no deadlock, full completion.
+        let pool = ThreadPool::new(3).unwrap();
+        let total = AtomicUsize::new(0);
+        let outer: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+            .map(|_| {
+                let (pool, total) = (&pool, &total);
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                        .map(|_| {
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run_scoped(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(outer);
+        assert_eq!(total.load(Ordering::SeqCst), 48);
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_workers() {
+        let pool = ThreadPool::new(2).unwrap();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = vec![Box::new(|| {})];
+        pool.run_scoped(tasks);
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn global_fallback_is_inline_when_single_threaded() {
+        // Whatever the box, current_num_threads() is consistent with the
+        // global pool's availability.
+        let n = super::current_num_threads();
+        match super::pool::global() {
+            Some(pool) => assert_eq!(n, pool.num_threads()),
+            None => assert_eq!(n, 1),
+        }
     }
 }

@@ -1,0 +1,347 @@
+//! A persistent work-stealing thread pool.
+//!
+//! PR 1's scoped-spawn model paid thread creation and teardown on every
+//! parallel call — cheap enough for one-shot batch jobs, but the streaming
+//! guess ladder issues thousands of small parallel rounds per stream, and
+//! the setup cost ate the multi-core win. This module keeps one
+//! lazily-initialized pool for the process lifetime:
+//!
+//! * a global **injector** queue that external callers push batches into;
+//! * one **local deque** per worker: tasks spawned from a worker (nested
+//!   `join`) push there LIFO, and idle workers **steal** FIFO from the
+//!   other ends, so imbalanced batches rebalance themselves;
+//! * callers submitting a batch **help** run tasks while they wait, so a
+//!   single-worker pool (or a pool saturated by another batch) can never
+//!   deadlock a nested submission.
+//!
+//! Scoped borrows on a persistent pool require one carefully fenced
+//! lifetime erasure (`erase_job`): a batch's tasks may borrow the
+//! submitter's stack because [`ThreadPool::run_scoped`] does not return
+//! until every task has finished running (panics included — they are
+//! caught, counted, and re-thrown on the submitting thread).
+//!
+//! Pool initialization is fallible by design: if worker threads cannot be
+//! spawned (or only one hardware thread exists), [`global`] yields `None`
+//! and every caller falls back to inline execution.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of pool work. Tasks are erased to `'static` by the scoped entry
+/// points, which guarantee completion before the true lifetime ends.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the workers, the queues, and submitting threads.
+struct Shared {
+    /// Global FIFO that external submissions enter through.
+    injector: Mutex<VecDeque<Job>>,
+    /// One deque per worker: owner pushes/pops the back, thieves pop the
+    /// front.
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards the sleep protocol; `sleepers` counts parked workers.
+    sleep: Mutex<usize>,
+    /// Workers park here when no runnable job exists anywhere.
+    wake: Condvar,
+    /// Set once on pool drop; workers exit after draining.
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pops a runnable job: own deque first (LIFO), then the injector,
+    /// then stealing (FIFO) from the other workers, scanning from a
+    /// position derived from the caller so thieves spread out.
+    fn find_job(&self, worker: Option<usize>) -> Option<Job> {
+        if let Some(w) = worker {
+            if let Some(job) = self.locals[w].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.locals.len();
+        let start = worker.map_or(0, |w| w + 1);
+        for i in 0..n {
+            let victim = (start + i) % n;
+            if Some(victim) == worker {
+                continue;
+            }
+            if let Some(job) = self.locals[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Enqueues one job from the current thread: a worker spawns onto its
+    /// own deque (stealable from the far end), anyone else goes through
+    /// the injector. Wakes one sleeper per job — a batch of N pushes
+    /// therefore wakes up to N workers, one each.
+    fn push_job(&self, job: Job) {
+        match current_worker() {
+            Some(w) if w < self.locals.len() => self.locals[w].lock().unwrap().push_back(job),
+            _ => self.injector.lock().unwrap().push_back(job),
+        }
+        self.notify();
+    }
+
+    /// Wakes one parked worker, if any.
+    fn notify(&self) {
+        let sleepers = self.sleep.lock().unwrap();
+        if *sleepers > 0 {
+            drop(sleepers);
+            self.wake.notify_one();
+        }
+    }
+}
+
+thread_local! {
+    /// Index of the pool worker running on this thread, if any.
+    static WORKER_INDEX: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+fn current_worker() -> Option<usize> {
+    WORKER_INDEX.with(|w| w.get())
+}
+
+/// Tracks one scoped batch: tasks remaining and the first caught panic.
+struct Batch {
+    state: Mutex<BatchState>,
+    done: Condvar,
+}
+
+struct BatchState {
+    remaining: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+impl Batch {
+    fn new(tasks: usize) -> Arc<Batch> {
+        Arc::new(Batch {
+            state: Mutex::new(BatchState {
+                remaining: tasks,
+                panic: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Records one finished task (and its panic payload, if first).
+    fn complete(&self, panic: Option<Box<dyn std::any::Any + Send>>) {
+        let mut state = self.state.lock().unwrap();
+        state.remaining -= 1;
+        if state.panic.is_none() {
+            state.panic = panic;
+        }
+        if state.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Erases a scoped job to `'static`.
+///
+/// # Safety
+///
+/// The caller must not return (or otherwise invalidate the borrows captured
+/// by `job`) until the job has finished executing. `run_scoped` upholds this
+/// by blocking on the batch latch, which is decremented only after the job
+/// returns or panics.
+#[allow(unsafe_code)]
+fn erase_job<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    // SAFETY: see above; completion-before-return is enforced by the
+    // Batch latch in `run_scoped`, including on panic (catch_unwind).
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+            job,
+        )
+    }
+}
+
+/// The persistent pool. See the module docs.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `threads` workers (at least 1). Fails if any
+    /// worker thread cannot be created; already-spawned workers are torn
+    /// down before the error is returned.
+    pub fn new(threads: usize) -> std::io::Result<ThreadPool> {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(0),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("fdm-rayon-{index}"))
+                .spawn(move || worker_loop(&worker_shared, index));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.wake.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ThreadPool { shared, workers })
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every task to completion on the pool, helping from the calling
+    /// thread while waiting. Tasks may borrow from the caller's stack.
+    /// The first panicking task's payload is re-thrown here after the
+    /// whole batch has finished.
+    pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        self.run_scoped_with(tasks, || {});
+    }
+
+    /// Like [`ThreadPool::run_scoped`], but runs `main` on the calling
+    /// thread after submitting the tasks and before helping/waiting — the
+    /// building block of `join` (submit `b`, run `a` inline). The batch is
+    /// always drained before returning, even if `main` panics, so scoped
+    /// borrows stay valid.
+    pub fn run_scoped_with<'scope, M: FnOnce()>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+        main: M,
+    ) {
+        if tasks.is_empty() {
+            main();
+            return;
+        }
+        let batch = Batch::new(tasks.len());
+        for task in tasks {
+            let batch = Arc::clone(&batch);
+            self.shared.push_job(erase_job(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                batch.complete(result.err());
+            })));
+        }
+        let main_result = catch_unwind(AssertUnwindSafe(main));
+        self.wait_for(&batch);
+        if let Err(payload) = main_result {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Helps run pool jobs until the batch completes, then re-throws its
+    /// first panic (if any).
+    fn wait_for(&self, batch: &Batch) {
+        loop {
+            if batch.state.lock().unwrap().remaining == 0 {
+                break;
+            }
+            if let Some(job) = self.shared.find_job(current_worker()) {
+                job();
+                continue;
+            }
+            let state = batch.state.lock().unwrap();
+            if state.remaining == 0 {
+                break;
+            }
+            // Short timeout: new stealable jobs give no batch notification,
+            // so wake periodically to help with them.
+            let _ = batch
+                .done
+                .wait_timeout(state, Duration::from_micros(200))
+                .unwrap();
+        }
+        let panic = batch.state.lock().unwrap().panic.take();
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        if let Some(job) = shared.find_job(Some(index)) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let sleepers = shared.sleep.lock().unwrap();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Re-scan with the sleep lock held: a pusher notifies under this
+        // lock, so a job pushed between the failed scan above and here is
+        // either found now, or its notify happens after we register as a
+        // sleeper and wakes us. (Pushers never hold a queue lock while
+        // taking the sleep lock, so scanning under it cannot deadlock.)
+        if let Some(job) = shared.find_job(Some(index)) {
+            drop(sleepers);
+            job();
+            continue;
+        }
+        let mut sleepers = sleepers;
+        *sleepers += 1;
+        let (mut sleepers_after, _) = shared
+            .wake
+            .wait_timeout(sleepers, Duration::from_millis(10))
+            .unwrap();
+        *sleepers_after -= 1;
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The process-wide pool, created on first use. `None` when only one
+/// hardware thread is available, when `RAYON_NUM_THREADS=1`/`0`, or when
+/// worker spawning failed — callers then execute inline.
+pub fn global() -> Option<&'static ThreadPool> {
+    static GLOBAL: OnceLock<Option<ThreadPool>> = OnceLock::new();
+    GLOBAL
+        .get_or_init(|| {
+            let threads = configured_threads();
+            if threads <= 1 {
+                return None;
+            }
+            ThreadPool::new(threads).ok()
+        })
+        .as_ref()
+}
+
+/// Worker count for the global pool: `RAYON_NUM_THREADS` when set and
+/// valid, otherwise the hardware parallelism.
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n;
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
