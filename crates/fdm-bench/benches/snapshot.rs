@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of snapshot/restore persistence: capture
+//! (state → value tree → JSON text), restore (JSON text → validated
+//! summary), and the full round trip, on an SFDM2 summary fed the same
+//! 5 000-element workload as `stream_insert`'s headline case.
+//!
+//! The paper's space bound is what makes this cheap: the summary holds
+//! `O(m·k·log ∆/ε)` elements regardless of how long the stream ran, so
+//! checkpoint cost is flat in stream length — worth pinning with a bench
+//! so a persistence regression (e.g. accidentally serializing per-arrival
+//! scratch state) shows up as a step change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::persist::{Snapshot, Snapshottable};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::ShardedStream;
+use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
+use std::hint::black_box;
+
+const STREAM: usize = 5_000;
+
+fn loaded_sfdm2(dim: usize) -> Sfdm2 {
+    let data = synthetic_blobs(SyntheticConfig {
+        n: STREAM,
+        m: 2,
+        blobs: 10,
+        seed: 1,
+        dim,
+    })
+    .unwrap();
+    let mut alg = Sfdm2::new(Sfdm2Config {
+        constraint: FairnessConstraint::equal_representation(20, 2).unwrap(),
+        epsilon: 0.1,
+        bounds: data.sampled_distance_bounds(300, 4.0).unwrap(),
+        metric: data.metric(),
+    })
+    .unwrap();
+    for e in data.iter() {
+        alg.insert(&e);
+    }
+    alg
+}
+
+fn bench_snapshot_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot");
+    for dim in [16usize, 128] {
+        let alg = loaded_sfdm2(dim);
+        let text = alg.snapshot().to_json();
+        group.bench_with_input(BenchmarkId::new("capture_d", dim), &dim, |b, _| {
+            b.iter(|| black_box(&alg).snapshot().to_json().len())
+        });
+        group.bench_with_input(BenchmarkId::new("restore_d", dim), &dim, |b, _| {
+            b.iter(|| {
+                let snap = Snapshot::from_json(black_box(&text)).unwrap();
+                Sfdm2::restore(&snap).unwrap().stored_elements()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip_d", dim), &dim, |b, _| {
+            b.iter(|| {
+                let text = black_box(&alg).snapshot().to_json();
+                let snap = Snapshot::from_json(&text).unwrap();
+                Sfdm2::restore(&snap).unwrap().stored_elements()
+            })
+        });
+    }
+    // Sharded wrapper: K shard states in one envelope.
+    let data = synthetic_blobs(SyntheticConfig {
+        n: STREAM,
+        m: 2,
+        blobs: 10,
+        seed: 1,
+        dim: 16,
+    })
+    .unwrap();
+    let config = Sfdm2Config {
+        constraint: FairnessConstraint::equal_representation(20, 2).unwrap(),
+        epsilon: 0.1,
+        bounds: data.sampled_distance_bounds(300, 4.0).unwrap(),
+        metric: data.metric(),
+    };
+    let mut sharded: ShardedStream<Sfdm2> = ShardedStream::new(config, 4).unwrap();
+    for e in data.iter() {
+        sharded.insert(&e);
+    }
+    group.bench_function("roundtrip_sharded_k4_d16", |b| {
+        b.iter(|| {
+            let text = black_box(&sharded).snapshot().to_json();
+            let snap = Snapshot::from_json(&text).unwrap();
+            ShardedStream::<Sfdm2>::restore(&snap)
+                .unwrap()
+                .stored_elements()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_roundtrip);
+criterion_main!(benches);

@@ -8,7 +8,13 @@
 //!   (default 20, the paper's Table II setting);
 //! * `--seed N` — dataset generation seed (default 42);
 //! * `--shards N` — shard count for the streaming algorithms (default 1 =
-//!   unsharded; K > 1 routes streams through `ShardedStream`).
+//!   unsharded; K > 1 routes streams through `ShardedStream`);
+//! * `--snapshot-every N` — checkpoint each streaming run every N arrivals
+//!   (table2 writes `results/snapshots/table2-<algo>-<dataset>.snap`);
+//! * `--restore-from PATH` — resume each streaming run from a snapshot
+//!   (the already-processed prefix of the permuted stream is skipped, so a
+//!   resumed run finishes with results identical to an uninterrupted one;
+//!   incompatible snapshots are rejected with a typed error).
 
 use crate::workloads::SizeMode;
 
@@ -25,6 +31,11 @@ pub struct Options {
     pub seed: u64,
     /// Shard count for the streaming algorithms (1 = unsharded).
     pub shards: usize,
+    /// Checkpoint cadence for the streaming algorithms (arrivals between
+    /// snapshots); `None` disables checkpointing.
+    pub snapshot_every: Option<usize>,
+    /// Snapshot to resume the streaming runs from.
+    pub restore_from: Option<String>,
 }
 
 impl Default for Options {
@@ -35,6 +46,8 @@ impl Default for Options {
             k: 20,
             seed: 42,
             shards: 1,
+            snapshot_every: None,
+            restore_from: None,
         }
     }
 }
@@ -55,9 +68,19 @@ impl Options {
                 "--k" => opts.k = take_num(&mut args, "--k")? as usize,
                 "--seed" => opts.seed = take_num(&mut args, "--seed")?,
                 "--shards" => opts.shards = take_num(&mut args, "--shards")? as usize,
+                "--snapshot-every" => {
+                    opts.snapshot_every = Some(take_num(&mut args, "--snapshot-every")? as usize)
+                }
+                "--restore-from" => {
+                    opts.restore_from = Some(
+                        args.next()
+                            .ok_or_else(|| "--restore-from requires a path".to_string())?,
+                    )
+                }
                 "--help" | "-h" => {
                     return Err(
-                        "usage: [--quick|--full] [--trials N] [--k N] [--seed N] [--shards N]"
+                        "usage: [--quick|--full] [--trials N] [--k N] [--seed N] [--shards N] \
+                         [--snapshot-every N] [--restore-from PATH]"
                             .to_string(),
                     )
                 }
@@ -69,6 +92,9 @@ impl Options {
         }
         if opts.shards == 0 {
             return Err("--shards must be at least 1".to_string());
+        }
+        if opts.snapshot_every == Some(0) {
+            return Err("--snapshot-every must be at least 1".to_string());
         }
         Ok(opts)
     }
@@ -133,6 +159,18 @@ mod tests {
         assert!(parse(&["--trials"]).is_err());
         assert!(parse(&["--trials", "abc"]).is_err());
         assert!(parse(&["--trials", "0"]).is_err());
+        assert!(parse(&["--snapshot-every", "0"]).is_err());
+        assert!(parse(&["--restore-from"]).is_err());
+    }
+
+    #[test]
+    fn parses_persistence_flags() {
+        let o = parse(&["--snapshot-every", "500", "--restore-from", "/tmp/x.snap"]).unwrap();
+        assert_eq!(o.snapshot_every, Some(500));
+        assert_eq!(o.restore_from.as_deref(), Some("/tmp/x.snap"));
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.snapshot_every, None);
+        assert_eq!(o.restore_from, None);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! * **space** — number of distinct stored elements (streaming only; the
 //!   offline baselines keep the whole dataset, i.e. `n`).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use fdm_core::balance::SwapStrategy;
@@ -19,6 +20,7 @@ use fdm_core::offline::fair_flow::{FairFlow, FairFlowConfig};
 use fdm_core::offline::fair_gmm::{FairGmm, FairGmmConfig};
 use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 use fdm_core::offline::gmm::gmm;
+use fdm_core::persist::{Snapshot, Snapshottable};
 use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
@@ -95,6 +97,23 @@ impl RunResult {
     }
 }
 
+/// Snapshot/restore options for the streaming runs (the `--snapshot-every`
+/// / `--restore-from` CLI flags land here).
+#[derive(Debug, Clone, Default)]
+pub struct PersistOpts {
+    /// Checkpoint the summary every N ingested arrivals.
+    pub snapshot_every: Option<usize>,
+    /// Where periodic checkpoints are written (required when
+    /// `snapshot_every` is set; overwritten in place, latest wins).
+    pub snapshot_path: Option<PathBuf>,
+    /// Resume from this snapshot: the summary is restored (after a
+    /// compatibility check against the run's own configuration — a
+    /// mismatching snapshot is a typed error, never garbage distances) and
+    /// the already-processed prefix of the permuted stream is skipped, so
+    /// the resumed run finishes bit-identically to an uninterrupted one.
+    pub restore_from: Option<PathBuf>,
+}
+
 /// Parameters shared by all runs of one experiment cell.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -109,6 +128,9 @@ pub struct RunConfig {
     /// (bit-identical to the plain algorithm); K > 1 routes the stream
     /// through [`ShardedStream`] with chunked batch ingestion.
     pub shards: usize,
+    /// Snapshot/restore options for the streaming algorithms (checkpoint
+    /// cost is part of the measured update time).
+    pub persist: PersistOpts,
 }
 
 /// Runs one algorithm once and measures it.
@@ -212,27 +234,67 @@ pub fn run_algorithm(dataset: &Dataset, algo: Algo, config: &RunConfig) -> Resul
 /// path, bit-identical to the plain algorithm); `shards > 1` pre-
 /// materializes the stream and ingests fixed-size batches so the shard
 /// fan-out can run concurrently on the persistent pool.
-fn run_sharded_streaming<S: ShardAlgorithm>(
+fn run_sharded_streaming<S: ShardAlgorithm + Snapshottable>(
     algo: Algo,
     dataset: &Dataset,
     alg_config: &S::Config,
     run: &RunConfig,
 ) -> Result<RunResult> {
     let shards = run.shards.max(1);
-    let mut alg: ShardedStream<S> = ShardedStream::new(alg_config.clone(), shards)?;
+    let mut alg: ShardedStream<S> = match &run.persist.restore_from {
+        Some(path) => {
+            // Check the snapshot against this run's own configuration
+            // *before* trusting its state: a wrong-algorithm/ε/metric/
+            // quota snapshot must be a typed error, not garbage distances.
+            let snapshot = Snapshot::read_from_file(path)?;
+            let fresh: ShardedStream<S> = ShardedStream::new(alg_config.clone(), shards)?;
+            snapshot
+                .params
+                .ensure_compatible(&fresh.snapshot_params())?;
+            // The fresh instance hasn't seen data, so its dimension is the
+            // 0 wildcard and `ensure_compatible` cannot vet it — but the
+            // dataset's dimensionality is known here, and a mismatch would
+            // panic in the arena on the first suffix element.
+            if snapshot.params.dim != 0 && snapshot.params.dim != dataset.dim() {
+                return Err(fdm_core::FdmError::IncompatibleSnapshot {
+                    detail: format!(
+                        "snapshot holds {}-dimensional points, dataset is {}-dimensional",
+                        snapshot.params.dim,
+                        dataset.dim()
+                    ),
+                });
+            }
+            ShardedStream::restore(&snapshot)?
+        }
+        None => ShardedStream::new(alg_config.clone(), shards)?,
+    };
     let order = shuffled_indices(dataset.len(), run.seed);
     // Pre-materialize the permuted stream for *both* paths so the measured
     // update time covers only algorithm work — comparisons across shard
     // counts stay apples-to-apples.
     let elements: Vec<Element> = stream_elements(dataset, &order).collect();
+    // Resume semantics: the restored summary already processed a prefix of
+    // this permutation; only the remaining suffix is ingested.
+    let skip = alg.processed().min(elements.len());
+    let suffix = &elements[skip..];
+    if let Some(path) = &run.persist.snapshot_path {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| fdm_core::FdmError::SnapshotIo {
+                detail: format!("create snapshot dir {}: {e}", dir.display()),
+            })?;
+        }
+    }
+    let mut checkpointer = Checkpointer::new(&run.persist)?;
     let start = Instant::now();
     if shards == 1 {
-        for e in &elements {
+        for e in suffix {
             alg.insert(e);
+            checkpointer.after_ingest(&alg, 1)?;
         }
     } else {
-        for chunk in elements.chunks(SHARD_BATCH) {
+        for chunk in suffix.chunks(SHARD_BATCH) {
             alg.insert_batch(chunk);
+            checkpointer.after_ingest(&alg, chunk.len())?;
         }
     }
     let stream_time = start.elapsed().as_secs_f64();
@@ -243,10 +305,45 @@ fn run_sharded_streaming<S: ShardAlgorithm>(
         algo: algo.name(),
         diversity: sol.diversity,
         total_time_s: stream_time + post_time,
-        update_time_s: Some(stream_time / dataset.len().max(1) as f64),
+        update_time_s: Some(stream_time / suffix.len().max(1) as f64),
         post_time_s: Some(post_time),
         stored_elements: Some(alg.stored_elements()),
     })
+}
+
+/// Periodic checkpoint writer for the streaming runs.
+struct Checkpointer<'a> {
+    every: Option<usize>,
+    path: Option<&'a PathBuf>,
+    since_snapshot: usize,
+}
+
+impl<'a> Checkpointer<'a> {
+    fn new(persist: &'a PersistOpts) -> Result<Self> {
+        if persist.snapshot_every.is_some() && persist.snapshot_path.is_none() {
+            return Err(fdm_core::FdmError::SnapshotIo {
+                detail: "snapshot_every set without a snapshot_path".to_string(),
+            });
+        }
+        Ok(Checkpointer {
+            every: persist.snapshot_every,
+            path: persist.snapshot_path.as_ref(),
+            since_snapshot: 0,
+        })
+    }
+
+    fn after_ingest<T: Snapshottable>(&mut self, alg: &T, ingested: usize) -> Result<()> {
+        let Some(every) = self.every else {
+            return Ok(());
+        };
+        self.since_snapshot += ingested;
+        if self.since_snapshot >= every {
+            let path = self.path.expect("validated in Checkpointer::new");
+            alg.snapshot().write_to_file(path)?;
+            self.since_snapshot = 0;
+        }
+        Ok(())
+    }
 }
 
 /// Runs an algorithm over several stream permutations and averages every
@@ -273,7 +370,42 @@ pub fn run_averaged_sharded(
     trials: usize,
     shards: usize,
 ) -> Result<RunResult> {
+    run_averaged_sharded_persist(
+        dataset,
+        algo,
+        constraint,
+        epsilon,
+        trials,
+        shards,
+        &PersistOpts::default(),
+    )
+}
+
+/// [`run_averaged_sharded`] with snapshot/restore options (the
+/// `--snapshot-every` / `--restore-from` CLI flags land here; offline
+/// algorithms ignore them). Restoring requires `trials == 1`: each trial
+/// streams a different permutation, and a checkpoint from one permutation
+/// cannot resume another.
+pub fn run_averaged_sharded_persist(
+    dataset: &Dataset,
+    algo: Algo,
+    constraint: &FairnessConstraint,
+    epsilon: f64,
+    trials: usize,
+    shards: usize,
+    persist: &PersistOpts,
+) -> Result<RunResult> {
     assert!(trials > 0);
+    if persist.restore_from.is_some() && trials > 1 {
+        // Silently averaging resumed-from-the-wrong-permutation runs would
+        // be wrong in a way no later check catches; refuse up front.
+        return Err(fdm_core::FdmError::IncompatibleSnapshot {
+            detail: format!(
+                "restore-from requires a single trial (got {trials}): each trial streams a \
+                 different permutation, so a checkpoint of one cannot resume another"
+            ),
+        });
+    }
     let mut acc: Option<RunResult> = None;
     for seed in 0..trials as u64 {
         let r = run_algorithm(
@@ -284,6 +416,7 @@ pub fn run_averaged_sharded(
                 epsilon,
                 seed,
                 shards,
+                persist: persist.clone(),
             },
         )?;
         acc = Some(match acc {
@@ -355,6 +488,7 @@ mod tests {
                     epsilon: 0.1,
                     seed: 0,
                     shards: 1,
+                    persist: Default::default(),
                 },
             )
             .unwrap_or_else(|e| panic!("{algo:?} failed: {e}"));
@@ -377,6 +511,7 @@ mod tests {
                 epsilon: 0.1,
                 seed: 0,
                 shards: 1,
+                persist: Default::default(),
             },
         )
         .unwrap();
@@ -389,6 +524,7 @@ mod tests {
                 epsilon: 0.1,
                 seed: 0,
                 shards: 1,
+                persist: Default::default(),
             },
         )
         .unwrap();
@@ -402,6 +538,61 @@ mod tests {
         let r = run_averaged(&d, Algo::Sfdm2, &c, 0.1, 3).unwrap();
         assert!(r.diversity > 0.0);
         assert!(r.stored_elements.unwrap() > 0);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_matches_uninterrupted_run() {
+        let d = dataset();
+        let c = FairnessConstraint::new(vec![3, 3]).unwrap();
+        let dir = std::env::temp_dir().join(format!("fdm_measure_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = dir.join("sfdm2.snap");
+
+        let base = RunConfig {
+            constraint: c.clone(),
+            epsilon: 0.1,
+            seed: 0,
+            shards: 1,
+            persist: Default::default(),
+        };
+        let reference = run_algorithm(&d, Algo::Sfdm2, &base).unwrap();
+
+        // Checkpointing run: identical results, snapshot file left behind
+        // (the last checkpoint lands at arrival 1400 of the 1500).
+        let mut ckpt = base.clone();
+        ckpt.persist.snapshot_every = Some(700);
+        ckpt.persist.snapshot_path = Some(snap.clone());
+        let checkpointed = run_algorithm(&d, Algo::Sfdm2, &ckpt).unwrap();
+        assert_eq!(reference.diversity, checkpointed.diversity);
+        assert!(snap.exists(), "checkpoint file must be written");
+
+        // Resumed run: restore the 1400-arrival checkpoint, skip the
+        // processed prefix, ingest the remaining 100 elements, and land on
+        // the identical solution.
+        let mut resume = base.clone();
+        resume.persist.restore_from = Some(snap.clone());
+        let resumed = run_algorithm(&d, Algo::Sfdm2, &resume).unwrap();
+        assert_eq!(reference.diversity, resumed.diversity);
+        assert_eq!(reference.stored_elements, resumed.stored_elements);
+
+        // A mismatching configuration must be rejected, not ingested.
+        let mut wrong = resume.clone();
+        wrong.constraint = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let err = run_algorithm(&d, Algo::Sfdm2, &wrong).unwrap_err();
+        assert!(
+            matches!(err, fdm_core::FdmError::IncompatibleSnapshot { .. }),
+            "{err}"
+        );
+
+        // Restoring across multiple trials (different permutations) must
+        // be refused, not silently averaged.
+        let err = run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 3, 1, &resume.persist)
+            .unwrap_err();
+        assert!(
+            matches!(err, fdm_core::FdmError::IncompatibleSnapshot { .. }),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -421,6 +612,7 @@ mod tests {
                 epsilon: 0.1,
                 seed: 1,
                 shards: 1,
+                persist: Default::default(),
             },
         )
         .unwrap();

@@ -19,7 +19,7 @@ use crate::point::{PointId, PointStore};
 
 /// How balancing picks elements to insert/delete — the paper's greedy rule
 /// versus an arbitrary (first-eligible) rule, kept for the ablation bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum SwapStrategy {
     /// Paper's rule: insert `argmax d(x, S ∩ X_u)`, delete
     /// `argmin d(x, S ∩ X_u)` (GMM-style, minimizes diversity loss).

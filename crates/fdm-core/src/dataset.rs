@@ -46,6 +46,31 @@ impl DistanceBounds {
     }
 }
 
+impl serde::Serialize for DistanceBounds {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("lower".to_string(), serde::Serialize::to_value(&self.lower));
+        map.insert("upper".to_string(), serde::Serialize::to_value(&self.upper));
+        serde::Value::Object(map)
+    }
+}
+
+// Hand-written (rather than derived) so restored bounds re-run the
+// constructor's validation: `lower ≤ 0`, non-finite, or inverted bounds in a
+// tampered snapshot must surface as an error, not loop the guess ladder.
+impl serde::Deserialize for DistanceBounds {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let get = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{key}`")))
+        };
+        let lower = <f64 as serde::Deserialize>::from_value(get("lower")?)?;
+        let upper = <f64 as serde::Deserialize>::from_value(get("upper")?)?;
+        DistanceBounds::new(lower, upper).map_err(serde::DeError::custom)
+    }
+}
+
 /// Incremental [`Dataset`] construction: rows are validated and appended
 /// straight into the point arena.
 #[derive(Debug)]

@@ -77,6 +77,32 @@ pub enum FdmError {
     },
     /// A sharded stream needs at least one shard.
     InvalidShardCount,
+    /// A snapshot file could not be read or written.
+    SnapshotIo {
+        /// Human-readable description (path + OS error).
+        detail: String,
+    },
+    /// A snapshot document is malformed: bad magic, truncated/invalid JSON,
+    /// missing fields, or internally inconsistent state (e.g. a candidate
+    /// member index past the end of the stored arena).
+    CorruptSnapshot {
+        /// What failed to parse or validate.
+        detail: String,
+    },
+    /// The snapshot was written by an unknown (newer) format version.
+    UnsupportedSnapshotVersion {
+        /// Version found in the file.
+        found: u64,
+        /// Highest version this build understands.
+        supported: u64,
+    },
+    /// The snapshot is well-formed but does not match the configuration it
+    /// is being restored against: different algorithm, dimension, `ε`,
+    /// metric, distance bounds, group count/quotas, or shard count.
+    IncompatibleSnapshot {
+        /// Which parameter disagreed, with both values.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FdmError {
@@ -118,6 +144,15 @@ impl fmt::Display for FdmError {
             }
             FdmError::InvalidShardCount => {
                 write!(f, "sharded ingestion requires at least one shard")
+            }
+            FdmError::SnapshotIo { detail } => write!(f, "snapshot I/O error: {detail}"),
+            FdmError::CorruptSnapshot { detail } => write!(f, "corrupt snapshot: {detail}"),
+            FdmError::UnsupportedSnapshotVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build supports up to {supported})"
+            ),
+            FdmError::IncompatibleSnapshot { detail } => {
+                write!(f, "incompatible snapshot: {detail}")
             }
         }
     }
@@ -175,6 +210,31 @@ mod tests {
             (FdmError::NoFeasibleCandidate, "no candidate"),
             (FdmError::InvalidMinkowskiOrder { p: 0.5 }, "Minkowski"),
             (FdmError::InvalidShardCount, "at least one shard"),
+            (
+                FdmError::SnapshotIo {
+                    detail: "open /tmp/x.snap: no such file".into(),
+                },
+                "snapshot i/o",
+            ),
+            (
+                FdmError::CorruptSnapshot {
+                    detail: "bad magic".into(),
+                },
+                "corrupt snapshot",
+            ),
+            (
+                FdmError::UnsupportedSnapshotVersion {
+                    found: 9,
+                    supported: 1,
+                },
+                "unsupported snapshot version 9",
+            ),
+            (
+                FdmError::IncompatibleSnapshot {
+                    detail: "dimension 3 != 2".into(),
+                },
+                "incompatible snapshot",
+            ),
         ];
         for (err, needle) in cases {
             let msg = err.to_string();

@@ -10,15 +10,39 @@
 //!   largest-remainder so that `Σ k_i = k` and every group keeps at least
 //!   one slot (Fig. 9).
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 use crate::error::{FdmError, Result};
 
 /// A per-group quota vector `k_1..k_m` with `k = Σ k_i`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct FairnessConstraint {
     quotas: Vec<usize>,
     total: usize,
+}
+
+// Hand-written (rather than derived) so any document — in particular a
+// tampered snapshot — goes back through [`FairnessConstraint::new`]'s
+// validation, and an inconsistent cached `total` is rejected instead of
+// silently trusted.
+impl serde::Deserialize for FairnessConstraint {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let quotas_value = value
+            .get("quotas")
+            .ok_or_else(|| serde::DeError::custom("missing field `quotas`"))?;
+        let quotas = <Vec<usize> as serde::Deserialize>::from_value(quotas_value)?;
+        let constraint = FairnessConstraint::new(quotas).map_err(serde::DeError::custom)?;
+        if let Some(total) = value.get("total") {
+            let total = <usize as serde::Deserialize>::from_value(total)?;
+            if total != constraint.total {
+                return Err(serde::DeError::custom(format!(
+                    "quota total {total} does not match sum {}",
+                    constraint.total
+                )));
+            }
+        }
+        Ok(constraint)
+    }
 }
 
 impl FairnessConstraint {

@@ -79,6 +79,7 @@ pub mod metric;
 pub mod multifair;
 pub mod offline;
 mod par;
+pub mod persist;
 pub mod point;
 pub mod solution;
 pub mod streaming;
@@ -95,6 +96,7 @@ pub mod prelude {
     pub use crate::offline::fair_gmm::{FairGmm, FairGmmConfig};
     pub use crate::offline::fair_swap::{FairSwap, FairSwapConfig};
     pub use crate::offline::gmm::{gmm, gmm_with_start};
+    pub use crate::persist::{Snapshot, SnapshotParams, Snapshottable};
     pub use crate::point::{Element, PointId, PointStore};
     pub use crate::solution::Solution;
     pub use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
@@ -107,5 +109,6 @@ pub use dataset::{Dataset, DistanceBounds};
 pub use error::{FdmError, Result};
 pub use fairness::FairnessConstraint;
 pub use metric::Metric;
+pub use persist::{Snapshot, SnapshotParams, Snapshottable};
 pub use point::{Element, PointId, PointStore};
 pub use solution::Solution;

@@ -1,0 +1,500 @@
+//! Versioned snapshot/restore persistence for the streaming summaries.
+//!
+//! The paper's central property — the summary *is* the whole recoverable
+//! state and is provably small (`O(m·k·log ∆/ε)` elements, independent of
+//! the stream length) — makes checkpointing cheap: persisting a streaming
+//! algorithm means persisting its candidate ladders and the shared
+//! [`PointStore`](crate::point::PointStore) arena, nothing else.
+//!
+//! A [`Snapshot`] is a JSON document wrapped in a versioned envelope:
+//!
+//! ```json
+//! {
+//!   "magic": "FDMSNAP",
+//!   "version": 1,
+//!   "params": { "algorithm": "sfdm2", "dim": 2, "epsilon": 0.1, ... },
+//!   "state": { ... }
+//! }
+//! ```
+//!
+//! `params` ([`SnapshotParams`]) duplicates the load-bearing configuration
+//! (algorithm tag, dimension, `ε`, metric, distance bounds, quotas, shard
+//! count) so a consumer can check compatibility *before* decoding the full
+//! state, and so a restored instance can be cross-validated against the
+//! envelope. All failure modes are typed [`FdmError`] variants — bad magic,
+//! truncated JSON, or internally inconsistent state report
+//! [`FdmError::CorruptSnapshot`]; a newer format version reports
+//! [`FdmError::UnsupportedSnapshotVersion`]; a well-formed snapshot of the
+//! wrong algorithm/dimension/parameters reports
+//! [`FdmError::IncompatibleSnapshot`] — never a panic, and never garbage
+//! distances from silently mixing dimensions.
+//!
+//! Restoring is **bit-exact**: coordinates and thresholds round-trip
+//! through JSON via Rust's shortest-round-trip `f64` formatting, the norm
+//! cache and guess ladder are rebuilt through the same code paths the
+//! original run used, and continuing an interrupted stream after
+//! restore yields solutions bit-identical to an uninterrupted run (pinned
+//! by `tests/persist.rs` and the `fdm-serve` CI job).
+//!
+//! [`Snapshottable`] is implemented by all four streaming summaries:
+//! [`StreamingDiversityMaximization`](crate::streaming::unconstrained::StreamingDiversityMaximization)
+//! (tag `unconstrained`), [`Sfdm1`](crate::streaming::sfdm1::Sfdm1) (tag
+//! `sfdm1`), [`Sfdm2`](crate::streaming::sfdm2::Sfdm2) (tag `sfdm2`), and
+//! [`ShardedStream<S>`](crate::streaming::sharded::ShardedStream) (tag
+//! `sharded:<inner>`).
+
+use std::path::Path;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::dataset::DistanceBounds;
+use crate::error::{FdmError, Result};
+use crate::metric::Metric;
+use crate::point::PointId;
+use crate::streaming::candidate::Candidate;
+
+/// Magic string identifying an FDM snapshot document.
+pub const SNAPSHOT_MAGIC: &str = "FDMSNAP";
+
+/// Highest snapshot format version this build reads and the version it
+/// writes.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
+/// The load-bearing configuration of a snapshot, stored in the envelope so
+/// compatibility can be checked without decoding the state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotParams {
+    /// Algorithm tag: `unconstrained`, `sfdm1`, `sfdm2`, or
+    /// `sharded:<inner>`.
+    pub algorithm: String,
+    /// Point dimensionality observed so far; `0` when no element has
+    /// arrived yet (any dimension is still acceptable).
+    pub dim: usize,
+    /// Guess-ladder accuracy `ε`.
+    pub epsilon: f64,
+    /// Distance metric.
+    pub metric: Metric,
+    /// Distance bounds the guess ladder was built from.
+    pub bounds: DistanceBounds,
+    /// Per-group quotas; empty for the unconstrained algorithm.
+    pub quotas: Vec<usize>,
+    /// Solution size `k` (`Σ quotas` for the fair algorithms).
+    pub k: usize,
+    /// Shard count; `1` for unsharded summaries.
+    pub shards: usize,
+}
+
+impl SnapshotParams {
+    /// Checks that a snapshot with these parameters can be restored into a
+    /// deployment expecting `live`, reporting the first mismatch as
+    /// [`FdmError::IncompatibleSnapshot`].
+    ///
+    /// `dim = 0` on either side is a wildcard: a stream that has not seen
+    /// an element yet is compatible with any dimension.
+    pub fn ensure_compatible(&self, live: &SnapshotParams) -> Result<()> {
+        let fail = |what: &str, snap: String, want: String| {
+            Err(FdmError::IncompatibleSnapshot {
+                detail: format!("{what}: snapshot has {snap}, deployment expects {want}"),
+            })
+        };
+        if self.algorithm != live.algorithm {
+            return fail(
+                "algorithm",
+                format!("`{}`", self.algorithm),
+                format!("`{}`", live.algorithm),
+            );
+        }
+        if self.dim != 0 && live.dim != 0 && self.dim != live.dim {
+            return fail("dimension", self.dim.to_string(), live.dim.to_string());
+        }
+        if self.epsilon != live.epsilon {
+            return fail(
+                "epsilon",
+                self.epsilon.to_string(),
+                live.epsilon.to_string(),
+            );
+        }
+        if self.metric != live.metric {
+            return fail(
+                "metric",
+                format!("{:?}", self.metric),
+                format!("{:?}", live.metric),
+            );
+        }
+        if self.bounds != live.bounds {
+            return fail(
+                "distance bounds",
+                format!("[{}, {}]", self.bounds.lower, self.bounds.upper),
+                format!("[{}, {}]", live.bounds.lower, live.bounds.upper),
+            );
+        }
+        if self.quotas != live.quotas {
+            return fail(
+                "group quotas",
+                format!("{:?}", self.quotas),
+                format!("{:?}", live.quotas),
+            );
+        }
+        if self.k != live.k {
+            return fail("solution size k", self.k.to_string(), live.k.to_string());
+        }
+        if self.shards != live.shards {
+            return fail(
+                "shard count",
+                self.shards.to_string(),
+                live.shards.to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+/// A versioned, self-describing checkpoint of one streaming summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Envelope parameters (see [`SnapshotParams`]).
+    pub params: SnapshotParams,
+    /// Algorithm-specific state tree.
+    pub state: Value,
+}
+
+impl Snapshot {
+    /// Serializes the snapshot (envelope + state) to compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut map = serde::Map::new();
+        map.insert("magic".to_string(), Value::String(SNAPSHOT_MAGIC.into()));
+        map.insert(
+            "version".to_string(),
+            Serialize::to_value(&SNAPSHOT_VERSION),
+        );
+        map.insert("params".to_string(), self.params.to_value());
+        map.insert("state".to_string(), self.state.clone());
+        serde_json::to_string(&Value::Object(map)).expect("value trees always serialize")
+    }
+
+    /// Parses a snapshot document, validating magic and format version.
+    pub fn from_json(text: &str) -> Result<Snapshot> {
+        let value = serde_json::parse_value(text).map_err(|e| FdmError::CorruptSnapshot {
+            detail: format!("invalid JSON: {e}"),
+        })?;
+        let magic = value.get("magic").and_then(Value::as_str).ok_or_else(|| {
+            FdmError::CorruptSnapshot {
+                detail: "missing `magic` marker".to_string(),
+            }
+        })?;
+        if magic != SNAPSHOT_MAGIC {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("bad magic `{magic}` (expected `{SNAPSHOT_MAGIC}`)"),
+            });
+        }
+        let version = value
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| FdmError::CorruptSnapshot {
+                detail: "missing `version` field".to_string(),
+            })?;
+        if version != SNAPSHOT_VERSION {
+            return Err(FdmError::UnsupportedSnapshotVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let params_value = value
+            .get("params")
+            .ok_or_else(|| FdmError::CorruptSnapshot {
+                detail: "missing `params` object".to_string(),
+            })?;
+        let params =
+            SnapshotParams::from_value(params_value).map_err(|e| FdmError::CorruptSnapshot {
+                detail: format!("invalid `params`: {e}"),
+            })?;
+        let state = value
+            .get("state")
+            .cloned()
+            .ok_or_else(|| FdmError::CorruptSnapshot {
+                detail: "missing `state` object".to_string(),
+            })?;
+        Ok(Snapshot { params, state })
+    }
+
+    /// Writes the snapshot to a file (JSON text, trailing newline).
+    ///
+    /// The write is atomic and durable: the document goes to a sibling
+    /// `.tmp` file, is fsynced, and is renamed into place (with a
+    /// best-effort directory fsync), so neither a crash mid-write nor a
+    /// power loss across the rename can destroy the previous checkpoint —
+    /// a half-written snapshot would otherwise brick crash recovery, the
+    /// exact failure snapshots exist to survive.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let io_err = |what: &str, p: &Path, e: std::io::Error| FdmError::SnapshotIo {
+            detail: format!("{what} {}: {e}", p.display()),
+        };
+        let mut text = self.to_json();
+        text.push('\n');
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        {
+            use std::io::Write as _;
+            let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+            file.write_all(text.as_bytes())
+                .map_err(|e| io_err("write", &tmp, e))?;
+            // Data must be on disk before the rename becomes visible;
+            // otherwise the journal can persist the rename but not the
+            // contents, leaving a valid-looking empty snapshot.
+            file.sync_all().map_err(|e| io_err("sync", &tmp, e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("rename {} to {}: {e}", tmp.display(), path.display()),
+        })?;
+        // Persist the rename itself (directory entry). Best-effort: not
+        // every platform/filesystem supports fsync on directories.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(dir_file) = std::fs::File::open(dir) {
+                let _ = dir_file.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<Snapshot> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("read {}: {e}", path.display()),
+        })?;
+        Snapshot::from_json(&text)
+    }
+}
+
+/// A streaming summary that can checkpoint itself into a [`Snapshot`] and
+/// be rebuilt from one.
+///
+/// The contract: `restore(&alg.snapshot())` yields an instance whose
+/// observable behavior — every future insert decision, `finalize`, space
+/// accounting — is bit-identical to `alg`'s.
+pub trait Snapshottable: Sized {
+    /// The algorithm tag written into the envelope (e.g. `sfdm2`).
+    fn algorithm_tag() -> String;
+
+    /// The envelope parameters describing this instance's configuration.
+    fn snapshot_params(&self) -> SnapshotParams;
+
+    /// Serializes the full streaming state to a value tree.
+    fn snapshot_state(&self) -> Value;
+
+    /// Rebuilds an instance from a state tree, validating it.
+    fn restore_state(state: &Value) -> Result<Self>;
+
+    /// Captures a complete [`Snapshot`] of this instance.
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            params: self.snapshot_params(),
+            state: self.snapshot_state(),
+        }
+    }
+
+    /// Restores an instance from a snapshot, rejecting wrong-algorithm
+    /// envelopes and envelopes whose parameters disagree with the decoded
+    /// state.
+    fn restore(snapshot: &Snapshot) -> Result<Self> {
+        let expected = Self::algorithm_tag();
+        if snapshot.params.algorithm != expected {
+            return Err(FdmError::IncompatibleSnapshot {
+                detail: format!(
+                    "snapshot holds algorithm `{}`, expected `{expected}`",
+                    snapshot.params.algorithm
+                ),
+            });
+        }
+        let restored = Self::restore_state(&snapshot.state)?;
+        let live = restored.snapshot_params();
+        if live != snapshot.params {
+            return Err(FdmError::IncompatibleSnapshot {
+                detail: format!(
+                    "envelope parameters disagree with the decoded state \
+                     (envelope {:?}, state {:?})",
+                    snapshot.params, live
+                ),
+            });
+        }
+        Ok(restored)
+    }
+}
+
+/// Decodes one field of a state tree, mapping absence and decode failures
+/// to [`FdmError::CorruptSnapshot`].
+pub(crate) fn field<T: Deserialize>(state: &Value, key: &str) -> Result<T> {
+    let value = state.get(key).ok_or_else(|| FdmError::CorruptSnapshot {
+        detail: format!("missing state field `{key}`"),
+    })?;
+    T::from_value(value).map_err(|e| FdmError::CorruptSnapshot {
+        detail: format!("state field `{key}`: {e}"),
+    })
+}
+
+/// One candidate ladder's persisted form: the guesses and, per guess, the
+/// member ids into the shared arena.
+///
+/// The `mus` are redundant with the configuration (the ladder is rebuilt
+/// from `bounds`/`epsilon` on restore) and serve purely as an integrity
+/// check: a state tree whose thresholds disagree bit-for-bit with the
+/// ladder its own configuration implies is rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct LadderLanes {
+    /// Guess value `µ` per lane.
+    mus: Vec<f64>,
+    /// Member ids per lane (indices into the snapshot's arena).
+    members: Vec<Vec<u32>>,
+}
+
+/// Captures the persisted form of a candidate ladder.
+pub(crate) fn lanes_of(candidates: &[Candidate]) -> LadderLanes {
+    LadderLanes {
+        mus: candidates.iter().map(Candidate::mu).collect(),
+        members: candidates
+            .iter()
+            .map(|c| c.members().iter().map(|id| id.0).collect())
+            .collect(),
+    }
+}
+
+/// Fills freshly-built ladder candidates from their persisted form,
+/// validating lane count, thresholds (bit-exact), capacities, and member
+/// ids against the restored arena.
+pub(crate) fn restore_lanes(
+    candidates: &mut [Candidate],
+    lanes: &LadderLanes,
+    store_len: usize,
+    what: &str,
+) -> Result<()> {
+    if lanes.mus.len() != candidates.len() || lanes.members.len() != candidates.len() {
+        return Err(FdmError::IncompatibleSnapshot {
+            detail: format!(
+                "{what}: snapshot has {} lanes, configuration implies {}",
+                lanes.mus.len().max(lanes.members.len()),
+                candidates.len()
+            ),
+        });
+    }
+    for (lane, (candidate, (mu, members))) in candidates
+        .iter_mut()
+        .zip(lanes.mus.iter().zip(&lanes.members))
+        .enumerate()
+    {
+        if mu.to_bits() != candidate.mu().to_bits() {
+            return Err(FdmError::IncompatibleSnapshot {
+                detail: format!(
+                    "{what} lane {lane}: snapshot guess µ = {mu} disagrees with \
+                     the ladder value {} implied by the configuration",
+                    candidate.mu()
+                ),
+            });
+        }
+        if members.len() > candidate.capacity() {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!(
+                    "{what} lane {lane}: {} members exceed capacity {}",
+                    members.len(),
+                    candidate.capacity()
+                ),
+            });
+        }
+        if let Some(&bad) = members.iter().find(|&&id| (id as usize) >= store_len) {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!(
+                    "{what} lane {lane}: member id {bad} is outside the stored \
+                     arena of {store_len} points"
+                ),
+            });
+        }
+        candidate.restore_members(members.iter().map(|&id| PointId(id)).collect());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(tag: &str) -> SnapshotParams {
+        SnapshotParams {
+            algorithm: tag.to_string(),
+            dim: 2,
+            epsilon: 0.1,
+            metric: Metric::Euclidean,
+            bounds: DistanceBounds::new(1.0, 10.0).unwrap(),
+            quotas: vec![2, 2],
+            k: 4,
+            shards: 1,
+        }
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let snap = Snapshot {
+            params: params("sfdm2"),
+            state: Value::String("payload".into()),
+        };
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let snap = Snapshot {
+            params: params("sfdm2"),
+            state: Value::Null,
+        };
+        let good = snap.to_json();
+        let bad_magic = good.replace("FDMSNAP", "NOTSNAP");
+        assert!(matches!(
+            Snapshot::from_json(&bad_magic),
+            Err(FdmError::CorruptSnapshot { .. })
+        ));
+        let bad_version = good.replace("\"version\":1", "\"version\":99");
+        assert_eq!(
+            Snapshot::from_json(&bad_version),
+            Err(FdmError::UnsupportedSnapshotVersion {
+                found: 99,
+                supported: SNAPSHOT_VERSION
+            })
+        );
+        assert!(matches!(
+            Snapshot::from_json("{\"truncated\":"),
+            Err(FdmError::CorruptSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn compatibility_check_reports_first_mismatch() {
+        let a = params("sfdm2");
+        assert!(a.ensure_compatible(&a).is_ok());
+
+        let mut b = a.clone();
+        b.algorithm = "sfdm1".into();
+        let err = a.ensure_compatible(&b).unwrap_err();
+        assert!(err.to_string().contains("algorithm"), "{err}");
+
+        let mut b = a.clone();
+        b.dim = 7;
+        assert!(a.ensure_compatible(&b).is_err());
+        b.dim = 0; // wildcard: no element seen yet
+        assert!(a.ensure_compatible(&b).is_ok());
+
+        let mut b = a.clone();
+        b.quotas = vec![3, 1];
+        let err = a.ensure_compatible(&b).unwrap_err();
+        assert!(err.to_string().contains("quotas"), "{err}");
+    }
+
+    #[test]
+    fn f64_text_round_trip_is_bit_exact() {
+        for x in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -0.0, 2.5e-17] {
+            let text = serde_json::to_string(&x).unwrap();
+            let back: f64 = serde_json::from_str(&text).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+}

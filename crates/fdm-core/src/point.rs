@@ -196,6 +196,87 @@ impl PointStore {
     }
 }
 
+impl serde::Serialize for PointId {
+    fn to_value(&self) -> serde::Value {
+        serde::Serialize::to_value(&self.0)
+    }
+}
+
+impl serde::Deserialize for PointId {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        Ok(PointId(<u32 as serde::Deserialize>::from_value(value)?))
+    }
+}
+
+impl serde::Serialize for PointStore {
+    fn to_value(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("dim".to_string(), serde::Serialize::to_value(&self.dim));
+        map.insert(
+            "external_ids".to_string(),
+            serde::Serialize::to_value(&self.external_ids),
+        );
+        map.insert(
+            "groups".to_string(),
+            serde::Serialize::to_value(&self.groups),
+        );
+        // Cached norms are intentionally omitted: they are recomputed by
+        // `push` on restore through the exact code path the original run
+        // used, so they cannot drift from the coordinates.
+        map.insert(
+            "coords".to_string(),
+            serde::Serialize::to_value(&self.coords),
+        );
+        serde::Value::Object(map)
+    }
+}
+
+// Hand-written so a malformed document (row-count mismatches, zero
+// dimension, truncated coordinate buffer) is a typed error, and so the
+// norm cache is rebuilt by re-appending every row through
+// [`PointStore::push`] — bit-identical to the arena it snapshots.
+impl serde::Deserialize for PointStore {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        let get = |key: &str| {
+            value
+                .get(key)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{key}`")))
+        };
+        let dim = <usize as serde::Deserialize>::from_value(get("dim")?)?;
+        let external_ids = <Vec<usize> as serde::Deserialize>::from_value(get("external_ids")?)?;
+        let groups = <Vec<u32> as serde::Deserialize>::from_value(get("groups")?)?;
+        let coords = <Vec<f64> as serde::Deserialize>::from_value(get("coords")?)?;
+        if dim == 0 {
+            return Err(serde::DeError::custom("point store dimension must be ≥ 1"));
+        }
+        if groups.len() != external_ids.len() {
+            return Err(serde::DeError::custom(format!(
+                "group count {} does not match external id count {}",
+                groups.len(),
+                external_ids.len()
+            )));
+        }
+        if coords.len() != groups.len() * dim {
+            return Err(serde::DeError::custom(format!(
+                "coordinate buffer holds {} values; {} rows of dimension {dim} need {}",
+                coords.len(),
+                groups.len(),
+                groups.len() * dim
+            )));
+        }
+        if coords.iter().any(|c| !c.is_finite()) {
+            return Err(serde::DeError::custom(
+                "coordinate buffer contains a non-finite value",
+            ));
+        }
+        let mut store = PointStore::with_capacity(dim, groups.len());
+        for (i, (&external_id, &group)) in external_ids.iter().zip(&groups).enumerate() {
+            store.push(external_id, &coords[i * dim..(i + 1) * dim], group as usize);
+        }
+        Ok(store)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -272,6 +272,14 @@ impl Candidate {
         self.members
     }
 
+    /// Replaces the member list wholesale — the snapshot-restore path.
+    /// The caller must have validated the ids (they index the shared arena)
+    /// and the count (`≤ capacity`); see `crate::persist`.
+    pub(crate) fn restore_members(&mut self, members: Vec<PointId>) {
+        debug_assert!(members.len() <= self.capacity);
+        self.members = members;
+    }
+
     /// Simulates inserting a whole `batch` (in order) into this candidate
     /// and returns the batch positions it would accept, **without mutating
     /// anything** — the core of the parallel guess-ladder insert.

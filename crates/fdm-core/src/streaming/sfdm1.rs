@@ -21,6 +21,8 @@
 
 use std::collections::HashSet;
 
+use serde::Serialize as _;
+
 use crate::balance::{balance_two_groups, SwapStrategy};
 use crate::dataset::DistanceBounds;
 use crate::diversity::diversity_of_ids;
@@ -29,13 +31,14 @@ use crate::fairness::FairnessConstraint;
 use crate::guess::GuessLadder;
 use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
+use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::{ArrivalProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm1`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Sfdm1Config {
     /// Two-group quota vector.
     pub constraint: FairnessConstraint,
@@ -52,6 +55,8 @@ pub struct Sfdm1Config {
 pub struct Sfdm1 {
     constraint: FairnessConstraint,
     metric: Metric,
+    epsilon: f64,
+    bounds: DistanceBounds,
     store: PointStore,
     /// Group-blind candidates, one per guess.
     blind: Vec<Candidate>,
@@ -99,6 +104,8 @@ impl Sfdm1 {
         Ok(Sfdm1 {
             constraint: config.constraint,
             metric: config.metric,
+            epsilon: config.epsilon,
+            bounds: config.bounds,
             store: PointStore::new(1),
             blind,
             specific,
@@ -220,6 +227,16 @@ impl Sfdm1 {
         &self.store
     }
 
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> Sfdm1Config {
+        Sfdm1Config {
+            constraint: self.constraint.clone(),
+            epsilon: self.epsilon,
+            bounds: self.bounds,
+            metric: self.metric,
+        }
+    }
+
     /// Post-processing (Algorithm 2, lines 9–18): balance every candidate in
     /// `U'` and return the most diverse fair result. The per-guess balancing
     /// runs across the ladder in parallel under the `parallel` feature.
@@ -266,6 +283,90 @@ impl Sfdm1 {
             Some((_, ids)) => Ok(Solution::from_ids(&self.store, ids, self.metric)),
             None => Err(FdmError::NoFeasibleCandidate),
         }
+    }
+}
+
+impl Snapshottable for Sfdm1 {
+    fn algorithm_tag() -> String {
+        "sfdm1".to_string()
+    }
+
+    fn snapshot_params(&self) -> crate::persist::SnapshotParams {
+        crate::persist::SnapshotParams {
+            algorithm: Self::algorithm_tag(),
+            dim: if self.store_initialized {
+                self.store.dim()
+            } else {
+                0
+            },
+            epsilon: self.epsilon,
+            metric: self.metric,
+            bounds: self.bounds,
+            quotas: self.constraint.quotas().to_vec(),
+            k: self.constraint.total(),
+            shards: 1,
+        }
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("config".to_string(), self.config().to_value());
+        map.insert("strategy".to_string(), self.strategy.to_value());
+        map.insert("store".to_string(), self.store.to_value());
+        map.insert(
+            "store_initialized".to_string(),
+            serde::Value::Bool(self.store_initialized),
+        );
+        map.insert(
+            "processed".to_string(),
+            serde::Serialize::to_value(&self.processed),
+        );
+        map.insert(
+            "blind".to_string(),
+            persist::lanes_of(&self.blind).to_value(),
+        );
+        let specific: Vec<persist::LadderLanes> =
+            self.specific.iter().map(|c| persist::lanes_of(c)).collect();
+        map.insert("specific".to_string(), specific.to_value());
+        serde::Value::Object(map)
+    }
+
+    fn restore_state(state: &serde::Value) -> Result<Self> {
+        let config: Sfdm1Config = persist::field(state, "config")?;
+        let strategy: SwapStrategy = persist::field(state, "strategy")?;
+        let mut alg = Self::with_strategy(config, strategy)?;
+        let store: PointStore = persist::field(state, "store")?;
+        let store_initialized: bool = persist::field(state, "store_initialized")?;
+        if !store_initialized && !store.is_empty() {
+            return Err(FdmError::CorruptSnapshot {
+                detail: "arena holds points but is marked uninitialized".to_string(),
+            });
+        }
+        if let Some(&bad) = store.groups_raw().iter().find(|&&g| g >= 2) {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("group label {bad} out of range for SFDM1's two groups"),
+            });
+        }
+        let blind: persist::LadderLanes = persist::field(state, "blind")?;
+        persist::restore_lanes(&mut alg.blind, &blind, store.len(), "blind")?;
+        let specific: Vec<persist::LadderLanes> = persist::field(state, "specific")?;
+        if specific.len() != 2 {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("expected 2 group ladders, found {}", specific.len()),
+            });
+        }
+        for (g, lanes) in specific.iter().enumerate() {
+            persist::restore_lanes(
+                &mut alg.specific[g],
+                lanes,
+                store.len(),
+                &format!("group {g}"),
+            )?;
+        }
+        alg.processed = persist::field(state, "processed")?;
+        alg.store = store;
+        alg.store_initialized = store_initialized;
+        Ok(alg)
     }
 }
 

@@ -28,6 +28,8 @@
 
 use std::collections::HashSet;
 
+use serde::Serialize as _;
+
 use crate::clustering::threshold_clusters_ids;
 use crate::dataset::DistanceBounds;
 use crate::diversity::diversity_of_ids;
@@ -38,13 +40,14 @@ use crate::matroid::intersection::max_common_independent_set;
 use crate::matroid::PartitionMatroid;
 use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
+use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::{ArrivalProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm2`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Sfdm2Config {
     /// Quota vector over `m ≥ 2` groups.
     pub constraint: FairnessConstraint,
@@ -59,7 +62,7 @@ pub struct Sfdm2Config {
 /// Whether SFDM2's matroid-intersection phase seeds from the partial
 /// solution with greedy far-element preference (the paper's adaptation) or
 /// from the empty set without scores (plain Cunningham) — ablation A2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub enum AugmentationMode {
     /// Partial-solution seed + greedy `argmax d(x, S)` selection (paper).
     #[default]
@@ -94,6 +97,8 @@ pub enum AugmentationMode {
 pub struct Sfdm2 {
     constraint: FairnessConstraint,
     metric: Metric,
+    epsilon: f64,
+    bounds: DistanceBounds,
     store: PointStore,
     blind: Vec<Candidate>,
     /// `specific[i][j]`: group `i`, guess `j`, capacity `k`.
@@ -139,6 +144,8 @@ impl Sfdm2 {
         Ok(Sfdm2 {
             constraint: config.constraint,
             metric: config.metric,
+            epsilon: config.epsilon,
+            bounds: config.bounds,
             store: PointStore::new(1),
             blind,
             specific,
@@ -259,6 +266,16 @@ impl Sfdm2 {
         &self.store
     }
 
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> Sfdm2Config {
+        Sfdm2Config {
+            constraint: self.constraint.clone(),
+            epsilon: self.epsilon,
+            bounds: self.bounds,
+            metric: self.metric,
+        }
+    }
+
     /// Post-processing (Algorithm 3, lines 9–19). Each guess's pipeline —
     /// clustering, matroid construction, Cunningham augmentation — is
     /// independent and runs across the ladder in parallel under the
@@ -368,6 +385,91 @@ impl Sfdm2 {
         let ids: Vec<PointId> = result.iter().map(|&i| sall[i]).collect();
         let div = diversity_of_ids(&self.store, &ids, self.metric);
         Some((div, ids))
+    }
+}
+
+impl Snapshottable for Sfdm2 {
+    fn algorithm_tag() -> String {
+        "sfdm2".to_string()
+    }
+
+    fn snapshot_params(&self) -> crate::persist::SnapshotParams {
+        crate::persist::SnapshotParams {
+            algorithm: Self::algorithm_tag(),
+            dim: if self.store_initialized {
+                self.store.dim()
+            } else {
+                0
+            },
+            epsilon: self.epsilon,
+            metric: self.metric,
+            bounds: self.bounds,
+            quotas: self.constraint.quotas().to_vec(),
+            k: self.constraint.total(),
+            shards: 1,
+        }
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("config".to_string(), self.config().to_value());
+        map.insert("mode".to_string(), self.mode.to_value());
+        map.insert("store".to_string(), self.store.to_value());
+        map.insert(
+            "store_initialized".to_string(),
+            serde::Value::Bool(self.store_initialized),
+        );
+        map.insert(
+            "processed".to_string(),
+            serde::Serialize::to_value(&self.processed),
+        );
+        map.insert(
+            "blind".to_string(),
+            persist::lanes_of(&self.blind).to_value(),
+        );
+        let specific: Vec<persist::LadderLanes> =
+            self.specific.iter().map(|c| persist::lanes_of(c)).collect();
+        map.insert("specific".to_string(), specific.to_value());
+        serde::Value::Object(map)
+    }
+
+    fn restore_state(state: &serde::Value) -> Result<Self> {
+        let config: Sfdm2Config = persist::field(state, "config")?;
+        let mode: AugmentationMode = persist::field(state, "mode")?;
+        let m = config.constraint.num_groups();
+        let mut alg = Self::with_mode(config, mode)?;
+        let store: PointStore = persist::field(state, "store")?;
+        let store_initialized: bool = persist::field(state, "store_initialized")?;
+        if !store_initialized && !store.is_empty() {
+            return Err(FdmError::CorruptSnapshot {
+                detail: "arena holds points but is marked uninitialized".to_string(),
+            });
+        }
+        if let Some(&bad) = store.groups_raw().iter().find(|&&g| g as usize >= m) {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("group label {bad} out of range for {m} groups"),
+            });
+        }
+        let blind: persist::LadderLanes = persist::field(state, "blind")?;
+        persist::restore_lanes(&mut alg.blind, &blind, store.len(), "blind")?;
+        let specific: Vec<persist::LadderLanes> = persist::field(state, "specific")?;
+        if specific.len() != m {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("expected {m} group ladders, found {}", specific.len()),
+            });
+        }
+        for (g, lanes) in specific.iter().enumerate() {
+            persist::restore_lanes(
+                &mut alg.specific[g],
+                lanes,
+                store.len(),
+                &format!("group {g}"),
+            )?;
+        }
+        alg.processed = persist::field(state, "processed")?;
+        alg.store = store;
+        alg.store_initialized = store_initialized;
+        Ok(alg)
     }
 }
 

@@ -16,7 +16,8 @@
 //! unconstrained Algorithm 1):
 //!
 //! * arrivals are dealt **round-robin** across K shards, each with its own
-//!   guess ladder, candidate sets, and private [`PointStore`] arena
+//!   guess ladder, candidate sets, and private
+//!   [`PointStore`](crate::point::PointStore) arena
 //!   segment;
 //! * [`ShardedStream::insert_batch`] runs the shard sub-batches
 //!   **concurrently** on rayon's persistent pool (under the `parallel`
@@ -39,6 +40,7 @@
 
 use crate::error::{FdmError, Result};
 use crate::par::maybe_par_for_each;
+use crate::persist::{SnapshotParams, Snapshottable};
 use crate::point::Element;
 use crate::solution::Solution;
 use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
@@ -57,6 +59,9 @@ pub trait ShardAlgorithm: Sized + Send {
 
     /// Builds an empty instance.
     fn build(config: &Self::Config) -> Result<Self>;
+
+    /// The configuration this instance was built with.
+    fn config(&self) -> Self::Config;
 
     /// Processes one stream element.
     fn insert(&mut self, element: &Element);
@@ -89,6 +94,10 @@ macro_rules! impl_shard_algorithm {
 
             fn build(config: &Self::Config) -> Result<Self> {
                 <$alg>::new(config.clone())
+            }
+
+            fn config(&self) -> Self::Config {
+                <$alg>::config(self)
             }
 
             fn insert(&mut self, element: &Element) {
@@ -262,6 +271,104 @@ impl<S: ShardAlgorithm> ShardedStream<S> {
             merge.insert_batch(&shard.retained_elements());
         }
         merge.finalize()
+    }
+}
+
+impl<S: ShardAlgorithm + Snapshottable> Snapshottable for ShardedStream<S> {
+    fn algorithm_tag() -> String {
+        format!("sharded:{}", S::algorithm_tag())
+    }
+
+    fn snapshot_params(&self) -> SnapshotParams {
+        let mut params = self.shards[0].snapshot_params();
+        params.algorithm = Self::algorithm_tag();
+        params.shards = self.shards.len();
+        // The round-robin split can leave trailing shards empty (dim still
+        // unknown); the observed dimension is the first shard's that saw an
+        // element.
+        params.dim = self
+            .shards
+            .iter()
+            .map(|s| s.snapshot_params().dim)
+            .find(|&d| d != 0)
+            .unwrap_or(0);
+        params
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(
+            "shards".to_string(),
+            serde::Value::Array(self.shards.iter().map(S::snapshot_state).collect()),
+        );
+        map.insert("next".to_string(), serde::Serialize::to_value(&self.next));
+        serde::Value::Object(map)
+    }
+
+    fn restore_state(state: &serde::Value) -> Result<Self> {
+        let shard_states = state
+            .get("shards")
+            .and_then(serde::Value::as_array)
+            .ok_or_else(|| FdmError::CorruptSnapshot {
+                detail: "missing `shards` array".to_string(),
+            })?;
+        if shard_states.is_empty() {
+            return Err(FdmError::InvalidShardCount);
+        }
+        let mut shards: Vec<S> = Vec::with_capacity(shard_states.len());
+        for (i, shard_state) in shard_states.iter().enumerate() {
+            let shard = S::restore_state(shard_state).map_err(|e| match e {
+                FdmError::CorruptSnapshot { detail } => FdmError::CorruptSnapshot {
+                    detail: format!("shard {i}: {detail}"),
+                },
+                FdmError::IncompatibleSnapshot { detail } => FdmError::IncompatibleSnapshot {
+                    detail: format!("shard {i}: {detail}"),
+                },
+                other => other,
+            })?;
+            shards.push(shard);
+        }
+        // All shards must share one configuration (their dimensions may
+        // differ only in the "no element seen yet" wildcard state).
+        let reference = {
+            let mut p = shards[0].snapshot_params();
+            p.dim = 0;
+            p
+        };
+        for (i, shard) in shards.iter().enumerate().skip(1) {
+            let mut p = shard.snapshot_params();
+            p.dim = 0;
+            if p != reference {
+                return Err(FdmError::IncompatibleSnapshot {
+                    detail: format!("shard {i} was configured differently from shard 0"),
+                });
+            }
+        }
+        let dims: Vec<usize> = shards
+            .iter()
+            .map(|s| s.snapshot_params().dim)
+            .filter(|&d| d != 0)
+            .collect();
+        if dims.windows(2).any(|w| w[0] != w[1]) {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("shards disagree on the point dimension: {dims:?}"),
+            });
+        }
+        let next: usize = crate::persist::field(state, "next")?;
+        if next >= shards.len() {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!(
+                    "round-robin cursor {next} out of range for {} shards",
+                    shards.len()
+                ),
+            });
+        }
+        Ok(ShardedStream {
+            config: shards[0].config(),
+            shards,
+            next,
+            sequential: false,
+        })
     }
 }
 

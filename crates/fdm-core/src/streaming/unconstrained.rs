@@ -14,17 +14,20 @@
 
 use std::collections::HashSet;
 
+use serde::Serialize as _;
+
 use crate::dataset::DistanceBounds;
 use crate::error::{FdmError, Result};
 use crate::guess::GuessLadder;
 use crate::metric::{kernels, Metric};
 use crate::par::maybe_par_map;
+use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
 use crate::streaming::candidate::{ArrivalProxies, Candidate};
 
 /// Configuration for [`StreamingDiversityMaximization`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct StreamingDmConfig {
     /// Solution size `k ≥ 2`.
     pub k: usize,
@@ -43,6 +46,8 @@ pub struct StreamingDiversityMaximization {
     candidates: Vec<Candidate>,
     metric: Metric,
     k: usize,
+    epsilon: f64,
+    bounds: DistanceBounds,
     /// Per-arrival proxy cache shared across all candidates (see
     /// [`ArrivalProxies`]).
     scratch: ArrivalProxies,
@@ -70,6 +75,8 @@ impl StreamingDiversityMaximization {
             candidates,
             metric: config.metric,
             k: config.k,
+            epsilon: config.epsilon,
+            bounds: config.bounds,
             scratch: ArrivalProxies::new(),
             processed: 0,
             sequential: false,
@@ -179,6 +186,16 @@ impl StreamingDiversityMaximization {
         &self.candidates
     }
 
+    /// The configuration this instance was built with.
+    pub fn config(&self) -> StreamingDmConfig {
+        StreamingDmConfig {
+            k: self.k,
+            epsilon: self.epsilon,
+            bounds: self.bounds,
+            metric: self.metric,
+        }
+    }
+
     /// Algorithm 1, line 7: the full candidate maximizing `div(S_µ)`.
     pub fn finalize(&self) -> Result<Solution> {
         let diversities: Vec<Option<f64>> =
@@ -199,6 +216,66 @@ impl StreamingDiversityMaximization {
             )),
             None => Err(FdmError::NoFeasibleCandidate),
         }
+    }
+}
+
+impl Snapshottable for StreamingDiversityMaximization {
+    fn algorithm_tag() -> String {
+        "unconstrained".to_string()
+    }
+
+    fn snapshot_params(&self) -> crate::persist::SnapshotParams {
+        crate::persist::SnapshotParams {
+            algorithm: Self::algorithm_tag(),
+            dim: if self.store_initialized {
+                self.store.dim()
+            } else {
+                0
+            },
+            epsilon: self.epsilon,
+            metric: self.metric,
+            bounds: self.bounds,
+            quotas: Vec::new(),
+            k: self.k,
+            shards: 1,
+        }
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("config".to_string(), self.config().to_value());
+        map.insert("store".to_string(), self.store.to_value());
+        map.insert(
+            "store_initialized".to_string(),
+            serde::Value::Bool(self.store_initialized),
+        );
+        map.insert(
+            "processed".to_string(),
+            serde::Serialize::to_value(&self.processed),
+        );
+        map.insert(
+            "candidates".to_string(),
+            persist::lanes_of(&self.candidates).to_value(),
+        );
+        serde::Value::Object(map)
+    }
+
+    fn restore_state(state: &serde::Value) -> Result<Self> {
+        let config: StreamingDmConfig = persist::field(state, "config")?;
+        let mut alg = Self::new(config)?;
+        let store: PointStore = persist::field(state, "store")?;
+        let store_initialized: bool = persist::field(state, "store_initialized")?;
+        if !store_initialized && !store.is_empty() {
+            return Err(FdmError::CorruptSnapshot {
+                detail: "arena holds points but is marked uninitialized".to_string(),
+            });
+        }
+        let lanes: persist::LadderLanes = persist::field(state, "candidates")?;
+        persist::restore_lanes(&mut alg.candidates, &lanes, store.len(), "candidates")?;
+        alg.processed = persist::field(state, "processed")?;
+        alg.store = store;
+        alg.store_initialized = store_initialized;
+        Ok(alg)
     }
 }
 

@@ -1,0 +1,568 @@
+//! The serving engine: named streams, snapshots, WAL, crash recovery.
+//!
+//! The engine is the process-wide registry behind every session. Each named
+//! stream wraps one streaming summary ([`AnyStream`]) behind its **own**
+//! lock, so any number of concurrent sessions (stdin + Unix-socket
+//! connections) can feed and query different streams without serializing on
+//! each other — the registry lock is held only for map lookups, never
+//! across algorithm work or disk I/O.
+//!
+//! Durability (all optional, enabled by [`ServeConfig::data_dir`]):
+//!
+//! * every accepted `INSERT` is appended to `<data_dir>/<name>.wal`
+//!   *before* it is applied (write-ahead), one sequence-numbered protocol
+//!   line per element;
+//! * every [`ServeConfig::snapshot_every`] inserts the summary is
+//!   checkpointed to `<data_dir>/<name>.snap` (atomically — temp file +
+//!   rename) and the WAL truncated;
+//! * [`Engine::new`] recovers by restoring each `.snap` and replaying the
+//!   WAL through the same parser the live protocol uses. Sequence numbers
+//!   make replay exactly-once: a crash between the snapshot write and the
+//!   WAL truncation leaves records the snapshot already contains, and
+//!   recovery skips them instead of double-applying. A recovered stream is
+//!   therefore bit-identical to one that never went down.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use fdm_core::error::{FdmError, Result};
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::persist::{Snapshot, SnapshotParams, Snapshottable};
+use fdm_core::point::Element;
+use fdm_core::solution::Solution;
+use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_core::streaming::sharded::ShardedStream;
+use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
+
+use crate::protocol::{parse_insert, StreamSpec};
+
+/// One hosted streaming summary — any algorithm, sharded or not.
+#[derive(Debug)]
+pub enum AnyStream {
+    /// Algorithm 1, unsharded.
+    Unconstrained(StreamingDiversityMaximization),
+    /// SFDM1 (m = 2), unsharded.
+    Sfdm1(Sfdm1),
+    /// SFDM2 (any m), unsharded.
+    Sfdm2(Sfdm2),
+    /// Algorithm 1 behind K-way sharded ingestion.
+    ShardedUnconstrained(ShardedStream<StreamingDiversityMaximization>),
+    /// SFDM1 behind K-way sharded ingestion.
+    ShardedSfdm1(ShardedStream<Sfdm1>),
+    /// SFDM2 behind K-way sharded ingestion.
+    ShardedSfdm2(ShardedStream<Sfdm2>),
+}
+
+macro_rules! dispatch {
+    ($self:expr, $inner:ident => $body:expr) => {
+        match $self {
+            AnyStream::Unconstrained($inner) => $body,
+            AnyStream::Sfdm1($inner) => $body,
+            AnyStream::Sfdm2($inner) => $body,
+            AnyStream::ShardedUnconstrained($inner) => $body,
+            AnyStream::ShardedSfdm1($inner) => $body,
+            AnyStream::ShardedSfdm2($inner) => $body,
+        }
+    };
+}
+
+impl AnyStream {
+    /// Builds an empty stream from an `OPEN` specification.
+    pub fn build(spec: &StreamSpec) -> Result<AnyStream> {
+        let bounds = fdm_core::dataset::DistanceBounds::new(spec.dmin, spec.dmax)?;
+        Ok(match spec.algo.as_str() {
+            "unconstrained" => {
+                let config = StreamingDmConfig {
+                    k: spec.k,
+                    epsilon: spec.epsilon,
+                    bounds,
+                    metric: spec.metric,
+                };
+                if spec.shards > 1 {
+                    AnyStream::ShardedUnconstrained(ShardedStream::new(config, spec.shards)?)
+                } else {
+                    AnyStream::Unconstrained(StreamingDiversityMaximization::new(config)?)
+                }
+            }
+            "sfdm1" => {
+                let config = Sfdm1Config {
+                    constraint: FairnessConstraint::new(spec.quotas.clone())?,
+                    epsilon: spec.epsilon,
+                    bounds,
+                    metric: spec.metric,
+                };
+                if spec.shards > 1 {
+                    AnyStream::ShardedSfdm1(ShardedStream::new(config, spec.shards)?)
+                } else {
+                    AnyStream::Sfdm1(Sfdm1::new(config)?)
+                }
+            }
+            "sfdm2" => {
+                let config = Sfdm2Config {
+                    constraint: FairnessConstraint::new(spec.quotas.clone())?,
+                    epsilon: spec.epsilon,
+                    bounds,
+                    metric: spec.metric,
+                };
+                if spec.shards > 1 {
+                    AnyStream::ShardedSfdm2(ShardedStream::new(config, spec.shards)?)
+                } else {
+                    AnyStream::Sfdm2(Sfdm2::new(config)?)
+                }
+            }
+            other => {
+                return Err(FdmError::IncompatibleSnapshot {
+                    detail: format!("unknown algorithm `{other}`"),
+                })
+            }
+        })
+    }
+
+    /// Restores a stream from a snapshot, dispatching on the envelope tag.
+    pub fn restore(snapshot: &Snapshot) -> Result<AnyStream> {
+        Ok(match snapshot.params.algorithm.as_str() {
+            "unconstrained" => {
+                AnyStream::Unconstrained(StreamingDiversityMaximization::restore(snapshot)?)
+            }
+            "sfdm1" => AnyStream::Sfdm1(Sfdm1::restore(snapshot)?),
+            "sfdm2" => AnyStream::Sfdm2(Sfdm2::restore(snapshot)?),
+            "sharded:unconstrained" => {
+                AnyStream::ShardedUnconstrained(ShardedStream::restore(snapshot)?)
+            }
+            "sharded:sfdm1" => AnyStream::ShardedSfdm1(ShardedStream::restore(snapshot)?),
+            "sharded:sfdm2" => AnyStream::ShardedSfdm2(ShardedStream::restore(snapshot)?),
+            other => {
+                return Err(FdmError::IncompatibleSnapshot {
+                    detail: format!("snapshot holds unknown algorithm `{other}`"),
+                })
+            }
+        })
+    }
+
+    /// Feeds one element.
+    pub fn insert(&mut self, element: &Element) {
+        dispatch!(self, inner => inner.insert(element));
+    }
+
+    /// Runs post-processing and returns the best feasible solution.
+    pub fn finalize(&self) -> Result<Solution> {
+        dispatch!(self, inner => inner.finalize())
+    }
+
+    /// Elements seen so far.
+    pub fn processed(&self) -> usize {
+        dispatch!(self, inner => inner.processed())
+    }
+
+    /// Distinct retained elements (the paper's space metric).
+    pub fn stored_elements(&self) -> usize {
+        dispatch!(self, inner => inner.stored_elements())
+    }
+
+    /// The envelope parameters describing this stream's configuration.
+    pub fn params(&self) -> SnapshotParams {
+        dispatch!(self, inner => inner.snapshot_params())
+    }
+
+    /// Captures a complete snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        dispatch!(self, inner => inner.snapshot())
+    }
+}
+
+/// Engine-level durability configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    /// Directory for per-stream snapshots + WALs; `None` disables
+    /// durability (streams live only in memory).
+    pub data_dir: Option<PathBuf>,
+    /// Auto-snapshot (and truncate the WAL) every N accepted inserts;
+    /// `None` keeps the WAL growing until an explicit `SNAPSHOT`.
+    pub snapshot_every: Option<u64>,
+}
+
+struct StreamEntry {
+    stream: AnyStream,
+    /// Inserts applied since the last auto-snapshot (drives
+    /// `snapshot_every`).
+    inserts_since_snapshot: u64,
+    /// Open append handle to the WAL (present iff `data_dir` is set).
+    wal: Option<File>,
+}
+
+type SharedEntry = Arc<Mutex<StreamEntry>>;
+
+/// The process-wide stream registry (see the module docs).
+///
+/// Command methods return the `OK` payload or the `ERR` message as plain
+/// strings: protocol-level problems (unknown stream, `QUERY` size mismatch)
+/// are not [`FdmError`]s, while algorithm/persistence errors pass their
+/// typed [`FdmError`] display through.
+pub struct Engine {
+    streams: Mutex<HashMap<String, SharedEntry>>,
+    config: ServeConfig,
+}
+
+impl Engine {
+    /// Creates an engine, running crash recovery over
+    /// [`ServeConfig::data_dir`] if one is configured: every `<name>.snap`
+    /// is restored and the matching `<name>.wal` tail replayed
+    /// exactly-once.
+    pub fn new(config: ServeConfig) -> Result<Engine> {
+        let engine = Engine {
+            streams: Mutex::new(HashMap::new()),
+            config,
+        };
+        if let Some(dir) = engine.config.data_dir.clone() {
+            std::fs::create_dir_all(&dir).map_err(|e| FdmError::SnapshotIo {
+                detail: format!("create data dir {}: {e}", dir.display()),
+            })?;
+            engine.recover(&dir)?;
+        }
+        Ok(engine)
+    }
+
+    /// Names of the hosted streams, sorted.
+    pub fn stream_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.streams.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn snap_path(&self, name: &str) -> Option<PathBuf> {
+        self.config
+            .data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.snap")))
+    }
+
+    fn wal_path(&self, name: &str) -> Option<PathBuf> {
+        self.config
+            .data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.wal")))
+    }
+
+    fn open_wal(path: &Path) -> Result<File> {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| FdmError::SnapshotIo {
+                detail: format!("open WAL {}: {e}", path.display()),
+            })
+    }
+
+    /// Anchors the recovery chain for `entry`: checkpoints the current
+    /// state to `<name>.snap` (atomic) and truncates the WAL. Called at
+    /// `OPEN` (so a crash before the first auto-snapshot still recovers),
+    /// at every auto-snapshot, and after `RESTORE`. No-op without a data
+    /// dir.
+    fn anchor(&self, name: &str, entry: &mut StreamEntry) -> Result<()> {
+        if let (Some(snap_path), Some(wal_path)) = (self.snap_path(name), self.wal_path(name)) {
+            entry.stream.snapshot().write_to_file(snap_path)?;
+            std::fs::write(&wal_path, b"").map_err(|e| FdmError::SnapshotIo {
+                detail: format!("truncate WAL {}: {e}", wal_path.display()),
+            })?;
+            entry.wal = Some(Self::open_wal(&wal_path)?);
+        }
+        entry.inserts_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Restore-then-replay over every snapshot in the data directory.
+    fn recover(&self, dir: &Path) -> Result<()> {
+        let entries = std::fs::read_dir(dir).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("scan data dir {}: {e}", dir.display()),
+        })?;
+        for entry in entries {
+            let path = entry
+                .map_err(|e| FdmError::SnapshotIo {
+                    detail: format!("scan data dir {}: {e}", dir.display()),
+                })?
+                .path();
+            if path.extension().and_then(|e| e.to_str()) != Some("snap") {
+                continue;
+            }
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default()
+                .to_string();
+            if name.is_empty() {
+                continue;
+            }
+            let snapshot = Snapshot::read_from_file(&path)?;
+            let mut stream = AnyStream::restore(&snapshot)?;
+            let wal_path = dir.join(format!("{name}.wal"));
+            let mut replayed = 0u64;
+            if wal_path.exists() {
+                let file = File::open(&wal_path).map_err(|e| FdmError::SnapshotIo {
+                    detail: format!("open WAL {}: {e}", wal_path.display()),
+                })?;
+                for (lineno, line) in BufReader::new(file).lines().enumerate() {
+                    let line = line.map_err(|e| FdmError::SnapshotIo {
+                        detail: format!("read WAL {}: {e}", wal_path.display()),
+                    })?;
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        continue;
+                    }
+                    let corrupt = |detail: String| FdmError::CorruptSnapshot {
+                        detail: format!("WAL {} line {}: {detail}", wal_path.display(), lineno + 1),
+                    };
+                    let fields: Vec<&str> = trimmed.split_whitespace().collect();
+                    // Record format: `<seq> INSERT <id> <group> <coords...>`.
+                    let seq: u64 = fields[0]
+                        .parse()
+                        .map_err(|_| corrupt(format!("invalid sequence number `{}`", fields[0])))?;
+                    if fields.get(1).map(|f| f.to_ascii_uppercase()) != Some("INSERT".into()) {
+                        return Err(corrupt(format!("expected INSERT, found `{trimmed}`")));
+                    }
+                    let processed = stream.processed() as u64;
+                    if seq <= processed {
+                        // The snapshot was written after this record but
+                        // before the WAL truncation; already applied.
+                        continue;
+                    }
+                    if seq != processed + 1 {
+                        return Err(corrupt(format!(
+                            "sequence gap: record {seq} after {processed} applied arrivals"
+                        )));
+                    }
+                    let element = parse_insert(&fields[2..]).map_err(&corrupt)?;
+                    check_element(&stream.params(), &element).map_err(&corrupt)?;
+                    stream.insert(&element);
+                    replayed += 1;
+                }
+            }
+            let wal = Some(Self::open_wal(&wal_path)?);
+            self.streams.lock().unwrap().insert(
+                name,
+                Arc::new(Mutex::new(StreamEntry {
+                    stream,
+                    inserts_since_snapshot: replayed,
+                    wal,
+                })),
+            );
+        }
+        Ok(())
+    }
+
+    /// Looks up a stream's shared entry (registry lock held only for the
+    /// map access).
+    fn entry(&self, name: &str) -> std::result::Result<SharedEntry, String> {
+        self.streams
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("no stream named `{name}` (OPEN or RESTORE one first)"))
+    }
+
+    /// `OPEN`: creates the stream, or re-attaches if a stream of that name
+    /// already exists *and* the requested parameters match its own.
+    ///
+    /// Creation holds the registry lock through the durable anchor: if two
+    /// sessions race the same `OPEN`, the loser attaches instead of
+    /// clobbering the winner's snapshot/WAL chain with empty state.
+    pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<String, String> {
+        let requested = spec_params(spec)?;
+        let mut streams = self.streams.lock().unwrap();
+        if let Some(existing) = streams.get(name) {
+            let existing = existing.clone();
+            drop(streams);
+            let entry = existing.lock().unwrap();
+            requested
+                .ensure_compatible(&entry.stream.params())
+                .map_err(|e| e.to_string())?;
+            return Ok(format!(
+                "attached {name} processed={}",
+                entry.stream.processed()
+            ));
+        }
+        let stream = AnyStream::build(spec).map_err(|e| e.to_string())?;
+        let mut entry = StreamEntry {
+            stream,
+            inserts_since_snapshot: 0,
+            wal: None,
+        };
+        self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+        streams.insert(name.to_string(), Arc::new(Mutex::new(entry)));
+        Ok(format!("opened {name}"))
+    }
+
+    /// `INSERT`: write-ahead (sequence-numbered), apply, maybe
+    /// auto-snapshot. Only this stream's lock is held — other tenants keep
+    /// running during the disk I/O.
+    pub fn insert(
+        &self,
+        name: &str,
+        element: &Element,
+        raw_line: &str,
+    ) -> std::result::Result<String, String> {
+        let shared = self.entry(name)?;
+        let mut entry = shared.lock().unwrap();
+        check_element(&entry.stream.params(), element)?;
+        let seq = entry.stream.processed() as u64 + 1;
+        if let Some(wal) = entry.wal.as_mut() {
+            writeln!(wal, "{seq} {}", raw_line.trim())
+                .and_then(|()| wal.flush())
+                .map_err(|e| format!("append WAL for {name}: {e}"))?;
+        }
+        entry.stream.insert(element);
+        entry.inserts_since_snapshot += 1;
+        if let Some(every) = self.config.snapshot_every {
+            if every > 0 && entry.inserts_since_snapshot >= every {
+                self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(format!("inserted processed={}", entry.stream.processed()))
+    }
+
+    /// `QUERY`: post-processing of the named stream. `k`, when given, must
+    /// match the configured solution size.
+    pub fn query(&self, name: &str, k: Option<usize>) -> std::result::Result<String, String> {
+        let shared = self.entry(name)?;
+        let entry = shared.lock().unwrap();
+        let configured = entry.stream.params().k;
+        if let Some(k) = k {
+            if k != configured {
+                return Err(format!(
+                    "QUERY k={k} but stream `{name}` is configured for k={configured}"
+                ));
+            }
+        }
+        let solution = entry.stream.finalize().map_err(|e| e.to_string())?;
+        let ids: Vec<String> = solution.ids().iter().map(usize::to_string).collect();
+        Ok(format!(
+            "k={} diversity={} ids={}",
+            solution.len(),
+            solution.diversity,
+            ids.join(",")
+        ))
+    }
+
+    /// `SNAPSHOT`: checkpoint the named stream to an explicit path.
+    pub fn snapshot(&self, name: &str, path: &str) -> std::result::Result<String, String> {
+        let shared = self.entry(name)?;
+        let entry = shared.lock().unwrap();
+        entry
+            .stream
+            .snapshot()
+            .write_to_file(path)
+            .map_err(|e| e.to_string())?;
+        Ok(format!(
+            "snapshot {path} processed={}",
+            entry.stream.processed()
+        ))
+    }
+
+    /// `RESTORE`: load a snapshot into stream `name`, replacing (after a
+    /// compatibility check) any live state of that name.
+    pub fn restore(&self, name: &str, path: &str) -> std::result::Result<String, String> {
+        let snapshot = Snapshot::read_from_file(path).map_err(|e| e.to_string())?;
+        let stream = AnyStream::restore(&snapshot).map_err(|e| e.to_string())?;
+        let processed = stream.processed();
+        if let Ok(existing) = self.entry(name) {
+            // Replace in place so every session bound to this stream sees
+            // the restored state.
+            let mut entry = existing.lock().unwrap();
+            snapshot
+                .params
+                .ensure_compatible(&entry.stream.params())
+                .map_err(|e| e.to_string())?;
+            entry.stream = stream;
+            // The restored state supersedes the WAL chain: re-anchor it.
+            self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+        } else {
+            let mut entry = StreamEntry {
+                stream,
+                inserts_since_snapshot: 0,
+                wal: None,
+            };
+            self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+            self.streams
+                .lock()
+                .unwrap()
+                .insert(name.to_string(), Arc::new(Mutex::new(entry)));
+        }
+        Ok(format!("restored {name} processed={processed}"))
+    }
+
+    /// `STATS` for one stream.
+    pub fn stats(&self, name: &str) -> std::result::Result<String, String> {
+        let shared = self.entry(name)?;
+        let entry = shared.lock().unwrap();
+        let params = entry.stream.params();
+        Ok(format!(
+            "stream={name} algorithm={} processed={} stored={} dim={} k={} shards={}",
+            params.algorithm,
+            entry.stream.processed(),
+            entry.stream.stored_elements(),
+            params.dim,
+            params.k,
+            params.shards
+        ))
+    }
+}
+
+/// The envelope parameters an `OPEN` specification implies, without
+/// building the stream (constructing the full guess ladders just to
+/// compare parameters on re-attach would be wasted work). Must mirror
+/// [`AnyStream::build`]: same tags, `dim = 0` (no element seen), shard
+/// counts of 1 and 0 both build the unsharded variant.
+fn spec_params(spec: &StreamSpec) -> std::result::Result<SnapshotParams, String> {
+    if !matches!(spec.algo.as_str(), "unconstrained" | "sfdm1" | "sfdm2") {
+        return Err(format!("unknown algorithm `{}`", spec.algo));
+    }
+    let bounds =
+        fdm_core::dataset::DistanceBounds::new(spec.dmin, spec.dmax).map_err(|e| e.to_string())?;
+    let shards = spec.shards.max(1);
+    let algorithm = if shards > 1 {
+        format!("sharded:{}", spec.algo)
+    } else {
+        spec.algo.clone()
+    };
+    Ok(SnapshotParams {
+        algorithm,
+        dim: 0,
+        epsilon: spec.epsilon,
+        metric: spec.metric,
+        bounds,
+        quotas: spec.quotas.clone(),
+        k: spec.k,
+        shards,
+    })
+}
+
+/// Validates an arriving element against a stream's live parameters:
+/// dimension (once known) and group label (for the fair algorithms).
+fn check_element(params: &SnapshotParams, element: &Element) -> std::result::Result<(), String> {
+    if params.dim != 0 && element.dim() != params.dim {
+        return Err(FdmError::DimensionMismatch {
+            expected: params.dim,
+            found: element.dim(),
+        }
+        .to_string());
+    }
+    if element.dim() == 0 {
+        return Err(FdmError::DimensionMismatch {
+            expected: params.dim.max(1),
+            found: 0,
+        }
+        .to_string());
+    }
+    if !params.quotas.is_empty() && element.group >= params.quotas.len() {
+        return Err(FdmError::InvalidGroup {
+            group: element.group,
+            num_groups: params.quotas.len(),
+        }
+        .to_string());
+    }
+    Ok(())
+}

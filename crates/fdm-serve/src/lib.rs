@@ -1,0 +1,37 @@
+//! # fdm-serve
+//!
+//! A daemon-style front end for the streaming fair-diversity summaries of
+//! `fdm-core`: instead of running one batch pass, the process hosts many
+//! **named streams** (multi-tenant), each backed by one of the paper's
+//! algorithms (unconstrained Algorithm 1, SFDM1, SFDM2, optionally sharded
+//! K ways), and drives them through a line protocol:
+//!
+//! ```text
+//! OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=20
+//! INSERT 0 1 0.25 3.5
+//! QUERY
+//! SNAPSHOT /var/lib/fdm/jobs.snap
+//! RESTORE /var/lib/fdm/jobs.snap
+//! STATS
+//! ```
+//!
+//! Sessions speak the protocol over stdin/stdout or a Unix domain socket;
+//! each session is bound to at most one named stream at a time, while the
+//! process serves all of them. See `docs/serve.md` for the full grammar.
+//!
+//! **Durability** comes from `fdm-core`'s versioned snapshots plus a
+//! per-stream write-ahead log: with `--data-dir` every accepted `INSERT`
+//! is appended to `<name>.wal` before it is applied, and every
+//! `--snapshot-every N` inserts the stream's summary is checkpointed to
+//! `<name>.snap` and the log truncated. On startup the engine restores
+//! every snapshot it finds and replays the tail of the log — the summary
+//! is the whole recoverable state, so recovery is restore-then-replay and
+//! the recovered process answers queries bit-identically to one that never
+//! crashed (pinned by `tests/protocol.rs` and the CI `serve` job).
+
+pub mod engine;
+pub mod protocol;
+pub mod session;
+
+pub use engine::{Engine, ServeConfig};
+pub use session::Session;

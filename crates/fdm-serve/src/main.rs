@@ -1,0 +1,130 @@
+//! The `fdm-serve` binary: protocol sessions over stdin/stdout and,
+//! optionally, a Unix domain socket, with WAL + auto-snapshot durability.
+//!
+//! ```text
+//! fdm-serve [--data-dir DIR] [--snapshot-every N] [--socket PATH]
+//! ```
+//!
+//! * `--data-dir DIR` — enable durability: per-stream WAL + snapshots in
+//!   `DIR`, with restore-then-replay crash recovery on startup.
+//! * `--snapshot-every N` — auto-snapshot (and truncate the WAL) every N
+//!   accepted inserts per stream.
+//! * `--socket PATH` — additionally accept protocol sessions on a Unix
+//!   domain socket (one thread per connection); the process then keeps
+//!   serving after stdin closes.
+//!
+//! See `docs/serve.md` for the protocol and `examples/serve_session.sh`
+//! for a scripted end-to-end session.
+
+use std::io::{BufReader, Write as _};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fdm_serve::{Engine, ServeConfig, Session};
+
+struct Args {
+    config: ServeConfig,
+    socket: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServeConfig::default();
+    let mut socket = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} requires a value"));
+        match arg.as_str() {
+            "--data-dir" => config.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--snapshot-every" => {
+                let n: u64 = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every: invalid number".to_string())?;
+                config.snapshot_every = Some(n);
+            }
+            "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: fdm-serve [--data-dir DIR] [--snapshot-every N] [--socket PATH]"
+                        .to_string(),
+                )
+            }
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    if config.snapshot_every.is_some() && config.data_dir.is_none() {
+        return Err("--snapshot-every requires --data-dir".to_string());
+    }
+    Ok(Args { config, socket })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let engine = match Engine::new(args.config) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("fdm-serve: recovery failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recovered = engine.stream_names();
+    if !recovered.is_empty() {
+        eprintln!("fdm-serve: recovered streams: {}", recovered.join(", "));
+    }
+
+    let socket_thread = args.socket.map(|path| {
+        // A stale socket file from a previous run blocks bind; remove it.
+        let _ = std::fs::remove_file(&path);
+        let listener = match UnixListener::bind(&path) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("fdm-serve: bind {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        eprintln!("fdm-serve: listening on {}", path.display());
+        let engine = engine.clone();
+        std::thread::spawn(move || {
+            for connection in listener.incoming() {
+                match connection {
+                    Ok(stream) => {
+                        let engine = engine.clone();
+                        std::thread::spawn(move || {
+                            let reader = match stream.try_clone() {
+                                Ok(reader) => BufReader::new(reader),
+                                Err(e) => {
+                                    eprintln!("fdm-serve: clone connection: {e}");
+                                    return;
+                                }
+                            };
+                            let mut writer = stream;
+                            if let Err(e) = Session::new(engine).run(reader, &mut writer) {
+                                eprintln!("fdm-serve: session error: {e}");
+                            }
+                            let _ = writer.flush();
+                        });
+                    }
+                    Err(e) => eprintln!("fdm-serve: accept: {e}"),
+                }
+            }
+        })
+    });
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    if let Err(e) = Session::new(engine).run(stdin.lock(), stdout.lock()) {
+        eprintln!("fdm-serve: stdin session error: {e}");
+    }
+
+    // With a socket configured the process is a daemon: keep serving
+    // connections after stdin closes.
+    if let Some(handle) = socket_thread {
+        let _ = handle.join();
+    }
+}

@@ -1,0 +1,307 @@
+//! The line protocol: command grammar and stream specifications.
+//!
+//! One command per line, fields separated by whitespace, one `OK ...` or
+//! `ERR ...` response line per command. The grammar is documented in
+//! `docs/serve.md`; parsing lives here so the session loop, the WAL
+//! replayer, and the tests all share one implementation.
+
+use fdm_core::metric::Metric;
+use fdm_core::point::Element;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `OPEN <name> <algo> key=value...` — create (or re-attach to) a named
+    /// stream.
+    Open {
+        /// Stream name (`[A-Za-z0-9_-]+`).
+        name: String,
+        /// Algorithm + parameters.
+        spec: StreamSpec,
+    },
+    /// `INSERT <id> <group> <x1> ... <xd>` — feed one stream element.
+    Insert(Element),
+    /// `QUERY [k]` — run post-processing and return the current solution.
+    Query {
+        /// Optional solution size; must match the configured `k`.
+        k: Option<usize>,
+    },
+    /// `SNAPSHOT <path>` — checkpoint the bound stream to a file.
+    Snapshot {
+        /// Destination path.
+        path: String,
+    },
+    /// `RESTORE <path>` — load a snapshot into the session.
+    Restore {
+        /// Source path.
+        path: String,
+    },
+    /// `STATS` — processed/stored counters of the bound stream.
+    Stats,
+    /// `PING` — liveness check.
+    Ping,
+    /// `QUIT` — end the session.
+    Quit,
+}
+
+/// Algorithm choice + parameters from an `OPEN` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// `unconstrained`, `sfdm1`, or `sfdm2`.
+    pub algo: String,
+    /// Guess-ladder accuracy `ε ∈ (0, 1)`.
+    pub epsilon: f64,
+    /// Lower distance bound `d_min > 0`.
+    pub dmin: f64,
+    /// Upper distance bound `d_max ≥ d_min`.
+    pub dmax: f64,
+    /// Distance metric (default Euclidean).
+    pub metric: Metric,
+    /// Per-group quotas (fair algorithms); empty for `unconstrained`.
+    pub quotas: Vec<usize>,
+    /// Solution size for `unconstrained` (`Σ quotas` otherwise).
+    pub k: usize,
+    /// Shard count (default 1 = unsharded).
+    pub shards: usize,
+}
+
+/// Whether a stream name is safe to bind (and to embed in data-dir file
+/// names): ASCII alphanumerics, `_`, `-`, non-empty.
+pub fn valid_stream_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_metric(text: &str) -> std::result::Result<Metric, String> {
+    match text {
+        "euclidean" => Ok(Metric::Euclidean),
+        "manhattan" => Ok(Metric::Manhattan),
+        "chebyshev" => Ok(Metric::Chebyshev),
+        "angular" => Ok(Metric::Angular),
+        other => {
+            if let Some(p) = other.strip_prefix("minkowski:") {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| format!("invalid Minkowski order `{p}`"))?;
+                Ok(Metric::Minkowski(p))
+            } else {
+                Err(format!(
+                    "unknown metric `{other}` (expected euclidean, manhattan, \
+                     chebyshev, angular, or minkowski:<p>)"
+                ))
+            }
+        }
+    }
+}
+
+impl StreamSpec {
+    /// Parses the `<algo> key=value...` tail of an `OPEN` command.
+    pub fn parse(fields: &[&str]) -> std::result::Result<StreamSpec, String> {
+        let algo = *fields.first().ok_or("OPEN requires an algorithm")?;
+        if !matches!(algo, "unconstrained" | "sfdm1" | "sfdm2") {
+            return Err(format!(
+                "unknown algorithm `{algo}` (expected unconstrained, sfdm1, or sfdm2)"
+            ));
+        }
+        let mut epsilon = None;
+        let mut dmin = None;
+        let mut dmax = None;
+        let mut metric = Metric::Euclidean;
+        let mut quotas: Vec<usize> = Vec::new();
+        let mut k: Option<usize> = None;
+        let mut shards = 1usize;
+        for field in &fields[1..] {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, found `{field}`"))?;
+            let bad = |what: &str| format!("invalid {what} `{value}`");
+            match key {
+                "eps" => epsilon = Some(value.parse::<f64>().map_err(|_| bad("eps"))?),
+                "dmin" => dmin = Some(value.parse::<f64>().map_err(|_| bad("dmin"))?),
+                "dmax" => dmax = Some(value.parse::<f64>().map_err(|_| bad("dmax"))?),
+                "metric" => metric = parse_metric(value)?,
+                "quotas" => {
+                    quotas = value
+                        .split(',')
+                        .map(|q| q.parse::<usize>().map_err(|_| bad("quotas")))
+                        .collect::<std::result::Result<_, _>>()?;
+                }
+                "k" => k = Some(value.parse::<usize>().map_err(|_| bad("k"))?),
+                "shards" => shards = value.parse::<usize>().map_err(|_| bad("shards"))?,
+                other => return Err(format!("unknown OPEN parameter `{other}`")),
+            }
+        }
+        let epsilon = epsilon.ok_or("OPEN requires eps=<f>")?;
+        let dmin = dmin.ok_or("OPEN requires dmin=<f>")?;
+        let dmax = dmax.ok_or("OPEN requires dmax=<f>")?;
+        let k = match (algo, k, quotas.is_empty()) {
+            ("unconstrained", Some(k), true) => k,
+            ("unconstrained", None, _) => return Err("unconstrained requires k=<n>".into()),
+            ("unconstrained", _, false) => {
+                return Err("unconstrained takes k=<n>, not quotas".into())
+            }
+            (_, Some(_), _) => {
+                return Err(format!("{algo} takes quotas=a,b,..., not k (k = Σ quotas)"))
+            }
+            (_, None, true) => return Err(format!("{algo} requires quotas=a,b,...")),
+            (_, None, false) => quotas.iter().sum(),
+        };
+        Ok(StreamSpec {
+            algo: algo.to_string(),
+            epsilon,
+            dmin,
+            dmax,
+            metric,
+            quotas,
+            k,
+            shards,
+        })
+    }
+}
+
+/// Parses an `INSERT` tail (`<id> <group> <x1> ... <xd>`) into an element,
+/// rejecting non-finite coordinates.
+pub fn parse_insert(fields: &[&str]) -> std::result::Result<Element, String> {
+    if fields.len() < 3 {
+        return Err("INSERT requires <id> <group> <x1> [... <xd>]".to_string());
+    }
+    let id: usize = fields[0]
+        .parse()
+        .map_err(|_| format!("invalid element id `{}`", fields[0]))?;
+    let group: usize = fields[1]
+        .parse()
+        .map_err(|_| format!("invalid group label `{}`", fields[1]))?;
+    let point: Vec<f64> = fields[2..]
+        .iter()
+        .map(|f| {
+            f.parse::<f64>()
+                .ok()
+                .filter(|x| x.is_finite())
+                .ok_or_else(|| format!("invalid coordinate `{f}`"))
+        })
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(Element::new(id, point, group))
+}
+
+/// Parses one protocol line. Empty lines and `#` comments yield `None`.
+pub fn parse_line(line: &str) -> std::result::Result<Option<Command>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let verb = fields[0].to_ascii_uppercase();
+    let command = match verb.as_str() {
+        "OPEN" => {
+            if fields.len() < 3 {
+                return Err("OPEN requires <name> <algo> key=value...".into());
+            }
+            let name = fields[1].to_string();
+            if !valid_stream_name(&name) {
+                return Err(format!("invalid stream name `{name}` (use [A-Za-z0-9_-]+)"));
+            }
+            let spec = StreamSpec::parse(&fields[2..])?;
+            Command::Open { name, spec }
+        }
+        "INSERT" => Command::Insert(parse_insert(&fields[1..])?),
+        "QUERY" => {
+            let k = match fields.get(1) {
+                None => None,
+                Some(f) => Some(
+                    f.parse::<usize>()
+                        .map_err(|_| format!("invalid QUERY size `{f}`"))?,
+                ),
+            };
+            Command::Query { k }
+        }
+        "SNAPSHOT" => Command::Snapshot {
+            path: fields.get(1).ok_or("SNAPSHOT requires a path")?.to_string(),
+        },
+        "RESTORE" => Command::Restore {
+            path: fields.get(1).ok_or("RESTORE requires a path")?.to_string(),
+        },
+        "STATS" => Command::Stats,
+        "PING" => Command::Ping,
+        "QUIT" | "EXIT" => Command::Quit,
+        other => return Err(format!("unknown command `{other}`")),
+    };
+    Ok(Some(command))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_open_variants() {
+        let cmd = parse_line("OPEN jobs sfdm2 quotas=2,3 eps=0.1 dmin=0.5 dmax=9")
+            .unwrap()
+            .unwrap();
+        match cmd {
+            Command::Open { name, spec } => {
+                assert_eq!(name, "jobs");
+                assert_eq!(spec.algo, "sfdm2");
+                assert_eq!(spec.quotas, vec![2, 3]);
+                assert_eq!(spec.k, 5);
+                assert_eq!(spec.shards, 1);
+                assert_eq!(spec.metric, Metric::Euclidean);
+            }
+            other => panic!("{other:?}"),
+        }
+        let cmd = parse_line(
+            "open u unconstrained k=6 eps=0.2 dmin=1 dmax=10 metric=minkowski:3 shards=4",
+        )
+        .unwrap()
+        .unwrap();
+        match cmd {
+            Command::Open { spec, .. } => {
+                assert_eq!(spec.k, 6);
+                assert_eq!(spec.shards, 4);
+                assert_eq!(spec.metric, Metric::Minkowski(3.0));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_rejects_bad_shapes() {
+        for line in [
+            "OPEN a sfdm2 eps=0.1 dmin=1 dmax=2",                // no quotas
+            "OPEN a sfdm2 quotas=2,2 k=4 eps=0.1 dmin=1 dmax=2", // both
+            "OPEN a unconstrained eps=0.1 dmin=1 dmax=2",        // no k
+            "OPEN a unconstrained k=4 quotas=2 eps=0.1 dmin=1 dmax=2",
+            "OPEN a bogus k=4 eps=0.1 dmin=1 dmax=2",
+            "OPEN ../evil sfdm2 quotas=2,2 eps=0.1 dmin=1 dmax=2",
+            "OPEN a sfdm2 quotas=2,2 dmin=1 dmax=2", // no eps
+            "OPEN a sfdm2 quotas=2,2 eps=0.1 dmin=1 dmax=2 bogus=1",
+        ] {
+            assert!(parse_line(line).is_err(), "{line}");
+        }
+    }
+
+    #[test]
+    fn parses_insert_and_rejects_non_finite() {
+        let cmd = parse_line("INSERT 7 1 0.5 -2.25").unwrap().unwrap();
+        match cmd {
+            Command::Insert(e) => {
+                assert_eq!(e.id, 7);
+                assert_eq!(e.group, 1);
+                assert_eq!(&e.point[..], &[0.5, -2.25]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line("INSERT 7 1 NaN").is_err());
+        assert!(parse_line("INSERT 7 1 inf").is_err());
+        assert!(parse_line("INSERT 7").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        assert_eq!(parse_line("").unwrap(), None);
+        assert_eq!(parse_line("  # hi").unwrap(), None);
+        assert_eq!(parse_line("PING").unwrap(), Some(Command::Ping));
+        assert_eq!(parse_line("quit").unwrap(), Some(Command::Quit));
+    }
+}

@@ -1,0 +1,119 @@
+//! One protocol session: a command loop over any `BufRead`/`Write` pair.
+//!
+//! Sessions are cheap: they hold an engine reference and the name of the
+//! stream they are currently bound to (`OPEN`/`RESTORE` bind it). The same
+//! loop serves stdin/stdout, each Unix-socket connection, the WAL-driven
+//! tests, and the scripted CI session.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use crate::engine::Engine;
+use crate::protocol::{parse_line, valid_stream_name, Command};
+
+/// A single client session bound to the shared [`Engine`].
+pub struct Session {
+    engine: Arc<Engine>,
+    current: Option<String>,
+}
+
+impl Session {
+    /// Creates a session over the shared engine.
+    pub fn new(engine: Arc<Engine>) -> Session {
+        Session {
+            engine,
+            current: None,
+        }
+    }
+
+    /// The stream this session is currently bound to.
+    pub fn current_stream(&self) -> Option<&str> {
+        self.current.as_deref()
+    }
+
+    /// Executes one already-parsed command, returning the response payload
+    /// (without the `OK ` prefix) or an error message.
+    pub fn execute(&mut self, command: Command, raw_line: &str) -> Result<String, String> {
+        let bound = |current: &Option<String>| -> Result<String, String> {
+            current
+                .clone()
+                .ok_or_else(|| "no stream bound to this session (OPEN or RESTORE first)".into())
+        };
+        match command {
+            Command::Open { name, spec } => {
+                let reply = self.engine.open(&name, &spec)?;
+                self.current = Some(name);
+                Ok(reply)
+            }
+            Command::Insert(element) => {
+                let name = bound(&self.current)?;
+                self.engine.insert(&name, &element, raw_line)
+            }
+            Command::Query { k } => {
+                let name = bound(&self.current)?;
+                self.engine.query(&name, k)
+            }
+            Command::Snapshot { path } => {
+                let name = bound(&self.current)?;
+                self.engine.snapshot(&name, &path)
+            }
+            Command::Restore { path } => {
+                // Without an explicit binding the stream takes its name
+                // from the snapshot file stem.
+                let name = match &self.current {
+                    Some(name) => name.clone(),
+                    None => {
+                        let stem = std::path::Path::new(&path)
+                            .file_stem()
+                            .and_then(|s| s.to_str())
+                            .unwrap_or_default()
+                            .to_string();
+                        if !valid_stream_name(&stem) {
+                            return Err(format!(
+                                "cannot derive a stream name from `{path}`; OPEN a stream first"
+                            ));
+                        }
+                        stem
+                    }
+                };
+                let reply = self.engine.restore(&name, &path)?;
+                self.current = Some(name);
+                Ok(reply)
+            }
+            Command::Stats => {
+                let name = bound(&self.current)?;
+                self.engine.stats(&name)
+            }
+            Command::Ping => Ok("pong".to_string()),
+            Command::Quit => Ok("bye".to_string()),
+        }
+    }
+
+    /// Runs the command loop until `QUIT` or EOF. Every input line yields
+    /// exactly one `OK ...`/`ERR ...` response line (blank lines and `#`
+    /// comments are skipped).
+    pub fn run(&mut self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            match parse_line(&line) {
+                Ok(None) => continue,
+                Ok(Some(command)) => {
+                    let quit = command == Command::Quit;
+                    match self.execute(command, &line) {
+                        Ok(reply) => writeln!(writer, "OK {reply}")?,
+                        Err(message) => writeln!(writer, "ERR {message}")?,
+                    }
+                    writer.flush()?;
+                    if quit {
+                        break;
+                    }
+                }
+                Err(message) => {
+                    writeln!(writer, "ERR {message}")?;
+                    writer.flush()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}

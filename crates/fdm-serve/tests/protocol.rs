@@ -1,0 +1,353 @@
+//! End-to-end protocol tests: scripted sessions, snapshot/kill/restore
+//! byte-identity, WAL crash recovery, Unix-socket sessions, and error
+//! surfaces.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use fdm_serve::{Engine, ServeConfig, Session};
+
+/// Fresh per-test scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdm_serve_test_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs a scripted session against a fresh in-memory engine and returns the
+/// response lines.
+fn run_script(engine: &Arc<Engine>, script: &str) -> Vec<String> {
+    let mut output = Vec::new();
+    Session::new(engine.clone())
+        .run(Cursor::new(script.as_bytes().to_vec()), &mut output)
+        .unwrap();
+    String::from_utf8(output)
+        .unwrap()
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn memory_engine() -> Arc<Engine> {
+    Arc::new(Engine::new(ServeConfig::default()).unwrap())
+}
+
+/// A deterministic 2-group stream of `n` INSERT lines.
+fn insert_lines(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7391).sin() * 9.0;
+            let y = (i as f64 * 0.2113).cos() * 9.0;
+            format!("INSERT {i} {} {x} {y}", i % 2)
+        })
+        .collect()
+}
+
+const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
+
+#[test]
+fn uninterrupted_session_answers_queries() {
+    let engine = memory_engine();
+    let mut script = vec![OPEN.to_string()];
+    script.extend(insert_lines(60));
+    script.push("STATS".into());
+    script.push("QUERY".into());
+    script.push("QUERY 4".into());
+    script.push("QUIT".into());
+    let replies = run_script(&engine, &script.join("\n"));
+    assert_eq!(replies[0], "OK opened jobs");
+    assert!(replies[1..=60].iter().all(|r| r.starts_with("OK inserted")));
+    assert!(replies[61].starts_with("OK stream=jobs algorithm=sfdm2"));
+    assert!(replies[62].starts_with("OK k=4 diversity="));
+    assert_eq!(
+        replies[62], replies[63],
+        "explicit k must not change output"
+    );
+    assert_eq!(replies.last().unwrap(), "OK bye");
+}
+
+#[test]
+fn snapshot_kill_restore_is_byte_identical() {
+    let dir = scratch("snap_restore");
+    let snap = dir.join("jobs.snap").display().to_string();
+    let inserts = insert_lines(80);
+
+    // Uninterrupted reference run.
+    let reference = {
+        let engine = memory_engine();
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts.iter().cloned());
+        script.push("QUERY".into());
+        run_script(&engine, &script.join("\n"))
+            .last()
+            .unwrap()
+            .clone()
+    };
+
+    // Interrupted run: first half, SNAPSHOT, then the engine is dropped
+    // ("killed"); a brand-new engine RESTOREs and replays the second half.
+    {
+        let engine = memory_engine();
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts[..40].iter().cloned());
+        script.push(format!("SNAPSHOT {snap}"));
+        let replies = run_script(&engine, &script.join("\n"));
+        assert!(
+            replies.last().unwrap().starts_with("OK snapshot"),
+            "{replies:?}"
+        );
+    }
+    let resumed = {
+        let engine = memory_engine();
+        let mut script = vec![format!("RESTORE {snap}")];
+        script.extend(inserts[40..].iter().cloned());
+        script.push("QUERY".into());
+        let replies = run_script(&engine, &script.join("\n"));
+        assert_eq!(replies[0], "OK restored jobs processed=40");
+        replies.last().unwrap().clone()
+    };
+
+    assert!(reference.starts_with("OK k="), "{reference}");
+    assert_eq!(
+        reference, resumed,
+        "post-restore QUERY must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_crash_recovery_replays_the_tail() {
+    let dir = scratch("wal_recovery");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        snapshot_every: Some(16),
+    };
+    let inserts = insert_lines(70);
+
+    // Reference: one uninterrupted in-memory run.
+    let reference = {
+        let engine = memory_engine();
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts.iter().cloned());
+        script.push("QUERY".into());
+        run_script(&engine, &script.join("\n"))
+            .last()
+            .unwrap()
+            .clone()
+    };
+
+    // Durable run, dropped without any explicit snapshot command: 70
+    // inserts = 4 auto-snapshots (at 16/32/48/64) + 6 WAL-tail lines.
+    {
+        let engine = Arc::new(Engine::new(config.clone()).unwrap());
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts.iter().cloned());
+        let replies = run_script(&engine, &script.join("\n"));
+        assert!(replies.iter().all(|r| r.starts_with("OK ")), "{replies:?}");
+        // Crash: engine dropped here, nothing flushed beyond the WAL.
+    }
+    let wal = std::fs::read_to_string(dir.join("jobs.wal")).unwrap();
+    assert_eq!(
+        wal.lines().count(),
+        70 - 64,
+        "WAL should hold only the post-snapshot tail"
+    );
+
+    // Recovery: a new engine over the same data dir replays snap + WAL.
+    let engine = Arc::new(Engine::new(config).unwrap());
+    assert_eq!(engine.stream_names(), vec!["jobs".to_string()]);
+    let replies = run_script(&engine, &format!("{OPEN}\nSTATS\nQUERY"));
+    assert_eq!(replies[0], "OK attached jobs processed=70");
+    assert!(replies[1].contains("processed=70"), "{}", replies[1]);
+    assert_eq!(replies[2], reference, "recovered QUERY must match");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_skips_wal_records_already_in_snapshot() {
+    // The crash window between an auto-snapshot write and the WAL
+    // truncation leaves records in the WAL that the snapshot already
+    // contains; the sequence numbers must make replay exactly-once (no
+    // inflated `processed`, identical QUERY output).
+    let dir = scratch("wal_overlap");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        snapshot_every: Some(16),
+    };
+    let inserts = insert_lines(20);
+
+    let reference = {
+        let engine = memory_engine();
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts.iter().cloned());
+        script.push("QUERY".into());
+        run_script(&engine, &script.join("\n"))
+            .last()
+            .unwrap()
+            .clone()
+    };
+
+    {
+        let engine = Arc::new(Engine::new(config.clone()).unwrap());
+        let mut script = vec![OPEN.to_string()];
+        script.extend(inserts.iter().cloned());
+        run_script(&engine, &script.join("\n"));
+    }
+    // Snapshot holds arrivals 1..=16; WAL holds 17..=20. Simulate the
+    // crash window by re-prepending records 9..=16 (already snapshotted).
+    let wal_path = dir.join("jobs.wal");
+    let tail = std::fs::read_to_string(&wal_path).unwrap();
+    assert_eq!(tail.lines().count(), 4);
+    let mut overlapping = String::new();
+    for (i, line) in inserts.iter().enumerate().take(16).skip(8) {
+        overlapping.push_str(&format!("{} {line}\n", i + 1));
+    }
+    overlapping.push_str(&tail);
+    std::fs::write(&wal_path, overlapping).unwrap();
+
+    let engine = Arc::new(Engine::new(config).unwrap());
+    let replies = run_script(&engine, &format!("{OPEN}\nSTATS\nQUERY"));
+    assert_eq!(
+        replies[0], "OK attached jobs processed=20",
+        "overlapping WAL records must not double-apply"
+    );
+    assert_eq!(replies[2], reference, "recovered QUERY must match");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wal_sequence_gaps_are_corrupt() {
+    let dir = scratch("wal_gap");
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        snapshot_every: Some(100),
+    };
+    {
+        let engine = Arc::new(Engine::new(config.clone()).unwrap());
+        let mut script = vec![OPEN.to_string()];
+        script.extend(insert_lines(5));
+        run_script(&engine, &script.join("\n"));
+    }
+    // Drop record 3 of 5: a hole in the history cannot be replayed
+    // faithfully and must refuse recovery instead of guessing.
+    let wal_path = dir.join("jobs.wal");
+    let wal = std::fs::read_to_string(&wal_path).unwrap();
+    let kept: Vec<&str> = wal.lines().filter(|l| !l.starts_with("3 ")).collect();
+    assert_eq!(kept.len(), 4);
+    std::fs::write(&wal_path, kept.join("\n")).unwrap();
+    let err = match Engine::new(config) {
+        Err(err) => err,
+        Ok(_) => panic!("recovery over a gapped WAL must fail"),
+    };
+    assert!(err.to_string().contains("sequence gap"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_refuses_incompatible_live_stream() {
+    let dir = scratch("incompatible");
+    let snap = dir.join("other.snap").display().to_string();
+    let engine = memory_engine();
+    // Snapshot a 3-d unconstrained stream.
+    let mut script = vec!["OPEN other unconstrained k=3 eps=0.1 dmin=0.05 dmax=30".to_string()];
+    script.push("INSERT 0 0 1 2 3".into());
+    script.push(format!("SNAPSHOT {snap}"));
+    let replies = run_script(&engine, &script.join("\n"));
+    assert!(replies.last().unwrap().starts_with("OK snapshot"));
+
+    // A session bound to an sfdm2 stream must refuse to restore it.
+    let engine = memory_engine();
+    let script = format!("{OPEN}\nRESTORE {snap}");
+    let replies = run_script(&engine, &script);
+    assert_eq!(replies[0], "OK opened jobs");
+    assert!(
+        replies[1].starts_with("ERR incompatible snapshot"),
+        "{}",
+        replies[1]
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let engine = memory_engine();
+    let script = [
+        "BOGUS",              // unknown command
+        "INSERT 0 0 1.0",     // no stream bound
+        "QUERY",              // no stream bound
+        OPEN,                 // ok
+        "INSERT 0 0 1.0",     // dim fixed at 2? no: first insert sets dim
+        "INSERT 1 1 2.0 3.0", // dimension mismatch with the 1-d first insert
+        "INSERT 2 9 4.0",     // group out of range
+        "QUERY 7",            // wrong k
+        "PING",
+    ]
+    .join("\n");
+    let replies = run_script(&engine, &script);
+    assert!(replies[0].starts_with("ERR unknown command"));
+    assert!(replies[1].starts_with("ERR no stream bound"));
+    assert!(replies[2].starts_with("ERR no stream bound"));
+    assert_eq!(replies[3], "OK opened jobs");
+    assert!(replies[4].starts_with("OK inserted"));
+    assert!(
+        replies[5].starts_with("ERR dimension mismatch"),
+        "{}",
+        replies[5]
+    );
+    assert!(replies[6].starts_with("ERR group label"), "{}", replies[6]);
+    assert!(replies[7].starts_with("ERR"), "{}", replies[7]);
+    assert_eq!(replies[8], "OK pong");
+}
+
+#[test]
+fn two_sessions_share_one_stream() {
+    let engine = memory_engine();
+    let a = run_script(&engine, &format!("{OPEN}\nINSERT 0 0 1 1\nINSERT 1 1 5 5"));
+    assert!(a.iter().all(|r| r.starts_with("OK ")), "{a:?}");
+    // Second session attaches by OPENing the same name with the same spec.
+    let b = run_script(&engine, &format!("{OPEN}\nSTATS"));
+    assert_eq!(b[0], "OK attached jobs processed=2");
+    assert!(b[1].contains("stored=2"), "{}", b[1]);
+    // Attaching with a different spec is refused.
+    let c = run_script(
+        &engine,
+        "OPEN jobs sfdm2 quotas=3,3 eps=0.1 dmin=0.05 dmax=30",
+    );
+    assert!(c[0].starts_with("ERR incompatible snapshot"), "{}", c[0]);
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_sessions_work() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let dir = scratch("socket");
+    let socket_path = dir.join("fdm.sock");
+    let listener = UnixListener::bind(&socket_path).unwrap();
+    let engine = memory_engine();
+    let server_engine = engine.clone();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Session::new(server_engine).run(reader, stream).unwrap();
+    });
+
+    let mut client = UnixStream::connect(&socket_path).unwrap();
+    write!(
+        client,
+        "{OPEN}\nINSERT 0 0 1 1\nINSERT 1 1 4 4\nSTATS\nQUIT\n"
+    )
+    .unwrap();
+    let replies: Vec<String> = BufReader::new(client.try_clone().unwrap())
+        .lines()
+        .map(|l| l.unwrap())
+        .collect();
+    assert_eq!(replies[0], "OK opened jobs");
+    assert!(replies[3].contains("processed=2"), "{}", replies[3]);
+    assert_eq!(replies[4], "OK bye");
+    server.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
