@@ -14,9 +14,12 @@
 //! * `--restore-from PATH` — resume each streaming run from a snapshot
 //!   (the already-processed prefix of the permuted stream is skipped, so a
 //!   resumed run finishes with results identical to an uninterrupted one;
-//!   incompatible snapshots are rejected with a typed error).
+//!   incompatible snapshots are rejected with a typed error);
+//! * `--snapshot-format json|bin` — encoding for written checkpoints
+//!   (default `bin`, the v2 binary codec; resume reads both).
 
 use crate::workloads::SizeMode;
+use fdm_core::persist::SnapshotFormat;
 
 /// Parsed common options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +39,9 @@ pub struct Options {
     pub snapshot_every: Option<usize>,
     /// Snapshot to resume the streaming runs from.
     pub restore_from: Option<String>,
+    /// Encoding for written checkpoints (`json` or `bin`; resume sniffs
+    /// the format either way).
+    pub snapshot_format: SnapshotFormat,
 }
 
 impl Default for Options {
@@ -48,6 +54,7 @@ impl Default for Options {
             shards: 1,
             snapshot_every: None,
             restore_from: None,
+            snapshot_format: SnapshotFormat::default(),
         }
     }
 }
@@ -77,10 +84,16 @@ impl Options {
                             .ok_or_else(|| "--restore-from requires a path".to_string())?,
                     )
                 }
+                "--snapshot-format" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--snapshot-format requires json or bin".to_string())?;
+                    opts.snapshot_format = SnapshotFormat::parse(&value)?;
+                }
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--quick|--full] [--trials N] [--k N] [--seed N] [--shards N] \
-                         [--snapshot-every N] [--restore-from PATH]"
+                         [--snapshot-every N] [--restore-from PATH] [--snapshot-format json|bin]"
                             .to_string(),
                     )
                 }

@@ -9,6 +9,8 @@
 //!   offline baselines keep the whole dataset, i.e. `n`).
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use fdm_core::balance::SwapStrategy;
@@ -20,7 +22,7 @@ use fdm_core::offline::fair_flow::{FairFlow, FairFlowConfig};
 use fdm_core::offline::fair_gmm::{FairGmm, FairGmmConfig};
 use fdm_core::offline::fair_swap::{FairSwap, FairSwapConfig};
 use fdm_core::offline::gmm::gmm;
-use fdm_core::persist::{Snapshot, Snapshottable};
+use fdm_core::persist::{Snapshot, SnapshotFormat, Snapshottable};
 use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
@@ -98,7 +100,7 @@ impl RunResult {
 }
 
 /// Snapshot/restore options for the streaming runs (the `--snapshot-every`
-/// / `--restore-from` CLI flags land here).
+/// / `--restore-from` / `--snapshot-format` CLI flags land here).
 #[derive(Debug, Clone, Default)]
 pub struct PersistOpts {
     /// Checkpoint the summary every N ingested arrivals.
@@ -106,12 +108,48 @@ pub struct PersistOpts {
     /// Where periodic checkpoints are written (required when
     /// `snapshot_every` is set; overwritten in place, latest wins).
     pub snapshot_path: Option<PathBuf>,
+    /// Encoding for written checkpoints (restore sniffs the format, so
+    /// either reads back).
+    pub snapshot_format: SnapshotFormat,
     /// Resume from this snapshot: the summary is restored (after a
     /// compatibility check against the run's own configuration — a
     /// mismatching snapshot is a typed error, never garbage distances) and
     /// the already-processed prefix of the permuted stream is skipped, so
     /// the resumed run finishes bit-identically to an uninterrupted one.
     pub restore_from: Option<PathBuf>,
+    /// Pre-parsed resume snapshot. [`run_averaged_sharded_persist`] fills
+    /// this by reading `restore_from` **once** before its repetition loop,
+    /// so per-trial runs never re-read and re-parse the file; callers can
+    /// also hand a snapshot they already hold. Takes precedence over
+    /// `restore_from`.
+    pub restore_snapshot: Option<Arc<Snapshot>>,
+}
+
+/// Times `Snapshot::read_from_file` was invoked by this module — the
+/// regression counter for the "restore hoisted out of the repetition
+/// loop" guarantee (see `snapshot_reads_happen_once_per_resume` in the
+/// tests).
+static SNAPSHOT_FILE_READS: AtomicUsize = AtomicUsize::new(0);
+
+/// Current value of the snapshot-file read counter.
+pub fn snapshot_file_reads() -> usize {
+    SNAPSHOT_FILE_READS.load(Ordering::SeqCst)
+}
+
+/// Reads and parses a resume snapshot, counting the read.
+fn read_restore_snapshot(path: &PathBuf) -> Result<Arc<Snapshot>> {
+    SNAPSHOT_FILE_READS.fetch_add(1, Ordering::SeqCst);
+    Ok(Arc::new(Snapshot::read_from_file(path)?))
+}
+
+/// The snapshot a run should resume from, if any: the pre-parsed one when
+/// present, else one (counted) file read.
+fn resume_snapshot(persist: &PersistOpts) -> Result<Option<Arc<Snapshot>>> {
+    match (&persist.restore_snapshot, &persist.restore_from) {
+        (Some(snapshot), _) => Ok(Some(snapshot.clone())),
+        (None, Some(path)) => read_restore_snapshot(path).map(Some),
+        (None, None) => Ok(None),
+    }
 }
 
 /// Parameters shared by all runs of one experiment cell.
@@ -241,12 +279,11 @@ fn run_sharded_streaming<S: ShardAlgorithm + Snapshottable>(
     run: &RunConfig,
 ) -> Result<RunResult> {
     let shards = run.shards.max(1);
-    let mut alg: ShardedStream<S> = match &run.persist.restore_from {
-        Some(path) => {
+    let mut alg: ShardedStream<S> = match resume_snapshot(&run.persist)? {
+        Some(snapshot) => {
             // Check the snapshot against this run's own configuration
             // *before* trusting its state: a wrong-algorithm/ε/metric/
             // quota snapshot must be a typed error, not garbage distances.
-            let snapshot = Snapshot::read_from_file(path)?;
             let fresh: ShardedStream<S> = ShardedStream::new(alg_config.clone(), shards)?;
             snapshot
                 .params
@@ -315,6 +352,7 @@ fn run_sharded_streaming<S: ShardAlgorithm + Snapshottable>(
 struct Checkpointer<'a> {
     every: Option<usize>,
     path: Option<&'a PathBuf>,
+    format: SnapshotFormat,
     since_snapshot: usize,
 }
 
@@ -328,6 +366,7 @@ impl<'a> Checkpointer<'a> {
         Ok(Checkpointer {
             every: persist.snapshot_every,
             path: persist.snapshot_path.as_ref(),
+            format: persist.snapshot_format,
             since_snapshot: 0,
         })
     }
@@ -339,7 +378,7 @@ impl<'a> Checkpointer<'a> {
         self.since_snapshot += ingested;
         if self.since_snapshot >= every {
             let path = self.path.expect("validated in Checkpointer::new");
-            alg.snapshot().write_to_file(path)?;
+            alg.snapshot().write_to_file_format(path, self.format)?;
             self.since_snapshot = 0;
         }
         Ok(())
@@ -396,7 +435,7 @@ pub fn run_averaged_sharded_persist(
     persist: &PersistOpts,
 ) -> Result<RunResult> {
     assert!(trials > 0);
-    if persist.restore_from.is_some() && trials > 1 {
+    if (persist.restore_from.is_some() || persist.restore_snapshot.is_some()) && trials > 1 {
         // Silently averaging resumed-from-the-wrong-permutation runs would
         // be wrong in a way no later check catches; refuse up front.
         return Err(fdm_core::FdmError::IncompatibleSnapshot {
@@ -405,6 +444,15 @@ pub fn run_averaged_sharded_persist(
                  different permutation, so a checkpoint of one cannot resume another"
             ),
         });
+    }
+    // Hoist the resume-snapshot read out of the repetition loop: the file
+    // is read and parsed exactly once here, and every repetition below
+    // resumes from the pre-parsed document.
+    let mut persist = persist.clone();
+    if persist.restore_snapshot.is_none() {
+        if let Some(path) = &persist.restore_from {
+            persist.restore_snapshot = Some(read_restore_snapshot(path)?);
+        }
     }
     let mut acc: Option<RunResult> = None;
     for seed in 0..trials as u64 {
@@ -542,6 +590,9 @@ mod tests {
 
     #[test]
     fn checkpoint_then_resume_matches_uninterrupted_run() {
+        // This test resumes from a file, which increments the global
+        // read counter the two counting tests below assert on.
+        let _guard = COUNTER_LOCK.lock().unwrap();
         let d = dataset();
         let c = FairnessConstraint::new(vec![3, 3]).unwrap();
         let dir = std::env::temp_dir().join(format!("fdm_measure_ckpt_{}", std::process::id()));
@@ -592,6 +643,92 @@ mod tests {
             matches!(err, fdm_core::FdmError::IncompatibleSnapshot { .. }),
             "{err}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Serializes the tests that assert on the global read counter.
+    static COUNTER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn snapshot_reads_happen_once_per_resume() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        // Regression: the prefix-skip resume used to read + parse the
+        // snapshot file inside the per-repetition path; the restore must
+        // be hoisted so one resume costs exactly one file read.
+        let d = dataset();
+        let c = FairnessConstraint::new(vec![3, 3]).unwrap();
+        let dir = std::env::temp_dir().join(format!("fdm_resume_reads_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("sfdm2.snap");
+
+        let mut ckpt = PersistOpts {
+            snapshot_every: Some(700),
+            snapshot_path: Some(snap.clone()),
+            ..Default::default()
+        };
+        run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 1, 1, &ckpt).unwrap();
+        assert!(snap.exists());
+
+        ckpt.snapshot_every = None;
+        ckpt.snapshot_path = None;
+        ckpt.restore_from = Some(snap.clone());
+        let before = snapshot_file_reads();
+        run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 1, 1, &ckpt).unwrap();
+        assert_eq!(
+            snapshot_file_reads() - before,
+            1,
+            "one resume must cost exactly one snapshot file read"
+        );
+
+        // A pre-parsed snapshot needs no file at all: delete it and run
+        // again — proof the per-repetition path cannot be re-reading.
+        let parsed = Arc::new(Snapshot::read_from_file(&snap).unwrap());
+        std::fs::remove_file(&snap).unwrap();
+        let preloaded = PersistOpts {
+            restore_snapshot: Some(parsed),
+            ..Default::default()
+        };
+        let before = snapshot_file_reads();
+        let r = run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 1, 1, &preloaded).unwrap();
+        assert!(r.diversity > 0.0);
+        assert_eq!(
+            snapshot_file_reads(),
+            before,
+            "a pre-parsed snapshot must not touch the filesystem"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_honor_the_configured_format() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let d = dataset();
+        let c = FairnessConstraint::new(vec![2, 2]).unwrap();
+        let dir = std::env::temp_dir().join(format!("fdm_ckpt_format_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (format, probe) in [
+            (SnapshotFormat::Binary, &b"FDMSNAP2"[..]),
+            (SnapshotFormat::Json, &b"{"[..]),
+        ] {
+            let snap = dir.join(format!("ckpt.{}", format.name()));
+            let opts = PersistOpts {
+                snapshot_every: Some(700),
+                snapshot_path: Some(snap.clone()),
+                snapshot_format: format,
+                ..Default::default()
+            };
+            run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 1, 1, &opts).unwrap();
+            let bytes = std::fs::read(&snap).unwrap();
+            assert!(bytes.starts_with(probe), "{format:?}");
+            // Either format resumes through the same sniffing reader.
+            let resume = PersistOpts {
+                restore_from: Some(snap),
+                ..Default::default()
+            };
+            run_averaged_sharded_persist(&d, Algo::Sfdm2, &c, 0.1, 1, 1, &resume).unwrap();
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,490 @@
+//! Incremental (delta) snapshots: structural diffs between consecutive
+//! checkpoints of one streaming summary.
+//!
+//! A full snapshot rewrites the whole summary even though the streaming
+//! state is **append-mostly**: the arena only grows, candidate member
+//! lists only gain ids, and everything else is a handful of counters. A
+//! [`SnapshotDelta`] captures exactly that shape — it is a patch from one
+//! captured state value tree to the next:
+//!
+//! * arrays whose old content is a bit-identical prefix of the new content
+//!   record only the **appended suffix** (the arena's coordinate/group/id
+//!   blobs, each candidate lane's member list);
+//! * same-length arrays diff **element-wise** (the shard array of
+//!   [`ShardedStream`](crate::streaming::sharded::ShardedStream), the
+//!   fixed-length ladder lanes);
+//! * objects diff **per key** (unchanged keys cost one byte);
+//! * anything else is replaced wholesale.
+//!
+//! Equality is `f64`-**bitwise**, so a patch can never silently launder a
+//! `-0.0`/`0.0` or NaN-payload difference.
+//!
+//! ## Chain integrity
+//!
+//! A delta only makes sense against the exact state it was diffed from.
+//! Each delta therefore stores the CRC32 of its base state's canonical
+//! binary encoding ([`state_crc`]); [`SnapshotDelta::apply_to`] recomputes
+//! it and refuses a mismatched base with
+//! [`FdmError::IncompatibleSnapshot`]. Consumers chain
+//! `full + delta.1 + delta.2 + …`, verifying each link; a crashed writer
+//! can leave a *stale* delta from a superseded chain behind, which the
+//! CRC check turns into a clean chain end instead of corrupt state (the
+//! write-ahead log covers everything after the last good link — see
+//! `fdm-serve`'s engine).
+//!
+//! On disk a delta is framed exactly like a binary snapshot (magic
+//! `FDMDELT2`, version, CRC32'd sections), so the fuzz harness covers both
+//! decoders with one mutation engine.
+
+use std::path::Path;
+
+use serde::{Map, Value};
+
+use crate::error::{FdmError, Result};
+
+use super::codec::{
+    self, decode_section_value, encode_value_to_vec, read_header, read_section, write_section,
+    Reader,
+};
+use super::{write_bytes_atomic, Snapshot, SnapshotParams};
+
+/// Leading magic of a binary delta-snapshot file.
+pub const DELTA_MAGIC: [u8; 8] = *b"FDMDELT2";
+
+/// Delta container version (introduced with snapshot format v2).
+pub const DELTA_VERSION: u32 = 2;
+
+const SECTION_PARAMS: u8 = 1;
+const SECTION_BASE_CRC: u8 = 3;
+const SECTION_PATCH: u8 = 4;
+const SECTION_END: u8 = 0xFF;
+
+// Patch ops, encoded as single-key objects so they ride the ordinary value
+// codec. Key names are one byte on purpose: a delta is mostly ops.
+const OP_KEEP: &str = "k";
+const OP_REPLACE: &str = "r";
+const OP_APPEND: &str = "a";
+const OP_ELEMENTS: &str = "e";
+const OP_OBJECT: &str = "o";
+
+/// CRC32 of a state value tree's canonical binary encoding — the chain
+/// link identity used by [`SnapshotDelta`].
+pub fn state_crc(state: &Value) -> u32 {
+    codec::crc32(&encode_value_to_vec(state))
+}
+
+/// One incremental checkpoint: the patch from a base snapshot's state to a
+/// newer state of the same stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// Envelope parameters of the **new** state (the dimension may have
+    /// left its `0` wildcard since the base was captured; everything else
+    /// must match the base).
+    pub params: SnapshotParams,
+    /// [`state_crc`] of the base state this delta applies to.
+    pub base_crc: u32,
+    /// The patch tree (see the module docs for the op grammar).
+    patch: Value,
+}
+
+fn bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Number(x), Value::Number(y)) => x.to_bits() == y.to_bits(),
+        (Value::Array(x), Value::Array(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| bits_eq(u, v))
+        }
+        (Value::Object(x), Value::Object(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((ka, va), (kb, vb))| ka == kb && bits_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+fn op(kind: &str, value: Value) -> Value {
+    let mut map = Map::new();
+    map.insert(kind.to_string(), value);
+    Value::Object(map)
+}
+
+/// Computes the patch from `base` to `new` (total: applying it always
+/// reproduces `new` bit-exactly; the diff only controls how *small* the
+/// patch is).
+fn diff(base: &Value, new: &Value) -> Value {
+    if bits_eq(base, new) {
+        return op(OP_KEEP, Value::Null);
+    }
+    match (base, new) {
+        (Value::Array(old), Value::Array(cur)) if cur.len() > old.len() => {
+            if old.iter().zip(cur).all(|(a, b)| bits_eq(a, b)) {
+                op(OP_APPEND, Value::Array(cur[old.len()..].to_vec()))
+            } else {
+                op(OP_REPLACE, new.clone())
+            }
+        }
+        (Value::Array(old), Value::Array(cur)) if cur.len() == old.len() => {
+            let ops: Vec<Value> = old.iter().zip(cur).map(|(a, b)| diff(a, b)).collect();
+            op(OP_ELEMENTS, Value::Array(ops))
+        }
+        (Value::Object(old), Value::Object(cur)) => {
+            let same_keys = old.len() == cur.len()
+                && old
+                    .iter()
+                    .zip(cur.iter())
+                    .all(|((ka, _), (kb, _))| ka == kb);
+            if !same_keys {
+                return op(OP_REPLACE, new.clone());
+            }
+            let mut changed = Map::new();
+            for ((key, a), (_, b)) in old.iter().zip(cur.iter()) {
+                if !bits_eq(a, b) {
+                    changed.insert(key.clone(), diff(a, b));
+                }
+            }
+            op(OP_OBJECT, Value::Object(changed))
+        }
+        _ => op(OP_REPLACE, new.clone()),
+    }
+}
+
+/// Applies a patch to a base value, validating every op against the base's
+/// actual shape.
+fn apply(base: &Value, patch: &Value) -> Result<Value> {
+    let corrupt = |detail: String| FdmError::CorruptSnapshot {
+        detail: format!("delta patch: {detail}"),
+    };
+    let obj = patch
+        .as_object()
+        .filter(|m| m.len() == 1)
+        .ok_or_else(|| corrupt("op must be a single-key object".into()))?;
+    let (kind, value) = obj.iter().next().expect("len checked");
+    match kind.as_str() {
+        OP_KEEP => Ok(base.clone()),
+        OP_REPLACE => Ok(value.clone()),
+        OP_APPEND => {
+            let suffix = value
+                .as_array()
+                .ok_or_else(|| corrupt("append op without an array".into()))?;
+            let mut items = base
+                .as_array()
+                .ok_or_else(|| corrupt("append op against a non-array".into()))?
+                .clone();
+            items.extend(suffix.iter().cloned());
+            Ok(Value::Array(items))
+        }
+        OP_ELEMENTS => {
+            let ops = value
+                .as_array()
+                .ok_or_else(|| corrupt("element op without an array".into()))?;
+            let items = base
+                .as_array()
+                .ok_or_else(|| corrupt("element op against a non-array".into()))?;
+            if ops.len() != items.len() {
+                return Err(corrupt(format!(
+                    "element op has {} entries for an array of {}",
+                    ops.len(),
+                    items.len()
+                )));
+            }
+            items
+                .iter()
+                .zip(ops)
+                .map(|(item, op)| apply(item, op))
+                .collect::<Result<Vec<Value>>>()
+                .map(Value::Array)
+        }
+        OP_OBJECT => {
+            let changed = value
+                .as_object()
+                .ok_or_else(|| corrupt("object op without an object".into()))?;
+            let map = base
+                .as_object()
+                .ok_or_else(|| corrupt("object op against a non-object".into()))?;
+            let mut out = Map::new();
+            for (key, item) in map.iter() {
+                match changed.get(key) {
+                    Some(op) => out.insert(key.clone(), apply(item, op)?),
+                    None => out.insert(key.clone(), item.clone()),
+                };
+            }
+            for (key, _) in changed.iter() {
+                if !map.contains_key(key) {
+                    return Err(corrupt(format!("op for unknown key `{key}`")));
+                }
+            }
+            Ok(Value::Object(out))
+        }
+        other => Err(corrupt(format!("unknown op `{other}`"))),
+    }
+}
+
+impl SnapshotDelta {
+    /// Diffs two snapshots of the same stream, `base` older than `new`.
+    ///
+    /// The envelopes must describe the same deployment (same algorithm,
+    /// `ε`, metric, bounds, quotas, `k`, shards; the dimension may leave
+    /// its pre-data wildcard).
+    pub fn between(base: &Snapshot, new: &Snapshot) -> Result<SnapshotDelta> {
+        base.params.ensure_compatible(&new.params)?;
+        Ok(SnapshotDelta {
+            params: new.params.clone(),
+            base_crc: state_crc(&base.state),
+            patch: diff(&base.state, &new.state),
+        })
+    }
+
+    /// Applies this delta to the snapshot it was diffed from, yielding the
+    /// newer snapshot bit-exactly.
+    ///
+    /// A base whose state checksum disagrees with [`SnapshotDelta::base_crc`]
+    /// is refused with [`FdmError::IncompatibleSnapshot`] — the marker a
+    /// chain consumer uses to recognize a stale delta from a superseded
+    /// chain (see the module docs); genuine file corruption is caught
+    /// earlier by the section checksums as [`FdmError::CorruptSnapshot`].
+    pub fn apply_to(&self, base: &Snapshot) -> Result<Snapshot> {
+        let actual = state_crc(&base.state);
+        if actual != self.base_crc {
+            return Err(FdmError::IncompatibleSnapshot {
+                detail: format!(
+                    "delta was diffed from a state with checksum {:#010x}, \
+                     this base has {actual:#010x} (stale or out-of-order delta)",
+                    self.base_crc
+                ),
+            });
+        }
+        self.params.ensure_compatible(&base.params)?;
+        Ok(Snapshot {
+            params: self.params.clone(),
+            state: apply(&base.state, &self.patch)?,
+        })
+    }
+
+    /// Encodes the delta into its binary frame (magic `FDMDELT2`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(&DELTA_MAGIC);
+        out.extend_from_slice(&DELTA_VERSION.to_le_bytes());
+        write_section(
+            &mut out,
+            SECTION_PARAMS,
+            &encode_value_to_vec(&serde::Serialize::to_value(&self.params)),
+        );
+        write_section(&mut out, SECTION_BASE_CRC, &self.base_crc.to_le_bytes());
+        write_section(&mut out, SECTION_PATCH, &encode_value_to_vec(&self.patch));
+        write_section(&mut out, SECTION_END, &[]);
+        out
+    }
+
+    /// Decodes a binary delta frame, validating magic, version, and
+    /// section checksums.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SnapshotDelta> {
+        let mut r = Reader::new(bytes, "delta");
+        read_header(&mut r, &DELTA_MAGIC, DELTA_VERSION)?;
+        let mut params: Option<SnapshotParams> = None;
+        let mut base_crc: Option<u32> = None;
+        let mut patch: Option<Value> = None;
+        loop {
+            let (tag, payload) = read_section(&mut r)?;
+            match tag {
+                SECTION_PARAMS if params.is_none() => {
+                    let value = decode_section_value(payload, "delta")?;
+                    params = Some(
+                        <SnapshotParams as serde::Deserialize>::from_value(&value).map_err(
+                            |e| FdmError::CorruptSnapshot {
+                                detail: format!("invalid delta `params` section: {e}"),
+                            },
+                        )?,
+                    );
+                }
+                SECTION_BASE_CRC if base_crc.is_none() => {
+                    if payload.len() != 4 {
+                        return Err(r.corrupt("base-crc section must be 4 bytes"));
+                    }
+                    base_crc = Some(u32::from_le_bytes([
+                        payload[0], payload[1], payload[2], payload[3],
+                    ]));
+                }
+                SECTION_PATCH if patch.is_none() => {
+                    patch = Some(decode_section_value(payload, "delta")?);
+                }
+                SECTION_END => {
+                    if !payload.is_empty() {
+                        return Err(r.corrupt("end section must be empty"));
+                    }
+                    break;
+                }
+                SECTION_PARAMS | SECTION_BASE_CRC | SECTION_PATCH => {
+                    return Err(r.corrupt(format!("duplicate section {tag}")));
+                }
+                other => return Err(r.corrupt(format!("unknown section tag {other}"))),
+            }
+        }
+        if r.remaining() != 0 {
+            return Err(r.corrupt(format!(
+                "{} trailing bytes after end section",
+                r.remaining()
+            )));
+        }
+        match (params, base_crc, patch) {
+            (Some(params), Some(base_crc), Some(patch)) => Ok(SnapshotDelta {
+                params,
+                base_crc,
+                patch,
+            }),
+            (None, ..) => Err(r.corrupt("missing params section")),
+            (_, None, _) => Err(r.corrupt("missing base-crc section")),
+            (.., None) => Err(r.corrupt("missing patch section")),
+        }
+    }
+
+    /// Writes the delta to a file with the same atomic temp-file + rename +
+    /// fsync discipline as full snapshots.
+    pub fn write_to_file(&self, path: impl AsRef<Path>) -> Result<()> {
+        write_bytes_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Reads and decodes a delta file.
+    pub fn read_from_file(path: impl AsRef<Path>) -> Result<SnapshotDelta> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("read {}: {e}", path.display()),
+        })?;
+        SnapshotDelta::from_bytes(&bytes)
+    }
+
+    /// Serialized size in bytes (for logging / the snapshot bench).
+    pub fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DistanceBounds;
+    use crate::metric::Metric;
+
+    fn params() -> SnapshotParams {
+        SnapshotParams {
+            algorithm: "sfdm2".into(),
+            dim: 2,
+            epsilon: 0.1,
+            metric: Metric::Euclidean,
+            bounds: DistanceBounds::new(1.0, 10.0).unwrap(),
+            quotas: vec![2, 2],
+            k: 4,
+            shards: 1,
+        }
+    }
+
+    fn obj(entries: &[(&str, Value)]) -> Value {
+        let mut map = Map::new();
+        for (k, v) in entries {
+            map.insert((*k).to_string(), v.clone());
+        }
+        Value::Object(map)
+    }
+
+    fn nums(ns: &[f64]) -> Value {
+        Value::Array(ns.iter().map(|&n| Value::Number(n)).collect())
+    }
+
+    #[test]
+    fn diff_apply_is_total_and_exact() {
+        let base = obj(&[
+            ("coords", nums(&[1.0, 2.0])),
+            ("processed", Value::Number(2.0)),
+            ("lanes", Value::Array(vec![nums(&[0.0]), nums(&[])])),
+        ]);
+        let new = obj(&[
+            ("coords", nums(&[1.0, 2.0, 3.5])),
+            ("processed", Value::Number(3.0)),
+            ("lanes", Value::Array(vec![nums(&[0.0, 2.0]), nums(&[])])),
+        ]);
+        let patch = diff(&base, &new);
+        let applied = apply(&base, &patch).unwrap();
+        assert!(bits_eq(&applied, &new), "{applied:?}");
+        // Appended coords ride an append op, not a replace of the blob.
+        let coords_op = patch.get(OP_OBJECT).unwrap().get("coords").unwrap();
+        assert!(coords_op.get(OP_APPEND).is_some(), "{coords_op:?}");
+    }
+
+    #[test]
+    fn bitwise_equality_separates_signed_zero() {
+        assert!(bits_eq(&Value::Number(0.0), &Value::Number(0.0)));
+        assert!(!bits_eq(&Value::Number(0.0), &Value::Number(-0.0)));
+        let patch = diff(&Value::Number(0.0), &Value::Number(-0.0));
+        assert!(patch.get(OP_REPLACE).is_some());
+    }
+
+    #[test]
+    fn delta_round_trips_through_bytes() {
+        let base = Snapshot {
+            params: params(),
+            state: nums(&[1.0, 2.0]),
+        };
+        let new = Snapshot {
+            params: params(),
+            state: nums(&[1.0, 2.0, 3.0]),
+        };
+        let delta = SnapshotDelta::between(&base, &new).unwrap();
+        let back = SnapshotDelta::from_bytes(&delta.to_bytes()).unwrap();
+        assert_eq!(delta, back);
+        let applied = back.apply_to(&base).unwrap();
+        assert_eq!(applied, new);
+    }
+
+    #[test]
+    fn stale_base_is_incompatible_not_corrupt() {
+        let base = Snapshot {
+            params: params(),
+            state: nums(&[1.0]),
+        };
+        let new = Snapshot {
+            params: params(),
+            state: nums(&[1.0, 2.0]),
+        };
+        let delta = SnapshotDelta::between(&base, &new).unwrap();
+        let err = delta.apply_to(&new).unwrap_err();
+        assert!(
+            matches!(err, FdmError::IncompatibleSnapshot { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mismatched_algorithms_refuse_to_diff() {
+        let base = Snapshot {
+            params: params(),
+            state: Value::Null,
+        };
+        let mut other = params();
+        other.algorithm = "sfdm1".into();
+        let new = Snapshot {
+            params: other,
+            state: Value::Null,
+        };
+        let err = SnapshotDelta::between(&base, &new).unwrap_err();
+        assert!(
+            matches!(err, FdmError::IncompatibleSnapshot { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn malformed_patches_are_corrupt() {
+        for bad in [
+            Value::Null,
+            obj(&[("zz", Value::Null)]),
+            obj(&[(OP_APPEND, Value::Null)]),
+            obj(&[(OP_ELEMENTS, Value::Array(vec![]))]),
+            obj(&[(OP_OBJECT, obj(&[("ghost", op(OP_KEEP, Value::Null))]))]),
+        ] {
+            let base = obj(&[("x", nums(&[1.0]))]);
+            let err = apply(&base, &bad).unwrap_err();
+            assert!(matches!(err, FdmError::CorruptSnapshot { .. }), "{bad:?}");
+        }
+    }
+}

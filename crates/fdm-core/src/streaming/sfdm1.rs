@@ -286,6 +286,14 @@ impl Sfdm1 {
     }
 }
 
+/// # Persistence
+///
+/// Same append-mostly layout contract as [`Sfdm2`](crate::streaming::sfdm2::Sfdm2):
+/// arena blobs and lane member lists only grow between checkpoints, so
+/// delta snapshots ([`SnapshotDelta`](crate::persist::SnapshotDelta))
+/// stay proportional to what actually changed, and the v2 binary codec
+/// packs the blobs densely. Both formats and `full + delta*` chains
+/// restore bit-identically (`tests/persist_codec.rs`).
 impl Snapshottable for Sfdm1 {
     fn algorithm_tag() -> String {
         "sfdm1".to_string()

@@ -388,6 +388,16 @@ impl Sfdm2 {
     }
 }
 
+/// # Persistence
+///
+/// The state tree is laid out **append-mostly** on purpose: the arena's
+/// coordinate/group/id blobs only grow and each ladder lane's member list
+/// only gains ids, so an incremental checkpoint
+/// ([`SnapshotDelta`](crate::persist::SnapshotDelta)) between two captures
+/// records just the appended rows, the new member ids, and the `processed`
+/// counter. In the v2 binary codec the blobs pack as dense `f64` rows and
+/// varint ids. Restores of either format (and of `full + delta*` chains)
+/// are bit-identical — pinned by `tests/persist_codec.rs`.
 impl Snapshottable for Sfdm2 {
     fn algorithm_tag() -> String {
         "sfdm2".to_string()

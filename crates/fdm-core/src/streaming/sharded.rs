@@ -274,6 +274,14 @@ impl<S: ShardAlgorithm> ShardedStream<S> {
     }
 }
 
+/// # Persistence
+///
+/// The state tree is a fixed-length array of per-shard state trees plus
+/// the round-robin cursor. Because the shard count never changes, a delta
+/// snapshot ([`SnapshotDelta`](crate::persist::SnapshotDelta)) diffs the
+/// shard array **element-wise**, so each shard contributes only its own
+/// appended arena rows and member ids. Both formats and `full + delta*`
+/// chains restore bit-identically (`tests/persist_codec.rs`).
 impl<S: ShardAlgorithm + Snapshottable> Snapshottable for ShardedStream<S> {
     fn algorithm_tag() -> String {
         format!("sharded:{}", S::algorithm_tag())

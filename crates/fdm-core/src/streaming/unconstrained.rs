@@ -219,6 +219,14 @@ impl StreamingDiversityMaximization {
     }
 }
 
+/// # Persistence
+///
+/// Append-mostly state layout (arena blobs + one ladder of member lists
+/// that only grow), so delta snapshots
+/// ([`SnapshotDelta`](crate::persist::SnapshotDelta)) record just the
+/// appended rows/ids and the `processed` counter; the v2 binary codec
+/// packs both densely. Both formats and `full + delta*` chains restore
+/// bit-identically (`tests/persist_codec.rs`).
 impl Snapshottable for StreamingDiversityMaximization {
     fn algorithm_tag() -> String {
         "unconstrained".to_string()

@@ -11,14 +11,21 @@
 //!
 //! * every accepted `INSERT` is appended to `<data_dir>/<name>.wal`
 //!   *before* it is applied (write-ahead), one sequence-numbered protocol
-//!   line per element;
+//!   line per element, each carrying a CRC32 of its own body (so a torn
+//!   append can never replay as silently-wrong state);
 //! * every [`ServeConfig::snapshot_every`] inserts the summary is
-//!   checkpointed to `<data_dir>/<name>.snap` (atomically — temp file +
-//!   rename) and the WAL truncated;
-//! * [`Engine::new`] recovers by restoring each `.snap` and replaying the
-//!   WAL through the same parser the live protocol uses. Sequence numbers
-//!   make replay exactly-once: a crash between the snapshot write and the
-//!   WAL truncation leaves records the snapshot already contains, and
+//!   checkpointed (atomically — temp file + rename) and the WAL
+//!   truncated. While the chain is short the checkpoint is an
+//!   **incremental delta** (`<name>.delta.<i>`, a
+//!   [`SnapshotDelta`] against the previous checkpoint); every
+//!   [`ServeConfig::full_every`] deltas it collapses into a fresh full
+//!   `<name>.snap` and the delta files are removed;
+//! * [`Engine::new`] recovers by restoring each `.snap`, chaining the
+//!   delta files (each link's base checksum is verified; a stale delta
+//!   from a superseded chain cleanly ends it), and replaying the WAL
+//!   through the same parser the live protocol uses. Sequence numbers
+//!   make replay exactly-once: a crash between a checkpoint write and the
+//!   WAL truncation leaves records the checkpoint already contains, and
 //!   recovery skips them instead of double-applying. A recovered stream is
 //!   therefore bit-identical to one that never went down.
 
@@ -30,7 +37,7 @@ use std::sync::{Arc, Mutex};
 
 use fdm_core::error::{FdmError, Result};
 use fdm_core::fairness::FairnessConstraint;
-use fdm_core::persist::{Snapshot, SnapshotParams, Snapshottable};
+use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams, Snapshottable};
 use fdm_core::point::Element;
 use fdm_core::solution::Solution;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
@@ -175,23 +182,244 @@ impl AnyStream {
 }
 
 /// Engine-level durability configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Directory for per-stream snapshots + WALs; `None` disables
     /// durability (streams live only in memory).
     pub data_dir: Option<PathBuf>,
-    /// Auto-snapshot (and truncate the WAL) every N accepted inserts;
+    /// Auto-checkpoint (and truncate the WAL) every N accepted inserts;
     /// `None` keeps the WAL growing until an explicit `SNAPSHOT`.
     pub snapshot_every: Option<u64>,
+    /// Encoding for auto-snapshots, deltas… and `SNAPSHOT` commands
+    /// without an explicit `format=`. Recovery reads both formats
+    /// regardless.
+    pub snapshot_format: SnapshotFormat,
+    /// Chain length cap for incremental checkpoints: after this many
+    /// deltas the next auto-checkpoint collapses the chain into a fresh
+    /// full snapshot. `0` disables deltas (every checkpoint is full).
+    pub full_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            data_dir: None,
+            snapshot_every: None,
+            snapshot_format: SnapshotFormat::Binary,
+            full_every: 8,
+        }
+    }
 }
 
 struct StreamEntry {
     stream: AnyStream,
-    /// Inserts applied since the last auto-snapshot (drives
+    /// Inserts applied since the last auto-checkpoint (drives
     /// `snapshot_every`).
     inserts_since_snapshot: u64,
     /// Open append handle to the WAL (present iff `data_dir` is set).
     wal: Option<File>,
+    /// The chain tail: the snapshot the next delta will be diffed from
+    /// (present iff `data_dir` is set). This is a second in-memory copy of
+    /// the stream state — acceptable because the paper's bound keeps the
+    /// summary at `O(m·k·log ∆/ε)` elements regardless of stream length;
+    /// native dirty-set tracking inside the summaries is the lever that
+    /// would remove both this copy and the per-checkpoint full-tree diff.
+    chain_tail: Option<Snapshot>,
+    /// Deltas written since the last full snapshot (drives `full_every`).
+    deltas_since_full: u64,
+}
+
+/// Deterministic crash injection for the crash-recovery test matrix: when
+/// `FDM_SERVE_CRASH_POINT` names this point (`<point>` or `<point>:<n>`
+/// to arm the n-th hit, e.g. the second full snapshot), the process
+/// aborts here — the same no-cleanup death as SIGKILL, but placeable
+/// between any two persistence steps. Inert (one env read) in production.
+fn crash_requested(point: &str) -> bool {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::OnceLock;
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    // The environment cannot change after startup; cache the parsed
+    // directive so the production path (every INSERT passes a crash
+    // point) is one static read, not an env lookup.
+    static ARMED: OnceLock<Option<(String, u64)>> = OnceLock::new();
+    let armed = ARMED.get_or_init(|| {
+        let value = std::env::var("FDM_SERVE_CRASH_POINT").ok()?;
+        let (name, nth) = match value.split_once(':') {
+            Some((name, n)) => (name.to_string(), n.parse::<u64>().unwrap_or(1)),
+            None => (value, 1),
+        };
+        Some((name, nth))
+    });
+    let Some((name, nth)) = armed else {
+        return false;
+    };
+    if name != point {
+        return false;
+    }
+    // Only one point is ever armed per process, so one global counter
+    // tracks its hits.
+    HITS.fetch_add(1, Ordering::SeqCst) + 1 == *nth
+}
+
+fn crash_point(point: &str) {
+    if crash_requested(point) {
+        eprintln!("fdm-serve: crash point `{point}` hit; aborting");
+        std::process::abort();
+    }
+}
+
+/// Simulates dying halfway through writing `bytes` to the temp file
+/// behind `path` — the torn-write case the atomic rename protocol exists
+/// to survive. The real file is never renamed into place.
+fn crash_mid_write(path: &Path, bytes: &[u8]) {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let _ = std::fs::write(tmp, &bytes[..bytes.len() / 2]);
+    eprintln!(
+        "fdm-serve: crash point mid-write of {}; aborting",
+        path.display()
+    );
+    std::process::abort();
+}
+
+/// First line of every WAL written by this build. Its presence switches
+/// replay into strict mode (every applied record must carry a valid
+/// per-record checksum); WALs from builds predating the marker replay in
+/// legacy mode. The `0` sequence number means even a foreign replayer
+/// that ignores the marker would dedupe it as "already applied".
+const WAL_HEADER: &str = "0 WALV2";
+
+/// Appends the per-record integrity suffix: ` #<crc32 of the record body
+/// in hex>`. A torn append that leaves a prefix which still *parses* as a
+/// valid INSERT (e.g. a truncated final coordinate `12.75` → `12.7`)
+/// would otherwise replay silently wrong state — the checksum makes every
+/// truncation detectable, like the section CRCs do for snapshots.
+fn wal_record(body: &str) -> String {
+    format!(
+        "{body} #{:08x}\n",
+        fdm_core::persist::codec::crc32(body.as_bytes())
+    )
+}
+
+/// Splits a WAL record into its body and stored checksum, when the
+/// trailing `#`-field is present.
+fn split_wal_crc(record: &str) -> Option<(&str, u32)> {
+    let (body, crc_field) = record.rsplit_once(" #")?;
+    let stored = u32::from_str_radix(crc_field, 16).ok()?;
+    Some((body, stored))
+}
+
+/// One stream's WAL replay pass: strict/legacy mode detection, per-record
+/// checksum validation, exactly-once sequencing, and torn-tail tolerance.
+struct WalReplay<'a> {
+    wal_path: &'a Path,
+    stream: &'a mut AnyStream,
+    /// Set when the first record is the [`WAL_HEADER`]: every applied
+    /// record must then carry a valid checksum. Legacy logs (pre-header
+    /// builds) replay with parse-level validation only.
+    strict: bool,
+    seen_first: bool,
+    replayed: u64,
+}
+
+impl<'a> WalReplay<'a> {
+    fn new(wal_path: &'a Path, stream: &'a mut AnyStream) -> Self {
+        WalReplay {
+            wal_path,
+            stream,
+            strict: false,
+            seen_first: false,
+            replayed: 0,
+        }
+    }
+
+    /// Replays one non-empty WAL line. A record that fails validation is
+    /// fatal mid-log (a hole we cannot replay across) but tolerated as
+    /// the **final** record: the WAL append is a single (non-atomic)
+    /// write, so a crash mid-append legitimately leaves one torn,
+    /// never-acknowledged line at the tail. The post-recovery re-anchor
+    /// rewrites the WAL, erasing the torn bytes.
+    fn record(&mut self, lineno: usize, line: &str, is_last: bool) -> Result<()> {
+        let trimmed = line.trim();
+        let first = !self.seen_first;
+        self.seen_first = true;
+        if trimmed == WAL_HEADER {
+            // Anywhere but the front it is a leftover from hand-spliced
+            // logs; harmless either way (sequence 0 is always deduped).
+            self.strict = self.strict || first;
+            return Ok(());
+        }
+        let corrupt = |detail: String| FdmError::CorruptSnapshot {
+            detail: format!(
+                "WAL {} line {}: {detail}",
+                self.wal_path.display(),
+                lineno + 1
+            ),
+        };
+        let torn = |detail: String| -> Result<()> {
+            if is_last {
+                eprintln!(
+                    "fdm-serve: WAL {} ends in a torn record ({detail}); \
+                     dropping it (crash mid-append)",
+                    self.wal_path.display()
+                );
+                Ok(())
+            } else {
+                Err(corrupt(detail))
+            }
+        };
+        // Per-record checksum, when present (always written by this
+        // build; legacy logs lack it).
+        let (body, crc) = match split_wal_crc(trimmed) {
+            Some((body, stored)) => {
+                let actual = fdm_core::persist::codec::crc32(body.as_bytes());
+                if stored != actual {
+                    return torn(format!(
+                        "record checksum mismatch (stored {stored:#010x}, computed {actual:#010x})"
+                    ));
+                }
+                (body, true)
+            }
+            None => (trimmed, false),
+        };
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        // Record format: `<seq> INSERT <id> <group> <coords...> [#crc]`.
+        let Ok(seq) = fields[0].parse::<u64>() else {
+            return torn(format!("invalid sequence number `{}`", fields[0]));
+        };
+        if fields.get(1).map(|f| f.to_ascii_uppercase()) != Some("INSERT".into()) {
+            return torn(format!("expected INSERT, found `{body}`"));
+        }
+        let processed = self.stream.processed() as u64;
+        if seq <= processed {
+            // The snapshot was written after this record but before the
+            // WAL truncation; already applied.
+            return Ok(());
+        }
+        if seq != processed + 1 {
+            // A gap is missing history, not a torn append — always
+            // fatal, even at the tail.
+            return Err(corrupt(format!(
+                "sequence gap: record {seq} after {processed} applied arrivals"
+            )));
+        }
+        if self.strict && !crc {
+            // In a checksummed log, an applied record without its
+            // checksum can only be a truncation that happened to stop at
+            // a field boundary.
+            return torn("record is missing its checksum".to_string());
+        }
+        let element = match parse_insert(&fields[2..]) {
+            Ok(element) => element,
+            Err(e) => return torn(e),
+        };
+        if let Err(e) = check_element(&self.stream.params(), &element) {
+            return torn(e);
+        }
+        self.stream.insert(&element);
+        self.replayed += 1;
+        Ok(())
+    }
 }
 
 type SharedEntry = Arc<Mutex<StreamEntry>>;
@@ -247,6 +475,26 @@ impl Engine {
             .map(|d| d.join(format!("{name}.wal")))
     }
 
+    fn delta_path(&self, name: &str, index: u64) -> Option<PathBuf> {
+        self.config
+            .data_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.delta.{index}")))
+    }
+
+    /// Removes every `<name>.delta.*` of a superseded chain (contiguous
+    /// indices from 1; the first missing index ends the sweep).
+    fn remove_deltas(&self, name: &str) {
+        for index in 1.. {
+            let Some(path) = self.delta_path(name, index) else {
+                return;
+            };
+            if std::fs::remove_file(&path).is_err() {
+                return;
+            }
+        }
+    }
+
     fn open_wal(path: &Path) -> Result<File> {
         OpenOptions::new()
             .create(true)
@@ -257,24 +505,81 @@ impl Engine {
             })
     }
 
-    /// Anchors the recovery chain for `entry`: checkpoints the current
-    /// state to `<name>.snap` (atomic) and truncates the WAL. Called at
-    /// `OPEN` (so a crash before the first auto-snapshot still recovers),
-    /// at every auto-snapshot, and after `RESTORE`. No-op without a data
+    /// Anchors the recovery chain for `entry` with a **full** snapshot:
+    /// checkpoints the current state to `<name>.snap` (atomic), removes
+    /// any superseded delta files, and truncates the WAL. Called at
+    /// `OPEN` (so a crash before the first auto-checkpoint still
+    /// recovers), after recovery, after `RESTORE`, and whenever the delta
+    /// chain reaches [`ServeConfig::full_every`]. No-op without a data
     /// dir.
+    ///
+    /// Ordering is load-bearing: the full snapshot lands *before* the old
+    /// deltas are removed and the WAL truncated, so a crash at any point
+    /// in between leaves either the old complete chain + full WAL, or the
+    /// new snapshot + stale-but-detectable deltas + dedupable WAL records
+    /// — never a gap.
     fn anchor(&self, name: &str, entry: &mut StreamEntry) -> Result<()> {
         if let (Some(snap_path), Some(wal_path)) = (self.snap_path(name), self.wal_path(name)) {
-            entry.stream.snapshot().write_to_file(snap_path)?;
-            std::fs::write(&wal_path, b"").map_err(|e| FdmError::SnapshotIo {
-                detail: format!("truncate WAL {}: {e}", wal_path.display()),
+            let snapshot = entry.stream.snapshot();
+            if crash_requested("mid-full-snapshot") {
+                crash_mid_write(&snap_path, &snapshot.to_bytes(self.config.snapshot_format));
+            }
+            snapshot.write_to_file_format(&snap_path, self.config.snapshot_format)?;
+            crash_point("between-full-and-delta-cleanup");
+            self.remove_deltas(name);
+            crash_point("between-full-and-wal-truncate");
+            std::fs::write(&wal_path, format!("{WAL_HEADER}\n")).map_err(|e| {
+                FdmError::SnapshotIo {
+                    detail: format!("truncate WAL {}: {e}", wal_path.display()),
+                }
             })?;
             entry.wal = Some(Self::open_wal(&wal_path)?);
+            entry.chain_tail = Some(snapshot);
         }
+        entry.deltas_since_full = 0;
         entry.inserts_since_snapshot = 0;
         Ok(())
     }
 
-    /// Restore-then-replay over every snapshot in the data directory.
+    /// Checkpoints `entry` **incrementally**: diffs the current state
+    /// against the chain tail, writes `<name>.delta.<i>` (atomic), and
+    /// truncates the WAL. Falls back to [`Engine::anchor`] when the chain
+    /// has no tail yet or has reached its length cap.
+    fn anchor_delta(&self, name: &str, entry: &mut StreamEntry) -> Result<()> {
+        if self.config.data_dir.is_none() {
+            entry.inserts_since_snapshot = 0;
+            return Ok(());
+        }
+        let full_every = self.config.full_every;
+        if full_every == 0 || entry.deltas_since_full >= full_every || entry.chain_tail.is_none() {
+            return self.anchor(name, entry);
+        }
+        let index = entry.deltas_since_full + 1;
+        let (delta_path, wal_path) = match (self.delta_path(name, index), self.wal_path(name)) {
+            (Some(d), Some(w)) => (d, w),
+            _ => unreachable!("data_dir checked above"),
+        };
+        let snapshot = entry.stream.snapshot();
+        let base = entry.chain_tail.as_ref().expect("checked above");
+        let delta = SnapshotDelta::between(base, &snapshot)?;
+        if crash_requested("mid-delta-write") {
+            crash_mid_write(&delta_path, &delta.to_bytes());
+        }
+        delta.write_to_file(&delta_path)?;
+        crash_point("between-delta-and-wal-truncate");
+        std::fs::write(&wal_path, format!("{WAL_HEADER}\n")).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("truncate WAL {}: {e}", wal_path.display()),
+        })?;
+        entry.wal = Some(Self::open_wal(&wal_path)?);
+        entry.chain_tail = Some(snapshot);
+        entry.deltas_since_full = index;
+        entry.inserts_since_snapshot = 0;
+        Ok(())
+    }
+
+    /// Restore-then-replay over every snapshot in the data directory:
+    /// `<name>.snap`, then the delta chain `<name>.delta.1..`, then the
+    /// WAL tail.
     fn recover(&self, dir: &Path) -> Result<()> {
         let entries = std::fs::read_dir(dir).map_err(|e| FdmError::SnapshotIo {
             detail: format!("scan data dir {}: {e}", dir.display()),
@@ -296,7 +601,25 @@ impl Engine {
             if name.is_empty() {
                 continue;
             }
-            let snapshot = Snapshot::read_from_file(&path)?;
+            let mut snapshot = Snapshot::read_from_file(&path)?;
+            // Chain the deltas. Each link's base checksum is verified: a
+            // mismatch marks a *stale* delta left behind by a crash
+            // between a full-snapshot write and the delta cleanup, and
+            // cleanly ends the chain (the WAL covers everything after the
+            // last good link). A delta file that fails its own section
+            // checksums is real corruption and refuses recovery.
+            for index in 1.. {
+                let delta_path = dir.join(format!("{name}.delta.{index}"));
+                if !delta_path.exists() {
+                    break;
+                }
+                let delta = SnapshotDelta::read_from_file(&delta_path)?;
+                match delta.apply_to(&snapshot) {
+                    Ok(next) => snapshot = next,
+                    Err(FdmError::IncompatibleSnapshot { .. }) => break,
+                    Err(other) => return Err(other),
+                }
+            }
             let mut stream = AnyStream::restore(&snapshot)?;
             let wal_path = dir.join(format!("{name}.wal"));
             let mut replayed = 0u64;
@@ -304,51 +627,43 @@ impl Engine {
                 let file = File::open(&wal_path).map_err(|e| FdmError::SnapshotIo {
                     detail: format!("open WAL {}: {e}", wal_path.display()),
                 })?;
+                // Stream the log with one record of lookahead (so the
+                // final record is known without buffering the whole file —
+                // a WAL without `snapshot_every` can grow without bound).
+                let mut replay = WalReplay::new(&wal_path, &mut stream);
+                let mut pending: Option<(usize, String)> = None;
                 for (lineno, line) in BufReader::new(file).lines().enumerate() {
                     let line = line.map_err(|e| FdmError::SnapshotIo {
                         detail: format!("read WAL {}: {e}", wal_path.display()),
                     })?;
-                    let trimmed = line.trim();
-                    if trimmed.is_empty() {
+                    if line.trim().is_empty() {
                         continue;
                     }
-                    let corrupt = |detail: String| FdmError::CorruptSnapshot {
-                        detail: format!("WAL {} line {}: {detail}", wal_path.display(), lineno + 1),
-                    };
-                    let fields: Vec<&str> = trimmed.split_whitespace().collect();
-                    // Record format: `<seq> INSERT <id> <group> <coords...>`.
-                    let seq: u64 = fields[0]
-                        .parse()
-                        .map_err(|_| corrupt(format!("invalid sequence number `{}`", fields[0])))?;
-                    if fields.get(1).map(|f| f.to_ascii_uppercase()) != Some("INSERT".into()) {
-                        return Err(corrupt(format!("expected INSERT, found `{trimmed}`")));
+                    if let Some((prev_no, prev)) = pending.replace((lineno, line)) {
+                        replay.record(prev_no, &prev, false)?;
                     }
-                    let processed = stream.processed() as u64;
-                    if seq <= processed {
-                        // The snapshot was written after this record but
-                        // before the WAL truncation; already applied.
-                        continue;
-                    }
-                    if seq != processed + 1 {
-                        return Err(corrupt(format!(
-                            "sequence gap: record {seq} after {processed} applied arrivals"
-                        )));
-                    }
-                    let element = parse_insert(&fields[2..]).map_err(&corrupt)?;
-                    check_element(&stream.params(), &element).map_err(&corrupt)?;
-                    stream.insert(&element);
-                    replayed += 1;
                 }
+                if let Some((lineno, line)) = pending {
+                    replay.record(lineno, &line, true)?;
+                }
+                replayed = replay.replayed;
             }
             let wal = Some(Self::open_wal(&wal_path)?);
-            self.streams.lock().unwrap().insert(
-                name,
-                Arc::new(Mutex::new(StreamEntry {
-                    stream,
-                    inserts_since_snapshot: replayed,
-                    wal,
-                })),
-            );
+            let mut entry = StreamEntry {
+                stream,
+                inserts_since_snapshot: replayed,
+                wal,
+                chain_tail: None,
+                deltas_since_full: 0,
+            };
+            // Re-anchor the chain on a fresh full snapshot: the replayed
+            // WAL tail is now part of the state, and the next delta must
+            // diff against *this* state, not the pre-crash chain tail.
+            self.anchor(&name, &mut entry)?;
+            self.streams
+                .lock()
+                .unwrap()
+                .insert(name, Arc::new(Mutex::new(entry)));
         }
         Ok(())
     }
@@ -390,6 +705,8 @@ impl Engine {
             stream,
             inserts_since_snapshot: 0,
             wal: None,
+            chain_tail: None,
+            deltas_since_full: 0,
         };
         self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
         streams.insert(name.to_string(), Arc::new(Mutex::new(entry)));
@@ -397,8 +714,10 @@ impl Engine {
     }
 
     /// `INSERT`: write-ahead (sequence-numbered), apply, maybe
-    /// auto-snapshot. Only this stream's lock is held — other tenants keep
-    /// running during the disk I/O.
+    /// auto-checkpoint (a delta while the chain is short, a fresh full
+    /// snapshot every [`ServeConfig::full_every`] deltas). Only this
+    /// stream's lock is held — other tenants keep running during the disk
+    /// I/O.
     pub fn insert(
         &self,
         name: &str,
@@ -410,15 +729,22 @@ impl Engine {
         check_element(&entry.stream.params(), element)?;
         let seq = entry.stream.processed() as u64 + 1;
         if let Some(wal) = entry.wal.as_mut() {
-            writeln!(wal, "{seq} {}", raw_line.trim())
+            // One pre-formatted buffer, one write syscall: a crash can
+            // still tear the record (recovery tolerates a torn tail), but
+            // the window is a single partial write, not the several
+            // writes `writeln!` would issue.
+            let record = wal_record(&format!("{seq} {}", raw_line.trim()));
+            wal.write_all(record.as_bytes())
                 .and_then(|()| wal.flush())
                 .map_err(|e| format!("append WAL for {name}: {e}"))?;
         }
+        crash_point("between-wal-append-and-apply");
         entry.stream.insert(element);
         entry.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
             if every > 0 && entry.inserts_since_snapshot >= every {
-                self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+                self.anchor_delta(name, &mut entry)
+                    .map_err(|e| e.to_string())?;
             }
         }
         Ok(format!("inserted processed={}", entry.stream.processed()))
@@ -447,17 +773,25 @@ impl Engine {
         ))
     }
 
-    /// `SNAPSHOT`: checkpoint the named stream to an explicit path.
-    pub fn snapshot(&self, name: &str, path: &str) -> std::result::Result<String, String> {
+    /// `SNAPSHOT`: checkpoint the named stream to an explicit path, in the
+    /// requested format (default: the server's configured format).
+    pub fn snapshot(
+        &self,
+        name: &str,
+        path: &str,
+        format: Option<SnapshotFormat>,
+    ) -> std::result::Result<String, String> {
+        let format = format.unwrap_or(self.config.snapshot_format);
         let shared = self.entry(name)?;
         let entry = shared.lock().unwrap();
         entry
             .stream
             .snapshot()
-            .write_to_file(path)
+            .write_to_file_format(path, format)
             .map_err(|e| e.to_string())?;
         Ok(format!(
-            "snapshot {path} processed={}",
+            "snapshot {path} format={} processed={}",
+            format.name(),
             entry.stream.processed()
         ))
     }
@@ -484,6 +818,8 @@ impl Engine {
                 stream,
                 inserts_since_snapshot: 0,
                 wal: None,
+                chain_tail: None,
+                deltas_since_full: 0,
             };
             self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
             self.streams

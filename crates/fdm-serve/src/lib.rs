@@ -15,23 +15,31 @@
 //! STATS
 //! ```
 //!
-//! Sessions speak the protocol over stdin/stdout or a Unix domain socket;
-//! each session is bound to at most one named stream at a time, while the
-//! process serves all of them. See `docs/serve.md` for the full grammar.
+//! Sessions speak the protocol over stdin/stdout, a Unix domain socket
+//! (`--socket`), or TCP (`--listen addr:port`, for remote tenants — with
+//! per-connection read timeouts and a max-frame guard); each session is
+//! bound to at most one named stream at a time, while the process serves
+//! all of them. See `docs/serve.md` for the full grammar.
 //!
-//! **Durability** comes from `fdm-core`'s versioned snapshots plus a
-//! per-stream write-ahead log: with `--data-dir` every accepted `INSERT`
-//! is appended to `<name>.wal` before it is applied, and every
-//! `--snapshot-every N` inserts the stream's summary is checkpointed to
-//! `<name>.snap` and the log truncated. On startup the engine restores
-//! every snapshot it finds and replays the tail of the log — the summary
-//! is the whole recoverable state, so recovery is restore-then-replay and
-//! the recovered process answers queries bit-identically to one that never
-//! crashed (pinned by `tests/protocol.rs` and the CI `serve` job).
+//! **Durability** comes from `fdm-core`'s versioned snapshots (v1 JSON or
+//! the v2 binary codec, `--snapshot-format`) plus a per-stream write-ahead
+//! log: with `--data-dir` every accepted `INSERT` is appended to
+//! `<name>.wal` before it is applied, and every `--snapshot-every N`
+//! inserts the stream's summary is checkpointed — as an incremental
+//! `<name>.delta.<i>` while the chain is short, collapsing into a fresh
+//! full `<name>.snap` every `--full-every` deltas — and the log truncated.
+//! On startup the engine restores every snapshot it finds, chains the
+//! deltas, and replays the tail of the log — the summary is the whole
+//! recoverable state, so recovery is restore-then-replay and the recovered
+//! process answers queries bit-identically to one that never crashed
+//! (pinned by `tests/protocol.rs`, `tests/crash_matrix.rs`, and the CI
+//! `serve` job).
 
 pub mod engine;
+pub mod net;
 pub mod protocol;
 pub mod session;
 
 pub use engine::{Engine, ServeConfig};
-pub use session::Session;
+pub use net::{serve_tcp, serve_unix, NetOptions};
+pub use session::{Session, MAX_LINE_BYTES};

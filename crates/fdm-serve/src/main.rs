@@ -1,36 +1,60 @@
 //! The `fdm-serve` binary: protocol sessions over stdin/stdout and,
-//! optionally, a Unix domain socket, with WAL + auto-snapshot durability.
+//! optionally, a Unix domain socket and/or a TCP listener, with WAL +
+//! auto-snapshot durability.
 //!
 //! ```text
-//! fdm-serve [--data-dir DIR] [--snapshot-every N] [--socket PATH]
+//! fdm-serve [--data-dir DIR] [--snapshot-every N] [--snapshot-format json|bin]
+//!           [--full-every N] [--socket PATH] [--listen ADDR:PORT]
+//!           [--read-timeout SECS]
 //! ```
 //!
 //! * `--data-dir DIR` — enable durability: per-stream WAL + snapshots in
 //!   `DIR`, with restore-then-replay crash recovery on startup.
-//! * `--snapshot-every N` — auto-snapshot (and truncate the WAL) every N
+//! * `--snapshot-every N` — auto-checkpoint (and truncate the WAL) every N
 //!   accepted inserts per stream.
+//! * `--snapshot-format json|bin` — encoding for checkpoints and for
+//!   `SNAPSHOT` commands without an explicit `format=` (default `bin`;
+//!   recovery reads both).
+//! * `--full-every N` — collapse the incremental-delta chain into a fresh
+//!   full snapshot every N deltas (default 8; `0` disables deltas).
 //! * `--socket PATH` — additionally accept protocol sessions on a Unix
-//!   domain socket (one thread per connection); the process then keeps
-//!   serving after stdin closes.
+//!   domain socket (one thread per connection).
+//! * `--listen ADDR:PORT` — additionally accept protocol sessions over
+//!   TCP (remote tenants; per-connection read timeout + max-frame guard).
+//! * `--read-timeout SECS` — idle-connection timeout for both socket
+//!   transports (`0` waits forever). Defaults differ per transport: 300 s
+//!   for TCP, none for the trusted local Unix socket.
 //!
-//! See `docs/serve.md` for the protocol and `examples/serve_session.sh`
-//! for a scripted end-to-end session.
+//! With a socket or listener configured the process keeps serving after
+//! stdin closes. See `docs/serve.md` for the protocol and
+//! `examples/serve_session.sh` / `examples/serve_tcp_session.sh` for
+//! scripted end-to-end sessions.
 
-use std::io::{BufReader, Write as _};
+use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
-use fdm_serve::{Engine, ServeConfig, Session};
+use fdm_core::persist::SnapshotFormat;
+use fdm_serve::{serve_tcp, serve_unix, Engine, NetOptions, ServeConfig, Session};
 
 struct Args {
     config: ServeConfig,
     socket: Option<PathBuf>,
+    listen: Option<String>,
+    /// TCP limits (default: 300 s read timeout).
+    tcp_net: NetOptions,
+    /// Unix-socket limits (default: no read timeout — local clients are
+    /// trusted and often long-lived/idle).
+    unix_net: NetOptions,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut config = ServeConfig::default();
     let mut socket = None;
+    let mut listen = None;
+    let mut read_timeout: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| args.next().ok_or(format!("{flag} requires a value"));
@@ -42,12 +66,27 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--snapshot-every: invalid number".to_string())?;
                 config.snapshot_every = Some(n);
             }
+            "--snapshot-format" => {
+                config.snapshot_format = SnapshotFormat::parse(&value("--snapshot-format")?)?;
+            }
+            "--full-every" => {
+                config.full_every = value("--full-every")?
+                    .parse()
+                    .map_err(|_| "--full-every: invalid number".to_string())?;
+            }
             "--socket" => socket = Some(PathBuf::from(value("--socket")?)),
+            "--listen" => listen = Some(value("--listen")?),
+            "--read-timeout" => {
+                let secs: u64 = value("--read-timeout")?
+                    .parse()
+                    .map_err(|_| "--read-timeout: invalid number of seconds".to_string())?;
+                read_timeout = Some(secs);
+            }
             "--help" | "-h" => {
-                return Err(
-                    "usage: fdm-serve [--data-dir DIR] [--snapshot-every N] [--socket PATH]"
-                        .to_string(),
-                )
+                return Err("usage: fdm-serve [--data-dir DIR] [--snapshot-every N] \
+                            [--snapshot-format json|bin] [--full-every N] [--socket PATH] \
+                            [--listen ADDR:PORT] [--read-timeout SECS]"
+                    .to_string())
             }
             other => return Err(format!("unknown flag {other}; try --help")),
         }
@@ -55,7 +94,27 @@ fn parse_args() -> Result<Args, String> {
     if config.snapshot_every.is_some() && config.data_dir.is_none() {
         return Err("--snapshot-every requires --data-dir".to_string());
     }
-    Ok(Args { config, socket })
+    // An explicit --read-timeout applies to both transports (0 = never);
+    // the defaults differ: TCP times idle remotes out, Unix-socket
+    // sessions are trusted local clients and may idle forever.
+    let tcp_net = NetOptions {
+        read_timeout: match read_timeout {
+            Some(secs) => (secs > 0).then(|| Duration::from_secs(secs)),
+            None => NetOptions::default().read_timeout,
+        },
+        ..NetOptions::default()
+    };
+    let unix_net = NetOptions {
+        read_timeout: read_timeout.and_then(|secs| (secs > 0).then(|| Duration::from_secs(secs))),
+        ..NetOptions::default()
+    };
+    Ok(Args {
+        config,
+        socket,
+        listen,
+        tcp_net,
+        unix_net,
+    })
 }
 
 fn main() {
@@ -78,6 +137,7 @@ fn main() {
         eprintln!("fdm-serve: recovered streams: {}", recovered.join(", "));
     }
 
+    let (tcp_net, unix_net) = (args.tcp_net, args.unix_net);
     let socket_thread = args.socket.map(|path| {
         // A stale socket file from a previous run blocks bind; remove it.
         let _ = std::fs::remove_file(&path);
@@ -90,30 +150,23 @@ fn main() {
         };
         eprintln!("fdm-serve: listening on {}", path.display());
         let engine = engine.clone();
-        std::thread::spawn(move || {
-            for connection in listener.incoming() {
-                match connection {
-                    Ok(stream) => {
-                        let engine = engine.clone();
-                        std::thread::spawn(move || {
-                            let reader = match stream.try_clone() {
-                                Ok(reader) => BufReader::new(reader),
-                                Err(e) => {
-                                    eprintln!("fdm-serve: clone connection: {e}");
-                                    return;
-                                }
-                            };
-                            let mut writer = stream;
-                            if let Err(e) = Session::new(engine).run(reader, &mut writer) {
-                                eprintln!("fdm-serve: session error: {e}");
-                            }
-                            let _ = writer.flush();
-                        });
-                    }
-                    Err(e) => eprintln!("fdm-serve: accept: {e}"),
-                }
+        std::thread::spawn(move || serve_unix(engine, listener, unix_net))
+    });
+
+    let listen_thread = args.listen.map(|addr| {
+        let listener = match TcpListener::bind(&addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("fdm-serve: bind {addr}: {e}");
+                std::process::exit(1);
             }
-        })
+        };
+        match listener.local_addr() {
+            Ok(local) => eprintln!("fdm-serve: listening on tcp://{local}"),
+            Err(_) => eprintln!("fdm-serve: listening on tcp://{addr}"),
+        }
+        let engine = engine.clone();
+        std::thread::spawn(move || serve_tcp(engine, listener, tcp_net))
     });
 
     let stdin = std::io::stdin();
@@ -122,9 +175,12 @@ fn main() {
         eprintln!("fdm-serve: stdin session error: {e}");
     }
 
-    // With a socket configured the process is a daemon: keep serving
-    // connections after stdin closes.
+    // With a socket or TCP listener configured the process is a daemon:
+    // keep serving connections after stdin closes.
     if let Some(handle) = socket_thread {
+        let _ = handle.join();
+    }
+    if let Some(handle) = listen_thread {
         let _ = handle.join();
     }
 }

@@ -1,0 +1,187 @@
+//! Socket front ends: accept loops for TCP and Unix-domain listeners.
+//!
+//! Both transports speak the identical line protocol as stdin/stdout —
+//! one [`Session`] per connection on its own thread, all
+//! bound to the shared [`Engine`]. The TCP listener is what lets remote
+//! tenants ingest without shelling into the box; it therefore gets the
+//! defensive defaults a LAN-facing daemon needs:
+//!
+//! * **read timeouts** — a connection that goes quiet for
+//!   [`NetOptions::read_timeout`] is closed instead of pinning its thread
+//!   forever;
+//! * **max-frame guard** — a line longer than [`NetOptions::max_line`]
+//!   bytes gets one `ERR` and the connection is closed instead of
+//!   buffering without bound (see [`Session::run_bounded`]);
+//! * **connection cap** — at most [`NetOptions::max_connections`]
+//!   concurrent sessions per listener (each costs one OS thread); excess
+//!   connections get one `ERR` line and are dropped without spawning.
+//!
+//! There is no authentication or TLS: bind `127.0.0.1` or deploy behind a
+//! trusted network boundary, exactly like early-configuration Redis or
+//! memcached.
+
+use std::io::{BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::engine::Engine;
+use crate::session::{Session, MAX_LINE_BYTES};
+
+/// Per-connection limits for the socket transports.
+#[derive(Debug, Clone, Copy)]
+pub struct NetOptions {
+    /// Close a connection after this long without a complete read;
+    /// `None` waits forever (reasonable for trusted Unix sockets, not for
+    /// TCP).
+    pub read_timeout: Option<Duration>,
+    /// Maximum bytes one protocol line may occupy.
+    pub max_line: usize,
+    /// Maximum concurrent connections per listener (each costs one OS
+    /// thread); further connections get one `ERR` line and are dropped.
+    pub max_connections: usize,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        NetOptions {
+            read_timeout: Some(Duration::from_secs(300)),
+            max_line: MAX_LINE_BYTES,
+            max_connections: 1024,
+        }
+    }
+}
+
+/// Live-connection count for one listener; decrements when a connection's
+/// thread finishes (RAII so every exit path counts down).
+struct ConnectionSlot(Arc<std::sync::atomic::AtomicUsize>);
+
+impl ConnectionSlot {
+    /// Claims a slot, or refuses when the listener is at capacity.
+    fn claim(count: &Arc<std::sync::atomic::AtomicUsize>, max: usize) -> Option<ConnectionSlot> {
+        use std::sync::atomic::Ordering;
+        let mut current = count.load(Ordering::SeqCst);
+        loop {
+            if current >= max {
+                return None;
+            }
+            match count.compare_exchange(current, current + 1, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return Some(ConnectionSlot(count.clone())),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+impl Drop for ConnectionSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+/// What both socket transports need from a connection: a duplicated read
+/// handle and an OS-level read timeout.
+trait Connection: Read + Write + Send + Sized + 'static {
+    /// Transport name for log lines.
+    const TRANSPORT: &'static str;
+
+    /// A second handle to the same connection (the read side).
+    fn duplicate(&self) -> std::io::Result<Self>;
+
+    /// Arms the OS-level read timeout.
+    fn arm_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Connection for TcpStream {
+    const TRANSPORT: &'static str = "tcp";
+
+    fn duplicate(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn arm_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl Connection for UnixStream {
+    const TRANSPORT: &'static str = "unix";
+
+    fn duplicate(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn arm_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+/// One accepted connection: arm the timeout, split into reader/writer,
+/// and run a session — shared by both transports.
+fn handle_connection<C: Connection>(
+    engine: Arc<Engine>,
+    mut stream: C,
+    options: NetOptions,
+    slot: Option<ConnectionSlot>,
+) {
+    let Some(slot) = slot else {
+        // At capacity: one ERR line, then drop without spawning — the
+        // refused connection must not cost a thread.
+        let _ = stream.write_all(b"ERR server at connection limit; try again later\n");
+        return;
+    };
+    std::thread::spawn(move || {
+        let _slot = slot; // released when this thread finishes
+        if let Err(e) = stream.arm_read_timeout(options.read_timeout) {
+            eprintln!("fdm-serve: set read timeout: {e}");
+            return;
+        }
+        let reader = match stream.duplicate() {
+            Ok(reader) => BufReader::new(reader),
+            Err(e) => {
+                eprintln!("fdm-serve: clone {} connection: {e}", C::TRANSPORT);
+                return;
+            }
+        };
+        let mut writer = stream;
+        if let Err(e) = Session::new(engine).run_bounded(reader, &mut writer, options.max_line) {
+            // Timeouts and resets are business as usual for a network
+            // daemon; log and drop the connection.
+            eprintln!("fdm-serve: {} session ended: {e}", C::TRANSPORT);
+        }
+        let _ = writer.flush();
+    });
+}
+
+/// Serves protocol sessions on a TCP listener until the listener errors
+/// out; one thread per connection, capped at
+/// [`NetOptions::max_connections`]. Blocks the calling thread — spawn it.
+pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener, options: NetOptions) {
+    let live = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for connection in listener.incoming() {
+        match connection {
+            Ok(stream) => {
+                let slot = ConnectionSlot::claim(&live, options.max_connections);
+                handle_connection(engine.clone(), stream, options, slot);
+            }
+            Err(e) => eprintln!("fdm-serve: tcp accept: {e}"),
+        }
+    }
+}
+
+/// Serves protocol sessions on a Unix-domain listener; one thread per
+/// connection, capped at [`NetOptions::max_connections`]. Blocks the
+/// calling thread — spawn it.
+pub fn serve_unix(engine: Arc<Engine>, listener: UnixListener, options: NetOptions) {
+    let live = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    for connection in listener.incoming() {
+        match connection {
+            Ok(stream) => {
+                let slot = ConnectionSlot::claim(&live, options.max_connections);
+                handle_connection(engine.clone(), stream, options, slot);
+            }
+            Err(e) => eprintln!("fdm-serve: unix accept: {e}"),
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! replayer, and the tests all share one implementation.
 
 use fdm_core::metric::Metric;
+use fdm_core::persist::SnapshotFormat;
 use fdm_core::point::Element;
 
 /// A parsed protocol command.
@@ -26,10 +27,13 @@ pub enum Command {
         /// Optional solution size; must match the configured `k`.
         k: Option<usize>,
     },
-    /// `SNAPSHOT <path>` — checkpoint the bound stream to a file.
+    /// `SNAPSHOT <path> [format=json|bin]` — checkpoint the bound stream
+    /// to a file.
     Snapshot {
         /// Destination path.
         path: String,
+        /// Explicit encoding; `None` uses the server's configured format.
+        format: Option<SnapshotFormat>,
     },
     /// `RESTORE <path>` — load a snapshot into the session.
     Restore {
@@ -216,9 +220,22 @@ pub fn parse_line(line: &str) -> std::result::Result<Option<Command>, String> {
             };
             Command::Query { k }
         }
-        "SNAPSHOT" => Command::Snapshot {
-            path: fields.get(1).ok_or("SNAPSHOT requires a path")?.to_string(),
-        },
+        "SNAPSHOT" => {
+            let path = fields.get(1).ok_or("SNAPSHOT requires a path")?.to_string();
+            let format = match fields.get(2) {
+                None => None,
+                Some(field) => {
+                    let value = field
+                        .strip_prefix("format=")
+                        .ok_or_else(|| format!("expected format=json|bin, found `{field}`"))?;
+                    Some(SnapshotFormat::parse(value)?)
+                }
+            };
+            if fields.len() > 3 {
+                return Err("SNAPSHOT takes at most <path> format=json|bin".into());
+            }
+            Command::Snapshot { path, format }
+        }
         "RESTORE" => Command::Restore {
             path: fields.get(1).ok_or("RESTORE requires a path")?.to_string(),
         },
@@ -295,6 +312,38 @@ mod tests {
         assert!(parse_line("INSERT 7 1 NaN").is_err());
         assert!(parse_line("INSERT 7 1 inf").is_err());
         assert!(parse_line("INSERT 7").is_err());
+    }
+
+    #[test]
+    fn snapshot_format_switch_parses() {
+        assert_eq!(
+            parse_line("SNAPSHOT /tmp/x.snap").unwrap().unwrap(),
+            Command::Snapshot {
+                path: "/tmp/x.snap".into(),
+                format: None
+            }
+        );
+        assert_eq!(
+            parse_line("SNAPSHOT /tmp/x.snap format=json")
+                .unwrap()
+                .unwrap(),
+            Command::Snapshot {
+                path: "/tmp/x.snap".into(),
+                format: Some(SnapshotFormat::Json)
+            }
+        );
+        assert_eq!(
+            parse_line("SNAPSHOT /tmp/x.snap format=bin")
+                .unwrap()
+                .unwrap(),
+            Command::Snapshot {
+                path: "/tmp/x.snap".into(),
+                format: Some(SnapshotFormat::Binary)
+            }
+        );
+        assert!(parse_line("SNAPSHOT /tmp/x.snap format=xml").is_err());
+        assert!(parse_line("SNAPSHOT /tmp/x.snap json").is_err());
+        assert!(parse_line("SNAPSHOT /tmp/x.snap format=bin extra").is_err());
     }
 
     #[test]

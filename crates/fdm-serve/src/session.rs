@@ -5,11 +5,18 @@
 //! loop serves stdin/stdout, each Unix-socket connection, the WAL-driven
 //! tests, and the scripted CI session.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 use std::sync::Arc;
 
 use crate::engine::Engine;
 use crate::protocol::{parse_line, valid_stream_name, Command};
+
+/// Default per-line (frame) byte cap for every session transport. One
+/// protocol line is one command; even a 10 000-dimensional `INSERT` with
+/// full 17-digit coordinates stays well under this, so anything larger is
+/// a protocol violation or an attack, and the session closes instead of
+/// buffering without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// A single client session bound to the shared [`Engine`].
 pub struct Session {
@@ -53,9 +60,9 @@ impl Session {
                 let name = bound(&self.current)?;
                 self.engine.query(&name, k)
             }
-            Command::Snapshot { path } => {
+            Command::Snapshot { path, format } => {
                 let name = bound(&self.current)?;
-                self.engine.snapshot(&name, &path)
+                self.engine.snapshot(&name, &path, format)
             }
             Command::Restore { path } => {
                 // Without an explicit binding the stream takes its name
@@ -89,23 +96,61 @@ impl Session {
         }
     }
 
-    /// Runs the command loop until `QUIT` or EOF. Every input line yields
-    /// exactly one `OK ...`/`ERR ...` response line (blank lines and `#`
-    /// comments are skipped).
-    pub fn run(&mut self, reader: impl BufRead, mut writer: impl Write) -> std::io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
-            match parse_line(&line) {
+    /// Runs the command loop until `QUIT` or EOF with the default
+    /// [`MAX_LINE_BYTES`] frame guard. Every input line yields exactly one
+    /// `OK ...`/`ERR ...` response line (blank lines and `#` comments are
+    /// skipped).
+    pub fn run(&mut self, reader: impl BufRead, writer: impl Write) -> std::io::Result<()> {
+        self.run_bounded(reader, writer, MAX_LINE_BYTES)
+    }
+
+    /// [`Session::run`] with an explicit per-line byte cap: a line longer
+    /// than `max_line` gets one `ERR` response and closes the session
+    /// (the remote is either broken or hostile; resynchronizing inside an
+    /// oversized frame is not worth the buffering risk). An I/O error —
+    /// including a socket read timeout — ends the session with that error.
+    pub fn run_bounded(
+        &mut self,
+        mut reader: impl BufRead,
+        mut writer: impl Write,
+        max_line: usize,
+    ) -> std::io::Result<()> {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            buf.clear();
+            // `take` caps how much one read_until may buffer; one extra
+            // byte distinguishes "exactly max_line" from "over the cap".
+            let mut limited = (&mut reader).take(max_line as u64 + 1);
+            let n = limited.read_until(b'\n', &mut buf)?;
+            if n == 0 {
+                return Ok(()); // EOF
+            }
+            if buf.last() == Some(&b'\n') {
+                buf.pop();
+            } else if buf.len() > max_line {
+                writeln!(writer, "ERR line exceeds {max_line} bytes; closing session")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            let line = match std::str::from_utf8(&buf) {
+                Ok(line) => line,
+                Err(_) => {
+                    writeln!(writer, "ERR line is not valid UTF-8")?;
+                    writer.flush()?;
+                    continue;
+                }
+            };
+            match parse_line(line) {
                 Ok(None) => continue,
                 Ok(Some(command)) => {
                     let quit = command == Command::Quit;
-                    match self.execute(command, &line) {
+                    match self.execute(command, line) {
                         Ok(reply) => writeln!(writer, "OK {reply}")?,
                         Err(message) => writeln!(writer, "ERR {message}")?,
                     }
                     writer.flush()?;
                     if quit {
-                        break;
+                        return Ok(());
                     }
                 }
                 Err(message) => {
@@ -114,6 +159,5 @@ impl Session {
                 }
             }
         }
-        Ok(())
     }
 }

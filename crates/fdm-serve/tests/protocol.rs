@@ -123,6 +123,7 @@ fn wal_crash_recovery_replays_the_tail() {
     let config = ServeConfig {
         data_dir: Some(dir.clone()),
         snapshot_every: Some(16),
+        ..ServeConfig::default()
     };
     let inserts = insert_lines(70);
 
@@ -151,8 +152,8 @@ fn wal_crash_recovery_replays_the_tail() {
     let wal = std::fs::read_to_string(dir.join("jobs.wal")).unwrap();
     assert_eq!(
         wal.lines().count(),
-        70 - 64,
-        "WAL should hold only the post-snapshot tail"
+        1 + (70 - 64),
+        "WAL should hold only the header and the post-snapshot tail"
     );
 
     // Recovery: a new engine over the same data dir replays snap + WAL.
@@ -175,6 +176,7 @@ fn recovery_skips_wal_records_already_in_snapshot() {
     let config = ServeConfig {
         data_dir: Some(dir.clone()),
         snapshot_every: Some(16),
+        ..ServeConfig::default()
     };
     let inserts = insert_lines(20);
 
@@ -199,7 +201,7 @@ fn recovery_skips_wal_records_already_in_snapshot() {
     // crash window by re-prepending records 9..=16 (already snapshotted).
     let wal_path = dir.join("jobs.wal");
     let tail = std::fs::read_to_string(&wal_path).unwrap();
-    assert_eq!(tail.lines().count(), 4);
+    assert_eq!(tail.lines().count(), 1 + 4, "header + 4 tail records");
     let mut overlapping = String::new();
     for (i, line) in inserts.iter().enumerate().take(16).skip(8) {
         overlapping.push_str(&format!("{} {line}\n", i + 1));
@@ -223,6 +225,7 @@ fn wal_sequence_gaps_are_corrupt() {
     let config = ServeConfig {
         data_dir: Some(dir.clone()),
         snapshot_every: Some(100),
+        ..ServeConfig::default()
     };
     {
         let engine = Arc::new(Engine::new(config.clone()).unwrap());
@@ -235,7 +238,7 @@ fn wal_sequence_gaps_are_corrupt() {
     let wal_path = dir.join("jobs.wal");
     let wal = std::fs::read_to_string(&wal_path).unwrap();
     let kept: Vec<&str> = wal.lines().filter(|l| !l.starts_with("3 ")).collect();
-    assert_eq!(kept.len(), 4);
+    assert_eq!(kept.len(), 1 + 4, "header + records 1, 2, 4, 5");
     std::fs::write(&wal_path, kept.join("\n")).unwrap();
     let err = match Engine::new(config) {
         Err(err) => err,

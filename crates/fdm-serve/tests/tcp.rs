@@ -1,0 +1,281 @@
+//! TCP front-end tests: the same line protocol over TCP, Unix socket, and
+//! an in-process session must serve identical answers, and the TCP
+//! defenses (max-frame guard, read timeout) must hold.
+
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fdm_serve::{serve_tcp, serve_unix, Engine, NetOptions, ServeConfig, Session};
+
+const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
+
+fn engine() -> Arc<Engine> {
+    Arc::new(Engine::new(ServeConfig::default()).unwrap())
+}
+
+fn script(n: usize) -> String {
+    let mut lines = vec![OPEN.to_string()];
+    lines.extend((0..n).map(|i| {
+        let x = (i as f64 * 0.7391).sin() * 9.0;
+        let y = (i as f64 * 0.2113).cos() * 9.0;
+        format!("INSERT {i} {} {x} {y}", i % 2)
+    }));
+    lines.push("STATS".into());
+    lines.push("QUERY".into());
+    lines.push("QUIT".into());
+    lines.join("\n") + "\n"
+}
+
+fn start_tcp(engine: Arc<Engine>, options: NetOptions) -> std::net::SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || serve_tcp(engine, listener, options));
+    addr
+}
+
+fn replies_from(reader: impl Read) -> Vec<String> {
+    BufReader::new(reader)
+        .lines()
+        .map_while(|l| l.ok())
+        .collect()
+}
+
+#[test]
+fn tcp_unix_and_inprocess_sessions_serve_identical_answers() {
+    // Three transports, three *separate* engines fed the same stream: the
+    // answers must be byte-identical across all of them.
+    let text = script(60);
+
+    // In-process reference.
+    let reference = {
+        let mut output = Vec::new();
+        Session::new(engine())
+            .run(Cursor::new(text.clone().into_bytes()), &mut output)
+            .unwrap();
+        String::from_utf8(output).unwrap()
+    };
+    let reference: Vec<String> = reference.lines().map(str::to_string).collect();
+    assert!(
+        reference.iter().any(|l| l.starts_with("OK k=")),
+        "{reference:?}"
+    );
+
+    // TCP.
+    let tcp_replies = {
+        let addr = start_tcp(engine(), NetOptions::default());
+        let mut client = TcpStream::connect(addr).unwrap();
+        client.write_all(text.as_bytes()).unwrap();
+        replies_from(client.try_clone().unwrap())
+    };
+
+    // Unix socket.
+    let unix_replies = {
+        use std::os::unix::net::{UnixListener, UnixStream};
+        let dir = std::env::temp_dir().join(format!("fdm_tcp_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fdm.sock");
+        let listener = UnixListener::bind(&path).unwrap();
+        let e = engine();
+        std::thread::spawn(move || serve_unix(e, listener, NetOptions::default()));
+        let mut client = UnixStream::connect(&path).unwrap();
+        client.write_all(text.as_bytes()).unwrap();
+        let replies = replies_from(client.try_clone().unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+        replies
+    };
+
+    assert_eq!(reference, tcp_replies, "TCP answers must match in-process");
+    assert_eq!(
+        reference, unix_replies,
+        "Unix answers must match in-process"
+    );
+}
+
+#[test]
+fn tcp_sessions_share_the_engine_across_connections() {
+    let addr = start_tcp(engine(), NetOptions::default());
+
+    // Connection 1 opens and feeds the stream.
+    let mut a = TcpStream::connect(addr).unwrap();
+    a.write_all(format!("{OPEN}\nINSERT 0 0 1 1\nINSERT 1 1 5 5\nQUIT\n").as_bytes())
+        .unwrap();
+    let replies = replies_from(a.try_clone().unwrap());
+    assert!(replies.iter().all(|r| r.starts_with("OK ")), "{replies:?}");
+
+    // Connection 2 attaches to the same named stream.
+    let mut b = TcpStream::connect(addr).unwrap();
+    b.write_all(format!("{OPEN}\nSTATS\nQUIT\n").as_bytes())
+        .unwrap();
+    let replies = replies_from(b.try_clone().unwrap());
+    assert_eq!(replies[0], "OK attached jobs processed=2", "{replies:?}");
+}
+
+#[test]
+fn oversized_lines_close_the_connection_with_a_typed_error() {
+    let addr = start_tcp(
+        engine(),
+        NetOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            max_line: 1024,
+            ..NetOptions::default()
+        },
+    );
+    let mut client = TcpStream::connect(addr).unwrap();
+    // 1 MiB of garbage with no newline: the server must answer one ERR and
+    // close instead of buffering forever.
+    let huge = vec![b'x'; 1 << 20];
+    client.write_all(&huge).unwrap();
+    let _ = client.write_all(b"\n");
+    let replies = replies_from(client.try_clone().unwrap());
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    assert!(
+        replies[0].starts_with("ERR line exceeds 1024 bytes"),
+        "{}",
+        replies[0]
+    );
+}
+
+#[test]
+fn idle_tcp_connections_time_out() {
+    let addr = start_tcp(
+        engine(),
+        NetOptions {
+            read_timeout: Some(Duration::from_millis(200)),
+            max_line: 1024,
+            ..NetOptions::default()
+        },
+    );
+    let client = TcpStream::connect(addr).unwrap();
+    // Send nothing. The server side must drop the connection once the
+    // read timeout fires, which we observe as EOF (or an error) on our
+    // read side well before a generous deadline.
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let start = Instant::now();
+    let mut buf = [0u8; 64];
+    let n = (&client).read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "server must close the idle connection");
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timeout took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn connection_cap_refuses_excess_connections() {
+    let addr = start_tcp(
+        engine(),
+        NetOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            max_connections: 2,
+            ..NetOptions::default()
+        },
+    );
+    let ping = |client: &mut TcpStream| -> Option<String> {
+        client.write_all(b"PING\n").ok()?;
+        let mut reader = BufReader::new(client.try_clone().ok()?);
+        let mut line = String::new();
+        reader.read_line(&mut line).ok()?;
+        Some(line.trim().to_string())
+    };
+    let mut a = TcpStream::connect(addr).unwrap();
+    assert_eq!(ping(&mut a).as_deref(), Some("OK pong"));
+    let mut b = TcpStream::connect(addr).unwrap();
+    assert_eq!(ping(&mut b).as_deref(), Some("OK pong"));
+    // Third connection: refused with one ERR line, then closed.
+    let c = TcpStream::connect(addr).unwrap();
+    let replies = replies_from(c);
+    assert_eq!(replies.len(), 1, "{replies:?}");
+    assert!(
+        replies[0].starts_with("ERR server at connection limit"),
+        "{}",
+        replies[0]
+    );
+    // Freeing a slot admits new connections again (the session thread
+    // releases it when the closed connection's loop ends).
+    drop(a);
+    let mut admitted = false;
+    for _ in 0..100 {
+        let mut d = TcpStream::connect(addr).unwrap();
+        if ping(&mut d).as_deref() == Some("OK pong") {
+            admitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(admitted, "a freed slot must admit new connections");
+}
+
+#[test]
+fn tcp_snapshot_kill_restore_round_trip() {
+    // The full persistence loop over TCP: feed half, SNAPSHOT (binary),
+    // drop the engine, restore into a fresh engine over TCP, feed the
+    // rest, and match an uninterrupted run.
+    let dir = std::env::temp_dir().join(format!("fdm_tcp_snap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("jobs.snap");
+
+    let inserts: Vec<String> = (0..80)
+        .map(|i| {
+            let x = (i as f64 * 0.7391).sin() * 9.0;
+            let y = (i as f64 * 0.2113).cos() * 9.0;
+            format!("INSERT {i} {} {x} {y}", i % 2)
+        })
+        .collect();
+
+    let reference = {
+        let mut output = Vec::new();
+        let text = format!("{OPEN}\n{}\nQUERY\n", inserts.join("\n"));
+        Session::new(engine())
+            .run(Cursor::new(text.into_bytes()), &mut output)
+            .unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .last()
+            .unwrap()
+            .to_string()
+    };
+
+    {
+        let addr = start_tcp(engine(), NetOptions::default());
+        let mut client = TcpStream::connect(addr).unwrap();
+        let text = format!(
+            "{OPEN}\n{}\nSNAPSHOT {} format=bin\nQUIT\n",
+            inserts[..40].join("\n"),
+            snap.display()
+        );
+        client.write_all(text.as_bytes()).unwrap();
+        let replies = replies_from(client.try_clone().unwrap());
+        assert!(
+            replies.iter().any(|r| r.starts_with("OK snapshot")),
+            "{replies:?}"
+        );
+    }
+    assert!(snap.exists());
+
+    let resumed = {
+        let addr = start_tcp(engine(), NetOptions::default());
+        let mut client = TcpStream::connect(addr).unwrap();
+        let text = format!(
+            "RESTORE {}\n{}\nQUERY\nQUIT\n",
+            snap.display(),
+            inserts[40..].join("\n")
+        );
+        client.write_all(text.as_bytes()).unwrap();
+        let replies = replies_from(client.try_clone().unwrap());
+        assert_eq!(replies[0], "OK restored jobs processed=40", "{replies:?}");
+        replies[replies.len() - 2].clone()
+    };
+    assert_eq!(
+        reference, resumed,
+        "post-restore TCP QUERY must be byte-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
