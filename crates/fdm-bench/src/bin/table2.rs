@@ -10,6 +10,11 @@
 //!
 //! Run: `cargo run --release -p fdm-bench --bin table2 [--quick|--full] [--trials N]`
 //!
+//! `--algorithm sliding --window N` benchmarks the sliding-window scenario
+//! alongside the others: three extra columns (diversity, update time,
+//! stored elements) measured over the most recent `N`-element window of
+//! each permuted stream.
+//!
 //! Checkpointing: `--snapshot-every N` writes each streaming cell's summary
 //! to `results/snapshots/table2-<algo>-<dataset>.snap` every N arrivals;
 //! `--restore-from PATH` resumes from a snapshot (skipping the already-
@@ -20,7 +25,9 @@
 //! with persistence flags — the trials share one checkpoint path.
 
 use fdm_bench::cli::Options;
-use fdm_bench::measure::{run_averaged, run_averaged_sharded_persist, Algo, PersistOpts};
+use fdm_bench::measure::{
+    run_averaged, run_averaged_sharded_persist, run_averaged_windowed, Algo, PersistOpts,
+};
 use fdm_bench::report::{fmt_secs, results_dir, Table};
 use fdm_bench::workloads::Workload;
 use fdm_core::fairness::FairnessConstraint;
@@ -76,6 +83,9 @@ fn main() {
         "SFDM2 div",
         "SFDM2 t(s)",
         "SFDM2 #elem",
+        "Sliding div",
+        "Sliding t(s)",
+        "Sliding #elem",
     ]);
 
     for workload in Workload::table2_rows() {
@@ -123,6 +133,37 @@ fn main() {
             ("-".into(), "-".into(), "-".into())
         };
 
+        let (sl_div, sl_t, sl_e) = if opts.algorithm.as_deref() == Some("sliding") {
+            match run_averaged_windowed(
+                &dataset,
+                Algo::Sliding,
+                &constraint,
+                epsilon,
+                opts.trials,
+                opts.shards,
+                opts.window,
+                &persist_opts(&opts, Algo::Sliding, &workload.name()),
+            ) {
+                Ok(r) => (
+                    format!("{:.4}", r.diversity),
+                    fmt_secs(r.paper_time_s()),
+                    r.stored_elements.unwrap().to_string(),
+                ),
+                // A window too small for a rare group's quota has no fair
+                // answer — a real property of the scenario, not a crash.
+                Err(fdm_core::FdmError::NoFeasibleCandidate) => {
+                    eprintln!(
+                        "  sliding: no feasible window of {} elements (rare group vs quota)",
+                        opts.window
+                    );
+                    ("infeasible".into(), "-".into(), "-".into())
+                }
+                Err(e) => panic!("Sliding run: {e}"),
+            }
+        } else {
+            ("-".into(), "-".into(), "-".into())
+        };
+
         let s2 = run_averaged_sharded_persist(
             &dataset,
             Algo::Sfdm2,
@@ -148,6 +189,9 @@ fn main() {
             format!("{:.4}", s2.diversity),
             fmt_secs(s2.paper_time_s()),
             s2.stored_elements.unwrap().to_string(),
+            sl_div,
+            sl_t,
+            sl_e,
         ]);
     }
 

@@ -16,7 +16,11 @@
 //!   resumed run finishes with results identical to an uninterrupted one;
 //!   incompatible snapshots are rejected with a typed error);
 //! * `--snapshot-format json|bin` — encoding for written checkpoints
-//!   (default `bin`, the v2 binary codec; resume reads both).
+//!   (default `bin`, the v2 binary codec; resume reads both);
+//! * `--algorithm NAME` — add an extra streaming scenario to experiments
+//!   that support it (today: `sliding` on table2);
+//! * `--window N` — sliding-window size for `--algorithm sliding`
+//!   (required with it, rejected without it).
 
 use crate::workloads::SizeMode;
 use fdm_core::persist::SnapshotFormat;
@@ -42,6 +46,10 @@ pub struct Options {
     /// Encoding for written checkpoints (`json` or `bin`; resume sniffs
     /// the format either way).
     pub snapshot_format: SnapshotFormat,
+    /// Extra streaming scenario to run (today: `sliding` on table2).
+    pub algorithm: Option<String>,
+    /// Sliding-window size for `--algorithm sliding`.
+    pub window: usize,
 }
 
 impl Default for Options {
@@ -55,6 +63,8 @@ impl Default for Options {
             snapshot_every: None,
             restore_from: None,
             snapshot_format: SnapshotFormat::default(),
+            algorithm: None,
+            window: 0,
         }
     }
 }
@@ -90,10 +100,24 @@ impl Options {
                         .ok_or_else(|| "--snapshot-format requires json or bin".to_string())?;
                     opts.snapshot_format = SnapshotFormat::parse(&value)?;
                 }
+                "--algorithm" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--algorithm requires a name".to_string())?;
+                    if !fdm_core::streaming::summary::is_known_algorithm(&value) {
+                        return Err(format!(
+                            "--algorithm: unknown algorithm `{value}` (expected one of: {})",
+                            fdm_core::streaming::summary::algorithm_tags().join(", ")
+                        ));
+                    }
+                    opts.algorithm = Some(value);
+                }
+                "--window" => opts.window = take_num(&mut args, "--window")? as usize,
                 "--help" | "-h" => {
                     return Err(
                         "usage: [--quick|--full] [--trials N] [--k N] [--seed N] [--shards N] \
-                         [--snapshot-every N] [--restore-from PATH] [--snapshot-format json|bin]"
+                         [--snapshot-every N] [--restore-from PATH] [--snapshot-format json|bin] \
+                         [--algorithm sliding --window N]"
                             .to_string(),
                     )
                 }
@@ -108,6 +132,14 @@ impl Options {
         }
         if opts.snapshot_every == Some(0) {
             return Err("--snapshot-every must be at least 1".to_string());
+        }
+        if opts.algorithm.as_deref() == Some("sliding") && opts.window < 2 {
+            return Err("--algorithm sliding requires --window N (N ≥ 2)".to_string());
+        }
+        if opts.window != 0 && opts.algorithm.as_deref() != Some("sliding") {
+            // Mirror the registry/protocol contract: a window on a
+            // non-sliding algorithm is an error everywhere, never ignored.
+            return Err("--window requires --algorithm sliding".to_string());
         }
         Ok(opts)
     }
@@ -184,6 +216,19 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert_eq!(o.snapshot_every, None);
         assert_eq!(o.restore_from, None);
+    }
+
+    #[test]
+    fn parses_sliding_scenario_flags() {
+        let o = parse(&["--algorithm", "sliding", "--window", "500"]).unwrap();
+        assert_eq!(o.algorithm.as_deref(), Some("sliding"));
+        assert_eq!(o.window, 500);
+        assert!(parse(&["--algorithm", "sliding"]).is_err()); // no window
+        assert!(parse(&["--algorithm", "sliding", "--window", "1"]).is_err());
+        assert!(parse(&["--window", "100"]).is_err()); // window alone
+        assert!(parse(&["--algorithm", "bogus", "--window", "100"]).is_err());
+        // A window on a non-sliding algorithm must error, not be ignored.
+        assert!(parse(&["--algorithm", "sfdm2", "--window", "100"]).is_err());
     }
 
     #[test]

@@ -17,6 +17,7 @@ fn runs_are_deterministic_given_seed() {
         epsilon: 0.1,
         seed: 5,
         shards: 1,
+        window: 0,
         persist: Default::default(),
     };
     let a = run_algorithm(&d, Algo::Sfdm1, &cfg).unwrap();
@@ -41,6 +42,7 @@ fn different_permutations_change_the_stream() {
                     epsilon: 0.1,
                     seed,
                     shards: 1,
+                    window: 0,
                     persist: Default::default(),
                 },
             )
@@ -73,6 +75,7 @@ fn averaged_diversity_is_within_min_max_of_singles() {
                     epsilon: 0.1,
                     seed,
                     shards: 1,
+                    window: 0,
                     persist: Default::default(),
                 },
             )

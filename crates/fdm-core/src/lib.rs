@@ -102,6 +102,8 @@ pub mod prelude {
     pub use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
     pub use crate::streaming::sfdm2::{Sfdm2, Sfdm2Config};
     pub use crate::streaming::sharded::{ShardAlgorithm, ShardedStream};
+    pub use crate::streaming::sliding::{SlidingWindowConfig, SlidingWindowFdm};
+    pub use crate::streaming::summary::{DynSummary, SummarySpec};
     pub use crate::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 }
 

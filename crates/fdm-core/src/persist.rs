@@ -118,9 +118,9 @@ impl SnapshotFormat {
 
 /// The load-bearing configuration of a snapshot, stored in the envelope so
 /// compatibility can be checked without decoding the state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotParams {
-    /// Algorithm tag: `unconstrained`, `sfdm1`, `sfdm2`, or
+    /// Algorithm tag: `unconstrained`, `sfdm1`, `sfdm2`, `sliding`, or
     /// `sharded:<inner>`.
     pub algorithm: String,
     /// Point dimensionality observed so far; `0` when no element has
@@ -138,6 +138,55 @@ pub struct SnapshotParams {
     pub k: usize,
     /// Shard count; `1` for unsharded summaries.
     pub shards: usize,
+    /// Sliding-window size `W` in elements; `0` for unwindowed summaries.
+    pub window: usize,
+}
+
+// Hand-written (rather than derived) so the `window` field is **omitted
+// when zero**: every pre-sliding snapshot ever written stays byte-identical
+// under re-encode (the golden fixtures pin this), and those documents
+// deserialize with the implied `window = 0`.
+impl Serialize for SnapshotParams {
+    fn to_value(&self) -> Value {
+        let mut map = serde::Map::new();
+        map.insert("algorithm".to_string(), self.algorithm.to_value());
+        map.insert("dim".to_string(), self.dim.to_value());
+        map.insert("epsilon".to_string(), self.epsilon.to_value());
+        map.insert("metric".to_string(), self.metric.to_value());
+        map.insert("bounds".to_string(), self.bounds.to_value());
+        map.insert("quotas".to_string(), self.quotas.to_value());
+        map.insert("k".to_string(), self.k.to_value());
+        map.insert("shards".to_string(), self.shards.to_value());
+        if self.window != 0 {
+            map.insert("window".to_string(), self.window.to_value());
+        }
+        Value::Object(map)
+    }
+}
+
+impl Deserialize for SnapshotParams {
+    fn from_value(value: &Value) -> std::result::Result<Self, serde::DeError> {
+        fn req<T: Deserialize>(value: &Value, key: &str) -> std::result::Result<T, serde::DeError> {
+            let field = value
+                .get(key)
+                .ok_or_else(|| serde::DeError::custom(format!("missing field `{key}`")))?;
+            T::from_value(field)
+        }
+        Ok(SnapshotParams {
+            algorithm: req(value, "algorithm")?,
+            dim: req(value, "dim")?,
+            epsilon: req(value, "epsilon")?,
+            metric: req(value, "metric")?,
+            bounds: req(value, "bounds")?,
+            quotas: req(value, "quotas")?,
+            k: req(value, "k")?,
+            shards: req(value, "shards")?,
+            window: match value.get("window") {
+                Some(v) => usize::from_value(v)?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl SnapshotParams {
@@ -199,6 +248,13 @@ impl SnapshotParams {
                 "shard count",
                 self.shards.to_string(),
                 live.shards.to_string(),
+            );
+        }
+        if self.window != live.window {
+            return fail(
+                "sliding window",
+                self.window.to_string(),
+                live.window.to_string(),
             );
         }
         Ok(())
@@ -339,15 +395,28 @@ impl Snapshot {
     }
 }
 
-/// Atomic durable file write shared by full snapshots and deltas: write to
-/// a sibling `.tmp`, fsync, rename into place, best-effort fsync of the
-/// directory entry.
-pub(crate) fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+/// Atomic durable file write shared by full snapshots and deltas (and by
+/// `fdm-serve`'s checkpoint writer, which pre-encodes so it can report
+/// checkpoint sizes): write to a sibling temp file, fsync, rename into
+/// place, best-effort fsync of the directory entry.
+///
+/// The temp name carries the pid and a process-wide counter so concurrent
+/// writers of the **same** destination (e.g. two sessions exporting one
+/// stream to one path) each stage through their own file: every rename
+/// promotes one complete document — last writer wins — instead of the two
+/// interleaving inside a shared `.tmp`.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
     let io_err = |what: &str, p: &Path, e: std::io::Error| FdmError::SnapshotIo {
         detail: format!("{what} {}: {e}", p.display()),
     };
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = std::path::PathBuf::from(tmp);
     {
         use std::io::Write as _;
@@ -613,6 +682,7 @@ mod tests {
             quotas: vec![2, 2],
             k: 4,
             shards: 1,
+            window: 0,
         }
     }
 

@@ -376,6 +376,7 @@ mod tests {
             quotas: vec![2, 2],
             k: 4,
             shards: 1,
+            window: 0,
         }
     }
 

@@ -82,6 +82,73 @@ impl ArrivalProxies {
         }
         self.vals[i]
     }
+
+    /// Populates the cache with the proxy to **every** arena row for one
+    /// arriving point. This is the batch-path entry
+    /// ([`BatchProxies::compute`] fills one cache per batch element and
+    /// keeps the dense value rows for read-only sharing across lanes).
+    pub fn fill(&mut self, store: &PointStore, metric: Metric, point: &[f64], norm_sq: f64) {
+        self.begin_arrival(store.len());
+        for id in store.ids() {
+            self.proxy(store, metric, point, norm_sq, id);
+        }
+    }
+}
+
+/// Batch-wide proxy table: one fully-populated [`ArrivalProxies`] row per
+/// batch element, computed concurrently (under the `parallel` feature)
+/// before the lanes probe.
+///
+/// The candidate-major batch path used to re-evaluate the distance kernel
+/// for the same `(batch element, arena row)` pair in every lane whose
+/// member list contains that row — and the lanes of a guess ladder overlap
+/// heavily (ROADMAP's "batch-path arrival cache" lever). Routing the batch
+/// through this table makes each pair cost exactly one kernel evaluation,
+/// mirroring what [`ArrivalProxies`] already does for the element-by-element
+/// path. Decisions are **bit-identical** to the uncached probes: the full
+/// proxy is compared against the same `µ` threshold the bounded
+/// `proxy_at_least` scans test (pinned by `tests/batch_cache.rs`).
+#[derive(Debug)]
+pub struct BatchProxies {
+    /// Row-major `batch × arena` proxies; row stride = `arena_len`.
+    rows: Vec<f64>,
+    arena_len: usize,
+}
+
+impl BatchProxies {
+    /// Computes the full `batch × arena` proxy table, one row per batch
+    /// element, in parallel over batch elements when available. Each row
+    /// is computed through one [`ArrivalProxies`] (the same memoization
+    /// the element path uses) but only the dense values are kept — the
+    /// lazy-reuse stamps would double the table's footprint for a path
+    /// that fills every slot exactly once.
+    pub fn compute(
+        sequential: bool,
+        store: &PointStore,
+        metric: Metric,
+        batch: &[Element],
+        norms: &[f64],
+    ) -> BatchProxies {
+        debug_assert_eq!(batch.len(), norms.len());
+        let arena_len = store.len();
+        let per_row: Vec<Vec<f64>> = crate::par::maybe_par_map(sequential, batch.len(), |pos| {
+            let mut row = ArrivalProxies::new();
+            row.fill(store, metric, &batch[pos].point, norms[pos]);
+            row.vals
+        });
+        let mut rows = Vec::with_capacity(arena_len * batch.len());
+        for row in per_row {
+            debug_assert_eq!(row.len(), arena_len);
+            rows.extend_from_slice(&row);
+        }
+        BatchProxies { rows, arena_len }
+    }
+
+    /// The proxy distance from batch element `pos` to arena row `id`.
+    #[inline]
+    pub fn proxy(&self, pos: usize, id: PointId) -> f64 {
+        self.rows[pos * self.arena_len + id.index()]
+    }
 }
 
 /// One candidate set `S_µ` with threshold `µ` and capacity `cap`.
@@ -323,6 +390,53 @@ impl Candidate {
             });
             // Also check against batch elements this candidate already
             // (virtually) accepted.
+            let far_from_virtual = far_from_members
+                && accepted.iter().all(|&prev| {
+                    self.metric.proxy_at_least(
+                        &element.point,
+                        &batch[prev as usize].point,
+                        norms[pos],
+                        norms[prev as usize],
+                        self.mu_proxy,
+                    )
+                });
+            if far_from_virtual {
+                accepted.push(pos as u32);
+                room -= 1;
+            }
+        }
+        accepted
+    }
+
+    /// [`Candidate::probe_batch`] through a shared [`BatchProxies`] table:
+    /// member tests are table lookups (each `(element, arena row)` pair was
+    /// evaluated exactly once, however many lanes test it); only the
+    /// batch-internal "virtual member" tests still run the kernel, and
+    /// those pairs are unique to this lane. Decisions are bit-identical to
+    /// the uncached probe (see [`BatchProxies`]).
+    pub fn probe_batch_cached(
+        &self,
+        batch: &[Element],
+        norms: &[f64],
+        restrict_group: Option<usize>,
+        proxies: &BatchProxies,
+    ) -> Vec<u32> {
+        debug_assert_eq!(batch.len(), norms.len());
+        let mut accepted: Vec<u32> = Vec::new();
+        let mut room = self.capacity.saturating_sub(self.members.len());
+        for (pos, element) in batch.iter().enumerate() {
+            if room == 0 {
+                break;
+            }
+            if let Some(g) = restrict_group {
+                if element.group != g {
+                    continue;
+                }
+            }
+            let far_from_members = self
+                .members
+                .iter()
+                .all(|&id| proxies.proxy(pos, id) >= self.mu_proxy);
             let far_from_virtual = far_from_members
                 && accepted.iter().all(|&prev| {
                     self.metric.proxy_at_least(

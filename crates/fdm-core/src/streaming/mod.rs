@@ -19,9 +19,15 @@
 //! concurrently on the persistent pool, merged through one extra
 //! guess-ladder pass.
 
+//! [`summary::DynSummary`] unifies the whole family — every algorithm,
+//! sharded or not, the sliding-window wrapper included — behind one
+//! object-safe trait, and [`summary`]'s registry builds/restores any of
+//! them by algorithm tag.
+
 pub mod candidate;
 pub mod sfdm1;
 pub mod sfdm2;
 pub mod sharded;
 pub mod sliding;
+pub mod summary;
 pub mod unconstrained;

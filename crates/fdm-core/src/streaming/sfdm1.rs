@@ -34,7 +34,7 @@ use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::{ArrivalProxies, Candidate};
+use crate::streaming::candidate::{ArrivalProxies, BatchProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm1`].
@@ -185,6 +185,10 @@ impl Sfdm1 {
         } else {
             vec![0.0; batch.len()]
         };
+        // One kernel evaluation per (batch element, arena row) pair, shared
+        // read-only by every lane below (see `BatchProxies`).
+        let proxies =
+            BatchProxies::compute(self.sequential, &self.store, self.metric, batch, &norms);
         // Lane layout: [blind..., specific[0]..., specific[1]...].
         let ladder = self.blind.len();
         let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, ladder * 3, |lane| {
@@ -195,7 +199,7 @@ impl Sfdm1 {
             } else {
                 (&self.specific[1][lane - 2 * ladder], Some(1))
             };
-            candidate.probe_batch(&self.store, batch, &norms, restrict)
+            candidate.probe_batch_cached(batch, &norms, restrict, &proxies)
         });
         let [s0, s1] = &mut self.specific;
         let mut lanes: Vec<&mut Candidate> = self
@@ -313,6 +317,7 @@ impl Snapshottable for Sfdm1 {
             quotas: self.constraint.quotas().to_vec(),
             k: self.constraint.total(),
             shards: 1,
+            window: 0,
         }
     }
 

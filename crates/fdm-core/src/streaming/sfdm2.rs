@@ -43,7 +43,7 @@ use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::{ArrivalProxies, Candidate};
+use crate::streaming::candidate::{ArrivalProxies, BatchProxies, Candidate};
 use crate::streaming::unconstrained::commit_batch;
 
 /// Configuration for [`Sfdm2`].
@@ -227,6 +227,10 @@ impl Sfdm2 {
         } else {
             vec![0.0; batch.len()]
         };
+        // One kernel evaluation per (batch element, arena row) pair, shared
+        // read-only by every lane below (see `BatchProxies`).
+        let proxies =
+            BatchProxies::compute(self.sequential, &self.store, self.metric, batch, &norms);
         // Lane layout: [blind..., specific[0]..., ..., specific[m-1]...].
         let ladder = self.blind.len();
         let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, ladder * (m + 1), |lane| {
@@ -236,7 +240,7 @@ impl Sfdm2 {
                 let g = lane / ladder - 1;
                 (&self.specific[g][lane % ladder], Some(g))
             };
-            candidate.probe_batch(&self.store, batch, &norms, restrict)
+            candidate.probe_batch_cached(batch, &norms, restrict, &proxies)
         });
         let mut lanes: Vec<&mut Candidate> = self
             .blind
@@ -417,6 +421,7 @@ impl Snapshottable for Sfdm2 {
             quotas: self.constraint.quotas().to_vec(),
             k: self.constraint.total(),
             shards: 1,
+            window: 0,
         }
     }
 

@@ -60,6 +60,17 @@ pub trait ShardAlgorithm: Sized + Send {
     /// Builds an empty instance.
     fn build(config: &Self::Config) -> Result<Self>;
 
+    /// The instance [`ShardedStream::finalize`] streams the shards' union
+    /// through. `union_len` is the number of union elements about to be
+    /// fed; the default — a plain fresh instance — is right for every
+    /// unwindowed algorithm. Windowed algorithms must override it so the
+    /// merge pass cannot age out earlier shards' summaries mid-merge (the
+    /// union's insertion order is shard-major, not time order).
+    fn merge_instance(config: &Self::Config, union_len: usize) -> Result<Self> {
+        let _ = union_len;
+        Self::build(config)
+    }
+
     /// The configuration this instance was built with.
     fn config(&self) -> Self::Config;
 
@@ -265,10 +276,12 @@ impl<S: ShardAlgorithm> ShardedStream<S> {
         if self.shards.len() == 1 {
             return self.shards[0].finalize();
         }
-        let mut merge = S::build(&self.config)?;
+        let unions: Vec<Vec<Element>> = self.shards.iter().map(S::retained_elements).collect();
+        let union_len = unions.iter().map(Vec::len).sum();
+        let mut merge = S::merge_instance(&self.config, union_len)?;
         merge.set_sequential(self.sequential);
-        for shard in &self.shards {
-            merge.insert_batch(&shard.retained_elements());
+        for union in &unions {
+            merge.insert_batch(union);
         }
         merge.finalize()
     }

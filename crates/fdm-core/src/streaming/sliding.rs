@@ -12,11 +12,33 @@
 //! exponential-histogram checkpoints), but it preserves the fairness
 //! constraint exactly, uses `O(km log(∆)/ε)` space, and gives downstream
 //! users a drop-in way to age out stale elements.
+//!
+//! The wrapper is a first-class member of the summary family: it implements
+//! [`ShardAlgorithm`] (so [`ShardedStream<SlidingWindowFdm>`](crate::streaming::sharded::ShardedStream) runs K
+//! staggered windows over a round-robin partition of the stream),
+//! [`Snapshottable`] (tag `sliding`, v1 JSON and v2 binary, delta chains —
+//! pinned by golden fixtures), and therefore
+//! [`DynSummary`](crate::streaming::summary::DynSummary) through the
+//! blanket impl, which is what lets `fdm-serve` host it (`OPEN name
+//! sliding ... window=W`) and `fdm-bench` measure it (`--algorithm
+//! sliding --window W`).
 
-use crate::error::Result;
+use crate::error::{FdmError, Result};
+use crate::persist::{self, SnapshotParams, Snapshottable};
 use crate::point::Element;
 use crate::solution::Solution;
 use crate::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use crate::streaming::sharded::ShardAlgorithm;
+
+/// Configuration for [`SlidingWindowFdm`]: an [`Sfdm2Config`] plus the
+/// window size `W`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SlidingWindowConfig {
+    /// Configuration of the two staggered [`Sfdm2`] instances.
+    pub inner: Sfdm2Config,
+    /// Window size `W` (elements). Values below 2 are clamped to 2.
+    pub window: usize,
+}
 
 /// Sliding-window wrapper over [`Sfdm2`]. See the module docs.
 #[derive(Debug, Clone)]
@@ -29,6 +51,7 @@ pub struct SlidingWindowFdm {
     /// Younger instance, promoted at the next checkpoint.
     secondary: Sfdm2,
     arrivals: usize,
+    sequential: bool,
 }
 
 impl SlidingWindowFdm {
@@ -43,7 +66,13 @@ impl SlidingWindowFdm {
             primary,
             secondary,
             arrivals: 0,
+            sequential: false,
         })
+    }
+
+    /// Creates the wrapper from a bundled [`SlidingWindowConfig`].
+    pub fn with_config(config: SlidingWindowConfig) -> Result<Self> {
+        Self::new(config.inner, config.window)
     }
 
     /// Window size `W`.
@@ -56,18 +85,47 @@ impl SlidingWindowFdm {
         self.arrivals
     }
 
+    /// Total arrivals observed (the family-wide counter name).
+    pub fn processed(&self) -> usize {
+        self.arrivals
+    }
+
+    /// The bundled configuration this instance was built with.
+    pub fn config(&self) -> SlidingWindowConfig {
+        SlidingWindowConfig {
+            inner: self.config.clone(),
+            window: self.window,
+        }
+    }
+
+    /// Forces single-threaded processing in both staggered instances (and
+    /// in every instance started at future rotations). Results are
+    /// identical either way.
+    pub fn set_sequential(&mut self, sequential: bool) {
+        self.sequential = sequential;
+        self.primary.set_sequential(sequential);
+        self.secondary.set_sequential(sequential);
+    }
+
+    /// Rotation cadence `W/2` (≥ 1).
+    fn half(&self) -> usize {
+        (self.window / 2).max(1)
+    }
+
+    /// Promotes the younger instance and starts a fresh one.
+    fn rotate(&mut self) {
+        let mut fresh = Sfdm2::new(self.config.clone()).expect("config validated at construction");
+        fresh.set_sequential(self.sequential);
+        self.primary = std::mem::replace(&mut self.secondary, fresh);
+    }
+
     /// Processes one arrival; rotates instances every `W/2` arrivals.
     pub fn insert(&mut self, element: &Element) {
         self.primary.insert(element);
         self.secondary.insert(element);
         self.arrivals += 1;
-        let half = (self.window / 2).max(1);
-        if self.arrivals.is_multiple_of(half) {
-            // Promote the younger instance and start a fresh one.
-            self.primary = std::mem::replace(
-                &mut self.secondary,
-                Sfdm2::new(self.config.clone()).expect("config validated at construction"),
-            );
+        if self.arrivals.is_multiple_of(self.half()) {
+            self.rotate();
         }
     }
 
@@ -76,7 +134,7 @@ impl SlidingWindowFdm {
     /// [`SlidingWindowFdm::insert`]; within each segment the two instances
     /// use the parallel batch path of [`Sfdm2::insert_batch`].
     pub fn insert_batch(&mut self, batch: &[Element]) {
-        let half = (self.window / 2).max(1);
+        let half = self.half();
         let mut rest = batch;
         while !rest.is_empty() {
             let until_checkpoint = half - self.arrivals % half;
@@ -86,10 +144,7 @@ impl SlidingWindowFdm {
             self.secondary.insert_batch(segment);
             self.arrivals += segment.len();
             if self.arrivals.is_multiple_of(half) {
-                self.primary = std::mem::replace(
-                    &mut self.secondary,
-                    Sfdm2::new(self.config.clone()).expect("config validated at construction"),
-                );
+                self.rotate();
             }
             rest = tail;
         }
@@ -100,9 +155,187 @@ impl SlidingWindowFdm {
         self.primary.finalize()
     }
 
-    /// Distinct elements retained across both instances.
+    /// Distinct elements retained across both instances — the paper's
+    /// space metric, same contract as every other summary. (The physical
+    /// footprint can reach twice this: the staggered instances each hold
+    /// their own arena copy of the overlap.)
     pub fn stored_elements(&self) -> usize {
-        self.primary.stored_elements() + self.secondary.stored_elements()
+        let mut ids: std::collections::HashSet<usize> = self
+            .primary
+            .store()
+            .ids()
+            .map(|id| self.primary.store().external_id(id))
+            .collect();
+        ids.extend(
+            self.secondary
+                .store()
+                .ids()
+                .map(|id| self.secondary.store().external_id(id)),
+        );
+        ids.len()
+    }
+}
+
+/// Membership in the shard/summary family: a sharded sliding stream runs K
+/// staggered windows over a round-robin partition, and the merge pass
+/// streams the union of their retained elements through one fresh window.
+impl ShardAlgorithm for SlidingWindowFdm {
+    type Config = SlidingWindowConfig;
+
+    fn build(config: &Self::Config) -> Result<Self> {
+        Self::with_config(config.clone())
+    }
+
+    fn merge_instance(config: &Self::Config, union_len: usize) -> Result<Self> {
+        // The shards' union is already window-filtered per shard, and its
+        // insertion order is shard-major — not time order — so the merge
+        // window must be wide enough that no rotation fires mid-merge
+        // (a rotation would age out *earlier shards*, not older elements).
+        Self::new(config.inner.clone(), (2 * union_len + 2).max(config.window))
+    }
+
+    fn config(&self) -> Self::Config {
+        SlidingWindowFdm::config(self)
+    }
+
+    fn insert(&mut self, element: &Element) {
+        SlidingWindowFdm::insert(self, element);
+    }
+
+    fn insert_batch(&mut self, batch: &[Element]) {
+        SlidingWindowFdm::insert_batch(self, batch);
+    }
+
+    fn retained_elements(&self) -> Vec<Element> {
+        // Primary first (it is the queried instance), then the younger
+        // instance's retained set. The two overlap on recent arrivals;
+        // duplicates are harmless downstream (a zero-distance repeat can
+        // never re-enter a candidate).
+        let mut elements = ShardAlgorithm::retained_elements(&self.primary);
+        elements.extend(ShardAlgorithm::retained_elements(&self.secondary));
+        elements
+    }
+
+    fn finalize(&self) -> Result<Solution> {
+        SlidingWindowFdm::finalize(self)
+    }
+
+    fn set_sequential(&mut self, sequential: bool) {
+        SlidingWindowFdm::set_sequential(self, sequential);
+    }
+
+    fn processed(&self) -> usize {
+        self.arrivals
+    }
+
+    fn stored_elements(&self) -> usize {
+        SlidingWindowFdm::stored_elements(self)
+    }
+}
+
+/// # Persistence
+///
+/// The state tree bundles the window geometry (`window`, `arrivals`) with
+/// the full state trees of both staggered [`Sfdm2`] instances, so both
+/// formats, delta chains, and `full + WAL-replay` recovery restore the
+/// rotation schedule bit-exactly: a restored wrapper rotates at the same
+/// future arrivals and answers every query identically to one that never
+/// went down (golden fixtures in `tests/persist_golden.rs`, round-trip
+/// properties in `tests/persist_codec.rs`).
+impl Snapshottable for SlidingWindowFdm {
+    fn algorithm_tag() -> String {
+        "sliding".to_string()
+    }
+
+    fn snapshot_params(&self) -> SnapshotParams {
+        let mut params = self.primary.snapshot_params();
+        params.algorithm = Self::algorithm_tag();
+        params.window = self.window;
+        // Both instances see every arrival; the secondary can only know the
+        // dimension if the primary does too.
+        params
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(
+            "window".to_string(),
+            serde::Serialize::to_value(&self.window),
+        );
+        map.insert(
+            "arrivals".to_string(),
+            serde::Serialize::to_value(&self.arrivals),
+        );
+        map.insert("primary".to_string(), self.primary.snapshot_state());
+        map.insert("secondary".to_string(), self.secondary.snapshot_state());
+        serde::Value::Object(map)
+    }
+
+    fn restore_state(state: &serde::Value) -> Result<Self> {
+        let window: usize = persist::field(state, "window")?;
+        if window < 2 {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!("sliding window {window} below the minimum of 2"),
+            });
+        }
+        let arrivals: usize = persist::field(state, "arrivals")?;
+        let sub = |key: &'static str| -> Result<Sfdm2> {
+            let tree = state.get(key).ok_or_else(|| FdmError::CorruptSnapshot {
+                detail: format!("missing state field `{key}`"),
+            })?;
+            Sfdm2::restore_state(tree).map_err(|e| match e {
+                FdmError::CorruptSnapshot { detail } => FdmError::CorruptSnapshot {
+                    detail: format!("{key} instance: {detail}"),
+                },
+                FdmError::IncompatibleSnapshot { detail } => FdmError::IncompatibleSnapshot {
+                    detail: format!("{key} instance: {detail}"),
+                },
+                other => other,
+            })
+        };
+        let primary = sub("primary")?;
+        let secondary = sub("secondary")?;
+        // Both instances must share one configuration (dimensions may
+        // differ only through the "no element seen yet" wildcard, which
+        // here can only be the younger instance right after a rotation).
+        let neutral = |alg: &Sfdm2| {
+            let mut p = alg.snapshot_params();
+            p.dim = 0;
+            p
+        };
+        if neutral(&primary) != neutral(&secondary) {
+            return Err(FdmError::IncompatibleSnapshot {
+                detail: "staggered instances were configured differently".to_string(),
+            });
+        }
+        // The rotation schedule is a pure function of `arrivals` and
+        // `window`; instance counters that disagree with it are corrupt
+        // (they would silently shift every future rotation).
+        let half = (window / 2).max(1);
+        let (want_primary, want_secondary) = if arrivals < half {
+            (arrivals, arrivals)
+        } else {
+            (arrivals % half + half, arrivals % half)
+        };
+        if primary.processed() != want_primary || secondary.processed() != want_secondary {
+            return Err(FdmError::CorruptSnapshot {
+                detail: format!(
+                    "rotation counters disagree: {arrivals} arrivals with window {window} \
+                     imply instance positions ({want_primary}, {want_secondary}), state \
+                     holds ({}, {})",
+                    primary.processed(),
+                    secondary.processed()
+                ),
+            });
+        }
+        Ok(SlidingWindowFdm {
+            config: primary.config(),
+            window,
+            primary,
+            secondary,
+            arrivals,
+            sequential: false,
+        })
     }
 }
 
@@ -112,6 +345,7 @@ mod tests {
     use crate::dataset::DistanceBounds;
     use crate::fairness::FairnessConstraint;
     use crate::metric::Metric;
+    use crate::persist::Snapshot;
     use rand::prelude::*;
 
     fn config() -> Sfdm2Config {
@@ -201,5 +435,121 @@ mod tests {
             alg.insert(&elem(&mut rng, id));
         }
         assert_eq!(alg.window(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_continue_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let elements: Vec<Element> = (0..300).map(|id| elem(&mut rng, id)).collect();
+        // Cut at an arbitrary point (not a rotation boundary).
+        for cut in [37usize, 150, 199] {
+            let mut reference = SlidingWindowFdm::new(config(), 80).unwrap();
+            for e in &elements {
+                reference.insert(e);
+            }
+            let mut prefix = SlidingWindowFdm::new(config(), 80).unwrap();
+            for e in &elements[..cut] {
+                prefix.insert(e);
+            }
+            let snapshot = prefix.snapshot();
+            let mut resumed = SlidingWindowFdm::restore(&snapshot).unwrap();
+            assert_eq!(resumed.arrivals(), cut);
+            for e in &elements[cut..] {
+                resumed.insert(e);
+            }
+            assert_eq!(reference.stored_elements(), resumed.stored_elements());
+            let a = reference.finalize().unwrap();
+            let b = resumed.finalize().unwrap();
+            assert_eq!(a.ids(), b.ids(), "cut {cut}");
+            assert_eq!(a.diversity.to_bits(), b.diversity.to_bits(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn tampered_rotation_counters_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut alg = SlidingWindowFdm::new(config(), 40).unwrap();
+        for id in 0..90 {
+            alg.insert(&elem(&mut rng, id));
+        }
+        let snapshot = alg.snapshot();
+        // Shift the arrivals counter: the rotation schedule no longer
+        // matches the embedded instance positions.
+        let json = snapshot
+            .to_json()
+            .replace("\"arrivals\":90", "\"arrivals\":91");
+        let tampered = Snapshot::from_json(&json).unwrap();
+        let err = SlidingWindowFdm::restore(&tampered).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FdmError::CorruptSnapshot { .. } | FdmError::IncompatibleSnapshot { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn envelope_carries_window_and_tag() {
+        let alg = SlidingWindowFdm::new(config(), 64).unwrap();
+        let params = alg.snapshot_params();
+        assert_eq!(params.algorithm, "sliding");
+        assert_eq!(params.window, 64);
+        assert_eq!(params.k, 4);
+        // A different window is a different deployment.
+        let other = SlidingWindowFdm::new(config(), 128).unwrap();
+        assert!(params.ensure_compatible(&other.snapshot_params()).is_err());
+    }
+
+    #[test]
+    fn sharded_merge_does_not_age_out_early_shards() {
+        use crate::streaming::sharded::ShardedStream;
+        // Round-robin dealing sends arrival i to shard i % K. Confine
+        // group 1 to positions ≡ 0 (mod 3): every group-1 element lands in
+        // shard 0, whose summary is streamed *first* by the shard-major
+        // merge. With a small window the naive merge (a fresh W-sized
+        // sliding instance) would rotate group 1 away mid-merge and fail;
+        // the widened merge window must keep the answer fair.
+        let mut rng = StdRng::seed_from_u64(8);
+        let cfg = SlidingWindowConfig {
+            inner: config(),
+            window: 20,
+        };
+        let mut sharded: ShardedStream<SlidingWindowFdm> = ShardedStream::new(cfg, 3).unwrap();
+        for i in 0..360 {
+            let group = usize::from(i % 3 != 0);
+            let point = vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0];
+            // quotas [2, 2]: group 0 is the shard-0-only group here.
+            sharded.insert(&Element::new(i, point, 1 - group));
+        }
+        let sol = sharded.finalize().unwrap();
+        assert_eq!(
+            sol.group_counts(2),
+            vec![2, 2],
+            "the merge lost the group confined to the first shard"
+        );
+    }
+
+    #[test]
+    fn sharded_sliding_windows_age_out_and_stay_fair() {
+        use crate::streaming::sharded::ShardedStream;
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = SlidingWindowConfig {
+            inner: config(),
+            window: 60,
+        };
+        let mut sharded: ShardedStream<SlidingWindowFdm> = ShardedStream::new(cfg, 3).unwrap();
+        for id in 0..600 {
+            sharded.insert(&elem(&mut rng, id));
+        }
+        assert_eq!(ShardedStream::processed(&sharded), 600);
+        let sol = sharded.finalize().unwrap();
+        assert_eq!(sol.group_counts(2), vec![2, 2]);
+        // Each shard's window covers at most its last 60 arrivals; with
+        // round-robin dealing nothing older than ~id 60·3·2 from the tail
+        // can survive. Loose bound: no element from the first half.
+        for e in &sol.elements {
+            assert!(e.id >= 300, "stale element {} leaked through shards", e.id);
+        }
     }
 }

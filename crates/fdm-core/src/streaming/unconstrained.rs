@@ -24,7 +24,7 @@ use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
 use crate::solution::Solution;
-use crate::streaming::candidate::{ArrivalProxies, Candidate};
+use crate::streaming::candidate::{ArrivalProxies, BatchProxies, Candidate};
 
 /// Configuration for [`StreamingDiversityMaximization`].
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -148,8 +148,12 @@ impl StreamingDiversityMaximization {
         } else {
             vec![0.0; batch.len()]
         };
+        // One kernel evaluation per (batch element, arena row) pair, shared
+        // read-only by every lane below (see `BatchProxies`).
+        let proxies =
+            BatchProxies::compute(self.sequential, &self.store, self.metric, batch, &norms);
         let accepted: Vec<Vec<u32>> = maybe_par_map(self.sequential, self.candidates.len(), |i| {
-            self.candidates[i].probe_batch(&self.store, batch, &norms, None)
+            self.candidates[i].probe_batch_cached(batch, &norms, None, &proxies)
         });
         let mut lanes: Vec<&mut Candidate> = self.candidates.iter_mut().collect();
         commit_batch(&mut self.store, batch, &mut lanes, &accepted);
@@ -246,6 +250,7 @@ impl Snapshottable for StreamingDiversityMaximization {
             quotas: Vec::new(),
             k: self.k,
             shards: 1,
+            window: 0,
         }
     }
 

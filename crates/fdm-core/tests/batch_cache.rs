@@ -1,0 +1,137 @@
+//! The batch-path arrival cache must be a pure memoization: for every
+//! candidate, [`Candidate::probe_batch_cached`] (table lookups against the
+//! shared [`BatchProxies`]) must return the **exact** accept list the
+//! uncached [`Candidate::probe_batch`] (bounded per-lane scans) returns —
+//! across metrics, group restrictions, capacities, and partially-filled
+//! candidates. The full-pipeline equality (batched vs element-by-element
+//! ingestion) is additionally pinned per algorithm in their own suites.
+
+use fdm_core::metric::{kernels, Metric};
+use fdm_core::point::{Element, PointStore};
+use fdm_core::streaming::candidate::{BatchProxies, Candidate};
+use rand::prelude::*;
+
+fn random_elements(rng: &mut StdRng, n: usize, dim: usize, m: usize, spread: f64) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let point: Vec<f64> = (0..dim)
+                .map(|_| (rng.random::<f64>() - 0.5) * spread)
+                .collect();
+            Element::new(i, point, rng.random_range(0..m))
+        })
+        .collect()
+}
+
+fn norms_for(metric: Metric, batch: &[Element]) -> Vec<f64> {
+    if metric.uses_norms() {
+        batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+    } else {
+        vec![0.0; batch.len()]
+    }
+}
+
+/// Probes a whole guess ladder both ways over a growing arena and demands
+/// identical accept lists lane by lane, batch by batch.
+fn assert_bit_identical(metric: Metric, seed: u64, dim: usize, spread: f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = 3;
+    let mut store = PointStore::new(dim);
+    // A spread of guesses so some candidates accept eagerly (filling up)
+    // and others almost never do.
+    let mus = [0.05, 0.4, 1.1, 2.9, 6.5, 14.0];
+    let mut lanes: Vec<(Candidate, Option<usize>)> = Vec::new();
+    for &mu in &mus {
+        lanes.push((Candidate::new(mu, 6, metric), None));
+        for g in 0..m {
+            lanes.push((Candidate::new(mu, 4, metric), Some(g)));
+        }
+    }
+    for round in 0..6 {
+        let batch = random_elements(&mut rng, 48, dim, m, spread);
+        let norms = norms_for(metric, &batch);
+        let proxies = BatchProxies::compute(true, &store, metric, &batch, &norms);
+        let mut commits: Vec<(usize, Vec<u32>)> = Vec::new();
+        for (lane, (candidate, restrict)) in lanes.iter().enumerate() {
+            let plain = candidate.probe_batch(&store, &batch, &norms, *restrict);
+            let cached = candidate.probe_batch_cached(&batch, &norms, *restrict, &proxies);
+            assert_eq!(
+                plain, cached,
+                "{metric:?} seed {seed} round {round} lane {lane}: cached probe diverged"
+            );
+            commits.push((lane, cached));
+        }
+        // Commit exactly like the algorithms do (intern once, push into
+        // every acceptor) so later rounds probe a realistic shared arena
+        // with partially-filled candidates.
+        let mut id_of_pos = vec![None; batch.len()];
+        for (_, accepted) in &commits {
+            for &pos in accepted {
+                let slot = &mut id_of_pos[pos as usize];
+                if slot.is_none() {
+                    *slot = Some(store.push_element(&batch[pos as usize]));
+                }
+            }
+        }
+        for (lane, accepted) in commits {
+            for pos in accepted {
+                lanes[lane].0.push(id_of_pos[pos as usize].unwrap());
+            }
+        }
+    }
+    assert!(!store.is_empty(), "the scenario must exercise a real arena");
+}
+
+#[test]
+fn cached_probe_is_bit_identical_euclidean() {
+    for seed in 0..4 {
+        assert_bit_identical(Metric::Euclidean, seed, 3, 20.0);
+    }
+}
+
+#[test]
+fn cached_probe_is_bit_identical_manhattan() {
+    assert_bit_identical(Metric::Manhattan, 11, 2, 16.0);
+}
+
+#[test]
+fn cached_probe_is_bit_identical_chebyshev() {
+    assert_bit_identical(Metric::Chebyshev, 12, 4, 24.0);
+}
+
+#[test]
+fn cached_probe_is_bit_identical_angular() {
+    // Angular distances live in [0, π]; use thresholds that still bite by
+    // keeping the spread moderate (the µ ladder above includes 0.05–2.9).
+    assert_bit_identical(Metric::Angular, 13, 3, 8.0);
+}
+
+#[test]
+fn cached_probe_is_bit_identical_minkowski() {
+    assert_bit_identical(Metric::Minkowski(3.0), 14, 3, 18.0);
+}
+
+/// Duplicate and near-threshold points: exactly-at-µ decisions must agree
+/// (the documented monotone-proxy property, not floating-point luck).
+#[test]
+fn cached_probe_agrees_on_exact_threshold_hits() {
+    let metric = Metric::Euclidean;
+    let mut store = PointStore::new(1);
+    let candidate = {
+        let mut c = Candidate::new(1.0, 8, metric);
+        c.try_insert(&mut store, &Element::new(0, vec![0.0], 0));
+        c.try_insert(&mut store, &Element::new(1, vec![5.0], 0));
+        c
+    };
+    // 1.0 away (exactly µ), 0.999.. away, duplicates, and far points.
+    let batch: Vec<Element> = [1.0, 0.9999999999, 0.0, 5.0, 6.0, 2.5, -1.0]
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| Element::new(10 + i, vec![x], 0))
+        .collect();
+    let norms = norms_for(metric, &batch);
+    let proxies = BatchProxies::compute(true, &store, metric, &batch, &norms);
+    assert_eq!(
+        candidate.probe_batch(&store, &batch, &norms, None),
+        candidate.probe_batch_cached(&batch, &norms, None, &proxies),
+    );
+}

@@ -11,6 +11,7 @@ use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
 use fdm_core::streaming::sharded::ShardedStream;
+use fdm_core::streaming::sliding::{SlidingWindowConfig, SlidingWindowFdm};
 use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 use proptest::prelude::*;
 use rand::prelude::*;
@@ -105,10 +106,19 @@ impl_finalizable!(
     StreamingDiversityMaximization,
     Sfdm1,
     Sfdm2,
+    SlidingWindowFdm,
     ShardedStream<Sfdm2>,
     ShardedStream<Sfdm1>,
     ShardedStream<StreamingDiversityMaximization>,
+    ShardedStream<SlidingWindowFdm>,
 );
+
+fn sliding_config(window: usize) -> SlidingWindowConfig {
+    SlidingWindowConfig {
+        inner: sfdm2_config(2),
+        window,
+    }
+}
 
 /// `prefix → snapshot(format) → bytes → decode → restore → suffix` must be
 /// bit-identical to the uncheckpointed run, in both formats.
@@ -232,6 +242,26 @@ proptest! {
     }
 
     #[test]
+    fn sliding_both_formats(seed in 0u64..1000, n in 40usize..140, split_pct in 0usize..=100, window in 8usize..64) {
+        let elements = random_elements(n, 2, 3, seed);
+        roundtrip_both_formats(
+            || SlidingWindowFdm::new(sfdm2_config(2), window).unwrap(),
+            &elements,
+            n * split_pct / 100,
+        );
+    }
+
+    #[test]
+    fn sharded_sliding_both_formats(seed in 0u64..1000, n in 60usize..160, split_pct in 0usize..=100, shards in 1usize..4, window in 8usize..48) {
+        let elements = random_elements(n, 2, 3, seed);
+        roundtrip_both_formats(
+            || ShardedStream::<SlidingWindowFdm>::new(sliding_config(window), shards).unwrap(),
+            &elements,
+            n * split_pct / 100,
+        );
+    }
+
+    #[test]
     fn sharded_both_formats(seed in 0u64..1000, n in 60usize..160, split_pct in 0usize..=100, shards in 1usize..5) {
         let elements = random_elements(n, 2, 3, seed);
         roundtrip_both_formats(
@@ -262,6 +292,17 @@ proptest! {
     fn sfdm2_delta_chain(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6, m in 2usize..4) {
         let elements = random_elements(n, m, 3, seed);
         delta_chain_matches_full(|| Sfdm2::new(sfdm2_config(m)).unwrap(), &elements, stride, checkpoints);
+    }
+
+    #[test]
+    fn sliding_delta_chain(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6, window in 8usize..64) {
+        let elements = random_elements(n, 2, 3, seed);
+        delta_chain_matches_full(
+            || SlidingWindowFdm::new(sfdm2_config(2), window).unwrap(),
+            &elements,
+            stride,
+            checkpoints,
+        );
     }
 
     #[test]

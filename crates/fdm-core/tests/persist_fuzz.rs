@@ -24,6 +24,7 @@ use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, Snapshottable};
 use fdm_core::point::Element;
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
 use fdm_core::streaming::sharded::ShardedStream;
+use fdm_core::streaming::sliding::SlidingWindowFdm;
 use rand::prelude::*;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -55,6 +56,14 @@ fn config() -> Sfdm2Config {
 fn sample_snapshot() -> Snapshot {
     let mut alg = Sfdm2::new(config()).unwrap();
     for e in elements(120, 3, 11) {
+        alg.insert(&e);
+    }
+    alg.snapshot()
+}
+
+fn sample_sliding_snapshot() -> Snapshot {
+    let mut alg = SlidingWindowFdm::new(config(), 24).unwrap();
+    for e in elements(70, 3, 17) {
         alg.insert(&e);
     }
     alg.snapshot()
@@ -158,6 +167,7 @@ fn mutated_v2_snapshots_never_panic_or_restore_wrong() {
     for (label, snapshot) in [
         ("sfdm2", sample_snapshot()),
         ("sharded", sample_sharded_snapshot()),
+        ("sliding", sample_sliding_snapshot()),
     ] {
         let bytes = snapshot.to_bytes(SnapshotFormat::Binary);
         assert!(

@@ -28,6 +28,7 @@ use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
 use fdm_core::streaming::sharded::ShardedStream;
+use fdm_core::streaming::sliding::{SlidingWindowConfig, SlidingWindowFdm};
 use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
 
 fn fixture_dir() -> PathBuf {
@@ -102,6 +103,44 @@ fn sharded() -> ShardedStream<Sfdm2> {
             epsilon: 0.1,
             bounds: bounds(),
             metric: Metric::Euclidean,
+        },
+        3,
+    )
+    .unwrap();
+    for e in stream(120, 2, 3) {
+        alg.insert(&e);
+    }
+    alg
+}
+
+fn sliding() -> SlidingWindowFdm {
+    let mut alg = SlidingWindowFdm::new(
+        Sfdm2Config {
+            constraint: FairnessConstraint::new(vec![2, 2]).unwrap(),
+            epsilon: 0.1,
+            bounds: bounds(),
+            metric: Metric::Euclidean,
+        },
+        40,
+    )
+    .unwrap();
+    // 90 arrivals with W/2 = 20: four rotations, both instances mid-cycle.
+    for e in stream(90, 2, 3) {
+        alg.insert(&e);
+    }
+    alg
+}
+
+fn sharded_sliding() -> ShardedStream<SlidingWindowFdm> {
+    let mut alg: ShardedStream<SlidingWindowFdm> = ShardedStream::new(
+        SlidingWindowConfig {
+            inner: Sfdm2Config {
+                constraint: FairnessConstraint::new(vec![2, 2]).unwrap(),
+                epsilon: 0.1,
+                bounds: bounds(),
+                metric: Metric::Euclidean,
+            },
+            window: 30,
         },
         3,
     )
@@ -189,6 +228,40 @@ fn golden_sharded() {
     check("sharded-sfdm2", sharded);
 }
 
+#[test]
+fn golden_sliding() {
+    check("sliding", sliding);
+}
+
+#[test]
+fn golden_sharded_sliding() {
+    check("sharded-sliding", sharded_sliding);
+}
+
+/// The sliding envelope must carry its window (a different window is a
+/// different deployment) while the pre-sliding fixtures stay window-free —
+/// the serialization is additive, never reshaping old documents.
+#[test]
+fn sliding_fixture_envelope_carries_window() {
+    let path = fixture_dir().join("sliding.v1.json");
+    if !path.exists() {
+        return; // created by golden_sliding's first UPDATE_GOLDEN run
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"algorithm\":\"sliding\""));
+    assert!(text.contains("\"window\":40"));
+    for name in ["unconstrained", "sfdm1", "sfdm2", "sharded-sfdm2"] {
+        let old = fixture_dir().join(format!("{name}.v1.json"));
+        if old.exists() {
+            let text = std::fs::read_to_string(&old).unwrap();
+            assert!(
+                !text.contains("\"window\""),
+                "{name}: pre-sliding envelope grew a window field"
+            );
+        }
+    }
+}
+
 /// PR3-era v1 documents carried a full `mus` array per ladder (today's
 /// writer stores a CRC digest instead). That legacy shape must restore
 /// forever: this test pins a checked-in legacy-`mus` fixture through the
@@ -265,7 +338,14 @@ fn golden_v1_legacy_mus_shape_still_restores() {
 /// constants — belt and braces beyond the byte comparison above.
 #[test]
 fn v1_fixtures_are_json_version_1() {
-    for name in ["unconstrained", "sfdm1", "sfdm2", "sharded-sfdm2"] {
+    for name in [
+        "unconstrained",
+        "sfdm1",
+        "sfdm2",
+        "sharded-sfdm2",
+        "sliding",
+        "sharded-sliding",
+    ] {
         let path = fixture_dir().join(format!("{name}.v1.json"));
         if !path.exists() {
             continue; // created by the per-summary tests' first UPDATE_GOLDEN run

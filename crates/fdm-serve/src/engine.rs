@@ -1,13 +1,41 @@
 //! The serving engine: named streams, snapshots, WAL, crash recovery.
 //!
-//! The engine is the process-wide registry behind every session. Each named
-//! stream wraps one streaming summary ([`AnyStream`]) behind its **own**
-//! lock, so any number of concurrent sessions (stdin + Unix-socket
-//! connections) can feed and query different streams without serializing on
-//! each other — the registry lock is held only for map lookups, never
-//! across algorithm work or disk I/O.
+//! The engine is the process-wide registry behind every session. Streams
+//! are built and restored exclusively through `fdm-core`'s
+//! [`fdm_core::streaming::summary`] registry — the engine holds
+//! [`Box<dyn DynSummary>`] and never knows which algorithm (or shard
+//! wrapping) it is hosting, so adding an algorithm to the family adds
+//! nothing here.
 //!
-//! Durability (all optional, enabled by [`ServeConfig::data_dir`]):
+//! ## Concurrency
+//!
+//! Three lock tiers, always taken in this order:
+//!
+//! 1. the **registry** (`RwLock<HashMap>`) — held for map lookups (read)
+//!    and for stream *creation* (write). Lookups never hold it across
+//!    algorithm work or disk I/O; creation (`OPEN`/`RESTORE` of a new
+//!    name) deliberately does hold the write lock through the first
+//!    durable anchor, so two sessions racing the same name can never
+//!    register two entries sharing one WAL — a rare, bounded stall on a
+//!    rare operation, traded for chain integrity;
+//! 2. each stream's **durable state** (`Mutex`: WAL handle, checkpoint
+//!    chain, persistence counters) — the per-stream *write* serialization
+//!    point: every `INSERT` holds it across append→apply→checkpoint, so
+//!    sequence numbers and the log stay in lockstep;
+//! 3. each stream's **summary** (`RwLock<Box<dyn DynSummary>>`) — writers
+//!    hold it only for the in-memory apply; `QUERY`/`STATS` and snapshot
+//!    *capture* take read locks.
+//!
+//! Consequences the stress suite pins: sessions on different streams never
+//! contend; concurrent `QUERY`s on one stream run in parallel; and
+//! snapshot **encode + disk write happen off the summary lock** (capture
+//! clones the state under a read lock, the expensive part runs after it is
+//! released), so an explicit `SNAPSHOT` of a large stream never stalls
+//! that stream's readers — or its writers.
+//!
+//! ## Durability
+//!
+//! All optional, enabled by [`ServeConfig::data_dir`]:
 //!
 //! * every accepted `INSERT` is appended to `<data_dir>/<name>.wal`
 //!   *before* it is applied (write-ahead), one sequence-numbered protocol
@@ -33,153 +61,14 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use fdm_core::error::{FdmError, Result};
-use fdm_core::fairness::FairnessConstraint;
-use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams, Snapshottable};
+use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams};
 use fdm_core::point::Element;
-use fdm_core::solution::Solution;
-use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
-use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
-use fdm_core::streaming::sharded::ShardedStream;
-use fdm_core::streaming::unconstrained::{StreamingDiversityMaximization, StreamingDmConfig};
+use fdm_core::streaming::summary::{self, DynSummary, SummarySpec};
 
 use crate::protocol::{parse_insert, StreamSpec};
-
-/// One hosted streaming summary — any algorithm, sharded or not.
-#[derive(Debug)]
-pub enum AnyStream {
-    /// Algorithm 1, unsharded.
-    Unconstrained(StreamingDiversityMaximization),
-    /// SFDM1 (m = 2), unsharded.
-    Sfdm1(Sfdm1),
-    /// SFDM2 (any m), unsharded.
-    Sfdm2(Sfdm2),
-    /// Algorithm 1 behind K-way sharded ingestion.
-    ShardedUnconstrained(ShardedStream<StreamingDiversityMaximization>),
-    /// SFDM1 behind K-way sharded ingestion.
-    ShardedSfdm1(ShardedStream<Sfdm1>),
-    /// SFDM2 behind K-way sharded ingestion.
-    ShardedSfdm2(ShardedStream<Sfdm2>),
-}
-
-macro_rules! dispatch {
-    ($self:expr, $inner:ident => $body:expr) => {
-        match $self {
-            AnyStream::Unconstrained($inner) => $body,
-            AnyStream::Sfdm1($inner) => $body,
-            AnyStream::Sfdm2($inner) => $body,
-            AnyStream::ShardedUnconstrained($inner) => $body,
-            AnyStream::ShardedSfdm1($inner) => $body,
-            AnyStream::ShardedSfdm2($inner) => $body,
-        }
-    };
-}
-
-impl AnyStream {
-    /// Builds an empty stream from an `OPEN` specification.
-    pub fn build(spec: &StreamSpec) -> Result<AnyStream> {
-        let bounds = fdm_core::dataset::DistanceBounds::new(spec.dmin, spec.dmax)?;
-        Ok(match spec.algo.as_str() {
-            "unconstrained" => {
-                let config = StreamingDmConfig {
-                    k: spec.k,
-                    epsilon: spec.epsilon,
-                    bounds,
-                    metric: spec.metric,
-                };
-                if spec.shards > 1 {
-                    AnyStream::ShardedUnconstrained(ShardedStream::new(config, spec.shards)?)
-                } else {
-                    AnyStream::Unconstrained(StreamingDiversityMaximization::new(config)?)
-                }
-            }
-            "sfdm1" => {
-                let config = Sfdm1Config {
-                    constraint: FairnessConstraint::new(spec.quotas.clone())?,
-                    epsilon: spec.epsilon,
-                    bounds,
-                    metric: spec.metric,
-                };
-                if spec.shards > 1 {
-                    AnyStream::ShardedSfdm1(ShardedStream::new(config, spec.shards)?)
-                } else {
-                    AnyStream::Sfdm1(Sfdm1::new(config)?)
-                }
-            }
-            "sfdm2" => {
-                let config = Sfdm2Config {
-                    constraint: FairnessConstraint::new(spec.quotas.clone())?,
-                    epsilon: spec.epsilon,
-                    bounds,
-                    metric: spec.metric,
-                };
-                if spec.shards > 1 {
-                    AnyStream::ShardedSfdm2(ShardedStream::new(config, spec.shards)?)
-                } else {
-                    AnyStream::Sfdm2(Sfdm2::new(config)?)
-                }
-            }
-            other => {
-                return Err(FdmError::IncompatibleSnapshot {
-                    detail: format!("unknown algorithm `{other}`"),
-                })
-            }
-        })
-    }
-
-    /// Restores a stream from a snapshot, dispatching on the envelope tag.
-    pub fn restore(snapshot: &Snapshot) -> Result<AnyStream> {
-        Ok(match snapshot.params.algorithm.as_str() {
-            "unconstrained" => {
-                AnyStream::Unconstrained(StreamingDiversityMaximization::restore(snapshot)?)
-            }
-            "sfdm1" => AnyStream::Sfdm1(Sfdm1::restore(snapshot)?),
-            "sfdm2" => AnyStream::Sfdm2(Sfdm2::restore(snapshot)?),
-            "sharded:unconstrained" => {
-                AnyStream::ShardedUnconstrained(ShardedStream::restore(snapshot)?)
-            }
-            "sharded:sfdm1" => AnyStream::ShardedSfdm1(ShardedStream::restore(snapshot)?),
-            "sharded:sfdm2" => AnyStream::ShardedSfdm2(ShardedStream::restore(snapshot)?),
-            other => {
-                return Err(FdmError::IncompatibleSnapshot {
-                    detail: format!("snapshot holds unknown algorithm `{other}`"),
-                })
-            }
-        })
-    }
-
-    /// Feeds one element.
-    pub fn insert(&mut self, element: &Element) {
-        dispatch!(self, inner => inner.insert(element));
-    }
-
-    /// Runs post-processing and returns the best feasible solution.
-    pub fn finalize(&self) -> Result<Solution> {
-        dispatch!(self, inner => inner.finalize())
-    }
-
-    /// Elements seen so far.
-    pub fn processed(&self) -> usize {
-        dispatch!(self, inner => inner.processed())
-    }
-
-    /// Distinct retained elements (the paper's space metric).
-    pub fn stored_elements(&self) -> usize {
-        dispatch!(self, inner => inner.stored_elements())
-    }
-
-    /// The envelope parameters describing this stream's configuration.
-    pub fn params(&self) -> SnapshotParams {
-        dispatch!(self, inner => inner.snapshot_params())
-    }
-
-    /// Captures a complete snapshot.
-    pub fn snapshot(&self) -> Snapshot {
-        dispatch!(self, inner => inner.snapshot())
-    }
-}
 
 /// Engine-level durability configuration.
 #[derive(Debug, Clone)]
@@ -211,11 +100,28 @@ impl Default for ServeConfig {
     }
 }
 
-struct StreamEntry {
-    stream: AnyStream,
-    /// Inserts applied since the last auto-checkpoint (drives
-    /// `snapshot_every`).
-    inserts_since_snapshot: u64,
+/// Per-stream persistence health, reported over the wire by `STATS` so an
+/// operator can see checkpointing working (or not) without shelling into
+/// the data directory.
+#[derive(Debug, Clone, Copy, Default)]
+struct PersistCounters {
+    /// WAL records appended since this process opened the stream.
+    wal_records: u64,
+    /// Full snapshot files written (auto-checkpoints, anchors, and
+    /// explicit `SNAPSHOT` exports).
+    full_snapshots: u64,
+    /// Incremental delta files written.
+    delta_snapshots: u64,
+    /// Encoded size of the most recent checkpoint/export, in bytes.
+    last_snapshot_bytes: u64,
+    /// Encoding of the most recent checkpoint/export.
+    last_snapshot_format: Option<&'static str>,
+}
+
+/// WAL + checkpoint-chain state of one stream, guarded by its own
+/// [`Mutex`] — the summary `RwLock` is **not** held while this is used for
+/// disk I/O.
+struct DurableState {
     /// Open append handle to the WAL (present iff `data_dir` is set).
     wal: Option<File>,
     /// The chain tail: the snapshot the next delta will be diffed from
@@ -227,6 +133,44 @@ struct StreamEntry {
     chain_tail: Option<Snapshot>,
     /// Deltas written since the last full snapshot (drives `full_every`).
     deltas_since_full: u64,
+    /// Inserts applied since the last auto-checkpoint (drives
+    /// `snapshot_every`).
+    inserts_since_snapshot: u64,
+    counters: PersistCounters,
+}
+
+impl DurableState {
+    fn new() -> DurableState {
+        DurableState {
+            wal: None,
+            chain_tail: None,
+            deltas_since_full: 0,
+            inserts_since_snapshot: 0,
+            counters: PersistCounters::default(),
+        }
+    }
+}
+
+/// One hosted stream: the summary behind a readers–writer lock, with the
+/// durability state split off behind its own mutex (see the module docs
+/// for the locking protocol).
+struct StreamEntry {
+    summary: RwLock<Box<dyn DynSummary>>,
+    durable: Mutex<DurableState>,
+}
+
+impl StreamEntry {
+    fn new(summary: Box<dyn DynSummary>) -> StreamEntry {
+        StreamEntry {
+            summary: RwLock::new(summary),
+            durable: Mutex::new(DurableState::new()),
+        }
+    }
+
+    /// The envelope parameters of the hosted summary (short read lock).
+    fn params(&self) -> SnapshotParams {
+        self.summary.read().unwrap().params()
+    }
 }
 
 /// Deterministic crash injection for the crash-recovery test matrix: when
@@ -273,13 +217,31 @@ fn crash_point(point: &str) {
 /// to survive. The real file is never renamed into place.
 fn crash_mid_write(path: &Path, bytes: &[u8]) {
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(".tmp.{}.crash", std::process::id()));
     let _ = std::fs::write(tmp, &bytes[..bytes.len() / 2]);
     eprintln!(
         "fdm-serve: crash point mid-write of {}; aborting",
         path.display()
     );
     std::process::abort();
+}
+
+/// Test-only slowdown of the snapshot *disk-write* phase
+/// (`FDM_SERVE_SNAPSHOT_PAUSE_MS`): the concurrency suite uses it to prove
+/// the write happens off the summary lock — inserts and queries must
+/// complete while a paused snapshot write is in flight. Inert (one cached
+/// env read) in production.
+fn snapshot_write_pause() {
+    use std::sync::OnceLock;
+    static PAUSE: OnceLock<Option<u64>> = OnceLock::new();
+    let pause = PAUSE.get_or_init(|| {
+        std::env::var("FDM_SERVE_SNAPSHOT_PAUSE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    });
+    if let Some(ms) = pause {
+        std::thread::sleep(std::time::Duration::from_millis(*ms));
+    }
 }
 
 /// First line of every WAL written by this build. Its presence switches
@@ -313,7 +275,7 @@ fn split_wal_crc(record: &str) -> Option<(&str, u32)> {
 /// checksum validation, exactly-once sequencing, and torn-tail tolerance.
 struct WalReplay<'a> {
     wal_path: &'a Path,
-    stream: &'a mut AnyStream,
+    stream: &'a mut dyn DynSummary,
     /// Set when the first record is the [`WAL_HEADER`]: every applied
     /// record must then carry a valid checksum. Legacy logs (pre-header
     /// builds) replay with parse-level validation only.
@@ -323,7 +285,7 @@ struct WalReplay<'a> {
 }
 
 impl<'a> WalReplay<'a> {
-    fn new(wal_path: &'a Path, stream: &'a mut AnyStream) -> Self {
+    fn new(wal_path: &'a Path, stream: &'a mut dyn DynSummary) -> Self {
         WalReplay {
             wal_path,
             stream,
@@ -422,8 +384,6 @@ impl<'a> WalReplay<'a> {
     }
 }
 
-type SharedEntry = Arc<Mutex<StreamEntry>>;
-
 /// The process-wide stream registry (see the module docs).
 ///
 /// Command methods return the `OK` payload or the `ERR` message as plain
@@ -431,7 +391,7 @@ type SharedEntry = Arc<Mutex<StreamEntry>>;
 /// are not [`FdmError`]s, while algorithm/persistence errors pass their
 /// typed [`FdmError`] display through.
 pub struct Engine {
-    streams: Mutex<HashMap<String, SharedEntry>>,
+    streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
     config: ServeConfig,
 }
 
@@ -442,7 +402,7 @@ impl Engine {
     /// exactly-once.
     pub fn new(config: ServeConfig) -> Result<Engine> {
         let engine = Engine {
-            streams: Mutex::new(HashMap::new()),
+            streams: RwLock::new(HashMap::new()),
             config,
         };
         if let Some(dir) = engine.config.data_dir.clone() {
@@ -456,7 +416,7 @@ impl Engine {
 
     /// Names of the hosted streams, sorted.
     pub fn stream_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.streams.lock().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self.streams.read().unwrap().keys().cloned().collect();
         names.sort();
         names
     }
@@ -505,26 +465,33 @@ impl Engine {
             })
     }
 
-    /// Anchors the recovery chain for `entry` with a **full** snapshot:
-    /// checkpoints the current state to `<name>.snap` (atomic), removes
-    /// any superseded delta files, and truncates the WAL. Called at
-    /// `OPEN` (so a crash before the first auto-checkpoint still
-    /// recovers), after recovery, after `RESTORE`, and whenever the delta
-    /// chain reaches [`ServeConfig::full_every`]. No-op without a data
-    /// dir.
+    /// Anchors the recovery chain with a **full** snapshot of the
+    /// already-captured state: writes `<name>.snap` (atomic), removes any
+    /// superseded delta files, and truncates the WAL. Called at `OPEN` (so
+    /// a crash before the first auto-checkpoint still recovers), after
+    /// recovery, after `RESTORE`, and whenever the delta chain reaches
+    /// [`ServeConfig::full_every`]. No-op without a data dir.
+    ///
+    /// The caller captured `snapshot` under a (short) summary read lock;
+    /// everything here — encode, fsync, rename — runs without touching the
+    /// summary lock at all.
     ///
     /// Ordering is load-bearing: the full snapshot lands *before* the old
     /// deltas are removed and the WAL truncated, so a crash at any point
     /// in between leaves either the old complete chain + full WAL, or the
     /// new snapshot + stale-but-detectable deltas + dedupable WAL records
     /// — never a gap.
-    fn anchor(&self, name: &str, entry: &mut StreamEntry) -> Result<()> {
+    fn anchor(&self, name: &str, snapshot: Snapshot, durable: &mut DurableState) -> Result<()> {
         if let (Some(snap_path), Some(wal_path)) = (self.snap_path(name), self.wal_path(name)) {
-            let snapshot = entry.stream.snapshot();
+            let bytes = snapshot.to_bytes(self.config.snapshot_format);
             if crash_requested("mid-full-snapshot") {
-                crash_mid_write(&snap_path, &snapshot.to_bytes(self.config.snapshot_format));
+                crash_mid_write(&snap_path, &bytes);
             }
-            snapshot.write_to_file_format(&snap_path, self.config.snapshot_format)?;
+            snapshot_write_pause();
+            fdm_core::persist::write_bytes_atomic(&snap_path, &bytes)?;
+            durable.counters.full_snapshots += 1;
+            durable.counters.last_snapshot_bytes = bytes.len() as u64;
+            durable.counters.last_snapshot_format = Some(self.config.snapshot_format.name());
             crash_point("between-full-and-delta-cleanup");
             self.remove_deltas(name);
             crash_point("between-full-and-wal-truncate");
@@ -533,47 +500,60 @@ impl Engine {
                     detail: format!("truncate WAL {}: {e}", wal_path.display()),
                 }
             })?;
-            entry.wal = Some(Self::open_wal(&wal_path)?);
-            entry.chain_tail = Some(snapshot);
+            durable.wal = Some(Self::open_wal(&wal_path)?);
+            durable.chain_tail = Some(snapshot);
         }
-        entry.deltas_since_full = 0;
-        entry.inserts_since_snapshot = 0;
+        durable.deltas_since_full = 0;
+        durable.inserts_since_snapshot = 0;
         Ok(())
     }
 
-    /// Checkpoints `entry` **incrementally**: diffs the current state
-    /// against the chain tail, writes `<name>.delta.<i>` (atomic), and
-    /// truncates the WAL. Falls back to [`Engine::anchor`] when the chain
-    /// has no tail yet or has reached its length cap.
-    fn anchor_delta(&self, name: &str, entry: &mut StreamEntry) -> Result<()> {
+    /// Checkpoints the captured state **incrementally**: diffs it against
+    /// the chain tail, writes `<name>.delta.<i>` (atomic), and truncates
+    /// the WAL. Falls back to [`Engine::anchor`] when the chain has no
+    /// tail yet or has reached its length cap. Like `anchor`, never
+    /// touches the summary lock.
+    fn anchor_delta(
+        &self,
+        name: &str,
+        snapshot: Snapshot,
+        durable: &mut DurableState,
+    ) -> Result<()> {
         if self.config.data_dir.is_none() {
-            entry.inserts_since_snapshot = 0;
+            durable.inserts_since_snapshot = 0;
             return Ok(());
         }
         let full_every = self.config.full_every;
-        if full_every == 0 || entry.deltas_since_full >= full_every || entry.chain_tail.is_none() {
-            return self.anchor(name, entry);
+        if full_every == 0
+            || durable.deltas_since_full >= full_every
+            || durable.chain_tail.is_none()
+        {
+            return self.anchor(name, snapshot, durable);
         }
-        let index = entry.deltas_since_full + 1;
+        let index = durable.deltas_since_full + 1;
         let (delta_path, wal_path) = match (self.delta_path(name, index), self.wal_path(name)) {
             (Some(d), Some(w)) => (d, w),
             _ => unreachable!("data_dir checked above"),
         };
-        let snapshot = entry.stream.snapshot();
-        let base = entry.chain_tail.as_ref().expect("checked above");
+        let base = durable.chain_tail.as_ref().expect("checked above");
         let delta = SnapshotDelta::between(base, &snapshot)?;
+        let bytes = delta.to_bytes();
         if crash_requested("mid-delta-write") {
-            crash_mid_write(&delta_path, &delta.to_bytes());
+            crash_mid_write(&delta_path, &bytes);
         }
-        delta.write_to_file(&delta_path)?;
+        snapshot_write_pause();
+        fdm_core::persist::write_bytes_atomic(&delta_path, &bytes)?;
+        durable.counters.delta_snapshots += 1;
+        durable.counters.last_snapshot_bytes = bytes.len() as u64;
+        durable.counters.last_snapshot_format = Some("delta");
         crash_point("between-delta-and-wal-truncate");
         std::fs::write(&wal_path, format!("{WAL_HEADER}\n")).map_err(|e| FdmError::SnapshotIo {
             detail: format!("truncate WAL {}: {e}", wal_path.display()),
         })?;
-        entry.wal = Some(Self::open_wal(&wal_path)?);
-        entry.chain_tail = Some(snapshot);
-        entry.deltas_since_full = index;
-        entry.inserts_since_snapshot = 0;
+        durable.wal = Some(Self::open_wal(&wal_path)?);
+        durable.chain_tail = Some(snapshot);
+        durable.deltas_since_full = index;
+        durable.inserts_since_snapshot = 0;
         Ok(())
     }
 
@@ -590,6 +570,16 @@ impl Engine {
                     detail: format!("scan data dir {}: {e}", dir.display()),
                 })?
                 .path();
+            let file_name = path
+                .file_name()
+                .and_then(|f| f.to_str())
+                .unwrap_or_default();
+            if file_name.contains(".tmp.") {
+                // A temp file a crashed writer never renamed into place;
+                // its contents were never acknowledged. Sweep it.
+                let _ = std::fs::remove_file(&path);
+                continue;
+            }
             if path.extension().and_then(|e| e.to_str()) != Some("snap") {
                 continue;
             }
@@ -620,7 +610,7 @@ impl Engine {
                     Err(other) => return Err(other),
                 }
             }
-            let mut stream = AnyStream::restore(&snapshot)?;
+            let mut stream = summary::restore(&snapshot)?;
             let wal_path = dir.join(format!("{name}.wal"));
             let mut replayed = 0u64;
             if wal_path.exists() {
@@ -630,7 +620,7 @@ impl Engine {
                 // Stream the log with one record of lookahead (so the
                 // final record is known without buffering the whole file —
                 // a WAL without `snapshot_every` can grow without bound).
-                let mut replay = WalReplay::new(&wal_path, &mut stream);
+                let mut replay = WalReplay::new(&wal_path, stream.as_mut());
                 let mut pending: Option<(usize, String)> = None;
                 for (lineno, line) in BufReader::new(file).lines().enumerate() {
                     let line = line.map_err(|e| FdmError::SnapshotIo {
@@ -648,31 +638,27 @@ impl Engine {
                 }
                 replayed = replay.replayed;
             }
-            let wal = Some(Self::open_wal(&wal_path)?);
-            let mut entry = StreamEntry {
-                stream,
-                inserts_since_snapshot: replayed,
-                wal,
-                chain_tail: None,
-                deltas_since_full: 0,
-            };
             // Re-anchor the chain on a fresh full snapshot: the replayed
             // WAL tail is now part of the state, and the next delta must
             // diff against *this* state, not the pre-crash chain tail.
-            self.anchor(&name, &mut entry)?;
-            self.streams
-                .lock()
-                .unwrap()
-                .insert(name, Arc::new(Mutex::new(entry)));
+            let fresh = stream.snapshot();
+            let entry = StreamEntry::new(stream);
+            {
+                let mut durable = entry.durable.lock().unwrap();
+                durable.wal = Some(Self::open_wal(&wal_path)?);
+                durable.counters.wal_records = replayed;
+                self.anchor(&name, fresh, &mut durable)?;
+            }
+            self.streams.write().unwrap().insert(name, Arc::new(entry));
         }
         Ok(())
     }
 
     /// Looks up a stream's shared entry (registry lock held only for the
     /// map access).
-    fn entry(&self, name: &str) -> std::result::Result<SharedEntry, String> {
+    fn entry(&self, name: &str) -> std::result::Result<Arc<StreamEntry>, String> {
         self.streams
-            .lock()
+            .read()
             .unwrap()
             .get(name)
             .cloned()
@@ -682,53 +668,59 @@ impl Engine {
     /// `OPEN`: creates the stream, or re-attaches if a stream of that name
     /// already exists *and* the requested parameters match its own.
     ///
-    /// Creation holds the registry lock through the durable anchor: if two
-    /// sessions race the same `OPEN`, the loser attaches instead of
+    /// Creation holds the registry write lock through the durable anchor:
+    /// if two sessions race the same `OPEN`, the loser attaches instead of
     /// clobbering the winner's snapshot/WAL chain with empty state.
     pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<String, String> {
-        let requested = spec_params(spec)?;
-        let mut streams = self.streams.lock().unwrap();
+        let summary_spec = spec.to_summary_spec().map_err(|e| e.to_string())?;
+        let requested = summary::spec_params(&summary_spec).map_err(|e| e.to_string())?;
+        let mut streams = self.streams.write().unwrap();
         if let Some(existing) = streams.get(name) {
             let existing = existing.clone();
             drop(streams);
-            let entry = existing.lock().unwrap();
             requested
-                .ensure_compatible(&entry.stream.params())
+                .ensure_compatible(&existing.params())
                 .map_err(|e| e.to_string())?;
             return Ok(format!(
                 "attached {name} processed={}",
-                entry.stream.processed()
+                existing.summary.read().unwrap().processed()
             ));
         }
-        let stream = AnyStream::build(spec).map_err(|e| e.to_string())?;
-        let mut entry = StreamEntry {
-            stream,
-            inserts_since_snapshot: 0,
-            wal: None,
-            chain_tail: None,
-            deltas_since_full: 0,
-        };
-        self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
-        streams.insert(name.to_string(), Arc::new(Mutex::new(entry)));
+        let stream = summary::build(&summary_spec).map_err(|e| e.to_string())?;
+        let first = stream.snapshot();
+        let entry = StreamEntry::new(stream);
+        {
+            let mut durable = entry.durable.lock().unwrap();
+            self.anchor(name, first, &mut durable)
+                .map_err(|e| e.to_string())?;
+        }
+        streams.insert(name.to_string(), Arc::new(entry));
         Ok(format!("opened {name}"))
     }
 
     /// `INSERT`: write-ahead (sequence-numbered), apply, maybe
     /// auto-checkpoint (a delta while the chain is short, a fresh full
-    /// snapshot every [`ServeConfig::full_every`] deltas). Only this
-    /// stream's lock is held — other tenants keep running during the disk
-    /// I/O.
+    /// snapshot every [`ServeConfig::full_every`] deltas). Holds only this
+    /// stream's durable mutex across the operation — other tenants keep
+    /// running during the disk I/O — and the summary write lock only for
+    /// the in-memory apply, so concurrent `QUERY`s overlap with everything
+    /// but that instant.
     pub fn insert(
         &self,
         name: &str,
         element: &Element,
         raw_line: &str,
     ) -> std::result::Result<String, String> {
-        let shared = self.entry(name)?;
-        let mut entry = shared.lock().unwrap();
-        check_element(&entry.stream.params(), element)?;
-        let seq = entry.stream.processed() as u64 + 1;
-        if let Some(wal) = entry.wal.as_mut() {
+        let entry = self.entry(name)?;
+        let mut durable = entry.durable.lock().unwrap();
+        // `durable` serializes writers, so the sequence number read here
+        // cannot race another insert's apply.
+        let seq = {
+            let summary = entry.summary.read().unwrap();
+            check_element(&summary.params(), element)?;
+            summary.processed() as u64 + 1
+        };
+        if let Some(wal) = durable.wal.as_mut() {
             // One pre-formatted buffer, one write syscall: a crash can
             // still tear the record (recovery tolerates a torn tail), but
             // the window is a single partial write, not the several
@@ -737,25 +729,31 @@ impl Engine {
             wal.write_all(record.as_bytes())
                 .and_then(|()| wal.flush())
                 .map_err(|e| format!("append WAL for {name}: {e}"))?;
+            durable.counters.wal_records += 1;
         }
         crash_point("between-wal-append-and-apply");
-        entry.stream.insert(element);
-        entry.inserts_since_snapshot += 1;
+        entry.summary.write().unwrap().insert(element);
+        durable.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
-            if every > 0 && entry.inserts_since_snapshot >= every {
-                self.anchor_delta(name, &mut entry)
+            if every > 0 && durable.inserts_since_snapshot >= every {
+                // Capture under a short read lock; encode + write happen
+                // below it (readers keep answering while the bytes hit
+                // disk).
+                let snapshot = entry.summary.read().unwrap().snapshot();
+                self.anchor_delta(name, snapshot, &mut durable)
                     .map_err(|e| e.to_string())?;
             }
         }
-        Ok(format!("inserted processed={}", entry.stream.processed()))
+        Ok(format!("inserted processed={seq}"))
     }
 
     /// `QUERY`: post-processing of the named stream. `k`, when given, must
-    /// match the configured solution size.
+    /// match the configured solution size. Runs under the summary *read*
+    /// lock: concurrent queries (and snapshot captures) overlap freely.
     pub fn query(&self, name: &str, k: Option<usize>) -> std::result::Result<String, String> {
-        let shared = self.entry(name)?;
-        let entry = shared.lock().unwrap();
-        let configured = entry.stream.params().k;
+        let entry = self.entry(name)?;
+        let summary = entry.summary.read().unwrap();
+        let configured = summary.params().k;
         if let Some(k) = k {
             if k != configured {
                 return Err(format!(
@@ -763,7 +761,7 @@ impl Engine {
                 ));
             }
         }
-        let solution = entry.stream.finalize().map_err(|e| e.to_string())?;
+        let solution = summary.finalize().map_err(|e| e.to_string())?;
         let ids: Vec<String> = solution.ids().iter().map(usize::to_string).collect();
         Ok(format!(
             "k={} diversity={} ids={}",
@@ -775,6 +773,12 @@ impl Engine {
 
     /// `SNAPSHOT`: checkpoint the named stream to an explicit path, in the
     /// requested format (default: the server's configured format).
+    ///
+    /// Capture holds the summary read lock just long enough to clone the
+    /// state tree; encoding and the disk write run with **no** lock on the
+    /// summary and without the durable mutex, so neither readers nor
+    /// writers of this stream stall behind the I/O (pinned by the
+    /// concurrency suite via `FDM_SERVE_SNAPSHOT_PAUSE_MS`).
     pub fn snapshot(
         &self,
         name: &str,
@@ -782,98 +786,106 @@ impl Engine {
         format: Option<SnapshotFormat>,
     ) -> std::result::Result<String, String> {
         let format = format.unwrap_or(self.config.snapshot_format);
-        let shared = self.entry(name)?;
-        let entry = shared.lock().unwrap();
-        entry
-            .stream
-            .snapshot()
-            .write_to_file_format(path, format)
+        let entry = self.entry(name)?;
+        let (snapshot, processed) = {
+            let summary = entry.summary.read().unwrap();
+            (summary.snapshot(), summary.processed())
+        };
+        // Off-lock from here on.
+        let bytes = snapshot.to_bytes(format);
+        snapshot_write_pause();
+        fdm_core::persist::write_bytes_atomic(Path::new(path), &bytes)
             .map_err(|e| e.to_string())?;
+        let mut durable = entry.durable.lock().unwrap();
+        durable.counters.full_snapshots += 1;
+        durable.counters.last_snapshot_bytes = bytes.len() as u64;
+        durable.counters.last_snapshot_format = Some(format.name());
         Ok(format!(
-            "snapshot {path} format={} processed={}",
+            "snapshot {path} format={} processed={processed}",
             format.name(),
-            entry.stream.processed()
         ))
     }
 
     /// `RESTORE`: load a snapshot into stream `name`, replacing (after a
     /// compatibility check) any live state of that name.
+    ///
+    /// Like [`Engine::open`], *creation* of a not-yet-registered name
+    /// holds the registry write lock through the durable anchor: a RESTORE
+    /// racing an OPEN (or another RESTORE) of the same name must not
+    /// register a second entry for it — two entries would append to one
+    /// WAL through independent handles with independent sequence
+    /// counters, corrupting the recovery chain.
     pub fn restore(&self, name: &str, path: &str) -> std::result::Result<String, String> {
         let snapshot = Snapshot::read_from_file(path).map_err(|e| e.to_string())?;
-        let stream = AnyStream::restore(&snapshot).map_err(|e| e.to_string())?;
+        let stream = summary::restore(&snapshot).map_err(|e| e.to_string())?;
         let processed = stream.processed();
-        if let Ok(existing) = self.entry(name) {
+        // Decode happened above, off every lock; now decide create vs
+        // replace under the registry write lock so the check cannot go
+        // stale against a concurrent creation.
+        let mut streams = self.streams.write().unwrap();
+        if let Some(existing) = streams.get(name).cloned() {
+            drop(streams);
             // Replace in place so every session bound to this stream sees
-            // the restored state.
-            let mut entry = existing.lock().unwrap();
+            // the restored state. Writers are fenced by the durable mutex,
+            // readers by the summary write lock below.
+            let mut durable = existing.durable.lock().unwrap();
             snapshot
                 .params
-                .ensure_compatible(&entry.stream.params())
+                .ensure_compatible(&existing.params())
                 .map_err(|e| e.to_string())?;
-            entry.stream = stream;
+            let anchor_snapshot = stream.snapshot();
+            *existing.summary.write().unwrap() = stream;
             // The restored state supersedes the WAL chain: re-anchor it.
-            self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
+            self.anchor(name, anchor_snapshot, &mut durable)
+                .map_err(|e| e.to_string())?;
         } else {
-            let mut entry = StreamEntry {
-                stream,
-                inserts_since_snapshot: 0,
-                wal: None,
-                chain_tail: None,
-                deltas_since_full: 0,
-            };
-            self.anchor(name, &mut entry).map_err(|e| e.to_string())?;
-            self.streams
-                .lock()
-                .unwrap()
-                .insert(name.to_string(), Arc::new(Mutex::new(entry)));
+            let anchor_snapshot = stream.snapshot();
+            let entry = StreamEntry::new(stream);
+            {
+                let mut durable = entry.durable.lock().unwrap();
+                self.anchor(name, anchor_snapshot, &mut durable)
+                    .map_err(|e| e.to_string())?;
+            }
+            streams.insert(name.to_string(), Arc::new(entry));
         }
         Ok(format!("restored {name} processed={processed}"))
     }
 
-    /// `STATS` for one stream.
+    /// `STATS` for one stream: stream geometry plus the per-stream
+    /// persistence counters (WAL records appended, checkpoints written,
+    /// size + format of the last checkpoint) so operators can see
+    /// checkpoint health over the wire.
     pub fn stats(&self, name: &str) -> std::result::Result<String, String> {
-        let shared = self.entry(name)?;
-        let entry = shared.lock().unwrap();
-        let params = entry.stream.params();
+        let entry = self.entry(name)?;
+        let (params, processed, stored) = {
+            let summary = entry.summary.read().unwrap();
+            (
+                summary.params(),
+                summary.processed(),
+                summary.stored_elements(),
+            )
+        };
+        let counters = entry.durable.lock().unwrap().counters;
+        let window = if params.window != 0 {
+            format!(" window={}", params.window)
+        } else {
+            String::new()
+        };
         Ok(format!(
-            "stream={name} algorithm={} processed={} stored={} dim={} k={} shards={}",
+            "stream={name} algorithm={} processed={processed} stored={stored} dim={} k={} \
+             shards={}{window} wal_records={} snapshots={} deltas={} last_snapshot_bytes={} \
+             last_snapshot_format={}",
             params.algorithm,
-            entry.stream.processed(),
-            entry.stream.stored_elements(),
             params.dim,
             params.k,
-            params.shards
+            params.shards,
+            counters.wal_records,
+            counters.full_snapshots,
+            counters.delta_snapshots,
+            counters.last_snapshot_bytes,
+            counters.last_snapshot_format.unwrap_or("none"),
         ))
     }
-}
-
-/// The envelope parameters an `OPEN` specification implies, without
-/// building the stream (constructing the full guess ladders just to
-/// compare parameters on re-attach would be wasted work). Must mirror
-/// [`AnyStream::build`]: same tags, `dim = 0` (no element seen), shard
-/// counts of 1 and 0 both build the unsharded variant.
-fn spec_params(spec: &StreamSpec) -> std::result::Result<SnapshotParams, String> {
-    if !matches!(spec.algo.as_str(), "unconstrained" | "sfdm1" | "sfdm2") {
-        return Err(format!("unknown algorithm `{}`", spec.algo));
-    }
-    let bounds =
-        fdm_core::dataset::DistanceBounds::new(spec.dmin, spec.dmax).map_err(|e| e.to_string())?;
-    let shards = spec.shards.max(1);
-    let algorithm = if shards > 1 {
-        format!("sharded:{}", spec.algo)
-    } else {
-        spec.algo.clone()
-    };
-    Ok(SnapshotParams {
-        algorithm,
-        dim: 0,
-        epsilon: spec.epsilon,
-        metric: spec.metric,
-        bounds,
-        quotas: spec.quotas.clone(),
-        k: spec.k,
-        shards,
-    })
 }
 
 /// Validates an arriving element against a stream's live parameters:
@@ -901,4 +913,22 @@ fn check_element(params: &SnapshotParams, element: &Element) -> std::result::Res
         .to_string());
     }
     Ok(())
+}
+
+impl StreamSpec {
+    /// Translates the protocol-level specification into the registry's
+    /// algorithm-agnostic [`SummarySpec`].
+    pub fn to_summary_spec(&self) -> Result<SummarySpec> {
+        let bounds = fdm_core::dataset::DistanceBounds::new(self.dmin, self.dmax)?;
+        Ok(SummarySpec {
+            algorithm: self.algo.clone(),
+            epsilon: self.epsilon,
+            bounds,
+            metric: self.metric,
+            quotas: self.quotas.clone(),
+            k: self.k,
+            shards: self.shards,
+            window: self.window,
+        })
+    }
 }

@@ -2,18 +2,28 @@
 //!
 //! A daemon-style front end for the streaming fair-diversity summaries of
 //! `fdm-core`: instead of running one batch pass, the process hosts many
-//! **named streams** (multi-tenant), each backed by one of the paper's
-//! algorithms (unconstrained Algorithm 1, SFDM1, SFDM2, optionally sharded
-//! K ways), and drives them through a line protocol:
+//! **named streams** (multi-tenant), each a
+//! [`Box<dyn DynSummary>`](fdm_core::streaming::summary::DynSummary) built
+//! through the summary registry — any member of the family (unconstrained
+//! Algorithm 1, SFDM1, SFDM2, the sliding-window wrapper, each optionally
+//! sharded K ways) behind one line protocol:
 //!
 //! ```text
 //! OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=20
+//! OPEN recent sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=20 window=1000
 //! INSERT 0 1 0.25 3.5
 //! QUERY
 //! SNAPSHOT /var/lib/fdm/jobs.snap
 //! RESTORE /var/lib/fdm/jobs.snap
 //! STATS
 //! ```
+//!
+//! Each stream sits behind its own readers–writer lock with the WAL
+//! appender split off onto a separate mutex, so sessions on different
+//! streams never serialize on each other, concurrent `QUERY`s of one
+//! stream overlap, and snapshot encode/disk-write runs **off** the summary
+//! lock (see [`engine`] for the locking protocol; pinned by
+//! `tests/concurrent.rs`).
 //!
 //! Sessions speak the protocol over stdin/stdout, a Unix domain socket
 //! (`--socket`), or TCP (`--listen addr:port`, for remote tenants — with

@@ -51,7 +51,8 @@ pub enum Command {
 /// Algorithm choice + parameters from an `OPEN` command.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamSpec {
-    /// `unconstrained`, `sfdm1`, or `sfdm2`.
+    /// A base algorithm tag the summary registry knows:
+    /// `unconstrained`, `sfdm1`, `sfdm2`, or `sliding`.
     pub algo: String,
     /// Guess-ladder accuracy `ε ∈ (0, 1)`.
     pub epsilon: f64,
@@ -67,6 +68,9 @@ pub struct StreamSpec {
     pub k: usize,
     /// Shard count (default 1 = unsharded).
     pub shards: usize,
+    /// Sliding-window size `W` (required for `sliding`, rejected
+    /// elsewhere; 0 = not windowed).
+    pub window: usize,
 }
 
 /// Whether a stream name is safe to bind (and to embed in data-dir file
@@ -101,12 +105,15 @@ fn parse_metric(text: &str) -> std::result::Result<Metric, String> {
 }
 
 impl StreamSpec {
-    /// Parses the `<algo> key=value...` tail of an `OPEN` command.
+    /// Parses the `<algo> key=value...` tail of an `OPEN` command. The
+    /// algorithm name is validated against the summary registry, so a new
+    /// registered algorithm is automatically OPEN-able.
     pub fn parse(fields: &[&str]) -> std::result::Result<StreamSpec, String> {
         let algo = *fields.first().ok_or("OPEN requires an algorithm")?;
-        if !matches!(algo, "unconstrained" | "sfdm1" | "sfdm2") {
+        if !fdm_core::streaming::summary::is_known_algorithm(algo) {
             return Err(format!(
-                "unknown algorithm `{algo}` (expected unconstrained, sfdm1, or sfdm2)"
+                "unknown algorithm `{algo}` (expected one of: {})",
+                fdm_core::streaming::summary::algorithm_tags().join(", ")
             ));
         }
         let mut epsilon = None;
@@ -116,6 +123,7 @@ impl StreamSpec {
         let mut quotas: Vec<usize> = Vec::new();
         let mut k: Option<usize> = None;
         let mut shards = 1usize;
+        let mut window: Option<usize> = None;
         for field in &fields[1..] {
             let (key, value) = field
                 .split_once('=')
@@ -134,6 +142,7 @@ impl StreamSpec {
                 }
                 "k" => k = Some(value.parse::<usize>().map_err(|_| bad("k"))?),
                 "shards" => shards = value.parse::<usize>().map_err(|_| bad("shards"))?,
+                "window" => window = Some(value.parse::<usize>().map_err(|_| bad("window"))?),
                 other => return Err(format!("unknown OPEN parameter `{other}`")),
             }
         }
@@ -152,6 +161,13 @@ impl StreamSpec {
             (_, None, true) => return Err(format!("{algo} requires quotas=a,b,...")),
             (_, None, false) => quotas.iter().sum(),
         };
+        let window = match (algo, window) {
+            ("sliding", Some(w)) if w >= 2 => w,
+            ("sliding", Some(w)) => return Err(format!("sliding requires window ≥ 2 (got {w})")),
+            ("sliding", None) => return Err("sliding requires window=<n>".into()),
+            (_, Some(_)) => return Err(format!("{algo} takes no window= parameter")),
+            (_, None) => 0,
+        };
         Ok(StreamSpec {
             algo: algo.to_string(),
             epsilon,
@@ -161,6 +177,7 @@ impl StreamSpec {
             quotas,
             k,
             shards,
+            window,
         })
     }
 }

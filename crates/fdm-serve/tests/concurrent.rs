@@ -1,0 +1,326 @@
+//! Concurrency suite for the dyn-summary engine: one engine hammered from
+//! many threads with interleaved INSERT/QUERY/SNAPSHOT/STATS on multiple
+//! streams must neither deadlock nor drift from a serial replay, and
+//! snapshot encode + disk I/O must happen **off the summary lock** so one
+//! stream's checkpoint never stalls another stream — or its own readers.
+//!
+//! Determinism strategy: each stream has exactly one inserter thread (so
+//! its arrival order is fixed), while reader threads fire QUERY/STATS and
+//! snapshot threads fire SNAPSHOT against every stream concurrently. After
+//! the storm, every stream's QUERY answer must be byte-identical to a
+//! serial replay of the same arrival sequence.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fdm_core::persist::SnapshotFormat;
+use fdm_serve::protocol::{parse_line, Command as Cmd, StreamSpec};
+use fdm_serve::{Engine, ServeConfig, Session};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdm_concurrent_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec_of(line: &str) -> (String, StreamSpec) {
+    match parse_line(line).unwrap().unwrap() {
+        Cmd::Open { name, spec } => (name, spec),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Three differently-shaped streams: a fair SFDM2, a sharded SFDM1, and a
+/// sliding window — the whole family surface in one storm.
+fn stream_specs() -> Vec<(String, StreamSpec)> {
+    [
+        "OPEN alpha sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30",
+        "OPEN beta sfdm1 quotas=3,2 eps=0.1 dmin=0.05 dmax=30 shards=2",
+        "OPEN gamma sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=40",
+    ]
+    .iter()
+    .map(|l| spec_of(l))
+    .collect()
+}
+
+fn insert_line(stream_seed: u64, i: usize) -> String {
+    let x = ((i as f64 + stream_seed as f64 * 31.0) * 0.7391).sin() * 9.0;
+    let y = ((i as f64 + stream_seed as f64 * 17.0) * 0.2113).cos() * 9.0;
+    format!("INSERT {i} {} {x} {y}", i % 2)
+}
+
+/// The serial reference: one uncontended engine fed the same per-stream
+/// sequences, queried at the end.
+fn serial_answers(inserts_per_stream: usize) -> Vec<String> {
+    let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
+    stream_specs()
+        .into_iter()
+        .enumerate()
+        .map(|(s, (name, spec))| {
+            engine.open(&name, &spec).unwrap();
+            for i in 0..inserts_per_stream {
+                let line = insert_line(s as u64, i);
+                match parse_line(&line).unwrap().unwrap() {
+                    Cmd::Insert(e) => engine.insert(&name, &e, &line).unwrap(),
+                    other => panic!("{other:?}"),
+                };
+            }
+            engine.query(&name, None).unwrap()
+        })
+        .collect()
+}
+
+/// N threads × interleaved verbs × multiple streams, with durability on:
+/// no deadlock (watchdog), and answers identical to the serial replay.
+#[test]
+fn storm_matches_serial_replay() {
+    let dir = scratch("storm");
+    let inserts = 120usize;
+    let engine = Arc::new(
+        Engine::new(ServeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(16),
+            snapshot_format: SnapshotFormat::Binary,
+            full_every: 3,
+        })
+        .unwrap(),
+    );
+    let specs = stream_specs();
+    for (name, spec) in &specs {
+        engine.open(name, spec).unwrap();
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+
+    // One inserter per stream: fixed arrival order per stream.
+    for (s, (name, _)) in specs.iter().enumerate() {
+        let engine = engine.clone();
+        let name = name.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 0..inserts {
+                let line = insert_line(s as u64, i);
+                match parse_line(&line).unwrap().unwrap() {
+                    Cmd::Insert(e) => {
+                        engine.insert(&name, &e, &line).unwrap();
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+        }));
+    }
+    // Readers: QUERY + STATS across all streams until the inserters stop.
+    for reader in 0..4 {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        let names: Vec<String> = specs.iter().map(|(n, _)| n.clone()).collect();
+        handles.push(std::thread::spawn(move || {
+            let mut i = reader;
+            while !stop.load(Ordering::SeqCst) {
+                let name = &names[i % names.len()];
+                // Early in the stream a QUERY may legitimately have no
+                // feasible candidate; only protocol-level failures matter.
+                let _ = engine.query(name, None);
+                engine.stats(name).unwrap();
+                i += 1;
+            }
+        }));
+    }
+    // Snapshotters: explicit SNAPSHOT exports while everything runs.
+    for snapper in 0..2 {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        let dir = dir.clone();
+        let names: Vec<String> = specs.iter().map(|(n, _)| n.clone()).collect();
+        handles.push(std::thread::spawn(move || {
+            let mut i = snapper;
+            while !stop.load(Ordering::SeqCst) {
+                let name = &names[i % names.len()];
+                let path = dir.join(format!("export-{snapper}-{}.snap", i % 4));
+                engine.snapshot(name, path.to_str().unwrap(), None).unwrap();
+                i += 1;
+            }
+        }));
+    }
+
+    // Watchdog: a deadlock must fail the test, not hang CI. The inserter
+    // threads are the bounded ones; join them with a timeout by polling.
+    let started = Instant::now();
+    let (inserters, rest) = handles.split_at(specs.len());
+    let mut inserters: Vec<_> = inserters.iter().collect();
+    while !inserters.is_empty() {
+        assert!(
+            started.elapsed() < Duration::from_secs(120),
+            "storm did not finish within 120 s — deadlock?"
+        );
+        inserters.retain(|h| !h.is_finished());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = rest; // joined implicitly below
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let expected = serial_answers(inserts);
+    for ((name, _), expected) in specs.iter().zip(expected) {
+        assert_eq!(
+            engine.query(name, None).unwrap(),
+            expected,
+            "{name}: storm answer diverged from serial replay"
+        );
+    }
+
+    // And the storm's durable state recovers to the same answers.
+    drop(engine);
+    let recovered = Engine::new(ServeConfig {
+        data_dir: Some(dir.clone()),
+        snapshot_every: Some(16),
+        snapshot_format: SnapshotFormat::Binary,
+        full_every: 3,
+    })
+    .unwrap();
+    let expected = serial_answers(inserts);
+    for ((name, _), expected) in specs.iter().zip(expected) {
+        assert_eq!(recovered.query(name, None).unwrap(), expected, "{name}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The off-lock guarantee, pinned with a deliberately slowed snapshot
+/// write (`FDM_SERVE_SNAPSHOT_PAUSE_MS`, honored by the engine's disk
+/// phase only): while stream B's SNAPSHOT is stuck in its write, an
+/// INSERT into B and a QUERY on A must both complete — i.e. the summary
+/// lock (and B's WAL lock) were released before the I/O began. Runs in a
+/// child process so the env-var cache cannot leak into other tests.
+#[test]
+fn snapshot_write_happens_off_the_summary_lock() {
+    let exe = std::env::current_exe().unwrap();
+    let status = Command::new(exe)
+        .args([
+            "snapshot_pause_probe_inner",
+            "--exact",
+            "--ignored",
+            "--nocapture",
+        ])
+        .env("FDM_SERVE_SNAPSHOT_PAUSE_MS", "700")
+        .status()
+        .unwrap();
+    assert!(status.success(), "paused-snapshot probe failed");
+}
+
+/// Inner body of `snapshot_write_happens_off_the_summary_lock`; only
+/// meaningful with `FDM_SERVE_SNAPSHOT_PAUSE_MS` armed, hence `#[ignore]`.
+#[test]
+#[ignore = "spawned by snapshot_write_happens_off_the_summary_lock"]
+fn snapshot_pause_probe_inner() {
+    assert_eq!(
+        std::env::var("FDM_SERVE_SNAPSHOT_PAUSE_MS").as_deref(),
+        Ok("700"),
+        "probe must run with the pause armed"
+    );
+    let dir = scratch("pause");
+    let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
+    let specs = stream_specs();
+    for (name, spec) in &specs {
+        engine.open(name, spec).unwrap();
+        for i in 0..60 {
+            let line = insert_line(1, i);
+            match parse_line(&line).unwrap().unwrap() {
+                Cmd::Insert(e) => {
+                    engine.insert(name, &e, &line).unwrap();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+    let pause = Duration::from_millis(700);
+
+    // Kick off the (paused) snapshot of stream "beta".
+    let snap_engine = engine.clone();
+    let snap_path = dir.join("beta.export.snap");
+    let snap_started = Instant::now();
+    let snapshot_thread = {
+        let path = snap_path.to_str().unwrap().to_string();
+        std::thread::spawn(move || {
+            snap_engine.snapshot("beta", &path, None).unwrap();
+        })
+    };
+    // Give the snapshot thread time to capture and enter its paused write.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // INSERT into the snapshotting stream and QUERY another stream; both
+    // must complete while the snapshot write is still sleeping.
+    let line = insert_line(1, 60);
+    match parse_line(&line).unwrap().unwrap() {
+        Cmd::Insert(e) => {
+            engine.insert("beta", &e, &line).unwrap();
+        }
+        other => panic!("{other:?}"),
+    }
+    engine.query("alpha", None).unwrap();
+    let ops_done = snap_started.elapsed();
+    snapshot_thread.join().unwrap();
+    let snap_done = snap_started.elapsed();
+
+    assert!(
+        snap_done >= pause,
+        "snapshot must have gone through the paused write ({snap_done:?})"
+    );
+    assert!(
+        ops_done < pause,
+        "INSERT/QUERY waited for the snapshot write ({ops_done:?} ≥ {pause:?}) — \
+         the encode/write must run off the summary lock"
+    );
+    assert!(snap_path.exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sessions on different streams never serialize on each other: drive two
+/// protocol sessions concurrently through the shared engine (the same way
+/// socket connections do) and require both transcripts correct.
+#[test]
+fn two_sessions_on_distinct_streams_interleave() {
+    let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
+    let mut handles = Vec::new();
+    for (s, open) in [
+        "OPEN left sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30",
+        "OPEN right sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=30",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let engine = engine.clone();
+        let open = open.to_string();
+        handles.push(std::thread::spawn(move || {
+            let mut script = vec![open];
+            for i in 0..150 {
+                script.push(insert_line(s as u64, i));
+            }
+            script.push("STATS".into());
+            script.push("QUERY".into());
+            let mut output = Vec::new();
+            Session::new(engine)
+                .run(
+                    std::io::Cursor::new(script.join("\n").into_bytes()),
+                    &mut output,
+                )
+                .unwrap();
+            let text = String::from_utf8(output).unwrap();
+            assert!(
+                !text.contains("ERR "),
+                "session transcript holds an error:\n{text}"
+            );
+            let _ = std::io::sink().write_all(text.as_bytes());
+            text.lines().last().unwrap().to_string()
+        }));
+    }
+    for handle in handles {
+        let last = handle.join().unwrap();
+        assert!(last.starts_with("OK k=4"), "{last}");
+    }
+}

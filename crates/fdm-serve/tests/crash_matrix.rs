@@ -23,7 +23,14 @@ use std::sync::Arc;
 use fdm_serve::{Engine, ServeConfig, Session};
 
 const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
+/// The sliding-window cell of the matrix: same stream, windowed summary.
+const OPEN_SLIDING: &str = "OPEN swin sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=16";
 const INSERTS: usize = 30;
+
+/// Stream name of an OPEN line (the matrix runs one stream per scenario).
+fn stream_name(open: &str) -> &str {
+    open.split_whitespace().nth(1).unwrap()
+}
 
 fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("fdm_crash_matrix_{}_{tag}", std::process::id()));
@@ -44,9 +51,9 @@ fn insert_lines(n: usize) -> Vec<String> {
 
 /// The reference answer: an uninterrupted in-memory engine fed the first
 /// `n` inserts.
-fn reference_query(n: usize) -> String {
+fn reference_query_for(open: &str, n: usize) -> String {
     let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
-    let mut script = vec![OPEN.to_string()];
+    let mut script = vec![open.to_string()];
     script.extend(insert_lines(n));
     script.push("QUERY".into());
     let mut output = Vec::new();
@@ -64,10 +71,14 @@ fn reference_query(n: usize) -> String {
         .to_string()
 }
 
+fn reference_query(n: usize) -> String {
+    reference_query_for(OPEN, n)
+}
+
 /// Runs the real binary against `dir` with the given crash point armed,
-/// feeds OPEN + INSERTS, and returns its stdout lines after it dies (or
+/// feeds `open` + INSERTS, and returns its stdout lines after it dies (or
 /// finishes, for scenarios whose point never fires).
-fn run_until_crash(dir: &Path, crash_point: &str) -> Vec<String> {
+fn run_until_crash_with(open: &str, dir: &Path, crash_point: &str) -> Vec<String> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
         .args([
             "--data-dir",
@@ -85,7 +96,7 @@ fn run_until_crash(dir: &Path, crash_point: &str) -> Vec<String> {
         .expect("spawn fdm-serve");
     {
         let mut stdin = child.stdin.take().unwrap();
-        let mut script = vec![OPEN.to_string()];
+        let mut script = vec![open.to_string()];
         script.extend(insert_lines(INSERTS));
         script.push("QUIT".into());
         // The child aborts mid-stream; EPIPE on the remainder is expected.
@@ -99,9 +110,13 @@ fn run_until_crash(dir: &Path, crash_point: &str) -> Vec<String> {
         .collect()
 }
 
+fn run_until_crash(dir: &Path, crash_point: &str) -> Vec<String> {
+    run_until_crash_with(OPEN, dir, crash_point)
+}
+
 /// Restarts the binary over the same data dir (no crash point) and
 /// returns `(processed, query_line)` from STATS + QUERY.
-fn recover(dir: &Path) -> (usize, String) {
+fn recover_with(open: &str, dir: &Path) -> (usize, String) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
         .args(["--data-dir", dir.to_str().unwrap(), "--snapshot-every", "4"])
         .stdin(Stdio::piped())
@@ -111,14 +126,14 @@ fn recover(dir: &Path) -> (usize, String) {
         .expect("respawn fdm-serve");
     {
         let mut stdin = child.stdin.take().unwrap();
-        write!(stdin, "{OPEN}\nSTATS\nQUERY\nQUIT\n").unwrap();
+        write!(stdin, "{open}\nSTATS\nQUERY\nQUIT\n").unwrap();
     }
     let output = child.wait_with_output().expect("wait for recovery");
     assert!(output.status.success(), "recovery process failed");
     let stdout = String::from_utf8(output.stdout).unwrap();
     let lines: Vec<&str> = stdout.lines().collect();
     assert!(
-        lines[0].starts_with("OK attached jobs"),
+        lines[0].starts_with(&format!("OK attached {}", stream_name(open))),
         "recovery must re-attach: {lines:?}"
     );
     let stats = lines[1];
@@ -132,18 +147,28 @@ fn recover(dir: &Path) -> (usize, String) {
     (processed, query)
 }
 
+fn recover(dir: &Path) -> (usize, String) {
+    recover_with(OPEN, dir)
+}
+
 /// One matrix cell: arm `crash_point`, crash, recover, and require the
 /// recovered answers to be byte-identical to an uninterrupted run over
 /// exactly the recovered number of arrivals.
 fn crash_and_recover(tag: &str, crash_point: &str, expect_processed: usize) {
+    crash_and_recover_with(OPEN, tag, crash_point, expect_processed);
+}
+
+/// [`crash_and_recover`] for any OPEN line (the sliding cells reuse the
+/// whole matrix machinery).
+fn crash_and_recover_with(open: &str, tag: &str, crash_point: &str, expect_processed: usize) {
     let dir = scratch(tag);
-    let live = run_until_crash(&dir, crash_point);
+    let live = run_until_crash_with(open, &dir, crash_point);
     let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
     assert!(
         acked < INSERTS,
         "{tag}: the crash point must fire before the stream ends ({acked} acked)"
     );
-    let (processed, query) = recover(&dir);
+    let (processed, query) = recover_with(open, &dir);
     assert_eq!(
         processed, expect_processed,
         "{tag}: recovered to an unexpected stream position ({acked} acked)"
@@ -154,7 +179,7 @@ fn crash_and_recover(tag: &str, crash_point: &str, expect_processed: usize) {
     );
     assert_eq!(
         query,
-        reference_query(processed),
+        reference_query_for(open, processed),
         "{tag}: recovered QUERY differs from an uninterrupted run over {processed} arrivals"
     );
     let _ = std::fs::remove_dir_all(&dir);
@@ -270,5 +295,119 @@ fn stale_delta_window_leaves_files_that_recovery_ignores() {
     );
     let (processed, _) = recover(&dir);
     assert_eq!(processed, 12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- Sliding-window cells -------------------------------------------------
+//
+// The sliding summary rides the identical persistence pipeline; these
+// cells prove its rotation state survives the same kill windows, and that
+// an explicit v2-binary snapshot restores byte-identically after SIGKILL.
+
+#[test]
+fn sliding_kill_between_wal_append_and_apply() {
+    crash_and_recover_with(
+        OPEN_SLIDING,
+        "sliding_wal_gap",
+        "between-wal-append-and-apply:13",
+        13,
+    );
+}
+
+#[test]
+fn sliding_kill_mid_full_snapshot() {
+    crash_and_recover_with(OPEN_SLIDING, "sliding_mid_full", "mid-full-snapshot:2", 12);
+}
+
+#[test]
+fn sliding_kill_in_stale_delta_window() {
+    crash_and_recover_with(
+        OPEN_SLIDING,
+        "sliding_stale_deltas",
+        "between-full-and-delta-cleanup:2",
+        12,
+    );
+}
+
+/// OPEN → insert → QUERY → SNAPSHOT (v2 bin) → SIGKILL → RESTORE in a
+/// fresh process: the restored stream answers the pre-kill QUERY
+/// byte-identically, and re-encoding it reproduces the snapshot file
+/// byte-for-byte.
+#[test]
+fn sliding_snapshot_kill_restore_is_byte_identical() {
+    use std::io::{BufRead, BufReader};
+    let dir = scratch("sliding_snap_kill");
+    let snap = dir.join("export.bin");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn fdm-serve");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut script = vec![OPEN_SLIDING.to_string()];
+    script.extend(insert_lines(INSERTS));
+    script.push(format!("SNAPSHOT {} format=bin", snap.display()));
+    script.push("QUERY".into());
+    stdin
+        .write_all(format!("{}\n", script.join("\n")).as_bytes())
+        .unwrap();
+    stdin.flush().unwrap();
+    // One response per command; the last is the pre-kill QUERY answer.
+    let mut lines = Vec::new();
+    for _ in 0..script.len() {
+        let mut line = String::new();
+        stdout.read_line(&mut line).unwrap();
+        lines.push(line.trim_end().to_string());
+    }
+    let pre_kill_query = lines.last().unwrap().clone();
+    assert!(pre_kill_query.starts_with("OK k=4"), "{pre_kill_query}");
+    assert!(
+        lines[lines.len() - 2].contains("format=bin"),
+        "{:?}",
+        lines.last()
+    );
+    // The no-cleanup death.
+    child.kill().unwrap();
+    let _ = child.wait();
+    let first_bytes = std::fs::read(&snap).unwrap();
+    assert!(first_bytes.starts_with(b"FDMSNAP2"), "v2 binary frame");
+
+    // Fresh process, no data dir: RESTORE the export, answer, re-export.
+    let snap2 = dir.join("reexport.bin");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("respawn fdm-serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        write!(
+            stdin,
+            "RESTORE {}\nQUERY\nSNAPSHOT {} format=bin\nQUIT\n",
+            snap.display(),
+            snap2.display()
+        )
+        .unwrap();
+    }
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(
+        lines[0].starts_with(&format!("OK restored export processed={INSERTS}")),
+        "{lines:?}"
+    );
+    assert_eq!(
+        lines[1], pre_kill_query,
+        "restored QUERY must be byte-identical to the pre-kill answer"
+    );
+    assert_eq!(
+        std::fs::read(&snap2).unwrap(),
+        first_bytes,
+        "re-encoding the restored sliding stream must reproduce the snapshot byte-for-byte"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

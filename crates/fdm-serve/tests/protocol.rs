@@ -354,3 +354,104 @@ fn unix_socket_sessions_work() {
     server.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The sliding-window family member end-to-end: OPEN with a window,
+/// ingest past several rotations, STATS reports the window, QUERY stays
+/// fair, and old elements age out of the answers.
+#[test]
+fn sliding_stream_serves_and_ages_out() {
+    let engine = memory_engine();
+    let mut script =
+        vec!["OPEN recent sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=40".to_string()];
+    script.extend(insert_lines(200));
+    script.push("STATS".into());
+    script.push("QUERY".into());
+    let replies = run_script(&engine, &script.join("\n"));
+    assert_eq!(replies[0], "OK opened recent");
+    let stats = &replies[201];
+    assert!(stats.contains("algorithm=sliding"), "{stats}");
+    assert!(stats.contains("window=40"), "{stats}");
+    assert!(stats.contains("processed=200"), "{stats}");
+    let query = &replies[202];
+    assert!(query.starts_with("OK k=4"), "{query}");
+    // Rotation schedule (W/2 = 20): the queried instance was restarted at
+    // arrival 180 at the latest, so nothing older than id 160 can appear.
+    let ids = query.split("ids=").nth(1).unwrap();
+    for id in ids.split(',') {
+        let id: usize = id.parse().unwrap();
+        assert!(id >= 160, "stale element {id} leaked into the window");
+    }
+
+    // Bad OPEN shapes are protocol errors.
+    let errs = run_script(
+        &engine,
+        "OPEN w sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30\n\
+         OPEN w sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=1\n\
+         OPEN w sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=10",
+    );
+    assert!(errs.iter().all(|r| r.starts_with("ERR ")), "{errs:?}");
+
+    // Re-attach requires the same window.
+    let errs = run_script(
+        &engine,
+        "OPEN recent sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=80",
+    );
+    assert!(
+        errs[0].starts_with("ERR") && errs[0].contains("window"),
+        "{errs:?}"
+    );
+}
+
+/// `STATS` surfaces the per-stream persistence counters: WAL appends,
+/// full/delta checkpoints, and the last checkpoint's size + format.
+#[test]
+fn stats_reports_persistence_counters() {
+    let dir = scratch("stats_counters");
+    let engine = Arc::new(
+        Engine::new(ServeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(10),
+            full_every: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let mut script = vec![OPEN.to_string()];
+    script.extend(insert_lines(25));
+    script.push("STATS".into());
+    let replies = run_script(&engine, &script.join("\n"));
+    let stats = replies.last().unwrap();
+    // 25 inserts → every record write-ahead logged; checkpoints at 10
+    // (delta 1), 20 (delta 2); the OPEN anchor wrote the first full.
+    assert!(stats.contains("wal_records=25"), "{stats}");
+    assert!(stats.contains("snapshots=1"), "{stats}");
+    assert!(stats.contains("deltas=2"), "{stats}");
+    assert!(stats.contains("last_snapshot_format=delta"), "{stats}");
+    let bytes: u64 = stats
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("last_snapshot_bytes="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no last_snapshot_bytes in {stats}"));
+    assert!(bytes > 0, "{stats}");
+
+    // An explicit export bumps the full-snapshot counter and the format.
+    let export = dir.join("x.snap").display().to_string();
+    let replies = run_script(
+        &engine,
+        &format!("OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30\nSNAPSHOT {export} format=json\nSTATS"),
+    );
+    let stats = replies.last().unwrap();
+    assert!(stats.contains("snapshots=2"), "{stats}");
+    assert!(stats.contains("last_snapshot_format=json"), "{stats}");
+
+    // A memory-only engine reports zeroed counters (no WAL, no files).
+    let engine = memory_engine();
+    let mut script = vec![OPEN.to_string()];
+    script.extend(insert_lines(5));
+    script.push("STATS".into());
+    let replies = run_script(&engine, &script.join("\n"));
+    let stats = replies.last().unwrap();
+    assert!(stats.contains("wal_records=0"), "{stats}");
+    assert!(stats.contains("last_snapshot_format=none"), "{stats}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
