@@ -133,9 +133,9 @@ pub fn balance_two_groups(
 /// (`+∞` for an empty set, matching `d(x, ∅)`). Proxies are monotone in the
 /// distance, so argmin/argmax and zero tests agree with true distances.
 fn proxy_to_set(store: &PointStore, x: PointId, set: &[PointId], metric: Metric) -> f64 {
-    let (row, norm) = (store.row(x), store.norm_sq(x));
+    let (row, norm) = (store.row(x), store.norm(x));
     set.iter()
-        .map(|&e| metric.proxy_with_norms(row, store.row(e), norm, store.norm_sq(e)))
+        .map(|&e| metric.proxy_with_sqrt_norms(row, store.row(e), norm, store.norm(e)))
         .fold(f64::INFINITY, f64::min)
 }
 

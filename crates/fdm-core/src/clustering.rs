@@ -134,10 +134,10 @@ pub fn threshold_clusters_ids(
     let threshold_proxy = metric.proxy_from_dist(threshold);
     let mut uf = UnionFind::new(n);
     for i in 0..n {
-        let (row_a, norm_a) = (store.row(ids[i]), store.norm_sq(ids[i]));
+        let (row_a, norm_a) = (store.row(ids[i]), store.norm(ids[i]));
         for j in (i + 1)..n {
             let b = ids[j];
-            let p = metric.proxy_with_norms(row_a, store.row(b), norm_a, store.norm_sq(b));
+            let p = metric.proxy_with_sqrt_norms(row_a, store.row(b), norm_a, store.norm(b));
             if p < threshold_proxy {
                 uf.union(i, j);
             }

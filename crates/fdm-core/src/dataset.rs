@@ -280,12 +280,13 @@ impl Dataset {
     #[inline]
     pub fn dist(&self, i: usize, j: usize) -> f64 {
         let (a, b) = (PointId(i as u32), PointId(j as u32));
-        self.metric.dist_from_proxy(self.metric.proxy_with_norms(
-            self.store.row(a),
-            self.store.row(b),
-            self.store.norm_sq(a),
-            self.store.norm_sq(b),
-        ))
+        self.metric
+            .dist_from_proxy(self.metric.proxy_with_sqrt_norms(
+                self.store.row(a),
+                self.store.row(b),
+                self.store.norm(a),
+                self.store.norm(b),
+            ))
     }
 
     /// Distance between row `i` and an external point.

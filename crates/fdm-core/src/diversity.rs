@@ -37,11 +37,11 @@ pub fn diversity_of_ids(store: &PointStore, ids: &[PointId], metric: Metric) -> 
     let mut best = f64::INFINITY;
     for (i, &a) in ids.iter().enumerate() {
         for &b in &ids[i + 1..] {
-            let p = metric.proxy_with_norms(
+            let p = metric.proxy_with_sqrt_norms(
                 store.row(a),
                 store.row(b),
-                store.norm_sq(a),
-                store.norm_sq(b),
+                store.norm(a),
+                store.norm(b),
             );
             if p < best {
                 best = p;

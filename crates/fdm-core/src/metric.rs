@@ -19,7 +19,10 @@
 //! * The [`kernels`] module accumulates in four independent lanes over
 //!   `chunks_exact(4)` so LLVM can keep several FP additions in flight (and
 //!   auto-vectorize); a single-accumulator `f64` loop cannot be reordered
-//!   and serializes on add latency.
+//!   and serializes on add latency. [`Metric`]'s methods do not call these
+//!   directly: they go through [`crate::kernel`], which picks between these
+//!   scalar references and explicit SSE2/AVX2 implementations at runtime
+//!   (bit-identical by construction; see the `kernel` module docs).
 //! * *Proxy* distances ([`Metric::proxy`]) are monotone stand-ins that skip
 //!   the final `sqrt`/`powf`/`acos`: squared distance for Euclidean, the
 //!   `p`-th power sum for Minkowski, negated cosine for Angular. Threshold
@@ -31,6 +34,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{FdmError, Result};
+use crate::kernel;
 
 /// Four-lane accumulator kernels over contiguous `f64` rows.
 ///
@@ -357,19 +361,19 @@ impl Metric {
     pub fn dist(&self, a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
         match self {
-            Metric::Euclidean => kernels::sum_sq_diff(a, b).sqrt(),
-            Metric::Manhattan => kernels::sum_abs_diff(a, b),
-            Metric::Chebyshev => kernels::max_abs_diff(a, b),
+            Metric::Euclidean => kernel::sum_sq_diff(a, b).sqrt(),
+            Metric::Manhattan => kernel::sum_abs_diff(a, b),
+            Metric::Chebyshev => kernel::max_abs_diff(a, b),
             // The L1/L2 special cases skip `powf` entirely — the dominant
             // cost for the two most common Minkowski orders.
-            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff(a, b),
-            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff(a, b).sqrt(),
+            Metric::Minkowski(p) if *p == 1.0 => kernel::sum_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 2.0 => kernel::sum_sq_diff(a, b).sqrt(),
             Metric::Minkowski(p) => kernels::sum_pow_diff(a, b, *p).powf(1.0 / *p),
             Metric::Angular => self.dist_from_proxy(self.proxy_with_norms(
                 a,
                 b,
-                kernels::norm_sq(a),
-                kernels::norm_sq(b),
+                kernel::norm_sq(a),
+                kernel::norm_sq(b),
             )),
         }
     }
@@ -387,9 +391,7 @@ impl Metric {
     #[inline]
     pub fn proxy(&self, a: &[f64], b: &[f64]) -> f64 {
         match self {
-            Metric::Angular => {
-                self.proxy_with_norms(a, b, kernels::norm_sq(a), kernels::norm_sq(b))
-            }
+            Metric::Angular => self.proxy_with_norms(a, b, kernel::norm_sq(a), kernel::norm_sq(b)),
             _ => self.proxy_with_norms(a, b, 0.0, 0.0),
         }
     }
@@ -402,11 +404,11 @@ impl Metric {
     pub fn proxy_with_norms(&self, a: &[f64], b: &[f64], na_sq: f64, nb_sq: f64) -> f64 {
         debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
         match self {
-            Metric::Euclidean => kernels::sum_sq_diff(a, b),
-            Metric::Manhattan => kernels::sum_abs_diff(a, b),
-            Metric::Chebyshev => kernels::max_abs_diff(a, b),
-            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff(a, b),
-            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff(a, b),
+            Metric::Euclidean => kernel::sum_sq_diff(a, b),
+            Metric::Manhattan => kernel::sum_abs_diff(a, b),
+            Metric::Chebyshev => kernel::max_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 1.0 => kernel::sum_abs_diff(a, b),
+            Metric::Minkowski(p) if *p == 2.0 => kernel::sum_sq_diff(a, b),
             Metric::Minkowski(p) => kernels::sum_pow_diff(a, b, *p),
             Metric::Angular => {
                 if na_sq == 0.0 || nb_sq == 0.0 {
@@ -415,9 +417,32 @@ impl Metric {
                     // poison min-distances with NaN. −cos(π/2) = 0.
                     return 0.0;
                 }
-                let cos = (kernels::dot(a, b) / (na_sq.sqrt() * nb_sq.sqrt())).clamp(-1.0, 1.0);
+                let cos = (kernel::dot(a, b) / (na_sq.sqrt() * nb_sq.sqrt())).clamp(-1.0, 1.0);
                 -cos
             }
+        }
+    }
+
+    /// [`Metric::proxy_with_norms`] with precomputed L2 norms (`√(Σ a_i²)`,
+    /// *not* squared) — the form the point arena caches alongside each row.
+    ///
+    /// Bit-identical to [`Metric::proxy_with_norms`] called with the
+    /// corresponding squared norms: `sqrt` is correctly rounded, so a cached
+    /// `norm_sq.sqrt()` equals the inline `na_sq.sqrt()` computed from the
+    /// same cached `norm_sq`. Saves the two square roots per pair on the
+    /// Angular hot path.
+    #[inline]
+    pub fn proxy_with_sqrt_norms(&self, a: &[f64], b: &[f64], na: f64, nb: f64) -> f64 {
+        match self {
+            Metric::Angular => {
+                debug_assert_eq!(a.len(), b.len(), "points must have equal dimension");
+                if na == 0.0 || nb == 0.0 {
+                    return 0.0;
+                }
+                let cos = (kernel::dot(a, b) / (na * nb)).clamp(-1.0, 1.0);
+                -cos
+            }
+            _ => self.proxy_with_norms(a, b, 0.0, 0.0),
         }
     }
 
@@ -472,11 +497,11 @@ impl Metric {
     #[inline]
     pub fn proxy_at_least(&self, a: &[f64], b: &[f64], na_sq: f64, nb_sq: f64, bound: f64) -> bool {
         match self {
-            Metric::Euclidean => kernels::sum_sq_diff_at_least(a, b, bound),
-            Metric::Manhattan => kernels::sum_abs_diff_at_least(a, b, bound),
+            Metric::Euclidean => kernel::sum_sq_diff_at_least(a, b, bound),
+            Metric::Manhattan => kernel::sum_abs_diff_at_least(a, b, bound),
             Metric::Chebyshev => kernels::max_abs_diff_at_least(a, b, bound),
-            Metric::Minkowski(p) if *p == 1.0 => kernels::sum_abs_diff_at_least(a, b, bound),
-            Metric::Minkowski(p) if *p == 2.0 => kernels::sum_sq_diff_at_least(a, b, bound),
+            Metric::Minkowski(p) if *p == 1.0 => kernel::sum_abs_diff_at_least(a, b, bound),
+            Metric::Minkowski(p) if *p == 2.0 => kernel::sum_sq_diff_at_least(a, b, bound),
             Metric::Minkowski(p) => kernels::sum_pow_diff_at_least(a, b, *p, bound),
             // The dot product is not monotone; evaluate the full proxy.
             Metric::Angular => self.proxy_with_norms(a, b, na_sq, nb_sq) >= bound,

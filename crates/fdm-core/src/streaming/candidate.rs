@@ -15,7 +15,8 @@
 //! [`Metric::proxy_from_dist`]), so the hot threshold test performs no
 //! `sqrt`/`acos` at all.
 
-use crate::metric::{kernels, Metric};
+use crate::kernel::{self, PrefilterKind};
+use crate::metric::Metric;
 use crate::point::{Element, PointId, PointStore};
 
 /// Per-arrival cache of proxy distances from one arriving point to arena
@@ -34,15 +35,52 @@ use crate::point::{Element, PointId, PointStore};
 /// counterparts and every term is non-negative, so `full_proxy ≥ bound`
 /// agrees exactly with the early-exit comparison (pinned by
 /// `tests/kernel_parity.rs`).
+///
+/// When the arena has a synced `f32` mirror and the kernel policy allows it
+/// (see [`kernel::prefilter_enabled`]), [`ArrivalProxies::at_least`] first
+/// evaluates the proxy in `f32` against a certified error envelope and only
+/// runs the exact `f64` kernel when the bound falls inside the band — so
+/// threshold decisions stay bit-identical while most tests never touch the
+/// `f64` rows. What is cached per `(arrival, row)` is the *certified
+/// interval* `[p32 − err, p32 + err]`, not the raw `f32` value: candidates
+/// re-testing the row against other thresholds pay two comparisons — the
+/// same cost as the exact-slot lookup — instead of re-deriving the
+/// envelope. Counter updates batch into plain fields and flush to the
+/// arena's atomic counters once per arrival
+/// ([`ArrivalProxies::flush_prefilter_counters`]); a per-probe `fetch_add`
+/// would cost more than the memoized test it instruments.
 #[derive(Debug, Clone, Default)]
 pub struct ArrivalProxies {
-    /// Proxy to arena row `i`, valid iff `stamps[i] == epoch`.
+    /// Exact proxy to arena row `i`, valid iff `stamps[i] == epoch`.
     vals: Vec<f64>,
-    /// Arrival counter at which each slot was last written.
+    /// Arrival counter at which each exact slot was last written.
     stamps: Vec<u64>,
+    /// Lower edge of row `i`'s certified band (`p32 − err`): bounds at or
+    /// below it are certified `true`. Valid iff `stamps32[i] == epoch`.
+    lo32: Vec<f64>,
+    /// Upper edge of row `i`'s certified band (`p32 + err`): bounds above
+    /// it are certified `false`; bounds inside `(lo, hi]` fall back to the
+    /// exact kernel. Valid iff `stamps32[i] == epoch`.
+    hi32: Vec<f64>,
+    /// Arrival counter at which each certified-band slot was last written.
+    stamps32: Vec<u64>,
     /// Current arrival's generation stamp (epoch-stamping makes the
     /// per-arrival reset O(1) instead of an arena-length clear).
     epoch: u64,
+    /// L2 norm (`√norm_sq`) of the current arrival (0 unless the metric
+    /// uses norms).
+    norm: f64,
+    /// The arriving point converted once to `f32` (pre-filter only).
+    point32: Vec<f32>,
+    /// Pre-filter error envelope for this arrival: `err = base + slope·p32`.
+    err_base: f64,
+    err_slope: f64,
+    /// `Some(kind)` iff the pre-filter is armed for the current arrival.
+    prefilter: Option<PrefilterKind>,
+    /// Pre-filter hits not yet flushed to the arena's atomic counters.
+    pending_hits: u64,
+    /// Pre-filter fallbacks not yet flushed to the arena's atomic counters.
+    pending_fallbacks: u64,
 }
 
 impl ArrivalProxies {
@@ -51,46 +89,144 @@ impl ArrivalProxies {
         ArrivalProxies::default()
     }
 
-    /// Resets the cache for a new arrival against an arena of `arena_len`
-    /// rows: every slot becomes "unknown" by bumping the generation stamp;
-    /// slot storage grows but is never rewritten.
-    pub fn begin_arrival(&mut self, arena_len: usize) {
+    /// Resets the slot arrays for an arena of `arena_len` rows: every slot
+    /// becomes "unknown" by bumping the generation stamp; slot storage
+    /// grows but is never rewritten.
+    fn reset(&mut self, arena_len: usize) {
         if self.stamps.len() < arena_len {
             // Stamp 0 is never a valid epoch (the first arrival uses 1).
             self.stamps.resize(arena_len, 0);
             self.vals.resize(arena_len, 0.0);
+            self.stamps32.resize(arena_len, 0);
+            self.lo32.resize(arena_len, 0.0);
+            self.hi32.resize(arena_len, 0.0);
         }
         self.epoch += 1;
     }
 
-    /// The proxy distance from the arriving `point` (with squared norm
-    /// `norm_sq`) to arena row `id`, computing it on first use.
+    /// Resets the cache for a new arriving `point`: computes its norm once
+    /// (for norm-using metrics) and arms the `f32` pre-filter when the
+    /// metric admits one, the kernel policy allows it, and the arena's
+    /// mirror is synced (see [`PointStore::sync_f32_mirror`]).
+    pub fn begin_arrival(&mut self, store: &PointStore, metric: Metric, point: &[f64]) {
+        self.reset(store.len());
+        self.norm = if metric.uses_norms() {
+            kernel::norm_sq(point).sqrt()
+        } else {
+            0.0
+        };
+        self.prefilter = None;
+        if kernel::prefilter_enabled(metric) {
+            if let Some(mirror) = store.f32_mirror() {
+                let kind = kernel::prefilter_kind(metric).expect("enabled implies a kind");
+                self.point32.clear();
+                self.point32.reserve(point.len());
+                let mut max_abs = mirror.max_abs();
+                for &c in point {
+                    max_abs = max_abs.max(c.abs());
+                    self.point32.push(c as f32);
+                }
+                let (base, slope) = kernel::f32_error_coefficients(kind, point.len(), max_abs);
+                self.err_base = base;
+                self.err_slope = slope;
+                self.prefilter = Some(kind);
+            }
+        }
+    }
+
+    /// The exact proxy distance from the arriving `point` to arena row
+    /// `id`, computing it on first use (cached norms from the arena, the
+    /// arrival norm from [`ArrivalProxies::begin_arrival`]).
     #[inline]
-    pub fn proxy(
-        &mut self,
-        store: &PointStore,
-        metric: Metric,
-        point: &[f64],
-        norm_sq: f64,
-        id: PointId,
-    ) -> f64 {
+    pub fn proxy(&mut self, store: &PointStore, metric: Metric, point: &[f64], id: PointId) -> f64 {
         let i = id.index();
         if self.stamps[i] != self.epoch {
             self.stamps[i] = self.epoch;
             self.vals[i] =
-                metric.proxy_with_norms(point, store.row(id), norm_sq, store.norm_sq(id));
+                metric.proxy_with_sqrt_norms(point, store.row(id), self.norm, store.norm(id));
         }
         self.vals[i]
     }
 
-    /// Populates the cache with the proxy to **every** arena row for one
-    /// arriving point. This is the batch-path entry
-    /// ([`BatchProxies::compute`] fills one cache per batch element and
-    /// keeps the dense value rows for read-only sharing across lanes).
+    /// Whether `proxy(point, row id) ≥ bound`, deciding through the `f32`
+    /// pre-filter when it is armed and the margin clears the certified
+    /// band; otherwise (and always once an exact value is cached) through
+    /// the exact `f64` proxy. Decisions are bit-identical to
+    /// [`ArrivalProxies::proxy`]` ≥ bound` — the pre-filter only answers
+    /// when it provably agrees. Hits and fallbacks accumulate in plain
+    /// pending fields; callers flush them with
+    /// [`ArrivalProxies::flush_prefilter_counters`] (hot paths do it once
+    /// per arrival, after the probe loop).
+    #[inline]
+    pub fn at_least(
+        &mut self,
+        store: &PointStore,
+        metric: Metric,
+        point: &[f64],
+        id: PointId,
+        bound: f64,
+    ) -> bool {
+        let i = id.index();
+        if self.stamps[i] == self.epoch {
+            return self.vals[i] >= bound;
+        }
+        if let Some(kind) = self.prefilter {
+            if let Some(mirror) = store.f32_mirror() {
+                if self.stamps32[i] != self.epoch {
+                    let p32 = f64::from(kernel::proxy_f32(kind, &self.point32, mirror.row(id)));
+                    let err = self.err_base + self.err_slope * p32;
+                    // Certified band: bounds ≤ lo are provably `true`,
+                    // bounds > hi provably `false`, anything inside falls
+                    // back. A non-finite proxy or envelope certifies
+                    // nothing — an empty band forces the fallback path,
+                    // exactly like `kernel::certified_at_least`.
+                    let (lo, hi) = if p32.is_finite() && err.is_finite() {
+                        (p32 - err, p32 + err)
+                    } else {
+                        (f64::NEG_INFINITY, f64::INFINITY)
+                    };
+                    self.stamps32[i] = self.epoch;
+                    self.lo32[i] = lo;
+                    self.hi32[i] = hi;
+                }
+                if bound <= self.lo32[i] {
+                    self.pending_hits += 1;
+                    return true;
+                }
+                if bound > self.hi32[i] {
+                    self.pending_hits += 1;
+                    return false;
+                }
+                self.pending_fallbacks += 1;
+            }
+        }
+        self.proxy(store, metric, point, id) >= bound
+    }
+
+    /// Flushes the pending pre-filter hit/fallback tallies to the arena's
+    /// atomic counters (surfaced through `STATS`). Hot insert paths call
+    /// this once per arrival rather than paying a `fetch_add` per probe.
+    #[inline]
+    pub fn flush_prefilter_counters(&mut self, store: &PointStore) {
+        if self.pending_hits != 0 || self.pending_fallbacks != 0 {
+            store.record_prefilter(self.pending_hits, self.pending_fallbacks);
+            self.pending_hits = 0;
+            self.pending_fallbacks = 0;
+        }
+    }
+
+    /// Populates the cache with the exact proxy to **every** arena row for
+    /// one arriving point (with squared norm `norm_sq`). This is the
+    /// batch-path entry ([`BatchProxies::compute`] fills one cache per
+    /// batch element and keeps the dense value rows for read-only sharing
+    /// across lanes); the pre-filter stays disarmed — a dense table fills
+    /// every slot exactly once, so there is nothing to skip.
     pub fn fill(&mut self, store: &PointStore, metric: Metric, point: &[f64], norm_sq: f64) {
-        self.begin_arrival(store.len());
+        self.reset(store.len());
+        self.norm = norm_sq.sqrt();
+        self.prefilter = None;
         for id in store.ids() {
-            self.proxy(store, metric, point, norm_sq, id);
+            self.proxy(store, metric, point, id);
         }
     }
 }
@@ -238,7 +374,7 @@ impl Candidate {
     #[inline]
     pub fn distance_to(&self, store: &PointStore, point: &[f64]) -> f64 {
         let norm_sq = if self.metric.uses_norms() {
-            kernels::norm_sq(point)
+            kernel::norm_sq(point)
         } else {
             0.0
         };
@@ -266,21 +402,23 @@ impl Candidate {
 
     /// [`Candidate::accepts`] through a shared per-arrival proxy cache: the
     /// distance to each arena row is computed at most once per arrival no
-    /// matter how many candidates test it. Decisions are bit-identical to
-    /// the uncached test (see [`ArrivalProxies`]).
+    /// matter how many candidates test it, and each threshold test may be
+    /// decided by the `f32` pre-filter when it is armed. Decisions are
+    /// bit-identical to the uncached test (see [`ArrivalProxies`]). The
+    /// cache must have been prepared for this arrival with
+    /// [`ArrivalProxies::begin_arrival`].
     #[inline]
     pub fn accepts_cached(
         &self,
         store: &PointStore,
         cache: &mut ArrivalProxies,
         point: &[f64],
-        norm_sq: f64,
     ) -> bool {
         !self.is_full()
             && self
                 .members
                 .iter()
-                .all(|&id| cache.proxy(store, self.metric, point, norm_sq, id) >= self.mu_proxy)
+                .all(|&id| cache.at_least(store, self.metric, point, id, self.mu_proxy))
     }
 
     /// Records an already-interned accepted point (see
@@ -302,7 +440,7 @@ impl Candidate {
     #[inline]
     pub fn try_insert(&mut self, store: &mut PointStore, element: &Element) -> bool {
         let norm_sq = if self.metric.uses_norms() {
-            kernels::norm_sq(&element.point)
+            kernel::norm_sq(&element.point)
         } else {
             0.0
         };
@@ -588,7 +726,7 @@ mod tests {
         let mut c2 = Candidate::new(5.0, 4, Metric::Euclidean);
         for (i, x) in [0.0, 2.0, 7.0].iter().enumerate() {
             let e = elem(i, *x);
-            let nsq = kernels::norm_sq(&e.point);
+            let nsq = kernel::norm_sq(&e.point);
             let a1 = c1.accepts(&store, &e.point, nsq);
             let a2 = c2.accepts(&store, &e.point, nsq);
             if a1 || a2 {

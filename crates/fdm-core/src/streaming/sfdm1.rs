@@ -29,7 +29,8 @@ use crate::diversity::diversity_of_ids;
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::guess::GuessLadder;
-use crate::metric::{kernels, Metric};
+use crate::kernel;
+use crate::metric::Metric;
 use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
@@ -135,17 +136,18 @@ impl Sfdm1 {
         debug_assert!(element.group < 2, "SFDM1 requires group labels in {{0, 1}}");
         self.ensure_store_dim(element.dim());
         self.processed += 1;
-        let norm_sq = if self.metric.uses_norms() {
-            kernels::norm_sq(&element.point)
-        } else {
-            0.0
-        };
         // One shared proxy cache per arrival: candidates of neighboring
         // guesses hold largely the same members, so each arena row is
         // evaluated once however many candidates test it. (The freshly
         // interned id never needs a cache slot — it is only pushed into
         // candidates that already made their decision this arrival.)
-        self.scratch.begin_arrival(self.store.len());
+        // Syncing the f32 mirror first lets the cache decide most
+        // threshold tests in f32.
+        if kernel::prefilter_enabled(self.metric) {
+            self.store.sync_f32_mirror();
+        }
+        self.scratch
+            .begin_arrival(&self.store, self.metric, &element.point);
         let mut interned: Option<PointId> = None;
         let store = &mut self.store;
         let scratch = &mut self.scratch;
@@ -154,11 +156,12 @@ impl Sfdm1 {
             .iter_mut()
             .chain(self.specific[element.group].iter_mut())
         {
-            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
+            if candidate.accepts_cached(store, scratch, &element.point) {
                 let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
         }
+        scratch.flush_prefilter_counters(store);
     }
 
     /// Processes a batch of stream elements; equivalent to element-by-element
@@ -181,7 +184,7 @@ impl Sfdm1 {
         self.ensure_store_dim(batch[0].dim());
         self.processed += batch.len();
         let norms: Vec<f64> = if self.metric.uses_norms() {
-            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+            batch.iter().map(|e| kernel::norm_sq(&e.point)).collect()
         } else {
             vec![0.0; batch.len()]
         };

@@ -36,9 +36,10 @@ use crate::diversity::diversity_of_ids;
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
 use crate::guess::GuessLadder;
+use crate::kernel;
 use crate::matroid::intersection::max_common_independent_set;
 use crate::matroid::PartitionMatroid;
-use crate::metric::{kernels, Metric};
+use crate::metric::Metric;
 use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
@@ -178,15 +179,16 @@ impl Sfdm2 {
         );
         self.ensure_store_dim(element.dim());
         self.processed += 1;
-        let norm_sq = if self.metric.uses_norms() {
-            kernels::norm_sq(&element.point)
-        } else {
-            0.0
-        };
         // One shared proxy cache per arrival (see the Sfdm1 counterpart):
         // the blind and group ladders overlap heavily in members, so each
         // arena row costs one kernel evaluation per arrival at most.
-        self.scratch.begin_arrival(self.store.len());
+        // Syncing the f32 mirror first lets the cache decide most
+        // threshold tests in f32.
+        if kernel::prefilter_enabled(self.metric) {
+            self.store.sync_f32_mirror();
+        }
+        self.scratch
+            .begin_arrival(&self.store, self.metric, &element.point);
         let mut interned: Option<PointId> = None;
         let store = &mut self.store;
         let scratch = &mut self.scratch;
@@ -195,11 +197,12 @@ impl Sfdm2 {
             .iter_mut()
             .chain(self.specific[element.group].iter_mut())
         {
-            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
+            if candidate.accepts_cached(store, scratch, &element.point) {
                 let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
         }
+        scratch.flush_prefilter_counters(store);
     }
 
     /// Processes a batch of stream elements; equivalent to element-by-element
@@ -223,7 +226,7 @@ impl Sfdm2 {
         self.ensure_store_dim(batch[0].dim());
         self.processed += batch.len();
         let norms: Vec<f64> = if self.metric.uses_norms() {
-            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+            batch.iter().map(|e| kernel::norm_sq(&e.point)).collect()
         } else {
             vec![0.0; batch.len()]
         };

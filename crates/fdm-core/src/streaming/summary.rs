@@ -63,6 +63,12 @@ pub trait DynSummary: Send + Sync + std::fmt::Debug {
 
     /// Captures a complete snapshot through the persistence envelope.
     fn snapshot(&self) -> Snapshot;
+
+    /// Lifetime f32 pre-filter `(hits, fallbacks)` recorded while serving
+    /// this summary; `(0, 0)` when the pre-filter never engaged.
+    fn prefilter_counters(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Every snapshottable shard algorithm is a summary (this is how the four
@@ -102,6 +108,10 @@ where
     fn snapshot(&self) -> Snapshot {
         Snapshottable::snapshot(self)
     }
+
+    fn prefilter_counters(&self) -> (u64, u64) {
+        ShardAlgorithm::prefilter_counters(self)
+    }
 }
 
 /// K-way sharded wrapping of any base summary is a summary too.
@@ -140,6 +150,10 @@ where
 
     fn snapshot(&self) -> Snapshot {
         Snapshottable::snapshot(self)
+    }
+
+    fn prefilter_counters(&self) -> (u64, u64) {
+        ShardedStream::prefilter_counters(self)
     }
 }
 

@@ -19,7 +19,8 @@ use serde::Serialize as _;
 use crate::dataset::DistanceBounds;
 use crate::error::{FdmError, Result};
 use crate::guess::GuessLadder;
-use crate::metric::{kernels, Metric};
+use crate::kernel;
+use crate::metric::Metric;
 use crate::par::maybe_par_map;
 use crate::persist::{self, Snapshottable};
 use crate::point::{Element, PointId, PointStore};
@@ -103,24 +104,25 @@ impl StreamingDiversityMaximization {
     pub fn insert(&mut self, element: &Element) {
         self.ensure_store_dim(element.dim());
         self.processed += 1;
-        let norm_sq = if self.metric.uses_norms() {
-            kernels::norm_sq(&element.point)
-        } else {
-            0.0
-        };
         // One shared proxy cache per arrival: the ladder's candidates hold
         // overlapping members, so each retained row costs one kernel
-        // evaluation however many guesses test it.
-        self.scratch.begin_arrival(self.store.len());
+        // evaluation however many guesses test it. Syncing the f32 mirror
+        // first lets the cache decide most threshold tests in f32.
+        if kernel::prefilter_enabled(self.metric) {
+            self.store.sync_f32_mirror();
+        }
+        self.scratch
+            .begin_arrival(&self.store, self.metric, &element.point);
         let mut interned: Option<PointId> = None;
         let store = &mut self.store;
         let scratch = &mut self.scratch;
         for candidate in &mut self.candidates {
-            if candidate.accepts_cached(store, scratch, &element.point, norm_sq) {
+            if candidate.accepts_cached(store, scratch, &element.point) {
                 let id = *interned.get_or_insert_with(|| store.push_element(element));
                 candidate.push(id);
             }
         }
+        scratch.flush_prefilter_counters(store);
     }
 
     /// Processes a batch of stream elements, probing the independent
@@ -144,7 +146,7 @@ impl StreamingDiversityMaximization {
         self.ensure_store_dim(batch[0].dim());
         self.processed += batch.len();
         let norms: Vec<f64> = if self.metric.uses_norms() {
-            batch.iter().map(|e| kernels::norm_sq(&e.point)).collect()
+            batch.iter().map(|e| kernel::norm_sq(&e.point)).collect()
         } else {
             vec![0.0; batch.len()]
         };

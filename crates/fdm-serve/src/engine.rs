@@ -857,12 +857,15 @@ impl Engine {
     /// checkpoint health over the wire.
     pub fn stats(&self, name: &str) -> std::result::Result<String, String> {
         let entry = self.entry(name)?;
-        let (params, processed, stored) = {
+        let (params, processed, stored, f32_hits, f32_fallbacks) = {
             let summary = entry.summary.read().unwrap();
+            let (hits, fallbacks) = summary.prefilter_counters();
             (
                 summary.params(),
                 summary.processed(),
                 summary.stored_elements(),
+                hits,
+                fallbacks,
             )
         };
         let counters = entry.durable.lock().unwrap().counters;
@@ -874,7 +877,7 @@ impl Engine {
         Ok(format!(
             "stream={name} algorithm={} processed={processed} stored={stored} dim={} k={} \
              shards={}{window} wal_records={} snapshots={} deltas={} last_snapshot_bytes={} \
-             last_snapshot_format={}",
+             last_snapshot_format={} kernel={} f32_hits={f32_hits} f32_fallbacks={f32_fallbacks}",
             params.algorithm,
             params.dim,
             params.k,
@@ -884,6 +887,7 @@ impl Engine {
             counters.delta_snapshots,
             counters.last_snapshot_bytes,
             counters.last_snapshot_format.unwrap_or("none"),
+            fdm_core::kernel::active_kernel(),
         ))
     }
 }
