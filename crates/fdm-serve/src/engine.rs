@@ -61,14 +61,50 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 use fdm_core::error::{FdmError, Result};
 use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams};
 use fdm_core::point::Element;
 use fdm_core::streaming::summary::{self, DynSummary, SummarySpec};
 
+use crate::metrics::{self, Metrics, StreamMetrics};
 use crate::protocol::{parse_insert, StreamSpec};
+
+/// Acquires a shared read lock, recovering from poison: a panic in one
+/// tenant's session (contained at the session boundary) must degrade to
+/// one failed request, not brick every other tenant on a poisoned lock.
+/// Readers cannot poison an `RwLock`, so the inner value a recovered
+/// guard exposes is whatever the panicking *writer* left — the write
+/// paths below keep that window to a single `DynSummary::insert` call.
+pub(crate) fn read_lock<T: ?Sized>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Poison-recovering exclusive acquisition; see [`read_lock`].
+pub(crate) fn write_lock<T: ?Sized>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Poison-recovering mutex acquisition; see [`read_lock`].
+pub(crate) fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Renders a caught panic payload (the `&str`/`String` forms `panic!`
+/// produces) for a typed `ERR` reply.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 /// Engine-level durability configuration.
 #[derive(Debug, Clone)]
@@ -87,6 +123,13 @@ pub struct ServeConfig {
     /// deltas the next auto-checkpoint collapses the chain into a fresh
     /// full snapshot. `0` disables deltas (every checkpoint is full).
     pub full_every: u64,
+    /// Backpressure bound: at most this many `INSERT`s may be in flight
+    /// or queued per stream; further ones get `ERR busy` instead of
+    /// piling another blocked thread onto the stream's write lock.
+    pub max_pending_inserts: usize,
+    /// Per-stream insert rate limit (token bucket, one-second burst);
+    /// `None` disables. Over-limit `INSERT`s get `ERR busy`.
+    pub rate_limit: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +139,43 @@ impl Default for ServeConfig {
             snapshot_every: None,
             snapshot_format: SnapshotFormat::Binary,
             full_every: 8,
+            max_pending_inserts: 256,
+            rate_limit: None,
+        }
+    }
+}
+
+/// Per-stream token-bucket insert limiter: refills at `per_sec`, holds at
+/// most one second of burst. Guarded by its own tiny mutex — held only for
+/// the arithmetic, never across I/O.
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    per_sec: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(per_sec: f64) -> TokenBucket {
+        let capacity = per_sec.max(1.0);
+        TokenBucket {
+            tokens: capacity,
+            capacity,
+            per_sec,
+            last_refill: Instant::now(),
+        }
+    }
+
+    fn try_take(&mut self) -> bool {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * self.per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
         }
     }
 }
@@ -157,19 +237,40 @@ impl DurableState {
 struct StreamEntry {
     summary: RwLock<Box<dyn DynSummary>>,
     durable: Mutex<DurableState>,
+    /// Latency histograms, reachable from the hot path without a map
+    /// lookup; rendered by [`Engine::render_metrics`].
+    metrics: Arc<StreamMetrics>,
+    /// `INSERT`s currently in flight or waiting on `durable` — the
+    /// bounded pending queue behind `ERR busy`.
+    pending_inserts: AtomicUsize,
+    /// Optional per-stream insert rate limiter.
+    limiter: Option<Mutex<TokenBucket>>,
 }
 
 impl StreamEntry {
-    fn new(summary: Box<dyn DynSummary>) -> StreamEntry {
+    fn new(summary: Box<dyn DynSummary>, rate_limit: Option<f64>) -> StreamEntry {
         StreamEntry {
             summary: RwLock::new(summary),
             durable: Mutex::new(DurableState::new()),
+            metrics: StreamMetrics::new(),
+            pending_inserts: AtomicUsize::new(0),
+            limiter: rate_limit.map(|per_sec| Mutex::new(TokenBucket::new(per_sec))),
         }
     }
 
     /// The envelope parameters of the hosted summary (short read lock).
     fn params(&self) -> SnapshotParams {
-        self.summary.read().unwrap().params()
+        read_lock(&self.summary).params()
+    }
+}
+
+/// Decrements a pending-insert counter on every exit path, panics
+/// included.
+struct PendingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -209,6 +310,47 @@ fn crash_point(point: &str) {
     if crash_requested(point) {
         eprintln!("fdm-serve: crash point `{point}` hit; aborting");
         std::process::abort();
+    }
+}
+
+/// Deterministic **panic** injection for the containment suite: when
+/// `FDM_SERVE_PANIC_POINT` names this point, the calling thread panics —
+/// exactly the failure the catch-unwind boundaries and poison-recovering
+/// locks must degrade to one `ERR` reply. Directive grammar:
+///
+/// * `<point>` — every hit panics;
+/// * `<point>:<n>` (numeric) — only the n-th hit panics;
+/// * `<point>:<detail>` — only hits whose `detail` (e.g. the stream
+///   name) matches panic.
+///
+/// Inert (one cached env read) in production.
+pub(crate) fn panic_point(point: &str, detail: &str) {
+    use std::sync::atomic::AtomicU64;
+    use std::sync::OnceLock;
+    static HITS: AtomicU64 = AtomicU64::new(0);
+    static ARMED: OnceLock<Option<(String, Option<String>)>> = OnceLock::new();
+    let armed = ARMED.get_or_init(|| {
+        let value = std::env::var("FDM_SERVE_PANIC_POINT").ok()?;
+        match value.split_once(':') {
+            Some((name, filter)) => Some((name.to_string(), Some(filter.to_string()))),
+            None => Some((value, None)),
+        }
+    });
+    let Some((name, filter)) = armed else {
+        return;
+    };
+    if name != point {
+        return;
+    }
+    let fire = match filter.as_deref() {
+        None => true,
+        Some(f) => match f.parse::<u64>() {
+            Ok(nth) => HITS.fetch_add(1, Ordering::SeqCst) + 1 == nth,
+            Err(_) => f == detail,
+        },
+    };
+    if fire {
+        panic!("deliberate test panic at `{point}` ({detail})");
     }
 }
 
@@ -393,6 +535,10 @@ impl<'a> WalReplay<'a> {
 pub struct Engine {
     streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
     config: ServeConfig,
+    metrics: Arc<Metrics>,
+    /// Set by [`Engine::begin_drain`]: listeners refuse new connections
+    /// while in-flight sessions finish.
+    draining: AtomicBool,
 }
 
 impl Engine {
@@ -404,6 +550,8 @@ impl Engine {
         let engine = Engine {
             streams: RwLock::new(HashMap::new()),
             config,
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
         };
         if let Some(dir) = engine.config.data_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| FdmError::SnapshotIo {
@@ -416,9 +564,51 @@ impl Engine {
 
     /// Names of the hosted streams, sorted.
     pub fn stream_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.streams.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = read_lock(&self.streams).keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// The process-wide metrics registry (connection gauges, contained
+    /// panics, busy rejections); per-stream series render with
+    /// [`Engine::render_metrics`].
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Flags the engine as draining: listener loops refuse new
+    /// connections, already-accepted sessions run to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Engine::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Graceful-drain finalization: checkpoint every stream with a full
+    /// snapshot (anchoring its chain and truncating its WAL, so recovery
+    /// after a drain replays **zero** records) and fsync the WAL handle.
+    /// Returns the number of streams checkpointed. Serializes with any
+    /// still-running `INSERT` on each stream's durable mutex, so an
+    /// in-flight insert is either fully checkpointed or fully in the WAL.
+    pub fn drain(&self) -> Result<usize> {
+        let entries: Vec<(String, Arc<StreamEntry>)> = read_lock(&self.streams)
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.clone()))
+            .collect();
+        for (name, entry) in &entries {
+            let mut durable = lock(&entry.durable);
+            let snapshot = read_lock(&entry.summary).snapshot();
+            self.anchor(name, snapshot, &mut durable)?;
+            if let Some(wal) = durable.wal.as_ref() {
+                wal.sync_all().map_err(|e| FdmError::SnapshotIo {
+                    detail: format!("fsync WAL for {name} during drain: {e}"),
+                })?;
+            }
+        }
+        Ok(entries.len())
     }
 
     fn snap_path(&self, name: &str) -> Option<PathBuf> {
@@ -642,14 +832,14 @@ impl Engine {
             // WAL tail is now part of the state, and the next delta must
             // diff against *this* state, not the pre-crash chain tail.
             let fresh = stream.snapshot();
-            let entry = StreamEntry::new(stream);
+            let entry = StreamEntry::new(stream, self.config.rate_limit);
             {
-                let mut durable = entry.durable.lock().unwrap();
+                let mut durable = lock(&entry.durable);
                 durable.wal = Some(Self::open_wal(&wal_path)?);
                 durable.counters.wal_records = replayed;
                 self.anchor(&name, fresh, &mut durable)?;
             }
-            self.streams.write().unwrap().insert(name, Arc::new(entry));
+            write_lock(&self.streams).insert(name, Arc::new(entry));
         }
         Ok(())
     }
@@ -657,9 +847,7 @@ impl Engine {
     /// Looks up a stream's shared entry (registry lock held only for the
     /// map access).
     fn entry(&self, name: &str) -> std::result::Result<Arc<StreamEntry>, String> {
-        self.streams
-            .read()
-            .unwrap()
+        read_lock(&self.streams)
             .get(name)
             .cloned()
             .ok_or_else(|| format!("no stream named `{name}` (OPEN or RESTORE one first)"))
@@ -674,7 +862,7 @@ impl Engine {
     pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<String, String> {
         let summary_spec = spec.to_summary_spec().map_err(|e| e.to_string())?;
         let requested = summary::spec_params(&summary_spec).map_err(|e| e.to_string())?;
-        let mut streams = self.streams.write().unwrap();
+        let mut streams = write_lock(&self.streams);
         if let Some(existing) = streams.get(name) {
             let existing = existing.clone();
             drop(streams);
@@ -683,14 +871,14 @@ impl Engine {
                 .map_err(|e| e.to_string())?;
             return Ok(format!(
                 "attached {name} processed={}",
-                existing.summary.read().unwrap().processed()
+                read_lock(&existing.summary).processed()
             ));
         }
         let stream = summary::build(&summary_spec).map_err(|e| e.to_string())?;
         let first = stream.snapshot();
-        let entry = StreamEntry::new(stream);
+        let entry = StreamEntry::new(stream, self.config.rate_limit);
         {
-            let mut durable = entry.durable.lock().unwrap();
+            let mut durable = lock(&entry.durable);
             self.anchor(name, first, &mut durable)
                 .map_err(|e| e.to_string())?;
         }
@@ -705,22 +893,55 @@ impl Engine {
     /// running during the disk I/O — and the summary write lock only for
     /// the in-memory apply, so concurrent `QUERY`s overlap with everything
     /// but that instant.
+    ///
+    /// Protection happens *before* the durable mutex is touched:
+    ///
+    /// * the token-bucket rate limiter (when configured) rejects
+    ///   over-limit inserts with `ERR busy` instead of queueing them;
+    /// * the bounded pending counter rejects inserts that would pile more
+    ///   than [`ServeConfig::max_pending_inserts`] blocked threads onto
+    ///   this stream's write path.
+    ///
+    /// A panic inside the summary apply (the only window where in-memory
+    /// state can diverge from the log) is **contained**: the WAL is rolled
+    /// back to its pre-append length so log and state stay in lockstep,
+    /// and the caller gets a typed `ERR` instead of a dead connection.
     pub fn insert(
         &self,
         name: &str,
         element: &Element,
         raw_line: &str,
     ) -> std::result::Result<String, String> {
+        let start = Instant::now();
         let entry = self.entry(name)?;
-        let mut durable = entry.durable.lock().unwrap();
+        if let Some(limiter) = entry.limiter.as_ref() {
+            if !lock(limiter).try_take() {
+                self.metrics.busy_rate_limited();
+                return Err(format!(
+                    "busy: stream `{name}` is over its insert rate limit; retry later"
+                ));
+            }
+        }
+        let queued = entry.pending_inserts.fetch_add(1, Ordering::SeqCst);
+        let _pending = PendingGuard(&entry.pending_inserts);
+        if queued >= self.config.max_pending_inserts {
+            self.metrics.busy_queue_full();
+            return Err(format!(
+                "busy: stream `{name}` has {queued} pending inserts (max {}); retry later",
+                self.config.max_pending_inserts
+            ));
+        }
+        let mut durable = lock(&entry.durable);
         // `durable` serializes writers, so the sequence number read here
         // cannot race another insert's apply.
         let seq = {
-            let summary = entry.summary.read().unwrap();
+            let summary = read_lock(&entry.summary);
             check_element(&summary.params(), element)?;
             summary.processed() as u64 + 1
         };
+        let mut wal_len_before = 0u64;
         if let Some(wal) = durable.wal.as_mut() {
+            wal_len_before = wal.metadata().map(|m| m.len()).unwrap_or(0);
             // One pre-formatted buffer, one write syscall: a crash can
             // still tear the record (recovery tolerates a torn tail), but
             // the window is a single partial write, not the several
@@ -732,18 +953,38 @@ impl Engine {
             durable.counters.wal_records += 1;
         }
         crash_point("between-wal-append-and-apply");
-        entry.summary.write().unwrap().insert(element);
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut summary = write_lock(&entry.summary);
+            panic_point("insert-apply", name);
+            summary.insert(element);
+        }));
+        if let Err(payload) = applied {
+            // The apply never happened: un-append the WAL record so the
+            // log matches the in-memory state — otherwise the next insert
+            // would reuse this sequence number and replay after a crash
+            // would apply the wrong record.
+            if let Some(wal) = durable.wal.as_mut() {
+                let _ = wal.set_len(wal_len_before);
+                durable.counters.wal_records = durable.counters.wal_records.saturating_sub(1);
+            }
+            self.metrics.panic_contained();
+            return Err(format!(
+                "internal error (panic contained) applying INSERT to `{name}`: {}",
+                panic_message(&*payload)
+            ));
+        }
         durable.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
             if every > 0 && durable.inserts_since_snapshot >= every {
                 // Capture under a short read lock; encode + write happen
                 // below it (readers keep answering while the bytes hit
                 // disk).
-                let snapshot = entry.summary.read().unwrap().snapshot();
+                let snapshot = read_lock(&entry.summary).snapshot();
                 self.anchor_delta(name, snapshot, &mut durable)
                     .map_err(|e| e.to_string())?;
             }
         }
+        entry.metrics.insert_latency.observe(start.elapsed());
         Ok(format!("inserted processed={seq}"))
     }
 
@@ -751,8 +992,9 @@ impl Engine {
     /// match the configured solution size. Runs under the summary *read*
     /// lock: concurrent queries (and snapshot captures) overlap freely.
     pub fn query(&self, name: &str, k: Option<usize>) -> std::result::Result<String, String> {
+        let start = Instant::now();
         let entry = self.entry(name)?;
-        let summary = entry.summary.read().unwrap();
+        let summary = read_lock(&entry.summary);
         let configured = summary.params().k;
         if let Some(k) = k {
             if k != configured {
@@ -761,8 +1003,14 @@ impl Engine {
                 ));
             }
         }
+        // Read-path panics (contained at the session boundary) cannot
+        // poison the RwLock — readers don't poison — so no engine-level
+        // catch is needed here; the hook pins that claim.
+        panic_point("query-finalize", name);
         let solution = summary.finalize().map_err(|e| e.to_string())?;
         let ids: Vec<String> = solution.ids().iter().map(usize::to_string).collect();
+        drop(summary);
+        entry.metrics.query_latency.observe(start.elapsed());
         Ok(format!(
             "k={} diversity={} ids={}",
             solution.len(),
@@ -788,7 +1036,7 @@ impl Engine {
         let format = format.unwrap_or(self.config.snapshot_format);
         let entry = self.entry(name)?;
         let (snapshot, processed) = {
-            let summary = entry.summary.read().unwrap();
+            let summary = read_lock(&entry.summary);
             (summary.snapshot(), summary.processed())
         };
         // Off-lock from here on.
@@ -796,7 +1044,7 @@ impl Engine {
         snapshot_write_pause();
         fdm_core::persist::write_bytes_atomic(Path::new(path), &bytes)
             .map_err(|e| e.to_string())?;
-        let mut durable = entry.durable.lock().unwrap();
+        let mut durable = lock(&entry.durable);
         durable.counters.full_snapshots += 1;
         durable.counters.last_snapshot_bytes = bytes.len() as u64;
         durable.counters.last_snapshot_format = Some(format.name());
@@ -822,27 +1070,27 @@ impl Engine {
         // Decode happened above, off every lock; now decide create vs
         // replace under the registry write lock so the check cannot go
         // stale against a concurrent creation.
-        let mut streams = self.streams.write().unwrap();
+        let mut streams = write_lock(&self.streams);
         if let Some(existing) = streams.get(name).cloned() {
             drop(streams);
             // Replace in place so every session bound to this stream sees
             // the restored state. Writers are fenced by the durable mutex,
             // readers by the summary write lock below.
-            let mut durable = existing.durable.lock().unwrap();
+            let mut durable = lock(&existing.durable);
             snapshot
                 .params
                 .ensure_compatible(&existing.params())
                 .map_err(|e| e.to_string())?;
             let anchor_snapshot = stream.snapshot();
-            *existing.summary.write().unwrap() = stream;
+            *write_lock(&existing.summary) = stream;
             // The restored state supersedes the WAL chain: re-anchor it.
             self.anchor(name, anchor_snapshot, &mut durable)
                 .map_err(|e| e.to_string())?;
         } else {
             let anchor_snapshot = stream.snapshot();
-            let entry = StreamEntry::new(stream);
+            let entry = StreamEntry::new(stream, self.config.rate_limit);
             {
-                let mut durable = entry.durable.lock().unwrap();
+                let mut durable = lock(&entry.durable);
                 self.anchor(name, anchor_snapshot, &mut durable)
                     .map_err(|e| e.to_string())?;
             }
@@ -858,7 +1106,7 @@ impl Engine {
     pub fn stats(&self, name: &str) -> std::result::Result<String, String> {
         let entry = self.entry(name)?;
         let (params, processed, stored, f32_hits, f32_fallbacks) = {
-            let summary = entry.summary.read().unwrap();
+            let summary = read_lock(&entry.summary);
             let (hits, fallbacks) = summary.prefilter_counters();
             (
                 summary.params(),
@@ -868,7 +1116,7 @@ impl Engine {
                 fallbacks,
             )
         };
-        let counters = entry.durable.lock().unwrap().counters;
+        let counters = lock(&entry.durable).counters;
         let window = if params.window != 0 {
             format!(" window={}", params.window)
         } else {
@@ -889,6 +1137,191 @@ impl Engine {
             counters.last_snapshot_format.unwrap_or("none"),
             fdm_core::kernel::active_kernel(),
         ))
+    }
+
+    /// Renders the full Prometheus text exposition for `/metrics`: the
+    /// per-stream series (geometry, persistence gauges, pre-filter
+    /// counters, latency histograms) followed by the process-wide ones.
+    ///
+    /// Same lock discipline as `STATS`: per stream, a short summary read
+    /// lock to copy the cheap numbers, dropped *before* the durable mutex
+    /// is taken (never both at once, so a scrape cannot deadlock against
+    /// an insert holding durable and waiting on the summary) — and the
+    /// rest is atomic loads. A scrape never blocks inserts for longer
+    /// than those copies.
+    pub fn render_metrics(&self) -> String {
+        struct StreamSample {
+            name: String,
+            processed: usize,
+            stored: usize,
+            f32_hits: u64,
+            f32_fallbacks: u64,
+            counters: PersistCounters,
+            metrics: Arc<StreamMetrics>,
+        }
+        let entries: Vec<(String, Arc<StreamEntry>)> = {
+            let streams = read_lock(&self.streams);
+            let mut entries: Vec<_> = streams
+                .iter()
+                .map(|(name, entry)| (name.clone(), entry.clone()))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            entries
+        };
+        let samples: Vec<StreamSample> = entries
+            .into_iter()
+            .map(|(name, entry)| {
+                let (processed, stored, f32_hits, f32_fallbacks) = {
+                    let summary = read_lock(&entry.summary);
+                    let (hits, fallbacks) = summary.prefilter_counters();
+                    (
+                        summary.processed(),
+                        summary.stored_elements(),
+                        hits,
+                        fallbacks,
+                    )
+                };
+                let counters = lock(&entry.durable).counters;
+                StreamSample {
+                    name,
+                    processed,
+                    stored,
+                    f32_hits,
+                    f32_fallbacks,
+                    counters,
+                    metrics: entry.metrics.clone(),
+                }
+            })
+            .collect();
+        let mut out = String::new();
+        metrics::help_type(&mut out, "fdm_streams", "gauge", "Hosted streams.");
+        out.push_str(&format!("fdm_streams {}\n", samples.len()));
+        metrics::help_type(
+            &mut out,
+            "fdm_stream_processed_total",
+            "counter",
+            "Elements accepted into each stream since it was opened.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_stream_processed_total{{stream=\"{}\"}} {}\n",
+                s.name, s.processed
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_stream_stored",
+            "gauge",
+            "Elements currently held in each stream's summary.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_stream_stored{{stream=\"{}\"}} {}\n",
+                s.name, s.stored
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_wal_records_total",
+            "counter",
+            "WAL records appended per stream since this process opened it.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_wal_records_total{{stream=\"{}\"}} {}\n",
+                s.name, s.counters.wal_records
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_snapshots_total",
+            "counter",
+            "Checkpoints written per stream, by kind.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_snapshots_total{{stream=\"{}\",kind=\"full\"}} {}\n",
+                s.name, s.counters.full_snapshots
+            ));
+            out.push_str(&format!(
+                "fdm_snapshots_total{{stream=\"{}\",kind=\"delta\"}} {}\n",
+                s.name, s.counters.delta_snapshots
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_last_snapshot_bytes",
+            "gauge",
+            "Encoded size of each stream's most recent checkpoint/export.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_last_snapshot_bytes{{stream=\"{}\"}} {}\n",
+                s.name, s.counters.last_snapshot_bytes
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_prefilter_hits_total",
+            "counter",
+            "Distance evaluations settled by the f32 pre-filter's certified band.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_prefilter_hits_total{{stream=\"{}\"}} {}\n",
+                s.name, s.f32_hits
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_prefilter_fallbacks_total",
+            "counter",
+            "Distance evaluations that fell back to full f64 arithmetic.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_prefilter_fallbacks_total{{stream=\"{}\"}} {}\n",
+                s.name, s.f32_fallbacks
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_kernel_info",
+            "gauge",
+            "Active distance-kernel backend (constant 1; the label carries the name).",
+        );
+        out.push_str(&format!(
+            "fdm_kernel_info{{kernel=\"{}\"}} 1\n",
+            fdm_core::kernel::active_kernel()
+        ));
+        // Histogram families: all streams' insert series under one
+        // preamble, then all query series (Prometheus requires a family's
+        // series to be contiguous).
+        metrics::help_type(
+            &mut out,
+            "fdm_insert_latency_seconds",
+            "histogram",
+            "Accepted-INSERT latency (WAL append through checkpoint decision).",
+        );
+        for s in &samples {
+            metrics::render_stream_histograms(
+                &mut out,
+                metrics::Which::Insert,
+                &s.name,
+                &s.metrics,
+            );
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_query_latency_seconds",
+            "histogram",
+            "QUERY latency (post-processing under the summary read lock).",
+        );
+        for s in &samples {
+            metrics::render_stream_histograms(&mut out, metrics::Which::Query, &s.name, &s.metrics);
+        }
+        self.metrics.render_globals(&mut out);
+        out
     }
 }
 

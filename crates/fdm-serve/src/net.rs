@@ -14,11 +14,16 @@
 //!   buffering without bound (see [`Session::run_bounded`]);
 //! * **connection cap** — at most [`NetOptions::max_connections`]
 //!   concurrent sessions per listener (each costs one OS thread); excess
-//!   connections get one `ERR` line and are dropped without spawning.
+//!   connections get one `ERR` line and are dropped without spawning;
+//! * **token auth** — with [`NetOptions::auth_token`] set, a session must
+//!   present `AUTH <token>` before any state-touching command;
+//! * **drain awareness** — once [`Engine::begin_drain`] fires (SIGTERM),
+//!   new connections are refused with one `ERR` line while accepted
+//!   sessions run to completion.
 //!
-//! There is no authentication or TLS: bind `127.0.0.1` or deploy behind a
-//! trusted network boundary, exactly like early-configuration Redis or
-//! memcached.
+//! There is no TLS: bind `127.0.0.1` or deploy behind a trusted network
+//! boundary, exactly like early-configuration Redis or memcached; the
+//! token gates accidents, not attackers on an untrusted wire.
 
 use std::io::{BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -26,11 +31,11 @@ use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::engine::Engine;
+use crate::engine::{panic_point, Engine};
 use crate::session::{Session, MAX_LINE_BYTES};
 
 /// Per-connection limits for the socket transports.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NetOptions {
     /// Close a connection after this long without a complete read;
     /// `None` waits forever (reasonable for trusted Unix sockets, not for
@@ -41,6 +46,9 @@ pub struct NetOptions {
     /// Maximum concurrent connections per listener (each costs one OS
     /// thread); further connections get one `ERR` line and are dropped.
     pub max_connections: usize,
+    /// When set, sessions must `AUTH <token>` before anything but
+    /// `PING`/`QUIT`.
+    pub auth_token: Option<Arc<str>>,
 }
 
 impl Default for NetOptions {
@@ -49,6 +57,7 @@ impl Default for NetOptions {
             read_timeout: Some(Duration::from_secs(300)),
             max_line: MAX_LINE_BYTES,
             max_connections: 1024,
+            auth_token: None,
         }
     }
 }
@@ -128,11 +137,18 @@ fn handle_connection<C: Connection>(
     let Some(slot) = slot else {
         // At capacity: one ERR line, then drop without spawning — the
         // refused connection must not cost a thread.
+        engine.metrics().connection_refused(C::TRANSPORT);
         let _ = stream.write_all(b"ERR server at connection limit; try again later\n");
         return;
     };
     std::thread::spawn(move || {
-        let _slot = slot; // released when this thread finishes
+        // Bound to the thread, not the session: the slot (and the live
+        // gauge behind it) counts down on *every* exit, unwinding
+        // included — a panicking session must not leak capacity.
+        let _slot = slot;
+        // Deliberate thread-level panic (outside the session's own
+        // catch_unwind) for the slot-release regression test.
+        panic_point("session-thread", C::TRANSPORT);
         if let Err(e) = stream.arm_read_timeout(options.read_timeout) {
             eprintln!("fdm-serve: set read timeout: {e}");
             return;
@@ -145,7 +161,8 @@ fn handle_connection<C: Connection>(
             }
         };
         let mut writer = stream;
-        if let Err(e) = Session::new(engine).run_bounded(reader, &mut writer, options.max_line) {
+        let mut session = Session::new(engine).with_auth(options.auth_token.clone());
+        if let Err(e) = session.run_bounded(reader, &mut writer, options.max_line) {
             // Timeouts and resets are business as usual for a network
             // daemon; log and drop the connection.
             eprintln!("fdm-serve: {} session ended: {e}", C::TRANSPORT);
@@ -154,17 +171,27 @@ fn handle_connection<C: Connection>(
     });
 }
 
+/// One iteration of an accept loop, shared by both transports: refuse
+/// while draining, claim a slot against the transport's live-connection
+/// gauge (shared with `/metrics`), hand off to a session thread.
+fn accept_one<C: Connection>(engine: &Arc<Engine>, mut stream: C, options: &NetOptions) {
+    if engine.is_draining() {
+        engine.metrics().connection_refused(C::TRANSPORT);
+        let _ = stream.write_all(b"ERR server is draining; connection refused\n");
+        return;
+    }
+    let live = engine.metrics().connection_gauge(C::TRANSPORT);
+    let slot = ConnectionSlot::claim(&live, options.max_connections);
+    handle_connection(engine.clone(), stream, options.clone(), slot);
+}
+
 /// Serves protocol sessions on a TCP listener until the listener errors
 /// out; one thread per connection, capped at
 /// [`NetOptions::max_connections`]. Blocks the calling thread — spawn it.
 pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener, options: NetOptions) {
-    let live = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     for connection in listener.incoming() {
         match connection {
-            Ok(stream) => {
-                let slot = ConnectionSlot::claim(&live, options.max_connections);
-                handle_connection(engine.clone(), stream, options, slot);
-            }
+            Ok(stream) => accept_one(&engine, stream, &options),
             Err(e) => eprintln!("fdm-serve: tcp accept: {e}"),
         }
     }
@@ -174,13 +201,9 @@ pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener, options: NetOptions
 /// connection, capped at [`NetOptions::max_connections`]. Blocks the
 /// calling thread — spawn it.
 pub fn serve_unix(engine: Arc<Engine>, listener: UnixListener, options: NetOptions) {
-    let live = Arc::new(std::sync::atomic::AtomicUsize::new(0));
     for connection in listener.incoming() {
         match connection {
-            Ok(stream) => {
-                let slot = ConnectionSlot::claim(&live, options.max_connections);
-                handle_connection(engine.clone(), stream, options, slot);
-            }
+            Ok(stream) => accept_one(&engine, stream, &options),
             Err(e) => eprintln!("fdm-serve: unix accept: {e}"),
         }
     }

@@ -42,6 +42,12 @@ pub enum Command {
     },
     /// `STATS` — processed/stored counters of the bound stream.
     Stats,
+    /// `AUTH <token>` — authenticate the session (required first when the
+    /// server runs with `--auth-token`).
+    Auth {
+        /// The presented token.
+        token: String,
+    },
     /// `PING` — liveness check.
     Ping,
     /// `QUIT` — end the session.
@@ -197,10 +203,18 @@ pub fn parse_insert(fields: &[&str]) -> std::result::Result<Element, String> {
     let point: Vec<f64> = fields[2..]
         .iter()
         .map(|f| {
-            f.parse::<f64>()
-                .ok()
-                .filter(|x| x.is_finite())
-                .ok_or_else(|| format!("invalid coordinate `{f}`"))
+            let x = f
+                .parse::<f64>()
+                .map_err(|_| format!("invalid coordinate `{f}`"))?;
+            if !x.is_finite() {
+                // Typed, distinct from a parse failure: NaN/±inf would
+                // poison every distance this element touches and corrupt
+                // snapshots downstream.
+                return Err(format!(
+                    "non-finite coordinate `{f}` (NaN and ±inf are rejected)"
+                ));
+            }
+            Ok(x)
         })
         .collect::<std::result::Result<_, _>>()?;
     Ok(Element::new(id, point, group))
@@ -257,6 +271,14 @@ pub fn parse_line(line: &str) -> std::result::Result<Option<Command>, String> {
             path: fields.get(1).ok_or("RESTORE requires a path")?.to_string(),
         },
         "STATS" => Command::Stats,
+        "AUTH" => {
+            if fields.len() != 2 {
+                return Err("AUTH requires exactly one <token>".into());
+            }
+            Command::Auth {
+                token: fields[1].to_string(),
+            }
+        }
         "PING" => Command::Ping,
         "QUIT" | "EXIT" => Command::Quit,
         other => return Err(format!("unknown command `{other}`")),
@@ -326,9 +348,36 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse_line("INSERT 7 1 NaN").is_err());
-        assert!(parse_line("INSERT 7 1 inf").is_err());
         assert!(parse_line("INSERT 7").is_err());
+        // Non-finite coordinates get their own typed error, at any
+        // position, in every spelling `f64::from_str` accepts.
+        for line in [
+            "INSERT 7 1 NaN",
+            "INSERT 7 1 nan",
+            "INSERT 7 1 inf",
+            "INSERT 7 1 -inf",
+            "INSERT 7 1 infinity",
+            "INSERT 7 1 0.5 -inf 1.25",
+        ] {
+            let err = parse_line(line).unwrap_err();
+            assert!(err.contains("non-finite coordinate"), "{line}: {err}");
+        }
+        // ... while an unparseable token stays a plain invalid-coordinate
+        // error.
+        let err = parse_line("INSERT 7 1 zebra").unwrap_err();
+        assert!(err.contains("invalid coordinate"), "{err}");
+    }
+
+    #[test]
+    fn auth_parses() {
+        assert_eq!(
+            parse_line("AUTH s3cret").unwrap(),
+            Some(Command::Auth {
+                token: "s3cret".into()
+            })
+        );
+        assert!(parse_line("AUTH").is_err());
+        assert!(parse_line("AUTH a b").is_err());
     }
 
     #[test]

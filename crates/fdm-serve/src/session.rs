@@ -4,11 +4,18 @@
 //! stream they are currently bound to (`OPEN`/`RESTORE` bind it). The same
 //! loop serves stdin/stdout, each Unix-socket connection, the WAL-driven
 //! tests, and the scripted CI session.
+//!
+//! The loop is also the process's **panic boundary**: every command runs
+//! under `catch_unwind`, so a panic anywhere below (algorithm code, a
+//! poisoned invariant, the deliberate test hook) degrades to one `ERR`
+//! reply on this connection — the session, and every other tenant, keeps
+//! serving.
 
 use std::io::{BufRead, Read, Write};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
-use crate::engine::Engine;
+use crate::engine::{panic_message, Engine};
 use crate::protocol::{parse_line, valid_stream_name, Command};
 
 /// Default per-line (frame) byte cap for every session transport. One
@@ -22,6 +29,10 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 pub struct Session {
     engine: Arc<Engine>,
     current: Option<String>,
+    /// Token this session must present (`AUTH <token>`) before any
+    /// state-touching command; `None` disables the gate.
+    required_token: Option<Arc<str>>,
+    authenticated: bool,
 }
 
 impl Session {
@@ -30,7 +41,16 @@ impl Session {
         Session {
             engine,
             current: None,
+            required_token: None,
+            authenticated: false,
         }
+    }
+
+    /// Requires `AUTH <token>` before any command other than
+    /// `AUTH`/`PING`/`QUIT` (used by the TCP front end's `--auth-token`).
+    pub fn with_auth(mut self, token: Option<Arc<str>>) -> Session {
+        self.required_token = token;
+        self
     }
 
     /// The stream this session is currently bound to.
@@ -46,6 +66,25 @@ impl Session {
                 .clone()
                 .ok_or_else(|| "no stream bound to this session (OPEN or RESTORE first)".into())
         };
+        if let Command::Auth { token } = &command {
+            return match self.required_token.as_deref() {
+                None => Ok("auth not required".to_string()),
+                Some(required) if required == token.as_str() => {
+                    self.authenticated = true;
+                    Ok("authenticated".to_string())
+                }
+                Some(_) => {
+                    self.engine.metrics().auth_failure();
+                    Err("invalid auth token".to_string())
+                }
+            };
+        }
+        if self.required_token.is_some()
+            && !self.authenticated
+            && !matches!(command, Command::Ping | Command::Quit)
+        {
+            return Err("authentication required (AUTH <token> first)".to_string());
+        }
         match command {
             Command::Open { name, spec } => {
                 let reply = self.engine.open(&name, &spec)?;
@@ -91,6 +130,7 @@ impl Session {
                 let name = bound(&self.current)?;
                 self.engine.stats(&name)
             }
+            Command::Auth { .. } => unreachable!("AUTH is handled before the dispatch"),
             Command::Ping => Ok("pong".to_string()),
             Command::Quit => Ok("bye".to_string()),
         }
@@ -105,10 +145,11 @@ impl Session {
     }
 
     /// [`Session::run`] with an explicit per-line byte cap: a line longer
-    /// than `max_line` gets one `ERR` response and closes the session
-    /// (the remote is either broken or hostile; resynchronizing inside an
-    /// oversized frame is not worth the buffering risk). An I/O error —
-    /// including a socket read timeout — ends the session with that error.
+    /// than `max_line` gets one `ERR` response, the unread remainder of
+    /// that line is **discarded up to the next newline** (never buffered,
+    /// never parsed as commands), and the session resynchronizes on the
+    /// following line. An I/O error — including a socket read timeout —
+    /// ends the session with that error.
     pub fn run_bounded(
         &mut self,
         mut reader: impl BufRead,
@@ -128,9 +169,27 @@ impl Session {
             if buf.last() == Some(&b'\n') {
                 buf.pop();
             } else if buf.len() > max_line {
-                writeln!(writer, "ERR line exceeds {max_line} bytes; closing session")?;
+                writeln!(
+                    writer,
+                    "ERR line exceeds {max_line} bytes; discarding the rest of it"
+                )?;
                 writer.flush()?;
-                return Ok(());
+                // Drain the oversized line in bounded chunks: the tail of
+                // a too-long frame is garbage, not fresh commands — it
+                // must not be parsed, and it must not accumulate in
+                // memory either.
+                loop {
+                    buf.clear();
+                    let mut limited = (&mut reader).take(max_line as u64);
+                    let n = limited.read_until(b'\n', &mut buf)?;
+                    if n == 0 {
+                        return Ok(()); // EOF mid-discard
+                    }
+                    if buf.last() == Some(&b'\n') {
+                        break;
+                    }
+                }
+                continue;
             }
             let line = match std::str::from_utf8(&buf) {
                 Ok(line) => line,
@@ -144,9 +203,28 @@ impl Session {
                 Ok(None) => continue,
                 Ok(Some(command)) => {
                     let quit = command == Command::Quit;
-                    match self.execute(command, line) {
-                        Ok(reply) => writeln!(writer, "OK {reply}")?,
-                        Err(message) => writeln!(writer, "ERR {message}")?,
+                    // The panic boundary: a panic below this point (in the
+                    // engine, an algorithm, or the deliberate test hook)
+                    // costs this command one ERR reply — never the
+                    // connection, never another tenant. The engine's locks
+                    // recover from poisoning, and its insert path rolls
+                    // the WAL back itself before re-raising.
+                    let outcome =
+                        std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(command, line)));
+                    match outcome {
+                        Ok(Ok(reply)) => writeln!(writer, "OK {reply}")?,
+                        Ok(Err(message)) => writeln!(writer, "ERR {message}")?,
+                        Err(payload) => {
+                            // Insert-path panics never unwind this far
+                            // (the engine catches them to roll its WAL
+                            // back), so this count never doubles theirs.
+                            self.engine.metrics().panic_contained();
+                            writeln!(
+                                writer,
+                                "ERR internal error (panic contained): {}",
+                                panic_message(&*payload)
+                            )?;
+                        }
                     }
                     writer.flush()?;
                     if quit {

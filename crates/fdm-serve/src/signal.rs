@@ -1,0 +1,50 @@
+//! SIGTERM handling for graceful drain, with no `libc` dependency.
+//!
+//! The environment is offline, so signal registration is done through two
+//! raw `extern "C"` declarations (`signal(2)` and `_exit(2)`) — the one
+//! sanctioned `unsafe` in this crate, confined to this module (the CI
+//! grep guard exempts it by path, like the SIMD kernel backend).
+//!
+//! The handler itself is strictly async-signal-safe: it bumps an atomic
+//! and, on the **second** SIGTERM, calls `_exit(143)` directly — the
+//! escape hatch when a drain is stuck. Everything else (refusing new
+//! connections, waiting for in-flight sessions, the final snapshot + WAL
+//! fsync) runs on an ordinary watcher thread in `main.rs` that polls
+//! [`sigterm_received`].
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// SIGTERMs delivered so far (the handler is the only writer).
+static TERM_SIGNALS: AtomicU32 = AtomicU32::new(0);
+
+const SIGTERM: i32 = 15;
+/// `SIG_ERR` as returned by `signal(2)`.
+const SIG_ERR: usize = usize::MAX;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn _exit(status: i32) -> !;
+}
+
+extern "C" fn on_sigterm(_signum: i32) {
+    let prior = TERM_SIGNALS.fetch_add(1, Ordering::SeqCst);
+    if prior >= 1 {
+        // Second SIGTERM: the operator is done waiting. `_exit` is
+        // async-signal-safe; 143 = 128 + SIGTERM, the conventional code.
+        unsafe { _exit(143) }
+    }
+}
+
+/// Installs the SIGTERM handler; returns `false` (and leaves the default
+/// terminate-on-TERM disposition) if registration fails.
+pub fn install_sigterm_handler() -> bool {
+    let handler = on_sigterm as extern "C" fn(i32) as usize;
+    unsafe { signal(SIGTERM, handler) != SIG_ERR }
+}
+
+/// Whether at least one SIGTERM has been delivered (polled by the drain
+/// watcher thread).
+pub fn sigterm_received() -> bool {
+    TERM_SIGNALS.load(Ordering::SeqCst) > 0
+}

@@ -1,0 +1,133 @@
+//! Backpressure suite: over-limit inserts must get a typed `ERR busy`
+//! reply instead of queueing unboundedly — both for the per-stream
+//! pending-insert bound and for the token-bucket rate limit — and the
+//! rejections must show up in `/metrics`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fdm_serve::protocol::{parse_line, Command as Cmd, StreamSpec};
+use fdm_serve::{Engine, ServeConfig};
+
+const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
+
+fn spec_of(line: &str) -> (String, StreamSpec) {
+    match parse_line(line).unwrap().unwrap() {
+        Cmd::Open { name, spec } => (name, spec),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn insert(engine: &Engine, name: &str, i: usize) -> Result<String, String> {
+    let line = format!("INSERT {i} {} {}.0 {}.5", i % 2, i % 13, i % 7);
+    match parse_line(&line).unwrap().unwrap() {
+        Cmd::Insert(e) => engine.insert(name, &e, &line),
+        other => panic!("{other:?}"),
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdm_backpressure_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Token bucket: capacity = one second's worth of inserts, so a burst of
+/// `per_sec` passes and the next immediate insert is rejected with a
+/// typed `busy` error; after the bucket refills, inserts flow again.
+#[test]
+fn rate_limited_streams_reject_with_busy_and_recover() {
+    let engine = Engine::new(ServeConfig {
+        rate_limit: Some(2.0),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let (name, spec) = spec_of(OPEN);
+    engine.open(&name, &spec).unwrap();
+
+    // The one-second burst (capacity 2) passes...
+    insert(&engine, &name, 0).unwrap();
+    insert(&engine, &name, 1).unwrap();
+    // ...and the next immediate insert is over the limit.
+    let err = insert(&engine, &name, 2).unwrap_err();
+    assert!(
+        err.starts_with("busy: ") && err.contains("rate limit"),
+        "{err}"
+    );
+
+    // Refill at 2/sec: after ~0.6 s at least one token is back.
+    std::thread::sleep(Duration::from_millis(600));
+    insert(&engine, &name, 3).unwrap();
+
+    // The rejection is visible to operators.
+    let metrics = engine.render_metrics();
+    assert!(
+        metrics.contains("fdm_busy_rejections_total{reason=\"rate_limit\"} 1"),
+        "{metrics}"
+    );
+}
+
+/// Pending-insert bound: while one insert holds the stream's durable
+/// phase (a deliberately slowed checkpoint via
+/// `FDM_SERVE_SNAPSHOT_PAUSE_MS`), a concurrent insert over the
+/// `max_pending_inserts` bound must be rejected immediately with `busy`
+/// rather than queueing behind the stall — and once the stall clears,
+/// inserts are accepted again.
+#[test]
+fn full_pending_queue_rejects_with_busy_instead_of_queueing() {
+    // Arm the pause before the engine ever touches a snapshot path. This
+    // is the only test in this binary that triggers snapshot writes, so
+    // the process-wide cached env value belongs to it alone.
+    std::env::set_var("FDM_SERVE_SNAPSHOT_PAUSE_MS", "600");
+    let dir = scratch("queue_full");
+    let engine = Arc::new(
+        Engine::new(ServeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(2),
+            full_every: 0,
+            max_pending_inserts: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let (name, spec) = spec_of(OPEN);
+    engine.open(&name, &spec).unwrap();
+    insert(&engine, &name, 0).unwrap();
+
+    // Insert #2 trips the checkpoint and sleeps ~600 ms inside it while
+    // holding the stream's durable phase (and its pending slot).
+    let slow = {
+        let engine = engine.clone();
+        let name = name.clone();
+        std::thread::spawn(move || insert(&engine, &name, 1))
+    };
+    std::thread::sleep(Duration::from_millis(200));
+
+    // With max_pending_inserts = 1 the stalled insert owns the only
+    // slot: this one must bounce now, not after the 600 ms stall.
+    let started = std::time::Instant::now();
+    let err = insert(&engine, &name, 2).unwrap_err();
+    assert!(
+        err.starts_with("busy: ") && err.contains("pending inserts"),
+        "{err}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_millis(300),
+        "busy rejection must not wait for the stall ({:?})",
+        started.elapsed()
+    );
+
+    slow.join().unwrap().unwrap();
+    // Stall over, slot free: inserts flow again.
+    insert(&engine, &name, 3).unwrap();
+
+    let metrics = engine.render_metrics();
+    assert!(
+        metrics.contains("fdm_busy_rejections_total{reason=\"queue_full\"} 1"),
+        "{metrics}"
+    );
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+}

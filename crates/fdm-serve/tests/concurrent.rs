@@ -87,6 +87,7 @@ fn storm_matches_serial_replay() {
             snapshot_every: Some(16),
             snapshot_format: SnapshotFormat::Binary,
             full_every: 3,
+            ..ServeConfig::default()
         })
         .unwrap(),
     );
@@ -182,6 +183,7 @@ fn storm_matches_serial_replay() {
         snapshot_every: Some(16),
         snapshot_format: SnapshotFormat::Binary,
         full_every: 3,
+        ..ServeConfig::default()
     })
     .unwrap();
     let expected = serial_answers(inserts);

@@ -1,0 +1,248 @@
+//! `/metrics` suite: the exposition must be well-formed Prometheus text
+//! (format 0.0.4) — every sample preceded by its `# TYPE`, no duplicate
+//! series, histogram invariants (`+Inf` bucket == `_count`, cumulative
+//! buckets) — and scraping must stay cheap enough that a storm of
+//! concurrent inserts is never blocked behind a scrape.
+
+use std::collections::HashSet;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fdm_serve::protocol::{parse_line, Command as Cmd};
+use fdm_serve::{serve_metrics, Engine, ServeConfig};
+
+const OPENS: [&str; 2] = [
+    "OPEN alpha sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30",
+    "OPEN beta sliding quotas=2,2 eps=0.1 dmin=0.05 dmax=30 window=40",
+];
+
+fn engine_with_traffic(inserts: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
+    for open in OPENS {
+        let (name, spec) = match parse_line(open).unwrap().unwrap() {
+            Cmd::Open { name, spec } => (name, spec),
+            other => panic!("{other:?}"),
+        };
+        engine.open(&name, &spec).unwrap();
+        for i in 0..inserts {
+            let line = format!(
+                "INSERT {i} {} {} {}",
+                i % 2,
+                (i as f64 * 0.7391).sin() * 9.0,
+                (i as f64 * 0.2113).cos() * 9.0
+            );
+            match parse_line(&line).unwrap().unwrap() {
+                Cmd::Insert(e) => {
+                    engine.insert(&name, &e, &line).unwrap();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+    engine
+}
+
+/// Splits a sample line into (series-identity, value); the identity is
+/// the metric name plus its full label set.
+fn split_sample(line: &str) -> (&str, f64) {
+    let split_at = if let Some(close) = line.rfind('}') {
+        close + 1
+    } else {
+        line.find(' ').unwrap()
+    };
+    let (series, value) = line.split_at(split_at);
+    (series.trim(), value.trim().parse().unwrap())
+}
+
+/// Structural lint for the exposition format; returns the samples.
+fn lint_exposition(text: &str) -> Vec<(String, f64)> {
+    let mut typed: HashSet<String> = HashSet::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    let mut samples = Vec::new();
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let family = parts.next().unwrap().to_string();
+            let kind = parts.next().unwrap();
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind} for {family}"
+            );
+            assert!(
+                typed.insert(family.clone()),
+                "family {family} TYPE-declared twice — families must be contiguous"
+            );
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = split_sample(line);
+        let name = series.split(['{', ' ']).next().unwrap();
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| typed.contains(*f))
+            .unwrap_or(name);
+        assert!(
+            typed.contains(family),
+            "sample {series} has no preceding # TYPE {family}"
+        );
+        assert!(
+            seen_series.insert(series.to_string()),
+            "duplicate series {series}"
+        );
+        assert!(value.is_finite(), "non-finite value on {series}");
+        samples.push((series.to_string(), value));
+    }
+    samples
+}
+
+/// Asserts histogram invariants for one `<family>{stream="<name>"}`:
+/// buckets are cumulative, and the `+Inf` bucket equals `_count`.
+fn check_histogram(samples: &[(String, f64)], family: &str, stream: &str) -> f64 {
+    let label = format!("stream=\"{stream}\"");
+    let buckets: Vec<f64> = samples
+        .iter()
+        .filter(|(s, _)| s.starts_with(&format!("{family}_bucket{{")) && s.contains(&label))
+        .map(|(_, v)| *v)
+        .collect();
+    assert!(!buckets.is_empty(), "no buckets for {family}/{stream}");
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "{family}/{stream}: buckets must be cumulative: {buckets:?}"
+    );
+    let count = samples
+        .iter()
+        .find(|(s, _)| s.starts_with(&format!("{family}_count{{")) && s.contains(&label))
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("no _count for {family}/{stream}"));
+    assert_eq!(
+        *buckets.last().unwrap(),
+        count,
+        "{family}/{stream}: +Inf bucket must equal _count"
+    );
+    count
+}
+
+#[test]
+fn exposition_is_well_formed_and_counts_the_traffic() {
+    let engine = engine_with_traffic(60);
+    engine.query("alpha", None).unwrap();
+    engine.query("beta", None).unwrap();
+    let samples = lint_exposition(&engine.render_metrics());
+    let get = |series: &str| -> f64 {
+        samples
+            .iter()
+            .find(|(s, _)| s == series)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing series {series}"))
+    };
+
+    assert_eq!(get("fdm_streams"), 2.0);
+    assert_eq!(get("fdm_stream_processed_total{stream=\"alpha\"}"), 60.0);
+    assert_eq!(get("fdm_stream_processed_total{stream=\"beta\"}"), 60.0);
+    assert_eq!(get("fdm_panics_contained_total"), 0.0);
+
+    for stream in ["alpha", "beta"] {
+        let inserts = check_histogram(&samples, "fdm_insert_latency_seconds", stream);
+        assert_eq!(inserts, 60.0, "{stream}: one observation per insert");
+        let queries = check_histogram(&samples, "fdm_query_latency_seconds", stream);
+        assert_eq!(queries, 1.0, "{stream}: one observation per query");
+    }
+}
+
+#[test]
+fn http_endpoint_serves_scrapes_and_rejects_everything_else() {
+    let engine = engine_with_traffic(10);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || serve_metrics(engine, listener));
+
+    let request = |req: &str| -> String {
+        let mut client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        client.write_all(req.as_bytes()).unwrap();
+        let mut response = String::new();
+        client.read_to_string(&mut response).unwrap();
+        response
+    };
+
+    let ok = request("GET /metrics HTTP/1.0\r\n\r\n");
+    assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+    assert!(
+        ok.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+        "{ok}"
+    );
+    let body = ok.split("\r\n\r\n").nth(1).unwrap();
+    let samples = lint_exposition(body);
+    assert!(samples.iter().any(|(s, _)| s == "fdm_streams"));
+
+    let missing = request("GET /other HTTP/1.0\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.0 404 "), "{missing}");
+    let bad_method = request("POST /metrics HTTP/1.0\r\n\r\n");
+    assert!(bad_method.starts_with("HTTP/1.0 405 "), "{bad_method}");
+}
+
+/// The non-blocking guarantee: a tight scrape loop runs while inserter
+/// threads hammer the engine; inserts must keep completing (throughput
+/// sanity) and every concurrent scrape must still lint clean.
+#[test]
+fn scrapes_under_concurrent_load_stay_valid_and_do_not_block_inserts() {
+    let engine = engine_with_traffic(5);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut inserters = Vec::new();
+    for (s, stream) in ["alpha", "beta"].into_iter().enumerate() {
+        let engine = engine.clone();
+        let stop = stop.clone();
+        inserters.push(std::thread::spawn(move || {
+            let mut done = 0usize;
+            for i in 5..5000 {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let line = format!("INSERT {i} {} {}.0 {s}.5", i % 2, i % 17);
+                match parse_line(&line).unwrap().unwrap() {
+                    Cmd::Insert(e) => {
+                        engine.insert(stream, &e, &line).unwrap();
+                    }
+                    other => panic!("{other:?}"),
+                }
+                done += 1;
+            }
+            done
+        }));
+    }
+
+    // Scrape continuously for a bounded window while the storm runs.
+    let deadline = Instant::now() + Duration::from_millis(500);
+    let mut scrapes = 0usize;
+    while Instant::now() < deadline {
+        let text = engine.render_metrics();
+        lint_exposition(&text);
+        scrapes += 1;
+    }
+    stop.store(true, Ordering::SeqCst);
+    let done: usize = inserters.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(scrapes >= 3, "scrape loop starved: {scrapes}");
+    assert!(
+        done >= 100,
+        "inserts starved behind scrapes: only {done} completed"
+    );
+
+    // After the storm the book-keeping still adds up.
+    let samples = lint_exposition(&engine.render_metrics());
+    let processed: f64 = samples
+        .iter()
+        .filter(|(s, _)| s.starts_with("fdm_stream_processed_total{"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(processed as usize, done + 10, "5 warmup inserts per stream");
+}

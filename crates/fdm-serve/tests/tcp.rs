@@ -114,7 +114,7 @@ fn tcp_sessions_share_the_engine_across_connections() {
 }
 
 #[test]
-fn oversized_lines_close_the_connection_with_a_typed_error() {
+fn oversized_lines_resync_on_the_next_newline() {
     let addr = start_tcp(
         engine(),
         NetOptions {
@@ -124,18 +124,57 @@ fn oversized_lines_close_the_connection_with_a_typed_error() {
         },
     );
     let mut client = TcpStream::connect(addr).unwrap();
-    // 1 MiB of garbage with no newline: the server must answer one ERR and
-    // close instead of buffering forever.
-    let huge = vec![b'x'; 1 << 20];
+    // One >1 MiB line whose unread tail spells a valid command: the tail
+    // belongs to the oversized line and must be discarded, never parsed —
+    // if it were, the session would answer `OK bye` and close here.
+    let mut huge = vec![b'x'; (1 << 20) + 37];
+    huge.extend_from_slice(b" QUIT\n");
     client.write_all(&huge).unwrap();
-    let _ = client.write_all(b"\n");
+    // The *next* line is a fresh command and must work normally.
+    client.write_all(b"PING\nQUIT\n").unwrap();
     let replies = replies_from(client.try_clone().unwrap());
-    assert_eq!(replies.len(), 1, "{replies:?}");
+    assert_eq!(replies.len(), 3, "{replies:?}");
     assert!(
         replies[0].starts_with("ERR line exceeds 1024 bytes"),
         "{}",
         replies[0]
     );
+    assert_eq!(replies[1], "OK pong", "session must resync after the ERR");
+    assert_eq!(replies[2], "OK bye");
+}
+
+#[test]
+fn auth_token_gates_tcp_sessions() {
+    let addr = start_tcp(
+        engine(),
+        NetOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            auth_token: Some(Arc::from("s3cret")),
+            ..NetOptions::default()
+        },
+    );
+    let mut client = TcpStream::connect(addr).unwrap();
+    let text = format!("PING\n{OPEN}\nAUTH wrong\nAUTH s3cret\n{OPEN}\nQUIT\n");
+    client.write_all(text.as_bytes()).unwrap();
+    let replies = replies_from(client.try_clone().unwrap());
+    assert_eq!(
+        replies,
+        vec![
+            "OK pong".to_string(), // PING stays open pre-auth (health checks)
+            "ERR authentication required (AUTH <token> first)".to_string(),
+            "ERR invalid auth token".to_string(),
+            "OK authenticated".to_string(),
+            "OK opened jobs".to_string(),
+            "OK bye".to_string(),
+        ]
+    );
+
+    // Without --auth-token, AUTH is a no-op courtesy.
+    let addr = start_tcp(engine(), NetOptions::default());
+    let mut client = TcpStream::connect(addr).unwrap();
+    client.write_all(b"AUTH anything\nPING\nQUIT\n").unwrap();
+    let replies = replies_from(client.try_clone().unwrap());
+    assert_eq!(replies[0], "OK auth not required", "{replies:?}");
 }
 
 #[test]

@@ -2,7 +2,9 @@
 # End-to-end fdm-serve TCP session: OPEN/INSERT over a TCP connection to
 # 127.0.0.1, SNAPSHOT (binary), SIGKILL the daemon, restore into a fresh
 # daemon, and assert the post-restore QUERY over TCP is byte-identical to
-# an uninterrupted run. The CI `serve` job runs this script verbatim.
+# an uninterrupted run. The resumed daemon also exposes /metrics, which
+# is scraped and linted with examples/metrics_lint.sh. The CI `serve`
+# job runs this script verbatim.
 #
 # The client talks to the socket through bash's built-in /dev/tcp (used
 # via `nc` when available, so the script works on minimal runners too).
@@ -11,8 +13,10 @@
 set -euo pipefail
 
 BIN="${1:-target/release/fdm-serve}"
+LINT="$(dirname "$0")/metrics_lint.sh"
 WORK="$(mktemp -d)"
 PORT=$((20000 + RANDOM % 20000))
+MPORT=$((PORT + 1))
 SERVER=""
 cleanup() {
   [ -n "$SERVER" ] && kill -9 "$SERVER" 2>/dev/null || true
@@ -44,10 +48,28 @@ tcp_session() { # tcp_session <script-file> <out-file>
   fi
 }
 
-start_server() {
+# Scrapes GET /metrics from the daemon's metrics port into a file,
+# asserting a 200 and stripping the HTTP head.
+scrape_metrics() { # scrape_metrics <out-file>
+  printf 'GET /metrics HTTP/1.0\r\n\r\n' > "$WORK/scrape.in"
+  if command -v nc > /dev/null 2>&1; then
+    nc -q 1 127.0.0.1 "$MPORT" < "$WORK/scrape.in" > "$WORK/scrape.raw" \
+      || nc 127.0.0.1 "$MPORT" < "$WORK/scrape.in" > "$WORK/scrape.raw"
+  else
+    exec 8<> "/dev/tcp/127.0.0.1/$MPORT"
+    cat "$WORK/scrape.in" >&8
+    cat <&8 > "$WORK/scrape.raw"
+    exec 8<&- 8>&-
+  fi
+  head -1 "$WORK/scrape.raw" | grep -q " 200 " \
+    || { cat "$WORK/scrape.raw"; echo "scrape did not return 200"; exit 1; }
+  sed '1,/^\r\{0,1\}$/d' "$WORK/scrape.raw" > "$1"
+}
+
+start_server() { # start_server [extra-flags...]
   # stdin from /dev/null closes the stdin session immediately; the TCP
   # listener keeps the daemon alive.
-  "$BIN" --listen "127.0.0.1:$PORT" < /dev/null > /dev/null 2> "$WORK/server.log" &
+  "$BIN" --listen "127.0.0.1:$PORT" "$@" < /dev/null > /dev/null 2> "$WORK/server.log" &
   SERVER=$!
   for _ in $(seq 1 100); do
     grep -q "listening on tcp://" "$WORK/server.log" 2>/dev/null && return
@@ -74,13 +96,25 @@ head -c 8 "$WORK/jobs.snap" | grep -q "FDMSNAP2" || { echo "snapshot is not v2 b
 kill -0 "$SERVER" 2>/dev/null || { echo "server died before SIGKILL"; exit 1; }
 kill -9 "$SERVER"; wait "$SERVER" 2>/dev/null || true; SERVER=""
 
-echo "== resumed: fresh daemon, RESTORE + second half + QUERY over TCP =="
-start_server
+echo "== resumed: fresh daemon (+ /metrics), RESTORE + second half + QUERY over TCP =="
+start_server --metrics "127.0.0.1:$MPORT"
+for _ in $(seq 1 100); do
+  grep -q "metrics on http://" "$WORK/server.log" 2>/dev/null && break
+  sleep 0.1
+done
 { echo "RESTORE $WORK/jobs.snap"; gen_inserts 40 80; echo "QUERY"; echo "QUIT"; } > "$WORK/resume.in"
 tcp_session "$WORK/resume.in" "$WORK/resumed.out"
 grep '^OK restored jobs processed=40$' "$WORK/resumed.out" > /dev/null
 grep '^OK k=' "$WORK/resumed.out" > "$WORK/resumed.query"
 cat "$WORK/resumed.query"
+
+echo "== scrape /metrics and lint the exposition =="
+scrape_metrics "$WORK/metrics.txt"
+"$LINT" "$WORK/metrics.txt"
+grep -q '^fdm_streams 1$' "$WORK/metrics.txt" || { echo "fdm_streams != 1"; exit 1; }
+grep -q '^fdm_stream_processed_total{stream="jobs"} 80$' "$WORK/metrics.txt" \
+  || { echo "processed counter wrong"; grep ^fdm_stream "$WORK/metrics.txt"; exit 1; }
+grep -c '^fdm_' "$WORK/metrics.txt" | xargs echo "metrics lint PASS, fdm_ samples:"
 kill -9 "$SERVER"; wait "$SERVER" 2>/dev/null || true; SERVER=""
 
 echo "== assert: byte-identical QUERY output across kill + restore =="
