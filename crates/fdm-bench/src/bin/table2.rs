@@ -100,6 +100,17 @@ fn main() {
             dataset.len()
         );
 
+        // A zero-arrival stream has no diversity to report — the same edge
+        // the serving layer types as `ERR empty stream` on QUERY. It is a
+        // property of this row's cells, not a reason to abort the table.
+        if dataset.is_empty() {
+            eprintln!("  empty stream (0 arrivals): reporting `empty` cells");
+            let mut row = vec![workload.name(), m.to_string()];
+            row.extend(std::iter::repeat_n("empty".to_string(), 14));
+            table.push_row(row);
+            continue;
+        }
+
         let gmm = run_averaged(&dataset, Algo::Gmm, &constraint, epsilon, 1).expect("GMM run");
 
         let (swap_div, swap_t) = if m == 2 {

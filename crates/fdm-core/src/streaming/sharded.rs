@@ -303,6 +303,18 @@ impl<S: ShardAlgorithm> ShardedStream<S> {
         }
         merge.finalize()
     }
+
+    /// The union of the shards' retained elements, shard-major in arena
+    /// order — exactly the stream [`ShardedStream::finalize`]'s merge
+    /// instance would consume. This is the distributed-merge export: a
+    /// coordinator unioning these per-node vectors in node order replays
+    /// the same merge pass bit-identically.
+    pub fn retained_elements(&self) -> Vec<Element> {
+        self.shards
+            .iter()
+            .flat_map(|shard| shard.retained_elements())
+            .collect()
+    }
 }
 
 /// # Persistence

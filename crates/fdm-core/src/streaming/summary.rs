@@ -69,6 +69,12 @@ pub trait DynSummary: Send + Sync + std::fmt::Debug {
     fn prefilter_counters(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// The retained elements (the summary's union export), in arena order;
+    /// for sharded summaries, shard-major. This is what a distributed
+    /// merge ([`merge_summaries`]) streams through the merge instance —
+    /// the same vector [`ShardedStream::finalize`] consumes per shard.
+    fn retained_elements(&self) -> Vec<Element>;
 }
 
 /// Every snapshottable shard algorithm is a summary (this is how the four
@@ -112,6 +118,10 @@ where
     fn prefilter_counters(&self) -> (u64, u64) {
         ShardAlgorithm::prefilter_counters(self)
     }
+
+    fn retained_elements(&self) -> Vec<Element> {
+        ShardAlgorithm::retained_elements(self)
+    }
 }
 
 /// K-way sharded wrapping of any base summary is a summary too.
@@ -154,6 +164,10 @@ where
 
     fn prefilter_counters(&self) -> (u64, u64) {
         ShardedStream::prefilter_counters(self)
+    }
+
+    fn retained_elements(&self) -> Vec<Element> {
+        ShardedStream::retained_elements(self)
     }
 }
 
@@ -288,6 +302,9 @@ struct Entry {
     /// Spec validation without construction (the [`spec_params`] fast
     /// path): exactly the checks `build` would make, minus the ladders.
     validate: fn(&SummarySpec) -> Result<()>,
+    /// Merges per-part retained-element unions into one solution
+    /// (the [`merge_summaries`] dispatch target).
+    merge: fn(&SummarySpec, Vec<Vec<Element>>, usize) -> Result<Solution>,
 }
 
 fn build_one<S: RegisteredSummary>(spec: &SummarySpec) -> Result<Box<dyn DynSummary>>
@@ -323,6 +340,41 @@ where
     S::config_from_spec(spec).map(|_| ())
 }
 
+/// The distributed analogue of [`ShardedStream::finalize`]'s merge pass:
+/// streams the per-part unions (in part order) through merge instances,
+/// reducing hierarchically in chunks of `fan_in` until one instance holds
+/// the whole union, then runs its post-processing. With
+/// `unions.len() ≤ fan_in` this is a single level — operation-for-operation
+/// the merge pass a `ShardedStream` with the same shard unions performs.
+fn merge_one<S: RegisteredSummary>(
+    spec: &SummarySpec,
+    mut unions: Vec<Vec<Element>>,
+    fan_in: usize,
+) -> Result<Solution>
+where
+    S::Config: std::fmt::Debug,
+{
+    let config = S::config_from_spec(spec)?;
+    while unions.len() > fan_in {
+        let mut next = Vec::with_capacity(unions.len().div_ceil(fan_in));
+        for chunk in unions.chunks(fan_in) {
+            let chunk_len = chunk.iter().map(Vec::len).sum();
+            let mut merge = S::merge_instance(&config, chunk_len)?;
+            for union in chunk {
+                merge.insert_batch(union);
+            }
+            next.push(merge.retained_elements());
+        }
+        unions = next;
+    }
+    let union_len = unions.iter().map(Vec::len).sum();
+    let mut merge = S::merge_instance(&config, union_len)?;
+    for union in &unions {
+        merge.insert_batch(union);
+    }
+    merge.finalize()
+}
+
 macro_rules! entry {
     ($tag:literal, $ty:ty) => {
         Entry {
@@ -331,6 +383,7 @@ macro_rules! entry {
             restore: restore_one::<$ty>,
             restore_sharded: restore_sharded::<$ty>,
             validate: validate_one::<$ty>,
+            merge: merge_one::<$ty>,
         }
     };
 }
@@ -380,6 +433,41 @@ pub fn restore(snapshot: &Snapshot) -> Result<Box<dyn DynSummary>> {
             .map_err(|_| spec_error(format!("snapshot holds unknown algorithm `{tag}`")))?
             .restore)(snapshot),
     }
+}
+
+/// Merges independently grown summaries of one logical stream into a
+/// single solution — the coordinator-side half of distributed FDM.
+///
+/// `parts` are summaries of disjoint stream partitions (one per worker
+/// node), all built from `spec` (shard-count differences aside); part
+/// order must be the partition order (worker 0 first). The merge replays
+/// [`ShardedStream::finalize`] exactly:
+///
+/// * one part delegates to its own post-processing (the `K = 1` fast path
+///   a `ShardedStream` takes);
+/// * otherwise the parts' [retained elements](DynSummary::retained_elements)
+///   stream part-major through a fresh merge instance whose
+///   post-processing produces the solution — reduced hierarchically in
+///   chunks of `fan_in` when more than `fan_in` parts fan in.
+///
+/// With `parts.len() ≤ fan_in` the result is **bit-identical** to a
+/// single-process `ShardedStream` with `K = parts.len()` shards fed the
+/// same arrival order (the distributed-identity suite asserts this);
+/// deeper trees stay within the paper's approximation bounds by the same
+/// composability lemma that justifies sharding at all.
+pub fn merge_summaries(
+    spec: &SummarySpec,
+    parts: &[Box<dyn DynSummary>],
+    fan_in: usize,
+) -> Result<Solution> {
+    if parts.is_empty() {
+        return Err(FdmError::InvalidShardCount);
+    }
+    if parts.len() == 1 {
+        return parts[0].finalize();
+    }
+    let unions: Vec<Vec<Element>> = parts.iter().map(|p| p.retained_elements()).collect();
+    (entry_for(&spec.algorithm)?.merge)(spec, unions, fan_in.max(2))
 }
 
 /// The envelope parameters a specification implies, **without building the
@@ -520,6 +608,55 @@ mod tests {
         let mut s = spec("sfdm1");
         s.quotas = Vec::new();
         assert!(build(&s).is_err());
+    }
+
+    #[test]
+    fn merge_summaries_is_bit_identical_to_sharded_stream() {
+        for tag in algorithm_tags() {
+            for parts_n in [1usize, 2, 4] {
+                // Reference: one process, K round-robin shards.
+                let mut sharded_spec = spec(tag);
+                sharded_spec.shards = parts_n;
+                let mut reference = build(&sharded_spec).unwrap();
+                feed(reference.as_mut(), 90);
+                // Distributed: K independent unsharded parts fed the same
+                // arrival order through the same round-robin dealing.
+                let part_spec = spec(tag);
+                let mut parts: Vec<Box<dyn DynSummary>> =
+                    (0..parts_n).map(|_| build(&part_spec).unwrap()).collect();
+                for i in 0..90 {
+                    let x = (i as f64 * 0.7391).sin() * 9.0;
+                    let y = (i as f64 * 0.2113).cos() * 9.0;
+                    parts[i % parts_n].insert(&Element::new(i, vec![x, y], i % 2));
+                }
+                let merged = merge_summaries(&part_spec, &parts, 8).unwrap();
+                let expected = reference.finalize().unwrap();
+                assert_eq!(merged.ids(), expected.ids(), "{tag} x{parts_n}");
+                assert_eq!(
+                    merged.diversity.to_bits(),
+                    expected.diversity.to_bits(),
+                    "{tag} x{parts_n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_summaries_tree_reduction_stays_feasible() {
+        // 5 parts under fan_in=2 forces a two-level tree; the answer need
+        // not be bit-identical to the flat merge, but it must stay a full
+        // feasible solution.
+        let part_spec = spec("sfdm2");
+        let mut parts: Vec<Box<dyn DynSummary>> =
+            (0..5).map(|_| build(&part_spec).unwrap()).collect();
+        for i in 0..120 {
+            let x = (i as f64 * 0.7391).sin() * 9.0;
+            let y = (i as f64 * 0.2113).cos() * 9.0;
+            parts[i % 5].insert(&Element::new(i, vec![x, y], i % 2));
+        }
+        let merged = merge_summaries(&part_spec, &parts, 2).unwrap();
+        assert_eq!(merged.len(), 4);
+        assert!(merge_summaries(&part_spec, &[], 8).is_err());
     }
 
     #[test]

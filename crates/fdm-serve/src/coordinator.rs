@@ -1,0 +1,368 @@
+//! Coordinator mode: fan one logical stream out over N worker
+//! `fdm-serve` nodes.
+//!
+//! With `--worker ADDR:PORT` flags the engine stops hosting summaries and
+//! becomes a stateless router:
+//!
+//! * `OPEN` forwards the (unsharded) spec to every worker, so each worker
+//!   hosts one **shard** of the logical stream — with its own WAL,
+//!   snapshot chain, and crash recovery;
+//! * `INSERT` round-robins across the workers in fixed order, exactly the
+//!   element-to-shard assignment
+//!   [`ShardedStream`](fdm_core::streaming::sharded::ShardedStream) uses
+//!   for arrival order;
+//! * `QUERY` pulls every worker's summary through the `MERGE` verb (an
+//!   inline v2 binary snapshot frame), restores the frames, and merges
+//!   them through the registry's
+//!   [`merge_summaries`](fdm_core::streaming::summary::merge_summaries) —
+//!   the same instance + insertion order `ShardedStream::finalize` uses,
+//!   so a coordinator over K workers answers **byte-identically** to a
+//!   single-process `ShardedStream` with K shards fed the same arrivals
+//!   (pinned by `tests/distributed.rs`).
+//!
+//! The round-robin cursor is the one piece of coordinator state:
+//! `cursor ≡ processed mod K`, advanced only on an acknowledged insert.
+//! After a coordinator restart, re-`OPEN` recomputes `processed` as the
+//! sum of the workers' positions and the cursor follows — no coordinator
+//! WAL needed, because the workers *are* the durable state.
+//!
+//! **Failure semantics**: a worker that cannot be reached (connect,
+//! write, or read failure after `CONNECT_ATTEMPTS` retries with
+//! doubling backoff) turns the command into a typed
+//! `ERR worker unavailable: <addr>: <cause>` naming the failing node —
+//! never a hang. The connection is dropped and re-dialed on the next
+//! command touching that worker; health is visible in `STATS` and as
+//! `fdm_worker_up`/`fdm_worker_failures_total` in `/metrics`. An insert
+//! whose transport fails is **not** retried on another worker (that would
+//! silently permute the round-robin assignment and break bit-identity);
+//! the client decides whether to retry the same element.
+//!
+//! The coordinator authenticates to workers with no token: worker nodes
+//! are expected to sit on the same trusted network segment (bind
+//! `127.0.0.1` or a private interface), like the Unix-socket transport.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use fdm_client::{Client, ClientError};
+use fdm_core::persist::Snapshot;
+use fdm_core::streaming::summary::{self, DynSummary};
+
+use crate::engine::lock;
+use crate::metrics::help_type;
+use crate::protocol::{ErrorReply, Payload, QueryReply, StreamSpec};
+
+/// Total connect attempts per worker dial (first try + retries with
+/// doubling backoff starting at [`INITIAL_BACKOFF`]).
+const CONNECT_ATTEMPTS: usize = 5;
+
+/// Backoff before the first connect retry; doubles per retry.
+const INITIAL_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Tree-merge fan-in for wide worker fleets: more than this many summaries
+/// reduce in chunks before the final merge (see
+/// [`summary::merge_summaries`]).
+const MERGE_FAN_IN: usize = 8;
+
+/// Health of one worker node, shared between command paths and the
+/// `/metrics` renderer.
+struct WorkerState {
+    addr: String,
+    /// Last dial/command against this worker succeeded.
+    up: AtomicBool,
+    /// Commands that failed against this worker (transport-level).
+    failures: AtomicU64,
+}
+
+/// Coordinator-side state of one logical stream.
+struct CoordStream {
+    spec: StreamSpec,
+    /// Total acknowledged inserts across all workers.
+    processed: usize,
+    /// Next worker to receive an `INSERT`; invariant
+    /// `cursor == processed % workers.len()`.
+    cursor: usize,
+    /// One cached connection per worker, re-dialed lazily after a failure.
+    conns: Vec<Option<Client>>,
+}
+
+/// The worker fleet plus per-stream routing state. One mutex per stream:
+/// inserts and queries of one logical stream serialize (a query is a
+/// consistent cut of the round-robin order), while different streams
+/// proceed independently.
+pub struct Coordinator {
+    workers: Vec<Arc<WorkerState>>,
+    streams: Mutex<HashMap<String, Arc<Mutex<CoordStream>>>>,
+}
+
+impl Coordinator {
+    /// A coordinator over the given worker addresses (`ADDR:PORT` each).
+    pub fn new(addrs: Vec<String>) -> Coordinator {
+        Coordinator {
+            workers: addrs
+                .into_iter()
+                .map(|addr| {
+                    Arc::new(WorkerState {
+                        addr,
+                        up: AtomicBool::new(false),
+                        failures: AtomicU64::new(0),
+                    })
+                })
+                .collect(),
+            streams: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records a transport failure against `worker` and renders the typed
+    /// `worker unavailable` error naming it.
+    fn unavailable(&self, worker: &WorkerState, e: &ClientError) -> ErrorReply {
+        let cause = match e {
+            // The io::Error text alone ("connection refused", "timed
+            // out") — the client-side "transport error: " framing is
+            // noise on the wire.
+            ClientError::Io(io) => io.to_string(),
+            other => other.to_string(),
+        };
+        worker.up.store(false, Ordering::SeqCst);
+        worker.failures.fetch_add(1, Ordering::SeqCst);
+        ErrorReply::worker_unavailable(format!("{}: {cause}", worker.addr))
+    }
+
+    /// Dials a worker (with retries) and attaches it to `name`/`spec`.
+    /// Marks the worker up on success.
+    fn attach(
+        &self,
+        widx: usize,
+        name: &str,
+        spec: &StreamSpec,
+    ) -> Result<(Client, usize), ErrorReply> {
+        let worker = &self.workers[widx];
+        let mut client = Client::connect_tcp_retry(&worker.addr, CONNECT_ATTEMPTS, INITIAL_BACKOFF)
+            .map_err(|e| self.unavailable(worker, &e))?;
+        let processed = match client.open(name, spec) {
+            Ok(processed) => processed,
+            Err(ClientError::Server(err)) => return Err(err),
+            Err(e) => return Err(self.unavailable(worker, &e)),
+        };
+        worker.up.store(true, Ordering::SeqCst);
+        Ok((client, processed))
+    }
+
+    /// The cached connection for `stream`'s `widx`-th worker, re-dialing
+    /// (and re-attaching) if the previous one failed.
+    fn conn<'a>(
+        &self,
+        stream: &'a mut CoordStream,
+        name: &str,
+        widx: usize,
+    ) -> Result<&'a mut Client, ErrorReply> {
+        if stream.conns[widx].is_none() {
+            let (client, _) = self.attach(widx, name, &stream.spec)?;
+            stream.conns[widx] = Some(client);
+        }
+        Ok(stream.conns[widx].as_mut().expect("just ensured"))
+    }
+
+    /// `OPEN`: forward to every worker, register the routing state, and
+    /// recover the cursor from the workers' positions (`Σ processed mod
+    /// K`) — this is how a restarted coordinator re-attaches.
+    pub fn open(&self, name: &str, spec: &StreamSpec) -> Result<Payload, ErrorReply> {
+        if spec.shards > 1 {
+            return Err(ErrorReply::generic(format!(
+                "coordinator streams take shards=1 (the {} workers are the shards)",
+                self.workers.len()
+            )));
+        }
+        let mut streams = lock(&self.streams);
+        if let Some(existing) = streams.get(name).cloned() {
+            drop(streams);
+            let existing = lock(&existing);
+            if existing.spec != *spec {
+                return Err(ErrorReply::generic(format!(
+                    "stream `{name}` is already open with different parameters"
+                )));
+            }
+            return Ok(Payload::Attached {
+                name: name.to_string(),
+                processed: existing.processed,
+            });
+        }
+        let mut conns = Vec::with_capacity(self.workers.len());
+        let mut processed = 0usize;
+        for widx in 0..self.workers.len() {
+            let (client, worker_processed) = self.attach(widx, name, spec)?;
+            processed += worker_processed;
+            conns.push(Some(client));
+        }
+        let cursor = processed % self.workers.len();
+        streams.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(CoordStream {
+                spec: spec.clone(),
+                processed,
+                cursor,
+                conns,
+            })),
+        );
+        if processed == 0 {
+            Ok(Payload::Opened {
+                name: name.to_string(),
+            })
+        } else {
+            Ok(Payload::Attached {
+                name: name.to_string(),
+                processed,
+            })
+        }
+    }
+
+    fn stream(&self, name: &str) -> Result<Arc<Mutex<CoordStream>>, ErrorReply> {
+        lock(&self.streams).get(name).cloned().ok_or_else(|| {
+            ErrorReply::generic(format!(
+                "no stream named `{name}` (OPEN or RESTORE one first)"
+            ))
+        })
+    }
+
+    /// `INSERT`: route to the cursor's worker; advance the cursor only on
+    /// an acknowledged apply, so the round-robin assignment stays exactly
+    /// [`ShardedStream`](fdm_core::streaming::sharded::ShardedStream)'s.
+    pub fn insert(
+        &self,
+        name: &str,
+        element: &fdm_core::point::Element,
+    ) -> Result<Payload, ErrorReply> {
+        let stream = self.stream(name)?;
+        let mut stream = lock(&stream);
+        let widx = stream.cursor;
+        let client = self.conn(&mut stream, name, widx)?;
+        match client.insert(element) {
+            Ok(_worker_seq) => {
+                self.workers[widx].up.store(true, Ordering::SeqCst);
+                stream.processed += 1;
+                stream.cursor = (stream.cursor + 1) % self.workers.len();
+                Ok(Payload::Inserted {
+                    seq: stream.processed,
+                })
+            }
+            // The worker answered: a typed rejection (dimension mismatch,
+            // busy, ...) relays verbatim; the element was not applied, so
+            // the cursor stays.
+            Err(ClientError::Server(err)) => Err(err),
+            Err(e) => {
+                // Transport failure: the connection is poisoned (we may
+                // have written the line without reading an ack — the
+                // worker's WAL decides whether it applied). Drop it, name
+                // the worker, leave the cursor for the client's retry.
+                stream.conns[widx] = None;
+                Err(self.unavailable(&self.workers[widx], &e))
+            }
+        }
+    }
+
+    /// `QUERY`: a consistent cut under the stream mutex — pull every
+    /// worker's summary via `MERGE`, restore the frames, and merge through
+    /// the registry in worker order (= shard order).
+    pub fn query(&self, name: &str, k: Option<usize>) -> Result<Payload, ErrorReply> {
+        let stream = self.stream(name)?;
+        let mut stream = lock(&stream);
+        let configured = stream.spec.k;
+        if let Some(k) = k {
+            if k != configured {
+                return Err(ErrorReply::generic(format!(
+                    "QUERY k={k} but stream `{name}` is configured for k={configured}"
+                )));
+            }
+        }
+        let mut parts: Vec<Box<dyn DynSummary>> = Vec::with_capacity(self.workers.len());
+        let mut total = 0usize;
+        for widx in 0..self.workers.len() {
+            let client = self.conn(&mut stream, name, widx)?;
+            let (_algorithm, worker_processed, bytes) = match client.merge() {
+                Ok(reply) => reply,
+                Err(ClientError::Server(err)) => return Err(err),
+                Err(e) => {
+                    stream.conns[widx] = None;
+                    return Err(self.unavailable(&self.workers[widx], &e));
+                }
+            };
+            self.workers[widx].up.store(true, Ordering::SeqCst);
+            total += worker_processed;
+            let snapshot =
+                Snapshot::from_bytes(&bytes).map_err(|e| ErrorReply::generic(e.to_string()))?;
+            parts
+                .push(summary::restore(&snapshot).map_err(|e| ErrorReply::generic(e.to_string()))?);
+        }
+        if total == 0 {
+            return Err(ErrorReply::empty_stream(format!(
+                "stream `{name}` has processed no elements; INSERT before QUERY"
+            )));
+        }
+        let spec = stream
+            .spec
+            .to_summary_spec()
+            .map_err(|e| ErrorReply::generic(e.to_string()))?;
+        let solution = summary::merge_summaries(&spec, &parts, MERGE_FAN_IN)
+            .map_err(|e| ErrorReply::generic(e.to_string()))?;
+        Ok(Payload::Query(QueryReply {
+            k: solution.len(),
+            diversity: solution.diversity,
+            ids: solution.ids(),
+        }))
+    }
+
+    /// `STATS`: the coordinator's routing counters plus per-worker health
+    /// — one line, `stream=` first so it classifies as a stats payload.
+    pub fn stats(&self, name: &str) -> Result<Payload, ErrorReply> {
+        let stream = self.stream(name)?;
+        let stream = lock(&stream);
+        let mut line = format!(
+            "stream={name} coordinator=1 workers={} processed={} cursor={}",
+            self.workers.len(),
+            stream.processed,
+            stream.cursor
+        );
+        for (widx, worker) in self.workers.iter().enumerate() {
+            line.push_str(&format!(
+                " worker{widx}={} worker{widx}_up={} worker{widx}_failures={}",
+                worker.addr,
+                u8::from(worker.up.load(Ordering::SeqCst)),
+                worker.failures.load(Ordering::SeqCst)
+            ));
+        }
+        Ok(Payload::Stats(line))
+    }
+
+    /// Appends the worker-health metric families to a `/metrics`
+    /// exposition.
+    pub fn render_metrics(&self, out: &mut String) {
+        help_type(
+            out,
+            "fdm_worker_up",
+            "gauge",
+            "Whether the last command against each worker succeeded.",
+        );
+        for worker in &self.workers {
+            out.push_str(&format!(
+                "fdm_worker_up{{worker=\"{}\"}} {}\n",
+                worker.addr,
+                u8::from(worker.up.load(Ordering::SeqCst))
+            ));
+        }
+        help_type(
+            out,
+            "fdm_worker_failures_total",
+            "counter",
+            "Transport-level command failures per worker.",
+        );
+        for worker in &self.workers {
+            out.push_str(&format!(
+                "fdm_worker_failures_total{{worker=\"{}\"}} {}\n",
+                worker.addr,
+                worker.failures.load(Ordering::SeqCst)
+            ));
+        }
+    }
+}

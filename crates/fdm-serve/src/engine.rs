@@ -68,10 +68,11 @@ use std::time::Instant;
 use fdm_core::error::{FdmError, Result};
 use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams};
 use fdm_core::point::Element;
-use fdm_core::streaming::summary::{self, DynSummary, SummarySpec};
+use fdm_core::streaming::summary::{self, DynSummary};
 
+use crate::coordinator::Coordinator;
 use crate::metrics::{self, Metrics, StreamMetrics};
-use crate::protocol::{parse_insert, StreamSpec};
+use crate::protocol::{parse_insert, ErrorReply, Payload, QueryReply, StreamSpec};
 
 /// Acquires a shared read lock, recovering from poison: a panic in one
 /// tenant's session (contained at the session boundary) must degrade to
@@ -130,6 +131,12 @@ pub struct ServeConfig {
     /// Per-stream insert rate limit (token bucket, one-second burst);
     /// `None` disables. Over-limit `INSERT`s get `ERR busy`.
     pub rate_limit: Option<f64>,
+    /// Coordinator mode: `ADDR:PORT` of each worker `fdm-serve` node.
+    /// Non-empty turns this engine into a stateless router — `INSERT`s
+    /// round-robin across the workers, `QUERY` merges their summaries
+    /// pulled via `MERGE` (see [`crate::coordinator`]). Empty (the
+    /// default) is the ordinary single-node engine.
+    pub workers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -141,6 +148,7 @@ impl Default for ServeConfig {
             full_every: 8,
             max_pending_inserts: 256,
             rate_limit: None,
+            workers: Vec::new(),
         }
     }
 }
@@ -528,10 +536,13 @@ impl<'a> WalReplay<'a> {
 
 /// The process-wide stream registry (see the module docs).
 ///
-/// Command methods return the `OK` payload or the `ERR` message as plain
-/// strings: protocol-level problems (unknown stream, `QUERY` size mismatch)
-/// are not [`FdmError`]s, while algorithm/persistence errors pass their
-/// typed [`FdmError`] display through.
+/// Command methods return the typed success [`Payload`] or the typed
+/// [`ErrorReply`]: protocol-level problems (unknown stream, `QUERY` size
+/// mismatch) are not [`FdmError`]s, while algorithm/persistence errors
+/// pass their typed [`FdmError`] display through as generic errors. The
+/// session layer renders both through
+/// [`Response::render`](crate::protocol::Response::render) — the only
+/// place an `OK `/`ERR ` line is formatted.
 pub struct Engine {
     streams: RwLock<HashMap<String, Arc<StreamEntry>>>,
     config: ServeConfig,
@@ -539,19 +550,36 @@ pub struct Engine {
     /// Set by [`Engine::begin_drain`]: listeners refuse new connections
     /// while in-flight sessions finish.
     draining: AtomicBool,
+    /// Present iff [`ServeConfig::workers`] is non-empty: every
+    /// stream-touching command is delegated to the worker fleet instead of
+    /// the local registry.
+    coordinator: Option<Coordinator>,
+}
+
+/// Shorthand for the pervasive "typed core error → generic protocol
+/// error" conversion.
+fn generic(e: impl std::fmt::Display) -> ErrorReply {
+    ErrorReply::generic(e.to_string())
 }
 
 impl Engine {
     /// Creates an engine, running crash recovery over
     /// [`ServeConfig::data_dir`] if one is configured: every `<name>.snap`
     /// is restored and the matching `<name>.wal` tail replayed
-    /// exactly-once.
+    /// exactly-once. With [`ServeConfig::workers`] set the engine instead
+    /// becomes a stateless coordinator over those nodes.
     pub fn new(config: ServeConfig) -> Result<Engine> {
+        let coordinator = if config.workers.is_empty() {
+            None
+        } else {
+            Some(Coordinator::new(config.workers.clone()))
+        };
         let engine = Engine {
             streams: RwLock::new(HashMap::new()),
             config,
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
+            coordinator,
         };
         if let Some(dir) = engine.config.data_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| FdmError::SnapshotIo {
@@ -846,11 +874,12 @@ impl Engine {
 
     /// Looks up a stream's shared entry (registry lock held only for the
     /// map access).
-    fn entry(&self, name: &str) -> std::result::Result<Arc<StreamEntry>, String> {
-        read_lock(&self.streams)
-            .get(name)
-            .cloned()
-            .ok_or_else(|| format!("no stream named `{name}` (OPEN or RESTORE one first)"))
+    fn entry(&self, name: &str) -> std::result::Result<Arc<StreamEntry>, ErrorReply> {
+        read_lock(&self.streams).get(name).cloned().ok_or_else(|| {
+            generic(format!(
+                "no stream named `{name}` (OPEN or RESTORE one first)"
+            ))
+        })
     }
 
     /// `OPEN`: creates the stream, or re-attaches if a stream of that name
@@ -859,31 +888,35 @@ impl Engine {
     /// Creation holds the registry write lock through the durable anchor:
     /// if two sessions race the same `OPEN`, the loser attaches instead of
     /// clobbering the winner's snapshot/WAL chain with empty state.
-    pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<String, String> {
-        let summary_spec = spec.to_summary_spec().map_err(|e| e.to_string())?;
-        let requested = summary::spec_params(&summary_spec).map_err(|e| e.to_string())?;
+    pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<Payload, ErrorReply> {
+        if let Some(coordinator) = &self.coordinator {
+            return coordinator.open(name, spec);
+        }
+        let summary_spec = spec.to_summary_spec().map_err(generic)?;
+        let requested = summary::spec_params(&summary_spec).map_err(generic)?;
         let mut streams = write_lock(&self.streams);
         if let Some(existing) = streams.get(name) {
             let existing = existing.clone();
             drop(streams);
             requested
                 .ensure_compatible(&existing.params())
-                .map_err(|e| e.to_string())?;
-            return Ok(format!(
-                "attached {name} processed={}",
-                read_lock(&existing.summary).processed()
-            ));
+                .map_err(generic)?;
+            return Ok(Payload::Attached {
+                name: name.to_string(),
+                processed: read_lock(&existing.summary).processed(),
+            });
         }
-        let stream = summary::build(&summary_spec).map_err(|e| e.to_string())?;
+        let stream = summary::build(&summary_spec).map_err(generic)?;
         let first = stream.snapshot();
         let entry = StreamEntry::new(stream, self.config.rate_limit);
         {
             let mut durable = lock(&entry.durable);
-            self.anchor(name, first, &mut durable)
-                .map_err(|e| e.to_string())?;
+            self.anchor(name, first, &mut durable).map_err(generic)?;
         }
         streams.insert(name.to_string(), Arc::new(entry));
-        Ok(format!("opened {name}"))
+        Ok(Payload::Opened {
+            name: name.to_string(),
+        })
     }
 
     /// `INSERT`: write-ahead (sequence-numbered), apply, maybe
@@ -911,32 +944,35 @@ impl Engine {
         name: &str,
         element: &Element,
         raw_line: &str,
-    ) -> std::result::Result<String, String> {
+    ) -> std::result::Result<Payload, ErrorReply> {
+        if let Some(coordinator) = &self.coordinator {
+            return coordinator.insert(name, element);
+        }
         let start = Instant::now();
         let entry = self.entry(name)?;
         if let Some(limiter) = entry.limiter.as_ref() {
             if !lock(limiter).try_take() {
                 self.metrics.busy_rate_limited();
-                return Err(format!(
-                    "busy: stream `{name}` is over its insert rate limit; retry later"
-                ));
+                return Err(ErrorReply::busy(format!(
+                    "stream `{name}` is over its insert rate limit; retry later"
+                )));
             }
         }
         let queued = entry.pending_inserts.fetch_add(1, Ordering::SeqCst);
         let _pending = PendingGuard(&entry.pending_inserts);
         if queued >= self.config.max_pending_inserts {
             self.metrics.busy_queue_full();
-            return Err(format!(
-                "busy: stream `{name}` has {queued} pending inserts (max {}); retry later",
+            return Err(ErrorReply::busy(format!(
+                "stream `{name}` has {queued} pending inserts (max {}); retry later",
                 self.config.max_pending_inserts
-            ));
+            )));
         }
         let mut durable = lock(&entry.durable);
         // `durable` serializes writers, so the sequence number read here
         // cannot race another insert's apply.
         let seq = {
             let summary = read_lock(&entry.summary);
-            check_element(&summary.params(), element)?;
+            check_element(&summary.params(), element).map_err(ErrorReply::generic)?;
             summary.processed() as u64 + 1
         };
         let mut wal_len_before = 0u64;
@@ -949,7 +985,7 @@ impl Engine {
             let record = wal_record(&format!("{seq} {}", raw_line.trim()));
             wal.write_all(record.as_bytes())
                 .and_then(|()| wal.flush())
-                .map_err(|e| format!("append WAL for {name}: {e}"))?;
+                .map_err(|e| generic(format!("append WAL for {name}: {e}")))?;
             durable.counters.wal_records += 1;
         }
         crash_point("between-wal-append-and-apply");
@@ -968,10 +1004,10 @@ impl Engine {
                 durable.counters.wal_records = durable.counters.wal_records.saturating_sub(1);
             }
             self.metrics.panic_contained();
-            return Err(format!(
+            return Err(generic(format!(
                 "internal error (panic contained) applying INSERT to `{name}`: {}",
                 panic_message(&*payload)
-            ));
+            )));
         }
         durable.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
@@ -981,42 +1017,78 @@ impl Engine {
                 // disk).
                 let snapshot = read_lock(&entry.summary).snapshot();
                 self.anchor_delta(name, snapshot, &mut durable)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(generic)?;
             }
         }
         entry.metrics.insert_latency.observe(start.elapsed());
-        Ok(format!("inserted processed={seq}"))
+        Ok(Payload::Inserted { seq: seq as usize })
     }
 
     /// `QUERY`: post-processing of the named stream. `k`, when given, must
-    /// match the configured solution size. Runs under the summary *read*
-    /// lock: concurrent queries (and snapshot captures) overlap freely.
-    pub fn query(&self, name: &str, k: Option<usize>) -> std::result::Result<String, String> {
+    /// match the configured solution size; a stream with zero processed
+    /// arrivals answers a typed `empty stream` error instead of the
+    /// (opaque) infeasibility the finalize pass would report. Runs under
+    /// the summary *read* lock: concurrent queries (and snapshot captures)
+    /// overlap freely.
+    pub fn query(&self, name: &str, k: Option<usize>) -> std::result::Result<Payload, ErrorReply> {
+        if let Some(coordinator) = &self.coordinator {
+            return coordinator.query(name, k);
+        }
         let start = Instant::now();
         let entry = self.entry(name)?;
         let summary = read_lock(&entry.summary);
         let configured = summary.params().k;
         if let Some(k) = k {
             if k != configured {
-                return Err(format!(
+                return Err(generic(format!(
                     "QUERY k={k} but stream `{name}` is configured for k={configured}"
-                ));
+                )));
             }
+        }
+        if summary.processed() == 0 {
+            return Err(ErrorReply::empty_stream(format!(
+                "stream `{name}` has processed no elements; INSERT before QUERY"
+            )));
         }
         // Read-path panics (contained at the session boundary) cannot
         // poison the RwLock — readers don't poison — so no engine-level
         // catch is needed here; the hook pins that claim.
         panic_point("query-finalize", name);
-        let solution = summary.finalize().map_err(|e| e.to_string())?;
-        let ids: Vec<String> = solution.ids().iter().map(usize::to_string).collect();
+        let solution = summary.finalize().map_err(generic)?;
         drop(summary);
         entry.metrics.query_latency.observe(start.elapsed());
-        Ok(format!(
-            "k={} diversity={} ids={}",
-            solution.len(),
-            solution.diversity,
-            ids.join(",")
-        ))
+        Ok(Payload::Query(QueryReply {
+            k: solution.len(),
+            diversity: solution.diversity,
+            ids: solution.ids(),
+        }))
+    }
+
+    /// `MERGE`: export the named stream's summary as an inline v2 binary
+    /// snapshot frame — the wire contract the coordinator's `QUERY`
+    /// fan-out is built on. Capture (snapshot + counters) happens under a
+    /// short summary read lock; the binary encode runs off-lock.
+    pub fn merge(&self, name: &str) -> std::result::Result<Payload, ErrorReply> {
+        if self.coordinator.is_some() {
+            return Err(generic(
+                "MERGE is not supported in coordinator mode (the workers own the summaries)",
+            ));
+        }
+        let entry = self.entry(name)?;
+        let (snapshot, processed, algorithm) = {
+            let summary = read_lock(&entry.summary);
+            (
+                summary.snapshot(),
+                summary.processed(),
+                summary.params().algorithm,
+            )
+        };
+        let bytes = snapshot.to_bytes(SnapshotFormat::Binary);
+        Ok(Payload::Merge {
+            algorithm,
+            processed,
+            bytes,
+        })
     }
 
     /// `SNAPSHOT`: checkpoint the named stream to an explicit path, in the
@@ -1032,7 +1104,12 @@ impl Engine {
         name: &str,
         path: &str,
         format: Option<SnapshotFormat>,
-    ) -> std::result::Result<String, String> {
+    ) -> std::result::Result<Payload, ErrorReply> {
+        if self.coordinator.is_some() {
+            return Err(generic(
+                "SNAPSHOT is not supported in coordinator mode (snapshot the workers)",
+            ));
+        }
         let format = format.unwrap_or(self.config.snapshot_format);
         let entry = self.entry(name)?;
         let (snapshot, processed) = {
@@ -1042,16 +1119,16 @@ impl Engine {
         // Off-lock from here on.
         let bytes = snapshot.to_bytes(format);
         snapshot_write_pause();
-        fdm_core::persist::write_bytes_atomic(Path::new(path), &bytes)
-            .map_err(|e| e.to_string())?;
+        fdm_core::persist::write_bytes_atomic(Path::new(path), &bytes).map_err(generic)?;
         let mut durable = lock(&entry.durable);
         durable.counters.full_snapshots += 1;
         durable.counters.last_snapshot_bytes = bytes.len() as u64;
         durable.counters.last_snapshot_format = Some(format.name());
-        Ok(format!(
-            "snapshot {path} format={} processed={processed}",
-            format.name(),
-        ))
+        Ok(Payload::SnapshotWritten {
+            path: path.to_string(),
+            format,
+            processed,
+        })
     }
 
     /// `RESTORE`: load a snapshot into stream `name`, replacing (after a
@@ -1063,9 +1140,14 @@ impl Engine {
     /// register a second entry for it — two entries would append to one
     /// WAL through independent handles with independent sequence
     /// counters, corrupting the recovery chain.
-    pub fn restore(&self, name: &str, path: &str) -> std::result::Result<String, String> {
-        let snapshot = Snapshot::read_from_file(path).map_err(|e| e.to_string())?;
-        let stream = summary::restore(&snapshot).map_err(|e| e.to_string())?;
+    pub fn restore(&self, name: &str, path: &str) -> std::result::Result<Payload, ErrorReply> {
+        if self.coordinator.is_some() {
+            return Err(generic(
+                "RESTORE is not supported in coordinator mode (restore on a worker)",
+            ));
+        }
+        let snapshot = Snapshot::read_from_file(path).map_err(generic)?;
+        let stream = summary::restore(&snapshot).map_err(generic)?;
         let processed = stream.processed();
         // Decode happened above, off every lock; now decide create vs
         // replace under the registry write lock so the check cannot go
@@ -1080,30 +1162,36 @@ impl Engine {
             snapshot
                 .params
                 .ensure_compatible(&existing.params())
-                .map_err(|e| e.to_string())?;
+                .map_err(generic)?;
             let anchor_snapshot = stream.snapshot();
             *write_lock(&existing.summary) = stream;
             // The restored state supersedes the WAL chain: re-anchor it.
             self.anchor(name, anchor_snapshot, &mut durable)
-                .map_err(|e| e.to_string())?;
+                .map_err(generic)?;
         } else {
             let anchor_snapshot = stream.snapshot();
             let entry = StreamEntry::new(stream, self.config.rate_limit);
             {
                 let mut durable = lock(&entry.durable);
                 self.anchor(name, anchor_snapshot, &mut durable)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(generic)?;
             }
             streams.insert(name.to_string(), Arc::new(entry));
         }
-        Ok(format!("restored {name} processed={processed}"))
+        Ok(Payload::Restored {
+            name: name.to_string(),
+            processed,
+        })
     }
 
     /// `STATS` for one stream: stream geometry plus the per-stream
     /// persistence counters (WAL records appended, checkpoints written,
     /// size + format of the last checkpoint) so operators can see
     /// checkpoint health over the wire.
-    pub fn stats(&self, name: &str) -> std::result::Result<String, String> {
+    pub fn stats(&self, name: &str) -> std::result::Result<Payload, ErrorReply> {
+        if let Some(coordinator) = &self.coordinator {
+            return coordinator.stats(name);
+        }
         let entry = self.entry(name)?;
         let (params, processed, stored, f32_hits, f32_fallbacks) = {
             let summary = read_lock(&entry.summary);
@@ -1122,7 +1210,7 @@ impl Engine {
         } else {
             String::new()
         };
-        Ok(format!(
+        Ok(Payload::Stats(format!(
             "stream={name} algorithm={} processed={processed} stored={stored} dim={} k={} \
              shards={}{window} wal_records={} snapshots={} deltas={} last_snapshot_bytes={} \
              last_snapshot_format={} kernel={} f32_hits={f32_hits} f32_fallbacks={f32_fallbacks}",
@@ -1136,7 +1224,7 @@ impl Engine {
             counters.last_snapshot_bytes,
             counters.last_snapshot_format.unwrap_or("none"),
             fdm_core::kernel::active_kernel(),
-        ))
+        )))
     }
 
     /// Renders the full Prometheus text exposition for `/metrics`: the
@@ -1320,6 +1408,9 @@ impl Engine {
         for s in &samples {
             metrics::render_stream_histograms(&mut out, metrics::Which::Query, &s.name, &s.metrics);
         }
+        if let Some(coordinator) = &self.coordinator {
+            coordinator.render_metrics(&mut out);
+        }
         self.metrics.render_globals(&mut out);
         out
     }
@@ -1350,22 +1441,4 @@ fn check_element(params: &SnapshotParams, element: &Element) -> std::result::Res
         .to_string());
     }
     Ok(())
-}
-
-impl StreamSpec {
-    /// Translates the protocol-level specification into the registry's
-    /// algorithm-agnostic [`SummarySpec`].
-    pub fn to_summary_spec(&self) -> Result<SummarySpec> {
-        let bounds = fdm_core::dataset::DistanceBounds::new(self.dmin, self.dmax)?;
-        Ok(SummarySpec {
-            algorithm: self.algo.clone(),
-            epsilon: self.epsilon,
-            bounds,
-            metric: self.metric,
-            quotas: self.quotas.clone(),
-            k: self.k,
-            shards: self.shards,
-            window: self.window,
-        })
-    }
 }

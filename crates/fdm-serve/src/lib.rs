@@ -50,12 +50,19 @@
 // `unsafe` stays confined there.
 #![deny(unsafe_code)]
 
+pub mod coordinator;
 pub mod engine;
 pub mod metrics;
 pub mod net;
-pub mod protocol;
 pub mod session;
 pub mod signal;
+
+/// The wire grammar — typed [`protocol::Request`]/[`protocol::Response`]
+/// with one shared `parse`/`render` pair — lives in `fdm-client` so the
+/// server, the coordinator, the client library, and the tests all speak
+/// through one implementation. Re-exported here so in-tree consumers keep
+/// their `fdm_serve::protocol::...` paths.
+pub use fdm_client::protocol;
 
 pub use engine::{Engine, ServeConfig};
 pub use metrics::{serve_metrics, Metrics};

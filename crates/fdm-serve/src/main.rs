@@ -7,7 +7,7 @@
 //!           [--full-every N] [--socket PATH] [--listen ADDR:PORT]
 //!           [--read-timeout SECS] [--metrics ADDR:PORT] [--auth-token TOKEN]
 //!           [--max-connections N] [--max-pending N] [--rate-limit N]
-//!           [--drain-grace SECS]
+//!           [--drain-grace SECS] [--worker ADDR:PORT]...
 //! ```
 //!
 //! * `--data-dir DIR` — enable durability: per-stream WAL + snapshots in
@@ -39,6 +39,12 @@
 //!   (token bucket, one-second burst); over-limit inserts get `ERR busy`.
 //! * `--drain-grace SECS` — on SIGTERM, how long to wait for in-flight
 //!   sessions before checkpointing and exiting anyway (default 30).
+//! * `--worker ADDR:PORT` (repeatable) — **coordinator mode**: this node
+//!   hosts no summaries; `INSERT`s round-robin across the worker
+//!   `fdm-serve` nodes and `QUERY` merges their summaries (pulled via the
+//!   `MERGE` verb) bit-identically to a sharded single process. Excludes
+//!   `--data-dir` (the workers own all durable state); see
+//!   `docs/distributed.md`.
 //!
 //! With a socket or listener configured the process keeps serving after
 //! stdin closes. **SIGTERM drains gracefully**: new connections are
@@ -137,12 +143,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--drain-grace: invalid number of seconds".to_string())?;
                 drain_grace = Duration::from_secs(secs);
             }
+            "--worker" => config.workers.push(value("--worker")?),
             "--help" | "-h" => {
                 return Err("usage: fdm-serve [--data-dir DIR] [--snapshot-every N] \
                             [--snapshot-format json|bin] [--full-every N] [--socket PATH] \
                             [--listen ADDR:PORT] [--read-timeout SECS] [--metrics ADDR:PORT] \
                             [--auth-token TOKEN] [--max-connections N] [--max-pending N] \
-                            [--rate-limit N] [--drain-grace SECS]"
+                            [--rate-limit N] [--drain-grace SECS] [--worker ADDR:PORT]..."
                     .to_string())
             }
             other => return Err(format!("unknown flag {other}; try --help")),
@@ -150,6 +157,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if config.snapshot_every.is_some() && config.data_dir.is_none() {
         return Err("--snapshot-every requires --data-dir".to_string());
+    }
+    if !config.workers.is_empty() && config.data_dir.is_some() {
+        // The coordinator is stateless by design: durable state lives on
+        // the workers, and a coordinator-side WAL would double-apply on
+        // recovery.
+        return Err("--worker (coordinator mode) excludes --data-dir".to_string());
     }
     // An explicit --read-timeout applies to both transports (0 = never);
     // the defaults differ: TCP times idle remotes out, Unix-socket

@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crate::engine::{panic_point, Engine};
+use crate::protocol::{ErrorReply, Response};
 use crate::session::{Session, MAX_LINE_BYTES};
 
 /// Per-connection limits for the socket transports.
@@ -138,7 +139,10 @@ fn handle_connection<C: Connection>(
         // At capacity: one ERR line, then drop without spawning — the
         // refused connection must not cost a thread.
         engine.metrics().connection_refused(C::TRANSPORT);
-        let _ = stream.write_all(b"ERR server at connection limit; try again later\n");
+        let refusal = Response::Err(ErrorReply::generic(
+            "server at connection limit; try again later",
+        ));
+        let _ = stream.write_all(format!("{}\n", refusal.render()).as_bytes());
         return;
     };
     std::thread::spawn(move || {
@@ -177,7 +181,10 @@ fn handle_connection<C: Connection>(
 fn accept_one<C: Connection>(engine: &Arc<Engine>, mut stream: C, options: &NetOptions) {
     if engine.is_draining() {
         engine.metrics().connection_refused(C::TRANSPORT);
-        let _ = stream.write_all(b"ERR server is draining; connection refused\n");
+        let refusal = Response::Err(ErrorReply::generic(
+            "server is draining; connection refused",
+        ));
+        let _ = stream.write_all(format!("{}\n", refusal.render()).as_bytes());
         return;
     }
     let live = engine.metrics().connection_gauge(C::TRANSPORT);

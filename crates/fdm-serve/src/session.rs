@@ -5,6 +5,12 @@
 //! loop serves stdin/stdout, each Unix-socket connection, the WAL-driven
 //! tests, and the scripted CI session.
 //!
+//! Every reply line is produced by [`Response::render`] — the session
+//! never formats an `OK `/`ERR ` string itself (CI greps for strays), so
+//! the wire grammar has exactly one implementation on each side. A
+//! [`Payload::Merge`] reply is the one two-part frame: its header line is
+//! rendered like any other, then the raw binary snapshot bytes follow.
+//!
 //! The loop is also the process's **panic boundary**: every command runs
 //! under `catch_unwind`, so a panic anywhere below (algorithm code, a
 //! poisoned invariant, the deliberate test hook) degrades to one `ERR`
@@ -16,7 +22,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use crate::engine::{panic_message, Engine};
-use crate::protocol::{parse_line, valid_stream_name, Command};
+use crate::protocol::{parse_line, valid_stream_name, ErrorReply, Payload, Request, Response};
 
 /// Default per-line (frame) byte cap for every session transport. One
 /// protocol line is one command; even a 10 000-dimensional `INSERT` with
@@ -58,52 +64,54 @@ impl Session {
         self.current.as_deref()
     }
 
-    /// Executes one already-parsed command, returning the response payload
-    /// (without the `OK ` prefix) or an error message.
-    pub fn execute(&mut self, command: Command, raw_line: &str) -> Result<String, String> {
-        let bound = |current: &Option<String>| -> Result<String, String> {
-            current
-                .clone()
-                .ok_or_else(|| "no stream bound to this session (OPEN or RESTORE first)".into())
+    /// Executes one already-parsed request, returning the typed success
+    /// payload or the typed error.
+    pub fn execute(&mut self, request: Request, raw_line: &str) -> Result<Payload, ErrorReply> {
+        let bound = |current: &Option<String>| -> Result<String, ErrorReply> {
+            current.clone().ok_or_else(|| {
+                ErrorReply::generic("no stream bound to this session (OPEN or RESTORE first)")
+            })
         };
-        if let Command::Auth { token } = &command {
+        if let Request::Auth { token } = &request {
             return match self.required_token.as_deref() {
-                None => Ok("auth not required".to_string()),
+                None => Ok(Payload::AuthNotRequired),
                 Some(required) if required == token.as_str() => {
                     self.authenticated = true;
-                    Ok("authenticated".to_string())
+                    Ok(Payload::Authenticated)
                 }
                 Some(_) => {
                     self.engine.metrics().auth_failure();
-                    Err("invalid auth token".to_string())
+                    Err(ErrorReply::generic("invalid auth token"))
                 }
             };
         }
         if self.required_token.is_some()
             && !self.authenticated
-            && !matches!(command, Command::Ping | Command::Quit)
+            && !matches!(request, Request::Ping | Request::Quit)
         {
-            return Err("authentication required (AUTH <token> first)".to_string());
+            return Err(ErrorReply::generic(
+                "authentication required (AUTH <token> first)",
+            ));
         }
-        match command {
-            Command::Open { name, spec } => {
+        match request {
+            Request::Open { name, spec } => {
                 let reply = self.engine.open(&name, &spec)?;
                 self.current = Some(name);
                 Ok(reply)
             }
-            Command::Insert(element) => {
+            Request::Insert(element) => {
                 let name = bound(&self.current)?;
                 self.engine.insert(&name, &element, raw_line)
             }
-            Command::Query { k } => {
+            Request::Query { k } => {
                 let name = bound(&self.current)?;
                 self.engine.query(&name, k)
             }
-            Command::Snapshot { path, format } => {
+            Request::Snapshot { path, format } => {
                 let name = bound(&self.current)?;
                 self.engine.snapshot(&name, &path, format)
             }
-            Command::Restore { path } => {
+            Request::Restore { path } => {
                 // Without an explicit binding the stream takes its name
                 // from the snapshot file stem.
                 let name = match &self.current {
@@ -115,9 +123,9 @@ impl Session {
                             .unwrap_or_default()
                             .to_string();
                         if !valid_stream_name(&stem) {
-                            return Err(format!(
+                            return Err(ErrorReply::generic(format!(
                                 "cannot derive a stream name from `{path}`; OPEN a stream first"
-                            ));
+                            )));
                         }
                         stem
                     }
@@ -126,13 +134,17 @@ impl Session {
                 self.current = Some(name);
                 Ok(reply)
             }
-            Command::Stats => {
+            Request::Stats => {
                 let name = bound(&self.current)?;
                 self.engine.stats(&name)
             }
-            Command::Auth { .. } => unreachable!("AUTH is handled before the dispatch"),
-            Command::Ping => Ok("pong".to_string()),
-            Command::Quit => Ok("bye".to_string()),
+            Request::Merge => {
+                let name = bound(&self.current)?;
+                self.engine.merge(&name)
+            }
+            Request::Auth { .. } => unreachable!("AUTH is handled before the dispatch"),
+            Request::Ping => Ok(Payload::Pong),
+            Request::Quit => Ok(Payload::Bye),
         }
     }
 
@@ -156,6 +168,15 @@ impl Session {
         mut writer: impl Write,
         max_line: usize,
     ) -> std::io::Result<()> {
+        // The sanctioned reply path: one rendered line, flushed — plus,
+        // for a MERGE header, the announced raw byte tail.
+        fn reply(writer: &mut impl Write, response: &Response) -> std::io::Result<()> {
+            writeln!(writer, "{}", response.render())?;
+            if let Response::Ok(Payload::Merge { bytes, .. }) = response {
+                writer.write_all(bytes)?;
+            }
+            writer.flush()
+        }
         let mut buf: Vec<u8> = Vec::new();
         loop {
             buf.clear();
@@ -169,11 +190,12 @@ impl Session {
             if buf.last() == Some(&b'\n') {
                 buf.pop();
             } else if buf.len() > max_line {
-                writeln!(
-                    writer,
-                    "ERR line exceeds {max_line} bytes; discarding the rest of it"
+                reply(
+                    &mut writer,
+                    &Response::Err(ErrorReply::generic(format!(
+                        "line exceeds {max_line} bytes; discarding the rest of it"
+                    ))),
                 )?;
-                writer.flush()?;
                 // Drain the oversized line in bounded chunks: the tail of
                 // a too-long frame is garbage, not fresh commands — it
                 // must not be parsed, and it must not accumulate in
@@ -194,15 +216,17 @@ impl Session {
             let line = match std::str::from_utf8(&buf) {
                 Ok(line) => line,
                 Err(_) => {
-                    writeln!(writer, "ERR line is not valid UTF-8")?;
-                    writer.flush()?;
+                    reply(
+                        &mut writer,
+                        &Response::Err(ErrorReply::generic("line is not valid UTF-8")),
+                    )?;
                     continue;
                 }
             };
             match parse_line(line) {
                 Ok(None) => continue,
-                Ok(Some(command)) => {
-                    let quit = command == Command::Quit;
+                Ok(Some(request)) => {
+                    let quit = request == Request::Quit;
                     // The panic boundary: a panic below this point (in the
                     // engine, an algorithm, or the deliberate test hook)
                     // costs this command one ERR reply — never the
@@ -210,30 +234,28 @@ impl Session {
                     // recover from poisoning, and its insert path rolls
                     // the WAL back itself before re-raising.
                     let outcome =
-                        std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(command, line)));
-                    match outcome {
-                        Ok(Ok(reply)) => writeln!(writer, "OK {reply}")?,
-                        Ok(Err(message)) => writeln!(writer, "ERR {message}")?,
+                        std::panic::catch_unwind(AssertUnwindSafe(|| self.execute(request, line)));
+                    let response = match outcome {
+                        Ok(Ok(payload)) => Response::Ok(payload),
+                        Ok(Err(err)) => Response::Err(err),
                         Err(payload) => {
                             // Insert-path panics never unwind this far
                             // (the engine catches them to roll its WAL
                             // back), so this count never doubles theirs.
                             self.engine.metrics().panic_contained();
-                            writeln!(
-                                writer,
-                                "ERR internal error (panic contained): {}",
+                            Response::Err(ErrorReply::generic(format!(
+                                "internal error (panic contained): {}",
                                 panic_message(&*payload)
-                            )?;
+                            )))
                         }
-                    }
-                    writer.flush()?;
+                    };
+                    reply(&mut writer, &response)?;
                     if quit {
                         return Ok(());
                     }
                 }
                 Err(message) => {
-                    writeln!(writer, "ERR {message}")?;
-                    writer.flush()?;
+                    reply(&mut writer, &Response::Err(ErrorReply::generic(message)))?;
                 }
             }
         }

@@ -7,7 +7,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use fdm_serve::protocol::{parse_line, Command as Cmd, StreamSpec};
+use fdm_serve::protocol::{parse_line, ErrorReply, Payload, Request as Cmd, StreamSpec};
 use fdm_serve::{Engine, ServeConfig};
 
 const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
@@ -19,7 +19,7 @@ fn spec_of(line: &str) -> (String, StreamSpec) {
     }
 }
 
-fn insert(engine: &Engine, name: &str, i: usize) -> Result<String, String> {
+fn insert(engine: &Engine, name: &str, i: usize) -> Result<Payload, ErrorReply> {
     let line = format!("INSERT {i} {} {}.0 {}.5", i % 2, i % 13, i % 7);
     match parse_line(&line).unwrap().unwrap() {
         Cmd::Insert(e) => engine.insert(name, &e, &line),
@@ -52,8 +52,9 @@ fn rate_limited_streams_reject_with_busy_and_recover() {
     insert(&engine, &name, 1).unwrap();
     // ...and the next immediate insert is over the limit.
     let err = insert(&engine, &name, 2).unwrap_err();
+    assert_eq!(err.kind, fdm_serve::protocol::ErrorKind::Busy);
     assert!(
-        err.starts_with("busy: ") && err.contains("rate limit"),
+        err.to_string().starts_with("busy: ") && err.message.contains("rate limit"),
         "{err}"
     );
 
@@ -109,8 +110,9 @@ fn full_pending_queue_rejects_with_busy_instead_of_queueing() {
     // slot: this one must bounce now, not after the 600 ms stall.
     let started = std::time::Instant::now();
     let err = insert(&engine, &name, 2).unwrap_err();
+    assert_eq!(err.kind, fdm_serve::protocol::ErrorKind::Busy);
     assert!(
-        err.starts_with("busy: ") && err.contains("pending inserts"),
+        err.to_string().starts_with("busy: ") && err.message.contains("pending inserts"),
         "{err}"
     );
     assert!(

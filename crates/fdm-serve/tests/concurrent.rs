@@ -18,7 +18,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fdm_core::persist::SnapshotFormat;
-use fdm_serve::protocol::{parse_line, Command as Cmd, StreamSpec};
+use fdm_serve::protocol::{parse_line, Payload, Request as Cmd, StreamSpec};
 use fdm_serve::{Engine, ServeConfig, Session};
 
 fn scratch(tag: &str) -> PathBuf {
@@ -55,8 +55,9 @@ fn insert_line(stream_seed: u64, i: usize) -> String {
 }
 
 /// The serial reference: one uncontended engine fed the same per-stream
-/// sequences, queried at the end.
-fn serial_answers(inserts_per_stream: usize) -> Vec<String> {
+/// sequences, queried at the end. The typed [`Payload`] comparison pins
+/// `k`, the exact `diversity` value, and the selected ids.
+fn serial_answers(inserts_per_stream: usize) -> Vec<Payload> {
     let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
     stream_specs()
         .into_iter()

@@ -1,0 +1,506 @@
+//! Distributed-identity suite for coordinator mode.
+//!
+//! The correctness anchor of the coordinator/worker fan-out: a coordinator
+//! over K workers must answer every QUERY **bit-identically** to a
+//! single-process `ShardedStream` with K shards fed the same arrival
+//! order. The property holds because the coordinator's round-robin insert
+//! routing *is* `ShardedStream`'s element-to-shard assignment, and its
+//! MERGE fan-in replays `ShardedStream::finalize`'s merge pass
+//! operation-for-operation (`summary::merge_summaries`).
+//!
+//! Plus the failure cells: a dead worker degrades to a typed
+//! `ERR worker unavailable: <addr>: <cause>` — never a hang — with the
+//! outage visible in STATS and `/metrics`; a SIGKILLed worker restarts
+//! from its own WAL and the next QUERY is exact; a worker that crashes
+//! *inside* an insert (the WAL append → apply gap, via
+//! `FDM_SERVE_CRASH_POINT`) replays the appended record on restart and a
+//! restarted coordinator re-derives `processed`/cursor from the workers'
+//! positions.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::Arc;
+
+use fdm_core::point::Element;
+use fdm_serve::protocol::{parse_line, ErrorKind, Payload, Request as Cmd, StreamSpec};
+use fdm_serve::{serve_tcp, Engine, NetOptions, ServeConfig, Session};
+use proptest::prelude::*;
+
+// --- In-process cluster helpers -------------------------------------------
+
+/// Starts one in-process worker engine behind a TCP listener and returns
+/// its `ADDR:PORT` (the accept loop runs until the test process exits).
+fn start_worker() -> String {
+    let engine = Arc::new(Engine::new(ServeConfig::default()).unwrap());
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || serve_tcp(engine, listener, NetOptions::default()));
+    addr.to_string()
+}
+
+/// A coordinator engine over `k` fresh in-process workers.
+fn coordinator_over(workers: Vec<String>) -> Arc<Engine> {
+    Arc::new(
+        Engine::new(ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    )
+}
+
+fn coordinator(k: usize) -> Arc<Engine> {
+    coordinator_over((0..k).map(|_| start_worker()).collect())
+}
+
+/// The OPEN tail for one family member; `shards > 1` only on the
+/// single-process reference (coordinator streams are always unsharded —
+/// the workers are the shards).
+fn open_line(algo: &str, shards: usize) -> String {
+    let mut line = format!("OPEN jobs {algo} quotas=2,2 eps=0.1 dmin=0.05 dmax=30");
+    if algo == "sliding" {
+        line.push_str(" window=16");
+    }
+    if shards > 1 {
+        line.push_str(&format!(" shards={shards}"));
+    }
+    line
+}
+
+fn spec_of(line: &str) -> (String, StreamSpec) {
+    match parse_line(line).unwrap().unwrap() {
+        Cmd::Open { name, spec } => (name, spec),
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Feeds one arrival order and returns the QUERY outcome (errors included:
+/// both sides must fail identically too).
+fn feed_and_query(
+    engine: &Engine,
+    open: &str,
+    arrivals: &[Element],
+) -> Result<Payload, fdm_serve::protocol::ErrorReply> {
+    let (name, spec) = spec_of(open);
+    engine.open(&name, &spec)?;
+    for e in arrivals {
+        let line = format!(
+            "INSERT {} {} {}",
+            e.id,
+            e.group,
+            e.point
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        engine.insert(&name, e, &line)?;
+    }
+    engine.query(&name, None)
+}
+
+fn deterministic_arrivals(n: usize) -> Vec<Element> {
+    (0..n)
+        .map(|i| {
+            let x = (i as f64 * 0.7391).sin() * 9.0;
+            let y = (i as f64 * 0.2113).cos() * 9.0;
+            Element::new(i, vec![x, y], i % 2)
+        })
+        .collect()
+}
+
+// --- The bit-identity property --------------------------------------------
+
+/// Random two-group streams with every group pinned to ≥ 4 early members,
+/// so quotas=2,2 stays feasible regardless of the random labels.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<Element>> {
+    proptest::collection::vec((0.0f64..10.0, 0.0f64..10.0, 0usize..2), 40..=96).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (x, y, g))| {
+                let group = if i < 8 { i % 2 } else { g };
+                Element::new(i, vec![x, y], group)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary arrival orders × K ∈ {1, 2, 4} × the family: the
+    /// coordinator's QUERY must be bit-identical (ids and the exact f64
+    /// diversity) to a single-process `ShardedStream` with K shards.
+    #[test]
+    fn coordinator_query_is_bit_identical_to_sharded_stream(
+        arrivals in arrivals_strategy(),
+        k in prop_oneof![Just(1usize), Just(2), Just(4)],
+        algo in prop_oneof![Just("sfdm1"), Just("sfdm2"), Just("sliding")],
+    ) {
+        let reference = feed_and_query(
+            &Engine::new(ServeConfig::default()).unwrap(),
+            &open_line(algo, k),
+            &arrivals,
+        );
+        let distributed = feed_and_query(&coordinator(k), &open_line(algo, 1), &arrivals);
+        prop_assert_eq!(&distributed, &reference, "K={} algo={}", k, algo);
+        if let (Ok(Payload::Query(d)), Ok(Payload::Query(r))) = (&distributed, &reference) {
+            prop_assert_eq!(
+                d.diversity.to_bits(),
+                r.diversity.to_bits(),
+                "diversity must match to the bit (K={}, algo={})",
+                k,
+                algo
+            );
+        }
+    }
+}
+
+/// The golden cell: one fixed stream, K = 2, rendered through a protocol
+/// session — the coordinator's reply lines are pinned verbatim, and the
+/// QUERY line equals the single-process `shards=2` rendering.
+#[test]
+fn golden_coordinator_session_matches_sharded_reference() {
+    let arrivals = deterministic_arrivals(50);
+    let run = |engine: Arc<Engine>, open: &str| -> Vec<String> {
+        let mut script = vec![open.to_string()];
+        for e in &arrivals {
+            let coords: Vec<String> = e.point.iter().map(f64::to_string).collect();
+            script.push(format!("INSERT {} {} {}", e.id, e.group, coords.join(" ")));
+        }
+        script.push("QUERY".into());
+        let mut output = Vec::new();
+        Session::new(engine)
+            .run(
+                std::io::Cursor::new(script.join("\n").into_bytes()),
+                &mut output,
+            )
+            .unwrap();
+        String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    };
+
+    let coordinator_lines = run(coordinator(2), &open_line("sfdm2", 1));
+    let reference_lines = run(
+        Arc::new(Engine::new(ServeConfig::default()).unwrap()),
+        &open_line("sfdm2", 2),
+    );
+    assert_eq!(
+        coordinator_lines, reference_lines,
+        "every rendered coordinator reply must match the sharded reference"
+    );
+    assert_eq!(
+        coordinator_lines.last().unwrap(),
+        GOLDEN_QUERY,
+        "the pinned golden QUERY reply"
+    );
+}
+
+/// The exact QUERY reply of `golden_coordinator_session_matches_sharded_reference`:
+/// 50 deterministic arrivals, sfdm2 quotas=2,2 eps=0.1, K = 2. Any change
+/// here is a wire-visible behavior change of the whole merge path.
+const GOLDEN_QUERY: &str = "OK k=4 diversity=10.713654459069144 ids=0,6,9,15";
+
+// --- Typed failure cells ---------------------------------------------------
+
+/// A worker nobody listens on: OPEN fails with the typed
+/// `worker unavailable` error naming the address — after bounded connect
+/// retries, never a hang.
+#[test]
+fn unreachable_worker_degrades_typed() {
+    // Bind-then-drop reserves an address that will refuse connections.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let engine = coordinator_over(vec![addr.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    let started = std::time::Instant::now();
+    let err = engine.open(&name, &spec).unwrap_err();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(30),
+        "the failure must be bounded by the connect retry budget"
+    );
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(
+        err.message.starts_with(&addr),
+        "the error must name the failing worker: {err}"
+    );
+    assert!(err.to_string().starts_with("worker unavailable: "), "{err}");
+}
+
+/// Coordinator streams reject `shards=` (the workers are the shards) and
+/// QUERY on a zero-arrival stream is the typed `empty stream` error — on
+/// the coordinator exactly as on a single node.
+#[test]
+fn coordinator_rejects_shards_and_types_empty_query() {
+    let engine = coordinator(2);
+    let (name, spec) = spec_of(&open_line("sfdm2", 2));
+    let err = engine.open(&name, &spec).unwrap_err();
+    assert!(err.message.contains("shards=1"), "{err}");
+
+    for engine in [
+        coordinator(2),
+        Arc::new(Engine::new(ServeConfig::default()).unwrap()),
+    ] {
+        let (name, spec) = spec_of(&open_line("sfdm2", 1));
+        engine.open(&name, &spec).unwrap();
+        let err = engine.query(&name, None).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::EmptyStream);
+        assert_eq!(
+            err.to_string(),
+            "empty stream: stream `jobs` has processed no elements; INSERT before QUERY"
+        );
+    }
+}
+
+// --- Crash cells over real worker binaries ---------------------------------
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fdm_distributed_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Spawns a real `fdm-serve` worker with a TCP listener and returns the
+/// child plus its `ADDR:PORT` (parsed from the "listening on" stderr
+/// line). Mirrors the crash-matrix helper; stdin is held open so the
+/// process keeps serving.
+fn spawn_worker(dir: &Path, crash_point: Option<&str>) -> (std::process::Child, String) {
+    use std::io::{BufRead, BufReader};
+    let mut command = Command::new(env!("CARGO_BIN_EXE_fdm-serve"));
+    command
+        .args([
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--snapshot-every",
+            "8",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    if let Some(point) = crash_point {
+        command.env("FDM_SERVE_CRASH_POINT", point);
+    }
+    let mut child = command.spawn().expect("spawn fdm-serve worker");
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let mut addr = None;
+    let mut line = String::new();
+    while stderr.read_line(&mut line).unwrap_or(0) > 0 {
+        if let Some(rest) = line.trim().strip_prefix("fdm-serve: listening on tcp://") {
+            addr = Some(rest.to_string());
+            break;
+        }
+        line.clear();
+    }
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while stderr.read_line(&mut sink).unwrap_or(0) > 0 {
+            sink.clear();
+        }
+    });
+    (child, addr.expect("no tcp listen line on worker stderr"))
+}
+
+fn insert_via(
+    engine: &Engine,
+    name: &str,
+    e: &Element,
+) -> Result<Payload, fdm_serve::protocol::ErrorReply> {
+    let coords: Vec<String> = e.point.iter().map(f64::to_string).collect();
+    let line = format!("INSERT {} {} {}", e.id, e.group, coords.join(" "));
+    engine.insert(name, e, &line)
+}
+
+/// SIGKILL a worker mid-stream: the next insert routed to it fails typed
+/// (named address, health down in STATS and `/metrics`), the worker
+/// restarts over its own data dir (WAL replay), a restarted coordinator
+/// re-derives `processed`/cursor from the workers — and the next QUERY is
+/// byte-identical to an uninterrupted single-process K=2 run.
+#[test]
+fn worker_sigkill_restart_then_query_exact() {
+    let arrivals = deterministic_arrivals(30);
+    let dir0 = scratch("sigkill_w0");
+    let dir1 = scratch("sigkill_w1");
+    let (mut w0, addr0) = spawn_worker(&dir0, None);
+    let (w1, addr1) = spawn_worker(&dir1, None);
+
+    let engine = coordinator_over(vec![addr0.clone(), addr1.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    engine.open(&name, &spec).unwrap();
+    for e in &arrivals[..20] {
+        insert_via(&engine, &name, e).unwrap();
+    }
+
+    // Cursor is at worker 0 (20 % 2): kill exactly the worker the next
+    // insert routes to. SIGKILL = no cleanup, the WAL is the recovery.
+    w0.kill().unwrap();
+    let _ = w0.wait();
+    let err = insert_via(&engine, &name, &arrivals[20]).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(err.message.starts_with(&addr0), "{err}");
+
+    // The outage is operator-visible.
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("worker0_up=0"), "{stats}");
+    assert!(stats.contains("worker1_up=1"), "{stats}");
+    let metrics = engine.render_metrics();
+    assert!(
+        metrics.contains(&format!("fdm_worker_up{{worker=\"{addr0}\"}} 0")),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains(&format!(
+            "fdm_worker_failures_total{{worker=\"{addr0}\"}} 1"
+        )),
+        "{metrics}"
+    );
+
+    // Restart worker 0 over the same data dir (fresh port — ports are
+    // config, the data dir is the identity) and restart the coordinator:
+    // it must re-derive processed=20 and cursor=0 from the workers.
+    let (_w0b, addr0b) = spawn_worker(&dir0, None);
+    let engine = coordinator_over(vec![addr0b, addr1]);
+    match engine.open(&name, &spec).unwrap() {
+        Payload::Attached { processed, .. } => assert_eq!(processed, 20, "WAL replay"),
+        other => panic!("{other:?}"),
+    }
+    for e in &arrivals[20..] {
+        insert_via(&engine, &name, e).unwrap();
+    }
+
+    let reference = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(
+        engine.query(&name, None).unwrap(),
+        reference,
+        "post-restart QUERY must be bit-identical to the uninterrupted sharded run"
+    );
+    drop(w1);
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// The WAL append → apply gap on a *worker*, under coordinator traffic:
+/// the armed insert dies without an ack (typed error at the coordinator),
+/// but the record is in the worker's WAL — restart replays it, and the
+/// restarted coordinator's re-derived position counts it. The continued
+/// stream still matches the uninterrupted reference, because the crashed
+/// element landed exactly where the round-robin order says it belongs.
+#[test]
+fn worker_crash_in_wal_gap_replays_and_stays_identical() {
+    let arrivals = deterministic_arrivals(30);
+    let dir0 = scratch("walgap_w0");
+    let dir1 = scratch("walgap_w1");
+    // Worker 0 aborts inside its 11th insert, after the WAL append.
+    let (_w0, addr0) = spawn_worker(&dir0, Some("between-wal-append-and-apply:11"));
+    let (_w1, addr1) = spawn_worker(&dir1, None);
+
+    let engine = coordinator_over(vec![addr0.clone(), addr1.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    engine.open(&name, &spec).unwrap();
+    for e in &arrivals[..20] {
+        insert_via(&engine, &name, e).unwrap();
+    }
+    // Arrival 20 is worker 0's 11th insert: the crash point fires between
+    // its WAL append and its apply — no ack, typed failure.
+    let err = insert_via(&engine, &name, &arrivals[20]).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(err.message.starts_with(&addr0), "{err}");
+
+    // Restart worker 0: recovery replays the appended record, so the
+    // worker holds 11 arrivals — the un-acked element applied after all.
+    // A restarted coordinator derives processed=21, cursor=1 and the
+    // stream continues as if the crash never happened.
+    let (_w0b, addr0b) = spawn_worker(&dir0, None);
+    let engine = coordinator_over(vec![addr0b, addr1]);
+    match engine.open(&name, &spec).unwrap() {
+        Payload::Attached { processed, .. } => {
+            assert_eq!(processed, 21, "the WAL-appended record must replay")
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("cursor=1"), "{stats}");
+    for e in &arrivals[21..] {
+        insert_via(&engine, &name, e).unwrap();
+    }
+
+    let reference = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(engine.query(&name, None).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// The full distributed loop over real processes end to end: a real
+/// coordinator *binary* (not an in-process engine) fronting two real
+/// workers, driven over its stdin session — the deployment shape
+/// `examples/serve_cluster.sh` ships.
+#[test]
+fn coordinator_binary_fronts_real_workers() {
+    let arrivals = deterministic_arrivals(30);
+    let dir0 = scratch("binary_w0");
+    let dir1 = scratch("binary_w1");
+    let (_w0, addr0) = spawn_worker(&dir0, None);
+    let (_w1, addr1) = spawn_worker(&dir1, None);
+
+    let mut script = vec![open_line("sfdm2", 1)];
+    for e in &arrivals {
+        let coords: Vec<String> = e.point.iter().map(f64::to_string).collect();
+        script.push(format!("INSERT {} {} {}", e.id, e.group, coords.join(" ")));
+    }
+    script.push("QUERY".into());
+    script.push("QUIT".into());
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
+        .args(["--worker", &addr0, "--worker", &addr1])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn coordinator");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        stdin
+            .write_all(format!("{}\n", script.join("\n")).as_bytes())
+            .unwrap();
+    }
+    let output = child.wait_with_output().unwrap();
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    let query_line = stdout.lines().rev().nth(1).unwrap().to_string();
+
+    let reference = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    let reference_line = fdm_serve::protocol::Response::Ok(reference).render();
+    assert_eq!(query_line, reference_line);
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use fdm_serve::protocol::{parse_line, Command as Cmd};
+use fdm_serve::protocol::{parse_line, Request as Cmd};
 use fdm_serve::{serve_metrics, Engine, ServeConfig};
 
 const OPENS: [&str; 2] = [

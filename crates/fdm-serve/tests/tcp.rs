@@ -1,18 +1,33 @@
 //! TCP front-end tests: the same line protocol over TCP, Unix socket, and
 //! an in-process session must serve identical answers, and the TCP
 //! defenses (max-frame guard, read timeout) must hold.
+//!
+//! Client-side wire access goes through [`fdm_client::Client`] — the typed
+//! wrappers where the test cares about the payload, the raw
+//! `send_line`/`read_reply_line`/`roundtrip` escape hatches where it
+//! deliberately speaks malformed or oversized frames.
 
-use std::io::{BufRead, BufReader, Cursor, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::Cursor;
+use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use fdm_client::{Client, ClientError};
+use fdm_core::persist::SnapshotFormat;
+use fdm_serve::protocol::{parse_line, Request, StreamSpec};
 use fdm_serve::{serve_tcp, serve_unix, Engine, NetOptions, ServeConfig, Session};
 
 const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
 
 fn engine() -> Arc<Engine> {
     Arc::new(Engine::new(ServeConfig::default()).unwrap())
+}
+
+fn open_spec() -> (String, StreamSpec) {
+    match parse_line(OPEN).unwrap().unwrap() {
+        Request::Open { name, spec } => (name, spec),
+        other => panic!("{other:?}"),
+    }
 }
 
 fn script(n: usize) -> String {
@@ -35,10 +50,12 @@ fn start_tcp(engine: Arc<Engine>, options: NetOptions) -> std::net::SocketAddr {
     addr
 }
 
-fn replies_from(reader: impl Read) -> Vec<String> {
-    BufReader::new(reader)
-        .lines()
-        .map_while(|l| l.ok())
+/// Round-trips every line of `text` through `client`, one reply per
+/// command line (blank lines and comments get no reply).
+fn roundtrip_script(client: &mut Client, text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|line| parse_line(line).map(|c| c.is_some()).unwrap_or(true))
+        .map(|line| client.roundtrip(line).unwrap())
         .collect()
 }
 
@@ -65,14 +82,13 @@ fn tcp_unix_and_inprocess_sessions_serve_identical_answers() {
     // TCP.
     let tcp_replies = {
         let addr = start_tcp(engine(), NetOptions::default());
-        let mut client = TcpStream::connect(addr).unwrap();
-        client.write_all(text.as_bytes()).unwrap();
-        replies_from(client.try_clone().unwrap())
+        let mut client = Client::connect_tcp(addr).unwrap();
+        roundtrip_script(&mut client, &text)
     };
 
     // Unix socket.
     let unix_replies = {
-        use std::os::unix::net::{UnixListener, UnixStream};
+        use std::os::unix::net::UnixListener;
         let dir = std::env::temp_dir().join(format!("fdm_tcp_test_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
@@ -80,9 +96,8 @@ fn tcp_unix_and_inprocess_sessions_serve_identical_answers() {
         let listener = UnixListener::bind(&path).unwrap();
         let e = engine();
         std::thread::spawn(move || serve_unix(e, listener, NetOptions::default()));
-        let mut client = UnixStream::connect(&path).unwrap();
-        client.write_all(text.as_bytes()).unwrap();
-        let replies = replies_from(client.try_clone().unwrap());
+        let mut client = Client::connect_unix(&path).unwrap();
+        let replies = roundtrip_script(&mut client, &text);
         let _ = std::fs::remove_dir_all(&dir);
         replies
     };
@@ -97,20 +112,22 @@ fn tcp_unix_and_inprocess_sessions_serve_identical_answers() {
 #[test]
 fn tcp_sessions_share_the_engine_across_connections() {
     let addr = start_tcp(engine(), NetOptions::default());
+    let (name, spec) = open_spec();
 
-    // Connection 1 opens and feeds the stream.
-    let mut a = TcpStream::connect(addr).unwrap();
-    a.write_all(format!("{OPEN}\nINSERT 0 0 1 1\nINSERT 1 1 5 5\nQUIT\n").as_bytes())
-        .unwrap();
-    let replies = replies_from(a.try_clone().unwrap());
-    assert!(replies.iter().all(|r| r.starts_with("OK ")), "{replies:?}");
+    // Connection 1 opens and feeds the stream through the typed API.
+    let mut a = Client::connect_tcp(addr).unwrap();
+    assert_eq!(a.open(&name, &spec).unwrap(), 0, "fresh stream");
+    for (i, (x, y)) in [(1.0, 1.0), (5.0, 5.0)].iter().enumerate() {
+        let element = fdm_core::point::Element::new(i, vec![*x, *y], i % 2);
+        assert_eq!(a.insert(&element).unwrap(), i + 1);
+    }
+    a.quit().unwrap();
 
-    // Connection 2 attaches to the same named stream.
-    let mut b = TcpStream::connect(addr).unwrap();
-    b.write_all(format!("{OPEN}\nSTATS\nQUIT\n").as_bytes())
-        .unwrap();
-    let replies = replies_from(b.try_clone().unwrap());
-    assert_eq!(replies[0], "OK attached jobs processed=2", "{replies:?}");
+    // Connection 2 attaches to the same named stream; the raw round trip
+    // additionally pins the wire bytes of the attach reply.
+    let mut b = Client::connect_tcp(addr).unwrap();
+    assert_eq!(b.roundtrip(OPEN).unwrap(), "OK attached jobs processed=2");
+    assert_eq!(b.open(&name, &spec).unwrap(), 2, "typed re-attach");
 }
 
 #[test]
@@ -123,24 +140,20 @@ fn oversized_lines_resync_on_the_next_newline() {
             ..NetOptions::default()
         },
     );
-    let mut client = TcpStream::connect(addr).unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
     // One >1 MiB line whose unread tail spells a valid command: the tail
     // belongs to the oversized line and must be discarded, never parsed —
     // if it were, the session would answer `OK bye` and close here.
-    let mut huge = vec![b'x'; (1 << 20) + 37];
-    huge.extend_from_slice(b" QUIT\n");
-    client.write_all(&huge).unwrap();
+    let mut huge = "x".repeat((1 << 20) + 37);
+    huge.push_str(" QUIT");
+    client.send_line(&huge).unwrap();
+    assert!(client
+        .read_reply_line()
+        .unwrap()
+        .starts_with("ERR line exceeds 1024 bytes"),);
     // The *next* line is a fresh command and must work normally.
-    client.write_all(b"PING\nQUIT\n").unwrap();
-    let replies = replies_from(client.try_clone().unwrap());
-    assert_eq!(replies.len(), 3, "{replies:?}");
-    assert!(
-        replies[0].starts_with("ERR line exceeds 1024 bytes"),
-        "{}",
-        replies[0]
-    );
-    assert_eq!(replies[1], "OK pong", "session must resync after the ERR");
-    assert_eq!(replies[2], "OK bye");
+    assert_eq!(client.roundtrip("PING").unwrap(), "OK pong");
+    assert_eq!(client.roundtrip("QUIT").unwrap(), "OK bye");
 }
 
 #[test]
@@ -153,28 +166,37 @@ fn auth_token_gates_tcp_sessions() {
             ..NetOptions::default()
         },
     );
-    let mut client = TcpStream::connect(addr).unwrap();
-    let text = format!("PING\n{OPEN}\nAUTH wrong\nAUTH s3cret\n{OPEN}\nQUIT\n");
-    client.write_all(text.as_bytes()).unwrap();
-    let replies = replies_from(client.try_clone().unwrap());
+    let mut client = Client::connect_tcp(addr).unwrap();
+    // Raw round trips pin the exact reply lines of the auth choreography.
+    assert_eq!(client.roundtrip("PING").unwrap(), "OK pong"); // health checks stay open pre-auth
     assert_eq!(
-        replies,
-        vec![
-            "OK pong".to_string(), // PING stays open pre-auth (health checks)
-            "ERR authentication required (AUTH <token> first)".to_string(),
-            "ERR invalid auth token".to_string(),
-            "OK authenticated".to_string(),
-            "OK opened jobs".to_string(),
-            "OK bye".to_string(),
-        ]
+        client.roundtrip(OPEN).unwrap(),
+        "ERR authentication required (AUTH <token> first)"
     );
+    assert_eq!(
+        client.roundtrip("AUTH wrong").unwrap(),
+        "ERR invalid auth token"
+    );
+    // The typed wrapper surfaces the server rejection as a typed error.
+    let err = client.auth("also-wrong").unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Server(reply) if reply.message == "invalid auth token"),
+        "{err}"
+    );
+    client.auth("s3cret").unwrap();
+    assert_eq!(client.roundtrip(OPEN).unwrap(), "OK opened jobs");
+    client.quit().unwrap();
 
     // Without --auth-token, AUTH is a no-op courtesy.
     let addr = start_tcp(engine(), NetOptions::default());
-    let mut client = TcpStream::connect(addr).unwrap();
-    client.write_all(b"AUTH anything\nPING\nQUIT\n").unwrap();
-    let replies = replies_from(client.try_clone().unwrap());
-    assert_eq!(replies[0], "OK auth not required", "{replies:?}");
+    let mut client = Client::connect_tcp(addr).unwrap();
+    assert_eq!(
+        client.roundtrip("AUTH anything").unwrap(),
+        "OK auth not required"
+    );
+    client.auth("anything").unwrap();
+    client.ping().unwrap();
+    client.quit().unwrap();
 }
 
 #[test]
@@ -187,17 +209,19 @@ fn idle_tcp_connections_time_out() {
             ..NetOptions::default()
         },
     );
-    let client = TcpStream::connect(addr).unwrap();
+    let mut client = Client::connect_tcp(addr).unwrap();
     // Send nothing. The server side must drop the connection once the
-    // read timeout fires, which we observe as EOF (or an error) on our
-    // read side well before a generous deadline.
+    // read timeout fires, which we observe as EOF on our read side well
+    // before a generous deadline.
     client
         .set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     let start = Instant::now();
-    let mut buf = [0u8; 64];
-    let n = (&client).read(&mut buf).unwrap_or(0);
-    assert_eq!(n, 0, "server must close the idle connection");
+    let err = client.read_reply_line().unwrap_err();
+    assert!(
+        matches!(&err, ClientError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof),
+        "server must close the idle connection: {err}"
+    );
     assert!(
         start.elapsed() < Duration::from_secs(5),
         "timeout took {:?}",
@@ -215,33 +239,28 @@ fn connection_cap_refuses_excess_connections() {
             ..NetOptions::default()
         },
     );
-    let ping = |client: &mut TcpStream| -> Option<String> {
-        client.write_all(b"PING\n").ok()?;
-        let mut reader = BufReader::new(client.try_clone().ok()?);
-        let mut line = String::new();
-        reader.read_line(&mut line).ok()?;
-        Some(line.trim().to_string())
-    };
-    let mut a = TcpStream::connect(addr).unwrap();
-    assert_eq!(ping(&mut a).as_deref(), Some("OK pong"));
-    let mut b = TcpStream::connect(addr).unwrap();
-    assert_eq!(ping(&mut b).as_deref(), Some("OK pong"));
+    let mut a = Client::connect_tcp(addr).unwrap();
+    a.ping().unwrap();
+    let mut b = Client::connect_tcp(addr).unwrap();
+    b.ping().unwrap();
     // Third connection: refused with one ERR line, then closed.
-    let c = TcpStream::connect(addr).unwrap();
-    let replies = replies_from(c);
-    assert_eq!(replies.len(), 1, "{replies:?}");
+    let mut c = Client::connect_tcp(addr).unwrap();
+    assert!(c
+        .read_reply_line()
+        .unwrap()
+        .starts_with("ERR server at connection limit"),);
+    let err = c.read_reply_line().unwrap_err();
     assert!(
-        replies[0].starts_with("ERR server at connection limit"),
-        "{}",
-        replies[0]
+        matches!(&err, ClientError::Io(e) if e.kind() == std::io::ErrorKind::UnexpectedEof),
+        "refused connection must be closed: {err}"
     );
     // Freeing a slot admits new connections again (the session thread
     // releases it when the closed connection's loop ends).
     drop(a);
     let mut admitted = false;
     for _ in 0..100 {
-        let mut d = TcpStream::connect(addr).unwrap();
-        if ping(&mut d).as_deref() == Some("OK pong") {
+        let mut d = Client::connect_tcp(addr).unwrap();
+        if d.ping().is_ok() {
             admitted = true;
             break;
         }
@@ -284,33 +303,33 @@ fn tcp_snapshot_kill_restore_round_trip() {
 
     {
         let addr = start_tcp(engine(), NetOptions::default());
-        let mut client = TcpStream::connect(addr).unwrap();
-        let text = format!(
-            "{OPEN}\n{}\nSNAPSHOT {} format=bin\nQUIT\n",
-            inserts[..40].join("\n"),
-            snap.display()
-        );
-        client.write_all(text.as_bytes()).unwrap();
-        let replies = replies_from(client.try_clone().unwrap());
-        assert!(
-            replies.iter().any(|r| r.starts_with("OK snapshot")),
-            "{replies:?}"
-        );
+        let mut client = Client::connect_tcp(addr).unwrap();
+        for line in std::iter::once(OPEN.to_string()).chain(inserts[..40].iter().cloned()) {
+            let reply = client.roundtrip(&line).unwrap();
+            assert!(reply.starts_with("OK "), "{reply}");
+        }
+        let captured = client
+            .snapshot(&snap.display().to_string(), Some(SnapshotFormat::Binary))
+            .unwrap();
+        assert_eq!(captured, 40);
+        client.quit().unwrap();
     }
     assert!(snap.exists());
 
     let resumed = {
         let addr = start_tcp(engine(), NetOptions::default());
-        let mut client = TcpStream::connect(addr).unwrap();
-        let text = format!(
-            "RESTORE {}\n{}\nQUERY\nQUIT\n",
-            snap.display(),
-            inserts[40..].join("\n")
+        let mut client = Client::connect_tcp(addr).unwrap();
+        assert_eq!(
+            client.restore(&snap.display().to_string()).unwrap(),
+            ("jobs".to_string(), 40)
         );
-        client.write_all(text.as_bytes()).unwrap();
-        let replies = replies_from(client.try_clone().unwrap());
-        assert_eq!(replies[0], "OK restored jobs processed=40", "{replies:?}");
-        replies[replies.len() - 2].clone()
+        for line in &inserts[40..] {
+            let reply = client.roundtrip(line).unwrap();
+            assert!(reply.starts_with("OK "), "{reply}");
+        }
+        let last = client.roundtrip("QUERY").unwrap();
+        client.quit().unwrap();
+        last
     };
     assert_eq!(
         reference, resumed,
