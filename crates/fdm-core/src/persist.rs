@@ -64,13 +64,13 @@ use serde::{Deserialize, Serialize, Value};
 use crate::dataset::DistanceBounds;
 use crate::error::{FdmError, Result};
 use crate::metric::Metric;
-use crate::point::PointId;
+use crate::point::{PointId, PointStore};
 use crate::streaming::candidate::Candidate;
 
 pub mod codec;
 pub mod delta;
 
-pub use delta::SnapshotDelta;
+pub use delta::{CaptureMark, SnapshotDelta, StatePatch};
 
 /// Magic string identifying an FDM snapshot document.
 pub const SNAPSHOT_MAGIC: &str = "FDMSNAP";
@@ -468,6 +468,27 @@ pub trait Snapshottable: Sized {
         }
     }
 
+    /// An opaque cursor marking this instance's current capture position
+    /// (arena lengths, per-lane member counts, arrival counters) — the
+    /// dirty-set high-water mark a later [`Snapshottable::state_patch_since`]
+    /// measures from. The default (no dirty tracking) is [`Value::Null`].
+    fn capture_cursor(&self) -> Value {
+        Value::Null
+    }
+
+    /// The structural changes to [`Snapshottable::snapshot_state`] since
+    /// `cursor` was taken, as a [`StatePatch`] — `O(changed)`, never a
+    /// walk of the full state. `None` means the changes cannot be
+    /// described incrementally (unrecognized cursor, a structural rewrite
+    /// like the sliding window's rotation, or no dirty tracking at all);
+    /// the caller falls back to a full capture. Implementations may only
+    /// return `Some` when the patch provably reproduces the full-tree
+    /// diff (pinned by proptest in `tests/persist_codec.rs`).
+    fn state_patch_since(&self, cursor: &Value) -> Option<StatePatch> {
+        let _ = cursor;
+        None
+    }
+
     /// Restores an instance from a snapshot, rejecting wrong-algorithm
     /// envelopes and envelopes whose parameters disagree with the decoded
     /// state.
@@ -666,6 +687,108 @@ pub(crate) fn restore_lanes(
         candidate.restore_members(members.iter().map(|&id| PointId(id)).collect());
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-set capture helpers (shared by the summaries' `state_patch_since`)
+// ---------------------------------------------------------------------------
+
+/// Capture cursor for a candidate ladder: the member count per lane
+/// (members are append-only, so a count is a complete high-water mark).
+pub(crate) fn lanes_cursor(candidates: &[Candidate]) -> Value {
+    Value::Array(
+        candidates
+            .iter()
+            .map(|c| Value::Number(c.members().len() as f64))
+            .collect(),
+    )
+}
+
+/// Dirty-set patch for a ladder serialized via [`lanes_of`]: the member-id
+/// suffix appended to each lane since `cursor`. The `mu_crc` digest is a
+/// pure function of the configuration, so it is never mentioned (= keep).
+pub(crate) fn lanes_patch_since(candidates: &[Candidate], cursor: &Value) -> Option<StatePatch> {
+    let counts = cursor.as_array()?;
+    if counts.len() != candidates.len() {
+        return None;
+    }
+    let mut lanes = Vec::with_capacity(candidates.len());
+    for (candidate, old) in candidates.iter().zip(counts) {
+        let old = old.as_u64()? as usize;
+        let members = candidate.members();
+        if old > members.len() {
+            return None;
+        }
+        if old == members.len() {
+            lanes.push(StatePatch::Keep);
+        } else {
+            lanes.push(StatePatch::Append(
+                members[old..]
+                    .iter()
+                    .map(|id| Value::Number(f64::from(id.0)))
+                    .collect(),
+            ));
+        }
+    }
+    Some(StatePatch::Object(vec![(
+        "members".to_string(),
+        StatePatch::Elements(lanes),
+    )]))
+}
+
+/// Capture cursor for the shared arena: row count plus raw coordinate
+/// count (both append-only; the arena is only ever *replaced* while
+/// empty, which the dimension replace below covers).
+pub(crate) fn store_cursor(store: &PointStore) -> Value {
+    let mut map = serde::Map::new();
+    map.insert("len".to_string(), Value::Number(store.len() as f64));
+    map.insert(
+        "coords".to_string(),
+        Value::Number(store.coords_raw().len() as f64),
+    );
+    Value::Object(map)
+}
+
+/// Dirty-set patch for the arena since `cursor`: the appended
+/// id/group/coordinate suffixes, plus the dimension (whose replace lowers
+/// to a keep whenever it is unchanged).
+pub(crate) fn store_patch_since(store: &PointStore, cursor: &Value) -> Option<StatePatch> {
+    let old_len = cursor.get("len")?.as_u64()? as usize;
+    let old_coords = cursor.get("coords")?.as_u64()? as usize;
+    let ids = store.external_ids_raw();
+    let groups = store.groups_raw();
+    let coords = store.coords_raw();
+    if old_len > ids.len() || old_coords > coords.len() {
+        return None;
+    }
+    Some(StatePatch::Object(vec![
+        (
+            "dim".to_string(),
+            StatePatch::Replace(Value::Number(store.dim() as f64)),
+        ),
+        (
+            "external_ids".to_string(),
+            StatePatch::Append(
+                ids[old_len..]
+                    .iter()
+                    .map(|&v| Value::Number(v as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "groups".to_string(),
+            StatePatch::Append(
+                groups[old_len..]
+                    .iter()
+                    .map(|&v| Value::Number(f64::from(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "coords".to_string(),
+            StatePatch::Append(coords[old_coords..].iter().map(|&v| Value::Number(v)).collect()),
+        ),
+    ]))
 }
 
 #[cfg(test)]

@@ -58,11 +58,11 @@ const TAG_FALSE: u8 = 1;
 const TAG_TRUE: u8 = 2;
 const TAG_F64: u8 = 3;
 const TAG_STRING: u8 = 4;
-const TAG_ARRAY: u8 = 5;
-const TAG_OBJECT: u8 = 6;
-const TAG_DENSE_F64: u8 = 7;
-const TAG_DENSE_VARINT: u8 = 8;
-const TAG_PACKED_INTS: u8 = 9;
+pub(crate) const TAG_ARRAY: u8 = 5;
+pub(crate) const TAG_OBJECT: u8 = 6;
+pub(crate) const TAG_DENSE_F64: u8 = 7;
+pub(crate) const TAG_DENSE_VARINT: u8 = 8;
+pub(crate) const TAG_PACKED_INTS: u8 = 9;
 
 /// Recursion guard for the value decoder. Section CRCs mean corrupt bytes
 /// never reach it, but a depth cap keeps even a CRC collision from turning
@@ -105,11 +105,85 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Extends a finalized CRC32 with more trailing bytes:
+/// `crc32_extend(crc32(a), b) == crc32(a ++ b)`. This is what makes the
+/// dirty-set capture marks O(appended): an append-only blob's checksum is
+/// carried forward instead of re-walked.
+pub(crate) fn crc32_extend(crc: u32, bytes: &[u8]) -> u32 {
+    let mut reg = !crc;
+    for &b in bytes {
+        reg = (reg >> 8) ^ CRC32_TABLE[((reg ^ b as u32) & 0xFF) as usize];
+    }
+    !reg
+}
+
+/// CRC32 of a concatenation from the parts' checksums alone:
+/// `crc32_combine(crc32(a), crc32(b), b.len()) == crc32(a ++ b)` in
+/// `O(log len2)` — the zlib GF(2) matrix construction. Capture marks use
+/// it to recombine a parent node's checksum from its children's without
+/// touching the children's bytes.
+pub(crate) fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    fn times(mat: &[u32; 32], mut vec: u32) -> u32 {
+        let mut sum = 0u32;
+        let mut i = 0;
+        while vec != 0 {
+            if vec & 1 != 0 {
+                sum ^= mat[i];
+            }
+            vec >>= 1;
+            i += 1;
+        }
+        sum
+    }
+    fn square(dst: &mut [u32; 32], src: &[u32; 32]) {
+        for n in 0..32 {
+            dst[n] = times(src, src[n]);
+        }
+    }
+    if len2 == 0 {
+        return crc1;
+    }
+    // Operator for one zero bit appended to the message.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    let mut row = 1u32;
+    for cell in odd.iter_mut().skip(1) {
+        *cell = row;
+        row <<= 1;
+    }
+    let mut even = [0u32; 32];
+    square(&mut even, &odd); // two zero bits
+    square(&mut odd, &even); // four zero bits
+    let mut crc1 = crc1;
+    let mut len2 = len2;
+    // Apply len2 zero bytes (8·len2 zero bits) to crc1 by binary
+    // decomposition, squaring the operator each round.
+    loop {
+        square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc1 = times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = times(&odd, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc1 ^ crc2
+}
+
 // ---------------------------------------------------------------------------
 // Varints (LEB128)
 // ---------------------------------------------------------------------------
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -124,7 +198,7 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
 /// The `u64` a [`Value::Number`] packs into a varint losslessly, if any:
 /// non-negative, integral, `< 2^53`, and bit-identical after the round
 /// trip (which excludes `-0.0`, `NaN`, and infinities by construction).
-fn varint_exact(n: f64) -> Option<u64> {
+pub(crate) fn varint_exact(n: f64) -> Option<u64> {
     let v = n as u64; // saturating for negatives/NaN/∞ — caught below
     if v < MAX_EXACT_INT && (v as f64).to_bits() == n.to_bits() {
         Some(v)
@@ -319,7 +393,7 @@ fn encode_int_array(out: &mut Vec<u8>, ids: &[u64]) {
     }
 }
 
-fn varint_len(v: u64) -> usize {
+pub(crate) fn varint_len(v: u64) -> usize {
     ((64 - v.leading_zeros()).max(1) as usize).div_ceil(7)
 }
 
@@ -573,6 +647,25 @@ mod tests {
         // Standard IEEE check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_extend_and_combine_agree_with_concatenation() {
+        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
+        for cut in [0usize, 1, 7, 64, 255, 511, 512] {
+            let (a, b) = data.split_at(cut);
+            let whole = crc32(&data);
+            assert_eq!(crc32_extend(crc32(a), b), whole, "extend cut {cut}");
+            assert_eq!(
+                crc32_combine(crc32(a), crc32(b), b.len() as u64),
+                whole,
+                "combine cut {cut}"
+            );
+        }
+        // Empty-prefix and empty-suffix identities.
+        assert_eq!(crc32_extend(0, b"xyz"), crc32(b"xyz"));
+        assert_eq!(crc32_combine(crc32(b"xyz"), 0, 0), crc32(b"xyz"));
+        assert_eq!(crc32_combine(0, crc32(b"xyz"), 3), crc32(b"xyz"));
     }
 
     #[test]

@@ -48,6 +48,10 @@ use super::codec::{
 };
 use super::{write_bytes_atomic, Snapshot, SnapshotParams};
 
+mod mark;
+
+pub use mark::{CaptureMark, StatePatch};
+
 /// Leading magic of a binary delta-snapshot file.
 pub const DELTA_MAGIC: [u8; 8] = *b"FDMDELT2";
 

@@ -340,6 +340,12 @@ impl PointStore {
         &self.groups
     }
 
+    /// All external ids, indexed by arena order.
+    #[inline]
+    pub fn external_ids_raw(&self) -> &[usize] {
+        &self.external_ids
+    }
+
     /// The full row-major coordinate buffer.
     #[inline]
     pub fn coords_raw(&self) -> &[f64] {

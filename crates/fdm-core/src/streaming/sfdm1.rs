@@ -347,6 +347,49 @@ impl Snapshottable for Sfdm1 {
         serde::Value::Object(map)
     }
 
+    fn capture_cursor(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("store".to_string(), persist::store_cursor(&self.store));
+        map.insert("blind".to_string(), persist::lanes_cursor(&self.blind));
+        map.insert(
+            "specific".to_string(),
+            serde::Value::Array(self.specific.iter().map(|c| persist::lanes_cursor(c)).collect()),
+        );
+        serde::Value::Object(map)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<persist::StatePatch> {
+        let store = persist::store_patch_since(&self.store, cursor.get("store")?)?;
+        let blind = persist::lanes_patch_since(&self.blind, cursor.get("blind")?)?;
+        let specific_cursors = cursor.get("specific")?.as_array()?;
+        if specific_cursors.len() != self.specific.len() {
+            return None;
+        }
+        let specific: Vec<persist::StatePatch> = self
+            .specific
+            .iter()
+            .zip(specific_cursors)
+            .map(|(lanes, c)| persist::lanes_patch_since(lanes, c))
+            .collect::<Option<Vec<_>>>()?;
+        // `config` and `strategy` are static for the instance's lifetime → keep.
+        Some(persist::StatePatch::Object(vec![
+            ("store".to_string(), store),
+            (
+                "store_initialized".to_string(),
+                persist::StatePatch::Replace(serde::Value::Bool(self.store_initialized)),
+            ),
+            (
+                "processed".to_string(),
+                persist::StatePatch::Replace(serde::Serialize::to_value(&self.processed)),
+            ),
+            ("blind".to_string(), blind),
+            (
+                "specific".to_string(),
+                persist::StatePatch::Elements(specific),
+            ),
+        ]))
+    }
+
     fn restore_state(state: &serde::Value) -> Result<Self> {
         let config: Sfdm1Config = persist::field(state, "config")?;
         let strategy: SwapStrategy = persist::field(state, "strategy")?;

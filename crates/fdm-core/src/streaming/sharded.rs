@@ -40,7 +40,7 @@
 
 use crate::error::{FdmError, Result};
 use crate::par::maybe_par_for_each;
-use crate::persist::{SnapshotParams, Snapshottable};
+use crate::persist::{self, SnapshotParams, Snapshottable};
 use crate::point::Element;
 use crate::solution::Solution;
 use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
@@ -354,6 +354,39 @@ impl<S: ShardAlgorithm + Snapshottable> Snapshottable for ShardedStream<S> {
         );
         map.insert("next".to_string(), serde::Serialize::to_value(&self.next));
         serde::Value::Object(map)
+    }
+
+    fn capture_cursor(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(
+            "shards".to_string(),
+            serde::Value::Array(self.shards.iter().map(S::capture_cursor).collect()),
+        );
+        map.insert("next".to_string(), serde::Serialize::to_value(&self.next));
+        serde::Value::Object(map)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<persist::StatePatch> {
+        let shard_cursors = cursor.get("shards")?.as_array()?;
+        if shard_cursors.len() != self.shards.len() {
+            return None;
+        }
+        let shards: Vec<persist::StatePatch> = self
+            .shards
+            .iter()
+            .zip(shard_cursors)
+            .map(|(shard, c)| shard.state_patch_since(c))
+            .collect::<Option<Vec<_>>>()?;
+        Some(persist::StatePatch::Object(vec![
+            (
+                "shards".to_string(),
+                persist::StatePatch::Elements(shards),
+            ),
+            (
+                "next".to_string(),
+                persist::StatePatch::Replace(serde::Serialize::to_value(&self.next)),
+            ),
+        ]))
     }
 
     fn restore_state(state: &serde::Value) -> Result<Self> {

@@ -277,6 +277,40 @@ impl Snapshottable for SlidingWindowFdm {
         serde::Value::Object(map)
     }
 
+    fn capture_cursor(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert(
+            "arrivals".to_string(),
+            serde::Serialize::to_value(&self.arrivals),
+        );
+        map.insert("primary".to_string(), self.primary.capture_cursor());
+        map.insert("secondary".to_string(), self.secondary.capture_cursor());
+        serde::Value::Object(map)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<persist::StatePatch> {
+        let old_arrivals = cursor.get("arrivals")?.as_u64()? as usize;
+        // A rotation replaces both instance subtrees wholesale; patches
+        // only describe rotation-free stretches. Rotations fire every
+        // `half` arrivals, so crossing a multiple of `half` since the
+        // cursor means at least one happened.
+        if old_arrivals > self.arrivals || old_arrivals / self.half() != self.arrivals / self.half()
+        {
+            return None;
+        }
+        let primary = self.primary.state_patch_since(cursor.get("primary")?)?;
+        let secondary = self.secondary.state_patch_since(cursor.get("secondary")?)?;
+        // `window` is static for the instance's lifetime → keep.
+        Some(persist::StatePatch::Object(vec![
+            (
+                "arrivals".to_string(),
+                persist::StatePatch::Replace(serde::Serialize::to_value(&self.arrivals)),
+            ),
+            ("primary".to_string(), primary),
+            ("secondary".to_string(), secondary),
+        ]))
+    }
+
     fn restore_state(state: &serde::Value) -> Result<Self> {
         let window: usize = persist::field(state, "window")?;
         if window < 2 {

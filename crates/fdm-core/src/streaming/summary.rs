@@ -22,7 +22,7 @@
 
 use crate::error::{FdmError, Result};
 use crate::fairness::FairnessConstraint;
-use crate::persist::{Snapshot, SnapshotParams, Snapshottable};
+use crate::persist::{Snapshot, SnapshotParams, Snapshottable, StatePatch};
 use crate::point::Element;
 use crate::solution::Solution;
 use crate::streaming::sfdm1::{Sfdm1, Sfdm1Config};
@@ -63,6 +63,28 @@ pub trait DynSummary: Send + Sync + std::fmt::Debug {
 
     /// Captures a complete snapshot through the persistence envelope.
     fn snapshot(&self) -> Snapshot;
+
+    /// The raw state value tree [`DynSummary::snapshot`] wraps, exposed
+    /// separately so a host can capture the envelope and the state under
+    /// distinct (shorter) lock holds — the chunked-capture path in
+    /// `fdm-serve`.
+    fn snapshot_state_value(&self) -> serde::Value {
+        self.snapshot().state
+    }
+
+    /// Dirty-set cursor marking the current capture position — see
+    /// [`Snapshottable::capture_cursor`]. [`serde::Value::Null`] when the
+    /// summary does no dirty tracking.
+    fn capture_cursor(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// The structural changes since `cursor`, or `None` to force a full
+    /// capture — see [`Snapshottable::state_patch_since`].
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<StatePatch> {
+        let _ = cursor;
+        None
+    }
 
     /// Lifetime f32 pre-filter `(hits, fallbacks)` recorded while serving
     /// this summary; `(0, 0)` when the pre-filter never engaged.
@@ -115,6 +137,18 @@ where
         Snapshottable::snapshot(self)
     }
 
+    fn snapshot_state_value(&self) -> serde::Value {
+        Snapshottable::snapshot_state(self)
+    }
+
+    fn capture_cursor(&self) -> serde::Value {
+        Snapshottable::capture_cursor(self)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<StatePatch> {
+        Snapshottable::state_patch_since(self, cursor)
+    }
+
     fn prefilter_counters(&self) -> (u64, u64) {
         ShardAlgorithm::prefilter_counters(self)
     }
@@ -160,6 +194,18 @@ where
 
     fn snapshot(&self) -> Snapshot {
         Snapshottable::snapshot(self)
+    }
+
+    fn snapshot_state_value(&self) -> serde::Value {
+        Snapshottable::snapshot_state(self)
+    }
+
+    fn capture_cursor(&self) -> serde::Value {
+        Snapshottable::capture_cursor(self)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<StatePatch> {
+        Snapshottable::state_patch_since(self, cursor)
     }
 
     fn prefilter_counters(&self) -> (u64, u64) {

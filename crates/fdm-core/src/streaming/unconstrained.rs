@@ -275,6 +275,34 @@ impl Snapshottable for StreamingDiversityMaximization {
         serde::Value::Object(map)
     }
 
+    fn capture_cursor(&self) -> serde::Value {
+        let mut map = serde::Map::new();
+        map.insert("store".to_string(), persist::store_cursor(&self.store));
+        map.insert(
+            "candidates".to_string(),
+            persist::lanes_cursor(&self.candidates),
+        );
+        serde::Value::Object(map)
+    }
+
+    fn state_patch_since(&self, cursor: &serde::Value) -> Option<persist::StatePatch> {
+        let store = persist::store_patch_since(&self.store, cursor.get("store")?)?;
+        let candidates = persist::lanes_patch_since(&self.candidates, cursor.get("candidates")?)?;
+        // `config` is static for the instance's lifetime → keep.
+        Some(persist::StatePatch::Object(vec![
+            ("store".to_string(), store),
+            (
+                "store_initialized".to_string(),
+                persist::StatePatch::Replace(serde::Value::Bool(self.store_initialized)),
+            ),
+            (
+                "processed".to_string(),
+                persist::StatePatch::Replace(serde::Serialize::to_value(&self.processed)),
+            ),
+            ("candidates".to_string(), candidates),
+        ]))
+    }
+
     fn restore_state(state: &serde::Value) -> Result<Self> {
         let config: StreamingDmConfig = persist::field(state, "config")?;
         let mut alg = Self::new(config)?;

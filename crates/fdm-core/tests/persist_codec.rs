@@ -6,7 +6,8 @@
 use fdm_core::dataset::DistanceBounds;
 use fdm_core::fairness::FairnessConstraint;
 use fdm_core::metric::Metric;
-use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, Snapshottable};
+use fdm_core::persist::delta::state_crc;
+use fdm_core::persist::{CaptureMark, Snapshot, SnapshotDelta, SnapshotFormat, Snapshottable};
 use fdm_core::point::Element;
 use fdm_core::streaming::sfdm1::{Sfdm1, Sfdm1Config};
 use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
@@ -216,6 +217,69 @@ fn delta_chain_matches_full<T: Snapshottable + Finalizable>(
     }
 }
 
+/// Dirty-set capture must be **byte-identical** to the full-tree diff: at
+/// every checkpoint, the delta lowered from the summary's own
+/// [`StatePatch`](fdm_core::persist::StatePatch) through a [`CaptureMark`]
+/// equals `SnapshotDelta::between(prev, cur)` byte for byte, and the
+/// advanced mark's checksum equals the new state's. A refused patch
+/// (`None`) exercises the engine's fallback: full capture, fresh mark.
+fn dirty_set_matches_full_diff<T: Snapshottable + Finalizable>(
+    build: impl Fn() -> T,
+    elements: &[Element],
+    stride: usize,
+    checkpoints: usize,
+    expect_lowerable: bool,
+) {
+    let stride = stride.max(1);
+    let chain_end = (stride * checkpoints).min(elements.len());
+    let mut walker = build();
+    let mut tail = walker.snapshot();
+    let mut mark = CaptureMark::of(tail.params.clone(), &tail.state);
+    let mut cursor = walker.capture_cursor();
+    let mut lowered_any = false;
+    for chunk in elements[..chain_end].chunks(stride) {
+        for e in chunk {
+            walker.feed(e);
+        }
+        let next = walker.snapshot();
+        let oracle = SnapshotDelta::between(&tail, &next).expect("full-tree diff");
+        let fast = walker
+            .state_patch_since(&cursor)
+            .and_then(|patch| SnapshotDelta::from_patch(&mut mark, &next.params, patch));
+        match fast {
+            Some(delta) => {
+                lowered_any = true;
+                assert_eq!(
+                    delta.to_bytes(),
+                    oracle.to_bytes(),
+                    "dirty-set delta must be byte-identical to the full-tree diff"
+                );
+                assert_eq!(
+                    mark.state_crc(),
+                    state_crc(&next.state),
+                    "advanced mark checksum must match the new state"
+                );
+                // The lowered delta actually applies onto the old state.
+                let applied = delta.apply_to(&tail).expect("dirty-set delta applies");
+                assert_eq!(applied, next);
+            }
+            None => {
+                // The engine's fallback path: anchor a full snapshot and
+                // rebuild the mark from it.
+                mark = CaptureMark::of(next.params.clone(), &next.state);
+            }
+        }
+        cursor = walker.capture_cursor();
+        tail = next;
+    }
+    if expect_lowerable && chain_end > 0 {
+        assert!(
+            lowered_any,
+            "an append-only summary should lower at least one checkpoint incrementally"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -313,6 +377,57 @@ proptest! {
             &elements,
             stride,
             checkpoints,
+        );
+    }
+
+    #[test]
+    fn unconstrained_dirty_set_matches_diff(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6) {
+        let elements = random_elements(n, 1, 3, seed);
+        dirty_set_matches_full_diff(
+            || StreamingDiversityMaximization::new(dm_config()).unwrap(),
+            &elements,
+            stride,
+            checkpoints,
+            true,
+        );
+    }
+
+    #[test]
+    fn sfdm1_dirty_set_matches_diff(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6) {
+        let elements = random_elements(n, 2, 3, seed);
+        dirty_set_matches_full_diff(|| Sfdm1::new(sfdm1_config()).unwrap(), &elements, stride, checkpoints, true);
+    }
+
+    #[test]
+    fn sfdm2_dirty_set_matches_diff(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6, m in 2usize..4) {
+        let elements = random_elements(n, m, 3, seed);
+        dirty_set_matches_full_diff(|| Sfdm2::new(sfdm2_config(m)).unwrap(), &elements, stride, checkpoints, true);
+    }
+
+    #[test]
+    fn sliding_dirty_set_matches_diff(seed in 0u64..1000, n in 60usize..160, stride in 5usize..40, checkpoints in 1usize..6, window in 8usize..64) {
+        // Rotations rebuild both staggered instances, so patches are only
+        // available on rotation-free stretches — correctness (byte
+        // identity whenever a patch IS produced) is still pinned.
+        let elements = random_elements(n, 2, 3, seed);
+        dirty_set_matches_full_diff(
+            || SlidingWindowFdm::new(sfdm2_config(2), window).unwrap(),
+            &elements,
+            stride,
+            checkpoints,
+            false,
+        );
+    }
+
+    #[test]
+    fn sharded_dirty_set_matches_diff(seed in 0u64..1000, n in 80usize..180, stride in 10usize..50, checkpoints in 1usize..5, shards in 1usize..5) {
+        let elements = random_elements(n, 2, 3, seed);
+        dirty_set_matches_full_diff(
+            || ShardedStream::<Sfdm2>::new(sfdm2_config(2), shards).unwrap(),
+            &elements,
+            stride,
+            checkpoints,
+            true,
         );
     }
 }

@@ -43,32 +43,47 @@
 //!   append can never replay as silently-wrong state);
 //! * every [`ServeConfig::snapshot_every`] inserts the summary is
 //!   checkpointed (atomically — temp file + rename) and the WAL
-//!   truncated. While the chain is short the checkpoint is an
-//!   **incremental delta** (`<name>.delta.<i>`, a
-//!   [`SnapshotDelta`] against the previous checkpoint); every
-//!   [`ServeConfig::full_every`] deltas it collapses into a fresh full
-//!   `<name>.snap` and the delta files are removed;
-//! * [`Engine::new`] recovers by restoring each `.snap`, chaining the
-//!   delta files (each link's base checksum is verified; a stale delta
-//!   from a superseded chain cleanly ends it), and replaying the WAL
-//!   through the same parser the live protocol uses. Sequence numbers
-//!   make replay exactly-once: a crash between a checkpoint write and the
-//!   WAL truncation leaves records the checkpoint already contains, and
-//!   recovery skips them instead of double-applying. A recovered stream is
-//!   therefore bit-identical to one that never went down.
+//!   truncated. The checkpoint is an **incremental delta**
+//!   (`<name>.delta.<i>`, a [`SnapshotDelta`]) built from the summary's
+//!   own dirty set: the stream reports an O(changed) [`fdm_core::persist::StatePatch`] since
+//!   the last capture, lowered against a retained [`CaptureMark`] digest
+//!   tree — the full state is neither cloned nor re-walked, and the bytes
+//!   are identical to what a full-tree diff would have produced;
+//! * once the chain holds [`ServeConfig::full_every`] deltas a
+//!   **background compactor** collapses `full + delta*` into a fresh
+//!   `<name>.snap` off the insert path (the decode/encode runs off every
+//!   lock; only the final rename and cleanup briefly take the stream's
+//!   durable mutex, guarded by a chain epoch). Full snapshots are written
+//!   inline only where a delta cannot exist: stream creation, recovery,
+//!   drain, `RESTORE`, a summary rewrite the dirty set cannot express
+//!   (e.g. a sliding-window rotation), `full_every = 0`, and the backstop
+//!   when the chain outgrows [`COMPACTION_BACKSTOP`]× the cap;
+//! * [`Engine::new`] recovers by restoring each `.snap`, chaining every
+//!   `<name>.delta.*` found on disk in index order (each link's base
+//!   checksum is verified; a stale link left by a crash inside an anchor
+//!   or compaction cleanup window is skipped, later links may chain off
+//!   the collapsed state), and replaying the WAL through the same parser
+//!   the live protocol uses. Sequence numbers make replay exactly-once: a
+//!   crash between a checkpoint write and the WAL truncation leaves
+//!   records the checkpoint already contains, and recovery skips them
+//!   instead of double-applying. A recovered stream is therefore
+//!   bit-identical to one that never went down.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
 
 use fdm_core::error::{FdmError, Result};
-use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams};
+use fdm_core::persist::{
+    CaptureMark, Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams,
+};
 use fdm_core::point::Element;
 use fdm_core::streaming::summary::{self, DynSummary};
+use serde::Value;
 
 use crate::coordinator::Coordinator;
 use crate::metrics::{self, Metrics, StreamMetrics};
@@ -200,6 +215,12 @@ struct PersistCounters {
     full_snapshots: u64,
     /// Incremental delta files written.
     delta_snapshots: u64,
+    /// Total encoded bytes of the dirty-set deltas written — the actual
+    /// checkpoint I/O volume, which should track the change rate, not the
+    /// stream size.
+    dirty_bytes: u64,
+    /// Background chain collapses committed by the compactor.
+    compactions: u64,
     /// Encoded size of the most recent checkpoint/export, in bytes.
     last_snapshot_bytes: u64,
     /// Encoding of the most recent checkpoint/export.
@@ -212,15 +233,29 @@ struct PersistCounters {
 struct DurableState {
     /// Open append handle to the WAL (present iff `data_dir` is set).
     wal: Option<File>,
-    /// The chain tail: the snapshot the next delta will be diffed from
-    /// (present iff `data_dir` is set). This is a second in-memory copy of
-    /// the stream state — acceptable because the paper's bound keeps the
-    /// summary at `O(m·k·log ∆/ε)` elements regardless of stream length;
-    /// native dirty-set tracking inside the summaries is the lever that
-    /// would remove both this copy and the per-checkpoint full-tree diff.
-    chain_tail: Option<Snapshot>,
-    /// Deltas written since the last full snapshot (drives `full_every`).
+    /// Digest tree of the last captured state (present iff `data_dir` is
+    /// set): the [`CaptureMark`] dirty-set deltas are lowered against. It
+    /// retains per-node lengths and CRCs — O(structure), not O(data) —
+    /// replacing the full `Snapshot` clone the old full-tree diff needed.
+    mark: Option<CaptureMark>,
+    /// The summary's own capture cursor paired with `mark`: the opaque
+    /// watermark value [`DynSummary::state_patch_since`] diffs from.
+    cursor: Option<Value>,
+    /// Index the next `<name>.delta.<i>` file will use. Monotonic within
+    /// a chain epoch (the compactor removes collapsed prefixes without
+    /// renumbering the survivors); reset to 1 by every inline anchor.
+    next_delta_index: u64,
+    /// Bumped by every inline full anchor. A compaction job commits only
+    /// if the epoch still matches the one it was enqueued under — an
+    /// anchor in between means the job's collapsed snapshot describes a
+    /// superseded chain and must be discarded.
+    chain_epoch: u64,
+    /// Live (uncollapsed) deltas on disk (drives `full_every` and the
+    /// inline backstop).
     deltas_since_full: u64,
+    /// Set while a compaction job for this stream is queued or running;
+    /// prevents the checkpoint path from flooding the compactor queue.
+    compaction_pending: bool,
     /// Inserts applied since the last auto-checkpoint (drives
     /// `snapshot_every`).
     inserts_since_snapshot: u64,
@@ -231,8 +266,12 @@ impl DurableState {
     fn new() -> DurableState {
         DurableState {
             wal: None,
-            chain_tail: None,
+            mark: None,
+            cursor: None,
+            next_delta_index: 1,
+            chain_epoch: 0,
             deltas_since_full: 0,
+            compaction_pending: false,
             inserts_since_snapshot: 0,
             counters: PersistCounters::default(),
         }
@@ -554,6 +593,84 @@ pub struct Engine {
     /// stream-touching command is delegated to the worker fleet instead of
     /// the local registry.
     coordinator: Option<Coordinator>,
+    /// Work queue of the background chain compactor (present iff
+    /// `data_dir` is set). Dropping it is the shutdown signal.
+    compactor_tx: Option<mpsc::Sender<CompactJob>>,
+    /// Joined (after the queue drains) when the engine drops, so a
+    /// successor engine over the same data dir can never race a ghost
+    /// compaction commit.
+    compactor_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        drop(self.compactor_tx.take());
+        if let Some(handle) = self.compactor_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Chain-length backstop: if the compactor cannot keep up (queue starved,
+/// thread dead), the checkpoint path collapses inline once the chain
+/// reaches `full_every × COMPACTION_BACKSTOP` deltas — a bounded, rare
+/// stall instead of an unbounded chain.
+const COMPACTION_BACKSTOP: u64 = 4;
+
+/// One queued chain collapse. The job carries its stream entry (so the
+/// compactor never touches the registry lock) and the chain epoch it was
+/// enqueued under.
+struct CompactJob {
+    name: String,
+    entry: Arc<StreamEntry>,
+    epoch: u64,
+}
+
+/// Files of one stream's on-disk delta chain, sorted by index. Listing
+/// the directory (instead of probing contiguous indices from 1) is what
+/// makes gapped chains — a failed removal, a compacted prefix — visible
+/// at all.
+fn list_deltas(dir: &Path, name: &str) -> Vec<(u64, PathBuf)> {
+    let prefix = format!("{name}.delta.");
+    let mut deltas = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return deltas;
+    };
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        let Some(index) = file_name.strip_prefix(&prefix) else {
+            continue;
+        };
+        // Non-numeric suffixes are temp-file droppings, not chain links.
+        let Ok(index) = index.parse::<u64>() else {
+            continue;
+        };
+        deltas.push((index, entry.path()));
+    }
+    deltas.sort_unstable_by_key(|&(index, _)| index);
+    deltas
+}
+
+/// Whether a stream name is safe to splice into `<data-dir>/<name>.*`
+/// file paths. The protocol parser is stricter ([A-Za-z0-9_-]+); this is
+/// the engine-level gate that holds even for callers that bypass the
+/// parser — without it `OPEN ../../x` walks out of the data directory.
+fn ensure_safe_stream_name(name: &str) -> std::result::Result<(), ErrorReply> {
+    let unsafe_name = name.is_empty()
+        || name.starts_with('.')
+        || name.contains('/')
+        || name.contains('\\')
+        || name.contains("..");
+    if unsafe_name {
+        return Err(ErrorReply::generic(format!(
+            "invalid stream name `{name}`: must be non-empty and free of \
+             `/`, `\\`, `..`, and a leading `.`"
+        )));
+    }
+    Ok(())
 }
 
 /// Shorthand for the pervasive "typed core error → generic protocol
@@ -574,12 +691,28 @@ impl Engine {
         } else {
             Some(Coordinator::new(config.workers.clone()))
         };
+        let (compactor_tx, compactor_thread) = match config.data_dir.clone() {
+            Some(dir) => {
+                let (tx, rx) = mpsc::channel::<CompactJob>();
+                let format = config.snapshot_format;
+                let handle = std::thread::Builder::new()
+                    .name("fdm-compactor".into())
+                    .spawn(move || run_compactor(rx, dir, format))
+                    .map_err(|e| FdmError::SnapshotIo {
+                        detail: format!("spawn compactor thread: {e}"),
+                    })?;
+                (Some(tx), Some(handle))
+            }
+            None => (None, None),
+        };
         let engine = Engine {
             streams: RwLock::new(HashMap::new()),
             config,
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             coordinator,
+            compactor_tx,
+            compactor_thread,
         };
         if let Some(dir) = engine.config.data_dir.clone() {
             std::fs::create_dir_all(&dir).map_err(|e| FdmError::SnapshotIo {
@@ -628,8 +761,7 @@ impl Engine {
             .collect();
         for (name, entry) in &entries {
             let mut durable = lock(&entry.durable);
-            let snapshot = read_lock(&entry.summary).snapshot();
-            self.anchor(name, snapshot, &mut durable)?;
+            self.anchor(name, entry, &mut durable)?;
             if let Some(wal) = durable.wal.as_ref() {
                 wal.sync_all().map_err(|e| FdmError::SnapshotIo {
                     detail: format!("fsync WAL for {name} during drain: {e}"),
@@ -660,15 +792,20 @@ impl Engine {
             .map(|d| d.join(format!("{name}.delta.{index}")))
     }
 
-    /// Removes every `<name>.delta.*` of a superseded chain (contiguous
-    /// indices from 1; the first missing index ends the sweep).
+    /// Removes every `<name>.delta.*` of a superseded chain, found by
+    /// directory listing — a gapped chain (compacted prefix, an earlier
+    /// failed removal) must not strand the survivors, so one failure is
+    /// logged and the sweep continues.
     fn remove_deltas(&self, name: &str) {
-        for index in 1.. {
-            let Some(path) = self.delta_path(name, index) else {
-                return;
-            };
-            if std::fs::remove_file(&path).is_err() {
-                return;
+        let Some(dir) = self.config.data_dir.as_ref() else {
+            return;
+        };
+        for (_, path) in list_deltas(dir, name) {
+            if let Err(e) = std::fs::remove_file(&path) {
+                eprintln!(
+                    "fdm-serve: could not remove stale delta {}: {e} (left for the next sweep)",
+                    path.display()
+                );
             }
         }
     }
@@ -683,24 +820,50 @@ impl Engine {
             })
     }
 
-    /// Anchors the recovery chain with a **full** snapshot of the
-    /// already-captured state: writes `<name>.snap` (atomic), removes any
-    /// superseded delta files, and truncates the WAL. Called at `OPEN` (so
-    /// a crash before the first auto-checkpoint still recovers), after
-    /// recovery, after `RESTORE`, and whenever the delta chain reaches
-    /// [`ServeConfig::full_every`]. No-op without a data dir.
+    /// Truncates the WAL to just its header and reopens the append
+    /// handle — the step every committed checkpoint ends with.
+    fn truncate_wal(wal_path: &Path, durable: &mut DurableState) -> Result<()> {
+        std::fs::write(wal_path, format!("{WAL_HEADER}\n")).map_err(|e| FdmError::SnapshotIo {
+            detail: format!("truncate WAL {}: {e}", wal_path.display()),
+        })?;
+        durable.wal = Some(Self::open_wal(wal_path)?);
+        Ok(())
+    }
+
+    /// Anchors the recovery chain with a **full** snapshot: captures the
+    /// state, writes `<name>.snap` (atomic), removes any superseded delta
+    /// files, truncates the WAL, and rebuilds the dirty-set capture mark.
+    /// Called at `OPEN` (so a crash before the first auto-checkpoint
+    /// still recovers), after recovery, after `RESTORE`, at drain, when a
+    /// summary reports a patch the mark cannot lower, with
+    /// `full_every = 0`, and as the chain-length backstop. No-op without
+    /// a data dir.
     ///
-    /// The caller captured `snapshot` under a (short) summary read lock;
-    /// everything here — encode, fsync, rename — runs without touching the
-    /// summary lock at all.
+    /// Capture is **chunked**: each frame section's source (params, then
+    /// the state tree) is cloned under its own short summary read lock
+    /// with no lock held in between, and the encode + disk write run off
+    /// the summary lock entirely. The durable mutex — held by every
+    /// caller — fences writers, so the per-section reads still observe
+    /// one consistent state.
     ///
     /// Ordering is load-bearing: the full snapshot lands *before* the old
     /// deltas are removed and the WAL truncated, so a crash at any point
     /// in between leaves either the old complete chain + full WAL, or the
     /// new snapshot + stale-but-detectable deltas + dedupable WAL records
     /// — never a gap.
-    fn anchor(&self, name: &str, snapshot: Snapshot, durable: &mut DurableState) -> Result<()> {
+    fn anchor(&self, name: &str, entry: &StreamEntry, durable: &mut DurableState) -> Result<()> {
         if let (Some(snap_path), Some(wal_path)) = (self.snap_path(name), self.wal_path(name)) {
+            let params = read_lock(&entry.summary).params();
+            crash_point("mid-chunked-capture");
+            snapshot_write_pause();
+            let (state, cursor) = {
+                let summary = read_lock(&entry.summary);
+                (summary.snapshot_state_value(), summary.capture_cursor())
+            };
+            let snapshot = Snapshot {
+                params: params.clone(),
+                state,
+            };
             let bytes = snapshot.to_bytes(self.config.snapshot_format);
             if crash_requested("mid-full-snapshot") {
                 crash_mid_write(&snap_path, &bytes);
@@ -713,28 +876,35 @@ impl Engine {
             crash_point("between-full-and-delta-cleanup");
             self.remove_deltas(name);
             crash_point("between-full-and-wal-truncate");
-            std::fs::write(&wal_path, format!("{WAL_HEADER}\n")).map_err(|e| {
-                FdmError::SnapshotIo {
-                    detail: format!("truncate WAL {}: {e}", wal_path.display()),
-                }
-            })?;
-            durable.wal = Some(Self::open_wal(&wal_path)?);
-            durable.chain_tail = Some(snapshot);
+            Self::truncate_wal(&wal_path, durable)?;
+            durable.mark = Some(CaptureMark::of(params, &snapshot.state));
+            durable.cursor = Some(cursor);
+            durable.chain_epoch += 1;
+            durable.next_delta_index = 1;
         }
         durable.deltas_since_full = 0;
+        durable.compaction_pending = false;
         durable.inserts_since_snapshot = 0;
         Ok(())
     }
 
-    /// Checkpoints the captured state **incrementally**: diffs it against
-    /// the chain tail, writes `<name>.delta.<i>` (atomic), and truncates
-    /// the WAL. Falls back to [`Engine::anchor`] when the chain has no
-    /// tail yet or has reached its length cap. Like `anchor`, never
-    /// touches the summary lock.
-    fn anchor_delta(
+    /// The auto-checkpoint: an **O(changed)** dirty-set delta. One short
+    /// summary read lock collects the summary's own [`fdm_core::persist::StatePatch`] since
+    /// the last capture cursor; lowering it against the retained
+    /// [`CaptureMark`] yields `<name>.delta.<i>` bytes identical to a
+    /// full-tree diff without walking (or cloning) the full state. Falls
+    /// back to a full [`Engine::anchor`] when the summary rewrote
+    /// structure the mark cannot track (sliding-window rotation, lane
+    /// reshuffle, bit-pack width growth) or deltas are disabled.
+    ///
+    /// Chain-length management happens here too: at
+    /// [`ServeConfig::full_every`] live deltas a collapse is handed to
+    /// the background compactor (no stall); only past the
+    /// [`COMPACTION_BACKSTOP`] bound does the checkpoint collapse inline.
+    fn checkpoint(
         &self,
         name: &str,
-        snapshot: Snapshot,
+        entry: &Arc<StreamEntry>,
         durable: &mut DurableState,
     ) -> Result<()> {
         if self.config.data_dir.is_none() {
@@ -742,19 +912,32 @@ impl Engine {
             return Ok(());
         }
         let full_every = self.config.full_every;
-        if full_every == 0
-            || durable.deltas_since_full >= full_every
-            || durable.chain_tail.is_none()
-        {
-            return self.anchor(name, snapshot, durable);
+        if full_every == 0 || durable.mark.is_none() {
+            return self.anchor(name, entry, durable);
         }
-        let index = durable.deltas_since_full + 1;
+        let (params, patch, next_cursor) = {
+            let summary = read_lock(&entry.summary);
+            let cursor = durable.cursor.take().unwrap_or(Value::Null);
+            (
+                summary.params(),
+                summary.state_patch_since(&cursor),
+                summary.capture_cursor(),
+            )
+        };
+        let delta = patch.and_then(|patch| {
+            let mark = durable.mark.as_mut().expect("checked above");
+            SnapshotDelta::from_patch(mark, &params, patch)
+        });
+        let Some(delta) = delta else {
+            // Unlowerable patch: the mark may be partially advanced and
+            // is invalid — the anchor below rebuilds it from scratch.
+            return self.anchor(name, entry, durable);
+        };
+        let index = durable.next_delta_index;
         let (delta_path, wal_path) = match (self.delta_path(name, index), self.wal_path(name)) {
             (Some(d), Some(w)) => (d, w),
             _ => unreachable!("data_dir checked above"),
         };
-        let base = durable.chain_tail.as_ref().expect("checked above");
-        let delta = SnapshotDelta::between(base, &snapshot)?;
         let bytes = delta.to_bytes();
         if crash_requested("mid-delta-write") {
             crash_mid_write(&delta_path, &bytes);
@@ -762,16 +945,32 @@ impl Engine {
         snapshot_write_pause();
         fdm_core::persist::write_bytes_atomic(&delta_path, &bytes)?;
         durable.counters.delta_snapshots += 1;
+        durable.counters.dirty_bytes += bytes.len() as u64;
         durable.counters.last_snapshot_bytes = bytes.len() as u64;
         durable.counters.last_snapshot_format = Some("delta");
         crash_point("between-delta-and-wal-truncate");
-        std::fs::write(&wal_path, format!("{WAL_HEADER}\n")).map_err(|e| FdmError::SnapshotIo {
-            detail: format!("truncate WAL {}: {e}", wal_path.display()),
-        })?;
-        durable.wal = Some(Self::open_wal(&wal_path)?);
-        durable.chain_tail = Some(snapshot);
-        durable.deltas_since_full = index;
+        Self::truncate_wal(&wal_path, durable)?;
+        durable.cursor = Some(next_cursor);
+        durable.next_delta_index += 1;
+        durable.deltas_since_full += 1;
         durable.inserts_since_snapshot = 0;
+        if durable.deltas_since_full >= full_every.saturating_mul(COMPACTION_BACKSTOP) {
+            // The compactor is starved or dead; collapse inline rather
+            // than let the chain (and recovery time) grow without bound.
+            return self.anchor(name, entry, durable);
+        }
+        if durable.deltas_since_full >= full_every && !durable.compaction_pending {
+            if let Some(tx) = &self.compactor_tx {
+                let job = CompactJob {
+                    name: name.to_string(),
+                    entry: entry.clone(),
+                    epoch: durable.chain_epoch,
+                };
+                if tx.send(job).is_ok() {
+                    durable.compaction_pending = true;
+                }
+            }
+        }
         Ok(())
     }
 
@@ -810,21 +1009,27 @@ impl Engine {
                 continue;
             }
             let mut snapshot = Snapshot::read_from_file(&path)?;
-            // Chain the deltas. Each link's base checksum is verified: a
-            // mismatch marks a *stale* delta left behind by a crash
-            // between a full-snapshot write and the delta cleanup, and
-            // cleanly ends the chain (the WAL covers everything after the
-            // last good link). A delta file that fails its own section
+            // Chain the deltas — discovered by *listing* the directory,
+            // not by probing consecutive indices, because a crashed
+            // compactor may have removed only a prefix of the files it
+            // consumed and the survivors need not start at 1. Each link's
+            // base checksum is verified: a mismatch marks a *stale* delta
+            // (left behind by a crash between a full-snapshot write and
+            // the delta cleanup, or a partially cleaned-up compaction)
+            // and is skipped — later links may still chain off the
+            // collapsed snapshot. A delta file that fails its own section
             // checksums is real corruption and refuses recovery.
-            for index in 1.. {
-                let delta_path = dir.join(format!("{name}.delta.{index}"));
-                if !delta_path.exists() {
-                    break;
-                }
+            for (index, delta_path) in list_deltas(dir, &name) {
                 let delta = SnapshotDelta::read_from_file(&delta_path)?;
                 match delta.apply_to(&snapshot) {
                     Ok(next) => snapshot = next,
-                    Err(FdmError::IncompatibleSnapshot { .. }) => break,
+                    Err(FdmError::IncompatibleSnapshot { .. }) => {
+                        eprintln!(
+                            "fdm-serve: skipping stale delta {} (index {index}): \
+                             base checksum does not match the chain",
+                            delta_path.display()
+                        );
+                    }
                     Err(other) => return Err(other),
                 }
             }
@@ -858,14 +1063,13 @@ impl Engine {
             }
             // Re-anchor the chain on a fresh full snapshot: the replayed
             // WAL tail is now part of the state, and the next delta must
-            // diff against *this* state, not the pre-crash chain tail.
-            let fresh = stream.snapshot();
+            // diff against *this* state, not the pre-crash chain.
             let entry = StreamEntry::new(stream, self.config.rate_limit);
             {
                 let mut durable = lock(&entry.durable);
                 durable.wal = Some(Self::open_wal(&wal_path)?);
                 durable.counters.wal_records = replayed;
-                self.anchor(&name, fresh, &mut durable)?;
+                self.anchor(&name, &entry, &mut durable)?;
             }
             write_lock(&self.streams).insert(name, Arc::new(entry));
         }
@@ -889,6 +1093,7 @@ impl Engine {
     /// if two sessions race the same `OPEN`, the loser attaches instead of
     /// clobbering the winner's snapshot/WAL chain with empty state.
     pub fn open(&self, name: &str, spec: &StreamSpec) -> std::result::Result<Payload, ErrorReply> {
+        ensure_safe_stream_name(name)?;
         if let Some(coordinator) = &self.coordinator {
             return coordinator.open(name, spec);
         }
@@ -907,11 +1112,10 @@ impl Engine {
             });
         }
         let stream = summary::build(&summary_spec).map_err(generic)?;
-        let first = stream.snapshot();
         let entry = StreamEntry::new(stream, self.config.rate_limit);
         {
             let mut durable = lock(&entry.durable);
-            self.anchor(name, first, &mut durable).map_err(generic)?;
+            self.anchor(name, &entry, &mut durable).map_err(generic)?;
         }
         streams.insert(name.to_string(), Arc::new(entry));
         Ok(Payload::Opened {
@@ -1012,12 +1216,7 @@ impl Engine {
         durable.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
             if every > 0 && durable.inserts_since_snapshot >= every {
-                // Capture under a short read lock; encode + write happen
-                // below it (readers keep answering while the bytes hit
-                // disk).
-                let snapshot = read_lock(&entry.summary).snapshot();
-                self.anchor_delta(name, snapshot, &mut durable)
-                    .map_err(generic)?;
+                self.checkpoint(name, &entry, &mut durable).map_err(generic)?;
             }
         }
         entry.metrics.insert_latency.observe(start.elapsed());
@@ -1141,6 +1340,7 @@ impl Engine {
     /// WAL through independent handles with independent sequence
     /// counters, corrupting the recovery chain.
     pub fn restore(&self, name: &str, path: &str) -> std::result::Result<Payload, ErrorReply> {
+        ensure_safe_stream_name(name)?;
         if self.coordinator.is_some() {
             return Err(generic(
                 "RESTORE is not supported in coordinator mode (restore on a worker)",
@@ -1163,18 +1363,14 @@ impl Engine {
                 .params
                 .ensure_compatible(&existing.params())
                 .map_err(generic)?;
-            let anchor_snapshot = stream.snapshot();
             *write_lock(&existing.summary) = stream;
             // The restored state supersedes the WAL chain: re-anchor it.
-            self.anchor(name, anchor_snapshot, &mut durable)
-                .map_err(generic)?;
+            self.anchor(name, &existing, &mut durable).map_err(generic)?;
         } else {
-            let anchor_snapshot = stream.snapshot();
             let entry = StreamEntry::new(stream, self.config.rate_limit);
             {
                 let mut durable = lock(&entry.durable);
-                self.anchor(name, anchor_snapshot, &mut durable)
-                    .map_err(generic)?;
+                self.anchor(name, &entry, &mut durable).map_err(generic)?;
             }
             streams.insert(name.to_string(), Arc::new(entry));
         }
@@ -1212,8 +1408,9 @@ impl Engine {
         };
         Ok(Payload::Stats(format!(
             "stream={name} algorithm={} processed={processed} stored={stored} dim={} k={} \
-             shards={}{window} wal_records={} snapshots={} deltas={} last_snapshot_bytes={} \
-             last_snapshot_format={} kernel={} f32_hits={f32_hits} f32_fallbacks={f32_fallbacks}",
+             shards={}{window} wal_records={} snapshots={} deltas={} dirty_bytes={} \
+             compactions={} last_snapshot_bytes={} last_snapshot_format={} kernel={} \
+             f32_hits={f32_hits} f32_fallbacks={f32_fallbacks}",
             params.algorithm,
             params.dim,
             params.k,
@@ -1221,6 +1418,8 @@ impl Engine {
             counters.wal_records,
             counters.full_snapshots,
             counters.delta_snapshots,
+            counters.dirty_bytes,
+            counters.compactions,
             counters.last_snapshot_bytes,
             counters.last_snapshot_format.unwrap_or("none"),
             fdm_core::kernel::active_kernel(),
@@ -1338,6 +1537,30 @@ impl Engine {
         }
         metrics::help_type(
             &mut out,
+            "fdm_delta_dirty_bytes_total",
+            "counter",
+            "Encoded bytes of dirty-set delta checkpoints written per stream.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_delta_dirty_bytes_total{{stream=\"{}\"}} {}\n",
+                s.name, s.counters.dirty_bytes
+            ));
+        }
+        metrics::help_type(
+            &mut out,
+            "fdm_compactions_total",
+            "counter",
+            "Background chain collapses committed per stream.",
+        );
+        for s in &samples {
+            out.push_str(&format!(
+                "fdm_compactions_total{{stream=\"{}\"}} {}\n",
+                s.name, s.counters.compactions
+            ));
+        }
+        metrics::help_type(
+            &mut out,
             "fdm_last_snapshot_bytes",
             "gauge",
             "Encoded size of each stream's most recent checkpoint/export.",
@@ -1414,6 +1637,108 @@ impl Engine {
         self.metrics.render_globals(&mut out);
         out
     }
+}
+
+/// The background compactor loop: drains [`CompactJob`]s until the
+/// engine drops its sender, collapsing each stream's `full + delta*`
+/// chain off every hot-path lock. Failures are logged and the pending
+/// flag cleared — the next over-length checkpoint simply re-enqueues.
+fn run_compactor(rx: mpsc::Receiver<CompactJob>, dir: PathBuf, format: SnapshotFormat) {
+    while let Ok(job) = rx.recv() {
+        if let Err(e) = compact_chain(&dir, format, &job) {
+            eprintln!(
+                "fdm-serve: compaction of `{}` failed (chain left as-is): {e}",
+                job.name
+            );
+        }
+        // Clear the flag under durable whatever happened: on success the
+        // chain is short again; on failure the next checkpoint should be
+        // free to try again.
+        lock(&job.entry.durable).compaction_pending = false;
+    }
+}
+
+/// One chain collapse. Everything expensive — reading the base snapshot,
+/// applying the delta files, encoding, writing + fsyncing the temp file —
+/// runs with **no** engine lock held; delta files are write-once and the
+/// base `.snap` is only replaced by epoch-bumping inline anchors, so the
+/// off-lock read sees a stable prefix. The durable mutex is taken only
+/// for the commit: if the chain epoch still matches the job's, the
+/// collapsed snapshot renames into place and the consumed delta files are
+/// removed; if an inline anchor ran in between, the work is discarded.
+fn compact_chain(dir: &Path, format: SnapshotFormat, job: &CompactJob) -> Result<()> {
+    let name = &job.name;
+    let snap_path = dir.join(format!("{name}.snap"));
+    let chain = list_deltas(dir, name);
+    if chain.is_empty() {
+        return Ok(());
+    }
+    let mut snapshot = Snapshot::read_from_file(&snap_path)?;
+    let mut consumed: Vec<PathBuf> = Vec::with_capacity(chain.len());
+    for (index, delta_path) in chain {
+        let delta = SnapshotDelta::read_from_file(&delta_path)?;
+        match delta.apply_to(&snapshot) {
+            Ok(next) => snapshot = next,
+            Err(FdmError::IncompatibleSnapshot { .. }) => {
+                // A stale link (crash debris): recovery would skip it too,
+                // so consuming (removing) it below is safe.
+                eprintln!(
+                    "fdm-serve: compactor skipping stale delta {} (index {index})",
+                    delta_path.display()
+                );
+            }
+            Err(other) => return Err(other),
+        }
+        consumed.push(delta_path);
+    }
+    let bytes = snapshot.to_bytes(format);
+    if crash_requested("compactor-mid-collapse") {
+        crash_mid_write(&snap_path, &bytes);
+    }
+    // Write the collapsed snapshot to a `.tmp.` sibling by hand (instead
+    // of `write_bytes_atomic`) so the rename can be deferred into the
+    // epoch-checked commit below. The `.tmp.` infix keeps a crashed
+    // leftover inside recovery's sweep.
+    let tmp_path = dir.join(format!("{name}.snap.tmp.{}.compact", std::process::id()));
+    let io_err = |op: &str, e: std::io::Error| FdmError::SnapshotIo {
+        detail: format!("{op} {}: {e}", tmp_path.display()),
+    };
+    {
+        let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create", e))?;
+        tmp.write_all(&bytes).map_err(|e| io_err("write", e))?;
+        tmp.sync_all().map_err(|e| io_err("sync", e))?;
+    }
+    let mut durable = lock(&job.entry.durable);
+    if durable.chain_epoch != job.epoch {
+        // An inline anchor replaced the chain while we worked; this
+        // collapsed snapshot describes a base that no longer exists.
+        drop(durable);
+        let _ = std::fs::remove_file(&tmp_path);
+        return Ok(());
+    }
+    std::fs::rename(&tmp_path, &snap_path).map_err(|e| FdmError::SnapshotIo {
+        detail: format!(
+            "rename {} -> {}: {e}",
+            tmp_path.display(),
+            snap_path.display()
+        ),
+    })?;
+    crash_point("between-compaction-and-delta-cleanup");
+    for path in &consumed {
+        if let Err(e) = std::fs::remove_file(path) {
+            // A leftover is stale (its base CRC no longer matches) and
+            // recovery skips it; the next sweep removes it.
+            eprintln!(
+                "fdm-serve: failed to remove compacted delta {}: {e}",
+                path.display()
+            );
+        }
+    }
+    durable.deltas_since_full = durable
+        .deltas_since_full
+        .saturating_sub(consumed.len() as u64);
+    durable.counters.compactions += 1;
+    Ok(())
 }
 
 /// Validates an arriving element against a stream's live parameters:

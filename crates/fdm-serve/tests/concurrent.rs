@@ -283,6 +283,113 @@ fn snapshot_pause_probe_inner() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The *per-section* off-lock guarantee for the durable checkpoint path:
+/// `FDM_SERVE_SNAPSHOT_PAUSE_MS` sleeps both between the chunked
+/// capture's sections (params → state) and before the disk write, so an
+/// auto-checkpoint anchor holds this stream's durable mutex for ≥ 2×700
+/// ms — but the **summary lock is released between every section**, so a
+/// QUERY on the very stream being checkpointed (and an INSERT into
+/// another stream) must complete while the anchor is mid-capture. Child
+/// process for the same env-cache reason as the probe above.
+#[test]
+fn chunked_capture_pauses_off_the_summary_lock() {
+    let exe = std::env::current_exe().unwrap();
+    let status = Command::new(exe)
+        .args([
+            "chunked_capture_probe_inner",
+            "--exact",
+            "--ignored",
+            "--nocapture",
+        ])
+        .env("FDM_SERVE_SNAPSHOT_PAUSE_MS", "700")
+        .status()
+        .unwrap();
+    assert!(status.success(), "chunked-capture probe failed");
+}
+
+/// Inner body of `chunked_capture_pauses_off_the_summary_lock`.
+#[test]
+#[ignore = "spawned by chunked_capture_pauses_off_the_summary_lock"]
+fn chunked_capture_probe_inner() {
+    assert_eq!(
+        std::env::var("FDM_SERVE_SNAPSHOT_PAUSE_MS").as_deref(),
+        Ok("700"),
+        "probe must run with the pause armed"
+    );
+    let dir = scratch("chunked_pause");
+    // full_every = 0: the insert-61 checkpoint is an inline *full* anchor
+    // on the insert path — the exact capture whose sections must not pin
+    // the summary lock. snapshot_every = 61 keeps the 60 warm-up inserts
+    // checkpoint-free.
+    let engine = Arc::new(
+        Engine::new(ServeConfig {
+            data_dir: Some(dir.clone()),
+            snapshot_every: Some(61),
+            full_every: 0,
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let specs: Vec<_> = stream_specs().into_iter().take(2).collect();
+    // "alpha" stops one insert short of the checkpoint; "beta" stays far
+    // from it so its probe INSERT below cannot trigger an anchor itself.
+    for ((name, spec), warmup) in specs.iter().zip([60usize, 30]) {
+        engine.open(name, spec).unwrap();
+        for i in 0..warmup {
+            let line = insert_line(1, i);
+            match parse_line(&line).unwrap().unwrap() {
+                Cmd::Insert(e) => {
+                    engine.insert(name, &e, &line).unwrap();
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+    let pause = Duration::from_millis(700);
+
+    // Insert #61 into "alpha": its ack only returns once the checkpoint
+    // anchor (two paused sections) committed.
+    let anchor_engine = engine.clone();
+    let anchor_started = Instant::now();
+    let anchor_thread = std::thread::spawn(move || {
+        let line = insert_line(1, 60);
+        match parse_line(&line).unwrap().unwrap() {
+            Cmd::Insert(e) => {
+                anchor_engine.insert("alpha", &e, &line).unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+    });
+    // Land inside the first paused section.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // QUERY the stream being checkpointed (summary read lock) and INSERT
+    // into the other stream (its own durable mutex): both must finish
+    // while the anchor is still inside its first pause.
+    engine.query("alpha", None).unwrap();
+    let line = insert_line(2, 60);
+    match parse_line(&line).unwrap().unwrap() {
+        Cmd::Insert(e) => {
+            engine.insert("beta", &e, &line).unwrap();
+        }
+        other => panic!("{other:?}"),
+    }
+    let ops_done = anchor_started.elapsed();
+    anchor_thread.join().unwrap();
+    let anchor_done = anchor_started.elapsed();
+
+    assert!(
+        anchor_done >= 2 * pause,
+        "the anchor must sleep once per section ({anchor_done:?})"
+    );
+    assert!(
+        ops_done < pause,
+        "QUERY/INSERT waited on the chunked capture ({ops_done:?} ≥ {pause:?}) — \
+         each section must drop the summary lock before the pause"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Sessions on different streams never serialize on each other: drive two
 /// protocol sessions concurrently through the shared engine (the same way
 /// socket connections do) and require both transcripts correct.

@@ -10,10 +10,14 @@
 //! * during the WAL append → apply gap of one `INSERT`;
 //! * mid-delta write (torn temp file, no rename);
 //! * between a delta rename and the WAL truncation (overlap records);
-//! * mid-full-snapshot write during a chain collapse (torn temp file);
+//! * between the chunked-capture sections of a full anchor;
+//! * mid-full-snapshot write during an inline anchor (torn temp file);
 //! * between a full-snapshot rename and the stale-delta cleanup (the
 //!   stale-chain window the delta base-checksum exists for);
-//! * between the delta cleanup and the WAL truncation.
+//! * between the delta cleanup and the WAL truncation;
+//! * inside the background compactor: mid-collapse (torn temp file) and
+//!   between the collapsed-snapshot rename and the consumed-delta
+//!   cleanup (stale mid-chain deltas recovery must skip over).
 //!
 //! Plus the **graceful** cells: SIGTERM must drain (in-flight inserts
 //! complete, final checkpoint leaves zero WAL records to replay, durable
@@ -82,8 +86,19 @@ fn reference_query(n: usize) -> String {
 
 /// Runs the real binary against `dir` with the given crash point armed,
 /// feeds `open` + INSERTS, and returns its stdout lines after it dies (or
-/// finishes, for scenarios whose point never fires).
-fn run_until_crash_with(open: &str, dir: &Path, crash_point: &str) -> Vec<String> {
+/// finishes, for scenarios whose point never fires). `full_every`
+/// parameterizes the chain-length bound (`"0"` disables deltas entirely).
+/// With `hold_stdin_open`, no `QUIT` is sent and stdin stays open until
+/// the child dies — the shape the *compactor* cells need, because the
+/// crash fires on a background thread whose timing is independent of the
+/// input stream, and exiting on EOF would race it.
+fn run_until_crash_opts(
+    open: &str,
+    dir: &Path,
+    crash_point: &str,
+    full_every: &str,
+    hold_stdin_open: bool,
+) -> Vec<String> {
     let mut child = Command::new(env!("CARGO_BIN_EXE_fdm-serve"))
         .args([
             "--data-dir",
@@ -91,7 +106,7 @@ fn run_until_crash_with(open: &str, dir: &Path, crash_point: &str) -> Vec<String
             "--snapshot-every",
             "4",
             "--full-every",
-            "2",
+            full_every,
         ])
         .env("FDM_SERVE_CRASH_POINT", crash_point)
         .stdin(Stdio::piped())
@@ -99,20 +114,26 @@ fn run_until_crash_with(open: &str, dir: &Path, crash_point: &str) -> Vec<String
         .stderr(Stdio::null())
         .spawn()
         .expect("spawn fdm-serve");
-    {
-        let mut stdin = child.stdin.take().unwrap();
-        let mut script = vec![open.to_string()];
-        script.extend(insert_lines(INSERTS));
+    let mut stdin = child.stdin.take().unwrap();
+    let mut script = vec![open.to_string()];
+    script.extend(insert_lines(INSERTS));
+    if !hold_stdin_open {
         script.push("QUIT".into());
-        // The child aborts mid-stream; EPIPE on the remainder is expected.
-        let _ = stdin.write_all(script.join("\n").as_bytes());
-        let _ = stdin.write_all(b"\n");
     }
+    // The child aborts mid-stream; EPIPE on the remainder is expected.
+    let _ = stdin.write_all(script.join("\n").as_bytes());
+    let _ = stdin.write_all(b"\n");
+    let stdin_keepalive = if hold_stdin_open { Some(stdin) } else { None };
     let output = child.wait_with_output().expect("wait for fdm-serve");
+    drop(stdin_keepalive);
     String::from_utf8_lossy(&output.stdout)
         .lines()
         .map(str::to_string)
         .collect()
+}
+
+fn run_until_crash_with(open: &str, dir: &Path, crash_point: &str) -> Vec<String> {
+    run_until_crash_opts(open, dir, crash_point, "2", false)
 }
 
 fn run_until_crash(dir: &Path, crash_point: &str) -> Vec<String> {
@@ -190,9 +211,20 @@ fn crash_and_recover_with(open: &str, tag: &str, crash_point: &str, expect_proce
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-// Checkpoint schedule with --snapshot-every 4 --full-every 2:
-// OPEN → full#1 (processed 0); insert 4 → delta 1; 8 → delta 2;
-// 12 → full#2 (chain collapse); 16 → delta 1'; 20 → delta 2'; 24 → full#3.
+// Checkpoint schedule with --snapshot-every 4 --full-every 2 under the
+// dirty-set pipeline. Every checkpoint *tries* to write a delta; the
+// summary's patch is unlowerable (bit-pack width growth in the stored-id
+// lists) at inserts 8 and 12 for this insert sequence, so those two
+// checkpoints fall back to inline full anchors:
+//
+// OPEN → full#1 (processed 0); insert 4 → delta 1; 8 → full#2 (inline
+// fallback, sweeps delta 1); 12 → full#3; 16 → delta 1'; 20 → delta 2'
+// (chain at full-every → background compaction enqueued); 24 → delta 3';
+// 28 → delta 4'.
+//
+// Deterministic for this fixed insert sequence — the delta/full decision
+// depends only on the stream's own state, never on compactor timing (the
+// compactor changes which *files* hold the prefix, not the live mark).
 
 #[test]
 fn kill_between_wal_append_and_apply() {
@@ -209,29 +241,49 @@ fn kill_mid_delta_write() {
 
 #[test]
 fn kill_between_delta_and_wal_truncate() {
-    // delta 2 landed but the WAL still holds records 5..8; sequence
-    // numbers must dedupe them.
-    crash_and_recover("delta_wal_overlap", "between-delta-and-wal-truncate:2", 8);
+    // The second delta checkpoint is delta 1' at insert 16: it landed but
+    // the WAL still holds records 13..16; sequence numbers must dedupe
+    // them against full#3 + delta 1'.
+    crash_and_recover("delta_wal_overlap", "between-delta-and-wal-truncate:2", 16);
 }
 
 #[test]
 fn kill_mid_full_snapshot() {
-    // Torn full#2 temp file during the chain collapse: recovery walks the
-    // old chain full#1 + delta1 + delta2 + WAL 9..12.
-    crash_and_recover("mid_full", "mid-full-snapshot:2", 12);
+    // Torn full#2 temp file during the insert-8 fallback anchor: recovery
+    // walks the old chain full#1 + delta 1 + WAL 5..8.
+    crash_and_recover("mid_full", "mid-full-snapshot:2", 8);
 }
 
 #[test]
 fn kill_between_full_snapshot_and_delta_cleanup() {
-    // full#2 landed but delta1/delta2 of the superseded chain linger; the
-    // delta base-checksum must recognize them as stale and end the chain
-    // at full#2, with the WAL records deduped by sequence number.
-    crash_and_recover("stale_deltas", "between-full-and-delta-cleanup:2", 12);
+    // full#2 landed but delta 1 of the superseded chain lingers; the
+    // delta base-checksum must recognize it as stale and skip it, with
+    // the WAL records 5..8 deduped by sequence number.
+    crash_and_recover("stale_deltas", "between-full-and-delta-cleanup:2", 8);
 }
 
 #[test]
 fn kill_between_delta_cleanup_and_wal_truncate() {
-    crash_and_recover("full_wal_overlap", "between-full-and-wal-truncate:2", 12);
+    crash_and_recover("full_wal_overlap", "between-full-and-wal-truncate:2", 8);
+}
+
+/// The chunked-capture window: the crash lands between the params section
+/// and the state section of a full anchor, before any file is touched —
+/// the chain on disk must be exactly what the previous checkpoint left.
+#[test]
+fn kill_mid_chunked_capture() {
+    // --full-every 0: every checkpoint is an inline full anchor, so hit 1
+    // is the OPEN anchor and hit 2 the insert-4 checkpoint. Nothing was
+    // written yet: recovery is full#1 (empty) + WAL 1..4.
+    let dir = scratch("mid_chunked");
+    let live = run_until_crash_opts(OPEN, &dir, "mid-chunked-capture:2", "0", false);
+    let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
+    assert!(acked < INSERTS, "the crash point must fire ({acked} acked)");
+    let (processed, query) = recover(&dir);
+    assert_eq!(processed, 4, "mid_chunked: expected full#1 + WAL 1..4");
+    assert!(processed >= acked, "lost acknowledged inserts");
+    assert_eq!(query, reference_query(4));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A torn final WAL record (crash mid-append) must be dropped with a
@@ -295,11 +347,76 @@ fn stale_delta_window_leaves_files_that_recovery_ignores() {
     let dir = scratch("stale_delta_files");
     run_until_crash(&dir, "between-full-and-delta-cleanup:2");
     assert!(
-        dir.join("jobs.delta.1").exists() && dir.join("jobs.delta.2").exists(),
-        "the crash window must leave the superseded chain's delta files behind"
+        dir.join("jobs.delta.1").exists(),
+        "the crash window must leave the superseded chain's delta file behind"
     );
     let (processed, _) = recover(&dir);
-    assert_eq!(processed, 12);
+    assert_eq!(processed, 8);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// --- Background-compactor cells -------------------------------------------
+//
+// The compactor collapses `full + delta*` on its own thread, so the crash
+// lands at a point whose *insert-stream* position is nondeterministic (the
+// job is enqueued at insert 20; inserts keep flowing while it runs). The
+// assertions are therefore relational rather than positional: recovery
+// must land exactly on an uninterrupted run over however many arrivals
+// survived, never behind an acknowledged insert — and the on-disk debris
+// each window leaves must actually be there.
+
+/// Kills the process from inside the compactor, after it read the chain
+/// but before the collapsed temp file is renamed: the live chain must be
+/// untouched (both consumed deltas still on disk) and recovery exact.
+#[test]
+fn kill_compactor_mid_collapse() {
+    let dir = scratch("compactor_mid_collapse");
+    let live = run_until_crash_opts(OPEN, &dir, "compactor-mid-collapse:1", "2", true);
+    let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
+    assert!(
+        acked >= 19,
+        "the job is enqueued during insert 20's checkpoint; it cannot crash earlier ({acked} acked)"
+    );
+    assert!(
+        dir.join("jobs.delta.1").exists() && dir.join("jobs.delta.2").exists(),
+        "a collapse that never renamed must leave the chain untouched"
+    );
+    let (processed, query) = recover(&dir);
+    assert!(
+        processed >= acked,
+        "recovery lost acknowledged inserts ({acked} acked, {processed} recovered)"
+    );
+    assert_eq!(query, reference_query(processed));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kills the process between the compactor's snapshot rename and the
+/// consumed-delta cleanup: the consumed deltas linger as *stale* files
+/// whose base checksums no longer match the collapsed snapshot, possibly
+/// with a *live* later delta behind them — recovery must skip the stale
+/// links and keep walking.
+#[test]
+fn kill_between_compaction_and_delta_cleanup() {
+    let dir = scratch("compactor_stale_deltas");
+    let live = run_until_crash_opts(
+        OPEN,
+        &dir,
+        "between-compaction-and-delta-cleanup:1",
+        "2",
+        true,
+    );
+    let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
+    assert!(acked >= 19, "{acked} acked before the compactor window");
+    assert!(
+        dir.join("jobs.delta.1").exists() && dir.join("jobs.delta.2").exists(),
+        "the crash window must leave the consumed (now stale) deltas behind"
+    );
+    let (processed, query) = recover(&dir);
+    assert!(
+        processed >= acked,
+        "recovery lost acknowledged inserts ({acked} acked, {processed} recovered)"
+    );
+    assert_eq!(query, reference_query(processed));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -319,9 +436,13 @@ fn sliding_kill_between_wal_append_and_apply() {
     );
 }
 
+// The sliding summary (window=16, half 8) refuses to lower its patch
+// across a rotation crossing, so the insert-8 checkpoint falls back to an
+// inline full anchor — full#2 and the windows below land at insert 8.
+
 #[test]
 fn sliding_kill_mid_full_snapshot() {
-    crash_and_recover_with(OPEN_SLIDING, "sliding_mid_full", "mid-full-snapshot:2", 12);
+    crash_and_recover_with(OPEN_SLIDING, "sliding_mid_full", "mid-full-snapshot:2", 8);
 }
 
 #[test]
@@ -330,7 +451,7 @@ fn sliding_kill_in_stale_delta_window() {
         OPEN_SLIDING,
         "sliding_stale_deltas",
         "between-full-and-delta-cleanup:2",
-        12,
+        8,
     );
 }
 

@@ -317,6 +317,22 @@ impl Bencher {
                 .push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
         }
     }
+
+    /// Measures `routine` with caller-controlled timing (upstream
+    /// `iter_custom`): each call does one sample's worth of work for the
+    /// given iteration count and returns the elapsed time the caller
+    /// wants recorded. This is the hook for benchmarks whose per-sample
+    /// statistic is not plain wall clock — e.g. a tail percentile over a
+    /// batch of operations. One untimed call warms up; each subsequent
+    /// call contributes one sample (returned nanoseconds / iters).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        std::hint::black_box(routine(1));
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let elapsed = routine(1);
+            self.samples_ns.push(elapsed.as_nanos() as f64);
+        }
+    }
 }
 
 /// Defines a benchmark group function, in both criterion forms.
