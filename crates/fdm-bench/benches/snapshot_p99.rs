@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fdm_core::point::Element;
 use fdm_serve::protocol::{parse_line, Request, StreamSpec};
 use fdm_serve::{Engine, ServeConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
@@ -57,9 +57,9 @@ fn scratch(tag: &str) -> PathBuf {
 
 /// A durable engine checkpointing aggressively (every 4 inserts) so the
 /// checkpoint cost is *in* the measured distribution, not amortised away.
-fn durable_engine(dir: &PathBuf, full_every: u64) -> Engine {
+fn durable_engine(dir: &Path, full_every: u64) -> Engine {
     Engine::new(ServeConfig {
-        data_dir: Some(dir.clone()),
+        data_dir: Some(dir.to_path_buf()),
         snapshot_every: Some(4),
         full_every,
         ..ServeConfig::default()
@@ -91,9 +91,7 @@ fn insert_batch_quantile(engine: &Engine, next_id: &mut usize, q: f64) -> Durati
         latencies.push(start.elapsed());
     }
     latencies.sort_unstable();
-    let rank = ((latencies.len() as f64 * q).ceil() as usize)
-        .clamp(1, latencies.len())
-        - 1;
+    let rank = ((latencies.len() as f64 * q).ceil() as usize).clamp(1, latencies.len()) - 1;
     latencies[rank]
 }
 

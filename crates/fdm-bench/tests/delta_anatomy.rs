@@ -1,0 +1,112 @@
+//! Diagnostic: where do the delta bytes go for the bench workload?
+//! Run with `cargo test -p fdm-bench --test delta_anatomy -- --nocapture --ignored`.
+
+use fdm_core::fairness::FairnessConstraint;
+use fdm_core::persist::{Snapshot, SnapshotDelta, SnapshotFormat, Snapshottable};
+use fdm_core::point::Element;
+use fdm_core::streaming::sfdm2::{Sfdm2, Sfdm2Config};
+use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
+use serde::{Map, Value};
+
+fn elements(n: usize, seed: u64, offset: usize) -> Vec<Element> {
+    let data = synthetic_blobs(SyntheticConfig {
+        n,
+        m: 2,
+        blobs: 10,
+        seed,
+        dim: 16,
+    })
+    .unwrap();
+    data.iter()
+        .enumerate()
+        .map(|(i, e)| Element::new(offset + i, e.point.to_vec(), e.group))
+        .collect()
+}
+
+#[test]
+#[ignore = "diagnostic, run by hand"]
+fn anatomy() {
+    let n = 10_000;
+    let data = synthetic_blobs(SyntheticConfig {
+        n,
+        m: 2,
+        blobs: 10,
+        seed: 1,
+        dim: 16,
+    })
+    .unwrap();
+    let config = Sfdm2Config {
+        constraint: FairnessConstraint::new(vec![8, 8]).unwrap(),
+        epsilon: 0.1,
+        bounds: data.sampled_distance_bounds(300, 4.0).unwrap(),
+        metric: data.metric(),
+    };
+    let mut stream = Sfdm2::new(config).unwrap();
+    // Round-robin over 2 workers like the bench; model worker 0's half.
+    // The burst is the next n/10 arrivals of the *same* stream (one
+    // generator run), not a fresh draw with new blob centers.
+    let all = elements(n + n / 10, 1, 0);
+    for e in all[..n].iter().step_by(2) {
+        stream.insert(e);
+    }
+    let base = stream.snapshot();
+    for e in all[n..].iter().step_by(2) {
+        stream.insert(e);
+    }
+    let full = stream.snapshot();
+    let full_bytes = full.to_bytes(SnapshotFormat::Binary).len();
+    let delta = SnapshotDelta::between(&base, &full).unwrap();
+    let delta_bytes = delta.to_bytes().len();
+    eprintln!(
+        "full {} B, delta {} B ({:.1}%)",
+        full_bytes,
+        delta_bytes,
+        delta_bytes as f64 / full_bytes as f64 * 100.0
+    );
+    // Per-key contribution: substitute one top-level key at a time.
+    let base_obj = base.state.as_object().unwrap();
+    let full_obj = full.state.as_object().unwrap();
+    for (key, new_value) in full_obj.iter() {
+        let old = base_obj.get(key);
+        if old == Some(new_value) {
+            continue;
+        }
+        let mut hybrid = Map::new();
+        for (k, v) in base_obj.iter() {
+            hybrid.insert(
+                k.clone(),
+                if k == key {
+                    new_value.clone()
+                } else {
+                    v.clone()
+                },
+            );
+        }
+        let partial = Snapshot {
+            params: full.params.clone(),
+            state: Value::Object(hybrid),
+        };
+        let d = SnapshotDelta::between(&base, &partial).unwrap();
+        eprintln!("key `{key}`: delta contribution ~{} B", d.to_bytes().len());
+        describe(key, old, new_value);
+    }
+}
+
+fn describe(key: &str, old: Option<&Value>, new: &Value) {
+    match (old, new) {
+        (Some(Value::Array(a)), Value::Array(b)) => {
+            let changed = a.iter().zip(b).filter(|(x, y)| x != y).count();
+            eprintln!(
+                "  `{key}`: array {} -> {} items, {changed} changed in common prefix",
+                a.len(),
+                b.len()
+            );
+        }
+        (Some(Value::Object(_)), Value::Object(m)) => {
+            for (k, v) in m.iter() {
+                describe(&format!("{key}.{k}"), old.and_then(|o| o.get(k)), v);
+            }
+        }
+        _ => {}
+    }
+}

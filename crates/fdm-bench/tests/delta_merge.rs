@@ -1,0 +1,57 @@
+use fdm_core::point::Element;
+use fdm_datasets::synthetic::{synthetic_blobs, SyntheticConfig};
+use fdm_serve::protocol::{parse_line, Payload, Request as Cmd};
+use fdm_serve::{Engine, ServeConfig};
+
+#[test]
+fn blob_workload_rides_deltas() {
+    let n = 750;
+    let data = synthetic_blobs(SyntheticConfig {
+        n,
+        m: 2,
+        blobs: 10,
+        seed: 1,
+        dim: 16,
+    })
+    .unwrap();
+    let bounds = data.sampled_distance_bounds(300, 4.0).unwrap();
+    let open = format!(
+        "OPEN jobs sfdm2 quotas=8,8 eps=0.1 dmin={} dmax={}",
+        bounds.lower, bounds.upper
+    );
+    let engine = Engine::new(ServeConfig::default()).unwrap();
+    let (name, spec) = match parse_line(&open).unwrap().unwrap() {
+        Cmd::Open { name, spec } => (name, spec),
+        other => panic!("{other:?}"),
+    };
+    engine.open(&name, &spec).unwrap();
+    let elements: Vec<Element> = data.iter().collect();
+    engine.insert_batch(&name, &elements).unwrap();
+    let (epoch, crc) = match engine.merge_since(&name, (0, 0)).unwrap() {
+        Payload::MergeSince {
+            delta, epoch, crc, ..
+        } => {
+            assert!(!delta);
+            (epoch, crc)
+        }
+        other => panic!("{other:?}"),
+    };
+    let burst = synthetic_blobs(SyntheticConfig {
+        n: 75,
+        m: 2,
+        blobs: 10,
+        seed: 2,
+        dim: 16,
+    })
+    .unwrap();
+    let burst: Vec<Element> = burst
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Element::new(n + i, e.point.to_vec(), e.group))
+        .collect();
+    engine.insert_batch(&name, &burst).unwrap();
+    match engine.merge_since(&name, (epoch, crc)).unwrap() {
+        Payload::MergeSince { delta, .. } => assert!(delta, "burst must lower to a delta"),
+        other => panic!("{other:?}"),
+    }
+}

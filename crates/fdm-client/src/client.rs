@@ -66,8 +66,17 @@ enum Transport {
 }
 
 /// A blocking protocol client over one connection.
+///
+/// The client owns one reusable write buffer and one reusable reply-line
+/// buffer, so the steady-state command loop (the coordinator's per-element
+/// insert path, a bench driving millions of inserts) allocates nothing per
+/// round trip.
 pub struct Client {
     transport: Transport,
+    /// Reused render buffer for outgoing request lines.
+    write_buf: String,
+    /// Reused buffer for incoming reply lines.
+    line_buf: String,
 }
 
 impl std::fmt::Debug for Client {
@@ -80,13 +89,23 @@ impl std::fmt::Debug for Client {
 }
 
 impl Client {
-    /// Connects over TCP.
+    /// Connects over TCP. Nagle's algorithm is disabled: the protocol is
+    /// strictly request/reply, so there is never a follow-up write to
+    /// coalesce with — leaving it on serializes every round trip against
+    /// the peer's delayed-ACK timer.
     pub fn connect_tcp(addr: impl ToSocketAddrs) -> Result<Client> {
         let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client {
-            transport: Transport::Tcp { reader, writer },
-        })
+        Ok(Client::over(Transport::Tcp { reader, writer }))
+    }
+
+    fn over(transport: Transport) -> Client {
+        Client {
+            transport,
+            write_buf: String::new(),
+            line_buf: String::new(),
+        }
     }
 
     /// Connects over TCP, retrying with doubling backoff — the
@@ -121,9 +140,7 @@ impl Client {
     pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client> {
         let writer = UnixStream::connect(path)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client {
-            transport: Transport::Unix { reader, writer },
-        })
+        Ok(Client::over(Transport::Unix { reader, writer }))
     }
 
     /// Bounds every subsequent read (`None` = block forever).
@@ -155,10 +172,17 @@ impl Client {
     /// Reads one reply line, without its trailing newline. EOF is an
     /// [`ClientError::Io`] with [`std::io::ErrorKind::UnexpectedEof`].
     pub fn read_reply_line(&mut self) -> Result<String> {
-        let mut line = String::new();
+        self.fill_reply_line()?;
+        Ok(self.line_buf.clone())
+    }
+
+    /// Reads one reply line into the reused `line_buf` (trailing newline
+    /// stripped) — the allocation-free core of [`Client::read_reply_line`].
+    fn fill_reply_line(&mut self) -> Result<()> {
+        self.line_buf.clear();
         let n = match &mut self.transport {
-            Transport::Tcp { reader, .. } => reader.read_line(&mut line)?,
-            Transport::Unix { reader, .. } => reader.read_line(&mut line)?,
+            Transport::Tcp { reader, .. } => reader.read_line(&mut self.line_buf)?,
+            Transport::Unix { reader, .. } => reader.read_line(&mut self.line_buf)?,
         };
         if n == 0 {
             return Err(ClientError::Io(std::io::Error::new(
@@ -166,10 +190,10 @@ impl Client {
                 "server closed the connection",
             )));
         }
-        while line.ends_with('\n') || line.ends_with('\r') {
-            line.pop();
+        while self.line_buf.ends_with('\n') || self.line_buf.ends_with('\r') {
+            self.line_buf.pop();
         }
-        Ok(line)
+        Ok(())
     }
 
     fn read_exact(&mut self, buf: &mut [u8]) -> Result<()> {
@@ -188,13 +212,26 @@ impl Client {
         self.read_reply_line()
     }
 
-    /// One typed round trip: render the request, read and parse the reply.
-    /// `ERR` replies surface as [`ClientError::Server`]; a `MERGE` reply's
-    /// binary tail is read into the returned payload.
+    /// One typed round trip: render the request (into the reused write
+    /// buffer), read and parse the reply. `ERR` replies surface as
+    /// [`ClientError::Server`]; a `MERGE` reply's binary tail is read into
+    /// the returned payload.
     pub fn request(&mut self, request: &Request) -> Result<Payload> {
-        self.send_line(&request.render())?;
-        let line = self.read_reply_line()?;
-        match Response::parse(&line).map_err(ClientError::Protocol)? {
+        self.write_buf.clear();
+        request.render_into(&mut self.write_buf);
+        self.write_buf.push('\n');
+        match &mut self.transport {
+            Transport::Tcp { writer, .. } => {
+                writer.write_all(self.write_buf.as_bytes())?;
+                writer.flush()?;
+            }
+            Transport::Unix { writer, .. } => {
+                writer.write_all(self.write_buf.as_bytes())?;
+                writer.flush()?;
+            }
+        }
+        self.fill_reply_line()?;
+        match Response::parse(&self.line_buf).map_err(ClientError::Protocol)? {
             Response::Ok(Payload::Merge {
                 algorithm,
                 processed,
@@ -206,6 +243,24 @@ impl Client {
                 Ok(Payload::Merge {
                     algorithm,
                     processed,
+                    bytes,
+                })
+            }
+            Response::Ok(Payload::MergeSince {
+                algorithm,
+                processed,
+                delta,
+                epoch,
+                crc,
+                mut bytes,
+            }) => {
+                self.read_exact(&mut bytes)?;
+                Ok(Payload::MergeSince {
+                    algorithm,
+                    processed,
+                    delta,
+                    epoch,
+                    crc,
                     bytes,
                 })
             }
@@ -261,6 +316,15 @@ impl Client {
         })
     }
 
+    /// `INSERTB` a batch of elements in one round trip — returns
+    /// `(stream position after the batch, elements acknowledged)`.
+    pub fn insert_batch(&mut self, elements: &[Element]) -> Result<(usize, usize)> {
+        self.expect(&Request::InsertBatch(elements.to_vec()), |p| match p {
+            Payload::InsertedBatch { seq, count } => Ok((seq, count)),
+            other => Err(other),
+        })
+    }
+
     /// `QUERY [k]`.
     pub fn query(&mut self, k: Option<usize>) -> Result<QueryReply> {
         self.expect(&Request::Query { k }, |p| match p {
@@ -272,12 +336,37 @@ impl Client {
     /// `MERGE` — pulls the bound stream's summary as a v2 binary snapshot
     /// frame: `(algorithm, processed, frame bytes)`.
     pub fn merge(&mut self) -> Result<(String, usize, Vec<u8>)> {
-        self.expect(&Request::Merge, |p| match p {
+        self.expect(&Request::Merge { since: None }, |p| match p {
             Payload::Merge {
                 algorithm,
                 processed,
                 bytes,
             } => Ok((algorithm, processed, bytes)),
+            other => Err(other),
+        })
+    }
+
+    /// `MERGE since=<epoch>:<crc>` — pulls the bound stream's summary
+    /// incrementally: the server ships an `FDMDELT2` delta frame when the
+    /// named base still matches its export cursor, a fresh full frame
+    /// otherwise. The returned frame's `epoch`/`crc` anchor the next call.
+    pub fn merge_since(&mut self, since: (u64, u32)) -> Result<MergeFrame> {
+        self.expect(&Request::Merge { since: Some(since) }, |p| match p {
+            Payload::MergeSince {
+                algorithm,
+                processed,
+                delta,
+                epoch,
+                crc,
+                bytes,
+            } => Ok(MergeFrame {
+                algorithm,
+                processed,
+                delta,
+                epoch,
+                crc,
+                bytes,
+            }),
             other => Err(other),
         })
     }
@@ -332,6 +421,26 @@ impl Client {
             other => Err(other),
         })
     }
+}
+
+/// A typed `MERGE since=` reply: one exported frame plus the cache anchor
+/// for the next incremental round trip.
+#[derive(Debug, Clone)]
+pub struct MergeFrame {
+    /// Algorithm tag of the exported summary.
+    pub algorithm: String,
+    /// Arrivals captured by the exported summary.
+    pub processed: usize,
+    /// `true` — `bytes` is an `FDMDELT2` delta against the requested base;
+    /// `false` — a fresh full `FDMSNAP2` snapshot frame.
+    pub delta: bool,
+    /// Export-cursor epoch (bumped on every full re-anchor).
+    pub epoch: u64,
+    /// CRC32 of the exported state; pass `(epoch, crc)` as the next
+    /// `since`.
+    pub crc: u32,
+    /// The binary frame.
+    pub bytes: Vec<u8>,
 }
 
 /// Decodes a `MERGE` frame back into a live summary and finalizes it —

@@ -40,6 +40,11 @@ pub enum Request {
     },
     /// `INSERT <id> <group> <x1> ... <xd>` — feed one stream element.
     Insert(Element),
+    /// `INSERTB <elem> | <elem> | ...` — feed a batch of elements in one
+    /// round trip (each `<elem>` is an `INSERT` tail, `|`-separated). The
+    /// batch is applied in order and atomically WAL-logged on a durable
+    /// worker; the reply acknowledges the whole batch at once.
+    InsertBatch(Vec<Element>),
     /// `QUERY [k]` — run post-processing and return the current solution.
     Query {
         /// Optional solution size; must match the configured `k`.
@@ -60,10 +65,19 @@ pub enum Request {
     },
     /// `STATS` — processed/stored counters of the bound stream.
     Stats,
-    /// `MERGE` — export the bound stream's summary as an inline v2 binary
-    /// snapshot frame (header line + raw byte tail). The coordinator's
-    /// QUERY fan-out pulls worker summaries through this verb.
-    Merge,
+    /// `MERGE [since=<epoch>:<crc>]` — export the bound stream's summary
+    /// as an inline binary frame (header line + raw byte tail). The
+    /// coordinator's QUERY fan-out pulls worker summaries through this
+    /// verb. The plain form always ships a full v2 snapshot frame; the
+    /// `since=` form names the caller's cached base (the `epoch`/`crc`
+    /// pair from a previous `MERGE since=` reply) and lets the server
+    /// answer with an incremental `FDMDELT2` delta frame when the base
+    /// still matches its export cursor — or a fresh full frame otherwise.
+    Merge {
+        /// Cached-base identity from the previous `MERGE since=` reply;
+        /// `None` requests the version-1 full-frame reply shape.
+        since: Option<(u64, u32)>,
+    },
     /// `AUTH <token>` — authenticate the session (required first when the
     /// server runs with `--auth-token`).
     Auth {
@@ -80,25 +94,70 @@ impl Request {
     /// Renders the command back to its wire line (no trailing newline).
     /// Inverse of [`parse_line`]: `parse_line(&r.render()) == Ok(Some(r))`.
     pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    /// Appends the wire line to `out` (no trailing newline) — the
+    /// allocation-free form of [`Request::render`], used by clients that
+    /// reuse one write buffer per connection.
+    pub fn render_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
         match self {
-            Request::Open { name, spec } => format!("OPEN {name} {}", spec.render()),
-            Request::Insert(e) => {
-                let coords: Vec<String> = e.point.iter().map(|x| x.to_string()).collect();
-                format!("INSERT {} {} {}", e.id, e.group, coords.join(" "))
+            Request::Open { name, spec } => {
+                let _ = write!(out, "OPEN {name} {}", spec.render());
             }
-            Request::Query { k: None } => "QUERY".to_string(),
-            Request::Query { k: Some(k) } => format!("QUERY {k}"),
+            Request::Insert(e) => render_insert_tail("INSERT", e, out),
+            Request::InsertBatch(elements) => {
+                out.push_str("INSERTB");
+                for (i, e) in elements.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(" |");
+                    }
+                    render_insert_tail("", e, out);
+                }
+            }
+            Request::Query { k: None } => out.push_str("QUERY"),
+            Request::Query { k: Some(k) } => {
+                let _ = write!(out, "QUERY {k}");
+            }
             Request::Snapshot { path, format } => match format {
-                None => format!("SNAPSHOT {path}"),
-                Some(f) => format!("SNAPSHOT {path} format={}", format_token(*f)),
+                None => {
+                    let _ = write!(out, "SNAPSHOT {path}");
+                }
+                Some(f) => {
+                    let _ = write!(out, "SNAPSHOT {path} format={}", format_token(*f));
+                }
             },
-            Request::Restore { path } => format!("RESTORE {path}"),
-            Request::Stats => "STATS".to_string(),
-            Request::Merge => "MERGE".to_string(),
-            Request::Auth { token } => format!("AUTH {token}"),
-            Request::Ping => "PING".to_string(),
-            Request::Quit => "QUIT".to_string(),
+            Request::Restore { path } => {
+                let _ = write!(out, "RESTORE {path}");
+            }
+            Request::Stats => out.push_str("STATS"),
+            Request::Merge { since: None } => out.push_str("MERGE"),
+            Request::Merge {
+                since: Some((epoch, crc)),
+            } => {
+                let _ = write!(out, "MERGE since={epoch}:{crc:08x}");
+            }
+            Request::Auth { token } => {
+                let _ = write!(out, "AUTH {token}");
+            }
+            Request::Ping => out.push_str("PING"),
+            Request::Quit => out.push_str("QUIT"),
         }
+    }
+}
+
+/// Appends `<verb> <id> <group> <x1> ... <xd>` to `out` (the shared tail
+/// shape of `INSERT` and each `INSERTB` batch entry; an empty verb appends
+/// just the fields, each space-prefixed).
+fn render_insert_tail(verb: &str, e: &Element, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push_str(verb);
+    let _ = write!(out, " {} {}", e.id, e.group);
+    for x in e.point.iter() {
+        let _ = write!(out, " {x}");
     }
 }
 
@@ -353,6 +412,21 @@ pub fn parse_line(line: &str) -> std::result::Result<Option<Request>, String> {
             Request::Open { name, spec }
         }
         "INSERT" => Request::Insert(parse_insert(&fields[1..])?),
+        "INSERTB" => {
+            let mut elements = Vec::new();
+            for chunk in fields[1..].split(|f| *f == "|") {
+                if chunk.is_empty() {
+                    return Err(
+                        "INSERTB requires `<id> <group> <x...>` entries separated by `|`".into(),
+                    );
+                }
+                elements.push(parse_insert(chunk)?);
+            }
+            if elements.is_empty() {
+                return Err("INSERTB requires at least one element".into());
+            }
+            Request::InsertBatch(elements)
+        }
         "QUERY" => {
             let k = match fields.get(1) {
                 None => None,
@@ -383,12 +457,26 @@ pub fn parse_line(line: &str) -> std::result::Result<Option<Request>, String> {
             path: fields.get(1).ok_or("RESTORE requires a path")?.to_string(),
         },
         "STATS" => Request::Stats,
-        "MERGE" => {
-            if fields.len() != 1 {
-                return Err("MERGE takes no arguments".into());
+        "MERGE" => match fields.len() {
+            1 => Request::Merge { since: None },
+            2 => {
+                let value = fields[1].strip_prefix("since=").ok_or_else(|| {
+                    format!("expected since=<epoch>:<crc>, found `{}`", fields[1])
+                })?;
+                let (epoch, crc) = value.split_once(':').ok_or_else(|| {
+                    format!("expected since=<epoch>:<crc>, found `{}`", fields[1])
+                })?;
+                let epoch: u64 = epoch
+                    .parse()
+                    .map_err(|_| format!("invalid since epoch `{epoch}`"))?;
+                let crc = u32::from_str_radix(crc, 16)
+                    .map_err(|_| format!("invalid since crc `{crc}`"))?;
+                Request::Merge {
+                    since: Some((epoch, crc)),
+                }
             }
-            Request::Merge
-        }
+            _ => return Err("MERGE takes at most since=<epoch>:<crc>".into()),
+        },
         "AUTH" => {
             if fields.len() != 2 {
                 return Err("AUTH requires exactly one <token>".into());
@@ -439,6 +527,14 @@ pub enum Payload {
         /// Stream position after this insert.
         seq: usize,
     },
+    /// `inserted processed=<n> count=<c>` — an `INSERTB` batch accepted:
+    /// `c` elements acknowledged, stream position `n` after the batch.
+    InsertedBatch {
+        /// Stream position after the acknowledged batch prefix.
+        seq: usize,
+        /// Elements acknowledged by this reply.
+        count: usize,
+    },
     /// `k=<k> diversity=<f> ids=<a,b,...>` — a QUERY answer.
     Query(QueryReply),
     /// `snapshot <path> format=<json|bin> processed=<n>` — checkpoint
@@ -474,6 +570,27 @@ pub enum Payload {
         /// The v2 binary snapshot frame.
         bytes: Vec<u8>,
     },
+    /// `merge algorithm=<tag> processed=<n> kind=<full|delta> epoch=<e>
+    /// crc=<hex> bytes=<len>` — the reply to `MERGE since=...`: like
+    /// [`Payload::Merge`] (the raw frame follows the header line), but the
+    /// frame is an incremental `FDMDELT2` delta against the caller's cached
+    /// base when `kind=delta`, and `epoch`/`crc` name the exported state so
+    /// the caller can anchor its cache for the next round trip.
+    MergeSince {
+        /// Algorithm tag of the exported summary.
+        algorithm: String,
+        /// Arrivals captured by the exported summary.
+        processed: usize,
+        /// `true` when the byte tail is a delta frame against the
+        /// requested base; `false` for a fresh full snapshot frame.
+        delta: bool,
+        /// Export-cursor epoch (bumped on every full re-anchor).
+        epoch: u64,
+        /// CRC32 of the exported state (the next request's `since=` crc).
+        crc: u32,
+        /// The binary frame (`FDMSNAP2` full or `FDMDELT2` delta).
+        bytes: Vec<u8>,
+    },
     /// `authenticated`.
     Authenticated,
     /// `auth not required`.
@@ -495,6 +612,9 @@ impl Payload {
                 format!("attached {name} processed={processed}")
             }
             Payload::Inserted { seq } => format!("inserted processed={seq}"),
+            Payload::InsertedBatch { seq, count } => {
+                format!("inserted processed={seq} count={count}")
+            }
             Payload::Query(q) => {
                 let ids: Vec<String> = q.ids.iter().map(|id| id.to_string()).collect();
                 format!("k={} diversity={} ids={}", q.k, q.diversity, ids.join(","))
@@ -517,6 +637,19 @@ impl Payload {
                 bytes,
             } => format!(
                 "merge algorithm={algorithm} processed={processed} bytes={}",
+                bytes.len()
+            ),
+            Payload::MergeSince {
+                algorithm,
+                processed,
+                delta,
+                epoch,
+                crc,
+                bytes,
+            } => format!(
+                "merge algorithm={algorithm} processed={processed} kind={} \
+                 epoch={epoch} crc={crc:08x} bytes={}",
+                if *delta { "delta" } else { "full" },
                 bytes.len()
             ),
             Payload::Authenticated => "authenticated".to_string(),
@@ -563,6 +696,10 @@ impl Payload {
             "inserted" if fields.len() == 2 => Some(Payload::Inserted {
                 seq: numeric("processed=")?,
             }),
+            "inserted" if fields.len() == 3 => Some(Payload::InsertedBatch {
+                seq: numeric("processed=")?,
+                count: numeric("count=")?,
+            }),
             "snapshot" if fields.len() == 4 => Some(Payload::SnapshotWritten {
                 path: fields[1].to_string(),
                 format: SnapshotFormat::parse(&field("format=")?).ok()?,
@@ -580,6 +717,25 @@ impl Payload {
                 Some(Payload::Merge {
                     algorithm: field("algorithm=")?,
                     processed: numeric("processed=")?,
+                    bytes: vec![0u8; len],
+                })
+            }
+            "merge" if fields.len() == 7 => {
+                let len = numeric("bytes=")?;
+                if len > MAX_MERGE_BYTES {
+                    return None;
+                }
+                let delta = match field("kind=")?.as_str() {
+                    "delta" => true,
+                    "full" => false,
+                    _ => return None,
+                };
+                Some(Payload::MergeSince {
+                    algorithm: field("algorithm=")?,
+                    processed: numeric("processed=")?,
+                    delta,
+                    epoch: field("epoch=")?.parse().ok()?,
+                    crc: u32::from_str_radix(&field("crc=")?, 16).ok()?,
                     bytes: vec![0u8; len],
                 })
             }
@@ -868,9 +1024,48 @@ mod tests {
 
     #[test]
     fn merge_parses_and_rejects_arguments() {
-        assert_eq!(parse_line("MERGE").unwrap(), Some(Request::Merge));
-        assert_eq!(parse_line("merge").unwrap(), Some(Request::Merge));
+        assert_eq!(
+            parse_line("MERGE").unwrap(),
+            Some(Request::Merge { since: None })
+        );
+        assert_eq!(
+            parse_line("merge").unwrap(),
+            Some(Request::Merge { since: None })
+        );
+        assert_eq!(
+            parse_line("MERGE since=3:00ab12cd").unwrap(),
+            Some(Request::Merge {
+                since: Some((3, 0x00ab_12cd))
+            })
+        );
         assert!(parse_line("MERGE now").is_err());
+        assert!(parse_line("MERGE since=3").is_err());
+        assert!(parse_line("MERGE since=x:00ab12cd").is_err());
+        assert!(parse_line("MERGE since=3:zz").is_err());
+        assert!(parse_line("MERGE since=1:2 extra").is_err());
+    }
+
+    #[test]
+    fn insert_batch_parses_and_rejects_bad_shapes() {
+        let cmd = parse_line("INSERTB 7 1 0.5 -2.25 | 8 0 1.5 3")
+            .unwrap()
+            .unwrap();
+        match cmd {
+            Request::InsertBatch(elements) => {
+                assert_eq!(elements.len(), 2);
+                assert_eq!(elements[0].id, 7);
+                assert_eq!(&elements[0].point[..], &[0.5, -2.25]);
+                assert_eq!(elements[1].id, 8);
+                assert_eq!(elements[1].group, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_line("INSERTB").is_err());
+        assert!(parse_line("INSERTB 7 1 0.5 |").is_err());
+        assert!(parse_line("INSERTB | 7 1 0.5").is_err());
+        assert!(parse_line("INSERTB 7 1").is_err());
+        let err = parse_line("INSERTB 7 1 0.5 | 8 0 NaN").unwrap_err();
+        assert!(err.contains("non-finite coordinate"), "{err}");
     }
 
     #[test]
@@ -881,6 +1076,8 @@ mod tests {
             "OPEN w sliding quotas=1,1 eps=0.1 dmin=0.05 dmax=30 metric=manhattan window=40",
             "INSERT 7 1 0.5 -2.25",
             "INSERT 0 0 1.0000000000000002",
+            "INSERTB 7 1 0.5 -2.25 | 8 0 1.0000000000000002",
+            "INSERTB 9 1 4.25",
             "QUERY",
             "QUERY 4",
             "SNAPSHOT /tmp/x.snap",
@@ -888,6 +1085,7 @@ mod tests {
             "RESTORE /tmp/x.snap",
             "STATS",
             "MERGE",
+            "MERGE since=7:00c0ffee",
             "AUTH s3cret",
             "PING",
             "QUIT",
@@ -907,11 +1105,14 @@ mod tests {
             "OK opened jobs",
             "OK attached jobs processed=2",
             "OK inserted processed=41",
+            "OK inserted processed=48 count=7",
             "OK k=4 diversity=11.65311262292763 ids=3,17,29,40",
             "OK snapshot /tmp/x.snap format=bin processed=40",
             "OK restored jobs processed=40",
             "OK stream=jobs algorithm=sfdm2 processed=40 stored=12",
             "OK merge algorithm=sfdm2 processed=40 bytes=2048",
+            "OK merge algorithm=sfdm2 processed=40 kind=full epoch=2 crc=00c0ffee bytes=2048",
+            "OK merge algorithm=sfdm2 processed=44 kind=delta epoch=2 crc=8badf00d bytes=96",
             "OK authenticated",
             "OK auth not required",
             "OK pong",
@@ -949,6 +1150,43 @@ mod tests {
         {
             Response::Ok(Payload::Other(_)) => {}
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_since_header_parses_and_degrades() {
+        match Response::parse(
+            "OK merge algorithm=sfdm2 processed=44 kind=delta epoch=2 crc=8badf00d bytes=96",
+        )
+        .unwrap()
+        {
+            Response::Ok(Payload::MergeSince {
+                algorithm,
+                processed,
+                delta,
+                epoch,
+                crc,
+                bytes,
+            }) => {
+                assert_eq!(algorithm, "sfdm2");
+                assert_eq!(processed, 44);
+                assert!(delta);
+                assert_eq!(epoch, 2);
+                assert_eq!(crc, 0x8bad_f00d);
+                assert_eq!(bytes.len(), 96);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unknown kind / oversized length degrade to an opaque payload
+        // instead of erroring (forward compatibility).
+        for line in [
+            "OK merge algorithm=sfdm2 processed=44 kind=mystery epoch=2 crc=8badf00d bytes=96",
+            "OK merge algorithm=sfdm2 processed=44 kind=delta epoch=2 crc=8badf00d bytes=999999999999",
+        ] {
+            match Response::parse(line).unwrap() {
+                Response::Ok(Payload::Other(_)) => {}
+                other => panic!("{other:?}"),
+            }
         }
     }
 

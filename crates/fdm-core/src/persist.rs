@@ -4,7 +4,7 @@
 //! state and is provably small (`O(m·k·log ∆/ε)` elements, independent of
 //! the stream length) — makes checkpointing cheap: persisting a streaming
 //! algorithm means persisting its candidate ladders and the shared
-//! [`PointStore`](crate::point::PointStore) arena, nothing else.
+//! [`PointStore`] arena, nothing else.
 //!
 //! A [`Snapshot`] is a versioned envelope with two on-disk encodings
 //! ([`SnapshotFormat`]):
@@ -786,7 +786,12 @@ pub(crate) fn store_patch_since(store: &PointStore, cursor: &Value) -> Option<St
         ),
         (
             "coords".to_string(),
-            StatePatch::Append(coords[old_coords..].iter().map(|&v| Value::Number(v)).collect()),
+            StatePatch::Append(
+                coords[old_coords..]
+                    .iter()
+                    .map(|&v| Value::Number(v))
+                    .collect(),
+            ),
         ),
     ]))
 }

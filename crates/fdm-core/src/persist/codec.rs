@@ -651,7 +651,9 @@ mod tests {
 
     #[test]
     fn crc32_extend_and_combine_agree_with_concatenation() {
-        let data: Vec<u8> = (0..512u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
+        let data: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(167) >> 3) as u8)
+            .collect();
         for cut in [0usize, 1, 7, 64, 255, 511, 512] {
             let (a, b) = data.split_at(cut);
             let whole = crc32(&data);

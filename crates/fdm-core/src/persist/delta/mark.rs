@@ -30,11 +30,14 @@
 //! the mark.
 //!
 //! Lowering a patch is **total or refused**: any shape the mark cannot
-//! prove byte-identical to the diff (a container replacement, an append
-//! that changes a bit-pack's width, an unexpected cursor) returns `None`,
-//! and the caller falls back to a full snapshot and rebuilds the mark
-//! fresh. Correctness never depends on the summary's patch being small —
-//! only the fast path does.
+//! prove byte-identical to the diff (a container replacement, an
+//! unexpected cursor) returns `None`, and the caller falls back to a
+//! full snapshot and rebuilds the mark fresh. Correctness never depends
+//! on the summary's patch being small — only the fast path does.
+//! Appends that grow a bit-pack's width repack from the retained values
+//! rather than refusing: capped id-style arrays cross power-of-two
+//! boundaries routinely, and refusing there turned realistic incremental
+//! workloads into permanent full-frame fallbacks.
 
 use serde::{Map, Value};
 
@@ -161,9 +164,15 @@ struct DenseMark {
     f64_crc: u32,
     /// CRC32 of the varint body (while `all_exact`).
     varint_crc: u32,
-    /// Bit-packed body digest; `None` once broken by a width change or a
-    /// non-exact element. Only fatal if refresh actually picks packing.
+    /// Bit-packed body digest; `None` once `all_exact` breaks (packing is
+    /// then off the table for good).
     packed: Option<PackedMark>,
+    /// The exact values themselves, retained while `all_exact` so a
+    /// width-growing append can rebuild the packed digest at the new
+    /// width (the bitstream repacks every prior value). Cleared the
+    /// moment a non-exact element arrives — float-heavy arrays (the big
+    /// ones, e.g. coordinate arenas) pay nothing.
+    exact: Vec<u64>,
     enc_len: u64,
     enc_crc: u32,
 }
@@ -182,6 +191,7 @@ impl DenseMark {
             f64_crc: 0,
             varint_crc: 0,
             packed: None,
+            exact: Vec::new(),
             enc_len: 0,
             enc_crc: 0,
         };
@@ -209,6 +219,7 @@ impl DenseMark {
                 packed.push(v);
             }
             mark.packed = Some(packed);
+            mark.exact = exact;
         }
         mark.refresh()
             .expect("fresh dense mark always has its packed digest");
@@ -216,9 +227,10 @@ impl DenseMark {
     }
 
     /// Extends the digest with appended elements, then re-derives the
-    /// encoding. `None` means the append broke the digest for the
-    /// encoding the codec would now pick (width growth with packing
-    /// still winning) — the caller must fall back to a full capture.
+    /// encoding. An append that grows the bit-pack width rebuilds the
+    /// packed digest from the retained values (every prior value repacks
+    /// at the new width) — O(count), amortized over at most 64 width
+    /// steps for the array's lifetime.
     fn extend(&mut self, ns: &[f64]) -> Option<()> {
         for &n in ns {
             self.f64_crc = crc32_extend(self.f64_crc, &n.to_bits().to_le_bytes());
@@ -226,25 +238,27 @@ impl DenseMark {
             if self.all_exact {
                 match varint_exact(n) {
                     Some(v) => {
-                        if v > self.max {
-                            if let Some(p) = &self.packed {
-                                if bit_width(v) != p.width {
-                                    self.packed = None;
-                                }
-                            }
-                            self.max = v;
-                        }
+                        self.exact.push(v);
+                        self.max = self.max.max(v);
                         self.varint_sum += varint_len(v) as u64;
                         let mut buf = Vec::with_capacity(10);
                         put_varint(&mut buf, v);
                         self.varint_crc = crc32_extend(self.varint_crc, &buf);
-                        if let Some(p) = &mut self.packed {
-                            p.push(v);
+                        match &mut self.packed {
+                            Some(p) if p.width == bit_width(self.max) => p.push(v),
+                            _ => {
+                                let mut p = PackedMark::new(bit_width(self.max));
+                                for &e in &self.exact {
+                                    p.push(e);
+                                }
+                                self.packed = Some(p);
+                            }
                         }
                     }
                     None => {
                         self.all_exact = false;
                         self.packed = None;
+                        self.exact = Vec::new();
                     }
                 }
             }
@@ -578,7 +592,7 @@ impl SnapshotDelta {
     /// byte-identical to `SnapshotDelta::between(last, current)`.
     ///
     /// `None` means the patch could not be lowered (structural rewrite,
-    /// bit-pack width growth, shape mismatch): the caller must write a
+    /// shape mismatch): the caller must write a
     /// full snapshot instead and rebuild the mark with [`CaptureMark::of`]
     /// — the mark may be partially advanced and is no longer valid.
     pub fn from_patch(
@@ -669,9 +683,9 @@ mod tests {
             Value::Bool(true),
             Value::Number(-0.0),
             Value::String("snapshot ≠ text".into()),
-            Value::Array(vec![]),                     // generic (empty)
-            nums(&[1.0, 2.0, 40_000.0]),              // dense varint
-            nums(&[0.25, -7.5]),                      // dense f64
+            Value::Array(vec![]),        // generic (empty)
+            nums(&[1.0, 2.0, 40_000.0]), // dense varint
+            nums(&[0.25, -7.5]),         // dense f64
             nums(&(0..256).map(|i| f64::from(i % 2)).collect::<Vec<_>>()), // packed
             Value::Array(vec![Value::Number(1.0), Value::Null]), // generic (mixed)
             obj(&[
@@ -738,7 +752,10 @@ mod tests {
     fn all_keep_patch_collapses_to_the_top_level_keep() {
         let state = obj(&[
             ("coords", nums(&[1.0, 2.0])),
-            ("lanes", Value::Array(vec![nums(&[1.0]), Value::Array(vec![])])),
+            (
+                "lanes",
+                Value::Array(vec![nums(&[1.0]), Value::Array(vec![])]),
+            ),
             ("processed", Value::Number(2.0)),
         ]);
         let patch = StatePatch::Object(vec![
@@ -783,17 +800,17 @@ mod tests {
     }
 
     #[test]
-    fn width_growing_append_refuses_when_packing_wins() {
+    fn width_growing_append_repacks_when_packing_wins() {
         // 1000 zeros pack at one bit each; appending a 3 grows the width
-        // to 2, invalidating the packed digest while packing still beats
-        // varints — the mark must refuse rather than guess.
-        let state = obj(&[("xs", nums(&vec![0.0; 1000]))]);
-        let mut mark = CaptureMark::of(params(), &state);
-        let patch = StatePatch::Object(vec![(
-            "xs".into(),
-            StatePatch::Append(vals(&[3.0])),
-        )]);
-        assert!(SnapshotDelta::from_patch(&mut mark, &params(), patch).is_none());
+        // to 2 while packing still beats varints — the mark repacks every
+        // prior value from its retained exact values and the delta stays
+        // byte-identical to the diff.
+        let mut grown: Vec<f64> = vec![0.0; 1000];
+        grown.push(3.0);
+        let base = obj(&[("xs", nums(&vec![0.0; 1000]))]);
+        let new = obj(&[("xs", nums(&grown))]);
+        let patch = StatePatch::Object(vec![("xs".into(), StatePatch::Append(vals(&[3.0])))]);
+        assert_matches_diff(&base, &new, patch);
     }
 
     #[test]
@@ -802,10 +819,7 @@ mod tests {
         // so the broken packed digest is irrelevant.
         let base = obj(&[("xs", nums(&[1.0, 1.0]))]);
         let new = obj(&[("xs", nums(&[1.0, 1.0, 900.0]))]);
-        let patch = StatePatch::Object(vec![(
-            "xs".into(),
-            StatePatch::Append(vals(&[900.0])),
-        )]);
+        let patch = StatePatch::Object(vec![("xs".into(), StatePatch::Append(vals(&[900.0])))]);
         assert_matches_diff(&base, &new, patch);
     }
 
@@ -813,10 +827,7 @@ mod tests {
     fn non_exact_append_falls_back_to_dense_f64() {
         let base = obj(&[("xs", nums(&[1.0, 2.0]))]);
         let new = obj(&[("xs", nums(&[1.0, 2.0, 0.5]))]);
-        let patch = StatePatch::Object(vec![(
-            "xs".into(),
-            StatePatch::Append(vals(&[0.5])),
-        )]);
+        let patch = StatePatch::Object(vec![("xs".into(), StatePatch::Append(vals(&[0.5])))]);
         assert_matches_diff(&base, &new, patch);
     }
 
@@ -830,10 +841,7 @@ mod tests {
                 StatePatch::Replace(Value::Array(vec![])),
             )]),
             // Non-numeric append to a dense array.
-            StatePatch::Object(vec![(
-                "xs".into(),
-                StatePatch::Append(vec![Value::Null]),
-            )]),
+            StatePatch::Object(vec![("xs".into(), StatePatch::Append(vec![Value::Null]))]),
             // Arity mismatch.
             StatePatch::Object(vec![(
                 "xs".into(),

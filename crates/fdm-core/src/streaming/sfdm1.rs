@@ -353,7 +353,12 @@ impl Snapshottable for Sfdm1 {
         map.insert("blind".to_string(), persist::lanes_cursor(&self.blind));
         map.insert(
             "specific".to_string(),
-            serde::Value::Array(self.specific.iter().map(|c| persist::lanes_cursor(c)).collect()),
+            serde::Value::Array(
+                self.specific
+                    .iter()
+                    .map(|c| persist::lanes_cursor(c))
+                    .collect(),
+            ),
         );
         serde::Value::Object(map)
     }

@@ -378,10 +378,7 @@ impl<S: ShardAlgorithm + Snapshottable> Snapshottable for ShardedStream<S> {
             .map(|(shard, c)| shard.state_patch_since(c))
             .collect::<Option<Vec<_>>>()?;
         Some(persist::StatePatch::Object(vec![
-            (
-                "shards".to_string(),
-                persist::StatePatch::Elements(shards),
-            ),
+            ("shards".to_string(), persist::StatePatch::Elements(shards)),
             (
                 "next".to_string(),
                 persist::StatePatch::Replace(serde::Serialize::to_value(&self.next)),

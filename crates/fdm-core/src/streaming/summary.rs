@@ -506,6 +506,19 @@ pub fn merge_summaries(
     parts: &[Box<dyn DynSummary>],
     fan_in: usize,
 ) -> Result<Solution> {
+    let refs: Vec<&dyn DynSummary> = parts.iter().map(|p| p.as_ref()).collect();
+    merge_summary_parts(spec, &refs, fan_in)
+}
+
+/// [`merge_summaries`] over borrowed parts: identical semantics, but the
+/// summaries stay owned by the caller — a coordinator that caches one
+/// restored summary per worker merges them on every `QUERY` without
+/// moving (or cloning) the cache.
+pub fn merge_summary_parts(
+    spec: &SummarySpec,
+    parts: &[&dyn DynSummary],
+    fan_in: usize,
+) -> Result<Solution> {
     if parts.is_empty() {
         return Err(FdmError::InvalidShardCount);
     }

@@ -57,7 +57,7 @@
 //!   inline only where a delta cannot exist: stream creation, recovery,
 //!   drain, `RESTORE`, a summary rewrite the dirty set cannot express
 //!   (e.g. a sliding-window rotation), `full_every = 0`, and the backstop
-//!   when the chain outgrows [`COMPACTION_BACKSTOP`]× the cap;
+//!   when the chain outgrows `COMPACTION_BACKSTOP`× the cap;
 //! * [`Engine::new`] recovers by restoring each `.snap`, chaining every
 //!   `<name>.delta.*` found on disk in index order (each link's base
 //!   checksum is verified; a stale link left by a crash inside an anchor
@@ -78,16 +78,14 @@ use std::sync::{mpsc, Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWri
 use std::time::Instant;
 
 use fdm_core::error::{FdmError, Result};
-use fdm_core::persist::{
-    CaptureMark, Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams,
-};
+use fdm_core::persist::{CaptureMark, Snapshot, SnapshotDelta, SnapshotFormat, SnapshotParams};
 use fdm_core::point::Element;
 use fdm_core::streaming::summary::{self, DynSummary};
 use serde::Value;
 
 use crate::coordinator::Coordinator;
 use crate::metrics::{self, Metrics, StreamMetrics};
-use crate::protocol::{parse_insert, ErrorReply, Payload, QueryReply, StreamSpec};
+use crate::protocol::{parse_insert, ErrorReply, Payload, QueryReply, Request, StreamSpec};
 
 /// Acquires a shared read lock, recovering from poison: a panic in one
 /// tenant's session (contained at the session boundary) must degrade to
@@ -152,6 +150,11 @@ pub struct ServeConfig {
     /// pulled via `MERGE` (see [`crate::coordinator`]). Empty (the
     /// default) is the ordinary single-node engine.
     pub workers: Vec<String>,
+    /// Coordinator flush bound: at most this many elements of one
+    /// `INSERTB` are fanned out per concurrent flush round. Larger client
+    /// batches are split into successive rounds, so a single giant batch
+    /// cannot pin every per-worker connection for its whole duration.
+    pub coord_batch: usize,
 }
 
 impl Default for ServeConfig {
@@ -164,6 +167,7 @@ impl Default for ServeConfig {
             max_pending_inserts: 256,
             rate_limit: None,
             workers: Vec::new(),
+            coord_batch: 256,
         }
     }
 }
@@ -190,12 +194,20 @@ impl TokenBucket {
     }
 
     fn try_take(&mut self) -> bool {
+        self.try_take_n(1)
+    }
+
+    /// Batch admission: charges one token per element. A batch larger
+    /// than the one-second burst capacity is clamped to it — it drains
+    /// the bucket completely instead of being unpassable forever.
+    fn try_take_n(&mut self, n: usize) -> bool {
         let now = Instant::now();
         let elapsed = now.duration_since(self.last_refill).as_secs_f64();
         self.last_refill = now;
         self.tokens = (self.tokens + elapsed * self.per_sec).min(self.capacity);
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
+        let cost = (n as f64).min(self.capacity);
+        if self.tokens >= cost {
+            self.tokens -= cost;
             true
         } else {
             false
@@ -278,12 +290,52 @@ impl DurableState {
     }
 }
 
+/// Wire-export anchor for the incremental `MERGE since=` path: the
+/// [`CaptureMark`] + capture cursor of the state this stream last shipped
+/// to a merge consumer, plus the `(epoch, crc)` pair that consumer must
+/// echo back to receive a delta instead of a full frame.
+///
+/// This is **soft state, fully independent of the checkpoint chain**: the
+/// summary's capture cursors are stateless positional markers, so the
+/// export path diffing from `cursor` never perturbs the durable path
+/// diffing from its own. Guarded by its own mutex — taken *before* the
+/// summary read lock, never together with the durable mutex. One export
+/// anchor serves one consumer: two coordinators polling the same worker
+/// ping-pong each other back to full frames (correct, just uncached).
+struct ExportState {
+    /// Digest tree of the last exported state; `None` until the first
+    /// full frame is served (or after an unlowerable rewrite invalidated
+    /// it).
+    mark: Option<CaptureMark>,
+    /// The summary capture cursor paired with `mark`.
+    cursor: Value,
+    /// Bumped on every full frame served. An `(epoch, crc)` echo matches
+    /// only if both halves do, so a consumer anchored on a superseded
+    /// full frame can never be fed a delta built for a newer one.
+    epoch: u64,
+    /// CRC of the last exported state — the other half of the anchor.
+    crc: u32,
+}
+
+impl ExportState {
+    fn new() -> ExportState {
+        ExportState {
+            mark: None,
+            cursor: Value::Null,
+            epoch: 0,
+            crc: 0,
+        }
+    }
+}
+
 /// One hosted stream: the summary behind a readers–writer lock, with the
 /// durability state split off behind its own mutex (see the module docs
 /// for the locking protocol).
 struct StreamEntry {
     summary: RwLock<Box<dyn DynSummary>>,
     durable: Mutex<DurableState>,
+    /// Soft anchor for incremental `MERGE since=` exports.
+    export: Mutex<ExportState>,
     /// Latency histograms, reachable from the hot path without a map
     /// lookup; rendered by [`Engine::render_metrics`].
     metrics: Arc<StreamMetrics>,
@@ -299,6 +351,7 @@ impl StreamEntry {
         StreamEntry {
             summary: RwLock::new(summary),
             durable: Mutex::new(DurableState::new()),
+            export: Mutex::new(ExportState::new()),
             metrics: StreamMetrics::new(),
             pending_inserts: AtomicUsize::new(0),
             limiter: rate_limit.map(|per_sec| Mutex::new(TokenBucket::new(per_sec))),
@@ -1216,11 +1269,120 @@ impl Engine {
         durable.inserts_since_snapshot += 1;
         if let Some(every) = self.config.snapshot_every {
             if every > 0 && durable.inserts_since_snapshot >= every {
-                self.checkpoint(name, &entry, &mut durable).map_err(generic)?;
+                self.checkpoint(name, &entry, &mut durable)
+                    .map_err(generic)?;
             }
         }
         entry.metrics.insert_latency.observe(start.elapsed());
         Ok(Payload::Inserted { seq: seq as usize })
+    }
+
+    /// `INSERTB`: the batched insert — one WAL append covering every
+    /// element (each record sequence-numbered and CRC-suffixed exactly as
+    /// the per-element path writes it, so replay cannot tell the two
+    /// apart), then **one atomic apply** via [`DynSummary::insert_batch`]
+    /// under a single write-lock acquisition. Atomicity is the contract
+    /// the coordinator's mid-batch failure semantics lean on: a worker
+    /// either applied its whole sub-batch or none of it, so the set of
+    /// elements it holds is always a prefix of its sub-stream.
+    ///
+    /// Admission control charges the batch size: the token bucket takes
+    /// `n` tokens (clamped to its burst capacity), and the reply/latency
+    /// accounting treats the batch as one request. A contained apply
+    /// panic rolls the WAL back across all `n` records.
+    pub fn insert_batch(
+        &self,
+        name: &str,
+        elements: &[Element],
+    ) -> std::result::Result<Payload, ErrorReply> {
+        if let Some(coordinator) = &self.coordinator {
+            return coordinator.insert_batch(name, elements, self.config.coord_batch);
+        }
+        if elements.is_empty() {
+            return Err(generic("INSERTB requires at least one element"));
+        }
+        let start = Instant::now();
+        let entry = self.entry(name)?;
+        if let Some(limiter) = entry.limiter.as_ref() {
+            if !lock(limiter).try_take_n(elements.len()) {
+                self.metrics.busy_rate_limited();
+                return Err(ErrorReply::busy(format!(
+                    "stream `{name}` is over its insert rate limit; retry later"
+                )));
+            }
+        }
+        let queued = entry.pending_inserts.fetch_add(1, Ordering::SeqCst);
+        let _pending = PendingGuard(&entry.pending_inserts);
+        if queued >= self.config.max_pending_inserts {
+            self.metrics.busy_queue_full();
+            return Err(ErrorReply::busy(format!(
+                "stream `{name}` has {queued} pending inserts (max {}); retry later",
+                self.config.max_pending_inserts
+            )));
+        }
+        let mut durable = lock(&entry.durable);
+        let base_seq = {
+            let summary = read_lock(&entry.summary);
+            let params = summary.params();
+            for element in elements {
+                check_element(&params, element).map_err(ErrorReply::generic)?;
+            }
+            summary.processed() as u64 + 1
+        };
+        crash_point("before-batch-wal-append");
+        let mut wal_len_before = 0u64;
+        if let Some(wal) = durable.wal.as_mut() {
+            wal_len_before = wal.metadata().map(|m| m.len()).unwrap_or(0);
+            // All n records in one pre-formatted buffer, one write
+            // syscall: the torn-write window is a single partial write,
+            // and recovery's per-record CRCs make any truncation point
+            // detectable. Each body is re-rendered through the protocol
+            // (not sliced from the raw line) so it is byte-identical to
+            // what a per-element INSERT would have logged.
+            let mut records = String::new();
+            for (i, element) in elements.iter().enumerate() {
+                let line = Request::Insert(element.clone()).render();
+                records.push_str(&wal_record(&format!("{} {line}", base_seq + i as u64)));
+            }
+            wal.write_all(records.as_bytes())
+                .and_then(|()| wal.flush())
+                .map_err(|e| generic(format!("append WAL for {name}: {e}")))?;
+            durable.counters.wal_records += elements.len() as u64;
+        }
+        crash_point("between-wal-append-and-apply");
+        let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut summary = write_lock(&entry.summary);
+            panic_point("insert-apply", name);
+            summary.insert_batch(elements);
+        }));
+        if let Err(payload) = applied {
+            // None of the batch was applied (`insert_batch` is one call
+            // under one lock): un-append all n records.
+            if let Some(wal) = durable.wal.as_mut() {
+                let _ = wal.set_len(wal_len_before);
+                durable.counters.wal_records = durable
+                    .counters
+                    .wal_records
+                    .saturating_sub(elements.len() as u64);
+            }
+            self.metrics.panic_contained();
+            return Err(generic(format!(
+                "internal error (panic contained) applying INSERTB to `{name}`: {}",
+                panic_message(&*payload)
+            )));
+        }
+        durable.inserts_since_snapshot += elements.len() as u64;
+        if let Some(every) = self.config.snapshot_every {
+            if every > 0 && durable.inserts_since_snapshot >= every {
+                self.checkpoint(name, &entry, &mut durable)
+                    .map_err(generic)?;
+            }
+        }
+        entry.metrics.insert_latency.observe(start.elapsed());
+        Ok(Payload::InsertedBatch {
+            seq: (base_seq - 1) as usize + elements.len(),
+            count: elements.len(),
+        })
     }
 
     /// `QUERY`: post-processing of the named stream. `k`, when given, must
@@ -1286,6 +1448,91 @@ impl Engine {
         Ok(Payload::Merge {
             algorithm,
             processed,
+            bytes,
+        })
+    }
+
+    /// `MERGE since=<epoch>:<crc>`: the incremental export. When the
+    /// caller's anchor matches this stream's `ExportState`, the reply is
+    /// an `FDMDELT2` delta frame built from the summary's own dirty set —
+    /// O(changed) bytes instead of O(state) — and the export anchor
+    /// advances (same epoch, new crc). On any mismatch, a missing mark, or
+    /// an unlowerable structural rewrite, the reply is a **full** v2
+    /// snapshot frame under a fresh epoch, which re-anchors the caller.
+    ///
+    /// Lock order: the export mutex, then short summary read locks; the
+    /// durable mutex is never touched, so exports overlap inserts' disk
+    /// I/O and never perturb the checkpoint chain (capture cursors are
+    /// stateless, each path diffs from its own).
+    pub fn merge_since(
+        &self,
+        name: &str,
+        since: (u64, u32),
+    ) -> std::result::Result<Payload, ErrorReply> {
+        if self.coordinator.is_some() {
+            return Err(generic(
+                "MERGE is not supported in coordinator mode (the workers own the summaries)",
+            ));
+        }
+        let entry = self.entry(name)?;
+        let mut export = lock(&entry.export);
+        if since == (export.epoch, export.crc) && export.mark.is_some() {
+            let (params, patch, next_cursor, processed) = {
+                let summary = read_lock(&entry.summary);
+                (
+                    summary.params(),
+                    summary.state_patch_since(&export.cursor),
+                    summary.capture_cursor(),
+                    summary.processed(),
+                )
+            };
+            let algorithm = params.algorithm.clone();
+            let delta = patch.and_then(|patch| {
+                let mark = export.mark.as_mut().expect("checked above");
+                SnapshotDelta::from_patch(mark, &params, patch)
+            });
+            match delta {
+                Some(delta) => {
+                    let bytes = delta.to_bytes();
+                    export.cursor = next_cursor;
+                    export.crc = export.mark.as_ref().expect("advanced above").state_crc();
+                    return Ok(Payload::MergeSince {
+                        algorithm,
+                        processed,
+                        delta: true,
+                        epoch: export.epoch,
+                        crc: export.crc,
+                        bytes,
+                    });
+                }
+                None => {
+                    // The mark may be partially advanced and is invalid;
+                    // the full path below rebuilds it from scratch.
+                    export.mark = None;
+                }
+            }
+        }
+        let (snapshot, cursor, processed) = {
+            let summary = read_lock(&entry.summary);
+            (
+                summary.snapshot(),
+                summary.capture_cursor(),
+                summary.processed(),
+            )
+        };
+        let algorithm = snapshot.params.algorithm.clone();
+        let mark = CaptureMark::of(snapshot.params.clone(), &snapshot.state);
+        export.crc = mark.state_crc();
+        export.mark = Some(mark);
+        export.cursor = cursor;
+        export.epoch += 1;
+        let bytes = snapshot.to_bytes(SnapshotFormat::Binary);
+        Ok(Payload::MergeSince {
+            algorithm,
+            processed,
+            delta: false,
+            epoch: export.epoch,
+            crc: export.crc,
             bytes,
         })
     }
@@ -1365,7 +1612,8 @@ impl Engine {
                 .map_err(generic)?;
             *write_lock(&existing.summary) = stream;
             // The restored state supersedes the WAL chain: re-anchor it.
-            self.anchor(name, &existing, &mut durable).map_err(generic)?;
+            self.anchor(name, &existing, &mut durable)
+                .map_err(generic)?;
         } else {
             let entry = StreamEntry::new(stream, self.config.rate_limit);
             {

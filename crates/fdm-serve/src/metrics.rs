@@ -300,6 +300,24 @@ pub(crate) enum Which {
     Query,
 }
 
+/// [`render_stream_histograms`] under an explicit family name — the
+/// coordinator exports its routing latencies as `fdm_coord_*` families so
+/// they can never collide with the engine's (unconditionally emitted)
+/// single-node preambles.
+pub(crate) fn render_histogram_as(
+    out: &mut String,
+    family: &str,
+    which: Which,
+    stream: &str,
+    m: &StreamMetrics,
+) {
+    let labels = format!("stream=\"{stream}\",");
+    match which {
+        Which::Insert => m.insert_latency.render(out, family, &labels),
+        Which::Query => m.query_latency.render(out, family, &labels),
+    }
+}
+
 /// Longest request head the scrape listener will buffer before giving up
 /// (a scrape is one short GET; anything bigger is not a scraper).
 const MAX_REQUEST_HEAD: usize = 8 * 1024;

@@ -198,7 +198,14 @@ fn accept_one<C: Connection>(engine: &Arc<Engine>, mut stream: C, options: &NetO
 pub fn serve_tcp(engine: Arc<Engine>, listener: TcpListener, options: NetOptions) {
     for connection in listener.incoming() {
         match connection {
-            Ok(stream) => accept_one(&engine, stream, &options),
+            Ok(stream) => {
+                // Request/reply protocol: a reply is always the last write
+                // before the server turns around to read, so Nagle only
+                // adds the client's delayed-ACK latency to every round
+                // trip.
+                let _ = stream.set_nodelay(true);
+                accept_one(&engine, stream, &options);
+            }
             Err(e) => eprintln!("fdm-serve: tcp accept: {e}"),
         }
     }

@@ -7,9 +7,10 @@
 //!
 //! Every reply line is produced by [`Response::render`] — the session
 //! never formats an `OK `/`ERR ` string itself (CI greps for strays), so
-//! the wire grammar has exactly one implementation on each side. A
-//! [`Payload::Merge`] reply is the one two-part frame: its header line is
-//! rendered like any other, then the raw binary snapshot bytes follow.
+//! the wire grammar has exactly one implementation on each side. The
+//! [`Payload::Merge`]/[`Payload::MergeSince`] replies are the two-part
+//! frames: their header line is rendered like any other, then the raw
+//! binary snapshot (or delta) bytes follow.
 //!
 //! The loop is also the process's **panic boundary**: every command runs
 //! under `catch_unwind`, so a panic anywhere below (algorithm code, a
@@ -103,6 +104,10 @@ impl Session {
                 let name = bound(&self.current)?;
                 self.engine.insert(&name, &element, raw_line)
             }
+            Request::InsertBatch(elements) => {
+                let name = bound(&self.current)?;
+                self.engine.insert_batch(&name, &elements)
+            }
             Request::Query { k } => {
                 let name = bound(&self.current)?;
                 self.engine.query(&name, k)
@@ -138,9 +143,12 @@ impl Session {
                 let name = bound(&self.current)?;
                 self.engine.stats(&name)
             }
-            Request::Merge => {
+            Request::Merge { since } => {
                 let name = bound(&self.current)?;
-                self.engine.merge(&name)
+                match since {
+                    None => self.engine.merge(&name),
+                    Some(since) => self.engine.merge_since(&name, since),
+                }
             }
             Request::Auth { .. } => unreachable!("AUTH is handled before the dispatch"),
             Request::Ping => Ok(Payload::Pong),
@@ -172,7 +180,9 @@ impl Session {
         // for a MERGE header, the announced raw byte tail.
         fn reply(writer: &mut impl Write, response: &Response) -> std::io::Result<()> {
             writeln!(writer, "{}", response.render())?;
-            if let Response::Ok(Payload::Merge { bytes, .. }) = response {
+            if let Response::Ok(Payload::Merge { bytes, .. } | Payload::MergeSince { bytes, .. }) =
+                response
+            {
                 writer.write_all(bytes)?;
             }
             writer.flush()

@@ -18,7 +18,8 @@ use fdm_serve::{serve_tcp, serve_unix, Engine, NetOptions, ServeConfig, Session}
 const OPEN: &str = "OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30";
 
 fn scratch(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("fdm_checkpoint_test_{}_{tag}", std::process::id()));
+    let dir =
+        std::env::temp_dir().join(format!("fdm_checkpoint_test_{}_{tag}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     dir
@@ -274,17 +275,20 @@ fn full_every_one_collapses_after_every_checkpoint() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// Deterministic background-commit pin: with `--full-every 2` the chain
-/// reaches the cap at insert 20 (deltas at 16 and 20 for this insert
-/// sequence) and nothing after the enqueue can bump the epoch, so the
-/// compactor MUST commit: the counter reaches 1 and both consumed delta
-/// files disappear while the stream stays open.
+/// Deterministic background-commit pin: every checkpoint of this insert
+/// sequence lowers to a delta, so with `--full-every 2` the chain reaches
+/// the cap at insert 8 (deltas at 4 and 8) and nothing after the enqueue
+/// can bump the epoch, so the compactor MUST commit: the counter reaches
+/// 1 and both consumed delta files disappear while the stream stays open.
+/// The rest of the run re-grows the chain; however the collapses
+/// interleave with the inserts, the chain is back under the cap once the
+/// compactor drains on drop, and recovery from disk alone is exact.
 #[test]
 fn compactor_commits_in_the_background() {
     let dir = scratch("compactor_commit");
     let engine = durable_engine(&dir, 4, 2);
     let mut script = vec![OPEN.to_string()];
-    script.extend(insert_lines(20));
+    script.extend(insert_lines(8));
     let replies = run_script(&engine, &script.join("\n"));
     assert!(replies[1..].iter().all(|r| r.starts_with("OK inserted")));
     let deadline = Instant::now() + Duration::from_secs(10);
@@ -304,9 +308,22 @@ fn compactor_commits_in_the_background() {
         Vec::<String>::new(),
         "the committed collapse must consume both deltas"
     );
+    // Keep streaming: later checkpoints hand the compactor more
+    // collapses, whose consumed sets depend on the interleaving — only
+    // the bound is deterministic.
+    let more = format!("{OPEN}\n{}", insert_lines(20)[8..].join("\n"));
+    let replies = run_script(&engine, &more);
+    assert!(replies[1..].iter().all(|r| r.starts_with("OK inserted")));
+    // Dropping the engine joins the compactor: every enqueued collapse
+    // has committed, so at most one uncollapsed delta can remain.
+    drop(engine);
+    assert!(
+        delta_files(&dir, "jobs").len() <= 1,
+        "chain must stay collapsed after the compactor drains: {:?}",
+        delta_files(&dir, "jobs")
+    );
     // The collapsed snapshot carries the full state: wipe the WAL records
     // by re-reading from disk alone.
-    drop(engine);
     let engine = durable_engine(&dir, 4, 2);
     let replies = run_script(&engine, &format!("{OPEN}\nQUERY"));
     assert_eq!(replies[1], reference_query(20));
@@ -331,7 +348,10 @@ fn recovery_skips_stale_mid_chain_delta() {
         script.extend(insert_lines(n));
         script.push(format!("SNAPSHOT {} format=bin", path.display()));
         let replies = run_script(&engine, &script.join("\n"));
-        assert!(replies.last().unwrap().starts_with("OK snapshot"), "{replies:?}");
+        assert!(
+            replies.last().unwrap().starts_with("OK snapshot"),
+            "{replies:?}"
+        );
     };
     let (s0_path, s1_path, s2_path) = (dir.join("s0"), dir.join("s1"), dir.join("s2"));
     export(0, &s0_path);
@@ -344,11 +364,7 @@ fn recovery_skips_stale_mid_chain_delta() {
     // Chain: snap = S0; delta.1 = S0→S1 (live); delta.2 = S0→S1 again —
     // its base CRC (S0) cannot match the post-delta.1 state (S1), so it
     // is stale; delta.3 = S1→S2 (live, chains off delta.1's result).
-    std::fs::write(
-        dir.join("jobs.snap"),
-        s0.to_bytes(SnapshotFormat::Binary),
-    )
-    .unwrap();
+    std::fs::write(dir.join("jobs.snap"), s0.to_bytes(SnapshotFormat::Binary)).unwrap();
     std::fs::write(
         dir.join("jobs.delta.1"),
         SnapshotDelta::between(&s0, &s1).unwrap().to_bytes(),

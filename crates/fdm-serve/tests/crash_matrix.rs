@@ -212,19 +212,22 @@ fn crash_and_recover_with(open: &str, tag: &str, crash_point: &str, expect_proce
 }
 
 // Checkpoint schedule with --snapshot-every 4 --full-every 2 under the
-// dirty-set pipeline. Every checkpoint *tries* to write a delta; the
-// summary's patch is unlowerable (bit-pack width growth in the stored-id
-// lists) at inserts 8 and 12 for this insert sequence, so those two
-// checkpoints fall back to inline full anchors:
+// dirty-set pipeline. For the sfdm2 stream every checkpoint lowers to a
+// delta (the packed stored-id marks repack their bit width on growth
+// instead of refusing the patch):
 //
-// OPEN → full#1 (processed 0); insert 4 → delta 1; 8 → full#2 (inline
-// fallback, sweeps delta 1); 12 → full#3; 16 → delta 1'; 20 → delta 2'
-// (chain at full-every → background compaction enqueued); 24 → delta 3';
-// 28 → delta 4'.
+// OPEN → full#1 (processed 0); insert 4 → delta 1; 8 → delta 2 (chain at
+// full-every → background compaction enqueued); 12..28 → more deltas,
+// with collapses interleaving.
 //
 // Deterministic for this fixed insert sequence — the delta/full decision
 // depends only on the stream's own state, never on compactor timing (the
 // compactor changes which *files* hold the prefix, not the live mark).
+// Mid-stream inline full anchors therefore happen only with
+// `--full-every 0` (deltas disabled) or on a summary whose patch is
+// genuinely unlowerable — the sliding window's rotation crossing at
+// insert 8 (window=16, half 8) — and the full-anchor cells below arm one
+// of those two shapes.
 
 #[test]
 fn kill_between_wal_append_and_apply() {
@@ -241,30 +244,52 @@ fn kill_mid_delta_write() {
 
 #[test]
 fn kill_between_delta_and_wal_truncate() {
-    // The second delta checkpoint is delta 1' at insert 16: it landed but
-    // the WAL still holds records 13..16; sequence numbers must dedupe
-    // them against full#3 + delta 1'.
-    crash_and_recover("delta_wal_overlap", "between-delta-and-wal-truncate:2", 16);
+    // The second delta checkpoint lands at insert 8: the delta renamed
+    // but the WAL still holds records 5..8; sequence numbers must dedupe
+    // them against full#1 + delta 1 + delta 2.
+    crash_and_recover("delta_wal_overlap", "between-delta-and-wal-truncate:2", 8);
 }
 
 #[test]
 fn kill_mid_full_snapshot() {
-    // Torn full#2 temp file during the insert-8 fallback anchor: recovery
-    // walks the old chain full#1 + delta 1 + WAL 5..8.
-    crash_and_recover("mid_full", "mid-full-snapshot:2", 8);
+    // `--full-every 0`: every checkpoint is an inline full anchor, so hit
+    // 1 is the OPEN anchor and hit 2 the insert-4 checkpoint. Torn full#2
+    // temp file, never renamed: recovery walks full#1 (empty) + WAL 1..4.
+    let dir = scratch("mid_full");
+    let live = run_until_crash_opts(OPEN, &dir, "mid-full-snapshot:2", "0", false);
+    let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
+    assert!(acked < INSERTS, "the crash point must fire ({acked} acked)");
+    let (processed, query) = recover(&dir);
+    assert_eq!(processed, 4, "mid_full: expected full#1 + WAL 1..4");
+    assert!(processed >= acked, "lost acknowledged inserts");
+    assert_eq!(query, reference_query(4));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
 fn kill_between_full_snapshot_and_delta_cleanup() {
-    // full#2 landed but delta 1 of the superseded chain lingers; the
-    // delta base-checksum must recognize it as stale and skip it, with
-    // the WAL records 5..8 deduped by sequence number.
-    crash_and_recover("stale_deltas", "between-full-and-delta-cleanup:2", 8);
+    // The sliding stream's insert-8 fallback anchor (full#2) landed but
+    // delta 1 of the superseded chain lingers; the delta base-checksum
+    // must recognize it as stale and skip it, with the WAL records 5..8
+    // deduped by sequence number.
+    crash_and_recover_with(
+        OPEN_SLIDING,
+        "stale_deltas",
+        "between-full-and-delta-cleanup:2",
+        8,
+    );
 }
 
 #[test]
 fn kill_between_delta_cleanup_and_wal_truncate() {
-    crash_and_recover("full_wal_overlap", "between-full-and-wal-truncate:2", 8);
+    // Same insert-8 sliding anchor, one step later: delta 1 is swept but
+    // the WAL still overlaps full#2 with records 5..8.
+    crash_and_recover_with(
+        OPEN_SLIDING,
+        "full_wal_overlap",
+        "between-full-and-wal-truncate:2",
+        8,
+    );
 }
 
 /// The chunked-capture window: the crash lands between the params section
@@ -345,12 +370,12 @@ fn corrupt_mid_wal_record_still_refuses_recovery() {
 #[test]
 fn stale_delta_window_leaves_files_that_recovery_ignores() {
     let dir = scratch("stale_delta_files");
-    run_until_crash(&dir, "between-full-and-delta-cleanup:2");
+    run_until_crash_with(OPEN_SLIDING, &dir, "between-full-and-delta-cleanup:2");
     assert!(
-        dir.join("jobs.delta.1").exists(),
+        dir.join("swin.delta.1").exists(),
         "the crash window must leave the superseded chain's delta file behind"
     );
-    let (processed, _) = recover(&dir);
+    let (processed, _) = recover_with(OPEN_SLIDING, &dir);
     assert_eq!(processed, 8);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -359,7 +384,7 @@ fn stale_delta_window_leaves_files_that_recovery_ignores() {
 //
 // The compactor collapses `full + delta*` on its own thread, so the crash
 // lands at a point whose *insert-stream* position is nondeterministic (the
-// job is enqueued at insert 20; inserts keep flowing while it runs). The
+// first job is enqueued at insert 8; inserts keep flowing while it runs). The
 // assertions are therefore relational rather than positional: recovery
 // must land exactly on an uninterrupted run over however many arrivals
 // survived, never behind an acknowledged insert — and the on-disk debris
@@ -374,8 +399,8 @@ fn kill_compactor_mid_collapse() {
     let live = run_until_crash_opts(OPEN, &dir, "compactor-mid-collapse:1", "2", true);
     let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
     assert!(
-        acked >= 19,
-        "the job is enqueued during insert 20's checkpoint; it cannot crash earlier ({acked} acked)"
+        acked >= 7,
+        "the job is enqueued during insert 8's checkpoint; it cannot crash earlier ({acked} acked)"
     );
     assert!(
         dir.join("jobs.delta.1").exists() && dir.join("jobs.delta.2").exists(),
@@ -406,7 +431,7 @@ fn kill_between_compaction_and_delta_cleanup() {
         true,
     );
     let acked = live.iter().filter(|l| l.starts_with("OK inserted")).count();
-    assert!(acked >= 19, "{acked} acked before the compactor window");
+    assert!(acked >= 7, "{acked} acked before the compactor window");
     assert!(
         dir.join("jobs.delta.1").exists() && dir.join("jobs.delta.2").exists(),
         "the crash window must leave the consumed (now stale) deltas behind"
@@ -445,15 +470,9 @@ fn sliding_kill_mid_full_snapshot() {
     crash_and_recover_with(OPEN_SLIDING, "sliding_mid_full", "mid-full-snapshot:2", 8);
 }
 
-#[test]
-fn sliding_kill_in_stale_delta_window() {
-    crash_and_recover_with(
-        OPEN_SLIDING,
-        "sliding_stale_deltas",
-        "between-full-and-delta-cleanup:2",
-        8,
-    );
-}
+// (The stale-delta and WAL-overlap windows of the insert-8 sliding anchor
+// are exercised by `kill_between_full_snapshot_and_delta_cleanup` and
+// `kill_between_delta_cleanup_and_wal_truncate` above.)
 
 /// OPEN → insert → QUERY → SNAPSHOT (v2 bin) → SIGKILL → RESTORE in a
 /// fresh process: the restored stream answers the pre-kill QUERY

@@ -22,7 +22,9 @@ use std::net::TcpListener;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::Arc;
+use std::time::Duration;
 
+use fdm_client::Client;
 use fdm_core::point::Element;
 use fdm_serve::protocol::{parse_line, ErrorKind, Payload, Request as Cmd, StreamSpec};
 use fdm_serve::{serve_tcp, Engine, NetOptions, ServeConfig, Session};
@@ -158,6 +160,98 @@ proptest! {
     }
 }
 
+/// Steals a worker's export anchor: an external consumer pulling
+/// `MERGE since=0:0` straight off the worker bumps its export epoch, so
+/// the coordinator's cached `(epoch, crc)` no longer matches and its next
+/// refresh is forced through a full-frame re-anchor — no restart needed.
+fn poke_worker(addr: &str, open: &str) {
+    let (name, spec) = spec_of(open);
+    let mut client = Client::connect_tcp_retry(addr, 5, Duration::from_millis(25)).unwrap();
+    client.open(&name, &spec).unwrap();
+    let frame = client.merge_since((0, 0)).unwrap();
+    assert!(
+        !frame.delta,
+        "epoch 0 can never match: the frame must be full"
+    );
+}
+
+/// The batch-size grid for the pipelined INSERTB path: 1 (degenerate),
+/// 7 (coprime with every K in the grid, so flush rounds straddle worker
+/// boundaries), K (exactly one element per worker), 3K+1 (several whole
+/// rounds plus a remainder).
+fn batch_sizes(k: usize) -> [usize; 4] {
+    [1, 7, k, 3 * k + 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batched fan-out × interleaved incremental MERGE. Arrivals feed via
+    /// `INSERTB` in batches from `batch_sizes`, split into three segments
+    /// with a QUERY after each: the first QUERY anchors every worker
+    /// cache with a full frame, later ones ride `FDMDELT2` deltas, an
+    /// immediate repeat QUERY must come from the merged-solution cache,
+    /// and an optional "poke" (an external `MERGE since=0:0` consumer)
+    /// steals worker 0's anchor so the next refresh is a forced full
+    /// re-anchor. Every QUERY — full, delta, cached, or re-anchored —
+    /// must be bit-identical to a single-process `ShardedStream` fed the
+    /// same prefix.
+    #[test]
+    fn batched_inserts_with_incremental_merge_are_bit_identical(
+        arrivals in arrivals_strategy(),
+        k in prop_oneof![Just(1usize), Just(2), Just(4)],
+        algo in prop_oneof![Just("sfdm1"), Just("sfdm2"), Just("sliding")],
+        batch_sel in 0usize..4,
+        poke in prop_oneof![Just(false), Just(true)],
+    ) {
+        let batch = batch_sizes(k)[batch_sel];
+        let workers: Vec<String> = (0..k).map(|_| start_worker()).collect();
+        let engine = coordinator_over(workers.clone());
+        let (name, spec) = spec_of(&open_line(algo, 1));
+        engine.open(&name, &spec).unwrap();
+        let reference = Engine::new(ServeConfig::default()).unwrap();
+        let (ref_name, ref_spec) = spec_of(&open_line(algo, k));
+        reference.open(&ref_name, &ref_spec).unwrap();
+
+        let segment_len = arrivals.len().div_ceil(3);
+        let mut fed = 0usize;
+        for (i, segment) in arrivals.chunks(segment_len).enumerate() {
+            for chunk in segment.chunks(batch) {
+                match engine.insert_batch(&name, chunk).unwrap() {
+                    Payload::InsertedBatch { seq, count } => {
+                        fed += chunk.len();
+                        prop_assert_eq!(seq, fed);
+                        prop_assert_eq!(count, chunk.len());
+                    }
+                    other => prop_assert!(false, "unexpected reply {:?}", other),
+                }
+                for e in chunk {
+                    insert_via(&reference, &ref_name, e).unwrap();
+                }
+            }
+            let distributed = engine.query(&name, None).unwrap();
+            let expected = reference.query(&ref_name, None).unwrap();
+            prop_assert_eq!(
+                &distributed, &expected,
+                "segment {} (K={}, algo={}, batch={})", i, k, algo, batch
+            );
+            if let (Payload::Query(d), Payload::Query(r)) = (&distributed, &expected) {
+                prop_assert_eq!(
+                    d.diversity.to_bits(),
+                    r.diversity.to_bits(),
+                    "diversity must match to the bit"
+                );
+            }
+            // No insert intervened: this repeat must be a cache hit — and
+            // identical anyway.
+            prop_assert_eq!(&engine.query(&name, None).unwrap(), &expected);
+            if poke && i == 0 {
+                poke_worker(&workers[0], &open_line(algo, 1));
+            }
+        }
+    }
+}
+
 /// The golden cell: one fixed stream, K = 2, rendered through a protocol
 /// session — the coordinator's reply lines are pinned verbatim, and the
 /// QUERY line equals the single-process `shards=2` rendering.
@@ -273,6 +367,16 @@ fn scratch(tag: &str) -> PathBuf {
 /// line). Mirrors the crash-matrix helper; stdin is held open so the
 /// process keeps serving.
 fn spawn_worker(dir: &Path, crash_point: Option<&str>) -> (std::process::Child, String) {
+    spawn_worker_on(dir, crash_point, "127.0.0.1:0")
+}
+
+/// `spawn_worker` with an explicit listen address, for restarting a
+/// killed worker on the port a still-running coordinator already holds.
+fn spawn_worker_on(
+    dir: &Path,
+    crash_point: Option<&str>,
+    listen: &str,
+) -> (std::process::Child, String) {
     use std::io::{BufRead, BufReader};
     let mut command = Command::new(env!("CARGO_BIN_EXE_fdm-serve"));
     command
@@ -282,7 +386,7 @@ fn spawn_worker(dir: &Path, crash_point: Option<&str>) -> (std::process::Child, 
             "--snapshot-every",
             "8",
             "--listen",
-            "127.0.0.1:0",
+            listen,
         ])
         .stdin(Stdio::piped())
         .stdout(Stdio::null())
@@ -444,6 +548,215 @@ fn worker_crash_in_wal_gap_replays_and_stays_identical() {
         insert_via(&engine, &name, e).unwrap();
     }
 
+    let reference = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(engine.query(&name, None).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// Kill a worker *after* the coordinator has fetched MERGE frames from
+/// the fleet (its per-worker caches are warm): a repeat QUERY with no
+/// intervening insert still answers — served from the merged-solution
+/// cache, dead worker notwithstanding; an insert invalidates that cache
+/// and the next QUERY fails typed, naming the dead worker, without
+/// corrupting the surviving caches; and once the worker restarts over
+/// its own data dir (same port) the next QUERY re-anchors it with a full
+/// frame and answers bit-identically to the uninterrupted reference.
+#[test]
+fn worker_killed_mid_query_cycle_recovers_bit_identical() {
+    let arrivals = deterministic_arrivals(21);
+    let dir0 = scratch("midquery_w0");
+    let dir1 = scratch("midquery_w1");
+    let (_w0, addr0) = spawn_worker(&dir0, None);
+    let (mut w1, addr1) = spawn_worker(&dir1, None);
+
+    let engine = coordinator_over(vec![addr0.clone(), addr1.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    engine.open(&name, &spec).unwrap();
+    engine.insert_batch(&name, &arrivals[..20]).unwrap();
+
+    // Warm the caches: this QUERY pulls one full frame per worker.
+    let reference20 = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals[..20],
+    )
+    .unwrap();
+    assert_eq!(engine.query(&name, None).unwrap(), reference20);
+
+    w1.kill().unwrap();
+    let _ = w1.wait();
+
+    // No insert intervened: the merged solution is served from cache.
+    assert_eq!(engine.query(&name, None).unwrap(), reference20);
+    let metrics = engine.render_metrics();
+    assert!(
+        metrics.contains("fdm_merge_cache_hits_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("fdm_merge_bytes_total{kind=\"full\"}"),
+        "{metrics}"
+    );
+
+    // Cursor is at worker 0 (20 % 2), so the insert lands on the live
+    // worker — and invalidates the cached solution. The next QUERY must
+    // walk the fleet again and fails typed on the dead worker.
+    insert_via(&engine, &name, &arrivals[20]).unwrap();
+    let err = engine.query(&name, None).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(err.message.starts_with(&addr1), "{err}");
+
+    // Restart worker 1 on its old port over its own data dir: the
+    // coordinator re-dials lazily, and the restarted worker's export
+    // epoch restarts from zero, so the coordinator's stale anchor forces
+    // a full-frame re-anchor. The answer must be exact.
+    let (_w1b, _) = spawn_worker_on(&dir1, None, &addr1);
+    let reference21 = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(
+        engine.query(&name, None).unwrap(),
+        reference21,
+        "post-restart QUERY must re-anchor and stay bit-identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// Mid-batch worker death *before* any WAL append — the acked prefix is
+/// exactly what survives. Worker 0 aborts at the start of its second
+/// `INSERTB` sub-batch, so of the second coordinator flush only worker
+/// 1's half lands: the coordinator acks the longest contiguous prefix
+/// (nothing of that flush), names the blocking worker in the typed
+/// error, keeps `cursor ≡ processed mod K`, and remembers worker 1's
+/// landed extras. After worker 0 restarts, a fresh coordinator
+/// re-derives the acked prefix from the workers' positions and the
+/// client's replay of the whole unacked suffix heals worker 1's half by
+/// skip — ending bit-identical to the uninterrupted reference.
+#[test]
+fn batch_crash_before_wal_append_acks_exact_prefix() {
+    let arrivals = deterministic_arrivals(16);
+    let dir0 = scratch("batch_pre_w0");
+    let dir1 = scratch("batch_pre_w1");
+    let (_w0, addr0) = spawn_worker(&dir0, Some("before-batch-wal-append:2"));
+    let (_w1, addr1) = spawn_worker(&dir1, None);
+    let engine = coordinator_over(vec![addr0.clone(), addr1.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    engine.open(&name, &spec).unwrap();
+
+    match engine.insert_batch(&name, &arrivals[..8]).unwrap() {
+        Payload::InsertedBatch { seq, count } => {
+            assert_eq!((seq, count), (8, 8));
+        }
+        other => panic!("{other:?}"),
+    }
+    // Second flush: worker 0 dies before appending anything, worker 1's
+    // sub-batch lands. The contiguous prefix of this flush is empty.
+    let err = engine.insert_batch(&name, &arrivals[8..]).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(err.message.starts_with(&addr0), "{err}");
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("processed=8"), "{stats}");
+    assert!(stats.contains("cursor=0"), "{stats}");
+    assert!(stats.contains("worker1_position=8"), "{stats}");
+
+    // Restart worker 0: nothing of the second flush was appended, so it
+    // recovers exactly its half of the acked prefix.
+    let (_w0b, addr0b) = spawn_worker(&dir0, None);
+    let engine = coordinator_over(vec![addr0b, addr1]);
+    match engine.open(&name, &spec).unwrap() {
+        Payload::Attached { processed, .. } => {
+            assert_eq!(processed, 8, "exactly the acked prefix survives")
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("cursor=0"), "{stats}");
+    assert!(stats.contains("worker0_position=4"), "{stats}");
+    assert!(stats.contains("worker1_position=8"), "{stats}");
+
+    // Replay the whole unacked suffix: worker 1's four extras are healed
+    // by skip, worker 0 receives its missing half.
+    match engine.insert_batch(&name, &arrivals[8..]).unwrap() {
+        Payload::InsertedBatch { seq, count } => {
+            assert_eq!((seq, count), (16, 8));
+        }
+        other => panic!("{other:?}"),
+    }
+    let reference = feed_and_query(
+        &Engine::new(ServeConfig::default()).unwrap(),
+        &open_line("sfdm2", 2),
+        &arrivals,
+    )
+    .unwrap();
+    assert_eq!(engine.query(&name, None).unwrap(), reference);
+    let _ = std::fs::remove_dir_all(&dir0);
+    let _ = std::fs::remove_dir_all(&dir1);
+}
+
+/// Mid-batch death in the WAL append → apply gap — the WAL decides, and
+/// here it says *everything* is durable. Worker 0 aborts after appending
+/// its whole second sub-batch but before applying it: the coordinator
+/// acks nothing of that flush, but on restart the worker replays the
+/// appended records, so the re-derived prefix covers the entire stream —
+/// `Attached processed` tells the replaying client it has nothing left
+/// to send.
+#[test]
+fn batch_crash_in_wal_gap_makes_whole_flush_durable() {
+    let arrivals = deterministic_arrivals(16);
+    let dir0 = scratch("batch_gap_w0");
+    let dir1 = scratch("batch_gap_w1");
+    let (_w0, addr0) = spawn_worker(&dir0, Some("between-wal-append-and-apply:2"));
+    let (_w1, addr1) = spawn_worker(&dir1, None);
+    let engine = coordinator_over(vec![addr0.clone(), addr1.clone()]);
+    let (name, spec) = spec_of(&open_line("sfdm2", 1));
+    engine.open(&name, &spec).unwrap();
+
+    engine.insert_batch(&name, &arrivals[..8]).unwrap();
+    let err = engine.insert_batch(&name, &arrivals[8..]).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::WorkerUnavailable);
+    assert!(err.message.starts_with(&addr0), "{err}");
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("processed=8"), "{stats}");
+    assert!(stats.contains("cursor=0"), "{stats}");
+
+    // Restart worker 0: its WAL holds both sub-batches, replay applies
+    // them — the whole stream turns out durable.
+    let (_w0b, addr0b) = spawn_worker(&dir0, None);
+    let engine = coordinator_over(vec![addr0b, addr1]);
+    match engine.open(&name, &spec).unwrap() {
+        Payload::Attached { processed, .. } => {
+            assert_eq!(processed, 16, "the appended sub-batch must replay")
+        }
+        other => panic!("{other:?}"),
+    }
+    let stats = match engine.stats(&name).unwrap() {
+        Payload::Stats(line) => line,
+        other => panic!("{other:?}"),
+    };
+    assert!(stats.contains("cursor=0"), "{stats}");
+
+    // The re-attach reported processed=16: the client's replay window
+    // `arrivals[processed..]` is empty — nothing is sent twice, and the
+    // stream already answers over the full 16 elements.
     let reference = feed_and_query(
         &Engine::new(ServeConfig::default()).unwrap(),
         &open_line("sfdm2", 2),

@@ -411,7 +411,7 @@ fn stats_reports_persistence_counters() {
         Engine::new(ServeConfig {
             data_dir: Some(dir.clone()),
             snapshot_every: Some(10),
-            full_every: 2,
+            full_every: 3,
             ..ServeConfig::default()
         })
         .unwrap(),
@@ -421,15 +421,15 @@ fn stats_reports_persistence_counters() {
     script.push("STATS".into());
     let replies = run_script(&engine, &script.join("\n"));
     let stats = replies.last().unwrap();
-    // 25 inserts → every record write-ahead logged; checkpoints at 10
-    // (dirty-set delta 1) and 20 (the patch is unlowerable for this
-    // insert sequence → inline full fallback); the OPEN anchor wrote the
-    // first full.
+    // 25 inserts → every record write-ahead logged; the OPEN anchor wrote
+    // the first (and only) full, and the checkpoints at 10 and 20 both
+    // lower to dirty-set deltas — a chain of 2, under `full_every`, so
+    // the compactor never runs.
     assert!(stats.contains("wal_records=25"), "{stats}");
-    assert!(stats.contains("snapshots=2"), "{stats}");
-    assert!(stats.contains("deltas=1"), "{stats}");
+    assert!(stats.contains("snapshots=1"), "{stats}");
+    assert!(stats.contains("deltas=2"), "{stats}");
     assert!(stats.contains("compactions=0"), "{stats}");
-    assert!(stats.contains("last_snapshot_format=bin"), "{stats}");
+    assert!(stats.contains("last_snapshot_format=delta"), "{stats}");
     let bytes: u64 = stats
         .split_whitespace()
         .find_map(|f| f.strip_prefix("last_snapshot_bytes="))
@@ -441,7 +441,10 @@ fn stats_reports_persistence_counters() {
         .find_map(|f| f.strip_prefix("dirty_bytes="))
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| panic!("no dirty_bytes in {stats}"));
-    assert!(dirty > 0, "the delta checkpoint must count its bytes: {stats}");
+    assert!(
+        dirty > 0,
+        "the delta checkpoint must count its bytes: {stats}"
+    );
 
     // An explicit export bumps the full-snapshot counter and the format.
     let export = dir.join("x.snap").display().to_string();
@@ -450,7 +453,7 @@ fn stats_reports_persistence_counters() {
         &format!("OPEN jobs sfdm2 quotas=2,2 eps=0.1 dmin=0.05 dmax=30\nSNAPSHOT {export} format=json\nSTATS"),
     );
     let stats = replies.last().unwrap();
-    assert!(stats.contains("snapshots=3"), "{stats}");
+    assert!(stats.contains("snapshots=2"), "{stats}");
     assert!(stats.contains("last_snapshot_format=json"), "{stats}");
 
     // A memory-only engine reports zeroed counters (no WAL, no files).

@@ -11,6 +11,16 @@
 # coordinator's /metrics exposition is linted with
 # examples/metrics_lint.sh. The CI `serve` job runs this script verbatim.
 #
+# A second act drives the pipelined INSERTB fan-out: a worker armed with
+# `FDM_SERVE_CRASH_POINT=before-batch-wal-append:2` dies mid-batch
+# (the same no-cleanup death as a kill -9 landing between two flush
+# rounds), the coordinator must name it in a typed error while keeping
+# the acked prefix durable (`OK attached ... processed=` proves the
+# watermark), the client replays the unacked suffix — already-held
+# elements heal by skip — and the final QUERY again matches the
+# single-node reference. The coordinator's batch-path metric families
+# (fdm_coord_*_latency_seconds, fdm_merge_*) are linted and asserted.
+#
 # Restarted processes bind fresh ports: the kill -9 leaves the old
 # connections in TIME_WAIT and std's TcpListener sets no SO_REUSEADDR,
 # so rebinding the same port can fail. Ports are config; the data dir is
@@ -37,6 +47,21 @@ gen_inserts() { # gen_inserts <from> <to>
       y = cos(i * 0.2113) * 9.0
       printf "INSERT %d %d %.17g %.17g\n", i, i % 2, x, y
     }
+  }'
+}
+
+gen_batches() { # gen_batches <from> <to> <elements-per-INSERTB-line>
+  awk -v from="$1" -v to="$2" -v per="$3" 'BEGIN {
+    line = ""; count = 0
+    for (i = from; i < to; i++) {
+      x = sin(i * 0.7391) * 9.0
+      y = cos(i * 0.2113) * 9.0
+      item = sprintf("%d %d %.17g %.17g", i, i % 2, x, y)
+      line = (count == 0) ? "INSERTB " item : line " | " item
+      count++
+      if (count == per) { print line; line = ""; count = 0 }
+    }
+    if (count > 0) print line
   }'
 }
 
@@ -121,7 +146,7 @@ grep ^fdm_worker "$WORK/metrics.txt"
 
 echo "== restart worker0 (WAL replay) + coordinator (cursor re-derived) =="
 WA2=$((BASE + 5)); CP2=$((BASE + 6))
-start_node "$WA2" worker0b --data-dir "$WORK/w0" --snapshot-every 16 > /dev/null
+W0B=$(start_node "$WA2" worker0b --data-dir "$WORK/w0" --snapshot-every 16)
 start_node "$CP2" coord2 --worker "127.0.0.1:$WA2" --worker "127.0.0.1:$WB" > /dev/null
 { echo "$OPEN"; gen_inserts 40 80; echo "QUERY"; echo "QUIT"; } > "$WORK/rest.in"
 tcp_session "$CP2" "$WORK/rest.in" "$WORK/rest.out"
@@ -132,4 +157,61 @@ cat "$WORK/cluster.query"
 
 echo "== assert: cluster QUERY byte-identical to single-node shards=2 =="
 diff "$WORK/ref.query" "$WORK/cluster.query"
-echo "PASS: coordinator over 2 workers (with a kill -9 + restart in between) matches the single-node sharded run byte-for-byte"
+echo "OK: coordinator over 2 workers (with a kill -9 + restart in between) matches the single-node sharded run byte-for-byte"
+
+echo "== act 2 reference: extend the single-node stream via INSERTB =="
+{ echo "$OPEN shards=2"; gen_batches 80 144 16; echo "QUERY"; echo "QUIT"; } > "$WORK/ref2.in"
+tcp_session "$RP" "$WORK/ref2.in" "$WORK/ref2.out"
+grep -q '^OK inserted processed=144 count=16$' "$WORK/ref2.out" \
+  || { cat "$WORK/ref2.out"; echo "single-node INSERTB not acknowledged"; exit 1; }
+grep '^OK k=' "$WORK/ref2.out" > "$WORK/ref2.query"
+cat "$WORK/ref2.query"
+
+echo "== batched fan-out with a worker dying mid-batch (armed crash point) =="
+# The restarted worker0 is retired in favor of one armed to abort on its
+# second INSERTB apply — the deterministic stand-in for a kill -9 landing
+# between two flush rounds of one client batch. Same data dir = same
+# worker identity, so worker0b must die first.
+WA3=$((BASE + 7)); CP3=$((BASE + 8))
+kill -9 "$W0B"; wait "$W0B" 2>/dev/null || true
+FDM_SERVE_CRASH_POINT="before-batch-wal-append:2" \
+  start_node "$WA3" worker0c --data-dir "$WORK/w0" --snapshot-every 16 > /dev/null
+start_node "$CP3" coord3 --worker "127.0.0.1:$WA3" --worker "127.0.0.1:$WB" > /dev/null
+{ echo "$OPEN"; gen_batches 80 112 16; echo "QUIT"; } > "$WORK/batch.in"
+tcp_session "$CP3" "$WORK/batch.in" "$WORK/batch.out"
+grep -q '^OK inserted processed=96 count=16$' "$WORK/batch.out" \
+  || { cat "$WORK/batch.out"; echo "first INSERTB round not acknowledged"; exit 1; }
+grep -q "^ERR worker unavailable: 127.0.0.1:$WA3" "$WORK/batch.out" \
+  || { cat "$WORK/batch.out"; echo "mid-batch death must surface as a typed error naming 127.0.0.1:$WA3"; exit 1; }
+echo "typed mid-batch failure: $(grep -m 1 '^ERR worker unavailable' "$WORK/batch.out")"
+
+echo "== restart + replay: acked prefix durable, unacked suffix replayable =="
+WA4=$((BASE + 9)); CP4=$((BASE + 10)); MP2=$((BASE + 11))
+start_node "$WA4" worker0d --data-dir "$WORK/w0" --snapshot-every 16 > /dev/null
+start_node "$CP4" coord4 --worker "127.0.0.1:$WA4" --worker "127.0.0.1:$WB" \
+  --metrics "127.0.0.1:$MP2" > /dev/null
+{ echo "$OPEN"; gen_batches 96 144 16; echo "QUERY"; echo "QUERY"; echo "QUIT"; } > "$WORK/replay.in"
+tcp_session "$CP4" "$WORK/replay.in" "$WORK/replay.out"
+grep -q '^OK attached jobs processed=96$' "$WORK/replay.out" \
+  || { cat "$WORK/replay.out"; echo "acked prefix processed=96 did not survive the mid-batch death"; exit 1; }
+grep -q '^OK inserted processed=144 count=16$' "$WORK/replay.out" \
+  || { cat "$WORK/replay.out"; echo "suffix replay (with heal-by-skip) not acknowledged"; exit 1; }
+grep -m 1 '^OK k=' "$WORK/replay.out" > "$WORK/cluster2.query"
+cat "$WORK/cluster2.query"
+
+echo "== coordinator /metrics: batch-path families, linted exposition =="
+scrape_metrics "$MP2" "$WORK/metrics2.txt"
+"$LINT" "$WORK/metrics2.txt"
+for family in fdm_coord_insert_latency_seconds fdm_coord_query_latency_seconds; do
+  grep -q "^# TYPE $family histogram$" "$WORK/metrics2.txt" \
+    || { echo "missing coordinator histogram $family"; exit 1; }
+done
+grep -q '^fdm_merge_bytes_total{kind="full"} [1-9]' "$WORK/metrics2.txt" \
+  || { grep ^fdm_merge "$WORK/metrics2.txt" || true; echo "full-frame MERGE bytes not counted"; exit 1; }
+grep -q '^fdm_merge_cache_hits_total [1-9]' "$WORK/metrics2.txt" \
+  || { grep ^fdm_merge "$WORK/metrics2.txt" || true; echo "repeat QUERY did not hit the merged-solution cache"; exit 1; }
+grep -E '^fdm_merge' "$WORK/metrics2.txt"
+
+echo "== assert: batched cluster QUERY byte-identical to single-node shards=2 =="
+diff "$WORK/ref2.query" "$WORK/cluster2.query"
+echo "PASS: pipelined INSERTB fan-out (with a mid-batch crash, restart, and suffix replay in between) matches the single-node sharded run byte-for-byte"
